@@ -1,0 +1,130 @@
+// Experiment S3 — post analyzer quality: naive Bayes (the paper's method)
+// vs the pluggable TF-IDF centroid alternative, on held-out synthetic
+// posts over the ten paper domains. Prints accuracy and macro-F1, then
+// times training and prediction.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "classify/centroid_classifier.h"
+#include "classify/metrics.h"
+#include "classify/naive_bayes.h"
+#include "classify/topic_discovery.h"
+
+namespace mass {
+namespace {
+
+void SplitDocs(const std::vector<LabeledDocument>& docs,
+               std::vector<LabeledDocument>* train,
+               std::vector<LabeledDocument>* test) {
+  for (size_t i = 0; i < docs.size(); ++i) {
+    (i % 5 == 0 ? test : train)->push_back(docs[i]);
+  }
+}
+
+void PrintAccuracyTable() {
+  bench::Banner("S3", "post analyzer: naive Bayes vs TF-IDF centroid");
+  const Corpus& corpus = bench::CachedCorpus(1500, 12000);
+  auto docs = LabeledPostsFromCorpus(corpus);
+  std::vector<LabeledDocument> train, test;
+  SplitDocs(docs, &train, &test);
+  std::printf("train %zu posts / test %zu posts, 10 domains\n", train.size(),
+              test.size());
+
+  NaiveBayesClassifier nb;
+  CentroidClassifier cc;
+  if (!nb.Train(train, 10).ok() || !cc.Train(train, 10).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return;
+  }
+  ClassificationReport nb_report(10), cc_report(10);
+  for (const LabeledDocument& d : test) {
+    nb_report.Add(d.domain, nb.Predict(d.text));
+    cc_report.Add(d.domain, cc.Predict(d.text));
+  }
+  std::printf("%-18s %10s %10s\n", "miner", "accuracy", "macro-F1");
+  std::printf("%-18s %10.3f %10.3f\n", nb.name().c_str(),
+              nb_report.Accuracy(), nb_report.MacroF1());
+  std::printf("%-18s %10.3f %10.3f\n", cc.name().c_str(),
+              cc_report.Accuracy(), cc_report.MacroF1());
+  std::printf("\nnaive Bayes per-class detail:\n%s",
+              nb_report.ToString(DomainSet::PaperDomains().names()).c_str());
+
+  // Unsupervised option (paper: "[domains] automatically discovered using
+  // existing topic discovery techniques"): cluster the training posts and
+  // measure matched-cluster accuracy against the planted domains.
+  TopicDiscoveryOptions topts;
+  topts.num_restarts = 2;  // keep the bench quick at this corpus size
+  TopicDiscovery td(topts);
+  if (td.Train(train, 10).ok()) {
+    std::vector<int> truth;
+    truth.reserve(train.size());
+    for (const LabeledDocument& d : train) truth.push_back(d.domain);
+    std::printf("\nunsupervised k-means topics: matched-cluster accuracy "
+                "%.3f (%d iterations, converged=%s)\n",
+                MatchedClusterAccuracy(td.assignments(), truth, 10),
+                td.iterations(), td.converged() ? "yes" : "no");
+    std::printf("sample topic descriptions (top terms):\n");
+    for (size_t t = 0; t < 3; ++t) {
+      std::printf("  topic %zu:", t);
+      for (const auto& [term, weight] : td.TopTerms(t, 5)) {
+        std::printf(" %s", term.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)) * 8);
+  auto docs = LabeledPostsFromCorpus(corpus);
+  for (auto _ : state) {
+    NaiveBayesClassifier nb;
+    Status s = nb.Train(docs, 10);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["docs"] = static_cast<double>(docs.size());
+}
+BENCHMARK(BM_NaiveBayesTrain)->Arg(300)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveBayesPredict(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1000, 8000);
+  auto docs = LabeledPostsFromCorpus(corpus);
+  NaiveBayesClassifier nb;
+  if (!nb.Train(docs, 10).ok()) return;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto iv = nb.InterestVector(docs[i % docs.size()].text);
+    benchmark::DoNotOptimize(iv);
+    ++i;
+  }
+}
+BENCHMARK(BM_NaiveBayesPredict)->Unit(benchmark::kMicrosecond);
+
+void BM_CentroidPredict(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1000, 8000);
+  auto docs = LabeledPostsFromCorpus(corpus);
+  CentroidClassifier cc;
+  if (!cc.Train(docs, 10).ok()) return;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto iv = cc.InterestVector(docs[i % docs.size()].text);
+    benchmark::DoNotOptimize(iv);
+    ++i;
+  }
+}
+BENCHMARK(BM_CentroidPredict)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::PrintAccuracyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment S4 — crawler throughput and coverage: pages/second vs worker
+// thread count (the paper's "multi-thread crawling technique") on a host
+// with simulated per-fetch latency, and coverage vs radius.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "crawler/crawler.h"
+#include "crawler/synthetic_host.h"
+
+namespace mass {
+namespace {
+
+void PrintThreadScaling() {
+  bench::Banner("S4", "multi-threaded crawler scaling");
+  const Corpus& world = bench::CachedCorpus(1500, 12000);
+  std::printf("%-8s %-8s %-12s %-10s\n", "threads", "pages", "seconds",
+              "pages/s");
+  for (int threads : {1, 2, 4, 8, 16}) {
+    SyntheticHostOptions hopts;
+    hopts.latency_micros = 300;  // simulated network RTT
+    SyntheticBlogHost host(&world, hopts);
+    CrawlOptions copts;
+    copts.num_threads = threads;
+    copts.radius = 3;
+    Stopwatch sw;
+    auto r = Crawl(&host, {host.UrlOf(0)}, copts);
+    double secs = sw.ElapsedSeconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-8d %-8zu %-12.3f %-10.0f\n", threads, r->pages_fetched,
+                secs, static_cast<double>(r->pages_fetched) / secs);
+  }
+  std::printf("shape: throughput scales with threads while fetch latency "
+              "dominates, then flattens.\n");
+
+  std::printf("\ncoverage vs radius (from one seed):\n%-8s %-10s %-10s\n",
+              "radius", "spaces", "truncated");
+  SyntheticBlogHost host(&world);
+  for (int radius : {0, 1, 2, 3}) {
+    CrawlOptions copts;
+    copts.num_threads = 4;
+    copts.radius = radius;
+    auto r = Crawl(&host, {host.UrlOf(0)}, copts);
+    if (!r.ok()) return;
+    std::printf("%-8d %-10zu %-10zu\n", radius, r->pages_fetched,
+                r->frontier_truncated);
+  }
+}
+
+void BM_CrawlRadius2(benchmark::State& state) {
+  const Corpus& world = bench::CachedCorpus(1500, 12000);
+  SyntheticBlogHost host(&world);
+  CrawlOptions copts;
+  copts.num_threads = static_cast<int>(state.range(0));
+  copts.radius = 2;
+  for (auto _ : state) {
+    auto r = Crawl(&host, {host.UrlOf(0)}, copts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CrawlRadius2)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FetchOnly(benchmark::State& state) {
+  const Corpus& world = bench::CachedCorpus(1500, 12000);
+  SyntheticBlogHost host(&world);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto page = host.Fetch(world.blogger(
+        static_cast<BloggerId>(i % world.num_bloggers())).url);
+    benchmark::DoNotOptimize(page);
+    ++i;
+  }
+}
+BENCHMARK(BM_FetchOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::PrintThreadScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

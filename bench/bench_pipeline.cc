@@ -1,0 +1,118 @@
+// Experiment F2 — the system architecture of Figure 2 as an end-to-end
+// pipeline timing: crawler -> XML storage -> post analyzer (classifier) ->
+// comment analyzer / scoring -> recommendation, with per-stage wall times
+// at the paper's corpus scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "classify/naive_bayes.h"
+#include "common/stopwatch.h"
+#include "crawler/crawler.h"
+#include "crawler/synthetic_host.h"
+#include "recommend/recommender.h"
+#include "storage/corpus_xml.h"
+#include "userstudy/table1.h"
+
+namespace mass {
+namespace {
+
+void PrintPipelineBreakdown() {
+  bench::Banner("F2", "architecture pipeline stage breakdown (Figure 2)");
+  const Corpus& world =
+      bench::CachedCorpus(bench::kPaperBloggers, bench::kPaperPosts);
+
+  Stopwatch sw;
+  // Stage 1: crawler module.
+  SyntheticBlogHost host(&world);
+  std::vector<std::string> seeds;
+  for (BloggerId b = 0; b < 8; ++b) seeds.push_back(host.UrlOf(b));
+  CrawlOptions copts;
+  copts.num_threads = 4;
+  auto crawl = Crawl(&host, seeds, copts);
+  if (!crawl.ok()) {
+    std::fprintf(stderr, "%s\n", crawl.status().ToString().c_str());
+    return;
+  }
+  double t_crawl = sw.ElapsedSeconds();
+
+  // Stage 2: data storage (XML out + in).
+  sw.Restart();
+  std::string xml = CorpusToXml(crawl->corpus);
+  auto loaded = CorpusFromXml(xml);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return;
+  }
+  double t_storage = sw.ElapsedSeconds();
+
+  // Stage 3: post analyzer (classifier training).
+  sw.Restart();
+  NaiveBayesClassifier miner;
+  if (Status s = miner.Train(LabeledPostsFromCorpus(*loaded), 10); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return;
+  }
+  double t_train = sw.ElapsedSeconds();
+
+  // Stage 4: comment analyzer + scoring (the MassEngine).
+  sw.Restart();
+  MassEngine engine(&*loaded);
+  if (Status s = engine.Analyze(&miner, 10); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return;
+  }
+  double t_score = sw.ElapsedSeconds();
+
+  // Stage 5: recommendation queries.
+  sw.Restart();
+  Recommender rec(&engine, &miner);
+  for (size_t d = 0; d < 10; ++d) {
+    auto r = rec.ForDomains({d}, 3);
+    benchmark::DoNotOptimize(r);
+  }
+  double t_query = sw.ElapsedSeconds();
+
+  std::printf("corpus: %zu spaces, %zu posts, %zu comments, %zu links\n",
+              loaded->num_bloggers(), loaded->num_posts(),
+              loaded->num_comments(), loaded->num_links());
+  std::printf("%-28s %10s\n", "stage", "seconds");
+  std::printf("%-28s %10.3f\n", "crawler (4 threads)", t_crawl);
+  std::printf("%-28s %10.3f\n", "XML store+load", t_storage);
+  std::printf("%-28s %10.3f\n", "post analyzer training", t_train);
+  std::printf("%-28s %10.3f  (%d solver iters)\n",
+              "comment analyzer + scoring", t_score,
+              engine.stats().iterations);
+  std::printf("%-28s %10.3f\n", "10 domain queries", t_query);
+}
+
+void BM_XmlSerialize(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(500, 3000);
+  for (auto _ : state) {
+    std::string xml = CorpusToXml(corpus);
+    benchmark::DoNotOptimize(xml);
+  }
+}
+BENCHMARK(BM_XmlSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_XmlParse(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(500, 3000);
+  std::string xml = CorpusToXml(corpus);
+  for (auto _ : state) {
+    auto r = CorpusFromXml(xml);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes"] = static_cast<double>(xml.size());
+}
+BENCHMARK(BM_XmlParse)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::PrintPipelineBreakdown();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment S6 — comment analyzer micro-benchmarks: sentiment
+// classification accuracy against planted attitudes, SF distribution over
+// a realistic comment stream, novelty detection rates, and throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/quality.h"
+#include "sentiment/sentiment_analyzer.h"
+
+namespace mass {
+namespace {
+
+void PrintSentimentAndNovelty() {
+  bench::Banner("S6", "comment analyzer: sentiment + novelty");
+  const Corpus& corpus = bench::CachedCorpus(1500, 12000);
+  SentimentAnalyzer analyzer;
+
+  size_t counts[3] = {0, 0, 0};  // neg, neu, pos predicted
+  size_t correct = 0;
+  for (const Comment& c : corpus.comments()) {
+    Sentiment s = analyzer.Classify(c.text);
+    ++counts[static_cast<int>(s) + 1];
+    if (static_cast<int>(s) == c.true_attitude) ++correct;
+  }
+  size_t total = corpus.num_comments();
+  std::printf("comments analyzed: %zu\n", total);
+  std::printf("predicted distribution: %.1f%% negative, %.1f%% neutral, "
+              "%.1f%% positive\n",
+              100.0 * counts[0] / total, 100.0 * counts[1] / total,
+              100.0 * counts[2] / total);
+  std::printf("agreement with planted attitude: %.1f%%\n",
+              100.0 * correct / total);
+
+  size_t copies_true = 0, copies_detected = 0, false_pos = 0;
+  for (const Post& p : corpus.posts()) {
+    bool detected = NoveltyOf(p) < 1.0;
+    if (p.true_copy) {
+      ++copies_true;
+      copies_detected += detected ? 1 : 0;
+    } else if (detected) {
+      ++false_pos;
+    }
+  }
+  std::printf("\nnovelty: %zu planted copies, %.1f%% detected, %zu false "
+              "positives of %zu originals\n",
+              copies_true, 100.0 * copies_detected / copies_true, false_pos,
+              corpus.num_posts() - copies_true);
+}
+
+void BM_SentimentClassify(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1500, 12000);
+  SentimentAnalyzer analyzer;
+  size_t i = 0;
+  for (auto _ : state) {
+    Sentiment s =
+        analyzer.Classify(corpus.comment(
+            static_cast<CommentId>(i % corpus.num_comments())).text);
+    benchmark::DoNotOptimize(s);
+    ++i;
+  }
+}
+BENCHMARK(BM_SentimentClassify)->Unit(benchmark::kMicrosecond);
+
+void BM_NoveltyOf(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1500, 12000);
+  size_t i = 0;
+  for (auto _ : state) {
+    double nv = NoveltyOf(corpus.post(
+        static_cast<PostId>(i % corpus.num_posts())));
+    benchmark::DoNotOptimize(nv);
+    ++i;
+  }
+}
+BENCHMARK(BM_NoveltyOf)->Unit(benchmark::kMicrosecond);
+
+void BM_AllCommentsSentiment(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1500, 12000);
+  SentimentAnalyzer analyzer;
+  for (auto _ : state) {
+    size_t positives = 0;
+    for (const Comment& c : corpus.comments()) {
+      if (analyzer.Classify(c.text) == Sentiment::kPositive) ++positives;
+    }
+    benchmark::DoNotOptimize(positives);
+  }
+  state.counters["comments"] = static_cast<double>(corpus.num_comments());
+}
+BENCHMARK(BM_AllCommentsSentiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::PrintSentimentAndNovelty();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment S5 — top-k retrieval: heap selection (O(n log k)) vs full
+// sort (O(n log n)) over blogger scores, across k and corpus sizes, plus
+// the end-to-end domain query latency.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/influence_engine.h"
+#include "core/topk.h"
+
+namespace mass {
+namespace {
+
+std::vector<double> RandomScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> scores(n);
+  for (double& s : scores) s = rng.NextDouble();
+  return scores;
+}
+
+void PrintCrossover() {
+  bench::Banner("S5", "top-k: heap selection vs full sort");
+  std::printf("(timings below from google-benchmark; heap wins for "
+              "k << n, converges to sort as k -> n)\n");
+}
+
+void BM_TopKHeap(benchmark::State& state) {
+  auto scores = RandomScores(static_cast<size_t>(state.range(0)), 5);
+  size_t k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto top = TopKByScore(scores, k);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopKHeap)
+    ->Args({100000, 3})
+    ->Args({100000, 100})
+    ->Args({100000, 10000})
+    ->Args({1000000, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TopKFullSort(benchmark::State& state) {
+  auto scores = RandomScores(static_cast<size_t>(state.range(0)), 5);
+  size_t k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto top = TopKByScoreFullSort(scores, k);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopKFullSort)
+    ->Args({100000, 3})
+    ->Args({100000, 100})
+    ->Args({100000, 10000})
+    ->Args({1000000, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+struct EngineFixture {
+  const Corpus* corpus;
+  std::unique_ptr<MassEngine> engine;
+};
+
+EngineFixture& Fixture() {
+  static EngineFixture* f = [] {
+    auto* fx = new EngineFixture();
+    fx->corpus = &mass::bench::CachedCorpus(3000, 24000);
+    fx->engine = std::make_unique<MassEngine>(fx->corpus);
+    if (Status s = fx->engine->Analyze(nullptr, 10); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return fx;
+  }();
+  return *f;
+}
+
+void BM_DomainTopK(benchmark::State& state) {
+  EngineFixture& fx = Fixture();
+  size_t k = static_cast<size_t>(state.range(0));
+  size_t d = 0;
+  for (auto _ : state) {
+    auto top = fx.engine->TopKDomain(d, k);
+    benchmark::DoNotOptimize(top);
+    d = (d + 1) % 10;
+  }
+}
+BENCHMARK(BM_DomainTopK)->Arg(3)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WeightedTopK(benchmark::State& state) {
+  EngineFixture& fx = Fixture();
+  std::vector<double> weights(10, 0.1);
+  for (auto _ : state) {
+    auto top = fx.engine->TopKWeighted(weights, 3);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_WeightedTopK)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::PrintCrossover();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

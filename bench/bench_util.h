@@ -1,0 +1,51 @@
+// Shared helpers for the MASS benchmark binaries: cached corpus
+// construction (generation is expensive at paper scale) and table
+// printing. Every bench binary runs standalone with no arguments and
+// prints the paper-style rows it regenerates before any timing output.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "model/corpus.h"
+#include "synth/generator.h"
+
+namespace mass::bench {
+
+/// Paper-scale corpus: ~3000 MSN spaces with ~40000 posts (§III).
+inline constexpr size_t kPaperBloggers = 3000;
+inline constexpr size_t kPaperPosts = 40000;
+
+/// Returns a cached generated corpus for (bloggers, posts, seed); the
+/// first call per shape generates, later calls reuse. Benchmarks use this
+/// so google-benchmark's repeated runs do not regenerate inputs.
+inline const Corpus& CachedCorpus(size_t num_bloggers, size_t target_posts,
+                                  uint64_t seed = 42) {
+  static std::map<std::tuple<size_t, size_t, uint64_t>,
+                  std::unique_ptr<Corpus>>
+      cache;
+  auto key = std::make_tuple(num_bloggers, target_posts, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    synth::GeneratorOptions o;
+    o.seed = seed;
+    o.num_bloggers = num_bloggers;
+    o.target_posts = target_posts;
+    auto r = synth::GenerateBlogosphere(o);
+    if (!r.ok()) {
+      std::fprintf(stderr, "corpus generation failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache.emplace(key, std::make_unique<Corpus>(std::move(*r))).first;
+  }
+  return *it->second;
+}
+
+/// Section banner for the printed reproduction tables.
+inline void Banner(const char* experiment_id, const char* title) {
+  std::printf("\n==== %s: %s ====\n", experiment_id, title);
+}
+
+}  // namespace mass::bench

@@ -1,0 +1,84 @@
+// Experiment F4 — the Figure-4 post-reply network view: build + layout +
+// XML save/load round trip cost as the ego radius (and thus subgraph size)
+// grows around a seed blogger.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "viz/post_reply_network.h"
+
+namespace mass {
+namespace {
+
+void PrintRadiusGrowth() {
+  bench::Banner("F4", "post-reply network (Figure 4) vs ego radius");
+  const Corpus& corpus = bench::CachedCorpus(1000, 8000);
+  BloggerId center = 0;
+  std::printf("%-6s %8s %8s %12s\n", "hops", "nodes", "edges", "xml bytes");
+  for (int hops = 0; hops <= 3; ++hops) {
+    PostReplyNetwork net = PostReplyNetwork::BuildEgo(corpus, center, hops);
+    std::string xml = net.ToXml();
+    std::printf("%-6d %8zu %8zu %12zu\n", hops, net.nodes().size(),
+                net.edges().size(), xml.size());
+  }
+  std::printf("shape: the comment neighborhood explodes within 2-3 hops, "
+              "motivating the demo's radius control.\n");
+}
+
+void BM_BuildFullNetwork(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)) * 8);
+  for (auto _ : state) {
+    PostReplyNetwork net = PostReplyNetwork::Build(corpus);
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_BuildFullNetwork)->Arg(250)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildEgo(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1000, 8000);
+  int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PostReplyNetwork net = PostReplyNetwork::BuildEgo(corpus, 0, hops);
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_BuildEgo)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_ForceLayout(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1000, 8000);
+  PostReplyNetwork net = PostReplyNetwork::BuildEgo(corpus, 0, 1);
+  LayoutOptions opts;
+  opts.iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PostReplyNetwork copy = net;
+    copy.RunForceLayout(opts);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.counters["nodes"] = static_cast<double>(net.nodes().size());
+}
+BENCHMARK(BM_ForceLayout)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_VizXmlRoundTrip(benchmark::State& state) {
+  const Corpus& corpus = bench::CachedCorpus(1000, 8000);
+  PostReplyNetwork net = PostReplyNetwork::BuildEgo(corpus, 0, 2);
+  for (auto _ : state) {
+    std::string xml = net.ToXml();
+    auto back = PostReplyNetwork::FromXml(xml);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_VizXmlRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::PrintRadiusGrowth();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

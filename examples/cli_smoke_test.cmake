@@ -1,0 +1,32 @@
+# End-to-end smoke test of the mass_cli demo workflow:
+# generate -> crawl -> analyze -> recommend -> study -> viz -> details.
+set(CORPUS ${WORKDIR}/smoke_corpus.xml)
+set(CRAWL ${WORKDIR}/smoke_crawl.xml)
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_step(${CLI} generate --bloggers 150 --posts 700 --seed 9 --out ${CORPUS})
+run_step(${CLI} crawl --in ${CORPUS} --seed blogger0000 --radius 2
+         --threads 2 --out ${CRAWL})
+run_step(${CLI} analyze --in ${CORPUS} --domain Sports --top 3)
+run_step(${CLI} analyze --in ${CORPUS} --miner kmeans --gl hits --top 3)
+run_step(${CLI} recommend --in ${CORPUS} --ad "marathon running shoes for athletes" --top 3)
+run_step(${CLI} recommend --in ${CORPUS} --profile "I love hospitals and medicine" --top 3)
+run_step(${CLI} study --in ${CORPUS})
+run_step(${CLI} stats --in ${CORPUS} --seeds 3)
+run_step(${CLI} merge --in ${CORPUS} --with ${CRAWL}
+         --out ${WORKDIR}/smoke_merged.xml)
+run_step(${CLI} viz --in ${CORPUS} --center blogger0000 --hops 1
+         --out ${WORKDIR}/smoke_net.xml --dot ${WORKDIR}/smoke_net.dot
+         --html ${WORKDIR}/smoke_net.html)
+run_step(${CLI} details --in ${CORPUS} --name blogger0001)
+
+file(REMOVE ${CORPUS} ${CRAWL} ${WORKDIR}/smoke_net.xml
+     ${WORKDIR}/smoke_net.dot ${WORKDIR}/smoke_net.html
+     ${WORKDIR}/smoke_merged.xml)

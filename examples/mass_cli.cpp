@@ -1,0 +1,422 @@
+// mass_cli — the MASS system as a command-line application, covering the
+// demo workflow of §IV end to end:
+//
+//   mass_cli generate  --bloggers 3000 --posts 40000 --out corpus.xml
+//   mass_cli crawl     --in corpus.xml --seed blogger0000 --radius 2
+//                      --threads 4 --out crawl.xml
+//   mass_cli analyze   --in corpus.xml [--alpha 0.5] [--beta 0.6]
+//                      [--miner nb|centroid|kmeans|truth] [--domain Sports]
+//                      [--top 5]
+//   mass_cli recommend --in corpus.xml --ad "running shoes ..." [--top 5]
+//   mass_cli recommend --in corpus.xml --profile "I love painting" [--top 5]
+//   mass_cli study     --in corpus.xml
+//   mass_cli viz       --in corpus.xml --center blogger0000 --hops 1
+//                      --out net.xml [--dot net.dot]
+//   mass_cli details   --in corpus.xml --name blogger0000
+//
+// Run with no arguments for usage.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/centroid_classifier.h"
+#include "common/string_util.h"
+#include "classify/naive_bayes.h"
+#include "classify/topic_discovery.h"
+#include "core/influence_engine.h"
+#include "crawler/crawler.h"
+#include "model/corpus_merge.h"
+#include "model/corpus_stats.h"
+#include "crawler/synthetic_host.h"
+#include "recommend/recommender.h"
+#include "storage/corpus_xml.h"
+#include "storage/file_io.h"
+#include "storage/options_xml.h"
+#include "synth/generator.h"
+#include "userstudy/table1.h"
+#include "viz/blogger_details.h"
+#include "viz/html_export.h"
+#include "viz/post_reply_network.h"
+
+namespace {
+
+using namespace mass;
+
+/// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "true";
+        }
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    int64_t v;
+    return ParseInt64(it->second, &v) ? v : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    double v;
+    return ParseDouble(it->second, &v) ? v : fallback;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+Result<Corpus> LoadInput(const Flags& flags) {
+  std::string path = flags.Get("in", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--in <corpus.xml> is required");
+  }
+  return LoadCorpus(path);
+}
+
+/// Builds and trains the selected interest miner; "truth" returns null
+/// (the engine then uses planted ground-truth domains).
+Result<std::unique_ptr<InterestMiner>> MakeMiner(const std::string& kind,
+                                                 const Corpus& corpus,
+                                                 size_t num_domains) {
+  std::unique_ptr<InterestMiner> miner;
+  if (kind == "truth") return miner;
+  if (kind == "nb") {
+    miner = std::make_unique<NaiveBayesClassifier>();
+  } else if (kind == "centroid") {
+    miner = std::make_unique<CentroidClassifier>();
+  } else if (kind == "kmeans") {
+    miner = std::make_unique<TopicDiscovery>();
+  } else {
+    return Status::InvalidArgument("unknown --miner: " + kind);
+  }
+  MASS_RETURN_IF_ERROR(
+      miner->Train(LabeledPostsFromCorpus(corpus), num_domains));
+  return miner;
+}
+
+int CmdGenerate(const Flags& flags) {
+  synth::GeneratorOptions opts;
+  opts.num_bloggers = static_cast<size_t>(flags.GetInt("bloggers", 3000));
+  opts.target_posts = static_cast<size_t>(flags.GetInt("posts", 40000));
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string out = flags.Get("out", "corpus.xml");
+  auto corpus = synth::GenerateBlogosphere(opts);
+  if (!corpus.ok()) return Fail(corpus.status());
+  if (Status s = SaveCorpus(*corpus, out); !s.ok()) return Fail(s);
+  std::printf("generated %zu bloggers, %zu posts, %zu comments, %zu links "
+              "-> %s\n",
+              corpus->num_bloggers(), corpus->num_posts(),
+              corpus->num_comments(), corpus->num_links(), out.c_str());
+  return 0;
+}
+
+int CmdCrawl(const Flags& flags) {
+  auto world = LoadInput(flags);
+  if (!world.ok()) return Fail(world.status());
+  world->BuildIndexes();
+  SyntheticBlogHost host(&*world);
+
+  std::string seed_name = flags.Get("seed", "");
+  BloggerId seed_id =
+      seed_name.empty() ? 0 : world->FindBloggerByName(seed_name);
+  if (seed_id == kInvalidBlogger) {
+    return Fail(Status::NotFound("no blogger named " + seed_name));
+  }
+  CrawlOptions opts;
+  opts.radius = static_cast<int>(flags.GetInt("radius", 2));
+  opts.num_threads = static_cast<int>(flags.GetInt("threads", 4));
+  auto result = Crawl(&host, {host.UrlOf(seed_id)}, opts);
+  if (!result.ok()) return Fail(result.status());
+  std::string out = flags.Get("out", "crawl.xml");
+  if (Status s = SaveCorpus(result->corpus, out); !s.ok()) return Fail(s);
+  std::printf("crawled %zu spaces (radius %d) in %.2fs, %zu truncated -> "
+              "%s\n",
+              result->pages_fetched, opts.radius, result->elapsed_seconds,
+              result->frontier_truncated, out.c_str());
+  return 0;
+}
+
+int CmdAnalyze(const Flags& flags) {
+  auto corpus = LoadInput(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  DomainSet domains = DomainSet::PaperDomains();
+
+  EngineOptions opts;
+  if (flags.Has("config")) {
+    auto loaded = LoadEngineOptions(flags.Get("config", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    opts = *loaded;
+  }
+  opts.alpha = flags.GetDouble("alpha", opts.alpha);
+  opts.beta = flags.GetDouble("beta", opts.beta);
+  opts.recency_half_life_days =
+      flags.GetDouble("half-life", opts.recency_half_life_days);
+  std::string gl = flags.Get("gl", "pagerank");
+  if (gl == "hits") {
+    opts.gl_method = GlMethod::kHitsAuthority;
+  } else if (gl == "inlinks") {
+    opts.gl_method = GlMethod::kInlinkCount;
+  }
+
+  auto miner = MakeMiner(flags.Get("miner", "nb"), *corpus, domains.size());
+  if (!miner.ok()) return Fail(miner.status());
+
+  MassEngine engine(&*corpus, opts);
+  if (Status s = engine.Analyze(miner->get(), domains.size()); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("analyzed %zu bloggers (%d solver iterations, converged=%s)\n",
+              corpus->num_bloggers(), engine.stats().iterations,
+              engine.stats().converged ? "yes" : "no");
+
+  size_t k = static_cast<size_t>(flags.GetInt("top", 5));
+  if (flags.Has("domain")) {
+    int d = domains.Find(flags.Get("domain", ""));
+    if (d < 0) return Fail(Status::NotFound("unknown domain"));
+    std::printf("top-%zu in %s:\n", k, domains.name(d).c_str());
+    for (const ScoredBlogger& sb : engine.TopKDomain(d, k)) {
+      std::printf("  %-14s %.4f\n", corpus->blogger(sb.id).name.c_str(),
+                  sb.score);
+    }
+  } else {
+    std::printf("top-%zu overall:\n", k);
+    for (const ScoredBlogger& sb : engine.TopKGeneral(k)) {
+      std::printf("  %-14s %.4f\n", corpus->blogger(sb.id).name.c_str(),
+                  sb.score);
+    }
+  }
+  return 0;
+}
+
+int CmdRecommend(const Flags& flags) {
+  auto corpus = LoadInput(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  DomainSet domains = DomainSet::PaperDomains();
+  auto miner = MakeMiner(flags.Get("miner", "nb"), *corpus, domains.size());
+  if (!miner.ok()) return Fail(miner.status());
+  if (*miner == nullptr) {
+    return Fail(Status::InvalidArgument("recommend requires a text miner"));
+  }
+  MassEngine engine(&*corpus);
+  if (Status s = engine.Analyze(miner->get(), domains.size()); !s.ok()) {
+    return Fail(s);
+  }
+  Recommender rec(&engine, miner->get());
+  size_t k = static_cast<size_t>(flags.GetInt("top", 5));
+
+  Result<Recommendation> result = Status::InvalidArgument(
+      "pass --ad <text>, --profile <text>, or --domain <name>");
+  if (flags.Has("ad")) {
+    result = rec.ForAdvertisement(flags.Get("ad", ""), k);
+  } else if (flags.Has("profile")) {
+    result = rec.ForNewUserProfile(flags.Get("profile", ""), k);
+  } else if (flags.Has("domain")) {
+    int d = domains.Find(flags.Get("domain", ""));
+    if (d < 0) return Fail(Status::NotFound("unknown domain"));
+    result = rec.ForDomains({static_cast<size_t>(d)}, k);
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("mined interest vector:\n");
+  for (size_t t = 0; t < domains.size(); ++t) {
+    if (result->interest_vector[t] >= 0.01) {
+      std::printf("  %-14s %.3f\n", domains.name(t).c_str(),
+                  result->interest_vector[t]);
+    }
+  }
+  std::printf("recommended bloggers:\n");
+  for (const ScoredBlogger& sb : result->bloggers) {
+    std::printf("  %-14s %.4f  %s\n", corpus->blogger(sb.id).name.c_str(),
+                sb.score, corpus->blogger(sb.id).url.c_str());
+  }
+  return 0;
+}
+
+int CmdStudy(const Flags& flags) {
+  auto corpus = LoadInput(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto result = RunTable1Study(*corpus, DomainSet::PaperDomains());
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", result->ToString().c_str());
+  return 0;
+}
+
+int CmdViz(const Flags& flags) {
+  auto corpus = LoadInput(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  MassEngine engine(&*corpus);
+  bool have_truth = true;
+  for (const Post& p : corpus->posts()) {
+    if (p.true_domain < 0) {
+      have_truth = false;
+      break;
+    }
+  }
+  std::vector<double> influence;
+  if (have_truth && engine.Analyze(nullptr, 10).ok()) {
+    influence.resize(corpus->num_bloggers());
+    for (BloggerId b = 0; b < corpus->num_bloggers(); ++b) {
+      influence[b] = engine.InfluenceOf(b);
+    }
+  }
+
+  PostReplyNetwork net;
+  std::string center = flags.Get("center", "");
+  if (center.empty()) {
+    net = PostReplyNetwork::Build(*corpus, influence);
+  } else {
+    BloggerId id = corpus->FindBloggerByName(center);
+    if (id == kInvalidBlogger) {
+      return Fail(Status::NotFound("no blogger named " + center));
+    }
+    net = PostReplyNetwork::BuildEgo(
+        *corpus, id, static_cast<int>(flags.GetInt("hops", 1)), influence);
+  }
+  net.RunForceLayout();
+  std::string out = flags.Get("out", "network.xml");
+  if (Status s = WriteStringToFile(out, net.ToXml()); !s.ok()) return Fail(s);
+  std::printf("network: %zu nodes, %zu edges -> %s\n", net.nodes().size(),
+              net.edges().size(), out.c_str());
+  if (flags.Has("dot")) {
+    std::string dot_path = flags.Get("dot", "network.dot");
+    if (Status s = WriteStringToFile(dot_path, net.ToDot()); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("graphviz -> %s\n", dot_path.c_str());
+  }
+  if (flags.Has("html")) {
+    std::string html_path = flags.Get("html", "network.html");
+    if (Status s = WriteStringToFile(html_path, RenderHtml(net)); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("html -> %s\n", html_path.c_str());
+  }
+  if (flags.Has("graphml")) {
+    std::string gml_path = flags.Get("graphml", "network.graphml");
+    if (Status s = WriteStringToFile(gml_path, net.ToGraphMl()); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("graphml -> %s\n", gml_path.c_str());
+  }
+  return 0;
+}
+
+int CmdMerge(const Flags& flags) {
+  std::string left_path = flags.Get("in", "");
+  std::string right_path = flags.Get("with", "");
+  if (left_path.empty() || right_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "merge requires --in FILE and --with FILE"));
+  }
+  auto left = LoadCorpus(left_path);
+  if (!left.ok()) return Fail(left.status());
+  auto right = LoadCorpus(right_path);
+  if (!right.ok()) return Fail(right.status());
+  auto merged = MergeCorpora(*left, *right);
+  if (!merged.ok()) return Fail(merged.status());
+  std::string out = flags.Get("out", "merged.xml");
+  if (Status s = SaveCorpus(*merged, out); !s.ok()) return Fail(s);
+  std::printf("merged %zu + %zu bloggers -> %zu (%zu posts) -> %s\n",
+              left->num_bloggers(), right->num_bloggers(),
+              merged->num_bloggers(), merged->num_posts(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto corpus = LoadInput(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  std::printf("%s", ComputeCorpusStats(*corpus).ToString().c_str());
+  size_t k = static_cast<size_t>(flags.GetInt("seeds", 5));
+  std::printf("suggested crawl seeds (most comments and friends):\n");
+  for (BloggerId b : SuggestCrawlSeeds(*corpus, k)) {
+    std::printf("  %-14s %s\n", corpus->blogger(b).name.c_str(),
+                corpus->blogger(b).url.c_str());
+  }
+  return 0;
+}
+
+int CmdDetails(const Flags& flags) {
+  auto corpus = LoadInput(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  std::string name = flags.Get("name", "");
+  BloggerId id = corpus->FindBloggerByName(name);
+  if (id == kInvalidBlogger) {
+    return Fail(Status::NotFound("no blogger named " + name));
+  }
+  DomainSet domains = DomainSet::PaperDomains();
+  auto miner = MakeMiner(flags.Get("miner", "nb"), *corpus, domains.size());
+  if (!miner.ok()) return Fail(miner.status());
+  MassEngine engine(&*corpus);
+  if (Status s = engine.Analyze(miner->get(), domains.size()); !s.ok()) {
+    return Fail(s);
+  }
+  BloggerDetails d = MakeBloggerDetails(engine, id);
+  std::printf("%s", RenderBloggerDetails(d, domains).c_str());
+  return 0;
+}
+
+void Usage() {
+  std::printf(
+      "mass_cli — multi-facet domain-specific influential blogger mining\n"
+      "commands:\n"
+      "  generate   --bloggers N --posts N --seed S --out FILE\n"
+      "  crawl      --in FILE --seed NAME --radius R --threads T --out FILE\n"
+      "  analyze    --in FILE [--alpha A] [--beta B] [--gl pagerank|hits|"
+      "inlinks]\n"
+      "             [--miner nb|centroid|kmeans|truth] [--domain NAME] "
+      "[--top K]\n"
+      "  recommend  --in FILE (--ad TEXT | --profile TEXT | --domain NAME) "
+      "[--top K]\n"
+      "  study      --in FILE\n"
+      "  stats      --in FILE [--seeds K]\n"
+      "  merge      --in FILE --with FILE --out FILE\n"
+      "  viz        --in FILE [--center NAME --hops H] --out FILE [--dot "
+      "FILE]\n"
+      "  details    --in FILE --name NAME\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "crawl") return CmdCrawl(flags);
+  if (cmd == "analyze") return CmdAnalyze(flags);
+  if (cmd == "recommend") return CmdRecommend(flags);
+  if (cmd == "study") return CmdStudy(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "merge") return CmdMerge(flags);
+  if (cmd == "viz") return CmdViz(flags);
+  if (cmd == "details") return CmdDetails(flags);
+  Usage();
+  return 1;
+}

@@ -1,0 +1,99 @@
+// The demo's parameter toolbar (§IV): "MASS also allows users to use the
+// toolbar to set personalized parameters for modeling general influence
+// and domain influence". This example re-analyzes the same corpus under
+// several user-chosen settings and shows how the top-3 changes.
+//
+//   $ ./build/examples/parameter_toolbar
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "synth/generator.h"
+
+namespace {
+
+// The toolbar path: one engine, Retune() per knob change — the cached
+// text analysis makes each adjustment interactive.
+void ShowTop3(const char* label, mass::MassEngine* engine,
+              const mass::EngineOptions& opts) {
+  using namespace mass;
+  Stopwatch sw;
+  if (Status s = engine->Retune(opts); !s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label, s.ToString().c_str());
+    return;
+  }
+  double ms = sw.ElapsedMillis();
+  const Corpus& corpus = engine->corpus();
+  std::printf("%-46s", label);
+  for (const ScoredBlogger& sb : engine->TopKGeneral(3)) {
+    std::printf("  %s(%.2f)", corpus.blogger(sb.id).name.c_str(), sb.score);
+  }
+  std::printf("   [retune %.1f ms]\n", ms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mass;
+
+  synth::GeneratorOptions gen;
+  gen.seed = 1234;
+  gen.num_bloggers = 400;
+  gen.target_posts = 2500;
+  auto corpus = synth::GenerateBlogosphere(gen);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("top-3 general influencers under different toolbar settings\n");
+  std::printf("(%zu bloggers, %zu posts)\n\n", corpus->num_bloggers(),
+              corpus->num_posts());
+
+  // The initial Analyze pays the text-analysis cost once.
+  Stopwatch sw;
+  MassEngine engine(&*corpus);
+  if (Status s = engine.Analyze(nullptr, 10); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("initial analysis: %.1f ms; every knob below is a Retune()\n\n",
+              sw.ElapsedMillis());
+
+  ShowTop3("paper defaults (alpha 0.5, beta 0.6)", &engine, EngineOptions{});
+
+  EngineOptions posts_only;
+  posts_only.alpha = 1.0;
+  ShowTop3("posts only (alpha = 1)", &engine, posts_only);
+
+  EngineOptions links_only;
+  links_only.alpha = 0.0;
+  ShowTop3("link authority only (alpha = 0)", &engine, links_only);
+
+  EngineOptions comments_heavy;
+  comments_heavy.beta = 0.2;
+  ShowTop3("comment-driven (beta = 0.2)", &engine, comments_heavy);
+
+  EngineOptions harsh_negative;
+  harsh_negative.sentiment.negative = 0.0;
+  ShowTop3("harsh negatives (SF- = 0)", &engine, harsh_negative);
+
+  EngineOptions hits_gl;
+  hits_gl.gl_method = GlMethod::kHitsAuthority;
+  ShowTop3("HITS authority as GL", &engine, hits_gl);
+
+  EngineOptions recency;
+  recency.recency_half_life_days = 60.0;
+  ShowTop3("recency half-life 60 days", &engine, recency);
+
+  EngineOptions count_model;
+  count_model.use_citation = false;
+  count_model.use_attitude = false;
+  count_model.use_novelty = false;
+  count_model.use_tc_normalization = false;
+  ShowTop3("all facets off (count model)", &engine, count_model);
+
+  std::printf("\nNote how the spam-prone count model promotes different "
+              "bloggers than the full multi-facet model.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Scenario 2 — personalized recommendation (paper §II): a new user's
+// profile (or an existing blogger's own posts) determines which domains'
+// top influential bloggers to recommend.
+//
+//   $ ./build/examples/personalized_recommendation
+#include <cstdio>
+
+#include "classify/naive_bayes.h"
+#include "core/influence_engine.h"
+#include "recommend/recommender.h"
+#include "synth/generator.h"
+
+int main() {
+  using namespace mass;
+
+  synth::GeneratorOptions gen;
+  gen.seed = 314;
+  gen.num_bloggers = 500;
+  gen.target_posts = 3000;
+  auto corpus = synth::GenerateBlogosphere(gen);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  DomainSet domains = DomainSet::PaperDomains();
+
+  NaiveBayesClassifier miner;
+  if (Status s = miner.Train(LabeledPostsFromCorpus(*corpus), domains.size());
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  MassEngine engine(&*corpus);
+  if (Status s = engine.Analyze(&miner, domains.size()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  Recommender recommender(&engine, &miner);
+
+  // A new user signs up and writes a profile.
+  const char* profile =
+      "medical student interested in hospitals surgery vaccines and "
+      "patient care, also enjoys painting and gallery visits";
+  std::printf("new user profile: \"%s\"\n\n", profile);
+  auto rec = recommender.ForNewUserProfile(profile, 5);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mined interests:\n");
+  for (size_t t = 0; t < domains.size(); ++t) {
+    if (rec->interest_vector[t] < 0.01) continue;
+    std::printf("  %-14s %.3f\n", domains.name(t).c_str(),
+                rec->interest_vector[t]);
+  }
+  std::printf("\nrecommended bloggers to follow:\n");
+  for (const ScoredBlogger& sb : rec->bloggers) {
+    std::printf("  %-12s score=%.3f\n", corpus->blogger(sb.id).name.c_str(),
+                sb.score);
+  }
+
+  // An existing blogger asks for peers in her own domains.
+  BloggerId existing = engine.TopKDomain(7, 1)[0].id;  // a Medicine blogger
+  std::printf("\nexisting blogger %s asks for recommendations:\n",
+              corpus->blogger(existing).name.c_str());
+  auto peer = recommender.ForExistingBlogger(existing, 5);
+  if (peer.ok()) {
+    for (const ScoredBlogger& sb : peer->bloggers) {
+      std::printf("  %-12s score=%.3f\n",
+                  corpus->blogger(sb.id).name.c_str(), sb.score);
+    }
+  }
+  return 0;
+}

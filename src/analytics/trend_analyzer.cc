@@ -1,0 +1,120 @@
+#include "analytics/trend_analyzer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace mass {
+
+int DomainTrends::HottestDomain() const {
+  if (influence_mass.empty() || influence_mass[0].empty()) return -1;
+  const size_t nb = influence_mass.size();
+  const size_t nd = influence_mass[0].size();
+  const size_t half = nb / 2;
+  int best = -1;
+  double best_growth = -1e300;
+  for (size_t d = 0; d < nd; ++d) {
+    double early = 0.0, late = 0.0;
+    for (size_t b = 0; b < nb; ++b) {
+      (b < half ? early : late) += influence_mass[b][d];
+    }
+    double growth = late - early;
+    if (growth > best_growth) {
+      best_growth = growth;
+      best = static_cast<int>(d);
+    }
+  }
+  return best;
+}
+
+Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
+                                         size_t num_buckets) {
+  if (!engine.analyzed()) {
+    return Status::FailedPrecondition("engine not analyzed");
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("num_buckets must be positive");
+  }
+  const Corpus& corpus = engine.corpus();
+  if (corpus.num_posts() == 0) {
+    return Status::InvalidArgument("corpus has no posts");
+  }
+
+  int64_t t_min = corpus.post(0).timestamp;
+  int64_t t_max = t_min;
+  for (const Post& p : corpus.posts()) {
+    t_min = std::min(t_min, p.timestamp);
+    t_max = std::max(t_max, p.timestamp);
+  }
+  int64_t span = std::max<int64_t>(t_max - t_min + 1, 1);
+  int64_t width = (span + static_cast<int64_t>(num_buckets) - 1) /
+                  static_cast<int64_t>(num_buckets);
+  if (width <= 0) width = 1;
+
+  DomainTrends trends;
+  trends.start = t_min;
+  trends.bucket_seconds = width;
+  trends.influence_mass.assign(
+      num_buckets, std::vector<double>(engine.num_domains(), 0.0));
+  trends.post_counts.assign(
+      num_buckets, std::vector<size_t>(engine.num_domains(), 0));
+
+  for (const Post& p : corpus.posts()) {
+    size_t bucket = static_cast<size_t>((p.timestamp - t_min) / width);
+    if (bucket >= num_buckets) bucket = num_buckets - 1;
+    const std::vector<double>& iv = engine.PostInterestsOf(p.id);
+    double inf = engine.PostInfluenceOf(p.id);
+    size_t argmax = 0;
+    for (size_t d = 0; d < iv.size(); ++d) {
+      trends.influence_mass[bucket][d] += inf * iv[d];
+      if (iv[d] > iv[argmax]) argmax = d;
+    }
+    ++trends.post_counts[bucket][argmax];
+  }
+  return trends;
+}
+
+std::vector<RisingTerm> TopRisingTerms(const Corpus& corpus, size_t k,
+                                       size_t min_count) {
+  std::vector<RisingTerm> out;
+  if (corpus.num_posts() == 0) return out;
+  int64_t t_min = corpus.post(0).timestamp;
+  int64_t t_max = t_min;
+  for (const Post& p : corpus.posts()) {
+    t_min = std::min(t_min, p.timestamp);
+    t_max = std::max(t_max, p.timestamp);
+  }
+  int64_t split = t_min + (t_max - t_min) / 2;
+
+  Tokenizer tokenizer;
+  std::unordered_map<std::string, std::pair<size_t, size_t>> counts;
+  for (const Post& p : corpus.posts()) {
+    bool recent = p.timestamp > split;
+    for (const std::string& tok : tokenizer.Tokenize(p.title + " " + p.content)) {
+      auto& c = counts[tok];
+      (recent ? c.second : c.first) += 1;
+    }
+  }
+  for (const auto& [term, c] : counts) {
+    size_t past = c.first, recent = c.second;
+    if (past + recent < min_count) continue;
+    RisingTerm rt;
+    rt.term = term;
+    rt.past_count = past;
+    rt.recent_count = recent;
+    // Smoothed growth ratio; terms that only appear recently score high.
+    rt.score = (static_cast<double>(recent) + 1.0) /
+               (static_cast<double>(past) + 1.0);
+    out.push_back(std::move(rt));
+  }
+  std::sort(out.begin(), out.end(), [](const RisingTerm& a, const RisingTerm& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.recent_count != b.recent_count) return a.recent_count > b.recent_count;
+    return a.term < b.term;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace mass

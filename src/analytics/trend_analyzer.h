@@ -1,0 +1,54 @@
+// Trend analytics — the paper's business motivation (§I): "communication
+// and analysis of influential bloggers bring more insight of the key
+// concerns and new trends of customers' interest on products". This module
+// aggregates the analyzed influence mass per domain over time buckets and
+// surfaces the fastest-rising terms in recent posts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/influence_engine.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Per-domain activity/influence series over uniform time buckets.
+struct DomainTrends {
+  int64_t start = 0;           ///< timestamp of the first bucket
+  int64_t bucket_seconds = 0;  ///< width of each bucket
+  /// influence_mass[bucket][domain]: sum over posts in the bucket of
+  /// Inf(b_i, d_k) * iv(d_k, domain).
+  std::vector<std::vector<double>> influence_mass;
+  /// post_counts[bucket][domain]: hard-assigned post counts (argmax iv).
+  std::vector<std::vector<size_t>> post_counts;
+
+  size_t num_buckets() const { return influence_mass.size(); }
+
+  /// The domain with the largest influence-mass growth between the first
+  /// and second half of the window; -1 if empty.
+  int HottestDomain() const;
+};
+
+/// Buckets the analyzed corpus into `num_buckets` uniform time slices.
+/// Requires an analyzed engine and at least one post.
+Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
+                                         size_t num_buckets);
+
+/// A term whose frequency rose in the recent half of the corpus.
+struct RisingTerm {
+  std::string term;
+  double score = 0.0;        ///< smoothed recent/past frequency ratio
+  size_t recent_count = 0;   ///< occurrences in the recent half
+  size_t past_count = 0;     ///< occurrences in the older half
+};
+
+/// Top-k terms (stemmed, stopword-free) whose post frequency grew most
+/// from the older half of the time range to the recent half. `min_count`
+/// filters noise terms. Requires built indexes.
+std::vector<RisingTerm> TopRisingTerms(const Corpus& corpus, size_t k,
+                                       size_t min_count = 5);
+
+}  // namespace mass

@@ -1,0 +1,75 @@
+#include "classify/centroid_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+CentroidClassifier::CentroidClassifier(Options options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+Status CentroidClassifier::Train(const std::vector<LabeledDocument>& examples,
+                                 size_t num_domains) {
+  if (num_domains == 0) {
+    return Status::InvalidArgument("num_domains must be positive");
+  }
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  vocab_ = Vocabulary();
+  // First pass: document frequencies.
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(examples.size());
+  for (const LabeledDocument& ex : examples) {
+    if (ex.domain < 0 || static_cast<size_t>(ex.domain) >= num_domains) {
+      return Status::InvalidArgument(
+          StrFormat("example domain %d out of range [0,%zu)", ex.domain,
+                    num_domains));
+    }
+    tokenized.push_back(tokenizer_.Tokenize(ex.text));
+    vocab_.AddDocument(tokenized.back());
+  }
+  // Second pass: accumulate normalized TF-IDF vectors per domain.
+  centroids_.assign(num_domains, {});
+  for (size_t i = 0; i < examples.size(); ++i) {
+    SparseVector v = vocab_.TfIdfVector(tokenized[i]);
+    centroids_[examples[i].domain].Add(v);
+  }
+  for (SparseVector& c : centroids_) {
+    double n = c.Norm();
+    if (n > 0.0) c.Scale(1.0 / n);
+  }
+  return Status::OK();
+}
+
+double CentroidClassifier::Similarity(std::string_view text, size_t d) const {
+  SparseVector v = vocab_.TfIdfVector(tokenizer_.Tokenize(text));
+  return v.Cosine(centroids_[d]);
+}
+
+std::vector<double> CentroidClassifier::InterestVector(
+    std::string_view text) const {
+  size_t n = centroids_.size();
+  std::vector<double> result(n, n ? 1.0 / n : 0.0);
+  if (n == 0) return result;
+  SparseVector v = vocab_.TfIdfVector(tokenizer_.Tokenize(text));
+  if (v.entries.empty()) return result;  // nothing known: uniform
+
+  std::vector<double> sims(n);
+  for (size_t d = 0; d < n; ++d) sims[d] = v.Cosine(centroids_[d]);
+  double max_sim = *std::max_element(sims.begin(), sims.end());
+  double total = 0.0;
+  double temp = options_.softmax_temperature > 1e-9
+                    ? options_.softmax_temperature
+                    : 1e-9;
+  for (size_t d = 0; d < n; ++d) {
+    result[d] = std::exp((sims[d] - max_sim) / temp);
+    total += result[d];
+  }
+  for (double& r : result) r /= total;
+  return result;
+}
+
+}  // namespace mass

@@ -1,0 +1,44 @@
+// TF-IDF centroid classifier (Rocchio-style): the alternative InterestMiner
+// demonstrating the paper's "other interests mining methods [8], [9] can
+// also be plugged into our system".
+#pragma once
+
+#include <vector>
+
+#include "classify/interest_miner.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace mass {
+
+/// Classifies by cosine similarity to per-domain TF-IDF centroids.
+///
+/// The interest vector is the softmax of the similarity scores with a
+/// configurable temperature — sharper temperatures approach a hard argmax.
+class CentroidClassifier : public InterestMiner {
+ public:
+  struct Options {
+    double softmax_temperature = 0.1;
+    TokenizerOptions tokenizer;
+  };
+
+  CentroidClassifier() : CentroidClassifier(Options()) {}
+  explicit CentroidClassifier(Options options);
+
+  Status Train(const std::vector<LabeledDocument>& examples,
+               size_t num_domains) override;
+  std::vector<double> InterestVector(std::string_view text) const override;
+  size_t num_domains() const override { return centroids_.size(); }
+  std::string name() const override { return "tfidf-centroid"; }
+
+  /// Cosine similarity of `text` to domain `d`'s centroid; for tests.
+  double Similarity(std::string_view text, size_t d) const;
+
+ private:
+  Options options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  std::vector<SparseVector> centroids_;
+};
+
+}  // namespace mass

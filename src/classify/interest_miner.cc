@@ -1,0 +1,29 @@
+#include "classify/interest_miner.h"
+
+#include <algorithm>
+
+namespace mass {
+
+int InterestMiner::Predict(std::string_view text) const {
+  std::vector<double> iv = InterestVector(text);
+  if (iv.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(iv.begin(), iv.end()) - iv.begin());
+}
+
+std::vector<LabeledDocument> LabeledPostsFromCorpus(const Corpus& corpus,
+                                                    size_t max_per_domain) {
+  std::vector<LabeledDocument> out;
+  std::vector<size_t> per_domain;
+  for (const Post& p : corpus.posts()) {
+    if (p.true_domain < 0) continue;
+    size_t d = static_cast<size_t>(p.true_domain);
+    if (per_domain.size() <= d) per_domain.resize(d + 1, 0);
+    if (max_per_domain > 0 && per_domain[d] >= max_per_domain) continue;
+    ++per_domain[d];
+    out.push_back(LabeledDocument{p.title + " " + p.content, p.true_domain});
+  }
+  return out;
+}
+
+}  // namespace mass

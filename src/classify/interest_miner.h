@@ -1,0 +1,56 @@
+// InterestMiner: the pluggable interface that maps a text to a distribution
+// over interest domains — iv(b_i, d_k, C_t) in paper Eq. 5. MASS ships a
+// multinomial naive Bayes implementation (the paper's choice, ref [7]) and
+// a TF-IDF centroid alternative, matching "other interests mining methods
+// can also be plugged into our system".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// One labeled training example.
+struct LabeledDocument {
+  std::string text;
+  int domain = -1;
+};
+
+/// Interface: train on labeled documents, then produce per-domain
+/// probability vectors for unseen text.
+class InterestMiner {
+ public:
+  virtual ~InterestMiner() = default;
+
+  /// Trains on the given examples. `num_domains` fixes the output
+  /// dimensionality; every example's domain must lie in [0, num_domains).
+  virtual Status Train(const std::vector<LabeledDocument>& examples,
+                       size_t num_domains) = 0;
+
+  /// Returns a probability vector of length num_domains summing to 1.
+  /// Requires a successful Train() first.
+  virtual std::vector<double> InterestVector(std::string_view text) const = 0;
+
+  /// Argmax of InterestVector().
+  int Predict(std::string_view text) const;
+
+  /// Number of domains fixed at training time (0 before Train()).
+  virtual size_t num_domains() const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Builds a training set from the corpus posts that carry ground-truth
+/// domain labels (synthetic corpora always do). `max_per_domain` caps class
+/// imbalance; 0 means unlimited.
+std::vector<LabeledDocument> LabeledPostsFromCorpus(const Corpus& corpus,
+                                                    size_t max_per_domain = 0);
+
+}  // namespace mass

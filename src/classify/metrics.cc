@@ -1,0 +1,70 @@
+#include "classify/metrics.h"
+
+#include "common/string_util.h"
+
+namespace mass {
+
+ClassificationReport::ClassificationReport(size_t num_classes)
+    : num_classes_(num_classes),
+      matrix_(num_classes, std::vector<size_t>(num_classes, 0)) {}
+
+void ClassificationReport::Add(int truth, int predicted) {
+  if (truth < 0 || static_cast<size_t>(truth) >= num_classes_) return;
+  if (predicted < 0 || static_cast<size_t>(predicted) >= num_classes_) return;
+  ++matrix_[truth][predicted];
+  ++total_;
+  if (truth == predicted) ++correct_;
+}
+
+double ClassificationReport::Accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+double ClassificationReport::Precision(size_t cls) const {
+  size_t tp = matrix_[cls][cls];
+  size_t predicted = 0;
+  for (size_t t = 0; t < num_classes_; ++t) predicted += matrix_[t][cls];
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double ClassificationReport::Recall(size_t cls) const {
+  size_t tp = matrix_[cls][cls];
+  size_t actual = 0;
+  for (size_t p = 0; p < num_classes_; ++p) actual += matrix_[cls][p];
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ClassificationReport::F1(size_t cls) const {
+  double p = Precision(cls), r = Recall(cls);
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ClassificationReport::MacroF1() const {
+  if (num_classes_ == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) sum += F1(c);
+  return sum / static_cast<double>(num_classes_);
+}
+
+size_t ClassificationReport::Count(size_t truth, size_t predicted) const {
+  return matrix_[truth][predicted];
+}
+
+std::string ClassificationReport::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out = StrFormat("accuracy %.4f over %zu examples\n", Accuracy(),
+                              total_);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    std::string name = c < class_names.size() ? class_names[c]
+                                              : StrFormat("class%zu", c);
+    out += StrFormat("  %-14s P %.3f R %.3f F1 %.3f\n", name.c_str(),
+                     Precision(c), Recall(c), F1(c));
+  }
+  out += StrFormat("  macro-F1 %.4f\n", MacroF1());
+  return out;
+}
+
+}  // namespace mass

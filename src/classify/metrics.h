@@ -1,0 +1,39 @@
+// Classifier evaluation: accuracy, per-class precision/recall/F1, macro-F1,
+// and a confusion matrix. Used by tests and by bench_classifier (S3).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mass {
+
+/// Confusion-matrix based classification report.
+class ClassificationReport {
+ public:
+  explicit ClassificationReport(size_t num_classes);
+
+  /// Records one prediction.
+  void Add(int truth, int predicted);
+
+  size_t total() const { return total_; }
+  double Accuracy() const;
+  double Precision(size_t cls) const;
+  double Recall(size_t cls) const;
+  double F1(size_t cls) const;
+  double MacroF1() const;
+
+  /// matrix[truth][predicted].
+  size_t Count(size_t truth, size_t predicted) const;
+
+  /// Multi-line textual report with per-class rows.
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  size_t num_classes_;
+  size_t total_ = 0;
+  size_t correct_ = 0;
+  std::vector<std::vector<size_t>> matrix_;
+};
+
+}  // namespace mass

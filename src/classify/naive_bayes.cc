@@ -1,0 +1,116 @@
+#include "classify/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+NaiveBayesClassifier::NaiveBayesClassifier(NaiveBayesOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+namespace {
+
+// Appends "a_b" features for each adjacent unigram pair.
+void AppendBigrams(std::vector<std::string>* tokens) {
+  size_t n = tokens->size();
+  if (n < 2) return;
+  tokens->reserve(2 * n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    tokens->push_back((*tokens)[i] + "_" + (*tokens)[i + 1]);
+  }
+}
+
+}  // namespace
+
+Status NaiveBayesClassifier::Train(const std::vector<LabeledDocument>& examples,
+                                   size_t num_domains) {
+  if (num_domains == 0) {
+    return Status::InvalidArgument("num_domains must be positive");
+  }
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  num_domains_ = num_domains;
+  vocab_ = Vocabulary();
+  term_counts_.assign(num_domains, {});
+  domain_totals_.assign(num_domains, 0.0);
+  std::vector<size_t> doc_counts(num_domains, 0);
+
+  for (const LabeledDocument& ex : examples) {
+    if (ex.domain < 0 || static_cast<size_t>(ex.domain) >= num_domains) {
+      return Status::InvalidArgument(
+          StrFormat("example domain %d out of range [0,%zu)", ex.domain,
+                    num_domains));
+    }
+    std::vector<std::string> tokens = tokenizer_.Tokenize(ex.text);
+    if (options_.use_bigrams) AppendBigrams(&tokens);
+    vocab_.AddDocument(tokens);
+    auto& counts = term_counts_[ex.domain];
+    for (const std::string& tok : tokens) {
+      TermId id = vocab_.GetOrAdd(tok);
+      if (id >= counts.size()) counts.resize(vocab_.size(), 0.0);
+      counts[id] += 1.0;
+      domain_totals_[ex.domain] += 1.0;
+    }
+    ++doc_counts[ex.domain];
+  }
+  // Equalize row widths after training so lookups never bounds-fail.
+  for (auto& counts : term_counts_) counts.resize(vocab_.size(), 0.0);
+
+  log_prior_.assign(num_domains, 0.0);
+  for (size_t d = 0; d < num_domains; ++d) {
+    // Laplace-smoothed priors keep empty classes finite.
+    log_prior_[d] = std::log(
+        (static_cast<double>(doc_counts[d]) + 1.0) /
+        (static_cast<double>(examples.size()) + static_cast<double>(num_domains)));
+  }
+  return Status::OK();
+}
+
+double NaiveBayesClassifier::LogLikelihood(TermId term, size_t domain) const {
+  double count = term < term_counts_[domain].size()
+                     ? term_counts_[domain][term]
+                     : 0.0;
+  double denom = domain_totals_[domain] +
+                 options_.smoothing * static_cast<double>(vocab_.size());
+  return std::log((count + options_.smoothing) / denom);
+}
+
+double NaiveBayesClassifier::LogPrior(size_t domain) const {
+  return log_prior_[domain];
+}
+
+std::vector<double> NaiveBayesClassifier::InterestVector(
+    std::string_view text) const {
+  std::vector<double> result(num_domains_,
+                             num_domains_ ? 1.0 / num_domains_ : 0.0);
+  if (num_domains_ == 0) return result;
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  if (options_.use_bigrams) AppendBigrams(&tokens);
+
+  std::vector<double> log_post(num_domains_);
+  for (size_t d = 0; d < num_domains_; ++d) log_post[d] = log_prior_[d];
+  bool any_known = false;
+  for (const std::string& tok : tokens) {
+    TermId id = vocab_.Find(tok);
+    if (id == kInvalidTerm) continue;
+    any_known = true;
+    for (size_t d = 0; d < num_domains_; ++d) {
+      log_post[d] += LogLikelihood(id, d);
+    }
+  }
+  if (!any_known && tokens.empty()) return result;  // uniform for empty text
+
+  double max_lp = *std::max_element(log_post.begin(), log_post.end());
+  double total = 0.0;
+  for (size_t d = 0; d < num_domains_; ++d) {
+    result[d] = std::exp(log_post[d] - max_lp);
+    total += result[d];
+  }
+  for (double& v : result) v /= total;
+  return result;
+}
+
+}  // namespace mass

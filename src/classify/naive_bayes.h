@@ -1,0 +1,51 @@
+// Multinomial naive Bayes text classifier with Laplace smoothing — the
+// paper's method for generating iv(b_i, d_k, C_t) (§II, ref [7]).
+#pragma once
+
+#include <vector>
+
+#include "classify/interest_miner.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace mass {
+
+/// Naive Bayes options.
+struct NaiveBayesOptions {
+  double smoothing = 1.0;  ///< Laplace/Lidstone pseudo-count
+  /// Add adjacent-token bigram features ("economic_depression") on top of
+  /// the unigrams. Helps when single words are ambiguous across domains.
+  bool use_bigrams = false;
+  TokenizerOptions tokenizer;
+};
+
+/// Multinomial naive Bayes over stemmed unigram features.
+///
+/// Posterior probabilities are computed in log space and renormalized with
+/// the max-subtraction trick, so long documents do not underflow.
+class NaiveBayesClassifier : public InterestMiner {
+ public:
+  explicit NaiveBayesClassifier(NaiveBayesOptions options = {});
+
+  Status Train(const std::vector<LabeledDocument>& examples,
+               size_t num_domains) override;
+  std::vector<double> InterestVector(std::string_view text) const override;
+  size_t num_domains() const override { return num_domains_; }
+  std::string name() const override { return "naive-bayes"; }
+
+  /// log P(term | domain) with smoothing; exposed for tests.
+  double LogLikelihood(TermId term, size_t domain) const;
+  /// log P(domain); exposed for tests.
+  double LogPrior(size_t domain) const;
+
+ private:
+  NaiveBayesOptions options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  size_t num_domains_ = 0;
+  std::vector<double> log_prior_;                 // [domain]
+  std::vector<std::vector<double>> term_counts_;  // [domain][term]
+  std::vector<double> domain_totals_;             // [domain] total term count
+};
+
+}  // namespace mass

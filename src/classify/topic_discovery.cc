@@ -1,0 +1,236 @@
+#include "classify/topic_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+TopicDiscovery::TopicDiscovery(TopicDiscoveryOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+double TopicDiscovery::Cosine(const SparseVector& doc, size_t topic) const {
+  // Documents and centroids are L2-normalized, so cosine = dot.
+  const std::vector<double>& c = centroids_[topic];
+  double dot = 0.0;
+  for (const auto& [term, weight] : doc.entries) {
+    if (term < c.size()) dot += weight * c[term];
+  }
+  return dot;
+}
+
+Status TopicDiscovery::Train(const std::vector<LabeledDocument>& examples,
+                             size_t num_domains) {
+  if (num_domains == 0) {
+    return Status::InvalidArgument("num_domains must be positive");
+  }
+  if (examples.size() < num_domains) {
+    return Status::InvalidArgument(
+        StrFormat("need at least %zu documents for %zu topics",
+                  num_domains, num_domains));
+  }
+
+  // Vectorize.
+  vocab_ = Vocabulary();
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(examples.size());
+  for (const LabeledDocument& ex : examples) {
+    tokenized.push_back(tokenizer_.Tokenize(ex.text));
+    vocab_.AddDocument(tokenized.back());
+  }
+  std::vector<SparseVector> docs;
+  docs.reserve(examples.size());
+  for (const auto& toks : tokenized) {
+    docs.push_back(vocab_.TfIdfVector(toks));
+  }
+  const size_t n = docs.size();
+  const size_t v = vocab_.size();
+
+  // One full k-means++ seeding + Lloyd run. Returns the objective (total
+  // intra-cluster cosine similarity); outputs into the member fields.
+  auto run_once = [&](uint64_t seed, std::vector<std::vector<double>>* cents,
+                      std::vector<int>* assign, int* iters,
+                      bool* conv) -> double {
+    Rng rng(seed);
+    // k-means++ seeding over the document vectors.
+    std::vector<size_t> seeds;
+    seeds.push_back(rng.NextUint64(n));
+    std::vector<double> min_dist(n, 2.0);  // cosine distance in [0, 2]
+    while (seeds.size() < num_domains) {
+      size_t last = seeds.back();
+      for (size_t i = 0; i < n; ++i) {
+        double d = 1.0 - docs[i].Cosine(docs[last]);
+        min_dist[i] = std::min(min_dist[i], d);
+      }
+      std::vector<double> weights(n);
+      for (size_t i = 0; i < n; ++i) weights[i] = min_dist[i] * min_dist[i];
+      seeds.push_back(rng.NextDiscrete(weights));
+    }
+    cents->assign(num_domains, std::vector<double>(v, 0.0));
+    for (size_t k = 0; k < num_domains; ++k) {
+      for (const auto& [term, weight] : docs[seeds[k]].entries) {
+        (*cents)[k][term] = weight;
+      }
+    }
+
+    auto cosine = [&](const SparseVector& doc, size_t topic) {
+      const std::vector<double>& c = (*cents)[topic];
+      double dot = 0.0;
+      for (const auto& [term, weight] : doc.entries) {
+        if (term < c.size()) dot += weight * c[term];
+      }
+      return dot;
+    };
+
+    assign->assign(n, -1);
+    *conv = false;
+    for (*iters = 0; *iters < options_.max_iterations; ++*iters) {
+      bool changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        size_t best = 0;
+        double best_sim = -2.0;
+        for (size_t k = 0; k < num_domains; ++k) {
+          double sim = cosine(docs[i], k);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = k;
+          }
+        }
+        if ((*assign)[i] != static_cast<int>(best)) {
+          (*assign)[i] = static_cast<int>(best);
+          changed = true;
+        }
+      }
+      if (!changed) {
+        *conv = true;
+        break;
+      }
+      // Recompute centroids as normalized means; an emptied cluster is
+      // re-seeded with a random document.
+      for (auto& c : *cents) std::fill(c.begin(), c.end(), 0.0);
+      std::vector<size_t> counts(num_domains, 0);
+      for (size_t i = 0; i < n; ++i) {
+        auto& c = (*cents)[(*assign)[i]];
+        for (const auto& [term, weight] : docs[i].entries) c[term] += weight;
+        ++counts[(*assign)[i]];
+      }
+      for (size_t k = 0; k < num_domains; ++k) {
+        if (counts[k] == 0) {
+          size_t replacement = rng.NextUint64(n);
+          for (const auto& [term, weight] : docs[replacement].entries) {
+            (*cents)[k][term] = weight;
+          }
+          continue;
+        }
+        double norm = 0.0;
+        for (double x : (*cents)[k]) norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm > 0.0) {
+          for (double& x : (*cents)[k]) x /= norm;
+        }
+      }
+    }
+    double objective = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      objective += cosine(docs[i], static_cast<size_t>((*assign)[i]));
+    }
+    return objective;
+  };
+
+  // Keep the best of several restarts.
+  double best_objective = -1.0;
+  int restarts = std::max(options_.num_restarts, 1);
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<std::vector<double>> cents;
+    std::vector<int> assign;
+    int iters = 0;
+    bool conv = false;
+    double objective = run_once(options_.seed + static_cast<uint64_t>(r) * 7919,
+                                &cents, &assign, &iters, &conv);
+    if (objective > best_objective) {
+      best_objective = objective;
+      centroids_ = std::move(cents);
+      assignments_ = std::move(assign);
+      iterations_ = iters;
+      converged_ = conv;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> TopicDiscovery::InterestVector(
+    std::string_view text) const {
+  const size_t k = centroids_.size();
+  std::vector<double> result(k, k ? 1.0 / static_cast<double>(k) : 0.0);
+  if (k == 0) return result;
+  SparseVector doc = vocab_.TfIdfVector(tokenizer_.Tokenize(text));
+  if (doc.entries.empty()) return result;
+  std::vector<double> sims(k);
+  for (size_t t = 0; t < k; ++t) sims[t] = Cosine(doc, t);
+  double max_sim = *std::max_element(sims.begin(), sims.end());
+  double temp = std::max(options_.softmax_temperature, 1e-9);
+  double total = 0.0;
+  for (size_t t = 0; t < k; ++t) {
+    result[t] = std::exp((sims[t] - max_sim) / temp);
+    total += result[t];
+  }
+  for (double& r : result) r /= total;
+  return result;
+}
+
+std::vector<std::pair<std::string, double>> TopicDiscovery::TopTerms(
+    size_t topic, size_t k) const {
+  std::vector<std::pair<std::string, double>> terms;
+  const std::vector<double>& c = centroids_[topic];
+  for (TermId t = 0; t < c.size(); ++t) {
+    if (c[t] > 0.0) terms.emplace_back(vocab_.token(t), c[t]);
+  }
+  std::sort(terms.begin(), terms.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (terms.size() > k) terms.resize(k);
+  return terms;
+}
+
+double MatchedClusterAccuracy(const std::vector<int>& assignments,
+                              const std::vector<int>& truth,
+                              size_t num_classes) {
+  if (assignments.size() != truth.size() || assignments.empty()) return 0.0;
+  // Contingency counts cluster x class.
+  std::vector<std::vector<size_t>> counts(
+      num_classes, std::vector<size_t>(num_classes, 0));
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    int a = assignments[i], t = truth[i];
+    if (a < 0 || t < 0 || static_cast<size_t>(a) >= num_classes ||
+        static_cast<size_t>(t) >= num_classes) {
+      continue;
+    }
+    ++counts[a][t];
+  }
+  // Greedy one-to-one matching by descending overlap.
+  struct Cell {
+    size_t cluster, cls, count;
+  };
+  std::vector<Cell> cells;
+  for (size_t a = 0; a < num_classes; ++a) {
+    for (size_t t = 0; t < num_classes; ++t) {
+      if (counts[a][t] > 0) cells.push_back({a, t, counts[a][t]});
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const Cell& x, const Cell& y) {
+    return x.count > y.count;
+  });
+  std::vector<bool> cluster_used(num_classes, false), class_used(num_classes, false);
+  size_t matched = 0;
+  for (const Cell& c : cells) {
+    if (cluster_used[c.cluster] || class_used[c.cls]) continue;
+    cluster_used[c.cluster] = true;
+    class_used[c.cls] = true;
+    matched += c.count;
+  }
+  return static_cast<double>(matched) / static_cast<double>(assignments.size());
+}
+
+}  // namespace mass

@@ -1,0 +1,81 @@
+// Unsupervised topic discovery — the paper's "[domains] automatically
+// discovered using existing topic discovery techniques [6]" option.
+// Spherical k-means over L2-normalized TF-IDF post vectors with k-means++
+// seeding; the topic posterior is a temperature softmax over centroid
+// cosines, so the result plugs into MassEngine exactly like the
+// supervised miners (it implements InterestMiner; Train() ignores the
+// labels and clusters the texts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify/interest_miner.h"
+#include "common/rng.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace mass {
+
+/// Topic discovery parameters.
+struct TopicDiscoveryOptions {
+  int max_iterations = 50;
+  /// Independent k-means++ restarts; the run with the highest total
+  /// intra-cluster similarity wins. Protects against bad local optima.
+  int num_restarts = 4;
+  uint64_t seed = 5;
+  /// Softmax temperature mapping cosine similarities to a posterior.
+  double softmax_temperature = 0.1;
+  TokenizerOptions tokenizer;
+};
+
+/// Spherical k-means topic model.
+class TopicDiscovery : public InterestMiner {
+ public:
+  TopicDiscovery() : TopicDiscovery(TopicDiscoveryOptions()) {}
+  explicit TopicDiscovery(TopicDiscoveryOptions options);
+
+  /// Clusters the example texts into `num_domains` topics. Labels in
+  /// `examples` are ignored — discovery is unsupervised.
+  Status Train(const std::vector<LabeledDocument>& examples,
+               size_t num_domains) override;
+
+  /// Posterior over discovered topics for `text` (sums to 1).
+  std::vector<double> InterestVector(std::string_view text) const override;
+
+  size_t num_domains() const override { return centroids_.size(); }
+  std::string name() const override { return "kmeans-topics"; }
+
+  /// Hard cluster assignment of each training document (by input order).
+  const std::vector<int>& assignments() const { return assignments_; }
+
+  /// k-means iterations actually run and whether assignment stabilized.
+  int iterations() const { return iterations_; }
+  bool converged() const { return converged_; }
+
+  /// The `k` highest-weight terms of one topic centroid — the topic's
+  /// human-readable description.
+  std::vector<std::pair<std::string, double>> TopTerms(size_t topic,
+                                                       size_t k) const;
+
+ private:
+  double Cosine(const SparseVector& doc, size_t topic) const;
+
+  TopicDiscoveryOptions options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  std::vector<std::vector<double>> centroids_;  // dense, L2-normalized
+  std::vector<int> assignments_;
+  int iterations_ = 0;
+  bool converged_ = false;
+};
+
+/// Greedy one-to-one matching of discovered topics to ground-truth labels
+/// by overlap count; returns accuracy under that matching ("cluster
+/// purity with matching"). Used to evaluate discovery quality against the
+/// generator's planted domains.
+double MatchedClusterAccuracy(const std::vector<int>& assignments,
+                              const std::vector<int>& truth,
+                              size_t num_classes);
+
+}  // namespace mass

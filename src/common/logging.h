@@ -1,0 +1,48 @@
+// Minimal leveled logger. Defaults to warnings-and-above on stderr so that
+// library users are not spammed; examples and benches can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mass {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MASS_LOG(level)                                              \
+  ::mass::internal::LogMessage(::mass::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+}  // namespace mass

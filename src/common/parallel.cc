@@ -1,0 +1,31 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace mass {
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t workers = num_threads > 1 ? static_cast<size_t>(num_threads) : 1;
+  // Below ~1k items the thread startup dominates any win.
+  if (workers <= 1 || n < 1024) {
+    fn(0, n);
+    return;
+  }
+  workers = std::min(workers, n);
+  const size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace mass

@@ -1,0 +1,18 @@
+// Chunked parallel-for over an index range, used by the analyzer for the
+// embarrassingly parallel per-post / per-comment stages (classification,
+// sentiment). Runs inline when a single thread is requested or the range
+// is too small to amortize thread startup.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mass {
+
+/// Invokes `fn(begin, end)` over disjoint chunks covering [0, n), from up
+/// to `num_threads` worker threads. `fn` must be safe to call concurrently
+/// on disjoint ranges. Blocks until all chunks complete.
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace mass

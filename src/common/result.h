@@ -1,0 +1,74 @@
+// Result<T>: a value-or-Status holder in the Arrow style.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mass {
+
+/// Holds either a value of type T or an error Status.
+///
+/// A default-constructed Result is an Internal error ("uninitialized").
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  /// Implicit from a value: `return my_value;`
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+/// Unwraps a Result into `lhs`, propagating errors.
+#define MASS_ASSIGN_OR_RETURN(lhs, expr)                 \
+  MASS_ASSIGN_OR_RETURN_IMPL_(                           \
+      MASS_RESULT_CONCAT_(_mass_result_, __LINE__), lhs, expr)
+
+#define MASS_RESULT_CONCAT_INNER_(a, b) a##b
+#define MASS_RESULT_CONCAT_(a, b) MASS_RESULT_CONCAT_INNER_(a, b)
+#define MASS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace mass

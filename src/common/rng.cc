@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mass {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.28318530717958647692;
+  cached_gaussian_ = mag * std::sin(two_pi * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double exponent) {
+  assert(n > 0);
+  // Inverse-CDF over explicit weights would be O(n) per draw; for the sizes
+  // MASS uses (<= a few thousand ranks) a cached-free rejection scheme keeps
+  // draws O(1) amortized without per-instance state.
+  // Rejection sampling per Devroye: works for exponent > 0.
+  if (n == 1) return 0;
+  const double e = exponent;
+  if (e <= 0.0) return NextUint64(n);
+  for (;;) {
+    // Sample from the continuous envelope 1/x^e over [1, n+1).
+    double u = NextDouble();
+    double x;
+    if (std::abs(e - 1.0) < 1e-9) {
+      x = std::pow(static_cast<double>(n) + 1.0, u);
+    } else {
+      double a = 1.0 - e;
+      double top = std::pow(static_cast<double>(n) + 1.0, a);
+      x = std::pow(u * (top - 1.0) + 1.0, 1.0 / a);
+    }
+    size_t k = static_cast<size_t>(x);  // floor, in [1, n]
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    // Accept with ratio pmf(k)/envelope(x).
+    double ratio = std::pow(static_cast<double>(k) / x, e);
+    if (NextDouble() < ratio) return k - 1;
+  }
+}
+
+int Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation, clamped at zero.
+    double v = NextGaussian(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double l = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+}  // namespace mass

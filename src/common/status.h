@@ -1,0 +1,118 @@
+// Status: lightweight error-handling type in the RocksDB/Arrow style.
+//
+// Functions that can fail return a Status (or a Result<T>, see result.h)
+// instead of throwing. Statuses carry a code and a human-readable message.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mass {
+
+/// Error categories used across the MASS library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kOutOfRange = 6,
+  kFailedPrecondition = 7,
+  kUnimplemented = 8,
+  kAborted = 9,
+  kInternal = 10,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation: a code plus an optional message.
+///
+/// The OK status carries no allocation; error statuses allocate only for
+/// their message. Status is cheap to move and to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" for errors, "OK" otherwise.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates an error status from an expression, RocksDB-style.
+#define MASS_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::mass::Status _mass_status = (expr);       \
+    if (!_mass_status.ok()) return _mass_status; \
+  } while (0)
+
+}  // namespace mass

@@ -1,0 +1,48 @@
+// Fixed-size worker pool used by the crawler module (the paper's crawler is
+// multi-threaded) and by bulk analysis stages.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mass {
+
+/// A minimal fixed-size thread pool.
+///
+/// Tasks are arbitrary `std::function<void()>`; `WaitIdle()` blocks until the
+/// queue drains and all workers are parked. The destructor waits for queued
+/// work to finish.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when tasks arrive / shutdown
+  std::condition_variable idle_cv_;   // signalled when a task finishes
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mass

@@ -1,0 +1,75 @@
+// All tunables of the MASS influence model in one place. The demo paper
+// exposes these through a "toolbar to set personalized parameters for
+// modeling general influence and domain influence" (§IV); the facet
+// toggles additionally drive the ablation bench (A3).
+#pragma once
+
+#include "linkanalysis/pagerank.h"
+#include "sentiment/sentiment_analyzer.h"
+
+namespace mass {
+
+/// How the General-Links authority GL(b_i) of Eq. 1 is computed. The
+/// paper cites both PageRank [3] and HITS [4] as candidate link-authority
+/// measures; a raw in-link count is the naive baseline.
+enum class GlMethod {
+  kPageRank,     ///< default; the paper's "similar to ... PageRank"
+  kHitsAuthority,///< Kleinberg HITS authority score
+  kInlinkCount,  ///< degree centrality (naive baseline)
+};
+
+/// Parameters of Eq. 1-5 plus solver controls.
+struct EngineOptions {
+  /// Eq. 1: weight of Accumulated-Post influence vs General-Links
+  /// authority. Paper default 0.5.
+  double alpha = 0.5;
+
+  /// Eq. 2: weight of a post's quality score vs its comment score.
+  /// Paper default 0.6 "according to empirical study".
+  double beta = 0.6;
+
+  /// SF values (paper: positive 1.0, negative 0.1, neutral 0.5).
+  SentimentFactorOptions sentiment;
+
+  /// Novelty assigned to carbon-copy posts; the paper uses "a value
+  /// between 0 and 0.1". Original posts get 1.0.
+  double novelty_copy_value = 0.1;
+
+  // ---- facet toggles (ablation bench A3) ----
+  /// Citation facet: weight each comment by the commenter's influence.
+  /// When off, every commenter counts 1 (the WSDM'08 style count model).
+  bool use_citation = true;
+  /// Attitude facet: scale comments by SF. When off, SF = 1 for all.
+  bool use_attitude = true;
+  /// Novelty facet: penalize carbon copies. When off, novelty = 1 always.
+  bool use_novelty = true;
+  /// Normalize each comment by the commenter's total comment count TC.
+  bool use_tc_normalization = true;
+
+  /// General-Links computation (PageRank over the blogger link graph).
+  GlMethod gl_method = GlMethod::kPageRank;
+  PageRankOptions pagerank;
+
+  /// Optional recency weighting (an extension beyond the paper): each
+  /// post's and comment's contribution decays exponentially with its age,
+  /// with this half-life in days. 0 disables recency weighting (the
+  /// paper's behaviour). Ages are measured from the newest timestamp in
+  /// the corpus, so the weighting is corpus-relative.
+  double recency_half_life_days = 0.0;
+
+  /// Worker threads for the per-post classification and per-comment
+  /// sentiment stages (embarrassingly parallel; the fixed-point solver
+  /// itself is sequential). 1 = run inline.
+  int analyzer_threads = 1;
+
+  // ---- fixed-point solver (Eq. 1-4 are recursive through Inf(b_j)) ----
+  int max_iterations = 100;
+  /// Convergence: max per-blogger absolute change of the mean-normalized
+  /// influence below this ends iteration.
+  double tolerance = 1e-9;
+  /// Fraction of the previous iterate blended into the new one (0 = pure
+  /// Jacobi). Useful if a corpus produces oscillation.
+  double damping = 0.0;
+};
+
+}  // namespace mass

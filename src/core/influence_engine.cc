@@ -1,0 +1,352 @@
+#include "core/influence_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "core/quality.h"
+#include "core/topk.h"
+#include "linkanalysis/graph.h"
+#include "linkanalysis/hits.h"
+#include "sentiment/sentiment_analyzer.h"
+
+namespace mass {
+
+namespace {
+
+// Rescales v so its mean is 1 (influence is a ranking signal; like
+// PageRank it is scale-free, and a fixed scale keeps AP and GL
+// commensurate across iterations). An all-zero vector — possible at the
+// degenerate corner alpha = 1, beta = 0, where nothing seeds the comment
+// recursion — becomes uniform, which both restarts the iteration and is
+// the correct "no information" answer.
+void MeanNormalize(std::vector<double>* v) {
+  double sum = 0.0;
+  for (double x : *v) sum += x;
+  if (v->empty()) return;
+  if (sum <= 0.0) {
+    std::fill(v->begin(), v->end(), 1.0);
+    return;
+  }
+  double scale = static_cast<double>(v->size()) / sum;
+  for (double& x : *v) x *= scale;
+}
+
+}  // namespace
+
+MassEngine::MassEngine(const Corpus* corpus, EngineOptions options)
+    : corpus_(corpus), options_(options) {}
+
+Status MassEngine::ComputeGeneralLinks() {
+  Graph graph = Graph::FromCorpusLinks(*corpus_);
+  switch (options_.gl_method) {
+    case GlMethod::kPageRank: {
+      MASS_ASSIGN_OR_RETURN(PageRankResult pr,
+                            ComputePageRank(graph, options_.pagerank));
+      stats_.pagerank_iterations = pr.iterations;
+      gl_ = std::move(pr.scores);
+      break;
+    }
+    case GlMethod::kHitsAuthority: {
+      MASS_ASSIGN_OR_RETURN(HitsResult hits, ComputeHits(graph));
+      stats_.pagerank_iterations = hits.iterations;
+      gl_ = std::move(hits.authority);
+      break;
+    }
+    case GlMethod::kInlinkCount: {
+      gl_.assign(corpus_->num_bloggers(), 0.0);
+      for (size_t b = 0; b < gl_.size(); ++b) {
+        gl_[b] = static_cast<double>(
+            graph.InDegree(static_cast<uint32_t>(b)));
+      }
+      stats_.pagerank_iterations = 0;
+      break;
+    }
+  }
+  MeanNormalize(&gl_);  // authority is scale-free; fix mean at 1
+  return Status::OK();
+}
+
+void MassEngine::ComputeRecency() {
+  post_recency_.assign(corpus_->num_posts(), 1.0);
+  comment_recency_.assign(corpus_->num_comments(), 1.0);
+  if (options_.recency_half_life_days <= 0.0) return;
+  int64_t newest = 0;
+  for (const Post& p : corpus_->posts()) newest = std::max(newest, p.timestamp);
+  for (const Comment& c : corpus_->comments()) {
+    newest = std::max(newest, c.timestamp);
+  }
+  const double half_life_secs = options_.recency_half_life_days * 86'400.0;
+  auto decay = [&](int64_t t) {
+    double age = static_cast<double>(newest - t);
+    if (age <= 0.0) return 1.0;
+    return std::exp2(-age / half_life_secs);
+  };
+  for (const Post& p : corpus_->posts()) {
+    post_recency_[p.id] = decay(p.timestamp);
+  }
+  for (const Comment& c : corpus_->comments()) {
+    comment_recency_[c.id] = decay(c.timestamp);
+  }
+}
+
+void MassEngine::ComputeQuality() {
+  const size_t np = corpus_->num_posts();
+  // Text stage (option-independent, cached across Retune): lengths,
+  // normalized by the corpus mean, and copy-indicator counts.
+  if (post_length_norm_.size() != np) {
+    post_length_norm_.assign(np, 0.0);
+    post_copy_indicators_.assign(np, 0);
+    double total_len = 0.0;
+    for (const Post& p : corpus_->posts()) {
+      post_length_norm_[p.id] = static_cast<double>(PostLength(p));
+      total_len += post_length_norm_[p.id];
+      post_copy_indicators_[p.id] =
+          CountCopyIndicators(p.title) + CountCopyIndicators(p.content);
+    }
+    double mean_len = np > 0 ? total_len / static_cast<double>(np) : 1.0;
+    if (mean_len <= 0.0) mean_len = 1.0;
+    for (double& l : post_length_norm_) l /= mean_len;
+  }
+  // Option-dependent derivation.
+  NoveltyOptions novelty_opts;
+  novelty_opts.copy_value = options_.novelty_copy_value;
+  post_quality_.assign(np, 0.0);
+  for (PostId p = 0; p < np; ++p) {
+    double novelty = 1.0;
+    if (options_.use_novelty && post_copy_indicators_[p] > 0) {
+      novelty = std::max(
+          novelty_opts.copy_floor,
+          novelty_opts.copy_value -
+              novelty_opts.per_extra_indicator *
+                  static_cast<double>(post_copy_indicators_[p] - 1));
+    }
+    post_quality_[p] = post_length_norm_[p] * novelty;
+  }
+}
+
+void MassEngine::ComputeSentiment() {
+  const size_t nc = corpus_->num_comments();
+  // Text stage (cached): lexicon classification of every comment.
+  if (comment_sentiment_.size() != nc) {
+    comment_sentiment_.assign(nc, 0);
+    SentimentAnalyzer analyzer;
+    ParallelFor(nc, options_.analyzer_threads,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const Comment& c =
+                        corpus_->comment(static_cast<CommentId>(i));
+                    comment_sentiment_[c.id] =
+                        static_cast<int>(analyzer.Classify(c.text));
+                  }
+                });
+  }
+  // Option-dependent SF mapping.
+  comment_sf_.assign(nc, options_.sentiment.neutral);
+  if (!options_.use_attitude) {
+    std::fill(comment_sf_.begin(), comment_sf_.end(), 1.0);
+    return;
+  }
+  for (size_t i = 0; i < nc; ++i) {
+    comment_sf_[i] = SentimentAnalyzer::FactorFor(
+        static_cast<Sentiment>(comment_sentiment_[i]), options_.sentiment);
+  }
+}
+
+Status MassEngine::ComputeInterests(const InterestMiner* miner) {
+  const size_t np = corpus_->num_posts();
+  post_interests_.assign(
+      np, std::vector<double>(num_domains_,
+                              num_domains_ ? 1.0 / num_domains_ : 0.0));
+  if (miner != nullptr) {
+    if (miner->num_domains() != num_domains_) {
+      return Status::FailedPrecondition(
+          "miner domain count does not match num_domains");
+    }
+    // InterestVector is const and stateless per call, so posts can be
+    // classified from several threads.
+    ParallelFor(corpus_->num_posts(), options_.analyzer_threads,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const Post& p = corpus_->post(static_cast<PostId>(i));
+                    post_interests_[p.id] =
+                        miner->InterestVector(p.title + " " + p.content);
+                  }
+                });
+    return Status::OK();
+  }
+  // Ground-truth fallback: one-hot on the generator's planted domain.
+  for (const Post& p : corpus_->posts()) {
+    if (p.true_domain < 0 ||
+        static_cast<size_t>(p.true_domain) >= num_domains_) {
+      return Status::FailedPrecondition(
+          "no miner given and a post lacks a usable ground-truth domain");
+    }
+    std::fill(post_interests_[p.id].begin(), post_interests_[p.id].end(), 0.0);
+    post_interests_[p.id][p.true_domain] = 1.0;
+  }
+  return Status::OK();
+}
+
+void MassEngine::SolveInfluence() {
+  const size_t nb = corpus_->num_bloggers();
+  const size_t np = corpus_->num_posts();
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+
+  post_influence_.assign(np, 0.0);
+  ap_.assign(nb, 0.0);
+
+  // Initial iterate: quality-only posts, Eq. 1 with CommentScore = 0.
+  influence_.assign(nb, 0.0);
+  for (const Post& p : corpus_->posts()) {
+    ap_[p.author] += beta * post_quality_[p.id] * post_recency_[p.id];
+  }
+  for (size_t b = 0; b < nb; ++b) {
+    influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+  }
+  MeanNormalize(&influence_);
+
+  std::vector<double> next(nb, 0.0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(ap_.begin(), ap_.end(), 0.0);
+    for (const Post& p : corpus_->posts()) {
+      // Eq. 3: CommentScore = sum_j Inf(b_j) * SF / TC(b_j).
+      double comment_score = 0.0;
+      for (CommentId cid : corpus_->CommentsOn(p.id)) {
+        const Comment& c = corpus_->comment(cid);
+        double commenter_inf =
+            options_.use_citation ? influence_[c.commenter] : 1.0;
+        double sf = comment_sf_[cid];
+        double tc = options_.use_tc_normalization
+                        ? static_cast<double>(
+                              corpus_->TotalComments(c.commenter))
+                        : 1.0;
+        if (tc <= 0.0) tc = 1.0;
+        comment_score += commenter_inf * sf * comment_recency_[cid] / tc;
+      }
+      // Eq. 4 (with the optional recency extension on the quality term).
+      double inf_post =
+          beta * post_quality_[p.id] * post_recency_[p.id] +
+          (1.0 - beta) * comment_score;
+      post_influence_[p.id] = inf_post;
+      ap_[p.author] += inf_post;
+    }
+    // Eq. 1.
+    for (size_t b = 0; b < nb; ++b) {
+      next[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+    }
+    MeanNormalize(&next);
+    if (options_.damping > 0.0) {
+      for (size_t b = 0; b < nb; ++b) {
+        next[b] = (1.0 - options_.damping) * next[b] +
+                  options_.damping * influence_[b];
+      }
+    }
+    double delta = 0.0;
+    for (size_t b = 0; b < nb; ++b) {
+      delta = std::max(delta, std::abs(next[b] - influence_[b]));
+    }
+    influence_.swap(next);
+    stats_.iterations = iter + 1;
+    stats_.final_delta = delta;
+    if (delta < options_.tolerance) {
+      stats_.converged = true;
+      break;
+    }
+  }
+}
+
+Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
+  if (!corpus_->indexes_built()) {
+    return Status::FailedPrecondition("corpus indexes not built");
+  }
+  if (num_domains == 0) {
+    return Status::InvalidArgument("num_domains must be positive");
+  }
+  if (options_.alpha < 0.0 || options_.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (options_.beta < 0.0 || options_.beta > 1.0) {
+    return Status::InvalidArgument("beta must lie in [0, 1]");
+  }
+  if (corpus_->num_bloggers() == 0) {
+    return Status::InvalidArgument("corpus has no bloggers");
+  }
+  num_domains_ = num_domains;
+
+  MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  ComputeQuality();
+  ComputeRecency();
+  ComputeSentiment();
+  MASS_RETURN_IF_ERROR(ComputeInterests(miner));
+  SolveInfluence();
+  ComputeDomainVectors();
+
+  analyzed_ = true;
+  return Status::OK();
+}
+
+void MassEngine::ComputeDomainVectors() {
+  // Eq. 5: Inf(b_i, C_t) = sum_k Inf(b_i, d_k) * iv(b_i, d_k, C_t).
+  domain_influence_.assign(corpus_->num_bloggers(),
+                           std::vector<double>(num_domains_, 0.0));
+  for (const Post& p : corpus_->posts()) {
+    const std::vector<double>& iv = post_interests_[p.id];
+    double inf_post = post_influence_[p.id];
+    auto& vec = domain_influence_[p.author];
+    for (size_t t = 0; t < num_domains_; ++t) vec[t] += inf_post * iv[t];
+  }
+}
+
+Status MassEngine::Retune(const EngineOptions& options) {
+  if (!analyzed_) {
+    return Status::FailedPrecondition("Retune requires a prior Analyze");
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (options.beta < 0.0 || options.beta > 1.0) {
+    return Status::InvalidArgument("beta must lie in [0, 1]");
+  }
+  options_ = options;
+  stats_ = SolveStats();
+  // Interest vectors (post_interests_) are corpus-derived and kept; the
+  // cached text-analysis results make every stage below cheap.
+  MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  ComputeQuality();
+  ComputeRecency();
+  ComputeSentiment();
+  SolveInfluence();
+  ComputeDomainVectors();
+  return Status::OK();
+}
+
+std::vector<ScoredBlogger> MassEngine::TopKGeneral(size_t k) const {
+  return TopKByScore(influence_, k);
+}
+
+std::vector<ScoredBlogger> MassEngine::TopKDomain(size_t domain,
+                                                  size_t k) const {
+  std::vector<double> scores(corpus_->num_bloggers());
+  for (size_t b = 0; b < scores.size(); ++b) {
+    scores[b] = domain_influence_[b][domain];
+  }
+  return TopKByScore(scores, k);
+}
+
+std::vector<ScoredBlogger> MassEngine::TopKWeighted(
+    const std::vector<double>& weights, size_t k) const {
+  std::vector<double> scores(corpus_->num_bloggers(), 0.0);
+  size_t nd = std::min(weights.size(), num_domains_);
+  for (size_t b = 0; b < scores.size(); ++b) {
+    double dot = 0.0;
+    for (size_t t = 0; t < nd; ++t) {
+      dot += domain_influence_[b][t] * weights[t];
+    }
+    scores[b] = dot;
+  }
+  return TopKByScore(scores, k);
+}
+
+}  // namespace mass

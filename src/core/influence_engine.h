@@ -1,0 +1,144 @@
+// MassEngine: the paper's Analyzer Module. Runs the full multi-facet
+// pipeline over a corpus —
+//   1. sentiment analysis of every comment (SF factor),
+//   2. quality/novelty scoring of every post,
+//   3. PageRank over the blogger link network (GL score),
+//   4. per-post interest vectors iv(b_i, d_k, C_t) via a pluggable
+//      InterestMiner (naive Bayes by default),
+//   5. the damped fixed-point solution of the recursive influence system
+//      Eq. 1-4, and
+//   6. the per-domain influence vectors of Eq. 5 —
+// and answers top-k queries for general and domain-specific influence.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "classify/interest_miner.h"
+#include "common/result.h"
+#include "core/engine_options.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// One ranked blogger.
+struct ScoredBlogger {
+  BloggerId id = kInvalidBlogger;
+  double score = 0.0;
+};
+
+/// Solver diagnostics.
+struct SolveStats {
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+  int pagerank_iterations = 0;
+};
+
+/// The MASS analyzer. Construct over a corpus (indexes built), call
+/// Analyze() once, then query.
+class MassEngine {
+ public:
+  /// `corpus` must outlive the engine and have indexes built.
+  explicit MassEngine(const Corpus* corpus, EngineOptions options = {});
+
+  /// Runs the pipeline. `miner` supplies iv(b_i, d_k, C_t); pass nullptr
+  /// to use the posts' ground-truth domains as one-hot vectors (synthetic
+  /// corpora only) — useful for isolating the scoring model from the
+  /// classifier. `num_domains` fixes the domain-vector dimensionality.
+  Status Analyze(const InterestMiner* miner, size_t num_domains);
+
+  /// Re-runs the model under different options WITHOUT repeating the
+  /// text-analysis stages (classification, sentiment word matching, copy
+  /// detection) — those depend only on the corpus, not on the options.
+  /// This is what the demo's parameter toolbar needs: changing α, β, the
+  /// SF values, facet toggles, GL method, or recency takes milliseconds
+  /// instead of a full re-analysis. Requires a prior successful Analyze().
+  Status Retune(const EngineOptions& options);
+
+  // ---- per-entity scores (valid after Analyze) ----
+
+  /// Inf(b_i), Eq. 1, mean-normalized over bloggers (mean = 1).
+  double InfluenceOf(BloggerId b) const { return influence_[b]; }
+
+  /// GL(b_i): PageRank authority, mean-normalized.
+  double GeneralLinksOf(BloggerId b) const { return gl_[b]; }
+
+  /// AP(b_i): accumulated post influence.
+  double AccumulatedPostOf(BloggerId b) const { return ap_[b]; }
+
+  /// Inf(b_i, d_k), Eq. 4, for one post.
+  double PostInfluenceOf(PostId p) const { return post_influence_[p]; }
+
+  /// QualityScore(b_i, d_k) for one post.
+  double PostQualityOf(PostId p) const { return post_quality_[p]; }
+
+  /// iv(b_i, d_k, C_t) for one post (length num_domains, sums to 1).
+  const std::vector<double>& PostInterestsOf(PostId p) const {
+    return post_interests_[p];
+  }
+
+  /// SF(b_i, d_k, b_j) assigned to one comment.
+  double CommentFactorOf(CommentId c) const { return comment_sf_[c]; }
+
+  /// Inf(b_i, C_t), Eq. 5.
+  double DomainInfluenceOf(BloggerId b, size_t domain) const {
+    return domain_influence_[b][domain];
+  }
+
+  /// The full domain vector Inf(b_i, IV).
+  const std::vector<double>& DomainVectorOf(BloggerId b) const {
+    return domain_influence_[b];
+  }
+
+  // ---- rankings ----
+
+  /// Top-k bloggers by overall influence Inf(b_i).
+  std::vector<ScoredBlogger> TopKGeneral(size_t k) const;
+
+  /// Top-k bloggers in one domain by Inf(b_i, C_t).
+  std::vector<ScoredBlogger> TopKDomain(size_t domain, size_t k) const;
+
+  /// Top-k by the dot product Inf(b_i, IV) . weights — the Scenario-1
+  /// advertisement ranking. `weights` has length num_domains.
+  std::vector<ScoredBlogger> TopKWeighted(const std::vector<double>& weights,
+                                          size_t k) const;
+
+  const SolveStats& stats() const { return stats_; }
+  const Corpus& corpus() const { return *corpus_; }
+  const EngineOptions& options() const { return options_; }
+  size_t num_domains() const { return num_domains_; }
+  bool analyzed() const { return analyzed_; }
+
+ private:
+  Status ComputeGeneralLinks();
+  void ComputeQuality();
+  void ComputeRecency();
+  void ComputeSentiment();
+  Status ComputeInterests(const InterestMiner* miner);
+  void SolveInfluence();
+  void ComputeDomainVectors();
+
+  const Corpus* corpus_;
+  EngineOptions options_;
+  size_t num_domains_ = 0;
+  bool analyzed_ = false;
+  SolveStats stats_;
+
+  std::vector<double> gl_;              // [blogger]
+  std::vector<double> ap_;              // [blogger]
+  std::vector<double> influence_;       // [blogger]
+  std::vector<double> post_quality_;    // [post]
+  std::vector<double> post_influence_;  // [post]
+  std::vector<double> post_recency_;    // [post], 1.0 when recency is off
+  std::vector<double> comment_recency_; // [comment]
+  std::vector<double> comment_sf_;      // [comment]
+  // Option-independent text-analysis results cached for Retune():
+  std::vector<double> post_length_norm_;      // [post] length / mean length
+  std::vector<size_t> post_copy_indicators_;  // [post] copy-lexicon hits
+  std::vector<int> comment_sentiment_;        // [comment] Sentiment as int
+  std::vector<std::vector<double>> post_interests_;    // [post][domain]
+  std::vector<std::vector<double>> domain_influence_;  // [blogger][domain]
+};
+
+}  // namespace mass

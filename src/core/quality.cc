@@ -1,0 +1,44 @@
+#include "core/quality.h"
+
+#include <algorithm>
+
+#include "text/lexicon.h"
+#include "text/tokenizer.h"
+
+namespace mass {
+
+size_t CountCopyIndicators(std::string_view text) {
+  TokenizerOptions opts;
+  opts.strip_stopwords = false;
+  opts.min_token_length = 1;
+  Tokenizer tokenizer(opts);
+  size_t count = 0;
+  for (const std::string& tok : tokenizer.Tokenize(text)) {
+    if (CopyIndicatorLexicon().ContainsStemmed(tok)) ++count;
+  }
+  return count;
+}
+
+double NoveltyOf(const Post& post, const NoveltyOptions& options) {
+  size_t indicators =
+      CountCopyIndicators(post.title) + CountCopyIndicators(post.content);
+  if (indicators == 0) return 1.0;
+  double novelty = options.copy_value -
+                   options.per_extra_indicator *
+                       static_cast<double>(indicators - 1);
+  return std::max(options.copy_floor, novelty);
+}
+
+size_t PostLength(const Post& post) {
+  return Tokenizer::CountWords(post.title) +
+         Tokenizer::CountWords(post.content);
+}
+
+double QualityScore(const Post& post, double mean_length,
+                    const NoveltyOptions& options) {
+  double len = static_cast<double>(PostLength(post));
+  if (mean_length > 0.0) len /= mean_length;
+  return len * NoveltyOf(post, options);
+}
+
+}  // namespace mass

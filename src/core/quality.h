@@ -1,0 +1,40 @@
+// QualityScore(b_i, d_k) — Eq. 2's content-quality component: the product
+// of a post's length and its novelty, where novelty drops to (0, 0.1] for
+// posts containing copy-indicator words (paper §II, following [2]: carbon
+// copies bring little influence).
+#pragma once
+
+#include <string_view>
+
+#include "model/entities.h"
+
+namespace mass {
+
+struct NoveltyOptions {
+  /// Base novelty for a detected copy; additional indicator words reduce
+  /// it further, floored at `copy_floor`. The paper's range is (0, 0.1].
+  double copy_value = 0.1;
+  double copy_floor = 0.01;
+  /// Per-extra-indicator reduction.
+  double per_extra_indicator = 0.02;
+};
+
+/// Counts copy-indicator words (stemmed lexicon matches) in `text`.
+size_t CountCopyIndicators(std::string_view text);
+
+/// Novelty(b_i, d_k): 1.0 for original posts, a value in
+/// (0, copy_value] for detected copies.
+double NoveltyOf(const Post& post, const NoveltyOptions& options = {});
+
+/// Post length in words — the paper's quality proxy ("the longer a post,
+/// the higher quality it is considered"), over title + content.
+size_t PostLength(const Post& post);
+
+/// QualityScore = normalized length * novelty. The raw length is divided
+/// by `mean_length` (the corpus average) so quality is dimensionless and
+/// commensurate with the mean-normalized GL and comment scores; pass 1.0
+/// for the paper's raw-length behaviour.
+double QualityScore(const Post& post, double mean_length,
+                    const NoveltyOptions& options = {});
+
+}  // namespace mass

@@ -1,0 +1,88 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/influence_engine.h"
+
+namespace mass {
+
+namespace {
+
+// Orders by score descending, then id ascending.
+bool Better(const ScoredBlogger& a, const ScoredBlogger& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::vector<ScoredBlogger> TopKByScore(const std::vector<double>& scores,
+                                       size_t k) {
+  if (k == 0 || scores.empty()) return {};
+  k = std::min(k, scores.size());
+  // Min-heap of the current best k; the heap top is the worst kept entry.
+  auto worse = [](const ScoredBlogger& a, const ScoredBlogger& b) {
+    return Better(a, b);
+  };
+  std::priority_queue<ScoredBlogger, std::vector<ScoredBlogger>,
+                      decltype(worse)>
+      heap(worse);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    ScoredBlogger cand{static_cast<BloggerId>(i), scores[i]};
+    if (heap.size() < k) {
+      heap.push(cand);
+    } else if (Better(cand, heap.top())) {
+      heap.pop();
+      heap.push(cand);
+    }
+  }
+  std::vector<ScoredBlogger> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<ScoredBlogger> TopKByScoreFiltered(
+    const std::vector<double>& scores, size_t k,
+    const std::function<bool(BloggerId)>& keep) {
+  if (k == 0 || scores.empty()) return {};
+  auto worse = [](const ScoredBlogger& a, const ScoredBlogger& b) {
+    return Better(a, b);
+  };
+  std::priority_queue<ScoredBlogger, std::vector<ScoredBlogger>,
+                      decltype(worse)>
+      heap(worse);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    BloggerId id = static_cast<BloggerId>(i);
+    if (keep && !keep(id)) continue;
+    ScoredBlogger cand{id, scores[i]};
+    if (heap.size() < k) {
+      heap.push(cand);
+    } else if (Better(cand, heap.top())) {
+      heap.pop();
+      heap.push(cand);
+    }
+  }
+  std::vector<ScoredBlogger> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<ScoredBlogger> TopKByScoreFullSort(
+    const std::vector<double>& scores, size_t k) {
+  std::vector<ScoredBlogger> all(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    all[i] = ScoredBlogger{static_cast<BloggerId>(i), scores[i]};
+  }
+  std::sort(all.begin(), all.end(), Better);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace mass

@@ -1,0 +1,32 @@
+// Top-k selection over blogger scores. Ties break toward the smaller
+// blogger id so rankings are deterministic. Both the O(n log k) heap
+// selection used everywhere and an O(n log n) full sort (bench S5's
+// baseline) are provided.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "model/entities.h"
+
+namespace mass {
+
+struct ScoredBlogger;  // defined in influence_engine.h
+
+/// Heap-based top-k: O(n log k).
+std::vector<ScoredBlogger> TopKByScore(const std::vector<double>& scores,
+                                       size_t k);
+
+/// Full-sort top-k: O(n log n); identical output, for benchmarking.
+std::vector<ScoredBlogger> TopKByScoreFullSort(
+    const std::vector<double>& scores, size_t k);
+
+/// Top-k restricted to bloggers accepted by `keep` — e.g. business users
+/// excluding low-activity bloggers or suspected spam accounts from a
+/// campaign shortlist.
+std::vector<ScoredBlogger> TopKByScoreFiltered(
+    const std::vector<double>& scores, size_t k,
+    const std::function<bool(BloggerId)>& keep);
+
+}  // namespace mass

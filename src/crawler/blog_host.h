@@ -1,0 +1,58 @@
+// BlogHost: the transport interface the crawler fetches blogger pages
+// through. The paper crawled MSN Spaces over HTTP; the reproduction serves
+// a synthetic blogosphere behind the same interface (SyntheticBlogHost),
+// preserving the crawler's concurrency, frontier, and radius semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/entities.h"
+
+namespace mass {
+
+/// A comment as served on a blogger's page; the commenter is identified by
+/// URL because ids are local to each crawl.
+struct RemoteComment {
+  std::string commenter_url;
+  std::string text;
+  int64_t timestamp = 0;
+  int true_attitude = -2;  ///< ground truth passthrough, if the host has it
+};
+
+/// A post as served on a blogger's page.
+struct RemotePost {
+  std::string title;
+  std::string content;
+  int64_t timestamp = 0;
+  int true_domain = -1;
+  bool true_copy = false;
+  std::vector<RemoteComment> comments;
+};
+
+/// One blogger's full page: profile, posts with comments, outgoing links.
+struct BloggerPage {
+  std::string url;
+  std::string name;
+  std::string profile;
+  double true_expertise = 0.0;
+  bool true_spammer = false;
+  std::vector<double> true_interests;
+  std::vector<RemotePost> posts;
+  std::vector<std::string> linked_urls;  ///< blogroll / space links
+};
+
+/// Abstract page source. Implementations must be thread-safe: the crawler
+/// calls Fetch() concurrently from its worker pool.
+class BlogHost {
+ public:
+  virtual ~BlogHost() = default;
+
+  /// Fetches the page at `url`. NotFound for unknown URLs; IOError for
+  /// simulated transient failures (the crawler retries those).
+  virtual Result<BloggerPage> Fetch(const std::string& url) = 0;
+};
+
+}  // namespace mass

@@ -1,0 +1,174 @@
+#include "crawler/crawler.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace mass {
+
+namespace {
+
+// Fetches with bounded retries on transient (IOError) failures.
+Result<BloggerPage> FetchWithRetry(BlogHost* host, const std::string& url,
+                                   int max_retries, size_t* retries) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    Result<BloggerPage> r = host->Fetch(url);
+    if (r.ok()) return r;
+    last = r.status();
+    if (!last.IsIOError()) return last;  // permanent: don't retry
+    if (attempt < max_retries) ++*retries;
+  }
+  return last;
+}
+
+}  // namespace
+
+Result<CrawlResult> Crawl(BlogHost* host,
+                          const std::vector<std::string>& seed_urls,
+                          const CrawlOptions& options) {
+  if (host == nullptr) return Status::InvalidArgument("null host");
+  if (seed_urls.empty()) return Status::InvalidArgument("no seed URLs");
+  if (options.num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+
+  Stopwatch timer;
+  CrawlResult result;
+
+  // Level-synchronous BFS: fetch a whole depth level in parallel, then
+  // expand. Insertion order of discovered URLs is deterministic (frontier
+  // order), independent of thread scheduling.
+  std::unordered_set<std::string> scheduled;
+  std::vector<std::string> frontier;
+  for (const std::string& url : seed_urls) {
+    if (scheduled.insert(url).second) frontier.push_back(url);
+  }
+
+  // url -> fetched page; insertion order preserved via pages_order.
+  std::unordered_map<std::string, BloggerPage> pages;
+  std::vector<std::string> pages_order;
+
+  ThreadPool pool(static_cast<size_t>(options.num_threads));
+  std::mutex mu;
+
+  int depth = 0;
+  while (!frontier.empty()) {
+    // Apply the page budget before fetching.
+    if (options.max_pages > 0) {
+      size_t room = options.max_pages > pages_order.size()
+                        ? options.max_pages - pages_order.size()
+                        : 0;
+      if (frontier.size() > room) {
+        result.frontier_truncated += frontier.size() - room;
+        frontier.resize(room);
+      }
+      if (frontier.empty()) break;
+    }
+
+    std::vector<Result<BloggerPage>> fetched(frontier.size(),
+                                             Result<BloggerPage>());
+    std::vector<size_t> retry_counts(frontier.size(), 0);
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      pool.Submit([&, i] {
+        if (options.politeness_micros > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(options.politeness_micros));
+        }
+        fetched[i] = FetchWithRetry(host, frontier[i], options.max_retries,
+                                    &retry_counts[i]);
+      });
+    }
+    pool.WaitIdle();
+
+    std::vector<std::string> next_frontier;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      result.transient_retries += retry_counts[i];
+      if (!fetched[i].ok()) {
+        ++result.fetch_failures;
+        MASS_LOG(Debug) << "crawl failed for " << frontier[i] << ": "
+                        << fetched[i].status();
+        continue;
+      }
+      BloggerPage page = std::move(fetched[i]).value();
+      ++result.pages_fetched;
+
+      // Discover neighbors: blogroll links and commenters.
+      bool expand = options.radius < 0 || depth < options.radius;
+      auto discover = [&](const std::string& url) {
+        if (!expand) {
+          if (!scheduled.count(url)) ++result.frontier_truncated;
+          return;
+        }
+        if (scheduled.insert(url).second) next_frontier.push_back(url);
+      };
+      for (const std::string& url : page.linked_urls) discover(url);
+      for (const RemotePost& p : page.posts) {
+        for (const RemoteComment& c : p.comments) discover(c.commenter_url);
+      }
+
+      pages_order.push_back(page.url);
+      pages.emplace(page.url, std::move(page));
+    }
+    frontier = std::move(next_frontier);
+    ++depth;
+  }
+
+  // ---- Assemble the crawled corpus ----
+  Corpus& corpus = result.corpus;
+  std::unordered_map<std::string, BloggerId> id_of;
+  for (const std::string& url : pages_order) {
+    const BloggerPage& page = pages.at(url);
+    Blogger b;
+    b.name = page.name;
+    b.url = page.url;
+    b.profile = page.profile;
+    b.true_expertise = page.true_expertise;
+    b.true_spammer = page.true_spammer;
+    b.true_interests = page.true_interests;
+    id_of.emplace(url, corpus.AddBlogger(std::move(b)));
+  }
+  for (const std::string& url : pages_order) {
+    const BloggerPage& page = pages.at(url);
+    BloggerId author = id_of.at(url);
+    for (const RemotePost& rp : page.posts) {
+      Post p;
+      p.author = author;
+      p.title = rp.title;
+      p.content = rp.content;
+      p.timestamp = rp.timestamp;
+      p.true_domain = rp.true_domain;
+      p.true_copy = rp.true_copy;
+      MASS_ASSIGN_OR_RETURN(PostId pid, corpus.AddPost(std::move(p)));
+      for (const RemoteComment& rc : rp.comments) {
+        auto it = id_of.find(rc.commenter_url);
+        if (it == id_of.end()) continue;  // commenter outside the crawl
+        Comment c;
+        c.post = pid;
+        c.commenter = it->second;
+        c.text = rc.text;
+        c.timestamp = rc.timestamp;
+        c.true_attitude = rc.true_attitude;
+        MASS_RETURN_IF_ERROR(corpus.AddComment(std::move(c)).status());
+      }
+    }
+    for (const std::string& target_url : page.linked_urls) {
+      auto it = id_of.find(target_url);
+      if (it == id_of.end()) continue;  // link outside the crawl
+      if (it->second == author) continue;
+      MASS_RETURN_IF_ERROR(corpus.AddLink(author, it->second));
+    }
+  }
+  corpus.BuildIndexes();
+  MASS_RETURN_IF_ERROR(corpus.Validate());
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mass

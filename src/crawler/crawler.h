@@ -1,0 +1,54 @@
+// Multi-threaded blogosphere crawler (paper §III: "The Crawler Module uses
+// a multi-thread crawling technique"; §IV: "the user can specify a seed of
+// the crawling ... and the radius of network where the crawling is
+// performed").
+//
+// The crawl is a breadth-first expansion from the seed URLs: a blogger at
+// BFS depth d contributes its posts, comments, and links; its linked
+// bloggers and commenters are enqueued at depth d + 1 while d + 1 <= radius.
+// Comments whose commenter lies outside the crawled set are dropped, as are
+// links to uncrawled spaces, so the returned corpus is self-contained.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crawler/blog_host.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Crawl parameters.
+struct CrawlOptions {
+  int num_threads = 4;
+  /// Maximum BFS depth from a seed; 0 crawls only the seeds themselves.
+  /// Negative means unlimited.
+  int radius = -1;
+  /// Upper bound on crawled spaces; 0 means unlimited.
+  size_t max_pages = 0;
+  /// Retries per URL on transient (IOError) failures.
+  int max_retries = 3;
+  /// Politeness delay inserted before every fetch, per worker thread
+  /// (microseconds). 0 disables. Real crawlers rate-limit per host; the
+  /// synthetic host has one "host", so this is a global pace control.
+  int politeness_micros = 0;
+};
+
+/// Crawl outcome: the harvested corpus plus statistics.
+struct CrawlResult {
+  Corpus corpus;
+  size_t pages_fetched = 0;       ///< successfully fetched spaces
+  size_t fetch_failures = 0;      ///< fetches that exhausted retries
+  size_t transient_retries = 0;   ///< retried transient failures
+  size_t frontier_truncated = 0;  ///< URLs skipped by radius/max_pages
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs a crawl against `host` from `seed_urls`.
+Result<CrawlResult> Crawl(BlogHost* host,
+                          const std::vector<std::string>& seed_urls,
+                          const CrawlOptions& options = {});
+
+}  // namespace mass

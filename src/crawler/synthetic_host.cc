@@ -1,0 +1,71 @@
+#include "crawler/synthetic_host.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mass {
+
+SyntheticBlogHost::SyntheticBlogHost(const Corpus* corpus,
+                                     SyntheticHostOptions options)
+    : corpus_(corpus), options_(options), rng_(options.seed) {
+  for (const Blogger& b : corpus_->bloggers()) {
+    url_index_.emplace(b.url, b.id);
+  }
+}
+
+const std::string& SyntheticBlogHost::UrlOf(BloggerId id) const {
+  return corpus_->blogger(id).url;
+}
+
+Result<BloggerPage> SyntheticBlogHost::Fetch(const std::string& url) {
+  fetch_count_.fetch_add(1);
+  if (options_.latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.latency_micros));
+  }
+  if (options_.transient_failure_rate > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (rng_.NextBernoulli(options_.transient_failure_rate)) {
+      return Status::IOError("simulated transient failure: " + url);
+    }
+  }
+  auto it = url_index_.find(url);
+  if (it == url_index_.end()) {
+    return Status::NotFound("no such space: " + url);
+  }
+  const Blogger& b = corpus_->blogger(it->second);
+
+  BloggerPage page;
+  page.url = b.url;
+  page.name = b.name;
+  page.profile = b.profile;
+  page.true_expertise = b.true_expertise;
+  page.true_spammer = b.true_spammer;
+  page.true_interests = b.true_interests;
+
+  for (PostId pid : corpus_->PostsBy(b.id)) {
+    const Post& p = corpus_->post(pid);
+    RemotePost rp;
+    rp.title = p.title;
+    rp.content = p.content;
+    rp.timestamp = p.timestamp;
+    rp.true_domain = p.true_domain;
+    rp.true_copy = p.true_copy;
+    for (CommentId cid : corpus_->CommentsOn(pid)) {
+      const Comment& c = corpus_->comment(cid);
+      RemoteComment rc;
+      rc.commenter_url = corpus_->blogger(c.commenter).url;
+      rc.text = c.text;
+      rc.timestamp = c.timestamp;
+      rc.true_attitude = c.true_attitude;
+      rp.comments.push_back(std::move(rc));
+    }
+    page.posts.push_back(std::move(rp));
+  }
+  for (BloggerId to : corpus_->LinksFrom(b.id)) {
+    page.linked_urls.push_back(corpus_->blogger(to).url);
+  }
+  return page;
+}
+
+}  // namespace mass

@@ -1,0 +1,48 @@
+// SyntheticBlogHost: serves a generated Corpus through the BlogHost
+// interface, with optional simulated transient failures and latency so the
+// crawler's retry and concurrency paths are exercised.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "crawler/blog_host.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Failure/latency injection knobs.
+struct SyntheticHostOptions {
+  double transient_failure_rate = 0.0;  ///< probability a Fetch IOErrors
+  int latency_micros = 0;               ///< per-fetch busy-wait latency
+  uint64_t seed = 7;                    ///< failure-draw RNG seed
+};
+
+/// Thread-safe corpus-backed host. The corpus must outlive the host and
+/// have its indexes built.
+class SyntheticBlogHost : public BlogHost {
+ public:
+  explicit SyntheticBlogHost(const Corpus* corpus,
+                             SyntheticHostOptions options = {});
+
+  Result<BloggerPage> Fetch(const std::string& url) override;
+
+  /// URL of blogger `id` in the backing corpus.
+  const std::string& UrlOf(BloggerId id) const;
+
+  /// Total Fetch() calls served (including simulated failures).
+  uint64_t fetch_count() const { return fetch_count_.load(); }
+
+ private:
+  const Corpus* corpus_;
+  SyntheticHostOptions options_;
+  std::unordered_map<std::string, BloggerId> url_index_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::atomic<uint64_t> fetch_count_{0};
+};
+
+}  // namespace mass

@@ -1,0 +1,35 @@
+#include "linkanalysis/graph.h"
+
+namespace mass {
+
+Graph::Graph(size_t num_nodes,
+             const std::vector<std::pair<uint32_t, uint32_t>>& edges)
+    : num_nodes_(num_nodes) {
+  out_offsets_.assign(num_nodes + 1, 0);
+  in_offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [from, to] : edges) {
+    ++out_offsets_[from + 1];
+    ++in_offsets_[to + 1];
+  }
+  for (size_t i = 0; i < num_nodes; ++i) {
+    out_offsets_[i + 1] += out_offsets_[i];
+    in_offsets_[i + 1] += in_offsets_[i];
+  }
+  out_neighbors_.resize(edges.size());
+  in_neighbors_.resize(edges.size());
+  std::vector<size_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const auto& [from, to] : edges) {
+    out_neighbors_[out_cursor[from]++] = to;
+    in_neighbors_[in_cursor[to]++] = from;
+  }
+}
+
+Graph Graph::FromCorpusLinks(const Corpus& corpus) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(corpus.num_links());
+  for (const Link& l : corpus.links()) edges.emplace_back(l.from, l.to);
+  return Graph(corpus.num_bloggers(), edges);
+}
+
+}  // namespace mass

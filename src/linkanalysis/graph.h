@@ -1,0 +1,53 @@
+// Directed graph in CSR form for the link-analysis algorithms (PageRank,
+// HITS) that back the paper's General-Links authority facet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Immutable directed graph with CSR adjacency in both directions.
+class Graph {
+ public:
+  /// Builds from an edge list over nodes [0, num_nodes). Duplicate edges
+  /// are kept (they add weight, as repeated citations should).
+  Graph(size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  /// Builds the blogger link graph (the GL network) from a corpus.
+  static Graph FromCorpusLinks(const Corpus& corpus);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return out_neighbors_.size(); }
+
+  /// Out-neighbors of `u` as a contiguous span.
+  std::pair<const uint32_t*, const uint32_t*> OutNeighbors(uint32_t u) const {
+    return {out_neighbors_.data() + out_offsets_[u],
+            out_neighbors_.data() + out_offsets_[u + 1]};
+  }
+  /// In-neighbors of `u`.
+  std::pair<const uint32_t*, const uint32_t*> InNeighbors(uint32_t u) const {
+    return {in_neighbors_.data() + in_offsets_[u],
+            in_neighbors_.data() + in_offsets_[u + 1]};
+  }
+
+  size_t OutDegree(uint32_t u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  size_t InDegree(uint32_t u) const {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+ private:
+  size_t num_nodes_;
+  std::vector<size_t> out_offsets_;
+  std::vector<uint32_t> out_neighbors_;
+  std::vector<size_t> in_offsets_;
+  std::vector<uint32_t> in_neighbors_;
+};
+
+}  // namespace mass

@@ -1,0 +1,69 @@
+#include "linkanalysis/hits.h"
+
+#include <cmath>
+
+namespace mass {
+
+namespace {
+
+// L2-normalizes v in place; returns false for an all-zero vector.
+bool NormalizeL2(std::vector<double>* v) {
+  double sum = 0.0;
+  for (double x : *v) sum += x * x;
+  if (sum <= 0.0) return false;
+  double inv = 1.0 / std::sqrt(sum);
+  for (double& x : *v) x *= inv;
+  return true;
+}
+
+}  // namespace
+
+Result<HitsResult> ComputeHits(const Graph& graph, const HitsOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("HITS on empty graph");
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+
+  HitsResult result;
+  std::vector<double> auth(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> hub = auth;
+  std::vector<double> new_auth(n), new_hub(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (size_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      auto [begin, end] = graph.InNeighbors(static_cast<uint32_t>(v));
+      for (const uint32_t* p = begin; p != end; ++p) sum += hub[*p];
+      new_auth[v] = sum;
+    }
+    for (size_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      auto [begin, end] = graph.OutNeighbors(static_cast<uint32_t>(v));
+      for (const uint32_t* p = begin; p != end; ++p) sum += new_auth[*p];
+      new_hub[v] = sum;
+    }
+    if (!NormalizeL2(&new_auth) || !NormalizeL2(&new_hub)) {
+      // Graph has no edges: keep the uniform vectors and stop.
+      result.converged = true;
+      result.iterations = iter + 1;
+      break;
+    }
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      delta += std::abs(new_auth[v] - auth[v]) + std::abs(new_hub[v] - hub[v]);
+    }
+    auth = new_auth;
+    hub = new_hub;
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.authority = std::move(auth);
+  result.hub = std::move(hub);
+  return result;
+}
+
+}  // namespace mass

@@ -1,0 +1,32 @@
+// HITS (Kleinberg) — cited by the paper alongside PageRank as the class of
+// external-link authority measures behind the GL facet. MASS exposes both;
+// GL defaults to PageRank, HITS authorities are available as an
+// alternative and are compared in bench_linkanalysis (S2).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "linkanalysis/graph.h"
+
+namespace mass {
+
+struct HitsOptions {
+  double tolerance = 1e-9;
+  int max_iterations = 200;
+};
+
+struct HitsResult {
+  std::vector<double> authority;  ///< L2-normalized
+  std::vector<double> hub;        ///< L2-normalized
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Classic mutually-reinforcing power iteration: auth(v) = sum of hub over
+/// in-neighbors, hub(v) = sum of auth over out-neighbors, renormalized
+/// (L2) each round.
+Result<HitsResult> ComputeHits(const Graph& graph,
+                               const HitsOptions& options = {});
+
+}  // namespace mass

@@ -1,0 +1,54 @@
+#include "linkanalysis/pagerank.h"
+
+#include <cmath>
+
+namespace mass {
+
+Result<PageRankResult> ComputePageRank(const Graph& graph,
+                                       const PageRankOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("PageRank on empty graph");
+  if (options.damping < 0.0 || options.damping > 1.0) {
+    return Status::InvalidArgument("damping must lie in [0, 1]");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+
+  PageRankResult result;
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double d = options.damping;
+  const double teleport = (1.0 - d) / static_cast<double>(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Dangling nodes donate their mass uniformly.
+    double dangling = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (graph.OutDegree(static_cast<uint32_t>(u)) == 0) dangling += rank[u];
+    }
+    const double base = teleport + d * dangling / static_cast<double>(n);
+    for (size_t u = 0; u < n; ++u) next[u] = base;
+    for (size_t u = 0; u < n; ++u) {
+      size_t deg = graph.OutDegree(static_cast<uint32_t>(u));
+      if (deg == 0) continue;
+      double share = d * rank[u] / static_cast<double>(deg);
+      auto [begin, end] = graph.OutNeighbors(static_cast<uint32_t>(u));
+      for (const uint32_t* p = begin; p != end; ++p) next[*p] += share;
+    }
+
+    double delta = 0.0;
+    for (size_t u = 0; u < n; ++u) delta += std::abs(next[u] - rank[u]);
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(rank);
+  return result;
+}
+
+}  // namespace mass

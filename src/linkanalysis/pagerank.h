@@ -1,0 +1,32 @@
+// PageRank (Page et al., 1998) — the paper's General-Links authority score
+// GL(b_i) in Eq. 1 "is similar to a webpage authority and PageRank".
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "linkanalysis/graph.h"
+
+namespace mass {
+
+/// PageRank parameters.
+struct PageRankOptions {
+  double damping = 0.85;    ///< teleport probability is 1 - damping
+  double tolerance = 1e-9;  ///< L1 change per node triggering convergence
+  int max_iterations = 200;
+};
+
+/// Outcome of a PageRank run.
+struct PageRankResult {
+  std::vector<double> scores;  ///< sums to 1 over all nodes
+  int iterations = 0;          ///< iterations actually executed
+  double final_delta = 0.0;    ///< L1 change at the last iteration
+  bool converged = false;
+};
+
+/// Power iteration with uniform teleport; dangling mass is redistributed
+/// uniformly each round so the vector stays a distribution.
+Result<PageRankResult> ComputePageRank(const Graph& graph,
+                                       const PageRankOptions& options = {});
+
+}  // namespace mass

@@ -1,0 +1,73 @@
+// Umbrella header: includes the full MASS public API.
+//
+// For finer-grained builds include only the module headers you need; the
+// layering (low to high) is:
+//   common -> xml -> model -> {storage, text} -> {sentiment, classify,
+//   linkanalysis} -> {synth, crawler, core} -> {analytics, recommend,
+//   viz, userstudy}
+#pragma once
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+#include "model/corpus.h"
+#include "model/corpus_merge.h"
+#include "model/corpus_stats.h"
+#include "model/entities.h"
+
+#include "storage/analysis_xml.h"
+#include "storage/corpus_xml.h"
+#include "storage/file_io.h"
+#include "storage/options_xml.h"
+
+#include "text/lexicon.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+#include "sentiment/sentiment_analyzer.h"
+
+#include "classify/centroid_classifier.h"
+#include "classify/interest_miner.h"
+#include "classify/metrics.h"
+#include "classify/naive_bayes.h"
+#include "classify/topic_discovery.h"
+
+#include "linkanalysis/graph.h"
+#include "linkanalysis/hits.h"
+#include "linkanalysis/pagerank.h"
+
+#include "synth/generator.h"
+#include "synth/text_gen.h"
+
+#include "crawler/blog_host.h"
+#include "crawler/crawler.h"
+#include "crawler/synthetic_host.h"
+
+#include "core/engine_options.h"
+#include "core/influence_engine.h"
+#include "core/quality.h"
+#include "core/topk.h"
+
+#include "analytics/trend_analyzer.h"
+
+#include "recommend/baselines.h"
+#include "recommend/recommender.h"
+
+#include "viz/blogger_details.h"
+#include "viz/html_export.h"
+#include "viz/post_reply_network.h"
+
+#include "userstudy/judge_panel.h"
+#include "userstudy/ranking_quality.h"
+#include "userstudy/replication.h"
+#include "userstudy/table1.h"

@@ -1,0 +1,157 @@
+#include "model/corpus.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+DomainSet DomainSet::PaperDomains() {
+  return DomainSet({"Travel", "Computer", "Communication", "Education",
+                    "Economics", "Military", "Sports", "Medicine", "Art",
+                    "Politics"});
+}
+
+int DomainSet::Find(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (ToLower(names_[i]) == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+BloggerId Corpus::AddBlogger(Blogger blogger) {
+  BloggerId id = static_cast<BloggerId>(bloggers_.size());
+  blogger.id = id;
+  bloggers_.push_back(std::move(blogger));
+  indexes_built_ = false;
+  return id;
+}
+
+Result<PostId> Corpus::AddPost(Post post) {
+  if (post.author >= bloggers_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("post author %u out of range (have %zu bloggers)",
+                  post.author, bloggers_.size()));
+  }
+  PostId id = static_cast<PostId>(posts_.size());
+  post.id = id;
+  posts_.push_back(std::move(post));
+  indexes_built_ = false;
+  return id;
+}
+
+Result<CommentId> Corpus::AddComment(Comment comment) {
+  if (comment.post >= posts_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("comment post %u out of range (have %zu posts)",
+                  comment.post, posts_.size()));
+  }
+  if (comment.commenter >= bloggers_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("commenter %u out of range (have %zu bloggers)",
+                  comment.commenter, bloggers_.size()));
+  }
+  CommentId id = static_cast<CommentId>(comments_.size());
+  comment.id = id;
+  comments_.push_back(std::move(comment));
+  indexes_built_ = false;
+  return id;
+}
+
+Status Corpus::AddLink(BloggerId from, BloggerId to) {
+  if (from >= bloggers_.size() || to >= bloggers_.size()) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-links are not allowed");
+  }
+  links_.push_back(Link{from, to});
+  indexes_built_ = false;
+  return Status::OK();
+}
+
+void Corpus::BuildIndexes() {
+  posts_by_blogger_.assign(bloggers_.size(), {});
+  comments_by_post_.assign(posts_.size(), {});
+  comments_by_commenter_.assign(bloggers_.size(), {});
+  links_from_.assign(bloggers_.size(), {});
+  links_to_.assign(bloggers_.size(), {});
+  name_index_.clear();
+
+  for (const Post& p : posts_) posts_by_blogger_[p.author].push_back(p.id);
+  for (const Comment& c : comments_) {
+    comments_by_post_[c.post].push_back(c.id);
+    comments_by_commenter_[c.commenter].push_back(c.id);
+  }
+  for (const Link& l : links_) {
+    links_from_[l.from].push_back(l.to);
+    links_to_[l.to].push_back(l.from);
+  }
+  for (const Blogger& b : bloggers_) name_index_.emplace(b.name, b.id);
+  indexes_built_ = true;
+}
+
+BloggerId Corpus::FindBloggerByName(std::string_view name) const {
+  assert(indexes_built_);
+  auto it = name_index_.find(std::string(name));
+  return it == name_index_.end() ? kInvalidBlogger : it->second;
+}
+
+const std::vector<PostId>& Corpus::PostsBy(BloggerId b) const {
+  assert(indexes_built_);
+  return posts_by_blogger_[b];
+}
+
+const std::vector<CommentId>& Corpus::CommentsOn(PostId p) const {
+  assert(indexes_built_);
+  return comments_by_post_[p];
+}
+
+const std::vector<CommentId>& Corpus::CommentsByCommenter(BloggerId b) const {
+  assert(indexes_built_);
+  return comments_by_commenter_[b];
+}
+
+size_t Corpus::TotalComments(BloggerId b) const {
+  assert(indexes_built_);
+  return comments_by_commenter_[b].size();
+}
+
+const std::vector<BloggerId>& Corpus::LinksFrom(BloggerId b) const {
+  assert(indexes_built_);
+  return links_from_[b];
+}
+
+const std::vector<BloggerId>& Corpus::LinksTo(BloggerId b) const {
+  assert(indexes_built_);
+  return links_to_[b];
+}
+
+Status Corpus::Validate() const {
+  for (const Post& p : posts_) {
+    if (p.author >= bloggers_.size()) {
+      return Status::Corruption(
+          StrFormat("post %u references missing blogger %u", p.id, p.author));
+    }
+  }
+  for (const Comment& c : comments_) {
+    if (c.post >= posts_.size()) {
+      return Status::Corruption(
+          StrFormat("comment %u references missing post %u", c.id, c.post));
+    }
+    if (c.commenter >= bloggers_.size()) {
+      return Status::Corruption(StrFormat(
+          "comment %u references missing blogger %u", c.id, c.commenter));
+    }
+  }
+  for (const Link& l : links_) {
+    if (l.from >= bloggers_.size() || l.to >= bloggers_.size()) {
+      return Status::Corruption("link endpoint out of range");
+    }
+    if (l.from == l.to) return Status::Corruption("self-link present");
+  }
+  return Status::OK();
+}
+
+}  // namespace mass

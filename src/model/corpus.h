@@ -1,0 +1,123 @@
+// Corpus: the in-memory blogosphere snapshot plus the derived indexes every
+// analyzer needs (posts by blogger, comments by post, total comments per
+// commenter, link adjacency).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/entities.h"
+
+namespace mass {
+
+/// The set of predefined interest domains. The paper's evaluation uses ten:
+/// {Travel, Computer, Communication, Education, Economics, Military, Sports,
+/// Medicine, Art, Politics}.
+class DomainSet {
+ public:
+  DomainSet() = default;
+  explicit DomainSet(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  /// The paper's ten evaluation domains, in paper order.
+  static DomainSet PaperDomains();
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the named domain (case-insensitive) or -1.
+  int Find(std::string_view name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Owning container for one blogosphere snapshot.
+///
+/// Mutation goes through Add*(); after the data set is complete call
+/// BuildIndexes() once, then use the read-side accessors. All ids are dense
+/// indexes assigned by the Add* calls.
+class Corpus {
+ public:
+  // ---- construction ----
+
+  /// Adds a blogger and returns its id.
+  BloggerId AddBlogger(Blogger blogger);
+
+  /// Adds a post; `post.author` must already exist.
+  Result<PostId> AddPost(Post post);
+
+  /// Adds a comment; its post and commenter must already exist.
+  Result<CommentId> AddComment(Comment comment);
+
+  /// Adds a blogger->blogger link; both endpoints must exist. Self-links
+  /// are rejected (a blogger linking to her own space carries no authority
+  /// signal, mirroring PageRank practice).
+  Status AddLink(BloggerId from, BloggerId to);
+
+  /// Rebuilds all derived indexes. Must be called after the last mutation
+  /// and before any indexed accessor.
+  void BuildIndexes();
+
+  bool indexes_built() const { return indexes_built_; }
+
+  // ---- raw access ----
+
+  size_t num_bloggers() const { return bloggers_.size(); }
+  size_t num_posts() const { return posts_.size(); }
+  size_t num_comments() const { return comments_.size(); }
+  size_t num_links() const { return links_.size(); }
+
+  const Blogger& blogger(BloggerId id) const { return bloggers_[id]; }
+  Blogger& mutable_blogger(BloggerId id) { return bloggers_[id]; }
+  const Post& post(PostId id) const { return posts_[id]; }
+  const Comment& comment(CommentId id) const { return comments_[id]; }
+  const std::vector<Blogger>& bloggers() const { return bloggers_; }
+  const std::vector<Post>& posts() const { return posts_; }
+  const std::vector<Comment>& comments() const { return comments_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Blogger id by exact name, or kInvalidBlogger.
+  BloggerId FindBloggerByName(std::string_view name) const;
+
+  // ---- indexed access (require BuildIndexes()) ----
+
+  /// Posts authored by `b` (|P(b_i)| in Eq. 1).
+  const std::vector<PostId>& PostsBy(BloggerId b) const;
+
+  /// Comments on post `p` (C(b_i, d_k) in Eq. 3).
+  const std::vector<CommentId>& CommentsOn(PostId p) const;
+
+  /// Comments written by `b`.
+  const std::vector<CommentId>& CommentsByCommenter(BloggerId b) const;
+
+  /// TC(b_j): total number of comments blogger `b` has written anywhere.
+  size_t TotalComments(BloggerId b) const;
+
+  /// Outgoing / incoming blogger links (the GL network).
+  const std::vector<BloggerId>& LinksFrom(BloggerId b) const;
+  const std::vector<BloggerId>& LinksTo(BloggerId b) const;
+
+  /// Validates referential integrity; used by storage after deserializing.
+  Status Validate() const;
+
+ private:
+  std::vector<Blogger> bloggers_;
+  std::vector<Post> posts_;
+  std::vector<Comment> comments_;
+  std::vector<Link> links_;
+
+  bool indexes_built_ = false;
+  std::vector<std::vector<PostId>> posts_by_blogger_;
+  std::vector<std::vector<CommentId>> comments_by_post_;
+  std::vector<std::vector<CommentId>> comments_by_commenter_;
+  std::vector<std::vector<BloggerId>> links_from_;
+  std::vector<std::vector<BloggerId>> links_to_;
+  std::unordered_map<std::string, BloggerId> name_index_;
+};
+
+}  // namespace mass

@@ -1,0 +1,107 @@
+#include "model/corpus_merge.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+namespace mass {
+
+namespace {
+
+std::string BloggerKey(const Blogger& b) {
+  return b.url.empty() ? "name:" + b.name : "url:" + b.url;
+}
+
+}  // namespace
+
+Result<Corpus> MergeCorpora(const Corpus& left, const Corpus& right) {
+  Corpus merged;
+  std::unordered_map<std::string, BloggerId> blogger_of;
+
+  // Bloggers, left first (left wins on duplicate identity).
+  auto add_bloggers = [&](const Corpus& src) {
+    std::vector<BloggerId> map(src.num_bloggers());
+    for (const Blogger& b : src.bloggers()) {
+      std::string key = BloggerKey(b);
+      auto it = blogger_of.find(key);
+      if (it != blogger_of.end()) {
+        map[b.id] = it->second;
+        continue;
+      }
+      Blogger copy = b;
+      BloggerId id = merged.AddBlogger(std::move(copy));
+      blogger_of.emplace(std::move(key), id);
+      map[b.id] = id;
+    }
+    return map;
+  };
+  std::vector<BloggerId> left_map = add_bloggers(left);
+  std::vector<BloggerId> right_map = add_bloggers(right);
+
+  // Posts, deduplicated by (author, timestamp, title).
+  std::map<std::tuple<BloggerId, int64_t, std::string>, PostId> post_of;
+  auto add_posts = [&](const Corpus& src,
+                       const std::vector<BloggerId>& map) -> Result<std::vector<PostId>> {
+    std::vector<PostId> pmap(src.num_posts(), kInvalidPost);
+    for (const Post& p : src.posts()) {
+      auto key = std::make_tuple(map[p.author], p.timestamp, p.title);
+      auto it = post_of.find(key);
+      if (it != post_of.end()) {
+        pmap[p.id] = it->second;
+        continue;
+      }
+      Post copy = p;
+      copy.author = map[p.author];
+      MASS_ASSIGN_OR_RETURN(PostId id, merged.AddPost(std::move(copy)));
+      post_of.emplace(std::move(key), id);
+      pmap[p.id] = id;
+    }
+    return pmap;
+  };
+  MASS_ASSIGN_OR_RETURN(std::vector<PostId> left_posts,
+                        add_posts(left, left_map));
+  MASS_ASSIGN_OR_RETURN(std::vector<PostId> right_posts,
+                        add_posts(right, right_map));
+
+  // Comments, deduplicated by (post, commenter, timestamp, text).
+  std::set<std::tuple<PostId, BloggerId, int64_t, std::string>> comment_seen;
+  auto add_comments = [&](const Corpus& src,
+                          const std::vector<BloggerId>& bmap,
+                          const std::vector<PostId>& pmap) -> Status {
+    for (const Comment& c : src.comments()) {
+      auto key = std::make_tuple(pmap[c.post], bmap[c.commenter],
+                                 c.timestamp, c.text);
+      if (!comment_seen.insert(key).second) continue;
+      Comment copy = c;
+      copy.post = pmap[c.post];
+      copy.commenter = bmap[c.commenter];
+      MASS_RETURN_IF_ERROR(merged.AddComment(std::move(copy)).status());
+    }
+    return Status::OK();
+  };
+  MASS_RETURN_IF_ERROR(add_comments(left, left_map, left_posts));
+  MASS_RETURN_IF_ERROR(add_comments(right, right_map, right_posts));
+
+  // Links, deduplicated by endpoint pair.
+  std::set<std::pair<BloggerId, BloggerId>> link_seen;
+  auto add_links = [&](const Corpus& src,
+                       const std::vector<BloggerId>& bmap) -> Status {
+    for (const Link& l : src.links()) {
+      BloggerId from = bmap[l.from], to = bmap[l.to];
+      if (from == to) continue;  // distinct source spaces can merge
+      if (!link_seen.insert({from, to}).second) continue;
+      MASS_RETURN_IF_ERROR(merged.AddLink(from, to));
+    }
+    return Status::OK();
+  };
+  MASS_RETURN_IF_ERROR(add_links(left, left_map));
+  MASS_RETURN_IF_ERROR(add_links(right, right_map));
+
+  merged.BuildIndexes();
+  MASS_RETURN_IF_ERROR(merged.Validate());
+  return merged;
+}
+
+}  // namespace mass

@@ -1,0 +1,20 @@
+// Merging two corpora — the demo workflow crawls different blogosphere
+// neighborhoods in separate sessions ("the user can also specify a portion
+// of the blogosphere that s/he is interested in"); merging their XML
+// snapshots yields one analyzable corpus.
+//
+// Identity rules: bloggers are deduplicated by URL (falling back to name
+// when the URL is empty); posts by (author, timestamp, title); comments by
+// (post, commenter, timestamp, text); links by (from, to). The left
+// corpus's metadata wins on conflicts.
+#pragma once
+
+#include "common/result.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Returns the merged corpus (indexes built, validated).
+Result<Corpus> MergeCorpora(const Corpus& left, const Corpus& right);
+
+}  // namespace mass

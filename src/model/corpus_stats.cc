@@ -1,0 +1,118 @@
+#include "model/corpus_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+DistributionSummary Summarize(std::vector<double> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  double total = 0.0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(n);
+  s.p50 = values[n / 2];
+  s.p90 = values[(n * 9) / 10];
+  s.max = values.back();
+  // Gini over the sorted values: (2*sum_i i*x_i)/(n*sum x) - (n+1)/n.
+  if (total > 0.0) {
+    double weighted = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * values[i];
+    }
+    s.gini = 2.0 * weighted / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+    s.gini = std::clamp(s.gini, 0.0, 1.0);
+  }
+  return s;
+}
+
+namespace {
+
+std::string Row(const char* label, const DistributionSummary& d) {
+  return StrFormat("  %-28s mean %7.2f  p50 %6.0f  p90 %6.0f  max %6.0f  "
+                   "gini %.2f\n",
+                   label, d.mean, d.p50, d.p90, d.max, d.gini);
+}
+
+}  // namespace
+
+std::string CorpusStats::ToString() const {
+  std::string out = StrFormat(
+      "corpus: %zu bloggers, %zu posts, %zu comments, %zu links\n", bloggers,
+      posts, comments, links);
+  out += Row("posts / blogger", posts_per_blogger);
+  out += Row("comments / post", comments_per_post);
+  out += Row("comments written / blogger", comments_written_per_blogger);
+  out += Row("inlinks / blogger", inlinks_per_blogger);
+  out += StrFormat("  %-28s %.1f%%\n", "carbon-copy posts",
+                   copy_post_fraction * 100.0);
+  out += StrFormat("  %-28s %zu\n", "bloggers without posts",
+                   bloggers_without_posts);
+  return out;
+}
+
+CorpusStats ComputeCorpusStats(const Corpus& corpus) {
+  CorpusStats s;
+  s.bloggers = corpus.num_bloggers();
+  s.posts = corpus.num_posts();
+  s.comments = corpus.num_comments();
+  s.links = corpus.num_links();
+
+  std::vector<double> posts_per(corpus.num_bloggers(), 0.0);
+  std::vector<double> written_per(corpus.num_bloggers(), 0.0);
+  std::vector<double> inlinks_per(corpus.num_bloggers(), 0.0);
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    posts_per[b] = static_cast<double>(corpus.PostsBy(b).size());
+    written_per[b] = static_cast<double>(corpus.TotalComments(b));
+    inlinks_per[b] = static_cast<double>(corpus.LinksTo(b).size());
+    if (corpus.PostsBy(b).empty()) ++s.bloggers_without_posts;
+  }
+  std::vector<double> comments_per(corpus.num_posts(), 0.0);
+  size_t copies = 0;
+  for (PostId p = 0; p < corpus.num_posts(); ++p) {
+    comments_per[p] = static_cast<double>(corpus.CommentsOn(p).size());
+    if (corpus.post(p).true_copy) ++copies;
+  }
+  s.posts_per_blogger = Summarize(std::move(posts_per));
+  s.comments_per_post = Summarize(std::move(comments_per));
+  s.comments_written_per_blogger = Summarize(std::move(written_per));
+  s.inlinks_per_blogger = Summarize(std::move(inlinks_per));
+  s.copy_post_fraction =
+      corpus.num_posts() > 0
+          ? static_cast<double>(copies) / static_cast<double>(corpus.num_posts())
+          : 0.0;
+  return s;
+}
+
+std::vector<BloggerId> SuggestCrawlSeeds(const Corpus& corpus, size_t k) {
+  // Fruitfulness: comments received on own posts + comments written +
+  // total link degree — "a blogger with a lot of comments and friends".
+  std::vector<std::pair<double, BloggerId>> scored;
+  scored.reserve(corpus.num_bloggers());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    double received = 0.0;
+    for (PostId p : corpus.PostsBy(b)) {
+      received += static_cast<double>(corpus.CommentsOn(p).size());
+    }
+    double written = static_cast<double>(corpus.TotalComments(b));
+    double degree = static_cast<double>(corpus.LinksFrom(b).size() +
+                                        corpus.LinksTo(b).size());
+    scored.emplace_back(received + written + degree, b);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<BloggerId> out;
+  for (size_t i = 0; i < scored.size() && i < k; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace mass

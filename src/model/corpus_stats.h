@@ -1,0 +1,53 @@
+// Descriptive statistics of a corpus — the dataset overview a system
+// operator wants before analysis (sizes, activity distributions,
+// concentration), plus the demo's seed-selection helper (§IV: the user
+// picks "a blogger with a lot of comments and friends" to start a crawl).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Five-number-ish summary of a non-negative count distribution.
+struct DistributionSummary {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  /// Gini coefficient in [0,1]; 0 = perfectly even, 1 = one holder.
+  double gini = 0.0;
+};
+
+/// Summarizes a vector of counts/values (empty input -> all zeros).
+DistributionSummary Summarize(std::vector<double> values);
+
+/// Aggregate corpus statistics.
+struct CorpusStats {
+  size_t bloggers = 0;
+  size_t posts = 0;
+  size_t comments = 0;
+  size_t links = 0;
+  DistributionSummary posts_per_blogger;
+  DistributionSummary comments_per_post;
+  DistributionSummary comments_written_per_blogger;
+  DistributionSummary inlinks_per_blogger;
+  double copy_post_fraction = 0.0;  ///< posts flagged true_copy
+  size_t bloggers_without_posts = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes all statistics; requires built indexes.
+CorpusStats ComputeCorpusStats(const Corpus& corpus);
+
+/// Demo §IV seed suggestion: ranks bloggers by crawl fruitfulness — a mix
+/// of comments received, comments written, and link degree — and returns
+/// the top-k ids, best first.
+std::vector<BloggerId> SuggestCrawlSeeds(const Corpus& corpus, size_t k);
+
+}  // namespace mass

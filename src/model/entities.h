@@ -1,0 +1,77 @@
+// Core data model for the blogosphere: bloggers, posts, comments, and
+// blogger-to-blogger links (paper Figure 1's influence graph plus the
+// "General Links" network of Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mass {
+
+/// Dense identifiers; indexes into the corpus vectors.
+using BloggerId = uint32_t;
+using PostId = uint32_t;
+using CommentId = uint32_t;
+
+inline constexpr BloggerId kInvalidBlogger =
+    std::numeric_limits<BloggerId>::max();
+inline constexpr PostId kInvalidPost = std::numeric_limits<PostId>::max();
+
+/// A blog author (one "MSN space" in the paper's crawl).
+struct Blogger {
+  BloggerId id = kInvalidBlogger;
+  std::string name;     ///< display / user name
+  std::string url;      ///< space URL (synthetic for generated corpora)
+  std::string profile;  ///< free-text profile, used by Scenario 2
+
+  /// Ground-truth domain-interest mixture planted by the synthetic
+  /// generator (empty for real crawls). Index = domain id; sums to 1.
+  std::vector<double> true_interests;
+
+  /// Ground-truth expertise level in [0,1] planted by the generator
+  /// (0 when unknown). Judges in the simulated user study consult this.
+  double true_expertise = 0.0;
+
+  /// Ground truth: this blogger is a comment spammer (high-volume,
+  /// indiscriminate commenting) planted by the generator. The TC
+  /// normalization and citation facets exist to defuse exactly these.
+  bool true_spammer = false;
+};
+
+/// One blog post.
+struct Post {
+  PostId id = kInvalidPost;
+  BloggerId author = kInvalidBlogger;
+  std::string title;
+  std::string content;
+  int64_t timestamp = 0;  ///< seconds since epoch (synthetic clock)
+
+  /// Ground-truth dominant domain planted by the generator; -1 if unknown.
+  int true_domain = -1;
+  /// True when the generator created this post as a carbon copy.
+  bool true_copy = false;
+};
+
+/// A comment by `commenter` on post `post`.
+struct Comment {
+  CommentId id = 0;
+  PostId post = kInvalidPost;
+  BloggerId commenter = kInvalidBlogger;
+  std::string text;
+  int64_t timestamp = 0;
+
+  /// Ground-truth attitude planted by the generator: +1 positive, 0
+  /// neutral, -1 negative; -2 when unknown (real crawls).
+  int true_attitude = -2;
+};
+
+/// A directed blogger-to-blogger hyperlink ("when a person finds a blog
+/// interesting, s/he may directly add a link to it in her/his own space").
+struct Link {
+  BloggerId from = kInvalidBlogger;
+  BloggerId to = kInvalidBlogger;
+};
+
+}  // namespace mass

@@ -1,0 +1,130 @@
+#include "recommend/baselines.h"
+
+#include <cmath>
+
+#include "core/quality.h"
+#include "core/topk.h"
+#include "linkanalysis/graph.h"
+
+namespace mass {
+
+std::vector<double> GeneralInfluenceBaseline::Scores(
+    const Corpus& corpus) const {
+  std::vector<double> scores(corpus.num_bloggers(), 0.0);
+  for (const Post& p : corpus.posts()) {
+    double comments = static_cast<double>(corpus.CommentsOn(p.id).size());
+    double length = std::log1p(static_cast<double>(PostLength(p)));
+    scores[p.author] += options_.comments_weight * comments +
+                        options_.length_weight * length;
+  }
+  // Normalize activity score to mean 1 so the inlink bonus is commensurate.
+  double total = 0.0;
+  for (double s : scores) total += s;
+  if (total > 0.0) {
+    double scale = static_cast<double>(scores.size()) / total;
+    for (double& s : scores) s *= scale;
+  }
+  double total_inlinks = 0.0;
+  for (size_t b = 0; b < corpus.num_bloggers(); ++b) {
+    total_inlinks +=
+        static_cast<double>(corpus.LinksTo(static_cast<BloggerId>(b)).size());
+  }
+  double inlink_scale =
+      total_inlinks > 0.0
+          ? static_cast<double>(corpus.num_bloggers()) / total_inlinks
+          : 0.0;
+  for (size_t b = 0; b < corpus.num_bloggers(); ++b) {
+    double inlinks =
+        static_cast<double>(corpus.LinksTo(static_cast<BloggerId>(b)).size());
+    scores[b] += options_.inlink_weight * inlinks * inlink_scale;
+  }
+  return scores;
+}
+
+Result<std::vector<ScoredBlogger>> GeneralInfluenceBaseline::Rank(
+    const Corpus& corpus, size_t k) const {
+  if (!corpus.indexes_built()) {
+    return Status::FailedPrecondition("corpus indexes not built");
+  }
+  return TopKByScore(Scores(corpus), k);
+}
+
+Result<std::vector<ScoredBlogger>> LiveIndexBaseline::Rank(
+    const Corpus& corpus, size_t k) const {
+  if (!corpus.indexes_built()) {
+    return Status::FailedPrecondition("corpus indexes not built");
+  }
+  Graph graph = Graph::FromCorpusLinks(corpus);
+  MASS_ASSIGN_OR_RETURN(PageRankResult pr, ComputePageRank(graph, options_));
+  return TopKByScore(pr.scores, k);
+}
+
+std::vector<double> InfluenceRankBaseline::TeleportDistribution(
+    const Corpus& corpus) const {
+  // Teleport mass proportional to each blogger's novelty-weighted content
+  // volume: sum over posts of log(1 + length) * novelty.
+  std::vector<double> teleport(corpus.num_bloggers(), 0.0);
+  double total = 0.0;
+  for (const Post& p : corpus.posts()) {
+    double w = std::log1p(static_cast<double>(PostLength(p))) * NoveltyOf(p);
+    teleport[p.author] += w;
+    total += w;
+  }
+  if (total <= 0.0) {
+    double uniform = corpus.num_bloggers() > 0
+                         ? 1.0 / static_cast<double>(corpus.num_bloggers())
+                         : 0.0;
+    std::fill(teleport.begin(), teleport.end(), uniform);
+  } else {
+    for (double& t : teleport) t /= total;
+  }
+  return teleport;
+}
+
+Result<std::vector<ScoredBlogger>> InfluenceRankBaseline::Rank(
+    const Corpus& corpus, size_t k) const {
+  if (!corpus.indexes_built()) {
+    return Status::FailedPrecondition("corpus indexes not built");
+  }
+  const size_t n = corpus.num_bloggers();
+  if (n == 0) return Status::InvalidArgument("empty corpus");
+
+  // Combined graph: hyperlinks plus comment edges commenter -> author.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(corpus.num_links() + corpus.num_comments());
+  for (const Link& l : corpus.links()) edges.emplace_back(l.from, l.to);
+  for (const Comment& c : corpus.comments()) {
+    BloggerId author = corpus.post(c.post).author;
+    if (author != c.commenter) edges.emplace_back(c.commenter, author);
+  }
+  Graph graph(n, edges);
+  std::vector<double> teleport = TeleportDistribution(corpus);
+
+  // Personalized PageRank power iteration.
+  std::vector<double> rank(teleport);
+  std::vector<double> next(n, 0.0);
+  const double d = options_.damping;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (graph.OutDegree(static_cast<uint32_t>(u)) == 0) dangling += rank[u];
+    }
+    for (size_t u = 0; u < n; ++u) {
+      next[u] = (1.0 - d) * teleport[u] + d * dangling * teleport[u];
+    }
+    for (size_t u = 0; u < n; ++u) {
+      size_t deg = graph.OutDegree(static_cast<uint32_t>(u));
+      if (deg == 0) continue;
+      double share = d * rank[u] / static_cast<double>(deg);
+      auto [begin, end] = graph.OutNeighbors(static_cast<uint32_t>(u));
+      for (const uint32_t* p = begin; p != end; ++p) next[*p] += share;
+    }
+    double delta = 0.0;
+    for (size_t u = 0; u < n; ++u) delta += std::abs(next[u] - rank[u]);
+    rank.swap(next);
+    if (delta < options_.tolerance) break;
+  }
+  return TopKByScore(rank, k);
+}
+
+}  // namespace mass

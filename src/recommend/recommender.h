@@ -1,0 +1,64 @@
+// The paper's two application scenarios (§II "Application Scenarios",
+// §IV demo):
+//
+//  Scenario 1 — Business advertisement: mine the interest vector iv(a_l)
+//  from an advertisement text, rank bloggers by Inf(b_i, IV) . iv(a_l); or
+//  let the business partner pick domains from a dropdown list.
+//
+//  Scenario 2 — Personalized recommendation: extract the domain interests
+//  from a user profile (new user) or reuse a blogger's interest domains
+//  (existing blogger) and recommend the top-k influential bloggers there.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/interest_miner.h"
+#include "common/result.h"
+#include "core/influence_engine.h"
+
+namespace mass {
+
+/// A recommendation with its explanation vector.
+struct Recommendation {
+  std::vector<ScoredBlogger> bloggers;     ///< best first
+  std::vector<double> interest_vector;     ///< the mined iv used for ranking
+};
+
+/// Scenario-1 and Scenario-2 recommendation over an analyzed MassEngine.
+class Recommender {
+ public:
+  /// `engine` must be analyzed; `miner` must be trained on the same domain
+  /// set. Both must outlive the recommender.
+  Recommender(const MassEngine* engine, const InterestMiner* miner);
+
+  /// Scenario 1, free-text option: "based on the input advertisement,
+  /// MASS analyzes the content of the advertisement and provides top-k
+  /// domain-specific bloggers according to the domains mined from the
+  /// advertisement".
+  Result<Recommendation> ForAdvertisement(std::string_view ad_text,
+                                          size_t k) const;
+
+  /// Scenario 1, dropdown option: "the business partner selects one or
+  /// more relevant domains". Empty `domains` falls back to the general
+  /// ranking ("If no domain is select, MASS can show the top-k bloggers
+  /// with the largest general domain scores").
+  Result<Recommendation> ForDomains(const std::vector<size_t>& domains,
+                                    size_t k) const;
+
+  /// Scenario 2, new user: mine interests from the profile text.
+  Result<Recommendation> ForNewUserProfile(std::string_view profile,
+                                           size_t k) const;
+
+  /// Scenario 2, existing blogger: use the domain distribution of the
+  /// blogger's own posts; the blogger is excluded from the results.
+  Result<Recommendation> ForExistingBlogger(BloggerId blogger,
+                                            size_t k) const;
+
+ private:
+  const MassEngine* engine_;
+  const InterestMiner* miner_;
+};
+
+}  // namespace mass

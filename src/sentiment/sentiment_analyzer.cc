@@ -1,0 +1,76 @@
+#include "sentiment/sentiment_analyzer.h"
+
+namespace mass {
+
+const char* SentimentName(Sentiment s) {
+  switch (s) {
+    case Sentiment::kNegative:
+      return "negative";
+    case Sentiment::kNeutral:
+      return "neutral";
+    case Sentiment::kPositive:
+      return "positive";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenizerOptions SentimentTokenizerOptions() {
+  TokenizerOptions opts;
+  opts.lowercase = true;
+  // Keep stopwords: negations like "not" are stopwords but carry polarity.
+  opts.strip_stopwords = false;
+  opts.stem = true;
+  opts.min_token_length = 1;
+  return opts;
+}
+
+}  // namespace
+
+SentimentAnalyzer::SentimentAnalyzer(int negation_window)
+    : tokenizer_(SentimentTokenizerOptions()),
+      negation_window_(negation_window) {}
+
+Sentiment SentimentAnalyzer::Classify(std::string_view text) const {
+  const std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  int positive = 0;
+  int negative = 0;
+  int negation_countdown = 0;
+  for (const std::string& tok : tokens) {
+    bool flip = negation_countdown > 0;
+    if (negation_countdown > 0) --negation_countdown;
+    if (NegationLexicon().ContainsStemmed(tok)) {
+      negation_countdown = negation_window_;
+      continue;
+    }
+    if (PositiveLexicon().ContainsStemmed(tok)) {
+      (flip ? negative : positive) += 1;
+    } else if (NegativeLexicon().ContainsStemmed(tok)) {
+      (flip ? positive : negative) += 1;
+    }
+  }
+  if (positive > negative) return Sentiment::kPositive;
+  if (negative > positive) return Sentiment::kNegative;
+  return Sentiment::kNeutral;
+}
+
+double SentimentAnalyzer::FactorFor(Sentiment s,
+                                    const SentimentFactorOptions& options) {
+  switch (s) {
+    case Sentiment::kPositive:
+      return options.positive;
+    case Sentiment::kNegative:
+      return options.negative;
+    case Sentiment::kNeutral:
+      return options.neutral;
+  }
+  return options.neutral;
+}
+
+double SentimentAnalyzer::Factor(std::string_view text,
+                                 const SentimentFactorOptions& options) const {
+  return FactorFor(Classify(text), options);
+}
+
+}  // namespace mass

@@ -1,0 +1,56 @@
+// Comment-attitude analysis producing the paper's sentiment factor
+// SF(b_i, d_k, b_j): 1.0 for positive comments, 0.1 for negative, 0.5 for
+// neutral (paper §II). Classification is lexicon-based with negation
+// handling (a negation word within a short window flips polarity).
+#pragma once
+
+#include <string_view>
+
+#include "text/lexicon.h"
+#include "text/tokenizer.h"
+
+namespace mass {
+
+/// Attitude of a comment toward a post.
+enum class Sentiment {
+  kNegative = -1,
+  kNeutral = 0,
+  kPositive = 1,
+};
+
+/// Converts a Sentiment to a readable label.
+const char* SentimentName(Sentiment s);
+
+/// SF values per the paper, exposed so the demo "toolbar" (and the
+/// ablation benches) can override them.
+struct SentimentFactorOptions {
+  double positive = 1.0;
+  double negative = 0.1;
+  double neutral = 0.5;
+};
+
+/// Lexicon-based sentiment classifier.
+class SentimentAnalyzer {
+ public:
+  /// `negation_window`: a polarity word within this many tokens after a
+  /// negation word has its polarity flipped ("don't agree" -> negative).
+  explicit SentimentAnalyzer(int negation_window = 3);
+
+  /// Classifies one comment text. Positive when positive evidence
+  /// outweighs negative evidence, negative for the converse, neutral on a
+  /// tie or no evidence.
+  Sentiment Classify(std::string_view text) const;
+
+  /// Maps a sentiment class to its SF value.
+  static double FactorFor(Sentiment s, const SentimentFactorOptions& options);
+
+  /// Classify + FactorFor in one call.
+  double Factor(std::string_view text,
+                const SentimentFactorOptions& options = {}) const;
+
+ private:
+  Tokenizer tokenizer_;
+  int negation_window_;
+};
+
+}  // namespace mass

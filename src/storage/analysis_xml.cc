@@ -1,0 +1,136 @@
+#include "storage/analysis_xml.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/topk.h"
+#include "storage/file_io.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+namespace {
+
+std::string DoublesToString(const std::vector<double>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ' ';
+    out += StrFormat("%.17g", v[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> DoublesFromString(std::string_view s) {
+  std::vector<double> out;
+  for (const std::string& tok : SplitWhitespace(s)) {
+    double v;
+    if (!ParseDouble(tok, &v)) {
+      return Status::Corruption("bad double in analysis snapshot: " + tok);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScoredBlogger> AnalysisSnapshot::TopKDomain(size_t domain,
+                                                        size_t k) const {
+  std::vector<double> scores(num_bloggers(), 0.0);
+  for (size_t b = 0; b < num_bloggers(); ++b) {
+    if (domain < domain_influence[b].size()) {
+      scores[b] = domain_influence[b][domain];
+    }
+  }
+  return TopKByScore(scores, k);
+}
+
+std::vector<ScoredBlogger> AnalysisSnapshot::TopKGeneral(size_t k) const {
+  return TopKByScore(influence, k);
+}
+
+AnalysisSnapshot SnapshotFrom(const MassEngine& engine) {
+  AnalysisSnapshot s;
+  s.num_domains = engine.num_domains();
+  const size_t nb = engine.corpus().num_bloggers();
+  s.influence.resize(nb);
+  s.accumulated_post.resize(nb);
+  s.general_links.resize(nb);
+  s.domain_influence.resize(nb);
+  for (BloggerId b = 0; b < nb; ++b) {
+    s.influence[b] = engine.InfluenceOf(b);
+    s.accumulated_post[b] = engine.AccumulatedPostOf(b);
+    s.general_links[b] = engine.GeneralLinksOf(b);
+    s.domain_influence[b] = engine.DomainVectorOf(b);
+  }
+  return s;
+}
+
+std::string AnalysisToXml(const AnalysisSnapshot& snapshot) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("analysis");
+  w.Attribute("version", int64_t{1});
+  w.Attribute("domains", static_cast<int64_t>(snapshot.num_domains));
+  for (size_t b = 0; b < snapshot.num_bloggers(); ++b) {
+    w.StartElement("blogger");
+    w.Attribute("id", static_cast<int64_t>(b));
+    w.Attribute("inf", snapshot.influence[b]);
+    w.Attribute("ap", snapshot.accumulated_post[b]);
+    w.Attribute("gl", snapshot.general_links[b]);
+    w.SimpleElement("domains", DoublesToString(snapshot.domain_influence[b]));
+    w.EndElement();
+  }
+  w.EndElement();
+  return os.str();
+}
+
+Result<AnalysisSnapshot> AnalysisFromXml(std::string_view xml_text) {
+  MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
+  if (root->name != "analysis") {
+    return Status::Corruption("expected <analysis> root");
+  }
+  AnalysisSnapshot s;
+  int64_t nd;
+  if (!ParseInt64(root->Attr("domains"), &nd) || nd < 0) {
+    return Status::Corruption("bad domains attribute");
+  }
+  s.num_domains = static_cast<size_t>(nd);
+  for (const xml::XmlNode* bn : root->Children("blogger")) {
+    int64_t id;
+    double inf, ap, gl;
+    if (!ParseInt64(bn->Attr("id"), &id) ||
+        !ParseDouble(bn->Attr("inf"), &inf) ||
+        !ParseDouble(bn->Attr("ap"), &ap) ||
+        !ParseDouble(bn->Attr("gl"), &gl)) {
+      return Status::Corruption("bad blogger attributes in analysis");
+    }
+    if (id != static_cast<int64_t>(s.influence.size())) {
+      return Status::Corruption("non-dense blogger ids in analysis");
+    }
+    s.influence.push_back(inf);
+    s.accumulated_post.push_back(ap);
+    s.general_links.push_back(gl);
+    MASS_ASSIGN_OR_RETURN(std::vector<double> dv,
+                          DoublesFromString(bn->ChildText("domains")));
+    if (dv.size() != s.num_domains) {
+      return Status::Corruption("domain vector length mismatch");
+    }
+    s.domain_influence.push_back(std::move(dv));
+  }
+  return s;
+}
+
+Status SaveAnalysis(const AnalysisSnapshot& snapshot,
+                    const std::string& path) {
+  return WriteStringToFile(path, AnalysisToXml(snapshot));
+}
+
+Result<AnalysisSnapshot> LoadAnalysis(const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return AnalysisFromXml(text);
+}
+
+}  // namespace mass

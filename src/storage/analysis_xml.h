@@ -1,0 +1,43 @@
+// Persistence of analysis results. The demo saves and reloads state
+// between sessions ("the user can load the blogger data set that is
+// crawled offline"; the visualization "can be saved ... and be loaded in
+// future"); an AnalysisSnapshot captures everything the UI displays —
+// per-blogger total/AP/GL influence and the per-domain vectors — so a
+// front-end can serve queries without re-running the solver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/influence_engine.h"
+
+namespace mass {
+
+/// The queryable output of one MassEngine::Analyze run.
+struct AnalysisSnapshot {
+  size_t num_domains = 0;
+  std::vector<double> influence;                    // [blogger]
+  std::vector<double> accumulated_post;             // [blogger]
+  std::vector<double> general_links;                // [blogger]
+  std::vector<std::vector<double>> domain_influence;  // [blogger][domain]
+
+  size_t num_bloggers() const { return influence.size(); }
+
+  /// Top-k over a stored domain column (same tie rules as the engine).
+  std::vector<ScoredBlogger> TopKDomain(size_t domain, size_t k) const;
+  std::vector<ScoredBlogger> TopKGeneral(size_t k) const;
+};
+
+/// Captures an analyzed engine's scores.
+AnalysisSnapshot SnapshotFrom(const MassEngine& engine);
+
+/// XML round trip.
+std::string AnalysisToXml(const AnalysisSnapshot& snapshot);
+Result<AnalysisSnapshot> AnalysisFromXml(std::string_view xml_text);
+
+/// File convenience wrappers.
+Status SaveAnalysis(const AnalysisSnapshot& snapshot, const std::string& path);
+Result<AnalysisSnapshot> LoadAnalysis(const std::string& path);
+
+}  // namespace mass

@@ -1,0 +1,231 @@
+#include "storage/corpus_xml.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/file_io.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+namespace {
+
+std::string InterestsToString(const std::vector<double>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ' ';
+    out += StrFormat("%.17g", v[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> InterestsFromString(std::string_view s) {
+  std::vector<double> out;
+  for (const std::string& tok : SplitWhitespace(s)) {
+    double v;
+    if (!ParseDouble(tok, &v)) {
+      return Status::Corruption("bad interest value: " + tok);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<int64_t> RequiredIntAttr(const xml::XmlNode& node,
+                                std::string_view attr) {
+  if (!node.HasAttr(attr)) {
+    return Status::Corruption(StrFormat("<%s> missing attribute '%s'",
+                                        node.name.c_str(),
+                                        std::string(attr).c_str()));
+  }
+  int64_t v;
+  if (!ParseInt64(node.Attr(attr), &v)) {
+    return Status::Corruption(StrFormat("<%s> attribute '%s' not an integer",
+                                        node.name.c_str(),
+                                        std::string(attr).c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string CorpusToXml(const Corpus& corpus) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("blogosphere");
+  w.Attribute("version", int64_t{1});
+
+  w.StartElement("bloggers");
+  for (const Blogger& b : corpus.bloggers()) {
+    w.StartElement("blogger");
+    w.Attribute("id", static_cast<int64_t>(b.id));
+    w.Attribute("name", b.name);
+    w.Attribute("url", b.url);
+    if (b.true_expertise != 0.0) w.Attribute("expertise", b.true_expertise);
+    if (b.true_spammer) w.Attribute("spammer", int64_t{1});
+    if (!b.profile.empty()) w.SimpleElement("profile", b.profile);
+    if (!b.true_interests.empty()) {
+      w.SimpleElement("interests", InterestsToString(b.true_interests));
+    }
+    w.EndElement();
+  }
+  w.EndElement();
+
+  w.StartElement("posts");
+  for (const Post& p : corpus.posts()) {
+    w.StartElement("post");
+    w.Attribute("id", static_cast<int64_t>(p.id));
+    w.Attribute("author", static_cast<int64_t>(p.author));
+    w.Attribute("timestamp", p.timestamp);
+    if (p.true_domain >= 0) w.Attribute("domain", static_cast<int64_t>(p.true_domain));
+    if (p.true_copy) w.Attribute("copy", int64_t{1});
+    w.SimpleElement("title", p.title);
+    w.SimpleElement("content", p.content);
+    w.EndElement();
+  }
+  w.EndElement();
+
+  w.StartElement("comments");
+  for (const Comment& c : corpus.comments()) {
+    w.StartElement("comment");
+    w.Attribute("id", static_cast<int64_t>(c.id));
+    w.Attribute("post", static_cast<int64_t>(c.post));
+    w.Attribute("commenter", static_cast<int64_t>(c.commenter));
+    w.Attribute("timestamp", c.timestamp);
+    if (c.true_attitude != -2) {
+      w.Attribute("attitude", static_cast<int64_t>(c.true_attitude));
+    }
+    if (!c.text.empty()) w.Text(c.text);
+    w.EndElement();
+  }
+  w.EndElement();
+
+  w.StartElement("links");
+  for (const Link& l : corpus.links()) {
+    w.StartElement("link");
+    w.Attribute("from", static_cast<int64_t>(l.from));
+    w.Attribute("to", static_cast<int64_t>(l.to));
+    w.EndElement();
+  }
+  w.EndElement();
+
+  w.EndElement();  // blogosphere
+  return os.str();
+}
+
+Result<Corpus> CorpusFromXml(std::string_view xml_text) {
+  MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
+  if (root->name != "blogosphere") {
+    return Status::Corruption("expected <blogosphere> root, got <" +
+                              root->name + ">");
+  }
+
+  Corpus corpus;
+
+  const xml::XmlNode* bloggers = root->Child("bloggers");
+  if (bloggers == nullptr) {
+    return Status::Corruption("missing <bloggers> section");
+  }
+  for (const xml::XmlNode* bn : bloggers->Children("blogger")) {
+    Blogger b;
+    MASS_ASSIGN_OR_RETURN(int64_t id, RequiredIntAttr(*bn, "id"));
+    b.name = std::string(bn->Attr("name"));
+    b.url = std::string(bn->Attr("url"));
+    if (bn->HasAttr("expertise")) {
+      if (!ParseDouble(bn->Attr("expertise"), &b.true_expertise)) {
+        return Status::Corruption("bad expertise attribute");
+      }
+    }
+    if (bn->HasAttr("spammer")) {
+      MASS_ASSIGN_OR_RETURN(int64_t sp, RequiredIntAttr(*bn, "spammer"));
+      b.true_spammer = (sp != 0);
+    }
+    b.profile = std::string(bn->ChildText("profile"));
+    if (const xml::XmlNode* iv = bn->Child("interests")) {
+      MASS_ASSIGN_OR_RETURN(b.true_interests, InterestsFromString(iv->text));
+    }
+    BloggerId got = corpus.AddBlogger(std::move(b));
+    if (static_cast<int64_t>(got) != id) {
+      return Status::Corruption(
+          StrFormat("non-dense blogger ids: expected %u, file says %lld", got,
+                    static_cast<long long>(id)));
+    }
+  }
+
+  const xml::XmlNode* posts = root->Child("posts");
+  if (posts == nullptr) return Status::Corruption("missing <posts> section");
+  for (const xml::XmlNode* pn : posts->Children("post")) {
+    Post p;
+    MASS_ASSIGN_OR_RETURN(int64_t id, RequiredIntAttr(*pn, "id"));
+    MASS_ASSIGN_OR_RETURN(int64_t author, RequiredIntAttr(*pn, "author"));
+    p.author = static_cast<BloggerId>(author);
+    if (pn->HasAttr("timestamp")) {
+      MASS_ASSIGN_OR_RETURN(p.timestamp, RequiredIntAttr(*pn, "timestamp"));
+    }
+    if (pn->HasAttr("domain")) {
+      MASS_ASSIGN_OR_RETURN(int64_t d, RequiredIntAttr(*pn, "domain"));
+      p.true_domain = static_cast<int>(d);
+    }
+    if (pn->HasAttr("copy")) {
+      MASS_ASSIGN_OR_RETURN(int64_t c, RequiredIntAttr(*pn, "copy"));
+      p.true_copy = (c != 0);
+    }
+    p.title = std::string(pn->ChildText("title"));
+    p.content = std::string(pn->ChildText("content"));
+    MASS_ASSIGN_OR_RETURN(PostId got, corpus.AddPost(std::move(p)));
+    if (static_cast<int64_t>(got) != id) {
+      return Status::Corruption("non-dense post ids");
+    }
+  }
+
+  const xml::XmlNode* comments = root->Child("comments");
+  if (comments == nullptr) {
+    return Status::Corruption("missing <comments> section");
+  }
+  for (const xml::XmlNode* cn : comments->Children("comment")) {
+    Comment c;
+    MASS_ASSIGN_OR_RETURN(int64_t id, RequiredIntAttr(*cn, "id"));
+    MASS_ASSIGN_OR_RETURN(int64_t post, RequiredIntAttr(*cn, "post"));
+    MASS_ASSIGN_OR_RETURN(int64_t commenter, RequiredIntAttr(*cn, "commenter"));
+    c.post = static_cast<PostId>(post);
+    c.commenter = static_cast<BloggerId>(commenter);
+    if (cn->HasAttr("timestamp")) {
+      MASS_ASSIGN_OR_RETURN(c.timestamp, RequiredIntAttr(*cn, "timestamp"));
+    }
+    if (cn->HasAttr("attitude")) {
+      MASS_ASSIGN_OR_RETURN(int64_t a, RequiredIntAttr(*cn, "attitude"));
+      c.true_attitude = static_cast<int>(a);
+    }
+    c.text = cn->text;
+    MASS_ASSIGN_OR_RETURN(CommentId got, corpus.AddComment(std::move(c)));
+    if (static_cast<int64_t>(got) != id) {
+      return Status::Corruption("non-dense comment ids");
+    }
+  }
+
+  const xml::XmlNode* links = root->Child("links");
+  if (links == nullptr) return Status::Corruption("missing <links> section");
+  for (const xml::XmlNode* ln : links->Children("link")) {
+    MASS_ASSIGN_OR_RETURN(int64_t from, RequiredIntAttr(*ln, "from"));
+    MASS_ASSIGN_OR_RETURN(int64_t to, RequiredIntAttr(*ln, "to"));
+    MASS_RETURN_IF_ERROR(corpus.AddLink(static_cast<BloggerId>(from),
+                                        static_cast<BloggerId>(to)));
+  }
+
+  corpus.BuildIndexes();
+  MASS_RETURN_IF_ERROR(corpus.Validate());
+  return corpus;
+}
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  return WriteStringToFile(path, CorpusToXml(corpus));
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return CorpusFromXml(text);
+}
+
+}  // namespace mass

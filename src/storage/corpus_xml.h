@@ -1,0 +1,25 @@
+// XML (de)serialization of a Corpus — the paper's crawler "stores the
+// bloggers' information (including the bloggers' personal information,
+// posts, and corresponding comments) in XML files".
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Serializes the corpus to the MASS blogosphere XML format (version 1).
+std::string CorpusToXml(const Corpus& corpus);
+
+/// Parses a blogosphere XML document. The returned corpus has its indexes
+/// built and has passed Validate().
+Result<Corpus> CorpusFromXml(std::string_view xml);
+
+/// Convenience file wrappers.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace mass

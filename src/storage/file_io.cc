@@ -1,0 +1,31 @@
+#include "storage/file_io.h"
+
+#include <cstdio>
+
+namespace mass {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IOError("read failed: " + path);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool flush_failed = std::fclose(f) != 0;
+  if (written != contents.size() || flush_failed) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace mass

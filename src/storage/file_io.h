@@ -1,0 +1,18 @@
+// Whole-file read/write helpers with Status-based error reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mass {
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, truncating any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace mass

@@ -1,0 +1,138 @@
+#include "storage/options_xml.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/file_io.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+namespace {
+
+const char* GlMethodName(GlMethod m) {
+  switch (m) {
+    case GlMethod::kPageRank:
+      return "pagerank";
+    case GlMethod::kHitsAuthority:
+      return "hits";
+    case GlMethod::kInlinkCount:
+      return "inlinks";
+  }
+  return "pagerank";
+}
+
+Result<GlMethod> GlMethodFromName(std::string_view name) {
+  if (name == "pagerank") return GlMethod::kPageRank;
+  if (name == "hits") return GlMethod::kHitsAuthority;
+  if (name == "inlinks") return GlMethod::kInlinkCount;
+  return Status::Corruption("unknown gl method: " + std::string(name));
+}
+
+// Reads an optional double/int/bool attribute, keeping the default when
+// absent and failing on malformed values.
+Status OptDouble(const xml::XmlNode& n, const char* key, double* out) {
+  if (!n.HasAttr(key)) return Status::OK();
+  if (!ParseDouble(n.Attr(key), out)) {
+    return Status::Corruption(StrFormat("bad %s attribute", key));
+  }
+  return Status::OK();
+}
+
+Status OptInt(const xml::XmlNode& n, const char* key, int* out) {
+  if (!n.HasAttr(key)) return Status::OK();
+  int64_t v;
+  if (!ParseInt64(n.Attr(key), &v)) {
+    return Status::Corruption(StrFormat("bad %s attribute", key));
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+Status OptBool(const xml::XmlNode& n, const char* key, bool* out) {
+  int v = *out ? 1 : 0;
+  MASS_RETURN_IF_ERROR(OptInt(n, key, &v));
+  *out = (v != 0);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EngineOptionsToXml(const EngineOptions& options) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("engine_options");
+  w.Attribute("version", int64_t{1});
+  w.Attribute("alpha", options.alpha);
+  w.Attribute("beta", options.beta);
+  w.Attribute("sf_positive", options.sentiment.positive);
+  w.Attribute("sf_negative", options.sentiment.negative);
+  w.Attribute("sf_neutral", options.sentiment.neutral);
+  w.Attribute("novelty_copy_value", options.novelty_copy_value);
+  w.Attribute("use_citation", int64_t{options.use_citation ? 1 : 0});
+  w.Attribute("use_attitude", int64_t{options.use_attitude ? 1 : 0});
+  w.Attribute("use_novelty", int64_t{options.use_novelty ? 1 : 0});
+  w.Attribute("use_tc_normalization",
+              int64_t{options.use_tc_normalization ? 1 : 0});
+  w.Attribute("gl_method", GlMethodName(options.gl_method));
+  w.Attribute("pagerank_damping", options.pagerank.damping);
+  w.Attribute("recency_half_life_days", options.recency_half_life_days);
+  w.Attribute("analyzer_threads",
+              static_cast<int64_t>(options.analyzer_threads));
+  w.Attribute("max_iterations",
+              static_cast<int64_t>(options.max_iterations));
+  w.Attribute("tolerance", options.tolerance);
+  w.Attribute("damping", options.damping);
+  w.EndElement();
+  return os.str();
+}
+
+Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text) {
+  MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
+  if (root->name != "engine_options") {
+    return Status::Corruption("expected <engine_options> root");
+  }
+  EngineOptions o;
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "alpha", &o.alpha));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "beta", &o.beta));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "sf_positive",
+                                 &o.sentiment.positive));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "sf_negative",
+                                 &o.sentiment.negative));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "sf_neutral", &o.sentiment.neutral));
+  MASS_RETURN_IF_ERROR(
+      OptDouble(*root, "novelty_copy_value", &o.novelty_copy_value));
+  MASS_RETURN_IF_ERROR(OptBool(*root, "use_citation", &o.use_citation));
+  MASS_RETURN_IF_ERROR(OptBool(*root, "use_attitude", &o.use_attitude));
+  MASS_RETURN_IF_ERROR(OptBool(*root, "use_novelty", &o.use_novelty));
+  MASS_RETURN_IF_ERROR(
+      OptBool(*root, "use_tc_normalization", &o.use_tc_normalization));
+  if (root->HasAttr("gl_method")) {
+    MASS_ASSIGN_OR_RETURN(o.gl_method,
+                          GlMethodFromName(root->Attr("gl_method")));
+  }
+  MASS_RETURN_IF_ERROR(
+      OptDouble(*root, "pagerank_damping", &o.pagerank.damping));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "recency_half_life_days",
+                                 &o.recency_half_life_days));
+  MASS_RETURN_IF_ERROR(
+      OptInt(*root, "analyzer_threads", &o.analyzer_threads));
+  MASS_RETURN_IF_ERROR(OptInt(*root, "max_iterations", &o.max_iterations));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "tolerance", &o.tolerance));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "damping", &o.damping));
+  return o;
+}
+
+Status SaveEngineOptions(const EngineOptions& options,
+                         const std::string& path) {
+  return WriteStringToFile(path, EngineOptionsToXml(options));
+}
+
+Result<EngineOptions> LoadEngineOptions(const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return EngineOptionsFromXml(text);
+}
+
+}  // namespace mass

@@ -1,0 +1,23 @@
+// Persistence of EngineOptions — the demo lets a user tune the toolbar;
+// saving those settings alongside the data set makes an analysis
+// reproducible ("the visualization graph can be saved ... and be loaded
+// in future" extends naturally to the parameters that produced it).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "core/engine_options.h"
+
+namespace mass {
+
+/// XML round trip for the full EngineOptions struct.
+std::string EngineOptionsToXml(const EngineOptions& options);
+Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text);
+
+/// File convenience wrappers.
+Status SaveEngineOptions(const EngineOptions& options,
+                         const std::string& path);
+Result<EngineOptions> LoadEngineOptions(const std::string& path);
+
+}  // namespace mass

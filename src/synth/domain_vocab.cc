@@ -1,0 +1,183 @@
+#include "synth/domain_vocab.h"
+
+#include <cassert>
+
+namespace mass::synth {
+
+namespace {
+
+const std::vector<std::string> kTravel = {
+    "travel",    "trip",      "journey",   "flight",    "airline",
+    "hotel",     "resort",    "beach",     "island",    "mountain",
+    "hiking",    "backpack",  "passport",  "visa",      "itinerary",
+    "tourist",   "tourism",   "sightseeing","landmark", "museum",
+    "cruise",    "luggage",   "airport",   "destination","vacation",
+    "holiday",   "adventure", "explore",   "guidebook", "souvenir",
+    "booking",   "hostel",    "train",     "railway",   "roadtrip",
+    "camping",   "safari",    "temple",    "cathedral", "canyon",
+    "waterfall", "scenery",   "postcard",  "jetlag",    "customs",
+    "embassy",   "currency",  "abroad",    "overseas",  "wanderlust",
+};
+
+const std::vector<std::string> kComputer = {
+    "computer",  "software",  "hardware",  "programming","algorithm",
+    "compiler",  "debugger",  "database",  "server",     "network",
+    "linux",     "windows",   "processor", "memory",     "keyboard",
+    "monitor",   "laptop",    "desktop",   "coding",     "java",
+    "python",    "variable",  "function",  "pointer",    "array",
+    "recursion", "thread",    "kernel",    "driver",     "firmware",
+    "encryption","firewall",  "router",    "bandwidth",  "latency",
+    "cache",     "binary",    "bytecode",  "opensource", "repository",
+    "bug",       "patch",     "release",   "framework",  "library",
+    "interface", "syntax",    "runtime",   "virtualization","cloud",
+};
+
+const std::vector<std::string> kCommunication = {
+    "communication","telephone","mobile",   "wireless",  "signal",
+    "antenna",   "broadcast", "radio",     "television", "satellite",
+    "cellular",  "messaging", "email",     "chat",       "conference",
+    "telecom",   "carrier",   "roaming",   "spectrum",   "frequency",
+    "modem",     "broadband", "fiber",     "protocol",   "voip",
+    "texting",   "smartphone","handset",   "subscriber", "operator",
+    "transmission","receiver","microphone","speaker",    "headset",
+    "voicemail", "dialtone",  "hotline",   "switchboard","pager",
+    "telegraph", "morse",     "relay",     "repeater",   "coverage",
+    "connectivity","handover","basestation","uplink",    "downlink",
+};
+
+const std::vector<std::string> kEducation = {
+    "education", "school",    "university","college",   "student",
+    "teacher",   "professor", "classroom", "curriculum","syllabus",
+    "lecture",   "homework",  "assignment","exam",      "grade",
+    "scholarship","tuition",  "degree",    "diploma",   "graduate",
+    "undergraduate","kindergarten","literacy","tutoring","mentor",
+    "pedagogy",  "learning",  "teaching",  "study",     "textbook",
+    "library",   "campus",    "dormitory", "semester",  "enrollment",
+    "admission", "faculty",   "dean",      "thesis",    "dissertation",
+    "quiz",      "workshop",  "seminar",   "academy",   "principal",
+    "preschool", "alumni",    "transcript","accreditation","coursework",
+};
+
+const std::vector<std::string> kEconomics = {
+    "economics", "economy",   "market",    "stock",     "investment",
+    "inflation", "recession", "depression","interest",  "banking",
+    "finance",   "fiscal",    "monetary",  "currency",  "trade",
+    "export",    "import",    "tariff",    "gdp",       "unemployment",
+    "investor",  "dividend",  "portfolio", "bond",      "equity",
+    "mortgage",  "loan",      "credit",    "debt",      "deficit",
+    "surplus",   "taxation",  "revenue",   "profit",    "earnings",
+    "commodity", "futures",   "hedge",     "speculation","stimulus",
+    "bailout",   "subsidy",   "entrepreneur","startup", "merger",
+    "acquisition","shareholder","bankruptcy","liquidity","valuation",
+};
+
+const std::vector<std::string> kMilitary = {
+    "military",  "army",      "navy",      "airforce",  "soldier",
+    "officer",   "general",   "sergeant",  "battalion", "regiment",
+    "infantry",  "artillery", "cavalry",   "tank",      "missile",
+    "radar",     "submarine", "destroyer", "carrier",   "fighter",
+    "bomber",    "helicopter","weapon",    "ammunition","grenade",
+    "rifle",     "armor",     "barracks",  "deployment","battle",
+    "combat",    "warfare",   "strategy",  "tactics",   "reconnaissance",
+    "intelligence","fortress","garrison",  "ceasefire", "treaty",
+    "alliance",  "veteran",   "conscription","drill",   "maneuver",
+    "logistics", "camouflage","bunker",    "convoy",    "squadron",
+};
+
+const std::vector<std::string> kSports = {
+    "sports",    "football",  "basketball","baseball",  "soccer",
+    "tennis",    "golf",      "hockey",    "swimming",  "running",
+    "marathon",  "olympics",  "championship","tournament","league",
+    "playoff",   "athlete",   "coach",     "referee",   "stadium",
+    "scoreboard","touchdown", "homerun",   "goalkeeper","striker",
+    "quarterback","pitcher",  "batter",    "dribble",   "slamdunk",
+    "racket",    "volley",    "sprint",    "relay",     "hurdle",
+    "gymnastics","wrestling", "boxing",    "cycling",   "skiing",
+    "snowboard", "skating",   "fitness",   "training",  "workout",
+    "medal",     "trophy",    "record",    "season",    "roster",
+};
+
+const std::vector<std::string> kMedicine = {
+    "medicine",  "doctor",    "nurse",     "hospital",  "clinic",
+    "patient",   "diagnosis", "treatment", "therapy",   "surgery",
+    "prescription","pharmacy","vaccine",   "antibiotic","symptom",
+    "disease",   "infection", "virus",     "bacteria",  "immune",
+    "cardiology","oncology",  "pediatrics","radiology", "anesthesia",
+    "transplant","chemotherapy","dosage",  "injection", "anatomy",
+    "physiology","pathology", "epidemic",  "pandemic",  "quarantine",
+    "wellness",  "nutrition", "vitamin",   "cholesterol","diabetes",
+    "hypertension","asthma",  "allergy",   "migraine",  "arthritis",
+    "insulin",   "stethoscope","ultrasound","biopsy",   "recovery",
+};
+
+const std::vector<std::string> kArt = {
+    "art",       "painting",  "sculpture", "gallery",   "exhibition",
+    "artist",    "canvas",    "brush",     "palette",   "portrait",
+    "landscape", "abstract",  "impressionism","renaissance","baroque",
+    "watercolor","oil",       "acrylic",   "sketch",    "drawing",
+    "illustration","design",  "photography","ceramics", "pottery",
+    "calligraphy","mural",    "fresco",    "mosaic",    "engraving",
+    "etching",   "printmaking","collage",  "installation","curator",
+    "masterpiece","aesthetic","composition","perspective","symmetry",
+    "texture",   "pigment",   "easel",     "studio",    "museum",
+    "auction",   "collector", "avantgarde","surrealism","cubism",
+};
+
+const std::vector<std::string> kPolitics = {
+    "politics",  "government","election",  "campaign",  "candidate",
+    "president", "senator",   "congress",  "parliament","legislation",
+    "policy",    "democracy", "republic",  "constitution","amendment",
+    "vote",      "ballot",    "referendum","coalition", "opposition",
+    "diplomat",  "diplomacy", "embassy",   "sanction",  "summit",
+    "governor",  "mayor",     "cabinet",   "ministry",  "bureaucracy",
+    "lobbying",  "partisan",  "liberal",   "conservative","progressive",
+    "socialism", "capitalism","ideology",  "reform",    "scandal",
+    "impeachment","veto",     "filibuster","caucus",    "primary",
+    "incumbent", "electorate","gerrymander","statecraft","geopolitics",
+};
+
+const std::vector<std::string> kGeneral = {
+    "today",     "yesterday", "tomorrow",  "week",      "month",
+    "year",      "morning",   "evening",   "night",     "weekend",
+    "friend",    "family",    "people",    "person",    "world",
+    "life",      "time",      "day",       "home",      "house",
+    "city",      "place",     "thing",     "way",       "work",
+    "idea",      "thought",   "story",     "news",      "update",
+    "photo",     "picture",   "weather",   "coffee",    "dinner",
+    "lunch",     "breakfast", "music",     "movie",     "book",
+    "reading",   "writing",   "blog",      "post",      "share",
+    "experience","moment",    "feeling",   "question",  "answer",
+    "plan",      "change",    "start",     "end",       "part",
+};
+
+const std::vector<std::string> kConnectors = {
+    "really",   "quite",    "very",    "just",   "maybe",  "perhaps",
+    "actually", "finally",  "recently","often",  "always", "sometimes",
+    "think",    "believe",  "found",   "went",   "made",   "took",
+    "looked",   "talked",   "wrote",   "read",   "heard",  "learned",
+    "decided",  "wanted",   "tried",   "kept",   "felt",   "saw",
+};
+
+}  // namespace
+
+const std::vector<std::string>& DomainVocabulary(size_t d) {
+  assert(d < kNumPaperDomains);
+  switch (d) {
+    case 0: return kTravel;
+    case 1: return kComputer;
+    case 2: return kCommunication;
+    case 3: return kEducation;
+    case 4: return kEconomics;
+    case 5: return kMilitary;
+    case 6: return kSports;
+    case 7: return kMedicine;
+    case 8: return kArt;
+    default: return kPolitics;
+  }
+}
+
+const std::vector<std::string>& GeneralVocabulary() { return kGeneral; }
+
+const std::vector<std::string>& ConnectorVocabulary() { return kConnectors; }
+
+}  // namespace mass::synth

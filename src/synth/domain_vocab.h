@@ -1,0 +1,26 @@
+// Topical vocabularies for the paper's ten evaluation domains {Travel,
+// Computer, Communication, Education, Economics, Military, Sports,
+// Medicine, Art, Politics}, plus a domain-neutral filler vocabulary.
+// The synthetic generator samples post text from these so that the naive
+// Bayes analyzer faces a realistic (imperfectly separable) signal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mass::synth {
+
+/// Number of built-in domains; matches DomainSet::PaperDomains().
+inline constexpr size_t kNumPaperDomains = 10;
+
+/// Topical word list for domain `d` in paper order (0 = Travel, ...,
+/// 9 = Politics). Each list has at least 40 words.
+const std::vector<std::string>& DomainVocabulary(size_t d);
+
+/// Domain-neutral filler words mixed into every document.
+const std::vector<std::string>& GeneralVocabulary();
+
+/// Words usable in any position to pad sentences (articles, verbs...).
+const std::vector<std::string>& ConnectorVocabulary();
+
+}  // namespace mass::synth

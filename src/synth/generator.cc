@@ -1,0 +1,332 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+#include "synth/domain_vocab.h"
+
+namespace mass::synth {
+
+namespace {
+
+// Expertise-biased attachment weight: experts attract links and comments
+// quadratically more than lay bloggers.
+double AttachWeight(const Blogger& b) {
+  return 0.05 + b.true_expertise * b.true_expertise;
+}
+
+int PrimaryDomain(const Blogger& b) {
+  if (b.true_interests.empty()) return -1;
+  return static_cast<int>(std::max_element(b.true_interests.begin(),
+                                           b.true_interests.end()) -
+                          b.true_interests.begin());
+}
+
+}  // namespace
+
+Result<Corpus> GenerateBlogosphere(const GeneratorOptions& options) {
+  if (options.num_bloggers == 0) {
+    return Status::InvalidArgument("num_bloggers must be positive");
+  }
+  if (options.num_domains == 0 || options.num_domains > kNumPaperDomains) {
+    return Status::InvalidArgument(
+        StrFormat("num_domains must lie in [1, %zu]", kNumPaperDomains));
+  }
+  if (options.homophily < 0.0 || options.homophily > 1.0) {
+    return Status::InvalidArgument("homophily must lie in [0, 1]");
+  }
+
+  Rng rng(options.seed);
+  TextGenerator text_gen(options.text);
+  Corpus corpus;
+  const size_t nd = options.num_domains;
+
+  // ---- Bloggers ----
+  for (size_t i = 0; i < options.num_bloggers; ++i) {
+    Blogger b;
+    b.name = StrFormat("blogger%04zu", i);
+    b.url = StrFormat("http://blogosphere.example/%s", b.name.c_str());
+    bool expert = rng.NextBernoulli(options.expert_fraction);
+    b.true_expertise =
+        expert ? rng.NextDouble(0.7, 1.0) : rng.NextDouble(0.05, 0.5);
+    if (!expert && rng.NextBernoulli(options.spammer_fraction /
+                                     (1.0 - options.expert_fraction))) {
+      b.true_spammer = true;
+      b.true_expertise = rng.NextDouble(0.05, 0.2);
+    }
+    b.true_interests.assign(nd, 0.0);
+    size_t primary = rng.NextUint64(nd);
+    if (rng.NextBernoulli(options.secondary_interest_prob) && nd > 1) {
+      size_t secondary = rng.NextUint64(nd - 1);
+      if (secondary >= primary) ++secondary;
+      b.true_interests[primary] = 0.7;
+      b.true_interests[secondary] = 0.3;
+    } else {
+      b.true_interests[primary] = 1.0;
+    }
+    b.profile = text_gen.GenerateProfile(b.true_interests, &rng);
+    corpus.AddBlogger(std::move(b));
+  }
+
+  // ---- Posts ----
+  // Per-blogger activity scales with expertise; calibrate the Poisson base
+  // rate so the expected total matches target_posts.
+  std::vector<double> activity(options.num_bloggers);
+  double activity_total = 0.0;
+  for (size_t i = 0; i < options.num_bloggers; ++i) {
+    activity[i] = 0.4 + 1.2 * corpus.blogger(static_cast<BloggerId>(i))
+                                  .true_expertise;
+    activity_total += activity[i];
+  }
+  const double base_rate =
+      static_cast<double>(options.target_posts) / activity_total;
+
+  int64_t clock = 1'200'000'000;  // synthetic epoch
+  for (size_t i = 0; i < options.num_bloggers; ++i) {
+    const Blogger& author = corpus.blogger(static_cast<BloggerId>(i));
+    int count = rng.NextPoisson(base_rate * activity[i]);
+    bool expert = author.true_expertise >= 0.7;
+    double copy_rate =
+        expert ? options.copy_rate_expert : options.copy_rate_lay;
+    for (int k = 0; k < count; ++k) {
+      Post p;
+      p.author = static_cast<BloggerId>(i);
+      p.true_domain =
+          static_cast<int>(rng.NextDiscrete(author.true_interests));
+      p.timestamp = clock + rng.NextInt(0, 86'400 * 365);
+      size_t min_w =
+          expert ? options.expert_post_words_min : options.lay_post_words_min;
+      size_t max_w =
+          expert ? options.expert_post_words_max : options.lay_post_words_max;
+      size_t words = min_w + rng.NextUint64(max_w - min_w + 1);
+      std::vector<double> one_hot(nd, 0.0);
+      one_hot[p.true_domain] = 1.0;
+      p.title = text_gen.GenerateTitle(p.true_domain, &rng);
+      p.content = text_gen.GeneratePost(one_hot, words, &rng);
+      if (rng.NextBernoulli(copy_rate)) {
+        p.true_copy = true;
+        p.content = TextGenerator::MakeCopyPreamble(&rng) + " " + p.content;
+      }
+      MASS_RETURN_IF_ERROR(corpus.AddPost(std::move(p)).status());
+    }
+  }
+
+  // ---- Links (the GL network) ----
+  // Preferential attachment by expertise with domain homophily. Pre-bucket
+  // bloggers by primary domain for homophilous target sampling.
+  std::vector<std::vector<BloggerId>> by_domain(nd);
+  std::vector<std::vector<double>> by_domain_weight(nd);
+  std::vector<double> global_weight(options.num_bloggers);
+  for (size_t i = 0; i < options.num_bloggers; ++i) {
+    const Blogger& b = corpus.blogger(static_cast<BloggerId>(i));
+    int d = PrimaryDomain(b);
+    by_domain[d].push_back(static_cast<BloggerId>(i));
+    by_domain_weight[d].push_back(AttachWeight(b));
+    global_weight[i] = AttachWeight(b);
+  }
+  for (size_t i = 0; i < options.num_bloggers; ++i) {
+    const Blogger& source = corpus.blogger(static_cast<BloggerId>(i));
+    int src_domain = PrimaryDomain(source);
+    int out = rng.NextPoisson(options.mean_links_per_blogger);
+    std::set<BloggerId> chosen;
+    for (int e = 0; e < out; ++e) {
+      BloggerId target;
+      if (rng.NextBernoulli(options.homophily) &&
+          by_domain[src_domain].size() > 1) {
+        size_t idx = rng.NextDiscrete(by_domain_weight[src_domain]);
+        target = by_domain[src_domain][idx];
+      } else {
+        target = static_cast<BloggerId>(rng.NextDiscrete(global_weight));
+      }
+      if (target == static_cast<BloggerId>(i)) continue;
+      if (!chosen.insert(target).second) continue;
+      MASS_RETURN_IF_ERROR(corpus.AddLink(static_cast<BloggerId>(i), target));
+    }
+  }
+
+  // ---- Comments ----
+  // Comment volume scales with the author's expertise (influential posts
+  // attract discussion); commenters are domain-affine; attitude skews
+  // positive for expert authors and mixed for lay authors.
+  for (PostId pid = 0; pid < corpus.num_posts(); ++pid) {
+    const Post& post = corpus.post(pid);
+    const Blogger& author = corpus.blogger(post.author);
+    double mean = options.mean_comments_per_post *
+                  (0.3 + 1.4 * author.true_expertise);
+    int count = rng.NextPoisson(mean);
+    size_t d = static_cast<size_t>(post.true_domain);
+    for (int c = 0; c < count; ++c) {
+      // Pick a commenter: homophilous w.r.t. the post's domain.
+      BloggerId commenter;
+      if (rng.NextBernoulli(options.homophily) && by_domain[d].size() > 1) {
+        commenter = by_domain[d][rng.NextUint64(by_domain[d].size())];
+      } else {
+        commenter =
+            static_cast<BloggerId>(rng.NextUint64(options.num_bloggers));
+      }
+      if (commenter == post.author) continue;  // no self-comments
+
+      Comment cm;
+      cm.post = pid;
+      cm.commenter = commenter;
+      cm.timestamp = post.timestamp + rng.NextInt(60, 86'400 * 14);
+      double p_pos = 0.20 + 0.55 * author.true_expertise;
+      double p_neg = std::max(0.05, 0.35 - 0.30 * author.true_expertise);
+      if (post.true_copy) {
+        // Readers resent reposted content: attitudes sour.
+        p_pos *= 0.3;
+        p_neg = std::min(0.85, p_neg + 0.35);
+      }
+      double roll = rng.NextDouble();
+      if (roll < p_pos) {
+        cm.true_attitude = 1;
+      } else if (roll < p_pos + p_neg) {
+        cm.true_attitude = -1;
+      } else {
+        cm.true_attitude = 0;
+      }
+      size_t words = 5 + rng.NextUint64(20);
+      cm.text = text_gen.GenerateComment(d, cm.true_attitude, words, &rng);
+      MASS_RETURN_IF_ERROR(corpus.AddComment(std::move(cm)).status());
+    }
+  }
+
+  // ---- Spam comments ----
+  // Spammers run a mutual-promotion ring: they shower short, mostly-
+  // positive comments mainly on each other's posts (and some random
+  // posts). Their volume would amplify the ring's influence through the
+  // CommentScore feedback loop without the paper's TC normalization and
+  // citation weighting.
+  std::vector<PostId> spammer_posts;
+  for (const Post& p : corpus.posts()) {
+    if (corpus.blogger(p.author).true_spammer) spammer_posts.push_back(p.id);
+  }
+  if (corpus.num_posts() > 0) {
+    for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+      if (!corpus.blogger(b).true_spammer) continue;
+      int count = rng.NextPoisson(options.spam_comments_mean);
+      for (int c = 0; c < count; ++c) {
+        PostId pid;
+        if (!spammer_posts.empty() && rng.NextBernoulli(0.7)) {
+          pid = spammer_posts[rng.NextUint64(spammer_posts.size())];
+        } else {
+          pid = static_cast<PostId>(rng.NextUint64(corpus.num_posts()));
+        }
+        if (corpus.post(pid).author == b) continue;
+        Comment cm;
+        cm.post = pid;
+        cm.commenter = b;
+        cm.timestamp = corpus.post(pid).timestamp + rng.NextInt(60, 86'400);
+        cm.true_attitude = rng.NextBernoulli(0.75) ? 1 : 0;
+        cm.text = text_gen.GenerateComment(
+            static_cast<size_t>(corpus.post(pid).true_domain),
+            cm.true_attitude, 3 + rng.NextUint64(5), &rng);
+        MASS_RETURN_IF_ERROR(corpus.AddComment(std::move(cm)).status());
+      }
+    }
+  }
+
+  corpus.BuildIndexes();
+  MASS_RETURN_IF_ERROR(corpus.Validate());
+  return corpus;
+}
+
+Corpus MakeFigure1Corpus() {
+  // Paper Figure 1: Amery has post1 (CS, comments from Bob and Cary) and
+  // post2 (Economics, comment from Cary); Bob and Cary have their own CS
+  // posts (post3, post4) with comments from the remaining bloggers; link
+  // edges give Amery network authority. Domains use paper order:
+  // Computer = 1, Economics = 4.
+  Corpus corpus;
+  auto add = [&corpus](const char* name, double expertise,
+                       std::vector<double> interests) {
+    Blogger b;
+    b.name = name;
+    b.url = std::string("http://blogosphere.example/") + name;
+    b.true_expertise = expertise;
+    b.true_interests = std::move(interests);
+    return corpus.AddBlogger(std::move(b));
+  };
+  std::vector<double> cs(10, 0.0), econ(10, 0.0), cs_econ(10, 0.0);
+  cs[1] = 1.0;
+  econ[4] = 1.0;
+  cs_econ[1] = 0.6;
+  cs_econ[4] = 0.4;
+
+  BloggerId amery = add("Amery", 0.9, cs_econ);
+  BloggerId bob = add("Bob", 0.6, cs);
+  BloggerId cary = add("Cary", 0.7, cs_econ);
+  BloggerId dolly = add("Dolly", 0.3, cs);
+  BloggerId eddie = add("Eddie", 0.4, cs);
+  BloggerId helen = add("Helen", 0.35, cs);
+  BloggerId jane = add("Jane", 0.3, cs);
+  BloggerId leo = add("Leo", 0.25, econ);
+  BloggerId michael = add("Michael", 0.45, cs);
+
+  auto add_post = [&corpus](BloggerId author, int domain, const char* title,
+                            const char* content) {
+    Post p;
+    p.author = author;
+    p.true_domain = domain;
+    p.title = title;
+    p.content = content;
+    return corpus.AddPost(std::move(p)).value();
+  };
+  PostId post1 = add_post(
+      amery, 1, "programming skills in computer science",
+      "a long discussion of programming skills algorithm design recursion "
+      "pointers memory management compiler internals debugging techniques "
+      "software architecture and code review practice for computer science "
+      "students who want to master coding interviews and real projects");
+  PostId post2 = add_post(
+      amery, 4, "economic depression and trends",
+      "an investigation of the recent economic depression possible trends "
+      "in the next couple of months inflation interest rates market "
+      "volatility banking policy and investment strategy under recession");
+  PostId post3 = add_post(
+      bob, 1, "my favorite debugging tricks",
+      "notes about debugging software with breakpoints watchpoints and "
+      "logging plus compiler warnings and static analysis");
+  PostId post4 = add_post(
+      cary, 1, "thoughts on database indexing",
+      "a short piece about database indexing btrees hash tables query "
+      "plans and cache friendly data structures");
+
+  auto add_comment = [&corpus](PostId post, BloggerId commenter, int attitude,
+                               const char* text) {
+    Comment c;
+    c.post = post;
+    c.commenter = commenter;
+    c.true_attitude = attitude;
+    c.text = text;
+    corpus.AddComment(std::move(c)).value();
+  };
+  add_comment(post1, bob, 1, "agree great insights on programming skills");
+  add_comment(post1, cary, 1, "excellent support for these coding techniques");
+  add_comment(post2, cary, 0, "the analysis covers market trends this year");
+  add_comment(post3, dolly, 1, "helpful tricks thanks for sharing");
+  add_comment(post3, eddie, 0, "some notes about the logging part");
+  add_comment(post3, helen, 1, "great post i agree with the approach");
+  add_comment(post4, jane, 1, "support this view on indexing");
+  add_comment(post4, leo, -1, "disagree the section on hash tables is wrong");
+  add_comment(post4, michael, 0, "what about query plan caching");
+
+  // Link network: the smaller bloggers link to Amery, Bob and Cary.
+  (void)corpus.AddLink(bob, amery);
+  (void)corpus.AddLink(cary, amery);
+  (void)corpus.AddLink(dolly, bob);
+  (void)corpus.AddLink(eddie, bob);
+  (void)corpus.AddLink(helen, bob);
+  (void)corpus.AddLink(jane, cary);
+  (void)corpus.AddLink(leo, cary);
+  (void)corpus.AddLink(michael, cary);
+  (void)corpus.AddLink(bob, cary);
+  (void)corpus.AddLink(cary, bob);
+
+  corpus.BuildIndexes();
+  return corpus;
+}
+
+}  // namespace mass::synth

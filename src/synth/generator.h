@@ -1,0 +1,68 @@
+// Synthetic blogosphere generator — the reproduction's substitute for the
+// paper's MSN Spaces crawl (~3000 spaces, ~40000 posts). Every stochastic
+// choice is planted as ground truth on the generated entities so that the
+// simulated user study (Table I) and the classifier/sentiment evaluations
+// can be scored quantitatively.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/corpus.h"
+#include "synth/domain_vocab.h"
+#include "synth/text_gen.h"
+
+namespace mass::synth {
+
+/// Generator parameters. Defaults reproduce the paper's corpus scale.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  size_t num_bloggers = 3000;
+  size_t target_posts = 40000;
+  size_t num_domains = kNumPaperDomains;  ///< must be <= kNumPaperDomains
+
+  /// Fraction of bloggers drawn as domain experts (high expertise).
+  double expert_fraction = 0.12;
+  /// Probability a blogger has a secondary interest domain.
+  double secondary_interest_prob = 0.4;
+
+  /// Fraction of bloggers who are comment spammers: low expertise, very
+  /// high indiscriminate comment volume (mostly sycophantic positives on
+  /// random posts). The citation and TC-normalization facets exist to
+  /// defuse them.
+  double spammer_fraction = 0.05;
+  /// Mean spam comments written per spammer.
+  double spam_comments_mean = 60.0;
+
+  /// Carbon-copy post probability for lay / expert bloggers. Low-expertise
+  /// bloggers reproduce content far more often.
+  double copy_rate_lay = 0.30;
+  double copy_rate_expert = 0.03;
+
+  /// Mean comments per post before expertise scaling.
+  double mean_comments_per_post = 2.5;
+  /// Mean outgoing blogger links before expertise-biased targeting.
+  double mean_links_per_blogger = 4.0;
+  /// Probability that a link / comment targets a blogger sharing the
+  /// source's primary domain (homophily).
+  double homophily = 0.65;
+
+  /// Post length ranges (words) for lay and expert authors.
+  size_t lay_post_words_min = 30;
+  size_t lay_post_words_max = 120;
+  size_t expert_post_words_min = 120;
+  size_t expert_post_words_max = 260;
+
+  TextGenOptions text;
+};
+
+/// Generates a corpus (indexes built, validated).
+Result<Corpus> GenerateBlogosphere(const GeneratorOptions& options);
+
+/// Hand-built 9-blogger corpus matching paper Figure 1 (Amery's two posts
+/// in CS and Economics with comments from Bob and Cary, etc.). Used by the
+/// quickstart example and bench_figure1.
+Corpus MakeFigure1Corpus();
+
+}  // namespace mass::synth

@@ -1,0 +1,123 @@
+#include "synth/text_gen.h"
+
+#include <algorithm>
+
+#include "synth/domain_vocab.h"
+
+namespace mass::synth {
+
+namespace {
+
+const std::vector<std::string> kPositiveStems = {
+    "agree", "support", "great", "excellent", "love", "helpful",
+    "insightful", "thanks", "recommend", "brilliant", "wonderful",
+};
+const std::vector<std::string> kNegativeStems = {
+    "disagree", "oppose", "wrong", "misleading", "terrible", "useless",
+    "disappointing", "nonsense", "flawed", "doubt", "poor",
+};
+
+const std::string& Pick(const std::vector<std::string>& words, Rng* rng) {
+  return words[rng->NextUint64(words.size())];
+}
+
+}  // namespace
+
+TextGenerator::TextGenerator(TextGenOptions options) : options_(options) {}
+
+std::string TextGenerator::SampleWords(const std::vector<double>& interests,
+                                       size_t num_words, Rng* rng) const {
+  std::string out;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (!out.empty()) out += ' ';
+    if (rng->NextBernoulli(options_.connector_fraction)) {
+      out += Pick(ConnectorVocabulary(), rng);
+      continue;
+    }
+    if (!interests.empty() && rng->NextBernoulli(options_.topical_fraction)) {
+      size_t d = rng->NextDiscrete(interests);
+      if (rng->NextBernoulli(options_.domain_noise)) {
+        d = rng->NextUint64(kNumPaperDomains);  // off-topic leakage
+      }
+      if (d < kNumPaperDomains) {
+        out += Pick(DomainVocabulary(d), rng);
+        continue;
+      }
+    }
+    out += Pick(GeneralVocabulary(), rng);
+  }
+  return out;
+}
+
+std::string TextGenerator::GeneratePost(const std::vector<double>& interests,
+                                        size_t num_words, Rng* rng) const {
+  return SampleWords(interests, std::max<size_t>(num_words, 3), rng);
+}
+
+std::string TextGenerator::GenerateTitle(size_t domain, Rng* rng) const {
+  std::vector<double> one_hot(kNumPaperDomains, 0.0);
+  if (domain < kNumPaperDomains) one_hot[domain] = 1.0;
+  size_t n = 4 + rng->NextUint64(5);
+  // Titles are denser in topical words than bodies.
+  TextGenerator dense(TextGenOptions{.topical_fraction = 0.7,
+                                     .connector_fraction = 0.1});
+  return dense.SampleWords(one_hot, n, rng);
+}
+
+std::string TextGenerator::GenerateComment(size_t domain, int attitude,
+                                           size_t num_words, Rng* rng) const {
+  std::vector<double> one_hot(kNumPaperDomains, 0.0);
+  if (domain < kNumPaperDomains) one_hot[domain] = 1.0;
+  std::string body = SampleWords(one_hot, std::max<size_t>(num_words, 2), rng);
+  // Inject 1-2 polarity words for non-neutral attitudes. Neutral comments
+  // get none, so the lexicon analyzer reads them as neutral.
+  if (attitude > 0) {
+    body = Pick(kPositiveStems, rng) + " " + body;
+    if (rng->NextBernoulli(0.5)) body += " " + Pick(kPositiveStems, rng);
+  } else if (attitude < 0) {
+    body = Pick(kNegativeStems, rng) + " " + body;
+    if (rng->NextBernoulli(0.5)) body += " " + Pick(kNegativeStems, rng);
+  }
+  return body;
+}
+
+std::string TextGenerator::GenerateProfile(const std::vector<double>& interests,
+                                           Rng* rng) const {
+  std::string out = "blogger interested in";
+  // Name the top-2 interest domains explicitly, then add topical words.
+  std::vector<size_t> order(interests.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return interests[a] > interests[b];
+  });
+  for (size_t i = 0; i < order.size() && i < 2; ++i) {
+    if (interests[order[i]] <= 0.0) break;
+    out += ' ';
+    out += Pick(DomainVocabulary(order[i]), rng);
+  }
+  out += ' ';
+  out += SampleWords(interests, 12 + rng->NextUint64(8), rng);
+  return out;
+}
+
+std::string TextGenerator::GenerateAdvertisement(size_t domain,
+                                                 size_t num_words,
+                                                 Rng* rng) const {
+  std::vector<double> one_hot(kNumPaperDomains, 0.0);
+  if (domain < kNumPaperDomains) one_hot[domain] = 1.0;
+  TextGenerator dense(TextGenOptions{.topical_fraction = 0.6,
+                                     .connector_fraction = 0.15});
+  return dense.SampleWords(one_hot, std::max<size_t>(num_words, 4), rng);
+}
+
+std::string TextGenerator::MakeCopyPreamble(Rng* rng) {
+  static const std::vector<std::string> kPreambles = {
+      "reposted from source",
+      "forwarded via friend originally posted",
+      "reprinted excerpt courtesy of",
+      "copied from original source via",
+  };
+  return kPreambles[rng->NextUint64(kPreambles.size())];
+}
+
+}  // namespace mass::synth

@@ -1,0 +1,68 @@
+// Topical text generation for the synthetic blogosphere: posts, comments,
+// profiles, and advertisements are word-sampled from domain vocabularies
+// mixed with general filler, so downstream classifiers face a realistic
+// signal-to-noise ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sentiment/sentiment_analyzer.h"
+
+namespace mass::synth {
+
+/// Text generation parameters.
+struct TextGenOptions {
+  /// Probability that a sampled content word is topical (from the domain
+  /// vocabulary) rather than general filler.
+  double topical_fraction = 0.40;
+  /// Probability of inserting a connector word between content words.
+  double connector_fraction = 0.25;
+  /// Probability that a topical word leaks from a random *other* domain —
+  /// real posts mention off-topic terms, which keeps the classification
+  /// task (and the ad-routing task) from being trivially separable.
+  double domain_noise = 0.12;
+};
+
+/// Generates text by sampling from the vocabularies.
+class TextGenerator {
+ public:
+  explicit TextGenerator(TextGenOptions options = {});
+
+  /// A post body of about `num_words` words with mixture `interests`
+  /// over domains (weights need not be normalized). A single dominant
+  /// domain can be expressed with a one-hot vector.
+  std::string GeneratePost(const std::vector<double>& interests,
+                           size_t num_words, Rng* rng) const;
+
+  /// A short title (4-8 words) biased to domain `domain`.
+  std::string GenerateTitle(size_t domain, Rng* rng) const;
+
+  /// A comment of about `num_words` words on a post in `domain`, carrying
+  /// the requested attitude: +1 positive, 0 neutral, -1 negative. The
+  /// attitude is expressed through sentiment-lexicon words so the
+  /// SentimentAnalyzer can recover it (with realistic noise).
+  std::string GenerateComment(size_t domain, int attitude, size_t num_words,
+                              Rng* rng) const;
+
+  /// A profile paragraph mentioning the blogger's preferred domains.
+  std::string GenerateProfile(const std::vector<double>& interests,
+                              Rng* rng) const;
+
+  /// An advertisement text of about `num_words` words for `domain`.
+  std::string GenerateAdvertisement(size_t domain, size_t num_words,
+                                    Rng* rng) const;
+
+  /// Prepends a copy-indicator preamble ("reposted from source ...") used
+  /// to mark carbon-copy posts.
+  static std::string MakeCopyPreamble(Rng* rng);
+
+ private:
+  std::string SampleWords(const std::vector<double>& interests,
+                          size_t num_words, Rng* rng) const;
+
+  TextGenOptions options_;
+};
+
+}  // namespace mass::synth

@@ -1,0 +1,77 @@
+#include "text/lexicon.h"
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+
+namespace mass {
+
+Lexicon::Lexicon(const std::vector<std::string>& words) {
+  for (const std::string& w : words) Add(w);
+}
+
+void Lexicon::Add(std::string_view word) {
+  words_.insert(PorterStem(ToLower(word)));
+}
+
+bool Lexicon::ContainsStemmed(std::string_view stemmed) const {
+  return words_.count(std::string(stemmed)) > 0;
+}
+
+bool Lexicon::ContainsWord(std::string_view word) const {
+  return ContainsStemmed(PorterStem(ToLower(word)));
+}
+
+const Lexicon& PositiveLexicon() {
+  static const Lexicon* kLex = new Lexicon({
+      // The paper's own examples first.
+      "agree", "support", "conform",
+      // General positive opinion words.
+      "good", "great", "excellent", "awesome", "amazing", "wonderful",
+      "fantastic", "brilliant", "love", "enjoy", "helpful",
+      "insightful", "inspiring", "impressive", "useful", "valuable",
+      "correct", "thanks", "thank", "appreciate",
+      "recommend", "endorse", "favorite", "best", "perfect", "superb",
+      "outstanding", "informative", "interesting",
+      "nice", "beautiful", "admire", "praise", "applaud", "bravo",
+      "congratulations", "accurate", "smart", "clever", "wise",
+      "convincing", "compelling",
+  });
+  return *kLex;
+}
+
+const Lexicon& NegativeLexicon() {
+  static const Lexicon* kLex = new Lexicon({
+      "disagree", "oppose", "object", "bad", "terrible", "awful",
+      "horrible", "poor", "wrong", "incorrect", "false", "mislead",
+      "misleading", "hate", "dislike", "useless", "worthless", "boring",
+      "disappointing", "disappointed", "nonsense", "rubbish", "garbage",
+      "stupid", "dumb", "ridiculous", "absurd", "flawed", "mistake",
+      "error", "fail", "failure", "weak", "confusing", "confused",
+      "doubt", "doubtful", "questionable", "biased", "unfair",
+      "inaccurate", "refute", "reject", "criticize", "worst", "ugly",
+      "shame", "pathetic", "lame", "overrated",
+  });
+  return *kLex;
+}
+
+const Lexicon& NegationLexicon() {
+  static const Lexicon* kLex = new Lexicon({
+      "not", "no", "never", "neither", "nor", "cannot", "can't", "don't",
+      "doesn't", "didn't", "won't", "wouldn't", "shouldn't", "isn't",
+      "aren't", "wasn't", "weren't", "hardly", "barely", "without",
+  });
+  return *kLex;
+}
+
+const Lexicon& CopyIndicatorLexicon() {
+  static const Lexicon* kLex = new Lexicon({
+      // Words signalling that a post is reproduced from another source.
+      "repost", "reposted", "forwarded", "forward", "reprinted", "reprint",
+      "copied", "copy", "excerpt", "excerpted", "quoted", "source",
+      "courtesy", "via", "syndicated", "transcript",
+      "translated", "translation", "zhuan",  // common CN blog marker "zhuan tie"
+  });
+  return *kLex;
+}
+
+}  // namespace mass

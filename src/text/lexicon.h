@@ -1,0 +1,54 @@
+// Word lexicons used by the analyzers:
+//  - sentiment polarity words ("agree", "support", "conform", ... per the
+//    paper's examples, plus a broader built-in list) for the SF factor,
+//  - copy-indicator phrases ("we collect a set of words indicating that an
+//    article is a copy of other sources") for the novelty signal.
+//
+// Lexicons match on *stemmed* lowercase tokens so inflections are covered.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace mass {
+
+/// A set of words (stored stemmed) with membership queries.
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  /// Builds a lexicon from raw words; each is lowercased and stemmed.
+  explicit Lexicon(const std::vector<std::string>& words);
+
+  /// Adds one word (lowercased + stemmed).
+  void Add(std::string_view word);
+
+  /// True when the (already stemmed, lowercase) token is in the lexicon.
+  bool ContainsStemmed(std::string_view stemmed) const;
+
+  /// Lowercases and stems `word`, then tests membership.
+  bool ContainsWord(std::string_view word) const;
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// Built-in positive-sentiment lexicon (includes the paper's examples:
+/// agree, support, conform).
+const Lexicon& PositiveLexicon();
+
+/// Built-in negative-sentiment lexicon.
+const Lexicon& NegativeLexicon();
+
+/// Built-in negation words ("not", "never", ...) used to flip polarity.
+const Lexicon& NegationLexicon();
+
+/// Built-in copy-indicator lexicon ("reposted", "forwarded", "via", source
+/// attribution words) marking carbon-copy articles.
+const Lexicon& CopyIndicatorLexicon();
+
+}  // namespace mass

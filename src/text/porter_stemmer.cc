@@ -1,0 +1,295 @@
+#include "text/porter_stemmer.h"
+
+namespace mass {
+
+namespace {
+
+// The implementation follows the original paper's five-step description.
+// `b` holds the word being stemmed; k is the index of its last character.
+struct Stemmer {
+  std::string b;
+  int k = 0;
+
+  bool IsConsonant(int i) const {
+    switch (b[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: the number of VC sequences.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool HasVowel(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b[j] != b[j - 1]) return false;
+    return IsConsonant(j);
+  }
+
+  // cvc at i, where the second c is not w, x or y; signals a short stem
+  // like "hop" that takes an 'e' back ("hoping" -> "hope").
+  bool CvcEnding(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = b[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool EndsWith(const char* s) {
+    int len = static_cast<int>(std::char_traits<char>::length(s));
+    if (len > k + 1) return false;
+    if (b.compare(k - len + 1, len, s) != 0) return false;
+    j_ = k - len;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::char_traits<char>::length(s));
+    b.replace(j_ + 1, b.size() - j_ - 1, s);
+    k = j_ + len;
+    b.resize(k + 1);
+  }
+
+  void ReplaceIfMeasure(const char* s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. Step 1b: -ed / -ing. Step 1c: y->i.
+  void Step1ab() {
+    if (b[k] == 's') {
+      if (EndsWith("sses")) {
+        k -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (b[k - 1] != 's') {
+        --k;
+      }
+    }
+    b.resize(k + 1);
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && HasVowel(j_)) {
+      k = j_;
+      b.resize(k + 1);
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k)) {
+        char ch = b[k];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k;
+      } else if (Measure(k) == 1 && CvcEnding(k)) {
+        j_ = k;
+        SetTo("e");
+      }
+    }
+    b.resize(k + 1);
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && HasVowel(k - 1)) {
+      b[k] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k == 0) return;
+    switch (b[k - 1]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfMeasure("tion"); }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfMeasure("ance"); }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfMeasure("ize"); }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (EndsWith("alli")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfMeasure("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfMeasure("ous"); }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfMeasure("ate"); }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfMeasure("ous"); }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfMeasure("ble"); }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfMeasure("log"); }
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b[k]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfMeasure(""); break; }
+        if (EndsWith("alize")) { ReplaceIfMeasure("al"); }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfMeasure("ic"); }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfMeasure(""); }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfMeasure(""); }
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k == 0) return;
+    switch (b[k - 1]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 && (b[j_] == 's' || b[j_] == 't')) break;
+        if (EndsWith("ou")) break;
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) {
+      k = j_;
+      b.resize(k + 1);
+    }
+  }
+
+  void Step5() {
+    j_ = k;
+    if (b[k] == 'e') {
+      int m = Measure(k - 1);
+      if (m > 1 || (m == 1 && !CvcEnding(k - 1))) {
+        --k;
+        b.resize(k + 1);
+      }
+    }
+    if (b[k] == 'l' && DoubleConsonant(k) && Measure(k) > 1) {
+      --k;
+      b.resize(k + 1);
+    }
+  }
+
+  std::string Run(std::string_view word) {
+    b.assign(word);
+    k = static_cast<int>(b.size()) - 1;
+    if (k <= 1) return b;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b.resize(k + 1);
+    return b;
+  }
+
+ private:
+  int j_ = 0;  // end of the stem for the last EndsWith() match
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  Stemmer s;
+  return s.Run(word);
+}
+
+}  // namespace mass

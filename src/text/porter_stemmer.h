@@ -1,0 +1,15 @@
+// Porter stemming algorithm (M.F. Porter, 1980), implemented from scratch.
+// Used to conflate inflected forms before classification and interest
+// mining so that "traveling", "travels" and "travel" share one feature.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mass {
+
+/// Stems one lowercase ASCII word. Words shorter than 3 characters are
+/// returned unchanged, matching Porter's original behaviour.
+std::string PorterStem(std::string_view word);
+
+}  // namespace mass

@@ -1,0 +1,92 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "text/porter_stemmer.h"
+
+namespace mass {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '\'';
+}
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "a",       "about",  "above",   "after",   "again",   "against",
+          "all",     "am",     "an",      "and",     "any",     "are",
+          "aren't",  "as",     "at",      "be",      "because", "been",
+          "before",  "being",  "below",   "between", "both",    "but",
+          "by",      "can",    "cannot",  "could",   "couldn't","did",
+          "didn't",  "do",     "does",    "doesn't", "doing",   "don't",
+          "down",    "during", "each",    "few",     "for",     "from",
+          "further", "had",    "hadn't",  "has",     "hasn't",  "have",
+          "haven't", "having", "he",      "her",     "here",    "hers",
+          "herself", "him",    "himself", "his",     "how",     "i",
+          "if",      "in",     "into",    "is",      "isn't",   "it",
+          "it's",    "its",    "itself",  "just",    "me",      "more",
+          "most",    "my",     "myself",  "no",      "nor",     "not",
+          "now",     "of",     "off",     "on",      "once",    "only",
+          "or",      "other",  "our",     "ours",    "ourselves","out",
+          "over",    "own",    "same",    "she",     "should",  "shouldn't",
+          "so",      "some",   "such",    "than",    "that",    "the",
+          "their",   "theirs", "them",    "themselves","then",  "there",
+          "these",   "they",   "this",    "those",   "through", "to",
+          "too",     "under",  "until",   "up",      "very",    "was",
+          "wasn't",  "we",     "were",    "weren't", "what",    "when",
+          "where",   "which",  "while",   "who",     "whom",    "why",
+          "will",    "with",   "won't",   "would",   "wouldn't","you",
+          "your",    "yours",  "yourself","yourselves",
+      };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsWordChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsWordChar(text[i])) ++i;
+    if (i == start) continue;
+    std::string tok(text.substr(start, i - start));
+    // Trim apostrophes that are really quotes.
+    while (!tok.empty() && tok.front() == '\'') tok.erase(tok.begin());
+    while (!tok.empty() && tok.back() == '\'') tok.pop_back();
+    if (tok.empty()) continue;
+    if (options_.lowercase) {
+      for (char& c : tok) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    if (options_.strip_stopwords && IsStopword(tok)) continue;
+    if (options_.stem) tok = PorterStem(tok);
+    if (tok.size() < options_.min_token_length) continue;
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+size_t Tokenizer::CountWords(std::string_view text) {
+  size_t count = 0;
+  bool in_word = false;
+  for (char c : text) {
+    bool w = IsWordChar(c);
+    if (w && !in_word) ++count;
+    in_word = w;
+  }
+  return count;
+}
+
+}  // namespace mass

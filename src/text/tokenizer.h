@@ -1,0 +1,41 @@
+// Tokenization for posts, comments, profiles, and advertisements.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mass {
+
+/// Tokenizer options.
+struct TokenizerOptions {
+  bool lowercase = true;       ///< fold to ASCII lowercase
+  bool strip_stopwords = true; ///< drop common function words
+  bool stem = true;            ///< apply the Porter stemmer
+  size_t min_token_length = 2; ///< drop tokens shorter than this
+};
+
+/// Splits text into word tokens (letters and digits; apostrophes are kept
+/// inside words so "don't" survives until stopword filtering).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes one document.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Raw word count of a text — the paper's post-length signal (Eq. 2's
+  /// QualityScore uses the length of the post). Counts every word-like
+  /// token with no filtering.
+  static size_t CountWords(std::string_view text);
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+/// True if `word` (already lowercase) is an English stopword.
+bool IsStopword(std::string_view word);
+
+}  // namespace mass

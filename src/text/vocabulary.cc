@@ -1,0 +1,135 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mass {
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries.size() && j < other.entries.size()) {
+    if (entries[i].first < other.entries[j].first) {
+      ++i;
+    } else if (entries[i].first > other.entries[j].first) {
+      ++j;
+    } else {
+      sum += entries[i].second * other.entries[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::Norm() const {
+  double sum = 0.0;
+  for (const auto& [t, w] : entries) sum += w * w;
+  return std::sqrt(sum);
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  double n1 = Norm(), n2 = other.Norm();
+  if (n1 <= 0.0 || n2 <= 0.0) return 0.0;
+  return Dot(other) / (n1 * n2);
+}
+
+void SparseVector::Scale(double factor) {
+  for (auto& [t, w] : entries) w *= factor;
+}
+
+void SparseVector::Add(const SparseVector& other, double factor) {
+  std::vector<std::pair<TermId, double>> merged;
+  merged.reserve(entries.size() + other.entries.size());
+  size_t i = 0, j = 0;
+  while (i < entries.size() || j < other.entries.size()) {
+    if (j >= other.entries.size() ||
+        (i < entries.size() && entries[i].first < other.entries[j].first)) {
+      merged.push_back(entries[i++]);
+    } else if (i >= entries.size() ||
+               entries[i].first > other.entries[j].first) {
+      merged.emplace_back(other.entries[j].first,
+                          other.entries[j].second * factor);
+      ++j;
+    } else {
+      merged.emplace_back(entries[i].first,
+                          entries[i].second + other.entries[j].second * factor);
+      ++i;
+      ++j;
+    }
+  }
+  entries = std::move(merged);
+}
+
+void SparseVector::Normalize() {
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::pair<TermId, double>> merged;
+  for (const auto& [t, w] : entries) {
+    if (!merged.empty() && merged.back().first == t) {
+      merged.back().second += w;
+    } else {
+      merged.emplace_back(t, w);
+    }
+  }
+  entries = std::move(merged);
+}
+
+TermId Vocabulary::GetOrAdd(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(tokens_.size());
+  tokens_.emplace_back(token);
+  df_.push_back(0);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+void Vocabulary::AddDocument(const std::vector<std::string>& tokens) {
+  std::unordered_set<TermId> seen;
+  for (const std::string& t : tokens) seen.insert(GetOrAdd(t));
+  for (TermId id : seen) ++df_[id];
+  ++num_documents_;
+}
+
+double Vocabulary::Idf(TermId id) const {
+  return std::log(static_cast<double>(num_documents_ + 1) /
+                  static_cast<double>(df_[id] + 1)) +
+         1.0;
+}
+
+SparseVector Vocabulary::TfVector(const std::vector<std::string>& tokens,
+                                  bool add_missing) {
+  SparseVector v;
+  for (const std::string& t : tokens) {
+    TermId id = add_missing ? GetOrAdd(t) : Find(t);
+    if (id == kInvalidTerm) continue;
+    v.entries.emplace_back(id, 1.0);
+  }
+  v.Normalize();
+  return v;
+}
+
+SparseVector Vocabulary::TfIdfVector(const std::vector<std::string>& tokens,
+                                     bool l2_normalize) const {
+  SparseVector v;
+  for (const std::string& t : tokens) {
+    TermId id = Find(t);
+    if (id == kInvalidTerm) continue;
+    v.entries.emplace_back(id, 1.0);
+  }
+  v.Normalize();
+  for (auto& [t, w] : v.entries) w *= Idf(t);
+  if (l2_normalize) {
+    double n = v.Norm();
+    if (n > 0.0) v.Scale(1.0 / n);
+  }
+  return v;
+}
+
+}  // namespace mass

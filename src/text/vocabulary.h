@@ -1,0 +1,74 @@
+// Vocabulary: bidirectional token <-> dense-id mapping, plus document
+// frequency counts for TF-IDF weighting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mass {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// A sparse document vector: sorted (term, weight) pairs.
+struct SparseVector {
+  std::vector<std::pair<TermId, double>> entries;
+
+  /// Dot product with another sparse vector (both sorted by term id).
+  double Dot(const SparseVector& other) const;
+  /// Euclidean norm.
+  double Norm() const;
+  /// Cosine similarity; 0 when either vector is empty.
+  double Cosine(const SparseVector& other) const;
+  /// Scales all weights in place.
+  void Scale(double factor);
+  /// Adds `other` (times `factor`) into this vector.
+  void Add(const SparseVector& other, double factor = 1.0);
+  /// Sorts entries by term id and merges duplicates. Must be called if
+  /// entries were appended out of order.
+  void Normalize();
+};
+
+/// Grow-only token dictionary with document-frequency tracking.
+class Vocabulary {
+ public:
+  /// Returns the id for `token`, adding it when absent.
+  TermId GetOrAdd(std::string_view token);
+
+  /// Returns the id for `token` or kInvalidTerm when unknown.
+  TermId Find(std::string_view token) const;
+
+  const std::string& token(TermId id) const { return tokens_[id]; }
+  size_t size() const { return tokens_.size(); }
+
+  /// Registers one document's token set for DF counting. Duplicate tokens
+  /// within the document count once.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  size_t num_documents() const { return num_documents_; }
+  size_t document_frequency(TermId id) const { return df_[id]; }
+
+  /// ln((N+1)/(df+1)) + 1 — smoothed inverse document frequency.
+  double Idf(TermId id) const;
+
+  /// Builds a raw term-frequency vector over known terms; unknown terms are
+  /// added when `add_missing` is true, skipped otherwise.
+  SparseVector TfVector(const std::vector<std::string>& tokens,
+                        bool add_missing = false);
+
+  /// Builds a TF-IDF vector over known terms (unknown terms skipped),
+  /// L2-normalized when `l2_normalize` is set.
+  SparseVector TfIdfVector(const std::vector<std::string>& tokens,
+                           bool l2_normalize = true) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> tokens_;
+  std::vector<size_t> df_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace mass

@@ -1,0 +1,56 @@
+#include "userstudy/judge_panel.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "userstudy/ranking_quality.h"
+
+namespace mass {
+
+JudgePanel::JudgePanel(const Corpus* corpus, UserStudyOptions options)
+    : corpus_(corpus), options_(options) {
+  Rng rng(options_.seed);
+  judge_bias_.resize(options_.num_judges);
+  for (double& bias : judge_bias_) {
+    bias = rng.NextGaussian(0.0, options_.judge_bias_stddev);
+  }
+  authenticity_.resize(corpus_->num_bloggers());
+  for (BloggerId b = 0; b < corpus_->num_bloggers(); ++b) {
+    authenticity_[b] = AuthenticityOf(*corpus_, b);
+  }
+}
+
+double JudgePanel::Rate(size_t judge, BloggerId b, size_t domain) const {
+  const Blogger& blogger = corpus_->blogger(b);
+  double interest = domain < blogger.true_interests.size()
+                        ? blogger.true_interests[domain]
+                        : 0.0;
+  double w = options_.expertise_weight;
+  double fit = w * blogger.true_expertise * authenticity_[b] +
+               (1.0 - w) * interest;
+  // Deterministic per-(judge, blogger, domain) noise stream so evaluation
+  // order never changes a rating.
+  uint64_t mix = options_.seed;
+  mix ^= 0x9E3779B97F4A7C15ULL * (judge + 1);
+  mix ^= 0xC2B2AE3D27D4EB4FULL * (static_cast<uint64_t>(b) + 1);
+  mix ^= 0x165667B19E3779F9ULL * (static_cast<uint64_t>(domain) + 1);
+  Rng rng(mix);
+  double rating = 1.0 + 4.0 * fit + judge_bias_[judge % judge_bias_.size()] +
+                  rng.NextGaussian(0.0, options_.rating_noise_stddev);
+  return std::clamp(rating, 1.0, 5.0);
+}
+
+double JudgePanel::AverageScore(
+    const std::vector<ScoredBlogger>& recommendations, size_t domain) const {
+  size_t k = std::min(options_.top_k, recommendations.size());
+  if (k == 0 || options_.num_judges == 0) return 0.0;
+  double total = 0.0;
+  for (size_t j = 0; j < options_.num_judges; ++j) {
+    for (size_t i = 0; i < k; ++i) {
+      total += Rate(j, recommendations[i].id, domain);
+    }
+  }
+  return total / static_cast<double>(options_.num_judges * k);
+}
+
+}  // namespace mass

@@ -1,0 +1,111 @@
+#include "userstudy/ranking_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mass {
+
+double AuthenticityOf(const Corpus& corpus, BloggerId b) {
+  const std::vector<PostId>& posts = corpus.PostsBy(b);
+  if (posts.empty()) return 1.0;
+  size_t copies = 0;
+  for (PostId p : posts) {
+    if (corpus.post(p).true_copy) ++copies;
+  }
+  return 1.0 - 0.7 * static_cast<double>(copies) /
+                   static_cast<double>(posts.size());
+}
+
+std::vector<double> GroundTruthGains(const Corpus& corpus, int domain) {
+  std::vector<double> gains(corpus.num_bloggers(), 0.0);
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    const Blogger& blogger = corpus.blogger(b);
+    double base = blogger.true_expertise * AuthenticityOf(corpus, b);
+    if (domain < 0) {
+      gains[b] = base;
+    } else if (static_cast<size_t>(domain) < blogger.true_interests.size()) {
+      gains[b] = base * blogger.true_interests[static_cast<size_t>(domain)];
+    }
+  }
+  return gains;
+}
+
+double NdcgAtK(const std::vector<ScoredBlogger>& ranking,
+               const std::vector<double>& gains, size_t k) {
+  double dcg = 0.0;
+  for (size_t i = 0; i < std::min(k, ranking.size()); ++i) {
+    BloggerId b = ranking[i].id;
+    double gain = b < gains.size() ? gains[b] : 0.0;
+    dcg += gain / std::log2(static_cast<double>(i) + 2.0);
+  }
+  // Ideal DCG at the *requested* k: a ranking shorter than k is
+  // penalized for the items it failed to return.
+  std::vector<double> sorted = gains;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double idcg = 0.0;
+  for (size_t i = 0; i < std::min(k, sorted.size()); ++i) {
+    idcg += sorted[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+namespace {
+
+// Average ranks (1-based) with tie handling.
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                      1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  std::vector<double> ra = AverageRanks(a);
+  std::vector<double> rb = AverageRanks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = ra[i] - mean;
+    double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double MeanDomainNdcg(const MassEngine& engine, size_t k) {
+  const Corpus& corpus = engine.corpus();
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t d = 0; d < engine.num_domains(); ++d) {
+    std::vector<double> gains = GroundTruthGains(corpus, static_cast<int>(d));
+    double ideal = 0.0;
+    for (double g : gains) ideal += g;
+    if (ideal <= 0.0) continue;  // domain absent from ground truth
+    total += NdcgAtK(engine.TopKDomain(d, k), gains, k);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace mass

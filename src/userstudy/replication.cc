@@ -1,0 +1,82 @@
+#include "userstudy/replication.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+std::string ReplicatedTable1::ToString() const {
+  std::string out = StrFormat("%-18s", StrFormat("Avg (n=%zu runs)",
+                                                 replications).c_str());
+  for (const std::string& name : domain_names) {
+    out += StrFormat(" %14s", name.c_str());
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    out += StrFormat("%-18s", row.method.c_str());
+    for (size_t d = 0; d < row.mean.size(); ++d) {
+      out += StrFormat("   %5.2f +-%4.2f", row.mean[d], row.stddev[d]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ReplicatedTable1> RunReplicatedTable1(
+    const std::vector<uint64_t>& corpus_seeds,
+    const synth::GeneratorOptions& generator, const DomainSet& domain_set,
+    const Table1Options& options) {
+  if (corpus_seeds.empty()) {
+    return Status::InvalidArgument("need at least one corpus seed");
+  }
+
+  // scores[run][row][domain]
+  std::vector<std::vector<std::vector<double>>> all_scores;
+  std::vector<std::string> methods;
+  ReplicatedTable1 out;
+
+  for (uint64_t seed : corpus_seeds) {
+    synth::GeneratorOptions gen = generator;
+    gen.seed = seed;
+    MASS_ASSIGN_OR_RETURN(Corpus corpus, synth::GenerateBlogosphere(gen));
+    MASS_ASSIGN_OR_RETURN(Table1Result one,
+                          RunTable1Study(corpus, domain_set, options));
+    if (methods.empty()) {
+      for (const Table1Row& row : one.rows) methods.push_back(row.method);
+      out.domain_names = one.domain_names;
+    }
+    std::vector<std::vector<double>> run;
+    for (const Table1Row& row : one.rows) run.push_back(row.scores);
+    all_scores.push_back(std::move(run));
+  }
+
+  const size_t runs = all_scores.size();
+  const size_t num_rows = methods.size();
+  const size_t num_domains = out.domain_names.size();
+  out.replications = runs;
+  for (size_t r = 0; r < num_rows; ++r) {
+    ReplicatedTable1::Row row;
+    row.method = methods[r];
+    row.mean.assign(num_domains, 0.0);
+    row.stddev.assign(num_domains, 0.0);
+    for (size_t d = 0; d < num_domains; ++d) {
+      double sum = 0.0;
+      for (size_t run = 0; run < runs; ++run) {
+        sum += all_scores[run][r][d];
+      }
+      double mean = sum / static_cast<double>(runs);
+      double var = 0.0;
+      for (size_t run = 0; run < runs; ++run) {
+        double diff = all_scores[run][r][d] - mean;
+        var += diff * diff;
+      }
+      row.mean[d] = mean;
+      row.stddev[d] = std::sqrt(var / static_cast<double>(runs));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mass

@@ -1,0 +1,38 @@
+// Replicated Table-I study: regenerates the blogosphere under several
+// seeds and reports per-cell mean and standard deviation, so the headline
+// comparison is not an artifact of one synthetic world.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "synth/generator.h"
+#include "userstudy/table1.h"
+
+namespace mass {
+
+/// Table I with dispersion across replicated corpora.
+struct ReplicatedTable1 {
+  std::vector<std::string> domain_names;
+  struct Row {
+    std::string method;
+    std::vector<double> mean;    ///< per domain
+    std::vector<double> stddev;  ///< per domain (population std)
+  };
+  std::vector<Row> rows;
+  size_t replications = 0;
+
+  /// Formats as "mean ±std" cells.
+  std::string ToString() const;
+};
+
+/// Runs the Table-I study once per seed (each seed generates a fresh
+/// corpus from `generator` with that seed) and aggregates.
+Result<ReplicatedTable1> RunReplicatedTable1(
+    const std::vector<uint64_t>& corpus_seeds,
+    const synth::GeneratorOptions& generator, const DomainSet& domain_set,
+    const Table1Options& options = {});
+
+}  // namespace mass

@@ -1,0 +1,76 @@
+#include "userstudy/table1.h"
+
+#include <memory>
+
+#include "classify/naive_bayes.h"
+#include "common/string_util.h"
+#include "recommend/baselines.h"
+
+namespace mass {
+
+std::string Table1Result::ToString() const {
+  std::string out = StrFormat("%-18s", "Avg Applicable");
+  for (const std::string& name : domain_names) {
+    out += StrFormat(" %10s", name.c_str());
+  }
+  out += "\n";
+  for (const Table1Row& row : rows) {
+    out += StrFormat("%-18s", row.method.c_str());
+    for (double s : row.scores) out += StrFormat(" %10.2f", s);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Table1Result> RunTable1Study(const Corpus& corpus,
+                                    const DomainSet& domain_set,
+                                    const Table1Options& options) {
+  if (!corpus.indexes_built()) {
+    return Status::FailedPrecondition("corpus indexes not built");
+  }
+  for (size_t d : options.domains) {
+    if (d >= domain_set.size()) {
+      return Status::InvalidArgument(
+          StrFormat("domain %zu out of range [0,%zu)", d, domain_set.size()));
+    }
+  }
+
+  // MASS pipeline: train the interest miner, analyze the corpus.
+  std::unique_ptr<NaiveBayesClassifier> miner;
+  if (options.use_classifier) {
+    miner = std::make_unique<NaiveBayesClassifier>();
+    MASS_RETURN_IF_ERROR(miner->Train(LabeledPostsFromCorpus(corpus),
+                                      domain_set.size()));
+  }
+  MassEngine engine(&corpus, options.engine);
+  MASS_RETURN_IF_ERROR(engine.Analyze(miner.get(), domain_set.size()));
+
+  // Baseline rankings are domain-blind: one global top-k each.
+  const size_t k = options.study.top_k;
+  GeneralInfluenceBaseline general;
+  LiveIndexBaseline live_index;
+  MASS_ASSIGN_OR_RETURN(std::vector<ScoredBlogger> general_top,
+                        general.Rank(corpus, k));
+  MASS_ASSIGN_OR_RETURN(std::vector<ScoredBlogger> live_top,
+                        live_index.Rank(corpus, k));
+
+  JudgePanel panel(&corpus, options.study);
+  Table1Result result;
+  result.domains = options.domains;
+  for (size_t d : options.domains) {
+    result.domain_names.push_back(domain_set.name(d));
+  }
+
+  Table1Row general_row{"General", {}};
+  Table1Row live_row{"Live Index", {}};
+  Table1Row mass_row{"Domain Specific", {}};
+  for (size_t d : options.domains) {
+    general_row.scores.push_back(panel.AverageScore(general_top, d));
+    live_row.scores.push_back(panel.AverageScore(live_top, d));
+    mass_row.scores.push_back(panel.AverageScore(engine.TopKDomain(d, k), d));
+  }
+  result.rows = {general_row, live_row, mass_row};
+  return result;
+}
+
+}  // namespace mass

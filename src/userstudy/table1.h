@@ -1,0 +1,51 @@
+// End-to-end harness for paper Table I: "USER EVALUATION OF AVERAGE
+// APPLICABLE SCORES FOR INFLUENTIAL BLOGGERS (GENERAL VS. LIVE INDEX VS.
+// DOMAIN SPECIFIC)" over the Travel, Art and Sports domains.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify/interest_miner.h"
+#include "common/result.h"
+#include "core/engine_options.h"
+#include "model/corpus.h"
+#include "userstudy/judge_panel.h"
+
+namespace mass {
+
+/// One row of the table: a method and its per-domain average scores.
+struct Table1Row {
+  std::string method;
+  std::vector<double> scores;  ///< aligned with Table1Result::domains
+};
+
+/// The regenerated table.
+struct Table1Result {
+  std::vector<size_t> domains;            ///< evaluated domain ids
+  std::vector<std::string> domain_names;  ///< their display names
+  std::vector<Table1Row> rows;            ///< General, Live Index, Domain Specific
+
+  /// Formats like the paper's table.
+  std::string ToString() const;
+};
+
+/// Parameters of one Table-I run.
+struct Table1Options {
+  /// Domains evaluated; the paper uses Travel (0), Art (8), Sports (6).
+  std::vector<size_t> domains = {0, 8, 6};
+  EngineOptions engine;
+  UserStudyOptions study;
+  /// When true, train the naive Bayes miner on the corpus's labeled posts;
+  /// when false, use ground-truth one-hot post domains (solver-only mode).
+  bool use_classifier = true;
+};
+
+/// Runs the full study on `corpus` (must carry ground truth): ranks with
+/// the General and Live Index baselines and with MASS's domain-specific
+/// scores, then scores each method's top-k with the judge panel.
+Result<Table1Result> RunTable1Study(const Corpus& corpus,
+                                    const DomainSet& domain_set,
+                                    const Table1Options& options = {});
+
+}  // namespace mass

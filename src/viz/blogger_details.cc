@@ -1,0 +1,68 @@
+#include "viz/blogger_details.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mass {
+
+BloggerDetails MakeBloggerDetails(const MassEngine& engine, BloggerId blogger,
+                                  size_t max_key_posts) {
+  const Corpus& corpus = engine.corpus();
+  BloggerDetails d;
+  d.id = blogger;
+  d.name = corpus.blogger(blogger).name;
+  d.url = corpus.blogger(blogger).url;
+  d.total_influence = engine.InfluenceOf(blogger);
+  d.general_links = engine.GeneralLinksOf(blogger);
+  d.accumulated_post = engine.AccumulatedPostOf(blogger);
+  d.domain_influence = engine.DomainVectorOf(blogger);
+  d.num_posts = corpus.PostsBy(blogger).size();
+  d.num_comments_written = corpus.TotalComments(blogger);
+  for (PostId pid : corpus.PostsBy(blogger)) {
+    d.num_comments_received += corpus.CommentsOn(pid).size();
+  }
+
+  std::vector<BloggerDetails::KeyPost> posts;
+  for (PostId pid : corpus.PostsBy(blogger)) {
+    posts.push_back(BloggerDetails::KeyPost{
+        pid, corpus.post(pid).title, engine.PostInfluenceOf(pid)});
+  }
+  std::sort(posts.begin(), posts.end(),
+            [](const auto& a, const auto& b) {
+              if (a.influence != b.influence) return a.influence > b.influence;
+              return a.id < b.id;
+            });
+  if (posts.size() > max_key_posts) posts.resize(max_key_posts);
+  d.key_posts = std::move(posts);
+  return d;
+}
+
+std::string RenderBloggerDetails(const BloggerDetails& details,
+                                 const DomainSet& domains) {
+  std::string out;
+  out += StrFormat("%s (%s)\n", details.name.c_str(), details.url.c_str());
+  out += StrFormat("  total influence   %.4f\n", details.total_influence);
+  out += StrFormat("  accumulated post  %.4f\n", details.accumulated_post);
+  out += StrFormat("  general links     %.4f\n", details.general_links);
+  out += StrFormat("  posts %zu, comments received %zu, written %zu\n",
+                   details.num_posts, details.num_comments_received,
+                   details.num_comments_written);
+  out += "  domain influence:\n";
+  for (size_t t = 0; t < details.domain_influence.size(); ++t) {
+    std::string name =
+        t < domains.size() ? domains.name(t) : StrFormat("domain%zu", t);
+    out += StrFormat("    %-14s %.4f\n", name.c_str(),
+                     details.domain_influence[t]);
+  }
+  if (!details.key_posts.empty()) {
+    out += "  important posts:\n";
+    for (const auto& kp : details.key_posts) {
+      out += StrFormat("    [%u] %.4f  %s\n", kp.id, kp.influence,
+                       kp.title.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace mass

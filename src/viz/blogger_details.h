@@ -1,0 +1,46 @@
+// The pop-up detail view from the demo (§IV): "the detailed influence
+// properties of the blogger (such as the total influence score, domain
+// influence score, the number of posts, the link to important posts,
+// etc.)" — reproduced as a plain data struct plus a text renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/influence_engine.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// Everything the demo pop-up shows for one blogger.
+struct BloggerDetails {
+  BloggerId id = kInvalidBlogger;
+  std::string name;
+  std::string url;
+  double total_influence = 0.0;
+  double general_links = 0.0;
+  double accumulated_post = 0.0;
+  size_t num_posts = 0;
+  size_t num_comments_received = 0;
+  size_t num_comments_written = 0;
+  std::vector<double> domain_influence;  ///< indexed by domain
+
+  /// The blogger's most influential posts, best first.
+  struct KeyPost {
+    PostId id = kInvalidPost;
+    std::string title;
+    double influence = 0.0;
+  };
+  std::vector<KeyPost> key_posts;
+};
+
+/// Assembles the details for `blogger` from an analyzed engine.
+/// `max_key_posts` bounds the "link to important posts" list.
+BloggerDetails MakeBloggerDetails(const MassEngine& engine, BloggerId blogger,
+                                  size_t max_key_posts = 3);
+
+/// Multi-line human-readable rendering; domain names come from `domains`.
+std::string RenderBloggerDetails(const BloggerDetails& details,
+                                 const DomainSet& domains);
+
+}  // namespace mass

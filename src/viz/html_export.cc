@@ -1,0 +1,89 @@
+#include "viz/html_export.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+std::string RenderHtml(const PostReplyNetwork& network,
+                       const HtmlExportOptions& options) {
+  const auto& nodes = network.nodes();
+  const auto& edges = network.edges();
+
+  // Influence -> radius scaling.
+  double max_inf = 0.0;
+  for (const VizNode& n : nodes) max_inf = std::max(max_inf, n.influence);
+  auto radius_of = [&](const VizNode& n) {
+    if (max_inf <= 0.0) return options.min_node_radius;
+    double t = std::sqrt(n.influence / max_inf);  // area ~ influence
+    return options.min_node_radius +
+           t * (options.max_node_radius - options.min_node_radius);
+  };
+
+  std::string html;
+  html += "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  html += "<title>" + xml::Escape(options.title) + "</title>\n";
+  html +=
+      "<style>\n"
+      "  body { font-family: sans-serif; background: #fafafa; }\n"
+      "  .edge { stroke: #8aa; stroke-width: 1.2; }\n"
+      "  .edge-label { font-size: 10px; fill: #567; }\n"
+      "  .node { fill: #4a90d9; stroke: #245; stroke-width: 1; }\n"
+      "  .node:hover { fill: #e8603c; }\n"
+      "  .node-label { font-size: 11px; fill: #123; }\n"
+      "</style>\n</head>\n<body>\n";
+  html += "<h3>" + xml::Escape(options.title) + "</h3>\n";
+  html += StrFormat(
+      "<p>%zu bloggers, %zu post-reply relations. Node size tracks "
+      "influence; edge labels count comments.</p>\n",
+      nodes.size(), edges.size());
+  html += StrFormat(
+      "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" "
+      "xmlns=\"http://www.w3.org/2000/svg\">\n",
+      options.width, options.height, options.width, options.height);
+
+  // Scale stored layout coordinates into the SVG frame.
+  double max_x = 1.0, max_y = 1.0;
+  for (const VizNode& n : nodes) {
+    max_x = std::max(max_x, n.x);
+    max_y = std::max(max_y, n.y);
+  }
+  const double margin = options.max_node_radius + 4.0;
+  auto sx = [&](double x) {
+    return margin + x / max_x * (options.width - 2 * margin);
+  };
+  auto sy = [&](double y) {
+    return margin + y / max_y * (options.height - 2 * margin);
+  };
+
+  for (const VizEdge& e : edges) {
+    double x1 = sx(nodes[e.a].x), y1 = sy(nodes[e.a].y);
+    double x2 = sx(nodes[e.b].x), y2 = sy(nodes[e.b].y);
+    html += StrFormat(
+        "  <line class=\"edge\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+        "y2=\"%.1f\"/>\n",
+        x1, y1, x2, y2);
+    if (options.show_edge_labels) {
+      html += StrFormat(
+          "  <text class=\"edge-label\" x=\"%.1f\" y=\"%.1f\">%u</text>\n",
+          (x1 + x2) / 2.0, (y1 + y2) / 2.0, e.total_comments());
+    }
+  }
+  for (const VizNode& n : nodes) {
+    double x = sx(n.x), y = sy(n.y), r = radius_of(n);
+    html += StrFormat(
+        "  <circle class=\"node\" cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\">"
+        "<title>%s (influence %.3f)</title></circle>\n",
+        x, y, r, xml::Escape(n.name).c_str(), n.influence);
+    html += StrFormat(
+        "  <text class=\"node-label\" x=\"%.1f\" y=\"%.1f\">%s</text>\n",
+        x + r + 2.0, y + 4.0, xml::Escape(n.name).c_str());
+  }
+  html += "</svg>\n</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace mass

@@ -1,0 +1,29 @@
+// Self-contained HTML/SVG rendering of a post-reply network — the
+// reproduction of the demo's visualization panel (Figure 4). The exported
+// page draws every blogger as a circle (radius scaled by influence),
+// labels each edge with its total comment count, and supports hover
+// tooltips showing the node name and influence; open it in any browser.
+#pragma once
+
+#include <string>
+
+#include "viz/post_reply_network.h"
+
+namespace mass {
+
+/// HTML rendering options.
+struct HtmlExportOptions {
+  std::string title = "MASS post-reply network";
+  double width = 1000.0;
+  double height = 1000.0;
+  double min_node_radius = 6.0;
+  double max_node_radius = 22.0;
+  bool show_edge_labels = true;
+};
+
+/// Renders the (already laid-out) network to a standalone HTML document.
+/// Node positions come from VizNode::x/y — run RunForceLayout() first.
+std::string RenderHtml(const PostReplyNetwork& network,
+                       const HtmlExportOptions& options = {});
+
+}  // namespace mass

@@ -1,0 +1,371 @@
+#include "viz/post_reply_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+namespace {
+
+// Collects directed comment counts commenter -> author over the corpus,
+// restricted to bloggers present in `include` (empty = all).
+std::map<std::pair<BloggerId, BloggerId>, uint32_t> CommentCounts(
+    const Corpus& corpus, const std::vector<bool>& include) {
+  std::map<std::pair<BloggerId, BloggerId>, uint32_t> counts;
+  for (const Comment& c : corpus.comments()) {
+    BloggerId author = corpus.post(c.post).author;
+    if (author == c.commenter) continue;
+    if (!include.empty() && (!include[author] || !include[c.commenter])) {
+      continue;
+    }
+    ++counts[{c.commenter, author}];
+  }
+  return counts;
+}
+
+PostReplyNetwork BuildFromCounts(
+    const Corpus& corpus,
+    const std::map<std::pair<BloggerId, BloggerId>, uint32_t>& counts,
+    const std::vector<BloggerId>& blogger_order,
+    const std::vector<double>& influence_of) {
+  PostReplyNetwork net;
+  std::unordered_map<BloggerId, uint32_t> node_of;
+  auto ensure_node = [&](BloggerId b) -> uint32_t {
+    auto it = node_of.find(b);
+    if (it != node_of.end()) return it->second;
+    uint32_t idx = static_cast<uint32_t>(net.mutable_nodes().size());
+    VizNode node;
+    node.blogger = b;
+    node.name = corpus.blogger(b).name;
+    if (b < influence_of.size()) node.influence = influence_of[b];
+    net.mutable_nodes().push_back(std::move(node));
+    node_of.emplace(b, idx);
+    return idx;
+  };
+  for (BloggerId b : blogger_order) ensure_node(b);
+  return net;  // edges are added by the callers below via friend-free API
+}
+
+}  // namespace
+
+PostReplyNetwork PostReplyNetwork::Build(
+    const Corpus& corpus, const std::vector<double>& influence_of) {
+  auto counts = CommentCounts(corpus, {});
+  // Node order: ascending blogger id over participants.
+  std::vector<BloggerId> participants;
+  {
+    std::vector<bool> seen(corpus.num_bloggers(), false);
+    for (const auto& [pair, n] : counts) {
+      seen[pair.first] = true;
+      seen[pair.second] = true;
+    }
+    for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+      if (seen[b]) participants.push_back(b);
+    }
+  }
+  PostReplyNetwork net =
+      BuildFromCounts(corpus, counts, participants, influence_of);
+  std::unordered_map<BloggerId, uint32_t> node_of;
+  for (uint32_t i = 0; i < net.nodes_.size(); ++i) {
+    node_of.emplace(net.nodes_[i].blogger, i);
+  }
+  // Merge directed counts into undirected edges keyed by (min, max).
+  std::map<std::pair<uint32_t, uint32_t>, VizEdge> edges;
+  for (const auto& [pair, n] : counts) {
+    uint32_t u = node_of.at(pair.first);   // commenter
+    uint32_t v = node_of.at(pair.second);  // author
+    uint32_t a = std::min(u, v), b = std::max(u, v);
+    VizEdge& e = edges[{a, b}];
+    e.a = a;
+    e.b = b;
+    if (u == a) {
+      e.comments_a_on_b += n;
+    } else {
+      e.comments_b_on_a += n;
+    }
+  }
+  for (auto& [key, e] : edges) net.edges_.push_back(e);
+  return net;
+}
+
+PostReplyNetwork PostReplyNetwork::BuildEgo(
+    const Corpus& corpus, BloggerId center, int hops,
+    const std::vector<double>& influence_of) {
+  // BFS over the undirected comment relation.
+  auto all_counts = CommentCounts(corpus, {});
+  std::unordered_map<BloggerId, std::vector<BloggerId>> adjacency;
+  for (const auto& [pair, n] : all_counts) {
+    adjacency[pair.first].push_back(pair.second);
+    adjacency[pair.second].push_back(pair.first);
+  }
+  std::vector<bool> include(corpus.num_bloggers(), false);
+  include[center] = true;
+  std::queue<std::pair<BloggerId, int>> frontier;
+  frontier.push({center, 0});
+  while (!frontier.empty()) {
+    auto [b, d] = frontier.front();
+    frontier.pop();
+    if (d >= hops) continue;
+    for (BloggerId nb : adjacency[b]) {
+      if (include[nb]) continue;
+      include[nb] = true;
+      frontier.push({nb, d + 1});
+    }
+  }
+  // Re-run the full builder over the restricted blogger set.
+  auto counts = CommentCounts(corpus, include);
+  std::vector<BloggerId> participants;
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    if (include[b]) participants.push_back(b);
+  }
+  PostReplyNetwork net =
+      BuildFromCounts(corpus, counts, participants, influence_of);
+  std::unordered_map<BloggerId, uint32_t> node_of;
+  for (uint32_t i = 0; i < net.nodes_.size(); ++i) {
+    node_of.emplace(net.nodes_[i].blogger, i);
+  }
+  std::map<std::pair<uint32_t, uint32_t>, VizEdge> edges;
+  for (const auto& [pair, n] : counts) {
+    uint32_t u = node_of.at(pair.first);
+    uint32_t v = node_of.at(pair.second);
+    uint32_t a = std::min(u, v), b = std::max(u, v);
+    VizEdge& e = edges[{a, b}];
+    e.a = a;
+    e.b = b;
+    if (u == a) {
+      e.comments_a_on_b += n;
+    } else {
+      e.comments_b_on_a += n;
+    }
+  }
+  for (auto& [key, e] : edges) net.edges_.push_back(e);
+  return net;
+}
+
+void PostReplyNetwork::RunForceLayout(const LayoutOptions& options) {
+  const size_t n = nodes_.size();
+  if (n == 0) return;
+  Rng rng(options.seed);
+  for (VizNode& node : nodes_) {
+    node.x = rng.NextDouble(0.0, options.width);
+    node.y = rng.NextDouble(0.0, options.height);
+  }
+  if (n == 1) {
+    nodes_[0].x = options.width / 2.0;
+    nodes_[0].y = options.height / 2.0;
+    return;
+  }
+  const double area = options.width * options.height;
+  const double k = std::sqrt(area / static_cast<double>(n));
+  double temperature = options.width / 10.0;
+  const double cooling =
+      temperature / static_cast<double>(std::max(options.iterations, 1));
+
+  std::vector<double> dx(n), dy(n);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::fill(dx.begin(), dx.end(), 0.0);
+    std::fill(dy.begin(), dy.end(), 0.0);
+    // Repulsion between every pair.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double ddx = nodes_[i].x - nodes_[j].x;
+        double ddy = nodes_[i].y - nodes_[j].y;
+        double dist = std::sqrt(ddx * ddx + ddy * ddy);
+        if (dist < 1e-6) {
+          ddx = rng.NextDouble(-1.0, 1.0);
+          ddy = rng.NextDouble(-1.0, 1.0);
+          dist = 1.0;
+        }
+        double force = k * k / dist;
+        dx[i] += ddx / dist * force;
+        dy[i] += ddy / dist * force;
+        dx[j] -= ddx / dist * force;
+        dy[j] -= ddy / dist * force;
+      }
+    }
+    // Attraction along edges, weighted by log(1 + comments).
+    for (const VizEdge& e : edges_) {
+      double ddx = nodes_[e.a].x - nodes_[e.b].x;
+      double ddy = nodes_[e.a].y - nodes_[e.b].y;
+      double dist = std::sqrt(ddx * ddx + ddy * ddy);
+      if (dist < 1e-6) continue;
+      double weight = 1.0 + std::log1p(static_cast<double>(e.total_comments()));
+      double force = dist * dist / k * weight;
+      dx[e.a] -= ddx / dist * force;
+      dy[e.a] -= ddy / dist * force;
+      dx[e.b] += ddx / dist * force;
+      dy[e.b] += ddy / dist * force;
+    }
+    // Displace, clamped by temperature and the frame.
+    for (size_t i = 0; i < n; ++i) {
+      double disp = std::sqrt(dx[i] * dx[i] + dy[i] * dy[i]);
+      if (disp < 1e-9) continue;
+      double limited = std::min(disp, temperature);
+      nodes_[i].x += dx[i] / disp * limited;
+      nodes_[i].y += dy[i] / disp * limited;
+      nodes_[i].x = std::clamp(nodes_[i].x, 0.0, options.width);
+      nodes_[i].y = std::clamp(nodes_[i].y, 0.0, options.height);
+    }
+    temperature = std::max(temperature - cooling, 0.01);
+  }
+}
+
+std::string PostReplyNetwork::ToXml() const {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("visualization");
+  w.Attribute("version", int64_t{1});
+  w.StartElement("nodes");
+  for (const VizNode& node : nodes_) {
+    w.StartElement("node");
+    w.Attribute("blogger", static_cast<int64_t>(node.blogger));
+    w.Attribute("name", node.name);
+    w.Attribute("x", node.x);
+    w.Attribute("y", node.y);
+    w.Attribute("influence", node.influence);
+    w.EndElement();
+  }
+  w.EndElement();
+  w.StartElement("edges");
+  for (const VizEdge& e : edges_) {
+    w.StartElement("edge");
+    w.Attribute("a", static_cast<int64_t>(e.a));
+    w.Attribute("b", static_cast<int64_t>(e.b));
+    w.Attribute("ab", static_cast<int64_t>(e.comments_a_on_b));
+    w.Attribute("ba", static_cast<int64_t>(e.comments_b_on_a));
+    w.EndElement();
+  }
+  w.EndElement();
+  w.EndElement();
+  return os.str();
+}
+
+Result<PostReplyNetwork> PostReplyNetwork::FromXml(std::string_view xml_text) {
+  MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
+  if (root->name != "visualization") {
+    return Status::Corruption("expected <visualization> root");
+  }
+  PostReplyNetwork net;
+  const xml::XmlNode* nodes = root->Child("nodes");
+  if (nodes == nullptr) return Status::Corruption("missing <nodes>");
+  for (const xml::XmlNode* nn : nodes->Children("node")) {
+    VizNode node;
+    int64_t blogger;
+    if (!ParseInt64(nn->Attr("blogger"), &blogger)) {
+      return Status::Corruption("bad node blogger id");
+    }
+    node.blogger = static_cast<BloggerId>(blogger);
+    node.name = std::string(nn->Attr("name"));
+    if (!ParseDouble(nn->Attr("x"), &node.x) ||
+        !ParseDouble(nn->Attr("y"), &node.y)) {
+      return Status::Corruption("bad node position");
+    }
+    if (nn->HasAttr("influence")) {
+      if (!ParseDouble(nn->Attr("influence"), &node.influence)) {
+        return Status::Corruption("bad node influence");
+      }
+    }
+    net.nodes_.push_back(std::move(node));
+  }
+  const xml::XmlNode* edges = root->Child("edges");
+  if (edges == nullptr) return Status::Corruption("missing <edges>");
+  for (const xml::XmlNode* en : edges->Children("edge")) {
+    VizEdge e;
+    int64_t a, b, ab, ba;
+    if (!ParseInt64(en->Attr("a"), &a) || !ParseInt64(en->Attr("b"), &b) ||
+        !ParseInt64(en->Attr("ab"), &ab) || !ParseInt64(en->Attr("ba"), &ba)) {
+      return Status::Corruption("bad edge attributes");
+    }
+    if (a < 0 || b < 0 || static_cast<size_t>(a) >= net.nodes_.size() ||
+        static_cast<size_t>(b) >= net.nodes_.size()) {
+      return Status::Corruption("edge endpoint out of range");
+    }
+    e.a = static_cast<uint32_t>(a);
+    e.b = static_cast<uint32_t>(b);
+    e.comments_a_on_b = static_cast<uint32_t>(ab);
+    e.comments_b_on_a = static_cast<uint32_t>(ba);
+    net.edges_.push_back(e);
+  }
+  return net;
+}
+
+std::string PostReplyNetwork::ToGraphMl() const {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("graphml");
+  w.Attribute("xmlns", "http://graphml.graphdrawing.org/xmlns");
+  auto key = [&w](const char* id, const char* target, const char* name,
+                  const char* type) {
+    w.StartElement("key");
+    w.Attribute("id", id);
+    w.Attribute("for", target);
+    w.Attribute("attr.name", name);
+    w.Attribute("attr.type", type);
+    w.EndElement();
+  };
+  key("name", "node", "name", "string");
+  key("influence", "node", "influence", "double");
+  key("x", "node", "x", "double");
+  key("y", "node", "y", "double");
+  key("comments", "edge", "comments", "int");
+
+  w.StartElement("graph");
+  w.Attribute("id", "post_reply");
+  w.Attribute("edgedefault", "undirected");
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    w.StartElement("node");
+    w.Attribute("id", StrFormat("n%zu", i));
+    auto data = [&w](const char* k, const std::string& v) {
+      w.StartElement("data");
+      w.Attribute("key", k);
+      w.Text(v);
+      w.EndElement();
+    };
+    data("name", nodes_[i].name);
+    data("influence", StrFormat("%.6f", nodes_[i].influence));
+    data("x", StrFormat("%.2f", nodes_[i].x));
+    data("y", StrFormat("%.2f", nodes_[i].y));
+    w.EndElement();
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    w.StartElement("edge");
+    w.Attribute("id", StrFormat("e%zu", i));
+    w.Attribute("source", StrFormat("n%u", edges_[i].a));
+    w.Attribute("target", StrFormat("n%u", edges_[i].b));
+    w.StartElement("data");
+    w.Attribute("key", "comments");
+    w.Text(StrFormat("%u", edges_[i].total_comments()));
+    w.EndElement();
+    w.EndElement();
+  }
+  w.EndElement();  // graph
+  w.EndElement();  // graphml
+  return os.str();
+}
+
+std::string PostReplyNetwork::ToDot() const {
+  std::string out = "graph post_reply {\n  node [shape=circle];\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += StrFormat("  n%zu [label=\"%s\" pos=\"%.1f,%.1f\"];\n", i,
+                     nodes_[i].name.c_str(), nodes_[i].x, nodes_[i].y);
+  }
+  for (const VizEdge& e : edges_) {
+    out += StrFormat("  n%u -- n%u [label=\"%u\"];\n", e.a, e.b,
+                     e.total_comments());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mass

@@ -1,0 +1,85 @@
+// The visualization model behind paper Figure 4: "Each node represents one
+// blogger ... A line between two nodes represents the post-reply
+// relationship between two bloggers and the number on the line records the
+// total number comments of one blogger on the other blogger's posts."
+// Supports the demo's ego-network view (double-click a recommended blogger
+// to see her post-reply network), save/load as XML, and Graphviz export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// A displayed blogger.
+struct VizNode {
+  BloggerId blogger = kInvalidBlogger;
+  std::string name;
+  double x = 0.0;  ///< layout position, set by RunForceLayout
+  double y = 0.0;
+  double influence = 0.0;  ///< optional: node size signal
+};
+
+/// An undirected post-reply edge between node indices `a` and `b`.
+struct VizEdge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  /// Comments by a's blogger on b's posts and vice versa; the displayed
+  /// line label is the total.
+  uint32_t comments_a_on_b = 0;
+  uint32_t comments_b_on_a = 0;
+
+  uint32_t total_comments() const { return comments_a_on_b + comments_b_on_a; }
+};
+
+/// Force-directed layout parameters (Fruchterman-Reingold style).
+struct LayoutOptions {
+  int iterations = 150;
+  double width = 1000.0;
+  double height = 1000.0;
+  uint64_t seed = 11;  ///< initial placement
+};
+
+/// The post-reply network of a corpus or of an ego neighborhood.
+class PostReplyNetwork {
+ public:
+  /// Builds the network over all bloggers with at least one post-reply
+  /// relation. `influence_of` may be empty; otherwise indexed by blogger.
+  static PostReplyNetwork Build(const Corpus& corpus,
+                                const std::vector<double>& influence_of = {});
+
+  /// Builds the ego network of `center` out to `hops` comment-relation
+  /// hops (hops >= 0; 0 yields just the center).
+  static PostReplyNetwork BuildEgo(const Corpus& corpus, BloggerId center,
+                                   int hops,
+                                   const std::vector<double>& influence_of = {});
+
+  const std::vector<VizNode>& nodes() const { return nodes_; }
+  const std::vector<VizEdge>& edges() const { return edges_; }
+  std::vector<VizNode>& mutable_nodes() { return nodes_; }
+
+  /// Fruchterman-Reingold force-directed layout; fills node x/y.
+  void RunForceLayout(const LayoutOptions& options = {});
+
+  /// Serializes to the MASS visualization XML format ("The visualization
+  /// graph can be saved as an XML file and be loaded in future").
+  std::string ToXml() const;
+  static Result<PostReplyNetwork> FromXml(std::string_view xml_text);
+
+  /// Graphviz DOT export, edge labels = total comment counts.
+  std::string ToDot() const;
+
+  /// GraphML export (Gephi/yEd/NetworkX compatible): node attributes
+  /// name/influence/x/y, edge attribute comments.
+  std::string ToGraphMl() const;
+
+ private:
+  std::vector<VizNode> nodes_;
+  std::vector<VizEdge> edges_;
+};
+
+}  // namespace mass

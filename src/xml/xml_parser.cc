@@ -1,0 +1,329 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mass::xml {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view XmlEvent::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool XmlEvent::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Status XmlParser::Error(const std::string& what) {
+  return Status::Corruption(StrFormat("XML parse error at offset %zu: %s",
+                                      pos_, what.c_str()));
+}
+
+Status XmlParser::SkipProlog() {
+  // Skip whitespace, the XML declaration, comments, and processing
+  // instructions before the root element.
+  for (;;) {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ + 1 < input_.size() && input_[pos_] == '<' &&
+        (input_[pos_ + 1] == '?')) {
+      size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) return Error("unterminated <? ... ?>");
+      pos_ = end + 2;
+      continue;
+    }
+    if (pos_ + 3 < input_.size() && input_.substr(pos_, 4) == "<!--") {
+      size_t end = input_.find("-->", pos_);
+      if (end == std::string_view::npos) return Error("unterminated comment");
+      pos_ = end + 3;
+      continue;
+    }
+    return Status::OK();
+  }
+}
+
+Result<std::string> XmlParser::ParseName() {
+  if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+    return Error("expected name");
+  }
+  size_t start = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+Status XmlParser::DecodeEntities(std::string_view raw, std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      *out += raw[i];
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) return Error("unterminated entity");
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      *out += '&';
+    } else if (ent == "lt") {
+      *out += '<';
+    } else if (ent == "gt") {
+      *out += '>';
+    } else if (ent == "quot") {
+      *out += '"';
+    } else if (ent == "apos") {
+      *out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      // Numeric character reference; we emit the raw byte for code points
+      // below 128 and a UTF-8 sequence otherwise.
+      long code = 0;
+      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) return Error("bad character reference");
+      if (code < 0x80) {
+        *out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        *out += static_cast<char>(0xC0 | (code >> 6));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      } else if (code < 0x10000) {
+        *out += static_cast<char>(0xE0 | (code >> 12));
+        *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        *out += static_cast<char>(0xF0 | (code >> 18));
+        *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+    } else {
+      return Error("unknown entity &" + std::string(ent) + ";");
+    }
+    i = semi;
+  }
+  return Status::OK();
+}
+
+Result<std::string> XmlParser::ParseAttrValue() {
+  if (pos_ >= input_.size() || (input_[pos_] != '"' && input_[pos_] != '\'')) {
+    return Error("expected quoted attribute value");
+  }
+  char quote = input_[pos_++];
+  size_t start = pos_;
+  while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+  if (pos_ >= input_.size()) return Error("unterminated attribute value");
+  std::string decoded;
+  MASS_RETURN_IF_ERROR(
+      DecodeEntities(input_.substr(start, pos_ - start), &decoded));
+  ++pos_;  // closing quote
+  return decoded;
+}
+
+Result<XmlEvent> XmlParser::Next() {
+  if (pending_empty_end_) {
+    pending_empty_end_ = false;
+    XmlEvent ev;
+    ev.type = XmlEventType::kEndElement;
+    ev.name = pending_empty_name_;
+    return ev;
+  }
+  if (!prolog_done_) {
+    MASS_RETURN_IF_ERROR(SkipProlog());
+    prolog_done_ = true;
+  }
+
+  for (;;) {
+    if (pos_ >= input_.size()) {
+      if (!open_.empty()) return Error("unexpected end: <" + open_.back() + "> not closed");
+      XmlEvent ev;
+      ev.type = XmlEventType::kEndDocument;
+      return ev;
+    }
+
+    if (input_[pos_] == '<') {
+      if (pos_ + 3 < input_.size() && input_.substr(pos_, 4) == "<!--") {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+        // End tag.
+        pos_ += 2;
+        MASS_ASSIGN_OR_RETURN(std::string name, ParseName());
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ >= input_.size() || input_[pos_] != '>') {
+          return Error("expected '>' in end tag");
+        }
+        ++pos_;
+        if (open_.empty() || open_.back() != name) {
+          return Error("mismatched end tag </" + name + ">");
+        }
+        open_.pop_back();
+        XmlEvent ev;
+        ev.type = XmlEventType::kEndElement;
+        ev.name = std::move(name);
+        return ev;
+      }
+      // Start tag.
+      ++pos_;
+      MASS_ASSIGN_OR_RETURN(std::string name, ParseName());
+      XmlEvent ev;
+      ev.type = XmlEventType::kStartElement;
+      ev.name = name;
+      for (;;) {
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ >= input_.size()) return Error("unterminated start tag");
+        if (input_[pos_] == '>') {
+          ++pos_;
+          open_.push_back(name);
+          return ev;
+        }
+        if (input_[pos_] == '/') {
+          if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '>') {
+            return Error("expected '/>'");
+          }
+          pos_ += 2;
+          pending_empty_end_ = true;
+          pending_empty_name_ = name;
+          return ev;
+        }
+        MASS_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ >= input_.size() || input_[pos_] != '=') {
+          return Error("expected '=' after attribute name");
+        }
+        ++pos_;
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        MASS_ASSIGN_OR_RETURN(std::string attr_value, ParseAttrValue());
+        ev.attributes.emplace_back(std::move(attr_name), std::move(attr_value));
+      }
+    }
+
+    // Text run up to the next '<'.
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+    std::string_view raw = input_.substr(start, pos_ - start);
+    if (open_.empty() || IsAllWhitespace(raw)) continue;  // skip inter-element ws
+    std::string decoded;
+    MASS_RETURN_IF_ERROR(DecodeEntities(raw, &decoded));
+    XmlEvent ev;
+    ev.type = XmlEventType::kText;
+    ev.text = std::move(decoded);
+    return ev;
+  }
+}
+
+std::string_view XmlNode::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool XmlNode::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const XmlNode* XmlNode::Child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string_view XmlNode::ChildText(std::string_view child_name) const {
+  const XmlNode* c = Child(child_name);
+  return c ? std::string_view(c->text) : std::string_view{};
+}
+
+Result<std::unique_ptr<XmlNode>> ParseDocument(std::string_view input) {
+  XmlParser parser(input);
+  std::unique_ptr<XmlNode> root;
+  std::vector<XmlNode*> stack;
+  for (;;) {
+    MASS_ASSIGN_OR_RETURN(XmlEvent ev, parser.Next());
+    switch (ev.type) {
+      case XmlEventType::kStartElement: {
+        auto node = std::make_unique<XmlNode>();
+        node->name = std::move(ev.name);
+        node->attributes = std::move(ev.attributes);
+        XmlNode* raw = node.get();
+        if (stack.empty()) {
+          if (root) {
+            return Status::Corruption("XML: multiple root elements");
+          }
+          root = std::move(node);
+        } else {
+          stack.back()->children.push_back(std::move(node));
+        }
+        stack.push_back(raw);
+        break;
+      }
+      case XmlEventType::kEndElement:
+        if (stack.empty()) return Status::Corruption("XML: unbalanced end");
+        stack.pop_back();
+        break;
+      case XmlEventType::kText:
+        if (!stack.empty()) stack.back()->text += ev.text;
+        break;
+      case XmlEventType::kEndDocument:
+        if (!root) return Status::Corruption("XML: empty document");
+        return root;
+    }
+  }
+}
+
+}  // namespace mass::xml

@@ -1,0 +1,93 @@
+// Pull parser and small DOM for the XML subset MASS writes: declaration,
+// elements, attributes, character data, comments, and the five standard
+// entities plus numeric character references. No DTDs, namespaces, or CDATA
+// processing beyond pass-through.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mass::xml {
+
+/// Event kinds produced by the pull parser.
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,
+  kEndDocument,
+};
+
+/// One parser event. `name` is set for element events; `text` for text
+/// events; `attributes` for start-element events.
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kEndDocument;
+  std::string name;
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// Returns the attribute value or an empty string.
+  std::string_view Attr(std::string_view key) const;
+  /// True when the attribute is present.
+  bool HasAttr(std::string_view key) const;
+};
+
+/// Pull parser over an in-memory document.
+///
+/// Call Next() until it yields kEndDocument or an error Status. Whitespace-
+/// only text between elements is skipped; mixed content whitespace is kept.
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : input_(input) {}
+
+  /// Produces the next event, or a Corruption status on malformed input.
+  Result<XmlEvent> Next();
+
+  /// Byte offset of the parse cursor (for error reporting).
+  size_t position() const { return pos_; }
+
+ private:
+  Status SkipProlog();
+  Result<std::string> ParseName();
+  Result<std::string> ParseAttrValue();
+  Status DecodeEntities(std::string_view raw, std::string* out);
+  Status Error(const std::string& what);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  bool prolog_done_ = false;
+  std::vector<std::string> open_;  // element stack for balance checking
+  bool pending_empty_end_ = false;
+  std::string pending_empty_name_;
+};
+
+/// DOM node: an element with attributes, children, and concatenated text.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;  // concatenation of direct text content
+
+  /// Attribute value or empty string.
+  std::string_view Attr(std::string_view key) const;
+  bool HasAttr(std::string_view key) const;
+
+  /// First child element with the given name, or nullptr.
+  const XmlNode* Child(std::string_view child_name) const;
+
+  /// All child elements with the given name.
+  std::vector<const XmlNode*> Children(std::string_view child_name) const;
+
+  /// Text of the named child, or empty string.
+  std::string_view ChildText(std::string_view child_name) const;
+};
+
+/// Parses a whole document into a DOM tree rooted at the single top element.
+Result<std::unique_ptr<XmlNode>> ParseDocument(std::string_view input);
+
+}  // namespace mass::xml

@@ -1,0 +1,103 @@
+#include "xml/xml_writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mass::xml {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void XmlWriter::StartDocument() {
+  os_ << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+}
+
+void XmlWriter::Indent() {
+  for (size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void XmlWriter::CloseStartTagIfOpen(bool for_text) {
+  if (start_tag_open_) {
+    os_ << ">";
+    if (!for_text) os_ << "\n";
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::StartElement(std::string_view name) {
+  CloseStartTagIfOpen(/*for_text=*/false);
+  Indent();
+  os_ << "<" << name;
+  stack_.emplace_back(name);
+  start_tag_open_ = true;
+  last_was_text_ = false;
+}
+
+void XmlWriter::Attribute(std::string_view name, std::string_view value) {
+  assert(start_tag_open_ && "Attribute() must follow StartElement()");
+  os_ << " " << name << "=\"" << Escape(value) << "\"";
+}
+
+void XmlWriter::Attribute(std::string_view name, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  Attribute(name, std::string_view(buf));
+}
+
+void XmlWriter::Attribute(std::string_view name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Attribute(name, std::string_view(buf));
+}
+
+void XmlWriter::Text(std::string_view text) {
+  CloseStartTagIfOpen(/*for_text=*/true);
+  os_ << Escape(text);
+  last_was_text_ = true;
+}
+
+void XmlWriter::EndElement() {
+  assert(!stack_.empty());
+  std::string name = stack_.back();
+  stack_.pop_back();
+  if (start_tag_open_) {
+    os_ << "/>\n";
+    start_tag_open_ = false;
+  } else {
+    if (!last_was_text_) Indent();
+    os_ << "</" << name << ">\n";
+  }
+  last_was_text_ = false;
+}
+
+void XmlWriter::SimpleElement(std::string_view name, std::string_view text) {
+  StartElement(name);
+  if (!text.empty()) Text(text);
+  EndElement();
+}
+
+}  // namespace mass::xml

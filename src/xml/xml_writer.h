@@ -1,0 +1,58 @@
+// Streaming XML writer. MASS stores crawled corpora and saved visualization
+// graphs as XML files (paper §III: "stores the bloggers' information ... in
+// XML files"; §IV: "The visualization graph can be saved as an XML file").
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mass::xml {
+
+/// Escapes the five XML special characters in text / attribute content.
+std::string Escape(std::string_view s);
+
+/// Emits well-formed XML to an ostream.
+///
+/// Usage:
+///   XmlWriter w(os);
+///   w.StartDocument();
+///   w.StartElement("blogger");
+///   w.Attribute("id", "42");
+///   w.Text("...");
+///   w.EndElement();
+///
+/// The writer indents two spaces per depth level and closes empty elements
+/// as `<x/>`. Attribute() is only legal immediately after StartElement().
+class XmlWriter {
+ public:
+  explicit XmlWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes the XML declaration.
+  void StartDocument();
+
+  void StartElement(std::string_view name);
+  void Attribute(std::string_view name, std::string_view value);
+  void Attribute(std::string_view name, int64_t value);
+  void Attribute(std::string_view name, double value);
+  void Text(std::string_view text);
+  void EndElement();
+
+  /// StartElement + Text + EndElement in one call.
+  void SimpleElement(std::string_view name, std::string_view text);
+
+  /// Number of elements currently open; 0 when the document is balanced.
+  size_t depth() const { return stack_.size(); }
+
+ private:
+  void CloseStartTagIfOpen(bool for_text);
+  void Indent();
+
+  std::ostream& os_;
+  std::vector<std::string> stack_;
+  bool start_tag_open_ = false;
+  bool last_was_text_ = false;
+};
+
+}  // namespace mass::xml

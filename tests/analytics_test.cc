@@ -1,0 +1,359 @@
+// Unit tests for the analytics module (domain trends, rising terms), the
+// analysis snapshot persistence, and the HTML visualization export.
+#include <gtest/gtest.h>
+
+#include "analytics/trend_analyzer.h"
+#include "storage/analysis_xml.h"
+#include "synth/generator.h"
+#include "viz/html_export.h"
+#include "viz/post_reply_network.h"
+
+namespace mass {
+namespace {
+
+// A corpus with a planted trend: Travel posts early, Sports posts late.
+Corpus TrendCorpus() {
+  Corpus c;
+  Blogger traveler;
+  traveler.name = "traveler";
+  Blogger athlete;
+  athlete.name = "athlete";
+  BloggerId t = c.AddBlogger(std::move(traveler));
+  BloggerId a = c.AddBlogger(std::move(athlete));
+  for (int i = 0; i < 10; ++i) {
+    Post p;
+    p.author = t;
+    p.true_domain = 0;  // Travel
+    p.title = "trip report";
+    p.content = "flight hotel beach vacation journey itinerary";
+    p.timestamp = 1'000'000 + i * 100;
+    c.AddPost(std::move(p)).value();
+  }
+  for (int i = 0; i < 10; ++i) {
+    Post p;
+    p.author = a;
+    p.true_domain = 6;  // Sports
+    p.title = "match day";
+    p.content = "football stadium championship tournament playoff medal";
+    p.timestamp = 2'000'000 + i * 100;  // strictly later
+    c.AddPost(std::move(p)).value();
+  }
+  c.BuildIndexes();
+  return c;
+}
+
+// ---------- domain trends ----------
+
+TEST(TrendTest, RequiresAnalyzedEngine) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  EXPECT_TRUE(ComputeDomainTrends(engine, 4).status().IsFailedPrecondition());
+}
+
+TEST(TrendTest, RejectsZeroBuckets) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_TRUE(ComputeDomainTrends(engine, 0).status().IsInvalidArgument());
+}
+
+TEST(TrendTest, BucketsSeparatePlantedPhases) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 4);
+  ASSERT_TRUE(trends.ok()) << trends.status();
+  ASSERT_EQ(trends->num_buckets(), 4u);
+  // First bucket: all Travel; last bucket: all Sports.
+  EXPECT_GT(trends->influence_mass[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(trends->influence_mass[0][6], 0.0);
+  EXPECT_GT(trends->influence_mass[3][6], 0.0);
+  EXPECT_DOUBLE_EQ(trends->influence_mass[3][0], 0.0);
+  EXPECT_EQ(trends->post_counts[0][0], 10u);
+  EXPECT_EQ(trends->post_counts[3][6], 10u);
+}
+
+TEST(TrendTest, HottestDomainIsTheRisingOne) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 4);
+  ASSERT_TRUE(trends.ok());
+  EXPECT_EQ(trends->HottestDomain(), 6);  // Sports rises
+}
+
+TEST(TrendTest, SingleBucketHoldsEverything) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 1);
+  ASSERT_TRUE(trends.ok());
+  EXPECT_EQ(trends->post_counts[0][0] + trends->post_counts[0][6], 20u);
+}
+
+TEST(TrendTest, WorksOnGeneratedCorpus) {
+  synth::GeneratorOptions o;
+  o.seed = 71;
+  o.num_bloggers = 100;
+  o.target_posts = 500;
+  auto r = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 12);
+  ASSERT_TRUE(trends.ok());
+  double total = 0.0;
+  for (const auto& bucket : trends->influence_mass) {
+    for (double v : bucket) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(TrendTest, AllPostsSameTimestampSingleBucket) {
+  Corpus c;
+  BloggerId b = c.AddBlogger({});
+  for (int i = 0; i < 5; ++i) {
+    Post p;
+    p.author = b;
+    p.true_domain = 2;
+    p.content = "same moment";
+    p.timestamp = 42;
+    c.AddPost(std::move(p)).value();
+  }
+  c.BuildIndexes();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 6);
+  ASSERT_TRUE(trends.ok());
+  // All mass lands in the first bucket; the rest stay empty.
+  EXPECT_EQ(trends->post_counts[0][2], 5u);
+  for (size_t bk = 1; bk < trends->num_buckets(); ++bk) {
+    for (size_t d = 0; d < 10; ++d) {
+      EXPECT_EQ(trends->post_counts[bk][d], 0u);
+    }
+  }
+}
+
+TEST(TrendTest, InfluenceMassTotalsMatchEngine) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 3);
+  ASSERT_TRUE(trends.ok());
+  double bucketed = 0.0;
+  for (const auto& bucket : trends->influence_mass) {
+    for (double v : bucket) bucketed += v;
+  }
+  double direct = 0.0;
+  for (PostId p = 0; p < c.num_posts(); ++p) {
+    direct += engine.PostInfluenceOf(p);
+  }
+  EXPECT_NEAR(bucketed, direct, 1e-9 * (1.0 + direct));
+}
+
+// ---------- rising terms ----------
+
+TEST(RisingTermsTest, FindsTheNewTopic) {
+  Corpus c = TrendCorpus();
+  auto rising = TopRisingTerms(c, 5, /*min_count=*/5);
+  ASSERT_FALSE(rising.empty());
+  // Sports words appear only in the recent half, so they dominate.
+  bool found_sports_word = false;
+  for (const RisingTerm& rt : rising) {
+    if (rt.term == "football" || rt.term == "stadium" ||
+        rt.term == "championship" || rt.term == "tournament") {
+      found_sports_word = true;
+      EXPECT_EQ(rt.past_count, 0u);
+      EXPECT_GE(rt.recent_count, 10u);
+      EXPECT_GT(rt.score, 5.0);
+    }
+  }
+  EXPECT_TRUE(found_sports_word);
+}
+
+TEST(RisingTermsTest, StableTermsScoreNearOne) {
+  // A term spread evenly across time has ratio ~1 and ranks low.
+  Corpus c = TrendCorpus();
+  auto rising = TopRisingTerms(c, 100, 5);
+  for (const RisingTerm& rt : rising) {
+    if (rt.term == "flight") {
+      // Travel words only in the early half: falling, not rising.
+      EXPECT_LT(rt.score, 0.2);
+    }
+  }
+}
+
+TEST(RisingTermsTest, EmptyCorpus) {
+  Corpus c;
+  c.BuildIndexes();
+  EXPECT_TRUE(TopRisingTerms(c, 5).empty());
+}
+
+TEST(RisingTermsTest, MinCountFilters) {
+  Corpus c = TrendCorpus();
+  auto strict = TopRisingTerms(c, 100, 100);
+  EXPECT_TRUE(strict.empty());
+}
+
+// ---------- analysis snapshot ----------
+
+TEST(AnalysisSnapshotTest, RoundTripPreservesScores) {
+  synth::GeneratorOptions o;
+  o.seed = 72;
+  o.num_bloggers = 80;
+  o.target_posts = 300;
+  auto r = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  AnalysisSnapshot snap = SnapshotFrom(engine);
+  auto loaded = AnalysisFromXml(AnalysisToXml(snap));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_bloggers(), snap.num_bloggers());
+  ASSERT_EQ(loaded->num_domains, 10u);
+  for (size_t b = 0; b < snap.num_bloggers(); ++b) {
+    EXPECT_DOUBLE_EQ(loaded->influence[b], snap.influence[b]);
+    EXPECT_DOUBLE_EQ(loaded->general_links[b], snap.general_links[b]);
+    for (size_t d = 0; d < 10; ++d) {
+      EXPECT_DOUBLE_EQ(loaded->domain_influence[b][d],
+                       snap.domain_influence[b][d]);
+    }
+  }
+}
+
+TEST(AnalysisSnapshotTest, TopKMatchesEngine) {
+  synth::GeneratorOptions o;
+  o.seed = 73;
+  o.num_bloggers = 60;
+  o.target_posts = 250;
+  auto r = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  AnalysisSnapshot snap = SnapshotFrom(engine);
+
+  auto engine_top = engine.TopKGeneral(5);
+  auto snap_top = snap.TopKGeneral(5);
+  ASSERT_EQ(engine_top.size(), snap_top.size());
+  for (size_t i = 0; i < engine_top.size(); ++i) {
+    EXPECT_EQ(engine_top[i].id, snap_top[i].id);
+  }
+  for (size_t d = 0; d < 10; ++d) {
+    auto ed = engine.TopKDomain(d, 3);
+    auto sd = snap.TopKDomain(d, 3);
+    for (size_t i = 0; i < ed.size(); ++i) EXPECT_EQ(ed[i].id, sd[i].id);
+  }
+}
+
+TEST(AnalysisSnapshotTest, RejectsCorruptXml) {
+  EXPECT_FALSE(AnalysisFromXml("<wrong/>").ok());
+  EXPECT_FALSE(AnalysisFromXml("<analysis domains=\"x\"/>").ok());
+  const char* mismatched = R"(<analysis domains="3">
+    <blogger id="0" inf="1" ap="1" gl="1"><domains>0.5 0.5</domains></blogger>
+  </analysis>)";
+  EXPECT_FALSE(AnalysisFromXml(mismatched).ok());
+  const char* non_dense = R"(<analysis domains="1">
+    <blogger id="5" inf="1" ap="1" gl="1"><domains>1.0</domains></blogger>
+  </analysis>)";
+  EXPECT_FALSE(AnalysisFromXml(non_dense).ok());
+}
+
+TEST(AnalysisSnapshotTest, FileRoundTrip) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  AnalysisSnapshot snap = SnapshotFrom(engine);
+  std::string path = testing::TempDir() + "/mass_analysis_test.xml";
+  ASSERT_TRUE(SaveAnalysis(snap, path).ok());
+  auto loaded = LoadAnalysis(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_bloggers(), 9u);
+}
+
+// ---------- HTML export ----------
+
+TEST(HtmlExportTest, ContainsNodesEdgesAndTooltips) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::vector<double> inf(c.num_bloggers());
+  for (BloggerId b = 0; b < c.num_bloggers(); ++b) {
+    inf[b] = engine.InfluenceOf(b);
+  }
+  PostReplyNetwork net = PostReplyNetwork::Build(c, inf);
+  net.RunForceLayout();
+  std::string html = RenderHtml(net);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("Amery"), std::string::npos);
+  EXPECT_NE(html.find("<circle"), std::string::npos);
+  EXPECT_NE(html.find("<line"), std::string::npos);
+  EXPECT_NE(html.find("<title>"), std::string::npos);
+  // One circle per node, one line per edge.
+  size_t circles = 0, lines = 0;
+  for (size_t pos = 0; (pos = html.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  for (size_t pos = 0; (pos = html.find("<line", pos)) != std::string::npos;
+       ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(circles, net.nodes().size());
+  EXPECT_EQ(lines, net.edges().size());
+}
+
+TEST(HtmlExportTest, EscapesNames) {
+  PostReplyNetwork net;
+  Corpus c;
+  Blogger evil;
+  evil.name = "<script>alert(1)</script>";
+  BloggerId a = c.AddBlogger(std::move(evil));
+  Blogger other;
+  other.name = "ok";
+  BloggerId b = c.AddBlogger(std::move(other));
+  Post p;
+  p.author = a;
+  p.content = "x";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = b;
+  cm.text = "hi";
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+  net = PostReplyNetwork::Build(c);
+  net.RunForceLayout();
+  std::string html = RenderHtml(net);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(HtmlExportTest, InfluenceScalesRadius) {
+  Corpus c = synth::MakeFigure1Corpus();
+  std::vector<double> inf(c.num_bloggers(), 0.1);
+  inf[c.FindBloggerByName("Amery")] = 10.0;
+  PostReplyNetwork net = PostReplyNetwork::Build(c, inf);
+  net.RunForceLayout();
+  HtmlExportOptions opts;
+  opts.min_node_radius = 5.0;
+  opts.max_node_radius = 20.0;
+  std::string html = RenderHtml(net, opts);
+  // The max-influence node gets the max radius.
+  EXPECT_NE(html.find("r=\"20.0\""), std::string::npos);
+}
+
+TEST(HtmlExportTest, EmptyNetworkStillValidDocument) {
+  PostReplyNetwork net;
+  std::string html = RenderHtml(net);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,444 @@
+// Unit tests for the classification module: naive Bayes, centroid
+// classifier, the InterestMiner interface, and evaluation metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "classify/centroid_classifier.h"
+#include "classify/metrics.h"
+#include "classify/naive_bayes.h"
+#include "classify/topic_discovery.h"
+#include "core/influence_engine.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+std::vector<LabeledDocument> ToyTrainingSet() {
+  // Three easily separable domains.
+  return {
+      {"travel flight hotel beach vacation trip", 0},
+      {"travel passport airport tourist journey", 0},
+      {"hotel resort island cruise travel", 0},
+      {"computer software programming algorithm code", 1},
+      {"compiler debugger software kernel linux", 1},
+      {"programming python java database server", 1},
+      {"football basketball game championship team", 2},
+      {"soccer tennis athlete coach stadium", 2},
+      {"marathon olympics medal tournament sports", 2},
+  };
+}
+
+// ---------- naive Bayes ----------
+
+TEST(NaiveBayesTest, TrainRejectsBadInput) {
+  NaiveBayesClassifier nb;
+  EXPECT_TRUE(nb.Train({}, 3).IsInvalidArgument());
+  EXPECT_TRUE(nb.Train(ToyTrainingSet(), 0).IsInvalidArgument());
+  EXPECT_TRUE(
+      nb.Train({{"text", 5}}, 3).IsInvalidArgument());  // label out of range
+  EXPECT_TRUE(nb.Train({{"text", -1}}, 3).IsInvalidArgument());
+}
+
+TEST(NaiveBayesTest, ClassifiesSeparableDomains) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  EXPECT_EQ(nb.Predict("my flight to the beach resort"), 0);
+  EXPECT_EQ(nb.Predict("debugging the compiler code"), 1);
+  EXPECT_EQ(nb.Predict("the basketball championship game"), 2);
+}
+
+TEST(NaiveBayesTest, InterestVectorIsDistribution) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  std::vector<double> iv = nb.InterestVector("flight hotel programming");
+  ASSERT_EQ(iv.size(), 3u);
+  double sum = 0.0;
+  for (double v : iv) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, UnknownTextIsNearUniform) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  std::vector<double> iv = nb.InterestVector("zzzqqq xxyyzz unseen");
+  // No known tokens: posterior equals the (near-uniform) prior.
+  for (double v : iv) EXPECT_NEAR(v, 1.0 / 3.0, 0.05);
+}
+
+TEST(NaiveBayesTest, MixedTextSplitsMass) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  std::vector<double> iv =
+      nb.InterestVector("flight hotel travel software programming code");
+  // Both travel and computer should hold real mass; sports nearly none.
+  EXPECT_GT(iv[0], iv[2]);
+  EXPECT_GT(iv[1], iv[2]);
+}
+
+TEST(NaiveBayesTest, LongDocumentDoesNotUnderflow) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  std::string longdoc;
+  for (int i = 0; i < 2000; ++i) longdoc += "travel flight hotel ";
+  std::vector<double> iv = nb.InterestVector(longdoc);
+  EXPECT_GT(iv[0], 0.99);
+  EXPECT_TRUE(std::isfinite(iv[0]));
+}
+
+TEST(NaiveBayesTest, SmoothingKeepsLikelihoodFinite) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  // A term never seen in domain 2 must still have finite log-likelihood.
+  double ll = nb.LogLikelihood(0, 2);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, 0.0);
+}
+
+TEST(NaiveBayesTest, PriorReflectsClassBalance) {
+  NaiveBayesClassifier nb;
+  std::vector<LabeledDocument> skewed = {
+      {"alpha beta", 0}, {"alpha gamma", 0}, {"alpha delta", 0},
+      {"omega psi", 1},
+  };
+  ASSERT_TRUE(nb.Train(skewed, 2).ok());
+  EXPECT_GT(nb.LogPrior(0), nb.LogPrior(1));
+}
+
+TEST(NaiveBayesTest, BigramsStillClassifyCorrectly) {
+  NaiveBayesOptions opts;
+  opts.use_bigrams = true;
+  NaiveBayesClassifier nb(opts);
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  EXPECT_EQ(nb.Predict("my flight to the beach resort"), 0);
+  EXPECT_EQ(nb.Predict("debugging the compiler code"), 1);
+  EXPECT_EQ(nb.Predict("the basketball championship game"), 2);
+  std::vector<double> iv = nb.InterestVector("flight hotel");
+  double sum = 0.0;
+  for (double v : iv) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, BigramsDisambiguatePairs) {
+  // "depression" appears in both Economics and Medicine docs; only the
+  // bigram "economic_depression" separates them.
+  std::vector<LabeledDocument> docs = {
+      {"economic depression hits the market economy", 0},
+      {"economic depression and the banking recession", 0},
+      {"clinical depression therapy and treatment", 1},
+      {"clinical depression diagnosis by the doctor", 1},
+  };
+  NaiveBayesOptions opts;
+  opts.use_bigrams = true;
+  NaiveBayesClassifier nb(opts);
+  ASSERT_TRUE(nb.Train(docs, 2).ok());
+  EXPECT_EQ(nb.Predict("worried about the economic depression"), 0);
+  EXPECT_EQ(nb.Predict("coping with clinical depression"), 1);
+}
+
+TEST(NaiveBayesTest, NameAndDomainsExposed) {
+  NaiveBayesClassifier nb;
+  EXPECT_EQ(nb.name(), "naive-bayes");
+  EXPECT_EQ(nb.num_domains(), 0u);
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  EXPECT_EQ(nb.num_domains(), 3u);
+}
+
+TEST(NaiveBayesTest, HandComputedPosterior) {
+  // vocab = {appl, banana, cherri}; class 0 has tokens {appl, appl,
+  // banana}, class 1 has {cherri}. Laplace smoothing 1:
+  //   P(appl|0) = (2+1)/(3+3) = 1/2      P(appl|1) = (0+1)/(1+3) = 1/4
+  //   priors    = (1+1)/(2+2) = 1/2 each
+  //   P(0|"apple") = (1/2 * 1/2) / (1/2 * 1/2 + 1/2 * 1/4) = 2/3.
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(
+      nb.Train({{"apple apple banana", 0}, {"cherry", 1}}, 2).ok());
+  std::vector<double> iv = nb.InterestVector("apple");
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_NEAR(iv[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(iv[1], 1.0 / 3.0, 1e-12);
+}
+
+// ---------- centroid classifier ----------
+
+TEST(CentroidTest, ClassifiesSeparableDomains) {
+  CentroidClassifier cc;
+  ASSERT_TRUE(cc.Train(ToyTrainingSet(), 3).ok());
+  EXPECT_EQ(cc.Predict("flight to the beach hotel"), 0);
+  EXPECT_EQ(cc.Predict("python programming and databases"), 1);
+  EXPECT_EQ(cc.Predict("tennis athlete at the stadium"), 2);
+}
+
+TEST(CentroidTest, InterestVectorIsDistribution) {
+  CentroidClassifier cc;
+  ASSERT_TRUE(cc.Train(ToyTrainingSet(), 3).ok());
+  std::vector<double> iv = cc.InterestVector("flight hotel");
+  ASSERT_EQ(iv.size(), 3u);
+  double sum = 0.0;
+  for (double v : iv) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CentroidTest, SimilarityHighestForOwnDomain) {
+  CentroidClassifier cc;
+  ASSERT_TRUE(cc.Train(ToyTrainingSet(), 3).ok());
+  double s_travel = cc.Similarity("flight hotel beach", 0);
+  double s_sports = cc.Similarity("flight hotel beach", 2);
+  EXPECT_GT(s_travel, s_sports);
+}
+
+TEST(CentroidTest, UnknownTextUniform) {
+  CentroidClassifier cc;
+  ASSERT_TRUE(cc.Train(ToyTrainingSet(), 3).ok());
+  std::vector<double> iv = cc.InterestVector("zzzz yyyy");
+  for (double v : iv) EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+}
+
+TEST(CentroidTest, TrainRejectsBadInput) {
+  CentroidClassifier cc;
+  EXPECT_FALSE(cc.Train({}, 3).ok());
+  EXPECT_FALSE(cc.Train({{"x", 9}}, 3).ok());
+}
+
+// Both miners agree on clearly separable text (pluggability check).
+TEST(InterestMinerTest, MinersAgreeOnSeparableText) {
+  NaiveBayesClassifier nb;
+  CentroidClassifier cc;
+  ASSERT_TRUE(nb.Train(ToyTrainingSet(), 3).ok());
+  ASSERT_TRUE(cc.Train(ToyTrainingSet(), 3).ok());
+  for (const char* text :
+       {"beach vacation flight", "software compiler bug", "soccer medal"}) {
+    EXPECT_EQ(nb.Predict(text), cc.Predict(text)) << text;
+  }
+}
+
+// ---------- metrics ----------
+
+TEST(MetricsTest, PerfectPredictions) {
+  ClassificationReport r(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) r.Add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(r.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(r.MacroF1(), 1.0);
+  EXPECT_EQ(r.total(), 15u);
+}
+
+TEST(MetricsTest, ConfusionMatrixCells) {
+  ClassificationReport r(2);
+  r.Add(0, 0);
+  r.Add(0, 1);
+  r.Add(1, 1);
+  r.Add(1, 1);
+  EXPECT_EQ(r.Count(0, 0), 1u);
+  EXPECT_EQ(r.Count(0, 1), 1u);
+  EXPECT_EQ(r.Count(1, 1), 2u);
+  EXPECT_DOUBLE_EQ(r.Accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(r.Precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.Recall(0), 0.5);
+}
+
+TEST(MetricsTest, F1HarmonicMean) {
+  ClassificationReport r(2);
+  r.Add(0, 0);  // tp for 0
+  r.Add(1, 0);  // fp for 0
+  r.Add(0, 1);  // fn for 0
+  r.Add(1, 1);
+  double p = r.Precision(0), rec = r.Recall(0);
+  EXPECT_DOUBLE_EQ(r.F1(0), 2 * p * rec / (p + rec));
+}
+
+TEST(MetricsTest, EmptyClassScoresZero) {
+  ClassificationReport r(3);
+  r.Add(0, 0);
+  EXPECT_DOUBLE_EQ(r.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(r.Recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(r.F1(2), 0.0);
+}
+
+TEST(MetricsTest, OutOfRangeLabelsIgnored) {
+  ClassificationReport r(2);
+  r.Add(-1, 0);
+  r.Add(0, 7);
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_DOUBLE_EQ(r.Accuracy(), 0.0);
+}
+
+TEST(MetricsTest, ToStringContainsClassNames) {
+  ClassificationReport r(2);
+  r.Add(0, 0);
+  r.Add(1, 1);
+  std::string s = r.ToString({"Travel", "Sports"});
+  EXPECT_NE(s.find("Travel"), std::string::npos);
+  EXPECT_NE(s.find("macro-F1"), std::string::npos);
+}
+
+// ---------- topic discovery ----------
+
+TEST(TopicDiscoveryTest, RejectsBadInput) {
+  TopicDiscovery td;
+  EXPECT_FALSE(td.Train({}, 3).ok());
+  EXPECT_FALSE(td.Train({{"only one doc", 0}}, 3).ok());
+  EXPECT_FALSE(td.Train(ToyTrainingSet(), 0).ok());
+}
+
+TEST(TopicDiscoveryTest, RecoversSeparableClusters) {
+  TopicDiscoveryOptions opts;
+  opts.num_restarts = 8;
+  TopicDiscovery td(opts);
+  auto docs = ToyTrainingSet();
+  ASSERT_TRUE(td.Train(docs, 3).ok());
+  EXPECT_EQ(td.num_domains(), 3u);
+  EXPECT_TRUE(td.converged());
+  // Documents of the same true label mostly land in the same cluster.
+  // The toy documents are just 5-6 words each, so allow two strays.
+  std::vector<int> truth;
+  for (const auto& d : docs) truth.push_back(d.domain);
+  double acc = MatchedClusterAccuracy(td.assignments(), truth, 3);
+  EXPECT_GE(acc, 7.0 / 9.0);
+}
+
+TEST(TopicDiscoveryTest, InterestVectorIsDistribution) {
+  TopicDiscovery td;
+  ASSERT_TRUE(td.Train(ToyTrainingSet(), 3).ok());
+  std::vector<double> iv = td.InterestVector("flight hotel beach");
+  ASSERT_EQ(iv.size(), 3u);
+  double sum = 0.0;
+  for (double v : iv) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TopicDiscoveryTest, SameTopicForSameTheme) {
+  TopicDiscovery td;
+  ASSERT_TRUE(td.Train(ToyTrainingSet(), 3).ok());
+  // Two travel texts must land in the same discovered topic.
+  EXPECT_EQ(td.Predict("flight to the beach resort"),
+            td.Predict("hotel and cruise vacation"));
+  // And a sports text in a different one.
+  EXPECT_NE(td.Predict("flight to the beach resort"),
+            td.Predict("basketball championship game"));
+}
+
+TEST(TopicDiscoveryTest, TopTermsDescribeTopic) {
+  TopicDiscovery td;
+  ASSERT_TRUE(td.Train(ToyTrainingSet(), 3).ok());
+  int travel_topic = td.Predict("flight hotel beach vacation");
+  auto terms = td.TopTerms(static_cast<size_t>(travel_topic), 5);
+  ASSERT_FALSE(terms.empty());
+  // At least one of the top terms must be a travel word (stemmed).
+  bool found = false;
+  for (const auto& [term, weight] : terms) {
+    if (term == "travel" || term == "flight" || term == "hotel" ||
+        term == "beach" || term == "vacat" || term == "trip" ||
+        term == "resort" || term == "cruis") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TopicDiscoveryTest, DeterministicForSeed) {
+  TopicDiscoveryOptions opts;
+  opts.seed = 9;
+  TopicDiscovery a(opts), b(opts);
+  ASSERT_TRUE(a.Train(ToyTrainingSet(), 3).ok());
+  ASSERT_TRUE(b.Train(ToyTrainingSet(), 3).ok());
+  EXPECT_EQ(a.assignments(), b.assignments());
+}
+
+TEST(TopicDiscoveryTest, DiscoversPlantedDomainsOnSyntheticCorpus) {
+  synth::GeneratorOptions o;
+  o.seed = 500;
+  o.num_bloggers = 150;
+  o.target_posts = 800;
+  o.num_domains = 4;  // fewer topics: k-means is order n*k per iteration
+  auto corpus = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(corpus.ok());
+  auto docs = LabeledPostsFromCorpus(*corpus);
+  TopicDiscovery td;
+  ASSERT_TRUE(td.Train(docs, 4).ok());
+  std::vector<int> truth;
+  for (const auto& d : docs) truth.push_back(d.domain);
+  double acc = MatchedClusterAccuracy(td.assignments(), truth, 4);
+  // Unsupervised discovery on noisy text: well above the 25% chance level.
+  EXPECT_GT(acc, 0.6);
+}
+
+TEST(TopicDiscoveryTest, PluggableIntoEngine) {
+  synth::GeneratorOptions o;
+  o.seed = 501;
+  o.num_bloggers = 80;
+  o.target_posts = 350;
+  o.num_domains = 3;
+  auto corpus = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(corpus.ok());
+  TopicDiscovery td;
+  ASSERT_TRUE(td.Train(LabeledPostsFromCorpus(*corpus), 3).ok());
+  MassEngine engine(&*corpus);
+  EXPECT_TRUE(engine.Analyze(&td, 3).ok());
+  EXPECT_TRUE(engine.analyzed());
+}
+
+TEST(MatchedClusterAccuracyTest, PerfectAndPermuted) {
+  std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(MatchedClusterAccuracy(truth, truth, 3), 1.0);
+  // A label permutation is still perfect under matching.
+  std::vector<int> permuted = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(MatchedClusterAccuracy(permuted, truth, 3), 1.0);
+}
+
+TEST(MatchedClusterAccuracyTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(MatchedClusterAccuracy({}, {}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(MatchedClusterAccuracy({0}, {0, 1}, 2), 0.0);
+  // All documents in one cluster: only the majority class matches.
+  std::vector<int> one_cluster = {0, 0, 0, 0};
+  std::vector<int> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(MatchedClusterAccuracy(one_cluster, truth, 2), 0.5);
+}
+
+// ---------- LabeledPostsFromCorpus ----------
+
+TEST(LabeledPostsTest, ExtractsOnlyLabeledPosts) {
+  Corpus c;
+  BloggerId b = c.AddBlogger({});
+  Post labeled;
+  labeled.author = b;
+  labeled.title = "t";
+  labeled.content = "c";
+  labeled.true_domain = 2;
+  c.AddPost(labeled).value();
+  Post unlabeled;
+  unlabeled.author = b;
+  c.AddPost(unlabeled).value();
+  c.BuildIndexes();
+
+  auto docs = LabeledPostsFromCorpus(c);
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].domain, 2);
+  EXPECT_EQ(docs[0].text, "t c");
+}
+
+TEST(LabeledPostsTest, PerDomainCapApplies) {
+  Corpus c;
+  BloggerId b = c.AddBlogger({});
+  for (int i = 0; i < 10; ++i) {
+    Post p;
+    p.author = b;
+    p.true_domain = 0;
+    c.AddPost(p).value();
+  }
+  c.BuildIndexes();
+  EXPECT_EQ(LabeledPostsFromCorpus(c, 3).size(), 3u);
+  EXPECT_EQ(LabeledPostsFromCorpus(c, 0).size(), 10u);
+}
+
+}  // namespace
+}  // namespace mass

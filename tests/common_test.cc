@@ -1,0 +1,410 @@
+// Unit tests for the common module: Status/Result, Rng, string utilities,
+// ThreadPool, logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace mass {
+namespace {
+
+// ---------- Status ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing blogger");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_EQ(s.message(), "missing blogger");
+  EXPECT_EQ(s.ToString(), "NotFound: missing blogger");
+}
+
+TEST(StatusTest, AllConstructorsMatchPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    MASS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(StatusTest, StatusCodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+// ---------- Result ----------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, DefaultIsInternalError) {
+  Result<int> r;
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::IOError("x");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("boom");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    MASS_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(outer(false).value(), 10);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedValuesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, DiscretePicksByWeight) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextDiscrete(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteAllZeroReturnsZero) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.NextDiscrete(weights), 0u);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(23);
+  const size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 30000; ++i) {
+    size_t r = rng.NextZipf(n, 1.0);
+    ASSERT_LT(r, n);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[0], counts[9] * 2);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(29);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+  // Large-mean branch (normal approximation).
+  sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------- string_util ----------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  hello   world \t\n x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "x");
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo123"), "hello123");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("blogger42", "blog"));
+  EXPECT_FALSE(StartsWith("blo", "blog"));
+  EXPECT_TRUE(EndsWith("data.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  double d;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &d));
+  EXPECT_DOUBLE_EQ(d, -2000.0);
+  EXPECT_FALSE(ParseDouble("3.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("42.5", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+// ---------- ParallelFor ----------
+
+TEST(ParallelForTest, CoversWholeRangeOnce) {
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(n, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  // Ranges under the parallel threshold run on the calling thread.
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(10, 8, [&](size_t, size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, ZeroItemsNoCall) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadMatchesMulti) {
+  const size_t n = 50000;
+  std::vector<double> a(n), b(n);
+  auto body = [](std::vector<double>* out) {
+    return [out](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        (*out)[i] = static_cast<double>(i) * 0.5;
+      }
+    };
+  };
+  ParallelFor(n, 1, body(&a));
+  ParallelFor(n, 8, body(&b));
+  EXPECT_EQ(a, b);
+}
+
+// ---------- logging ----------
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  MASS_LOG(Debug) << "should be suppressed";
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,901 @@
+// Unit tests for the core influence model: quality/novelty, the fixed-point
+// solver, Eq. 1-5 semantics, facet toggles, and top-k selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/influence_engine.h"
+#include "core/quality.h"
+#include "core/topk.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+// ---------- quality / novelty ----------
+
+TEST(QualityTest, OriginalPostHasNoveltyOne) {
+  Post p;
+  p.title = "my own thoughts";
+  p.content = "completely original writing about life";
+  EXPECT_DOUBLE_EQ(NoveltyOf(p), 1.0);
+}
+
+TEST(QualityTest, CopyIndicatorDropsNovelty) {
+  Post p;
+  p.title = "interesting article";
+  p.content = "reposted from source the following text";
+  double novelty = NoveltyOf(p);
+  EXPECT_LE(novelty, 0.1);  // paper: value between 0 and 0.1
+  EXPECT_GT(novelty, 0.0);
+}
+
+TEST(QualityTest, MoreIndicatorsLowerNovelty) {
+  Post one;
+  one.content = "reposted something interesting here today";
+  Post many;
+  many.content = "reposted forwarded reprinted excerpt via source";
+  EXPECT_GT(NoveltyOf(one), NoveltyOf(many));
+  EXPECT_GE(NoveltyOf(many), NoveltyOptions{}.copy_floor);
+}
+
+TEST(QualityTest, InflectedIndicatorsMatch) {
+  Post p;
+  p.content = "this was originally a reprint of another story";
+  EXPECT_LT(NoveltyOf(p), 1.0);
+}
+
+TEST(QualityTest, PostLengthCountsTitleAndContent) {
+  Post p;
+  p.title = "two words";
+  p.content = "three more words";
+  EXPECT_EQ(PostLength(p), 5u);
+}
+
+TEST(QualityTest, QualityIsLengthTimesNovelty) {
+  Post original;
+  original.content = "ten words of fresh content written today about life";
+  Post copy = original;
+  copy.content = "reposted " + original.content;
+  // Same mean normalization; the copy is longer by one word but loses the
+  // novelty factor.
+  double q_orig = QualityScore(original, 10.0);
+  double q_copy = QualityScore(copy, 10.0);
+  EXPECT_GT(q_orig, q_copy * 5.0);
+}
+
+TEST(QualityTest, MeanNormalization) {
+  Post p;
+  p.content = "one two three four";
+  EXPECT_DOUBLE_EQ(QualityScore(p, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(QualityScore(p, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(QualityScore(p, 0.0), 4.0);  // 0 means "raw length"
+}
+
+// ---------- engine on the Figure-1 corpus ----------
+
+class Figure1EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = synth::MakeFigure1Corpus();
+    engine_ = std::make_unique<MassEngine>(&corpus_);
+    // Ground-truth one-hot interests (no classifier): isolates the solver.
+    ASSERT_TRUE(engine_->Analyze(nullptr, 10).ok());
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<MassEngine> engine_;
+};
+
+TEST_F(Figure1EngineTest, AmeryIsTopOverall) {
+  auto top = engine_->TopKGeneral(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(corpus_.blogger(top[0].id).name, "Amery");
+}
+
+TEST_F(Figure1EngineTest, DomainInfluenceIsDomainSpecific) {
+  BloggerId amery = corpus_.FindBloggerByName("Amery");
+  // Amery's Economics influence comes only from post2; her Computer
+  // influence only from post1. Both are positive, nothing else is.
+  double cs = engine_->DomainInfluenceOf(amery, 1);
+  double econ = engine_->DomainInfluenceOf(amery, 4);
+  EXPECT_GT(cs, 0.0);
+  EXPECT_GT(econ, 0.0);
+  double travel = engine_->DomainInfluenceOf(amery, 0);
+  EXPECT_DOUBLE_EQ(travel, 0.0);
+}
+
+TEST_F(Figure1EngineTest, DomainVectorSumsToAccumulatedPost) {
+  // Eq. 5 with one-hot iv: summing Inf(b, C_t) over t recovers AP(b).
+  for (BloggerId b = 0; b < corpus_.num_bloggers(); ++b) {
+    double sum = 0.0;
+    for (size_t t = 0; t < 10; ++t) sum += engine_->DomainInfluenceOf(b, t);
+    EXPECT_NEAR(sum, engine_->AccumulatedPostOf(b), 1e-9);
+  }
+}
+
+TEST_F(Figure1EngineTest, EconomicsTopIsAmery) {
+  auto top = engine_->TopKDomain(4, 3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(corpus_.blogger(top[0].id).name, "Amery");
+  // Only Amery posted in Economics, so every other blogger scores 0 there.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_DOUBLE_EQ(top[i].score, 0.0);
+  }
+}
+
+TEST_F(Figure1EngineTest, CommentersEarnNoDomainCreditForCommenting) {
+  // Leo only commented (on Cary's CS post); he has no posts, so his AP and
+  // every domain influence must be zero — influence flows to authors.
+  BloggerId leo = corpus_.FindBloggerByName("Leo");
+  EXPECT_DOUBLE_EQ(engine_->AccumulatedPostOf(leo), 0.0);
+  for (size_t t = 0; t < 10; ++t) {
+    EXPECT_DOUBLE_EQ(engine_->DomainInfluenceOf(leo, t), 0.0);
+  }
+  // But he still has GL authority potential and overall influence > 0
+  // through the network term of Eq. 1.
+  EXPECT_GT(engine_->InfluenceOf(leo), 0.0);
+}
+
+TEST_F(Figure1EngineTest, StatsReportConvergence) {
+  EXPECT_TRUE(engine_->stats().converged);
+  EXPECT_GT(engine_->stats().iterations, 0);
+  EXPECT_GT(engine_->stats().pagerank_iterations, 0);
+}
+
+TEST_F(Figure1EngineTest, MeanInfluenceIsOne) {
+  double sum = 0.0;
+  for (BloggerId b = 0; b < corpus_.num_bloggers(); ++b) {
+    sum += engine_->InfluenceOf(b);
+  }
+  EXPECT_NEAR(sum / corpus_.num_bloggers(), 1.0, 1e-9);
+}
+
+// ---------- Eq. 1 boundary behaviour ----------
+
+TEST(EngineBoundaryTest, AlphaOneIgnoresNetwork) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  EngineOptions opts;
+  opts.alpha = 1.0;
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // Bloggers without posts get zero influence when only AP counts.
+  BloggerId leo = corpus.FindBloggerByName("Leo");
+  EXPECT_DOUBLE_EQ(engine.InfluenceOf(leo), 0.0);
+}
+
+TEST(EngineBoundaryTest, AlphaZeroIsPurePageRank) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  EngineOptions opts;
+  opts.alpha = 0.0;
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    EXPECT_NEAR(engine.InfluenceOf(b), engine.GeneralLinksOf(b), 1e-9);
+  }
+}
+
+TEST(EngineBoundaryTest, BetaOneIgnoresComments) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  EngineOptions opts;
+  opts.beta = 1.0;
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // With beta = 1 post influence equals quality; the solver converges in
+  // one step because nothing is recursive.
+  for (PostId p = 0; p < corpus.num_posts(); ++p) {
+    EXPECT_NEAR(engine.PostInfluenceOf(p), engine.PostQualityOf(p), 1e-12);
+  }
+}
+
+TEST(EngineBoundaryTest, RejectsInvalidParameters) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  EngineOptions opts;
+  opts.alpha = 1.5;
+  EXPECT_FALSE(MassEngine(&corpus, opts).Analyze(nullptr, 10).ok());
+  opts = EngineOptions();
+  opts.beta = -0.1;
+  EXPECT_FALSE(MassEngine(&corpus, opts).Analyze(nullptr, 10).ok());
+  EXPECT_FALSE(MassEngine(&corpus).Analyze(nullptr, 0).ok());
+}
+
+TEST(EngineBoundaryTest, RequiresBuiltIndexes) {
+  Corpus corpus;
+  corpus.AddBlogger({});
+  MassEngine engine(&corpus);
+  EXPECT_TRUE(engine.Analyze(nullptr, 10).IsFailedPrecondition());
+}
+
+TEST(EngineBoundaryTest, EmptyCorpusRejected) {
+  Corpus corpus;
+  corpus.BuildIndexes();
+  MassEngine engine(&corpus);
+  EXPECT_FALSE(engine.Analyze(nullptr, 10).ok());
+}
+
+// ---------- facet semantics ----------
+
+// Corpus where attitude matters: two identical bloggers, one receives a
+// positive comment and the other a negative one from equal commenters.
+Corpus AttitudeCorpus() {
+  Corpus c;
+  Blogger praised;
+  praised.name = "praised";
+  Blogger panned;
+  panned.name = "panned";
+  Blogger fan;
+  fan.name = "fan";
+  Blogger critic;
+  critic.name = "critic";
+  BloggerId praised_id = c.AddBlogger(std::move(praised));
+  BloggerId panned_id = c.AddBlogger(std::move(panned));
+  BloggerId fan_id = c.AddBlogger(std::move(fan));
+  BloggerId critic_id = c.AddBlogger(std::move(critic));
+
+  const char* body =
+      "a thoughtful piece about the economy markets and investment with "
+      "enough words to carry equal quality for both authors today";
+  for (BloggerId author : {praised_id, panned_id}) {
+    Post p;
+    p.author = author;
+    p.true_domain = 4;
+    p.title = "economy";
+    p.content = body;
+    c.AddPost(std::move(p)).value();
+  }
+  Comment praise;
+  praise.post = 0;
+  praise.commenter = fan_id;
+  praise.text = "I agree excellent analysis";
+  c.AddComment(std::move(praise)).value();
+  Comment pan;
+  pan.post = 1;
+  pan.commenter = critic_id;
+  pan.text = "I disagree this is wrong";
+  c.AddComment(std::move(pan)).value();
+  c.BuildIndexes();
+  return c;
+}
+
+TEST(FacetTest, AttitudeSeparatesPraisedFromPanned) {
+  Corpus c = AttitudeCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  BloggerId praised = c.FindBloggerByName("praised");
+  BloggerId panned = c.FindBloggerByName("panned");
+  EXPECT_GT(engine.InfluenceOf(praised), engine.InfluenceOf(panned));
+}
+
+TEST(FacetTest, DisablingAttitudeEqualizes) {
+  Corpus c = AttitudeCorpus();
+  EngineOptions opts;
+  opts.use_attitude = false;
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  BloggerId praised = c.FindBloggerByName("praised");
+  BloggerId panned = c.FindBloggerByName("panned");
+  EXPECT_NEAR(engine.InfluenceOf(praised), engine.InfluenceOf(panned), 1e-9);
+}
+
+// Corpus where citation matters: equal posts, one commented on by an
+// influential expert, the other by a nobody. The expert's own influence
+// comes from her own highly-commented post.
+Corpus CitationCorpus() {
+  Corpus c;
+  for (const char* name :
+       {"cited_by_expert", "cited_by_nobody", "expert", "nobody",
+        "crowd1", "crowd2", "crowd3"}) {
+    Blogger b;
+    b.name = name;
+    c.AddBlogger(std::move(b));
+  }
+  const char* body =
+      "equal length content words here for a fair comparison of the two "
+      "posts in this tiny corpus example";
+  auto add_post = [&c, body](BloggerId author) {
+    Post p;
+    p.author = author;
+    p.true_domain = 0;
+    p.content = body;
+    return c.AddPost(std::move(p)).value();
+  };
+  PostId post_a = add_post(0);  // cited_by_expert's post
+  PostId post_b = add_post(1);  // cited_by_nobody's post
+  PostId expert_post = add_post(2);
+
+  auto add_comment = [&c](PostId post, BloggerId commenter) {
+    Comment cm;
+    cm.post = post;
+    cm.commenter = commenter;
+    cm.text = "some neutral words here";
+    c.AddComment(std::move(cm)).value();
+  };
+  // The expert's post is praised by the crowd, making her influential.
+  add_comment(expert_post, 4);
+  add_comment(expert_post, 5);
+  add_comment(expert_post, 6);
+  // One comment each on the two compared posts.
+  add_comment(post_a, 2);  // from the expert
+  add_comment(post_b, 3);  // from the nobody
+  c.BuildIndexes();
+  return c;
+}
+
+TEST(FacetTest, CitationWeightsExpertCommentsHigher) {
+  Corpus c = CitationCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_GT(engine.InfluenceOf(c.FindBloggerByName("cited_by_expert")),
+            engine.InfluenceOf(c.FindBloggerByName("cited_by_nobody")));
+}
+
+TEST(FacetTest, DisablingCitationEqualizes) {
+  Corpus c = CitationCorpus();
+  EngineOptions opts;
+  opts.use_citation = false;
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // Note TC normalization still applies but both commenters wrote exactly
+  // one comment each, so the two posts now score identically.
+  EXPECT_NEAR(engine.InfluenceOf(c.FindBloggerByName("cited_by_expert")),
+              engine.InfluenceOf(c.FindBloggerByName("cited_by_nobody")),
+              1e-9);
+}
+
+TEST(FacetTest, TcNormalizationSharesImpact) {
+  // A commenter spamming many comments contributes less per comment.
+  Corpus c;
+  for (const char* name : {"a", "b", "spammer", "focused"}) {
+    Blogger blogger;
+    blogger.name = name;
+    c.AddBlogger(std::move(blogger));
+  }
+  const char* body = "equal words for both posts here today";
+  for (BloggerId author : {0u, 1u}) {
+    Post p;
+    p.author = author;
+    p.content = body;
+    p.true_domain = 0;
+    c.AddPost(std::move(p)).value();
+  }
+  // spammer comments on post 0 and also on post 1 four times; focused
+  // comments once on post 1... build: post0 gets 1 spammer comment;
+  // post1 gets 1 focused comment. spammer also left 4 comments on post 0
+  // (total spammer TC = 5).
+  auto add_comment = [&c](PostId post, BloggerId commenter) {
+    Comment cm;
+    cm.post = post;
+    cm.commenter = commenter;
+    cm.text = "neutral comment";
+    c.AddComment(std::move(cm)).value();
+  };
+  add_comment(0, 2);
+  add_comment(0, 2);
+  add_comment(0, 2);
+  add_comment(0, 2);
+  add_comment(0, 2);
+  add_comment(1, 3);
+  c.BuildIndexes();
+
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // Five comments from a TC=5 spammer sum to the same weight as one
+  // comment from a TC=1 focused commenter (equal commenter influence).
+  EXPECT_NEAR(engine.InfluenceOf(0), engine.InfluenceOf(1), 1e-6);
+
+  EngineOptions no_tc;
+  no_tc.use_tc_normalization = false;
+  MassEngine engine2(&c, no_tc);
+  ASSERT_TRUE(engine2.Analyze(nullptr, 10).ok());
+  EXPECT_GT(engine2.InfluenceOf(0), engine2.InfluenceOf(1));
+}
+
+TEST(FacetTest, NoveltyPenalizesCopiedPosts) {
+  Corpus c;
+  Blogger orig;
+  orig.name = "original";
+  Blogger copier;
+  copier.name = "copier";
+  c.AddBlogger(std::move(orig));
+  c.AddBlogger(std::move(copier));
+  Post a;
+  a.author = 0;
+  a.content = "fresh ideas about travel and mountains written here";
+  a.true_domain = 0;
+  c.AddPost(std::move(a)).value();
+  Post b;
+  b.author = 1;
+  b.content = "reposted from source ideas about travel and mountains here";
+  b.true_domain = 0;
+  c.AddPost(std::move(b)).value();
+  c.BuildIndexes();
+
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_GT(engine.InfluenceOf(0), engine.InfluenceOf(1));
+
+  EngineOptions no_novelty;
+  no_novelty.use_novelty = false;
+  MassEngine engine2(&c, no_novelty);
+  ASSERT_TRUE(engine2.Analyze(nullptr, 10).ok());
+  // With novelty off, the (slightly longer) copy wins on raw length.
+  EXPECT_GT(engine2.InfluenceOf(1), engine2.InfluenceOf(0));
+}
+
+// ---------- GL method variants ----------
+
+TEST(GlMethodTest, HitsAuthorityAsGl) {
+  Corpus c = synth::MakeFigure1Corpus();
+  EngineOptions opts;
+  opts.gl_method = GlMethod::kHitsAuthority;
+  opts.alpha = 0.0;  // influence = GL exactly
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // The HITS authority leader is one of the three link hubs (Bob and Cary
+  // each receive four links from mutually-reinforcing hubs, Amery two).
+  auto top = engine.TopKGeneral(1);
+  std::string leader = c.blogger(top[0].id).name;
+  EXPECT_TRUE(leader == "Amery" || leader == "Bob" || leader == "Cary")
+      << leader;
+  // GL stays mean-normalized.
+  double sum = 0.0;
+  for (BloggerId b = 0; b < c.num_bloggers(); ++b) {
+    sum += engine.GeneralLinksOf(b);
+  }
+  EXPECT_NEAR(sum / c.num_bloggers(), 1.0, 1e-9);
+}
+
+TEST(GlMethodTest, InlinkCountAsGl) {
+  Corpus c = synth::MakeFigure1Corpus();
+  EngineOptions opts;
+  opts.gl_method = GlMethod::kInlinkCount;
+  opts.alpha = 0.0;
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // GL ratios equal in-degree ratios: Bob has 4 inlinks (Dolly, Eddie,
+  // Helen, Cary), Amery 2 (Bob, Cary).
+  BloggerId amery = c.FindBloggerByName("Amery");
+  BloggerId bob = c.FindBloggerByName("Bob");
+  EXPECT_NEAR(engine.GeneralLinksOf(bob) / engine.GeneralLinksOf(amery),
+              4.0 / 2.0, 1e-9);
+}
+
+TEST(GlMethodTest, MethodsGiveDifferentButSaneRankings) {
+  auto r = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 88;
+    o.num_bloggers = 150;
+    o.target_posts = 600;
+    return o;
+  }());
+  ASSERT_TRUE(r.ok());
+  for (GlMethod m : {GlMethod::kPageRank, GlMethod::kHitsAuthority,
+                     GlMethod::kInlinkCount}) {
+    EngineOptions opts;
+    opts.gl_method = m;
+    MassEngine engine(&*r, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+    for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+      EXPECT_GE(engine.GeneralLinksOf(b), 0.0);
+      EXPECT_TRUE(std::isfinite(engine.GeneralLinksOf(b)));
+    }
+  }
+}
+
+// ---------- recency extension ----------
+
+Corpus RecencyCorpus() {
+  // Two identical bloggers; one wrote her post long ago.
+  Corpus c;
+  Blogger fresh;
+  fresh.name = "fresh";
+  Blogger stale;
+  stale.name = "stale";
+  c.AddBlogger(std::move(fresh));
+  c.AddBlogger(std::move(stale));
+  const char* body = "identical content words for both posts here today";
+  Post recent;
+  recent.author = 0;
+  recent.content = body;
+  recent.true_domain = 0;
+  recent.timestamp = 1'000'000'000;
+  c.AddPost(std::move(recent)).value();
+  Post old;
+  old.author = 1;
+  old.content = body;
+  old.true_domain = 0;
+  old.timestamp = 1'000'000'000 - 90 * 86'400;  // 90 days older
+  c.AddPost(std::move(old)).value();
+  c.BuildIndexes();
+  return c;
+}
+
+TEST(RecencyTest, OffByDefaultTimestampsIgnored) {
+  Corpus c = RecencyCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_NEAR(engine.InfluenceOf(0), engine.InfluenceOf(1), 1e-9);
+}
+
+TEST(RecencyTest, HalfLifeDiscountsOldPosts) {
+  Corpus c = RecencyCorpus();
+  EngineOptions opts;
+  opts.recency_half_life_days = 30.0;  // the old post is 3 half-lives back
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // The accumulated-post component decays by 2^-3; overall influence
+  // still blends in the (uniform) GL term, so compare AP directly.
+  EXPECT_NEAR(engine.AccumulatedPostOf(1) / engine.AccumulatedPostOf(0),
+              0.125, 1e-9);
+  EXPECT_GT(engine.InfluenceOf(0), engine.InfluenceOf(1));
+}
+
+TEST(RecencyTest, ExactDecayFactor) {
+  Corpus c = RecencyCorpus();
+  EngineOptions opts;
+  opts.recency_half_life_days = 90.0;  // old post exactly one half-life back
+  opts.alpha = 1.0;                    // pure AP so the ratio is clean
+  opts.beta = 1.0;                     // pure quality
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_NEAR(engine.AccumulatedPostOf(1) / engine.AccumulatedPostOf(0), 0.5,
+              1e-9);
+}
+
+// ---------- solver properties on a generated corpus ----------
+
+TEST(SolverTest, ConvergesOnGeneratedCorpus) {
+  auto r = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 21;
+    o.num_bloggers = 200;
+    o.target_posts = 900;
+    return o;
+  }());
+  ASSERT_TRUE(r.ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_TRUE(engine.stats().converged);
+  EXPECT_LT(engine.stats().iterations, 100);
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    EXPECT_TRUE(std::isfinite(engine.InfluenceOf(b)));
+    EXPECT_GE(engine.InfluenceOf(b), 0.0);
+  }
+}
+
+TEST(SolverTest, DampingPreservesFixedPoint) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine plain(&c);
+  ASSERT_TRUE(plain.Analyze(nullptr, 10).ok());
+  EngineOptions damped_opts;
+  damped_opts.damping = 0.5;
+  MassEngine damped(&c, damped_opts);
+  ASSERT_TRUE(damped.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < c.num_bloggers(); ++b) {
+    EXPECT_NEAR(plain.InfluenceOf(b), damped.InfluenceOf(b), 1e-5);
+  }
+}
+
+// ---------- degenerate corpora ----------
+
+TEST(EngineEdgeTest, EmptyPostsAndCommentsStillAnalyze) {
+  // Bloggers with links but no content at all.
+  Corpus c;
+  c.AddBlogger({});
+  c.AddBlogger({});
+  ASSERT_TRUE(c.AddLink(0, 1).ok());
+  c.BuildIndexes();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // All influence is GL; blogger 1 (linked-to) beats blogger 0.
+  EXPECT_GT(engine.InfluenceOf(1), engine.InfluenceOf(0));
+  for (BloggerId b = 0; b < 2; ++b) {
+    EXPECT_DOUBLE_EQ(engine.AccumulatedPostOf(b), 0.0);
+  }
+}
+
+TEST(EngineEdgeTest, ZeroLengthPostHasZeroQuality) {
+  Corpus c;
+  c.AddBlogger({});
+  Post p;
+  p.author = 0;
+  p.true_domain = 0;
+  // Empty title and content.
+  PostId pid = c.AddPost(std::move(p)).value();
+  Post real;
+  real.author = 0;
+  real.true_domain = 0;
+  real.content = "actual words in this one";
+  c.AddPost(std::move(real)).value();
+  c.BuildIndexes();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_DOUBLE_EQ(engine.PostQualityOf(pid), 0.0);
+}
+
+TEST(EngineEdgeTest, SelfCommentCountsTowardOwnPost) {
+  // The model does not forbid commenting on one's own post; the comment
+  // feeds back through the author's own influence.
+  Corpus c;
+  c.AddBlogger({});
+  Post p;
+  p.author = 0;
+  p.true_domain = 0;
+  p.content = "a few words here";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = 0;
+  cm.text = "bump";
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_TRUE(engine.stats().converged);
+  EXPECT_GT(engine.InfluenceOf(0), 0.0);
+}
+
+TEST(EngineEdgeTest, SingleBloggerCorpus) {
+  Corpus c;
+  c.AddBlogger({});
+  Post p;
+  p.author = 0;
+  p.true_domain = 3;
+  p.content = "solo blogger writes about education and school";
+  c.AddPost(std::move(p)).value();
+  c.BuildIndexes();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // Mean normalization pins the single blogger at exactly 1.
+  EXPECT_DOUBLE_EQ(engine.InfluenceOf(0), 1.0);
+  EXPECT_GT(engine.DomainInfluenceOf(0, 3), 0.0);
+}
+
+// ---------- Retune (the toolbar fast path) ----------
+
+TEST(RetuneTest, RequiresPriorAnalyze) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  EXPECT_TRUE(engine.Retune(EngineOptions{}).IsFailedPrecondition());
+}
+
+TEST(RetuneTest, ValidatesParameters) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EngineOptions bad;
+  bad.alpha = 2.0;
+  EXPECT_TRUE(engine.Retune(bad).IsInvalidArgument());
+}
+
+TEST(RetuneTest, MatchesFreshAnalyzeAcrossOptionSets) {
+  auto r = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 606;
+    o.num_bloggers = 150;
+    o.target_posts = 700;
+    return o;
+  }());
+  ASSERT_TRUE(r.ok());
+
+  MassEngine retuned(&*r);
+  ASSERT_TRUE(retuned.Analyze(nullptr, 10).ok());
+
+  std::vector<EngineOptions> variants;
+  {
+    EngineOptions o;
+    o.alpha = 0.8;
+    o.beta = 0.3;
+    variants.push_back(o);
+  }
+  {
+    EngineOptions o;
+    o.use_attitude = false;
+    o.sentiment.negative = 0.0;
+    variants.push_back(o);
+  }
+  {
+    EngineOptions o;
+    o.use_novelty = false;
+    o.novelty_copy_value = 0.05;
+    variants.push_back(o);
+  }
+  {
+    EngineOptions o;
+    o.gl_method = GlMethod::kHitsAuthority;
+    variants.push_back(o);
+  }
+  {
+    EngineOptions o;
+    o.recency_half_life_days = 45.0;
+    variants.push_back(o);
+  }
+  {
+    EngineOptions o;  // back to defaults
+    variants.push_back(o);
+  }
+
+  for (const EngineOptions& opts : variants) {
+    ASSERT_TRUE(retuned.Retune(opts).ok());
+    MassEngine fresh(&*r, opts);
+    ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+    for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+      ASSERT_DOUBLE_EQ(retuned.InfluenceOf(b), fresh.InfluenceOf(b));
+      for (size_t d = 0; d < 10; ++d) {
+        ASSERT_DOUBLE_EQ(retuned.DomainInfluenceOf(b, d),
+                         fresh.DomainInfluenceOf(b, d));
+      }
+    }
+  }
+}
+
+// ---------- hand-computed Eq. 1-4 values ----------
+
+// A corpus small enough to compute the full fixed point by hand:
+//   author A writes one 10-word post (domain 0);
+//   commenter B leaves one positive comment on it (her only comment);
+//   no links.
+// Derivation with alpha=0.5, beta=0.6, SF+=1.0:
+//   mean post length = 10  => Quality(A) = 1.0
+//   GL uniform = 1 for both (no links).
+//   Iterate: Inf(post) = 0.6*1.0 + 0.4*Inf(B)*1.0/1
+//            AP(A) = Inf(post); AP(B) = 0
+//            raw(A) = 0.5*AP(A) + 0.5;  raw(B) = 0.5
+//            mean-normalize over 2 bloggers.
+// Fixed point: let x = Inf(B) (normalized). Then
+//   post = 0.6 + 0.4x; rawA = 0.5(0.6+0.4x)+0.5 = 0.8+0.2x; rawB = 0.5
+//   scale s = 2/(rawA+rawB) = 2/(1.3+0.2x); x = 0.5s
+//   => x(1.3+0.2x) = 1  =>  0.2x^2 + 1.3x - 1 = 0
+//   => x = (-1.3 + sqrt(1.69+0.8))/0.4 = (-1.3 + sqrt(2.49))/0.4
+TEST(HandComputedTest, TwoBloggerFixedPointMatchesAlgebra) {
+  Corpus c;
+  Blogger author;
+  author.name = "author";
+  Blogger fan;
+  fan.name = "fan";
+  c.AddBlogger(std::move(author));
+  c.AddBlogger(std::move(fan));
+  Post p;
+  p.author = 0;
+  p.true_domain = 0;
+  p.content = "one two three four five six seven eight nine ten";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = 1;
+  cm.text = "agree";  // positive => SF = 1.0
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+
+  EngineOptions opts;
+  opts.tolerance = 1e-14;
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  double x = (-1.3 + std::sqrt(2.49)) / 0.4;  // Inf(fan), by algebra
+  EXPECT_NEAR(engine.InfluenceOf(1), x, 1e-9);
+  EXPECT_NEAR(engine.InfluenceOf(0), 2.0 - x, 1e-9);  // mean = 1
+  EXPECT_NEAR(engine.PostInfluenceOf(pid), 0.6 + 0.4 * x, 1e-9);
+  EXPECT_NEAR(engine.AccumulatedPostOf(0), 0.6 + 0.4 * x, 1e-9);
+  EXPECT_DOUBLE_EQ(engine.AccumulatedPostOf(1), 0.0);
+  // GL uniform: mean-normalized to exactly 1.
+  EXPECT_DOUBLE_EQ(engine.GeneralLinksOf(0), 1.0);
+  EXPECT_DOUBLE_EQ(engine.GeneralLinksOf(1), 1.0);
+  // Domain vector: all of A's AP sits in domain 0.
+  EXPECT_NEAR(engine.DomainInfluenceOf(0, 0), 0.6 + 0.4 * x, 1e-9);
+  EXPECT_DOUBLE_EQ(engine.DomainInfluenceOf(0, 1), 0.0);
+}
+
+// Same corpus but the comment is negative: SF drops to 0.1, so the
+// comment contributes one tenth as much.
+TEST(HandComputedTest, NegativeCommentScaledByPointOne) {
+  Corpus c;
+  c.AddBlogger({});
+  c.AddBlogger({});
+  Post p;
+  p.author = 0;
+  p.true_domain = 0;
+  p.content = "one two three four five six seven eight nine ten";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = 1;
+  cm.text = "disagree";  // negative => SF = 0.1
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+
+  EngineOptions opts;
+  opts.tolerance = 1e-14;
+  MassEngine engine(&c, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // Same algebra with the 0.4 coefficient scaled by SF = 0.1:
+  //   0.02 x^2 + 1.3 x - 1 = 0
+  double x = (-1.3 + std::sqrt(1.69 + 0.08)) / 0.04;
+  EXPECT_NEAR(engine.InfluenceOf(1), x, 1e-9);
+  EXPECT_NEAR(engine.PostInfluenceOf(pid), 0.6 + 0.04 * x, 1e-9);
+}
+
+// ---------- analyzer threading ----------
+
+TEST(AnalyzerThreadsTest, MultiThreadedAnalysisIsIdentical) {
+  auto r = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 404;
+    o.num_bloggers = 200;
+    o.target_posts = 1000;
+    return o;
+  }());
+  ASSERT_TRUE(r.ok());
+  EngineOptions one;
+  one.analyzer_threads = 1;
+  EngineOptions many;
+  many.analyzer_threads = 8;
+  MassEngine e1(&*r, one), e8(&*r, many);
+  ASSERT_TRUE(e1.Analyze(nullptr, 10).ok());
+  ASSERT_TRUE(e8.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    ASSERT_DOUBLE_EQ(e1.InfluenceOf(b), e8.InfluenceOf(b));
+  }
+  for (CommentId c = 0; c < r->num_comments(); ++c) {
+    ASSERT_DOUBLE_EQ(e1.CommentFactorOf(c), e8.CommentFactorOf(c));
+  }
+}
+
+// ---------- top-k ----------
+
+TEST(TopKTest, HeapMatchesFullSort) {
+  std::vector<double> scores = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  for (size_t k : {0u, 1u, 3u, 8u, 20u}) {
+    auto heap = TopKByScore(scores, k);
+    auto sort = TopKByScoreFullSort(scores, k);
+    ASSERT_EQ(heap.size(), sort.size()) << "k=" << k;
+    for (size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ(heap[i].id, sort[i].id);
+      EXPECT_DOUBLE_EQ(heap[i].score, sort[i].score);
+    }
+  }
+}
+
+TEST(TopKTest, OrderedDescendingTiesById) {
+  std::vector<double> scores = {2.0, 5.0, 5.0, 1.0};
+  auto top = TopKByScore(scores, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].id, 1u);  // tie: lower id first
+  EXPECT_EQ(top[1].id, 2u);
+  EXPECT_EQ(top[2].id, 0u);
+  EXPECT_EQ(top[3].id, 3u);
+}
+
+TEST(TopKTest, EmptyAndZeroK) {
+  EXPECT_TRUE(TopKByScore({}, 5).empty());
+  EXPECT_TRUE(TopKByScore({1.0, 2.0}, 0).empty());
+}
+
+TEST(TopKTest, FilteredExcludesRejectedIds) {
+  std::vector<double> scores = {9.0, 8.0, 7.0, 6.0, 5.0};
+  // Keep odd ids only.
+  auto odd = [](BloggerId b) { return b % 2 == 1; };
+  auto top = TopKByScoreFiltered(scores, 3, odd);
+  ASSERT_EQ(top.size(), 2u);  // only two odd ids exist
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 3u);
+}
+
+TEST(TopKTest, FilteredWithNullPredicateMatchesPlain) {
+  std::vector<double> scores = {3.0, 1.0, 4.0, 1.0, 5.0};
+  auto plain = TopKByScore(scores, 3);
+  auto filtered = TopKByScoreFiltered(scores, 3, nullptr);
+  ASSERT_EQ(plain.size(), filtered.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].id, filtered[i].id);
+  }
+}
+
+TEST(TopKTest, FilteredAllRejected) {
+  std::vector<double> scores = {1.0, 2.0};
+  auto none = [](BloggerId) { return false; };
+  EXPECT_TRUE(TopKByScoreFiltered(scores, 2, none).empty());
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,261 @@
+// Unit tests for the crawler: synthetic host, BFS radius semantics,
+// multi-threading, retries, and failure handling.
+#include <gtest/gtest.h>
+
+#include "crawler/crawler.h"
+#include "crawler/synthetic_host.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+// A hand-built chain blogosphere: b0 -> b1 -> b2 -> b3 (links), with a
+// comment from b3 on b0's post (a comment-edge shortcut).
+Corpus ChainCorpus() {
+  Corpus c;
+  for (int i = 0; i < 4; ++i) {
+    Blogger b;
+    b.name = "b" + std::to_string(i);
+    b.url = "http://x/b" + std::to_string(i);
+    c.AddBlogger(std::move(b));
+  }
+  for (BloggerId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(c.AddLink(i, i + 1).ok());
+  }
+  Post p;
+  p.author = 0;
+  p.title = "t";
+  p.content = "c";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = 3;
+  cm.text = "hi";
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+  return c;
+}
+
+TEST(SyntheticHostTest, FetchKnownUrl) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  auto page = host.Fetch("http://x/b0");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->name, "b0");
+  EXPECT_EQ(page->posts.size(), 1u);
+  ASSERT_EQ(page->posts[0].comments.size(), 1u);
+  EXPECT_EQ(page->posts[0].comments[0].commenter_url, "http://x/b3");
+  ASSERT_EQ(page->linked_urls.size(), 1u);
+  EXPECT_EQ(page->linked_urls[0], "http://x/b1");
+  EXPECT_EQ(host.fetch_count(), 1u);
+}
+
+TEST(SyntheticHostTest, FetchUnknownUrlIsNotFound) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  EXPECT_TRUE(host.Fetch("http://x/ghost").status().IsNotFound());
+}
+
+TEST(SyntheticHostTest, TransientFailuresInjected) {
+  Corpus c = ChainCorpus();
+  SyntheticHostOptions opts;
+  opts.transient_failure_rate = 1.0;
+  SyntheticBlogHost host(&c, opts);
+  EXPECT_TRUE(host.Fetch("http://x/b0").status().IsIOError());
+}
+
+TEST(CrawlerTest, RejectsBadArguments) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  EXPECT_FALSE(Crawl(nullptr, {"http://x/b0"}).ok());
+  EXPECT_FALSE(Crawl(&host, {}).ok());
+  CrawlOptions bad;
+  bad.num_threads = 0;
+  EXPECT_FALSE(Crawl(&host, {"http://x/b0"}, bad).ok());
+}
+
+TEST(CrawlerTest, RadiusZeroCrawlsOnlySeed) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  CrawlOptions opts;
+  opts.radius = 0;
+  auto r = Crawl(&host, {"http://x/b0"}, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->corpus.num_bloggers(), 1u);
+  EXPECT_EQ(r->pages_fetched, 1u);
+  // b1 (link) and b3 (commenter) were seen but out of radius.
+  EXPECT_EQ(r->frontier_truncated, 2u);
+  // The post survives; its comment's commenter is outside the crawl.
+  EXPECT_EQ(r->corpus.num_posts(), 1u);
+  EXPECT_EQ(r->corpus.num_comments(), 0u);
+  EXPECT_EQ(r->corpus.num_links(), 0u);
+}
+
+TEST(CrawlerTest, RadiusOneReachesLinkAndCommenterNeighbors) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  CrawlOptions opts;
+  opts.radius = 1;
+  auto r = Crawl(&host, {"http://x/b0"}, opts);
+  ASSERT_TRUE(r.ok());
+  // b0 + b1 (linked) + b3 (commenter).
+  EXPECT_EQ(r->corpus.num_bloggers(), 3u);
+  EXPECT_EQ(r->corpus.num_comments(), 1u);  // b3 is now inside
+  EXPECT_NE(r->corpus.FindBloggerByName("b3"), kInvalidBlogger);
+  EXPECT_EQ(r->corpus.FindBloggerByName("b2"), kInvalidBlogger);
+}
+
+TEST(CrawlerTest, UnlimitedRadiusCrawlsChain) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  auto r = Crawl(&host, {"http://x/b0"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corpus.num_bloggers(), 4u);
+  EXPECT_EQ(r->corpus.num_links(), 3u);
+  EXPECT_EQ(r->corpus.num_comments(), 1u);
+}
+
+TEST(CrawlerTest, MaxPagesTruncates) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  CrawlOptions opts;
+  opts.max_pages = 2;
+  auto r = Crawl(&host, {"http://x/b0"}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corpus.num_bloggers(), 2u);
+  EXPECT_GT(r->frontier_truncated, 0u);
+}
+
+TEST(CrawlerTest, SeedNotFoundCountsAsFailure) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  auto r = Crawl(&host, {"http://x/ghost", "http://x/b2"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fetch_failures, 1u);
+  EXPECT_EQ(r->corpus.num_bloggers(), 2u);  // b2 and b3
+}
+
+TEST(CrawlerTest, RetriesTransientFailures) {
+  Corpus c = ChainCorpus();
+  SyntheticHostOptions hopts;
+  hopts.transient_failure_rate = 0.5;
+  hopts.seed = 3;
+  SyntheticBlogHost host(&c, hopts);
+  CrawlOptions opts;
+  opts.max_retries = 50;  // with rate 0.5, virtually certain to succeed
+  auto r = Crawl(&host, {"http://x/b0"}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corpus.num_bloggers(), 4u);
+  EXPECT_GT(r->transient_retries, 0u);
+  EXPECT_EQ(r->fetch_failures, 0u);
+}
+
+TEST(CrawlerTest, PermanentFailureWithRetriesExhausted) {
+  Corpus c = ChainCorpus();
+  SyntheticHostOptions hopts;
+  hopts.transient_failure_rate = 1.0;
+  SyntheticBlogHost host(&c, hopts);
+  CrawlOptions opts;
+  opts.max_retries = 2;
+  auto r = Crawl(&host, {"http://x/b0"}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_fetched, 0u);
+  EXPECT_EQ(r->fetch_failures, 1u);
+  EXPECT_EQ(r->corpus.num_bloggers(), 0u);
+}
+
+TEST(CrawlerTest, MultiThreadedMatchesSingleThreaded) {
+  auto gen = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 5;
+    o.num_bloggers = 150;
+    o.target_posts = 700;
+    return o;
+  }());
+  ASSERT_TRUE(gen.ok());
+  SyntheticBlogHost host(&*gen);
+  std::string seed = host.UrlOf(0);
+
+  CrawlOptions one;
+  one.num_threads = 1;
+  one.radius = 2;
+  CrawlOptions many;
+  many.num_threads = 8;
+  many.radius = 2;
+  auto r1 = Crawl(&host, {seed}, one);
+  auto r8 = Crawl(&host, {seed}, many);
+  ASSERT_TRUE(r1.ok() && r8.ok());
+  EXPECT_EQ(r1->corpus.num_bloggers(), r8->corpus.num_bloggers());
+  EXPECT_EQ(r1->corpus.num_posts(), r8->corpus.num_posts());
+  EXPECT_EQ(r1->corpus.num_comments(), r8->corpus.num_comments());
+  EXPECT_EQ(r1->corpus.num_links(), r8->corpus.num_links());
+  // Deterministic assembly order regardless of thread count.
+  ASSERT_GT(r1->corpus.num_bloggers(), 1u);
+  EXPECT_EQ(r1->corpus.blogger(1).name, r8->corpus.blogger(1).name);
+}
+
+TEST(CrawlerTest, MultipleSeedsDeduplicated) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  // b0 twice and b1 once: each space fetched exactly once.
+  auto r = Crawl(&host, {"http://x/b0", "http://x/b0", "http://x/b1"},
+                 CrawlOptions{.radius = 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_fetched, 2u);
+  EXPECT_EQ(r->corpus.num_bloggers(), 2u);
+}
+
+TEST(CrawlerTest, DisjointSeedsMergeIntoOneCorpus) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  auto r = Crawl(&host, {"http://x/b0", "http://x/b3"},
+                 CrawlOptions{.radius = 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corpus.num_bloggers(), 2u);
+  // b3 commented on b0's post and both are crawled: the comment survives.
+  EXPECT_EQ(r->corpus.num_comments(), 1u);
+}
+
+TEST(CrawlerTest, PolitenessDelayPacesFetches) {
+  Corpus c = ChainCorpus();
+  SyntheticBlogHost host(&c);
+  CrawlOptions opts;
+  opts.num_threads = 1;
+  opts.politeness_micros = 2000;  // 2 ms per fetch, 4 fetches
+  auto r = Crawl(&host, {"http://x/b0"}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_fetched, 4u);
+  EXPECT_GE(r->elapsed_seconds, 0.008 * 0.8);  // allow timer slack
+}
+
+TEST(CrawlerTest, LatencyInjectionStillCompletes) {
+  Corpus c = ChainCorpus();
+  SyntheticHostOptions hopts;
+  hopts.latency_micros = 500;
+  SyntheticBlogHost host(&c, hopts);
+  auto r = Crawl(&host, {"http://x/b0"}, CrawlOptions{.num_threads = 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corpus.num_bloggers(), 4u);
+  EXPECT_GT(r->elapsed_seconds, 0.0);
+}
+
+TEST(CrawlerTest, CrawledCorpusPreservesGroundTruth) {
+  auto gen = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 6;
+    o.num_bloggers = 60;
+    o.target_posts = 250;
+    return o;
+  }());
+  ASSERT_TRUE(gen.ok());
+  SyntheticBlogHost host(&*gen);
+  auto r = Crawl(&host, {host.UrlOf(0)}, CrawlOptions{.radius = 1});
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r->corpus.num_bloggers(), 0u);
+  const Blogger& b = r->corpus.blogger(0);
+  EXPECT_GT(b.true_expertise, 0.0);
+  EXPECT_FALSE(b.true_interests.empty());
+}
+
+}  // namespace
+}  // namespace mass

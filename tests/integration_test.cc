@@ -1,0 +1,308 @@
+// Integration tests across modules: the full paper pipeline
+// generate -> crawl -> store(XML) -> load -> classify -> score ->
+// recommend -> visualize, plus classifier/sentiment accuracy against the
+// generator's planted ground truth.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mass.h"  // the umbrella header must stay self-contained
+
+#include "classify/metrics.h"
+#include "classify/naive_bayes.h"
+#include "crawler/crawler.h"
+#include "crawler/synthetic_host.h"
+#include "recommend/recommender.h"
+#include "sentiment/sentiment_analyzer.h"
+#include "storage/corpus_xml.h"
+#include "synth/generator.h"
+#include "userstudy/table1.h"
+#include "viz/blogger_details.h"
+#include "viz/post_reply_network.h"
+
+namespace mass {
+namespace {
+
+synth::GeneratorOptions MediumOptions() {
+  synth::GeneratorOptions o;
+  o.seed = 101;
+  o.num_bloggers = 300;
+  o.target_posts = 1800;
+  return o;
+}
+
+TEST(IntegrationTest, FullPipelineEndToEnd) {
+  // 1. The "blogosphere" exists out there (synthetic substitute).
+  auto world = synth::GenerateBlogosphere(MediumOptions());
+  ASSERT_TRUE(world.ok());
+
+  // 2. Crawl part of it from a seed with a radius (paper §IV).
+  SyntheticBlogHost host(&*world);
+  CrawlOptions copts;
+  copts.num_threads = 4;
+  copts.radius = 2;
+  auto crawl = Crawl(&host, {host.UrlOf(0)}, copts);
+  ASSERT_TRUE(crawl.ok()) << crawl.status();
+  ASSERT_GT(crawl->corpus.num_bloggers(), 10u);
+
+  // 3. Store to XML and load back (paper §III: XML storage).
+  std::string path = testing::TempDir() + "/mass_integration_corpus.xml";
+  ASSERT_TRUE(SaveCorpus(crawl->corpus, path).ok());
+  auto loaded = LoadCorpus(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Corpus& corpus = *loaded;
+  EXPECT_EQ(corpus.num_posts(), crawl->corpus.num_posts());
+
+  // 4. Train the post analyzer and run the comment analyzer + scorer.
+  NaiveBayesClassifier miner;
+  ASSERT_TRUE(miner.Train(LabeledPostsFromCorpus(corpus), 10).ok());
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(&miner, 10).ok());
+  EXPECT_TRUE(engine.stats().converged);
+
+  // 5. Scenario 1 recommendation.
+  Recommender rec(&engine, &miner);
+  auto ad = rec.ForAdvertisement(
+      "special offers on flights hotels and cruise vacation packages", 3);
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad->bloggers.size(), 3u);
+
+  // 6. Visualization export round trip.
+  std::vector<double> influence(corpus.num_bloggers());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    influence[b] = engine.InfluenceOf(b);
+  }
+  PostReplyNetwork net = PostReplyNetwork::Build(corpus, influence);
+  net.RunForceLayout();
+  auto net2 = PostReplyNetwork::FromXml(net.ToXml());
+  ASSERT_TRUE(net2.ok());
+  EXPECT_EQ(net2->nodes().size(), net.nodes().size());
+
+  // 7. Details pop-up for the top recommended blogger.
+  BloggerDetails details = MakeBloggerDetails(engine, ad->bloggers[0].id);
+  EXPECT_GT(details.total_influence, 0.0);
+}
+
+TEST(IntegrationTest, ClassifierRecoversPlantedDomains) {
+  // Train on 80% of labeled posts, evaluate on the held-out 20%.
+  auto world = synth::GenerateBlogosphere(MediumOptions());
+  ASSERT_TRUE(world.ok());
+  auto docs = LabeledPostsFromCorpus(*world);
+  ASSERT_GT(docs.size(), 500u);
+  std::vector<LabeledDocument> train, test;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    (i % 5 == 0 ? test : train).push_back(docs[i]);
+  }
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(train, 10).ok());
+  ClassificationReport report(10);
+  for (const LabeledDocument& d : test) {
+    report.Add(d.domain, nb.Predict(d.text));
+  }
+  // Synthetic text is noisy (45% topical words) but 10-way accuracy must
+  // far exceed the 10% random baseline.
+  EXPECT_GT(report.Accuracy(), 0.8) << report.ToString();
+  EXPECT_GT(report.MacroF1(), 0.75);
+}
+
+TEST(IntegrationTest, SentimentRecoversPlantedAttitudes) {
+  auto world = synth::GenerateBlogosphere(MediumOptions());
+  ASSERT_TRUE(world.ok());
+  SentimentAnalyzer analyzer;
+  size_t correct = 0, total = 0;
+  for (const Comment& c : world->comments()) {
+    Sentiment predicted = analyzer.Classify(c.text);
+    int predicted_att = static_cast<int>(predicted);
+    ++total;
+    if (predicted_att == c.true_attitude) ++correct;
+  }
+  ASSERT_GT(total, 500u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.85);
+}
+
+TEST(IntegrationTest, DomainTopKAreActualDomainExperts) {
+  auto world = synth::GenerateBlogosphere(MediumOptions());
+  ASSERT_TRUE(world.ok());
+  NaiveBayesClassifier miner;
+  ASSERT_TRUE(miner.Train(LabeledPostsFromCorpus(*world), 10).ok());
+  MassEngine engine(&*world);
+  ASSERT_TRUE(engine.Analyze(&miner, 10).ok());
+
+  // For each domain, the top-3 MASS bloggers should be interested in that
+  // domain per ground truth (the whole point of domain-specific mining).
+  for (size_t d = 0; d < 10; ++d) {
+    auto top = engine.TopKDomain(d, 3);
+    for (const ScoredBlogger& sb : top) {
+      if (sb.score <= 0.0) continue;  // sparse domain
+      EXPECT_GT(world->blogger(sb.id).true_interests[d], 0.0)
+          << "domain " << d << " blogger " << sb.id;
+    }
+  }
+}
+
+TEST(IntegrationTest, GeneralRankingCorrelatesWithExpertise) {
+  auto world = synth::GenerateBlogosphere(MediumOptions());
+  ASSERT_TRUE(world.ok());
+  MassEngine engine(&*world);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  // Mean planted expertise of the top-20 must beat the corpus mean.
+  auto top = engine.TopKGeneral(20);
+  double top_expertise = 0.0;
+  for (const ScoredBlogger& sb : top) {
+    top_expertise += world->blogger(sb.id).true_expertise;
+  }
+  top_expertise /= static_cast<double>(top.size());
+  double mean_expertise = 0.0;
+  for (const Blogger& b : world->bloggers()) {
+    mean_expertise += b.true_expertise;
+  }
+  mean_expertise /= static_cast<double>(world->num_bloggers());
+  EXPECT_GT(top_expertise, mean_expertise + 0.2);
+}
+
+TEST(IntegrationTest, CrawledSubsetStudyStillFavorsDomainSpecific) {
+  // Run Table I on a radius-limited crawl instead of the full corpus —
+  // the demo's "find influential bloggers in her/his friend network".
+  auto world = synth::GenerateBlogosphere(MediumOptions());
+  ASSERT_TRUE(world.ok());
+  SyntheticBlogHost host(&*world);
+  CrawlOptions copts;
+  copts.radius = 2;
+  copts.num_threads = 4;
+  auto crawl = Crawl(&host, {host.UrlOf(1)}, copts);
+  ASSERT_TRUE(crawl.ok());
+  if (crawl->corpus.num_posts() < 200) {
+    GTEST_SKIP() << "seed neighborhood too small for a meaningful study";
+  }
+  auto r = RunTable1Study(crawl->corpus, DomainSet::PaperDomains());
+  ASSERT_TRUE(r.ok()) << r.status();
+  double ds_mean = 0.0, g_mean = 0.0;
+  for (size_t d = 0; d < 3; ++d) {
+    ds_mean += r->rows[2].scores[d];
+    g_mean += r->rows[0].scores[d];
+  }
+  EXPECT_GT(ds_mean, g_mean);
+}
+
+TEST(IntegrationTest, FullCoverageCrawlPreservesInfluenceRanking) {
+  // When a crawl reaches the entire blogosphere, analyzing the crawled
+  // corpus must give each blogger the same influence as analyzing the
+  // original — the crawler only relabels ids.
+  synth::GeneratorOptions o;
+  o.seed = 314;
+  o.num_bloggers = 60;
+  o.target_posts = 300;
+  o.mean_links_per_blogger = 8.0;  // dense enough to reach everyone
+  auto world = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(world.ok());
+
+  SyntheticBlogHost host(&*world);
+  // Seed from every blogger to guarantee full coverage regardless of the
+  // link structure (multi-seed crawls are supported).
+  std::vector<std::string> seeds;
+  for (BloggerId b = 0; b < world->num_bloggers(); ++b) {
+    seeds.push_back(host.UrlOf(b));
+  }
+  auto crawl = Crawl(&host, seeds, CrawlOptions{.num_threads = 4});
+  ASSERT_TRUE(crawl.ok());
+  ASSERT_EQ(crawl->corpus.num_bloggers(), world->num_bloggers());
+  ASSERT_EQ(crawl->corpus.num_posts(), world->num_posts());
+  ASSERT_EQ(crawl->corpus.num_comments(), world->num_comments());
+  ASSERT_EQ(crawl->corpus.num_links(), world->num_links());
+
+  MassEngine original(&*world);
+  MassEngine crawled(&crawl->corpus);
+  ASSERT_TRUE(original.Analyze(nullptr, 10).ok());
+  ASSERT_TRUE(crawled.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < world->num_bloggers(); ++b) {
+    BloggerId mapped =
+        crawl->corpus.FindBloggerByName(world->blogger(b).name);
+    ASSERT_NE(mapped, kInvalidBlogger);
+    EXPECT_NEAR(original.InfluenceOf(b), crawled.InfluenceOf(mapped), 1e-9)
+        << world->blogger(b).name;
+  }
+}
+
+TEST(IntegrationTest, MergedCrawlsApproximateSingleBigCrawl) {
+  // Crawling two neighborhoods separately and merging recovers all the
+  // bloggers and posts a combined crawl would find, but can only lose
+  // cross-neighborhood comments/links (an edge between regions is kept by
+  // the joint crawl yet invisible to either single crawl).
+  synth::GeneratorOptions o;
+  o.seed = 616;
+  o.num_bloggers = 120;
+  o.target_posts = 500;
+  auto world = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(world.ok());
+  SyntheticBlogHost host(&*world);
+  CrawlOptions copts;
+  copts.radius = 1;
+
+  auto a = Crawl(&host, {host.UrlOf(0)}, copts);
+  auto b = Crawl(&host, {host.UrlOf(1)}, copts);
+  auto both = Crawl(&host, {host.UrlOf(0), host.UrlOf(1)}, copts);
+  ASSERT_TRUE(a.ok() && b.ok() && both.ok());
+  auto merged = MergeCorpora(a->corpus, b->corpus);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_bloggers(), both->corpus.num_bloggers());
+  EXPECT_EQ(merged->num_posts(), both->corpus.num_posts());
+  EXPECT_LE(merged->num_comments(), both->corpus.num_comments());
+  EXPECT_LE(merged->num_links(), both->corpus.num_links());
+  // And strictly more than either single crawl alone.
+  EXPECT_GT(merged->num_bloggers(), a->corpus.num_bloggers());
+  EXPECT_GT(merged->num_bloggers(), b->corpus.num_bloggers());
+}
+
+TEST(IntegrationTest, OptionsFileReproducesAnalysis) {
+  // Saving the toolbar settings and reloading them yields the same
+  // analysis — the reproducibility path a front-end would use.
+  synth::GeneratorOptions o;
+  o.seed = 951;
+  o.num_bloggers = 80;
+  o.target_posts = 350;
+  auto world = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(world.ok());
+
+  EngineOptions custom;
+  custom.alpha = 0.3;
+  custom.beta = 0.8;
+  custom.sentiment.negative = 0.05;
+  custom.gl_method = GlMethod::kHitsAuthority;
+  std::string path = testing::TempDir() + "/mass_opts_integration.xml";
+  ASSERT_TRUE(SaveEngineOptions(custom, path).ok());
+  auto reloaded = LoadEngineOptions(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(reloaded.ok());
+
+  MassEngine e1(&*world, custom);
+  MassEngine e2(&*world, *reloaded);
+  ASSERT_TRUE(e1.Analyze(nullptr, 10).ok());
+  ASSERT_TRUE(e2.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < world->num_bloggers(); ++b) {
+    ASSERT_DOUBLE_EQ(e1.InfluenceOf(b), e2.InfluenceOf(b));
+  }
+}
+
+TEST(IntegrationTest, XmlRoundTripPreservesAnalysis) {
+  // Influence scores computed before and after an XML round trip match.
+  synth::GeneratorOptions o;
+  o.seed = 55;
+  o.num_bloggers = 120;
+  o.target_posts = 500;
+  auto world = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(world.ok());
+  auto reloaded = CorpusFromXml(CorpusToXml(*world));
+  ASSERT_TRUE(reloaded.ok());
+
+  MassEngine e1(&*world);
+  MassEngine e2(&*reloaded);
+  ASSERT_TRUE(e1.Analyze(nullptr, 10).ok());
+  ASSERT_TRUE(e2.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < world->num_bloggers(); ++b) {
+    EXPECT_NEAR(e1.InfluenceOf(b), e2.InfluenceOf(b), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,225 @@
+// Unit tests for the link-analysis module: Graph, PageRank, HITS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "linkanalysis/graph.h"
+#include "linkanalysis/hits.h"
+#include "linkanalysis/pagerank.h"
+
+namespace mass {
+namespace {
+
+// ---------- Graph ----------
+
+TEST(GraphTest, AdjacencyBothDirections) {
+  Graph g(4, {{0, 1}, {0, 2}, {1, 2}, {3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  auto [b, e] = g.OutNeighbors(0);
+  std::vector<uint32_t> out(b, e);
+  EXPECT_EQ(out.size(), 2u);
+  auto [ib, ie] = g.InNeighbors(0);
+  ASSERT_EQ(ie - ib, 1);
+  EXPECT_EQ(*ib, 3u);
+}
+
+TEST(GraphTest, EmptyGraphAndIsolatedNodes) {
+  Graph g(3, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (uint32_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 0u);
+    EXPECT_EQ(g.InDegree(u), 0u);
+  }
+}
+
+TEST(GraphTest, DuplicateEdgesKept) {
+  Graph g(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(GraphTest, FromCorpusLinks) {
+  Corpus c;
+  c.AddBlogger({});
+  c.AddBlogger({});
+  c.AddBlogger({});
+  ASSERT_TRUE(c.AddLink(0, 1).ok());
+  ASSERT_TRUE(c.AddLink(2, 1).ok());
+  c.BuildIndexes();
+  Graph g = Graph::FromCorpusLinks(c);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+// ---------- PageRank ----------
+
+TEST(PageRankTest, RejectsBadArguments) {
+  Graph g(2, {{0, 1}});
+  EXPECT_FALSE(ComputePageRank(Graph(0, {})).ok());
+  PageRankOptions bad;
+  bad.damping = 1.5;
+  EXPECT_FALSE(ComputePageRank(g, bad).ok());
+  bad.damping = 0.85;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(ComputePageRank(g, bad).ok());
+}
+
+TEST(PageRankTest, SumsToOne) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 0}, {3, 0}, {4, 2}});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  double sum = std::accumulate(r->scores.begin(), r->scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_TRUE(r->converged);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  // 0 -> 1 -> 2 -> 0: all nodes equivalent.
+  Graph g(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->scores) EXPECT_NEAR(s, 1.0 / 3.0, 1e-8);
+}
+
+TEST(PageRankTest, HubGetsHighestScore) {
+  // Everyone links to node 0.
+  Graph g(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < 5; ++i) EXPECT_GT(r->scores[0], r->scores[i]);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  // Node 1 is dangling; scores must still sum to 1.
+  Graph g(3, {{0, 1}, {2, 1}});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  double sum = std::accumulate(r->scores.begin(), r->scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(r->scores[1], r->scores[0]);
+}
+
+TEST(PageRankTest, NoEdgesIsUniform) {
+  Graph g(4, {});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->scores) EXPECT_NEAR(s, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, ZeroDampingIsUniform) {
+  Graph g(4, {{0, 1}, {1, 2}});
+  PageRankOptions opts;
+  opts.damping = 0.0;
+  auto r = ComputePageRank(g, opts);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->scores) EXPECT_NEAR(s, 0.25, 1e-9);
+  EXPECT_TRUE(r->converged);
+}
+
+TEST(PageRankTest, MoreInlinksMoreScore) {
+  // 0 has 3 inlinks, 1 has 1.
+  Graph g(5, {{2, 0}, {3, 0}, {4, 0}, {2, 1}});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->scores[0], r->scores[1]);
+}
+
+TEST(PageRankTest, IterationCapRespected) {
+  Graph g(10, {{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}});
+  PageRankOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 0.0;  // never converge by tolerance
+  auto r = ComputePageRank(g, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->iterations, 2);
+  EXPECT_FALSE(r->converged);
+}
+
+TEST(PageRankTest, DuplicateEdgesAddWeight) {
+  // 0 links to 1 three times and to 2 once: 1 receives 3/4 of 0's mass.
+  Graph g(3, {{0, 1}, {0, 1}, {0, 1}, {0, 2}});
+  auto r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  // The 3:1 edge-weight ratio applies to the link-derived mass only;
+  // teleport adds an equal floor to both, compressing the ratio.
+  EXPECT_GT(r->scores[1], r->scores[2] * 1.25);
+}
+
+TEST(PageRankTest, TwoNodeExactValue) {
+  // 0 -> 1 only. Closed form with damping d and n = 2:
+  //   r0 = (1-d)/2 + d*dangling_share, r1 = r0*d + teleport...
+  // Solve the stationary equations directly:
+  //   r0 = (1-d)/2 + d*r1/2          (node 1 is dangling)
+  //   r1 = (1-d)/2 + d*r1/2 + d*r0
+  // with r0 + r1 = 1.
+  Graph g(2, {{0, 1}});
+  PageRankOptions opts;
+  opts.tolerance = 1e-14;
+  auto r = ComputePageRank(g, opts);
+  ASSERT_TRUE(r.ok());
+  const double d = opts.damping;
+  // From r0 + r1 = 1 and r0 = (1-d)/2 + d*r1/2:
+  //   r0 = (1-d)/2 + d(1-r0)/2  =>  r0(1 + d/2) = 1/2  => r0 = 1/(2+d)
+  double r0 = 1.0 / (2.0 + d);
+  EXPECT_NEAR(r->scores[0], r0, 1e-10);
+  EXPECT_NEAR(r->scores[1], 1.0 - r0, 1e-10);
+}
+
+// ---------- HITS ----------
+
+TEST(HitsTest, RejectsBadArguments) {
+  EXPECT_FALSE(ComputeHits(Graph(0, {})).ok());
+  Graph g(2, {{0, 1}});
+  HitsOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(ComputeHits(g, bad).ok());
+}
+
+TEST(HitsTest, AuthorityAndHubSeparate) {
+  // 0,1,2 all point to 3 and 4; 3,4 have no outlinks.
+  Graph g(5, {{0, 3}, {0, 4}, {1, 3}, {1, 4}, {2, 3}, {2, 4}});
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  // 3 and 4 are the authorities; 0..2 are the hubs.
+  EXPECT_GT(r->authority[3], r->authority[0]);
+  EXPECT_GT(r->hub[0], r->hub[3]);
+  EXPECT_NEAR(r->authority[3], r->authority[4], 1e-9);
+  EXPECT_NEAR(r->hub[0], r->hub[1], 1e-9);
+}
+
+TEST(HitsTest, VectorsAreL2Normalized) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  double na = 0.0, nh = 0.0;
+  for (double v : r->authority) na += v * v;
+  for (double v : r->hub) nh += v * v;
+  EXPECT_NEAR(std::sqrt(na), 1.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(nh), 1.0, 1e-9);
+}
+
+TEST(HitsTest, EdgelessGraphStopsGracefully) {
+  Graph g(3, {});
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  // Uniform initial vectors are returned untouched.
+  for (double v : r->authority) EXPECT_GT(v, 0.0);
+}
+
+TEST(HitsTest, StrongerAuthorityWins) {
+  // 3 gets hubs {0,1,2}; 4 gets hub {0} only.
+  Graph g(5, {{0, 3}, {1, 3}, {2, 3}, {0, 4}});
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->authority[3], r->authority[4]);
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,369 @@
+// Unit tests for the data model: DomainSet and Corpus with its indexes.
+#include <gtest/gtest.h>
+
+#include "model/corpus.h"
+#include "model/corpus_merge.h"
+#include "model/corpus_stats.h"
+
+namespace mass {
+namespace {
+
+Corpus TwoBloggersOnePost() {
+  Corpus c;
+  Blogger a;
+  a.name = "alice";
+  Blogger b;
+  b.name = "bob";
+  BloggerId alice = c.AddBlogger(std::move(a));
+  BloggerId bob = c.AddBlogger(std::move(b));
+  Post p;
+  p.author = alice;
+  p.title = "t";
+  p.content = "body";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = bob;
+  cm.text = "nice";
+  c.AddComment(std::move(cm)).value();
+  EXPECT_TRUE(c.AddLink(bob, alice).ok());
+  c.BuildIndexes();
+  return c;
+}
+
+// ---------- DomainSet ----------
+
+TEST(DomainSetTest, PaperDomainsAreTheTenFromTheEvaluation) {
+  DomainSet d = DomainSet::PaperDomains();
+  ASSERT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.name(0), "Travel");
+  EXPECT_EQ(d.name(6), "Sports");
+  EXPECT_EQ(d.name(8), "Art");
+  EXPECT_EQ(d.name(9), "Politics");
+}
+
+TEST(DomainSetTest, FindIsCaseInsensitive) {
+  DomainSet d = DomainSet::PaperDomains();
+  EXPECT_EQ(d.Find("travel"), 0);
+  EXPECT_EQ(d.Find("SPORTS"), 6);
+  EXPECT_EQ(d.Find("nosuch"), -1);
+}
+
+// ---------- Corpus construction ----------
+
+TEST(CorpusTest, AddAssignsDenseIds) {
+  Corpus c;
+  EXPECT_EQ(c.AddBlogger({}), 0u);
+  EXPECT_EQ(c.AddBlogger({}), 1u);
+  Post p;
+  p.author = 0;
+  EXPECT_EQ(c.AddPost(p).value(), 0u);
+  p.author = 1;
+  EXPECT_EQ(c.AddPost(p).value(), 1u);
+}
+
+TEST(CorpusTest, AddPostRejectsUnknownAuthor) {
+  Corpus c;
+  c.AddBlogger({});
+  Post p;
+  p.author = 5;
+  EXPECT_TRUE(c.AddPost(p).status().IsInvalidArgument());
+}
+
+TEST(CorpusTest, AddCommentRejectsDanglingRefs) {
+  Corpus c;
+  c.AddBlogger({});
+  Post p;
+  p.author = 0;
+  c.AddPost(p).value();
+  Comment bad_post;
+  bad_post.post = 9;
+  bad_post.commenter = 0;
+  EXPECT_FALSE(c.AddComment(bad_post).ok());
+  Comment bad_commenter;
+  bad_commenter.post = 0;
+  bad_commenter.commenter = 9;
+  EXPECT_FALSE(c.AddComment(bad_commenter).ok());
+}
+
+TEST(CorpusTest, AddLinkRejectsSelfAndOutOfRange) {
+  Corpus c;
+  c.AddBlogger({});
+  c.AddBlogger({});
+  EXPECT_TRUE(c.AddLink(0, 0).IsInvalidArgument());
+  EXPECT_TRUE(c.AddLink(0, 7).IsInvalidArgument());
+  EXPECT_TRUE(c.AddLink(0, 1).ok());
+}
+
+// ---------- Indexes ----------
+
+TEST(CorpusTest, IndexesAnswerLookups) {
+  Corpus c = TwoBloggersOnePost();
+  EXPECT_EQ(c.PostsBy(0).size(), 1u);
+  EXPECT_TRUE(c.PostsBy(1).empty());
+  EXPECT_EQ(c.CommentsOn(0).size(), 1u);
+  EXPECT_EQ(c.CommentsByCommenter(1).size(), 1u);
+  EXPECT_EQ(c.TotalComments(1), 1u);
+  EXPECT_EQ(c.TotalComments(0), 0u);
+  ASSERT_EQ(c.LinksFrom(1).size(), 1u);
+  EXPECT_EQ(c.LinksFrom(1)[0], 0u);
+  ASSERT_EQ(c.LinksTo(0).size(), 1u);
+  EXPECT_EQ(c.LinksTo(0)[0], 1u);
+}
+
+TEST(CorpusTest, FindBloggerByName) {
+  Corpus c = TwoBloggersOnePost();
+  EXPECT_EQ(c.FindBloggerByName("alice"), 0u);
+  EXPECT_EQ(c.FindBloggerByName("bob"), 1u);
+  EXPECT_EQ(c.FindBloggerByName("carol"), kInvalidBlogger);
+}
+
+TEST(CorpusTest, MutationInvalidatesIndexFlag) {
+  Corpus c = TwoBloggersOnePost();
+  EXPECT_TRUE(c.indexes_built());
+  c.AddBlogger({});
+  EXPECT_FALSE(c.indexes_built());
+  c.BuildIndexes();
+  EXPECT_TRUE(c.indexes_built());
+}
+
+TEST(CorpusTest, RebuildIndexesIsIdempotent) {
+  Corpus c = TwoBloggersOnePost();
+  c.BuildIndexes();
+  c.BuildIndexes();
+  EXPECT_EQ(c.PostsBy(0).size(), 1u);
+  EXPECT_EQ(c.CommentsOn(0).size(), 1u);
+}
+
+TEST(CorpusTest, ValidatePassesOnConsistentCorpus) {
+  Corpus c = TwoBloggersOnePost();
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(CorpusTest, EmptyCorpusCountsAreZero) {
+  Corpus c;
+  c.BuildIndexes();
+  EXPECT_EQ(c.num_bloggers(), 0u);
+  EXPECT_EQ(c.num_posts(), 0u);
+  EXPECT_EQ(c.num_comments(), 0u);
+  EXPECT_EQ(c.num_links(), 0u);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+// ---------- DistributionSummary ----------
+
+TEST(SummarizeTest, EmptyIsZeros) {
+  DistributionSummary s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+}
+
+TEST(SummarizeTest, UniformHasZeroGini) {
+  DistributionSummary s = Summarize({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+}
+
+TEST(SummarizeTest, ConcentratedHasHighGini) {
+  // One blogger holds everything.
+  DistributionSummary s = Summarize({0.0, 0.0, 0.0, 100.0});
+  EXPECT_GT(s.gini, 0.7);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(SummarizeTest, PercentilesFromSortedOrder) {
+  DistributionSummary s = Summarize({9.0, 1.0, 5.0, 3.0, 7.0,
+                                     2.0, 8.0, 4.0, 6.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.p50, 6.0);   // element at index 5 of sorted
+  EXPECT_DOUBLE_EQ(s.p90, 10.0);  // index 9
+}
+
+// ---------- CorpusStats ----------
+
+TEST(CorpusStatsTest, CountsAndFlags) {
+  Corpus c;
+  BloggerId a = c.AddBlogger({});
+  c.AddBlogger({});  // b: no posts
+  Post p1;
+  p1.author = a;
+  p1.true_copy = true;
+  PostId pid = c.AddPost(p1).value();
+  Post p2;
+  p2.author = a;
+  c.AddPost(p2).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = 1;
+  c.AddComment(cm).value();
+  ASSERT_TRUE(c.AddLink(1, 0).ok());
+  c.BuildIndexes();
+
+  CorpusStats s = ComputeCorpusStats(c);
+  EXPECT_EQ(s.bloggers, 2u);
+  EXPECT_EQ(s.posts, 2u);
+  EXPECT_EQ(s.comments, 1u);
+  EXPECT_EQ(s.links, 1u);
+  EXPECT_EQ(s.bloggers_without_posts, 1u);
+  EXPECT_DOUBLE_EQ(s.copy_post_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.posts_per_blogger.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.posts_per_blogger.max, 2.0);
+  EXPECT_DOUBLE_EQ(s.comments_per_post.mean, 0.5);
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("carbon-copy"), std::string::npos);
+}
+
+TEST(CorpusStatsTest, EmptyCorpus) {
+  Corpus c;
+  c.BuildIndexes();
+  CorpusStats s = ComputeCorpusStats(c);
+  EXPECT_EQ(s.bloggers, 0u);
+  EXPECT_DOUBLE_EQ(s.copy_post_fraction, 0.0);
+}
+
+// ---------- seed suggestion ----------
+
+TEST(SuggestSeedsTest, RanksByCommentsAndFriends) {
+  Corpus c;
+  BloggerId hub = c.AddBlogger({});     // lots of comments + links
+  BloggerId quiet = c.AddBlogger({});   // nothing
+  BloggerId friendly = c.AddBlogger({});  // one link only
+  Post p;
+  p.author = hub;
+  PostId pid = c.AddPost(p).value();
+  for (int i = 0; i < 5; ++i) {
+    Comment cm;
+    cm.post = pid;
+    cm.commenter = friendly;
+    c.AddComment(cm).value();
+  }
+  ASSERT_TRUE(c.AddLink(friendly, hub).ok());
+  c.BuildIndexes();
+
+  auto seeds = SuggestCrawlSeeds(c, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  // hub: 5 received + 1 inlink = 6; friendly: 5 written + 1 outlink = 6;
+  // ties break by id, so hub (0) first, quiet last.
+  EXPECT_EQ(seeds[0], hub);
+  EXPECT_EQ(seeds[2], quiet);
+}
+
+TEST(SuggestSeedsTest, KLargerThanCorpus) {
+  Corpus c;
+  c.AddBlogger({});
+  c.BuildIndexes();
+  EXPECT_EQ(SuggestCrawlSeeds(c, 10).size(), 1u);
+  EXPECT_TRUE(SuggestCrawlSeeds(c, 0).empty());
+}
+
+// ---------- MergeCorpora ----------
+
+Corpus NamedCorpus(const char* blogger1, const char* blogger2,
+                   const char* post_title, int64_t ts) {
+  Corpus c;
+  Blogger a;
+  a.name = blogger1;
+  a.url = std::string("http://x/") + blogger1;
+  Blogger b;
+  b.name = blogger2;
+  b.url = std::string("http://x/") + blogger2;
+  BloggerId aid = c.AddBlogger(std::move(a));
+  BloggerId bid = c.AddBlogger(std::move(b));
+  Post p;
+  p.author = aid;
+  p.title = post_title;
+  p.content = "content";
+  p.timestamp = ts;
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = bid;
+  cm.text = "hi";
+  cm.timestamp = ts + 10;
+  c.AddComment(std::move(cm)).value();
+  EXPECT_TRUE(c.AddLink(bid, aid).ok());
+  c.BuildIndexes();
+  return c;
+}
+
+TEST(MergeTest, DisjointCorporaConcatenate) {
+  Corpus left = NamedCorpus("a1", "a2", "postA", 100);
+  Corpus right = NamedCorpus("b1", "b2", "postB", 200);
+  auto merged = MergeCorpora(left, right);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->num_bloggers(), 4u);
+  EXPECT_EQ(merged->num_posts(), 2u);
+  EXPECT_EQ(merged->num_comments(), 2u);
+  EXPECT_EQ(merged->num_links(), 2u);
+  EXPECT_NE(merged->FindBloggerByName("a1"), kInvalidBlogger);
+  EXPECT_NE(merged->FindBloggerByName("b2"), kInvalidBlogger);
+}
+
+TEST(MergeTest, IdenticalCorporaDeduplicateCompletely) {
+  Corpus c = NamedCorpus("a1", "a2", "postA", 100);
+  auto merged = MergeCorpora(c, c);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_bloggers(), 2u);
+  EXPECT_EQ(merged->num_posts(), 1u);
+  EXPECT_EQ(merged->num_comments(), 1u);
+  EXPECT_EQ(merged->num_links(), 1u);
+}
+
+TEST(MergeTest, OverlappingBloggersShareIdentity) {
+  // Both crawls saw blogger "hub" but from different neighborhoods.
+  Corpus left = NamedCorpus("hub", "friendL", "postL", 100);
+  Corpus right = NamedCorpus("hub", "friendR", "postR", 200);
+  auto merged = MergeCorpora(left, right);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_bloggers(), 3u);  // hub deduped
+  BloggerId hub = merged->FindBloggerByName("hub");
+  ASSERT_NE(hub, kInvalidBlogger);
+  // Hub authored both posts and received both inlinks.
+  EXPECT_EQ(merged->PostsBy(hub).size(), 2u);
+  EXPECT_EQ(merged->LinksTo(hub).size(), 2u);
+}
+
+TEST(MergeTest, LeftMetadataWinsOnConflict) {
+  Corpus left = NamedCorpus("hub", "x", "p", 1);
+  Corpus right = NamedCorpus("hub", "y", "q", 2);
+  left.mutable_blogger(left.FindBloggerByName("hub")).true_expertise = 0.9;
+  right.mutable_blogger(right.FindBloggerByName("hub")).true_expertise = 0.1;
+  auto merged = MergeCorpora(left, right);
+  ASSERT_TRUE(merged.ok());
+  BloggerId hub = merged->FindBloggerByName("hub");
+  EXPECT_DOUBLE_EQ(merged->blogger(hub).true_expertise, 0.9);
+}
+
+TEST(MergeTest, MergeWithEmptyIsIdentityOnCounts) {
+  Corpus c = NamedCorpus("a1", "a2", "postA", 100);
+  Corpus empty;
+  empty.BuildIndexes();
+  auto m1 = MergeCorpora(c, empty);
+  auto m2 = MergeCorpora(empty, c);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(m1->num_posts(), c.num_posts());
+  EXPECT_EQ(m2->num_comments(), c.num_comments());
+}
+
+TEST(CorpusTest, GroundTruthFieldsRoundTrip) {
+  Corpus c;
+  Blogger b;
+  b.true_expertise = 0.8;
+  b.true_interests = {0.7, 0.3};
+  BloggerId id = c.AddBlogger(std::move(b));
+  EXPECT_DOUBLE_EQ(c.blogger(id).true_expertise, 0.8);
+  ASSERT_EQ(c.blogger(id).true_interests.size(), 2u);
+
+  Post p;
+  p.author = id;
+  p.true_domain = 4;
+  p.true_copy = true;
+  PostId pid = c.AddPost(std::move(p)).value();
+  EXPECT_EQ(c.post(pid).true_domain, 4);
+  EXPECT_TRUE(c.post(pid).true_copy);
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,364 @@
+// Property-based tests: invariants that must hold across randomized inputs
+// (seed sweeps via parameterized gtest).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "classify/naive_bayes.h"
+#include "core/influence_engine.h"
+#include "core/quality.h"
+#include "core/topk.h"
+#include "crawler/crawler.h"
+#include "crawler/synthetic_host.h"
+#include "linkanalysis/hits.h"
+#include "linkanalysis/pagerank.h"
+#include "sentiment/sentiment_analyzer.h"
+#include "storage/corpus_xml.h"
+#include "synth/generator.h"
+#include "synth/text_gen.h"
+#include "text/tokenizer.h"
+#include "viz/post_reply_network.h"
+
+namespace mass {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+synth::GeneratorOptions TinyOptions(uint64_t seed) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = 60;
+  o.target_posts = 250;
+  return o;
+}
+
+// Property: generated corpora always validate and carry full ground truth.
+TEST_P(SeedSweep, GeneratedCorpusAlwaysValid) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Validate().ok());
+  for (const Post& p : r->posts()) {
+    EXPECT_GE(p.true_domain, 0);
+  }
+}
+
+// Property: XML serialization is lossless for any generated corpus.
+TEST_P(SeedSweep, CorpusXmlRoundTripIsIdentity) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  std::string xml1 = CorpusToXml(*r);
+  auto back = CorpusFromXml(xml1);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(CorpusToXml(*back), xml1);
+}
+
+// Property: PageRank is a probability distribution on any random graph.
+TEST_P(SeedSweep, PageRankIsDistribution) {
+  Rng rng(GetParam());
+  size_t n = 20 + rng.NextUint64(80);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  size_t m = rng.NextUint64(4 * n);
+  for (size_t i = 0; i < m; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.NextUint64(n));
+    uint32_t b = static_cast<uint32_t>(rng.NextUint64(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  Graph g(n, edges);
+  auto pr = ComputePageRank(g);
+  ASSERT_TRUE(pr.ok());
+  double sum = 0.0;
+  for (double s : pr->scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_TRUE(std::isfinite(s));
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+// Property: HITS vectors stay L2-normalized and non-negative.
+TEST_P(SeedSweep, HitsVectorsNormalized) {
+  Rng rng(GetParam() * 31);
+  size_t n = 10 + rng.NextUint64(40);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (size_t i = 0; i < 3 * n; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.NextUint64(n));
+    uint32_t b = static_cast<uint32_t>(rng.NextUint64(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  Graph g(n, edges);
+  auto hits = ComputeHits(g);
+  ASSERT_TRUE(hits.ok());
+  double na = 0.0;
+  for (double v : hits->authority) {
+    EXPECT_GE(v, -1e-12);
+    na += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(na), 1.0, 1e-6);
+}
+
+// Property: the engine's influence vector is non-negative, finite, and
+// mean-normalized for any generated corpus.
+TEST_P(SeedSweep, EngineInfluenceWellFormed) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  double sum = 0.0;
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    double inf = engine.InfluenceOf(b);
+    EXPECT_GE(inf, 0.0);
+    EXPECT_TRUE(std::isfinite(inf));
+    sum += inf;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(r->num_bloggers()), 1.0, 1e-9);
+}
+
+// Property (Eq. 5 consistency): because every iv(.) sums to 1 over
+// domains, summing the domain-influence vector recovers AP(b) exactly —
+// with the classifier as much as with ground truth.
+TEST_P(SeedSweep, DomainVectorMarginalizesToAp) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  NaiveBayesClassifier miner;
+  ASSERT_TRUE(miner.Train(LabeledPostsFromCorpus(*r), 10).ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(&miner, 10).ok());
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    double sum = 0.0;
+    for (size_t t = 0; t < 10; ++t) sum += engine.DomainInfluenceOf(b, t);
+    EXPECT_NEAR(sum, engine.AccumulatedPostOf(b),
+                1e-9 * (1.0 + engine.AccumulatedPostOf(b)));
+  }
+}
+
+// Property: interest vectors are valid distributions for arbitrary text.
+TEST_P(SeedSweep, InterestVectorsAreDistributions) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  NaiveBayesClassifier miner;
+  ASSERT_TRUE(miner.Train(LabeledPostsFromCorpus(*r), 10).ok());
+  Rng rng(GetParam() * 7);
+  synth::TextGenerator gen;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> mix(10, 0.0);
+    mix[rng.NextUint64(10)] = 1.0;
+    std::string text = gen.GeneratePost(mix, 5 + rng.NextUint64(60), &rng);
+    std::vector<double> iv = miner.InterestVector(text);
+    double sum = 0.0;
+    for (double v : iv) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// Property: heap top-k equals full-sort top-k on random score vectors.
+TEST_P(SeedSweep, TopKHeapEqualsSort) {
+  Rng rng(GetParam() * 13);
+  size_t n = 1 + rng.NextUint64(500);
+  std::vector<double> scores(n);
+  for (double& s : scores) {
+    // Include ties on purpose.
+    s = static_cast<double>(rng.NextUint64(32));
+  }
+  for (size_t k : {1ul, 3ul, 10ul, n, n + 5}) {
+    auto heap = TopKByScore(scores, k);
+    auto sorted = TopKByScoreFullSort(scores, k);
+    ASSERT_EQ(heap.size(), sorted.size());
+    for (size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ(heap[i].id, sorted[i].id) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+// Property: novelty always lies in (0, 1].
+TEST_P(SeedSweep, NoveltyInRange) {
+  Rng rng(GetParam() * 17);
+  synth::TextGenerator gen;
+  for (int i = 0; i < 30; ++i) {
+    Post p;
+    std::vector<double> mix(10, 0.1);
+    p.content = gen.GeneratePost(mix, 5 + rng.NextUint64(80), &rng);
+    if (rng.NextBernoulli(0.5)) {
+      p.content = synth::TextGenerator::MakeCopyPreamble(&rng) + " " + p.content;
+    }
+    double nv = NoveltyOf(p);
+    EXPECT_GT(nv, 0.0);
+    EXPECT_LE(nv, 1.0);
+  }
+}
+
+// Property: alpha interpolates between pure-AP and pure-GL rankings;
+// the influence at alpha is a convex combination of the two extremes
+// after accounting for normalization (checked via boundary agreement).
+TEST_P(SeedSweep, AlphaBoundariesConsistent) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  EngineOptions gl_only;
+  gl_only.alpha = 0.0;
+  MassEngine engine(&*r, gl_only);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    EXPECT_NEAR(engine.InfluenceOf(b), engine.GeneralLinksOf(b), 1e-9);
+  }
+}
+
+// Property (fuzz): truncating or mutating a valid corpus XML document must
+// produce either a clean parse or an error Status — never a crash, hang,
+// or an invalid corpus.
+TEST_P(SeedSweep, TruncatedXmlNeverCrashes) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  std::string xml = CorpusToXml(*r);
+  Rng rng(GetParam() * 101);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t cut = rng.NextUint64(xml.size());
+    auto result = CorpusFromXml(std::string_view(xml).substr(0, cut));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(SeedSweep, MutatedXmlNeverCrashes) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  std::string xml = CorpusToXml(*r);
+  Rng rng(GetParam() * 211);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string mutated = xml;
+    // Flip a handful of bytes to printable garbage.
+    int flips = 1 + static_cast<int>(rng.NextUint64(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.NextUint64(mutated.size());
+      mutated[pos] = static_cast<char>('!' + rng.NextUint64(90));
+    }
+    auto result = CorpusFromXml(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+// Property (fuzz): the tokenizer and sentiment analyzer accept arbitrary
+// byte soup without crashing, and SF stays one of the three configured
+// values.
+TEST_P(SeedSweep, AnalyzersSurviveByteSoup) {
+  Rng rng(GetParam() * 307);
+  Tokenizer tokenizer;
+  SentimentAnalyzer analyzer;
+  SentimentFactorOptions sf;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup;
+    size_t len = rng.NextUint64(300);
+    for (size_t i = 0; i < len; ++i) {
+      soup += static_cast<char>(rng.NextUint64(256));
+    }
+    auto tokens = tokenizer.Tokenize(soup);
+    for (const std::string& t : tokens) EXPECT_FALSE(t.empty());
+    double factor = analyzer.Factor(soup, sf);
+    EXPECT_TRUE(factor == sf.positive || factor == sf.negative ||
+                factor == sf.neutral);
+  }
+}
+
+// Property: visualization XML round trip is lossless for any corpus.
+TEST_P(SeedSweep, VizXmlRoundTripLossless) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  PostReplyNetwork net = PostReplyNetwork::Build(*r);
+  net.RunForceLayout();
+  auto back = PostReplyNetwork::FromXml(net.ToXml());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->nodes().size(), net.nodes().size());
+  ASSERT_EQ(back->edges().size(), net.edges().size());
+  for (size_t i = 0; i < net.edges().size(); ++i) {
+    EXPECT_EQ(back->edges()[i].comments_a_on_b,
+              net.edges()[i].comments_a_on_b);
+    EXPECT_EQ(back->edges()[i].comments_b_on_a,
+              net.edges()[i].comments_b_on_a);
+  }
+}
+
+// Property: the crawled sub-corpus never contains dangling references and
+// never exceeds the source corpus.
+TEST_P(SeedSweep, CrawlSubsetIsConsistent) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  SyntheticBlogHost host(&*r);
+  CrawlOptions opts;
+  opts.radius = static_cast<int>(GetParam() % 3);
+  opts.num_threads = 2;
+  auto crawl = Crawl(&host, {host.UrlOf(0)}, opts);
+  ASSERT_TRUE(crawl.ok());
+  EXPECT_TRUE(crawl->corpus.Validate().ok());
+  EXPECT_LE(crawl->corpus.num_bloggers(), r->num_bloggers());
+  EXPECT_LE(crawl->corpus.num_posts(), r->num_posts());
+  EXPECT_LE(crawl->corpus.num_comments(), r->num_comments());
+}
+
+// Grid sweep over the (alpha, beta) parameter plane: the solver must stay
+// well-behaved at every combination, including all four corners.
+class AlphaBetaGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Plane, AlphaBetaGrid,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(0.0, 0.3, 0.6, 1.0)));
+
+TEST_P(AlphaBetaGrid, SolverWellBehavedEverywhere) {
+  static const Corpus* corpus = [] {
+    synth::GeneratorOptions o;
+    o.seed = 999;
+    o.num_bloggers = 80;
+    o.target_posts = 350;
+    auto r = synth::GenerateBlogosphere(o);
+    EXPECT_TRUE(r.ok());
+    return new Corpus(std::move(*r));
+  }();
+  auto [alpha, beta] = GetParam();
+  EngineOptions opts;
+  opts.alpha = alpha;
+  opts.beta = beta;
+  MassEngine engine(corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_TRUE(engine.stats().converged)
+      << "alpha=" << alpha << " beta=" << beta;
+  double sum = 0.0;
+  for (BloggerId b = 0; b < corpus->num_bloggers(); ++b) {
+    double inf = engine.InfluenceOf(b);
+    ASSERT_TRUE(std::isfinite(inf));
+    ASSERT_GE(inf, 0.0);
+    sum += inf;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(corpus->num_bloggers()), 1.0, 1e-9);
+  // Eq. 5 marginalization holds at every parameter setting.
+  for (BloggerId b = 0; b < corpus->num_bloggers(); b += 7) {
+    double dsum = 0.0;
+    for (size_t t = 0; t < 10; ++t) dsum += engine.DomainInfluenceOf(b, t);
+    EXPECT_NEAR(dsum, engine.AccumulatedPostOf(b),
+                1e-9 * (1.0 + engine.AccumulatedPostOf(b)));
+  }
+}
+
+// Property: the engine is fully deterministic given a corpus.
+TEST_P(SeedSweep, EngineDeterministic) {
+  auto r = synth::GenerateBlogosphere(TinyOptions(GetParam()));
+  ASSERT_TRUE(r.ok());
+  MassEngine e1(&*r), e2(&*r);
+  ASSERT_TRUE(e1.Analyze(nullptr, 10).ok());
+  ASSERT_TRUE(e2.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    EXPECT_DOUBLE_EQ(e1.InfluenceOf(b), e2.InfluenceOf(b));
+  }
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,152 @@
+// Unit tests for the sentiment analyzer and the paper's SF factor mapping.
+#include <gtest/gtest.h>
+
+#include "sentiment/sentiment_analyzer.h"
+
+namespace mass {
+namespace {
+
+TEST(SentimentTest, PositiveWordsFromPaper) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("I agree with this post"), Sentiment::kPositive);
+  EXPECT_EQ(a.Classify("I support your view"), Sentiment::kPositive);
+  EXPECT_EQ(a.Classify("this conforms to my experience"),
+            Sentiment::kPositive);
+}
+
+TEST(SentimentTest, NegativeWords) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("I disagree completely"), Sentiment::kNegative);
+  EXPECT_EQ(a.Classify("this is wrong and misleading"), Sentiment::kNegative);
+}
+
+TEST(SentimentTest, NeutralWhenNoEvidence) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("the meeting is on tuesday"), Sentiment::kNeutral);
+  EXPECT_EQ(a.Classify(""), Sentiment::kNeutral);
+}
+
+TEST(SentimentTest, TieIsNeutral) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("good points but wrong conclusion"),
+            Sentiment::kNeutral);
+}
+
+TEST(SentimentTest, MajorityWins) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("great great but wrong"), Sentiment::kPositive);
+  EXPECT_EQ(a.Classify("wrong terrible yet interesting"),
+            Sentiment::kNegative);
+}
+
+TEST(SentimentTest, NegationFlipsPolarity) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("I do not agree"), Sentiment::kNegative);
+  EXPECT_EQ(a.Classify("this is not wrong"), Sentiment::kPositive);
+}
+
+TEST(SentimentTest, NegationWindowExpires) {
+  SentimentAnalyzer a(/*negation_window=*/1);
+  // The negation is 3 tokens before "agree": outside a window of 1.
+  EXPECT_EQ(a.Classify("not that they would agree"), Sentiment::kPositive);
+}
+
+TEST(SentimentTest, InflectedFormsMatch) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("totally agreed"), Sentiment::kPositive);
+  EXPECT_EQ(a.Classify("strongly disagreed"), Sentiment::kNegative);
+  EXPECT_EQ(a.Classify("supporting this"), Sentiment::kPositive);
+}
+
+TEST(SentimentTest, DoubleNegationRestoresPolarity) {
+  SentimentAnalyzer a;
+  // "never not" — the second negation restarts the window, flipping the
+  // following positive word once overall (never(flip) not(reflip)).
+  // Our window model treats each negation independently: "not wrong" is
+  // positive, and a preceding "never" flips "not"? Negations are skipped,
+  // so only the word-level flip applies: the closest negation wins.
+  EXPECT_EQ(a.Classify("this is not wrong"), Sentiment::kPositive);
+}
+
+TEST(SentimentTest, NegationAtTextEndHarmless) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("great idea but not"), Sentiment::kPositive);
+  EXPECT_EQ(a.Classify("not"), Sentiment::kNeutral);
+}
+
+TEST(SentimentTest, PunctuationAndCaseInsensitive) {
+  SentimentAnalyzer a;
+  EXPECT_EQ(a.Classify("EXCELLENT!!! truly EXCELLENT."),
+            Sentiment::kPositive);
+  EXPECT_EQ(a.Classify("...wrong, wrong; WRONG!"), Sentiment::kNegative);
+}
+
+TEST(SentimentTest, FactorMatchesPaperValues) {
+  SentimentFactorOptions opts;  // paper defaults: 1.0 / 0.1 / 0.5
+  EXPECT_DOUBLE_EQ(SentimentAnalyzer::FactorFor(Sentiment::kPositive, opts),
+                   1.0);
+  EXPECT_DOUBLE_EQ(SentimentAnalyzer::FactorFor(Sentiment::kNegative, opts),
+                   0.1);
+  EXPECT_DOUBLE_EQ(SentimentAnalyzer::FactorFor(Sentiment::kNeutral, opts),
+                   0.5);
+}
+
+TEST(SentimentTest, FactorEndToEnd) {
+  SentimentAnalyzer a;
+  SentimentFactorOptions opts;
+  EXPECT_DOUBLE_EQ(a.Factor("I agree", opts), 1.0);
+  EXPECT_DOUBLE_EQ(a.Factor("I disagree", opts), 0.1);
+  EXPECT_DOUBLE_EQ(a.Factor("see you tomorrow", opts), 0.5);
+}
+
+TEST(SentimentTest, CustomFactorValues) {
+  SentimentAnalyzer a;
+  SentimentFactorOptions opts;
+  opts.positive = 2.0;
+  opts.negative = 0.0;
+  opts.neutral = 0.7;
+  EXPECT_DOUBLE_EQ(a.Factor("excellent work", opts), 2.0);
+  EXPECT_DOUBLE_EQ(a.Factor("terrible work", opts), 0.0);
+  EXPECT_DOUBLE_EQ(a.Factor("work", opts), 0.7);
+}
+
+TEST(SentimentTest, SentimentNames) {
+  EXPECT_STREQ(SentimentName(Sentiment::kPositive), "positive");
+  EXPECT_STREQ(SentimentName(Sentiment::kNegative), "negative");
+  EXPECT_STREQ(SentimentName(Sentiment::kNeutral), "neutral");
+}
+
+// Parameterized sweep: every positive-lexicon exemplar classifies positive
+// even with filler around it.
+class PositivePhraseTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PositivePhraseTest, ClassifiesPositive) {
+  SentimentAnalyzer a;
+  std::string text = std::string("well i must say ") + GetParam() +
+                     " about this whole thing";
+  EXPECT_EQ(a.Classify(text), Sentiment::kPositive) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lexicon, PositivePhraseTest,
+                         ::testing::Values("agree", "support", "excellent",
+                                           "wonderful", "insightful",
+                                           "recommend", "brilliant",
+                                           "helpful", "love", "fantastic"));
+
+class NegativePhraseTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NegativePhraseTest, ClassifiesNegative) {
+  SentimentAnalyzer a;
+  std::string text = std::string("well i must say ") + GetParam() +
+                     " about this whole thing";
+  EXPECT_EQ(a.Classify(text), Sentiment::kNegative) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lexicon, NegativePhraseTest,
+                         ::testing::Values("disagree", "oppose", "terrible",
+                                           "useless", "misleading", "flawed",
+                                           "nonsense", "disappointing",
+                                           "ridiculous", "biased"));
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,268 @@
+// Unit tests for XML corpus storage: serialization round trips, corruption
+// handling, and file IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/corpus_xml.h"
+#include "storage/file_io.h"
+#include "storage/options_xml.h"
+
+namespace mass {
+namespace {
+
+Corpus SampleCorpus() {
+  Corpus c;
+  Blogger a;
+  a.name = "alice";
+  a.url = "http://x/alice";
+  a.profile = "likes travel & \"art\"";
+  a.true_expertise = 0.9;
+  a.true_interests = {0.5, 0.5};
+  Blogger b;
+  b.name = "bob";
+  b.url = "http://x/bob";
+  BloggerId alice = c.AddBlogger(std::move(a));
+  BloggerId bob = c.AddBlogger(std::move(b));
+
+  Post p;
+  p.author = alice;
+  p.title = "hello <world>";
+  p.content = "some content with & entities";
+  p.timestamp = 123456;
+  p.true_domain = 3;
+  p.true_copy = true;
+  PostId pid = c.AddPost(std::move(p)).value();
+
+  Post p2;
+  p2.author = bob;
+  p2.title = "second";
+  p2.content = "body";
+  c.AddPost(std::move(p2)).value();
+
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = bob;
+  cm.text = "I disagree <strongly>";
+  cm.timestamp = 123999;
+  cm.true_attitude = -1;
+  c.AddComment(std::move(cm)).value();
+
+  EXPECT_TRUE(c.AddLink(bob, alice).ok());
+  c.BuildIndexes();
+  return c;
+}
+
+TEST(CorpusXmlTest, RoundTripPreservesEverything) {
+  Corpus original = SampleCorpus();
+  std::string xml = CorpusToXml(original);
+  auto loaded = CorpusFromXml(xml);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Corpus& c = *loaded;
+
+  ASSERT_EQ(c.num_bloggers(), 2u);
+  ASSERT_EQ(c.num_posts(), 2u);
+  ASSERT_EQ(c.num_comments(), 1u);
+  ASSERT_EQ(c.num_links(), 1u);
+
+  EXPECT_EQ(c.blogger(0).name, "alice");
+  EXPECT_EQ(c.blogger(0).profile, "likes travel & \"art\"");
+  EXPECT_DOUBLE_EQ(c.blogger(0).true_expertise, 0.9);
+  ASSERT_EQ(c.blogger(0).true_interests.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.blogger(0).true_interests[0], 0.5);
+  EXPECT_EQ(c.blogger(1).true_expertise, 0.0);
+  EXPECT_TRUE(c.blogger(1).true_interests.empty());
+
+  EXPECT_EQ(c.post(0).title, "hello <world>");
+  EXPECT_EQ(c.post(0).timestamp, 123456);
+  EXPECT_EQ(c.post(0).true_domain, 3);
+  EXPECT_TRUE(c.post(0).true_copy);
+  EXPECT_EQ(c.post(1).true_domain, -1);
+  EXPECT_FALSE(c.post(1).true_copy);
+
+  EXPECT_EQ(c.comment(0).text, "I disagree <strongly>");
+  EXPECT_EQ(c.comment(0).true_attitude, -1);
+  EXPECT_EQ(c.comment(0).commenter, 1u);
+
+  EXPECT_EQ(c.links()[0].from, 1u);
+  EXPECT_EQ(c.links()[0].to, 0u);
+  EXPECT_TRUE(c.indexes_built());
+}
+
+TEST(CorpusXmlTest, DoubleRoundTripIsStable) {
+  Corpus original = SampleCorpus();
+  std::string xml1 = CorpusToXml(original);
+  auto c1 = CorpusFromXml(xml1);
+  ASSERT_TRUE(c1.ok());
+  std::string xml2 = CorpusToXml(*c1);
+  EXPECT_EQ(xml1, xml2);
+}
+
+TEST(CorpusXmlTest, EmptyCorpusRoundTrips) {
+  Corpus empty;
+  empty.BuildIndexes();
+  auto loaded = CorpusFromXml(CorpusToXml(empty));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_bloggers(), 0u);
+}
+
+TEST(CorpusXmlTest, RejectsWrongRoot) {
+  auto r = CorpusFromXml("<wrong/>");
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(CorpusXmlTest, RejectsMissingSections) {
+  EXPECT_FALSE(CorpusFromXml("<blogosphere/>").ok());
+  EXPECT_FALSE(
+      CorpusFromXml("<blogosphere><bloggers/></blogosphere>").ok());
+}
+
+TEST(CorpusXmlTest, RejectsDanglingPostAuthor) {
+  const char* xml = R"(<blogosphere>
+    <bloggers><blogger id="0" name="a" url="u"/></bloggers>
+    <posts><post id="0" author="7"><title>t</title><content>c</content></post></posts>
+    <comments/><links/></blogosphere>)";
+  auto r = CorpusFromXml(xml);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CorpusXmlTest, RejectsNonDenseIds) {
+  const char* xml = R"(<blogosphere>
+    <bloggers><blogger id="5" name="a" url="u"/></bloggers>
+    <posts/><comments/><links/></blogosphere>)";
+  auto r = CorpusFromXml(xml);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(CorpusXmlTest, RejectsMalformedXml) {
+  auto r = CorpusFromXml("<blogosphere><bloggers>");
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(CorpusXmlTest, RejectsBadAttributeTypes) {
+  const char* xml = R"(<blogosphere>
+    <bloggers><blogger id="zero" name="a" url="u"/></bloggers>
+    <posts/><comments/><links/></blogosphere>)";
+  EXPECT_FALSE(CorpusFromXml(xml).ok());
+}
+
+TEST(CorpusXmlTest, SpammerFlagRoundTrips) {
+  Corpus c;
+  Blogger spammer;
+  spammer.name = "spam";
+  spammer.true_spammer = true;
+  c.AddBlogger(std::move(spammer));
+  c.AddBlogger({});
+  c.BuildIndexes();
+  auto loaded = CorpusFromXml(CorpusToXml(c));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->blogger(0).true_spammer);
+  EXPECT_FALSE(loaded->blogger(1).true_spammer);
+}
+
+// ---------- engine options persistence ----------
+
+TEST(OptionsXmlTest, DefaultsRoundTrip) {
+  EngineOptions defaults;
+  auto loaded = EngineOptionsFromXml(EngineOptionsToXml(defaults));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(loaded->alpha, 0.5);
+  EXPECT_DOUBLE_EQ(loaded->beta, 0.6);
+  EXPECT_DOUBLE_EQ(loaded->sentiment.negative, 0.1);
+  EXPECT_TRUE(loaded->use_citation);
+  EXPECT_EQ(loaded->gl_method, GlMethod::kPageRank);
+}
+
+TEST(OptionsXmlTest, CustomValuesRoundTrip) {
+  EngineOptions o;
+  o.alpha = 0.25;
+  o.beta = 0.9;
+  o.sentiment.positive = 2.0;
+  o.sentiment.negative = 0.0;
+  o.novelty_copy_value = 0.05;
+  o.use_attitude = false;
+  o.use_tc_normalization = false;
+  o.gl_method = GlMethod::kHitsAuthority;
+  o.pagerank.damping = 0.7;
+  o.recency_half_life_days = 45.0;
+  o.analyzer_threads = 8;
+  o.max_iterations = 33;
+  o.tolerance = 1e-6;
+  o.damping = 0.2;
+  auto loaded = EngineOptionsFromXml(EngineOptionsToXml(o));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->alpha, 0.25);
+  EXPECT_DOUBLE_EQ(loaded->sentiment.positive, 2.0);
+  EXPECT_DOUBLE_EQ(loaded->sentiment.negative, 0.0);
+  EXPECT_FALSE(loaded->use_attitude);
+  EXPECT_FALSE(loaded->use_tc_normalization);
+  EXPECT_TRUE(loaded->use_citation);
+  EXPECT_EQ(loaded->gl_method, GlMethod::kHitsAuthority);
+  EXPECT_DOUBLE_EQ(loaded->pagerank.damping, 0.7);
+  EXPECT_DOUBLE_EQ(loaded->recency_half_life_days, 45.0);
+  EXPECT_EQ(loaded->analyzer_threads, 8);
+  EXPECT_EQ(loaded->max_iterations, 33);
+  EXPECT_DOUBLE_EQ(loaded->tolerance, 1e-6);
+  EXPECT_DOUBLE_EQ(loaded->damping, 0.2);
+}
+
+TEST(OptionsXmlTest, MissingAttributesKeepDefaults) {
+  auto loaded = EngineOptionsFromXml("<engine_options alpha=\"0.7\"/>");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->alpha, 0.7);
+  EXPECT_DOUBLE_EQ(loaded->beta, 0.6);  // default preserved
+}
+
+TEST(OptionsXmlTest, RejectsCorruptInput) {
+  EXPECT_FALSE(EngineOptionsFromXml("<wrong/>").ok());
+  EXPECT_FALSE(EngineOptionsFromXml("<engine_options alpha=\"x\"/>").ok());
+  EXPECT_FALSE(
+      EngineOptionsFromXml("<engine_options gl_method=\"bogus\"/>").ok());
+}
+
+TEST(OptionsXmlTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/mass_options_test.xml";
+  EngineOptions o;
+  o.beta = 0.33;
+  ASSERT_TRUE(SaveEngineOptions(o, path).ok());
+  auto loaded = LoadEngineOptions(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->beta, 0.33);
+}
+
+// ---------- file IO ----------
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  std::string path = testing::TempDir() + "/mass_fileio_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, ReadMissingFileIsIOError) {
+  auto r = ReadFileToString("/nonexistent/definitely/missing.txt");
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(FileIoTest, SaveLoadCorpus) {
+  std::string path = testing::TempDir() + "/mass_corpus_test.xml";
+  Corpus original = SampleCorpus();
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_bloggers(), original.num_bloggers());
+  EXPECT_EQ(loaded->num_posts(), original.num_posts());
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, LoadCorpusMissingFile) {
+  auto r = LoadCorpus("/nonexistent/corpus.xml");
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace mass

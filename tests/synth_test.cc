@@ -1,0 +1,409 @@
+// Unit tests for the synthetic blogosphere generator and text generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "synth/domain_vocab.h"
+#include "synth/generator.h"
+#include "synth/text_gen.h"
+#include "text/tokenizer.h"
+
+namespace mass::synth {
+namespace {
+
+GeneratorOptions SmallOptions(uint64_t seed = 42) {
+  GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = 120;
+  o.target_posts = 600;
+  return o;
+}
+
+// ---------- vocabularies ----------
+
+TEST(DomainVocabTest, AllDomainsHaveRichVocabularies) {
+  for (size_t d = 0; d < kNumPaperDomains; ++d) {
+    EXPECT_GE(DomainVocabulary(d).size(), 40u) << "domain " << d;
+  }
+  EXPECT_GE(GeneralVocabulary().size(), 40u);
+  EXPECT_GE(ConnectorVocabulary().size(), 20u);
+}
+
+TEST(DomainVocabTest, VocabulariesAreMostlyDisjoint) {
+  // Topic separability requires that domain vocabularies barely overlap.
+  for (size_t a = 0; a < kNumPaperDomains; ++a) {
+    for (size_t b = a + 1; b < kNumPaperDomains; ++b) {
+      size_t shared = 0;
+      for (const auto& wa : DomainVocabulary(a)) {
+        for (const auto& wb : DomainVocabulary(b)) {
+          if (wa == wb) ++shared;
+        }
+      }
+      EXPECT_LE(shared, 3u) << "domains " << a << " and " << b;
+    }
+  }
+}
+
+// ---------- text generation ----------
+
+TEST(TextGenTest, PostHasRequestedLength) {
+  TextGenerator gen;
+  Rng rng(1);
+  std::vector<double> one_hot(kNumPaperDomains, 0.0);
+  one_hot[0] = 1.0;
+  std::string text = gen.GeneratePost(one_hot, 50, &rng);
+  EXPECT_EQ(Tokenizer::CountWords(text), 50u);
+}
+
+TEST(TextGenTest, PostLeansTopical) {
+  TextGenerator gen;
+  Rng rng(2);
+  std::vector<double> travel(kNumPaperDomains, 0.0);
+  travel[0] = 1.0;
+  std::string text = gen.GeneratePost(travel, 400, &rng);
+  size_t travel_hits = 0;
+  Tokenizer t(TokenizerOptions{.lowercase = true,
+                               .strip_stopwords = false,
+                               .stem = false,
+                               .min_token_length = 1});
+  for (const std::string& tok : t.Tokenize(text)) {
+    for (const std::string& w : DomainVocabulary(0)) {
+      if (tok == w) {
+        ++travel_hits;
+        break;
+      }
+    }
+  }
+  // topical_fraction defaults to 0.40 of non-connector words (minus the
+  // domain-noise leakage), so ~100 of 400 words should be Travel terms.
+  EXPECT_GT(travel_hits, 70u);
+}
+
+TEST(TextGenTest, CommentCarriesAttitude) {
+  TextGenerator gen;
+  Rng rng(3);
+  std::string pos = gen.GenerateComment(0, +1, 10, &rng);
+  std::string neg = gen.GenerateComment(0, -1, 10, &rng);
+  // Check that sentiment markers are present (first word is a polarity
+  // stem by construction).
+  EXPECT_FALSE(pos.empty());
+  EXPECT_FALSE(neg.empty());
+  EXPECT_NE(pos.substr(0, 3), neg.substr(0, 3));
+}
+
+TEST(TextGenTest, DeterministicForSeed) {
+  TextGenerator gen;
+  std::vector<double> iv(kNumPaperDomains, 0.1);
+  Rng r1(9), r2(9);
+  EXPECT_EQ(gen.GeneratePost(iv, 30, &r1), gen.GeneratePost(iv, 30, &r2));
+}
+
+TEST(TextGenTest, CopyPreambleContainsIndicator) {
+  Rng rng(4);
+  std::string pre = TextGenerator::MakeCopyPreamble(&rng);
+  EXPECT_FALSE(pre.empty());
+}
+
+// ---------- generator ----------
+
+TEST(GeneratorTest, RejectsBadOptions) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 0;
+  EXPECT_FALSE(GenerateBlogosphere(o).ok());
+  o = SmallOptions();
+  o.num_domains = 0;
+  EXPECT_FALSE(GenerateBlogosphere(o).ok());
+  o = SmallOptions();
+  o.num_domains = kNumPaperDomains + 1;
+  EXPECT_FALSE(GenerateBlogosphere(o).ok());
+  o = SmallOptions();
+  o.homophily = 1.5;
+  EXPECT_FALSE(GenerateBlogosphere(o).ok());
+}
+
+TEST(GeneratorTest, ProducesRequestedScale) {
+  auto r = GenerateBlogosphere(SmallOptions());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Corpus& c = *r;
+  EXPECT_EQ(c.num_bloggers(), 120u);
+  // Poisson totals land near the target.
+  EXPECT_NEAR(static_cast<double>(c.num_posts()), 600.0, 120.0);
+  EXPECT_GT(c.num_comments(), 0u);
+  EXPECT_GT(c.num_links(), 0u);
+  EXPECT_TRUE(c.indexes_built());
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = GenerateBlogosphere(SmallOptions(7));
+  auto b = GenerateBlogosphere(SmallOptions(7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_posts(), b->num_posts());
+  EXPECT_EQ(a->num_comments(), b->num_comments());
+  EXPECT_EQ(a->num_links(), b->num_links());
+  ASSERT_GT(a->num_posts(), 0u);
+  EXPECT_EQ(a->post(0).content, b->post(0).content);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateBlogosphere(SmallOptions(1));
+  auto b = GenerateBlogosphere(SmallOptions(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->post(0).content, b->post(0).content);
+}
+
+TEST(GeneratorTest, GroundTruthIsPlanted) {
+  auto r = GenerateBlogosphere(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  for (const Blogger& b : r->bloggers()) {
+    EXPECT_GT(b.true_expertise, 0.0);
+    EXPECT_LE(b.true_expertise, 1.0);
+    ASSERT_EQ(b.true_interests.size(), kNumPaperDomains);
+    double sum = 0.0;
+    for (double v : b.true_interests) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_FALSE(b.profile.empty());
+  }
+  for (const Post& p : r->posts()) {
+    EXPECT_GE(p.true_domain, 0);
+    EXPECT_LT(p.true_domain, static_cast<int>(kNumPaperDomains));
+    EXPECT_FALSE(p.content.empty());
+  }
+  for (const Comment& c : r->comments()) {
+    EXPECT_GE(c.true_attitude, -1);
+    EXPECT_LE(c.true_attitude, 1);
+    EXPECT_FALSE(c.text.empty());
+  }
+}
+
+TEST(GeneratorTest, PostDomainFollowsAuthorInterests) {
+  auto r = GenerateBlogosphere(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  size_t matching = 0;
+  for (const Post& p : r->posts()) {
+    const Blogger& author = r->blogger(p.author);
+    if (author.true_interests[p.true_domain] > 0.0) ++matching;
+  }
+  // Every post's domain must come from the author's interest support.
+  EXPECT_EQ(matching, r->num_posts());
+}
+
+TEST(GeneratorTest, CopyRateHigherForLayBloggers) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 400;
+  o.target_posts = 4000;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  size_t lay_posts = 0, lay_copies = 0, expert_posts = 0, expert_copies = 0;
+  for (const Post& p : r->posts()) {
+    bool expert = r->blogger(p.author).true_expertise >= 0.7;
+    if (expert) {
+      ++expert_posts;
+      expert_copies += p.true_copy ? 1 : 0;
+    } else {
+      ++lay_posts;
+      lay_copies += p.true_copy ? 1 : 0;
+    }
+  }
+  ASSERT_GT(lay_posts, 0u);
+  ASSERT_GT(expert_posts, 0u);
+  double lay_rate = static_cast<double>(lay_copies) / lay_posts;
+  double expert_rate = static_cast<double>(expert_copies) / expert_posts;
+  EXPECT_GT(lay_rate, expert_rate * 2.0);
+}
+
+TEST(GeneratorTest, ExpertsWriteLongerPosts) {
+  auto r = GenerateBlogosphere(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  double expert_len = 0.0, lay_len = 0.0;
+  size_t ne = 0, nl = 0;
+  for (const Post& p : r->posts()) {
+    size_t words = Tokenizer::CountWords(p.content);
+    if (r->blogger(p.author).true_expertise >= 0.7) {
+      expert_len += static_cast<double>(words);
+      ++ne;
+    } else {
+      lay_len += static_cast<double>(words);
+      ++nl;
+    }
+  }
+  ASSERT_GT(ne, 0u);
+  ASSERT_GT(nl, 0u);
+  EXPECT_GT(expert_len / ne, lay_len / nl);
+}
+
+TEST(GeneratorTest, ExpertsAttractMoreComments) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 300;
+  o.target_posts = 2000;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  double expert_comments = 0.0, lay_comments = 0.0;
+  size_t ne = 0, nl = 0;
+  for (const Post& p : r->posts()) {
+    double n = static_cast<double>(r->CommentsOn(p.id).size());
+    if (r->blogger(p.author).true_expertise >= 0.7) {
+      expert_comments += n;
+      ++ne;
+    } else {
+      lay_comments += n;
+      ++nl;
+    }
+  }
+  ASSERT_GT(ne, 0u);
+  ASSERT_GT(nl, 0u);
+  EXPECT_GT(expert_comments / ne, lay_comments / nl);
+}
+
+TEST(GeneratorTest, CommentAttitudeSkewsPositiveForExperts) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 300;
+  o.target_posts = 2000;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  size_t pos_on_expert = 0, n_on_expert = 0, pos_on_lay = 0, n_on_lay = 0;
+  for (const Comment& c : r->comments()) {
+    const Blogger& author = r->blogger(r->post(c.post).author);
+    if (author.true_expertise >= 0.7) {
+      ++n_on_expert;
+      pos_on_expert += c.true_attitude == 1 ? 1 : 0;
+    } else {
+      ++n_on_lay;
+      pos_on_lay += c.true_attitude == 1 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(n_on_expert, 50u);
+  ASSERT_GT(n_on_lay, 50u);
+  EXPECT_GT(static_cast<double>(pos_on_expert) / n_on_expert,
+            static_cast<double>(pos_on_lay) / n_on_lay);
+}
+
+TEST(GeneratorTest, NoSelfCommentsOrSelfLinks) {
+  auto r = GenerateBlogosphere(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  for (const Comment& c : r->comments()) {
+    EXPECT_NE(c.commenter, r->post(c.post).author);
+  }
+  for (const Link& l : r->links()) EXPECT_NE(l.from, l.to);
+}
+
+TEST(GeneratorTest, SpammerPopulationPlanted) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 600;
+  o.target_posts = 3000;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  size_t spammers = 0;
+  for (const Blogger& b : r->bloggers()) {
+    if (b.true_spammer) {
+      ++spammers;
+      // Spammers are always low-expertise.
+      EXPECT_LT(b.true_expertise, 0.25);
+    }
+  }
+  // ~5% of 600; allow wide Bernoulli spread.
+  EXPECT_GE(spammers, 10u);
+  EXPECT_LE(spammers, 70u);
+
+  // Spammers write far more comments than regular lay bloggers.
+  double spam_written = 0.0, other_written = 0.0;
+  size_t others = 0;
+  for (const Blogger& b : r->bloggers()) {
+    if (b.true_spammer) {
+      spam_written += static_cast<double>(r->TotalComments(b.id));
+    } else {
+      other_written += static_cast<double>(r->TotalComments(b.id));
+      ++others;
+    }
+  }
+  ASSERT_GT(spammers, 0u);
+  ASSERT_GT(others, 0u);
+  EXPECT_GT(spam_written / spammers, 5.0 * other_written / others);
+}
+
+TEST(GeneratorTest, SpamRingTargetsSpammers) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 600;
+  o.target_posts = 3000;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  size_t spam_comments = 0, ring_comments = 0;
+  for (const Comment& c : r->comments()) {
+    if (!r->blogger(c.commenter).true_spammer) continue;
+    ++spam_comments;
+    if (r->blogger(r->post(c.post).author).true_spammer) ++ring_comments;
+  }
+  ASSERT_GT(spam_comments, 100u);
+  // ~70% of spam comments target the ring (spammer posts are a tiny
+  // fraction of all posts, so this cannot happen by chance).
+  EXPECT_GT(static_cast<double>(ring_comments) / spam_comments, 0.4);
+}
+
+TEST(GeneratorTest, LinkHomophilyHolds) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 500;
+  o.target_posts = 1500;
+  o.homophily = 0.8;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  auto primary = [&](BloggerId b) {
+    const auto& iv = r->blogger(b).true_interests;
+    return static_cast<int>(std::max_element(iv.begin(), iv.end()) -
+                            iv.begin());
+  };
+  size_t same = 0;
+  for (const Link& l : r->links()) {
+    if (primary(l.from) == primary(l.to)) ++same;
+  }
+  ASSERT_GT(r->num_links(), 100u);
+  // With 10 domains, random linking gives ~10% same-domain; homophily 0.8
+  // should push well above that.
+  EXPECT_GT(static_cast<double>(same) / r->num_links(), 0.5);
+}
+
+TEST(GeneratorTest, CopyPostsSourNearbyAttitudes) {
+  GeneratorOptions o = SmallOptions();
+  o.num_bloggers = 500;
+  o.target_posts = 3000;
+  auto r = GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  size_t neg_on_copy = 0, n_copy = 0, neg_on_orig = 0, n_orig = 0;
+  for (const Comment& c : r->comments()) {
+    if (r->blogger(c.commenter).true_spammer) continue;  // ring noise
+    if (r->post(c.post).true_copy) {
+      ++n_copy;
+      neg_on_copy += c.true_attitude == -1 ? 1 : 0;
+    } else {
+      ++n_orig;
+      neg_on_orig += c.true_attitude == -1 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(n_copy, 50u);
+  ASSERT_GT(n_orig, 50u);
+  EXPECT_GT(static_cast<double>(neg_on_copy) / n_copy,
+            static_cast<double>(neg_on_orig) / n_orig);
+}
+
+// ---------- Figure 1 corpus ----------
+
+TEST(Figure1Test, MatchesPaperStructure) {
+  Corpus c = MakeFigure1Corpus();
+  EXPECT_EQ(c.num_bloggers(), 9u);
+  EXPECT_EQ(c.num_posts(), 4u);
+  EXPECT_EQ(c.num_comments(), 9u);
+  BloggerId amery = c.FindBloggerByName("Amery");
+  ASSERT_NE(amery, kInvalidBlogger);
+  EXPECT_EQ(c.PostsBy(amery).size(), 2u);  // post1 (CS) and post2 (Econ)
+  // post1 has comments from Bob and Cary.
+  PostId post1 = c.PostsBy(amery)[0];
+  EXPECT_EQ(c.CommentsOn(post1).size(), 2u);
+  // Domains: post1 = Computer (1), post2 = Economics (4).
+  EXPECT_EQ(c.post(post1).true_domain, 1);
+  EXPECT_EQ(c.post(c.PostsBy(amery)[1]).true_domain, 4);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mass::synth

@@ -1,0 +1,316 @@
+// Unit tests for the text module: tokenizer, Porter stemmer, vocabulary /
+// TF-IDF, sparse vectors, and lexicons.
+#include <gtest/gtest.h>
+
+#include "text/lexicon.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace mass {
+namespace {
+
+// ---------- Porter stemmer ----------
+
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class PorterStemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerTest, StemsKnownWord) {
+  EXPECT_EQ(PorterStem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownVectors, PorterStemmerTest,
+    ::testing::Values(
+        // Vectors from Porter's published sample vocabulary.
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("be"), "be");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemTest, InflectionsConflate) {
+  EXPECT_EQ(PorterStem("travel"), PorterStem("travels"));
+  EXPECT_EQ(PorterStem("traveling"), PorterStem("traveled"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connected"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connection"));
+}
+
+// ---------- Tokenizer ----------
+
+TEST(TokenizerTest, BasicSplitLowerStem) {
+  Tokenizer t;
+  auto toks = t.Tokenize("Running quickly, the Traveler TRAVELED!");
+  // "the" is a stopword; others are stemmed.
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "run");
+  EXPECT_EQ(toks[1], "quickli");
+  EXPECT_EQ(toks[2], PorterStem("traveler"));
+  EXPECT_EQ(toks[3], "travel");
+}
+
+TEST(TokenizerTest, NoStemOption) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("running dogs");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "running");
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenAsked) {
+  TokenizerOptions opts;
+  opts.strip_stopwords = false;
+  opts.stem = false;
+  opts.min_token_length = 1;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("the cat and a dog");
+  EXPECT_EQ(toks.size(), 5u);
+}
+
+TEST(TokenizerTest, ApostrophesInsideWordsSurvive) {
+  TokenizerOptions opts;
+  opts.strip_stopwords = false;
+  opts.stem = false;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("don't 'quoted'");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "don't");
+  EXPECT_EQ(toks[1], "quoted");
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions opts;
+  opts.strip_stopwords = false;
+  opts.stem = false;
+  opts.min_token_length = 3;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("go far away");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "far");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("... !!! ---").empty());
+}
+
+TEST(TokenizerTest, CountWordsIsRaw) {
+  EXPECT_EQ(Tokenizer::CountWords("the quick brown fox"), 4u);
+  EXPECT_EQ(Tokenizer::CountWords(""), 0u);
+  EXPECT_EQ(Tokenizer::CountWords("one"), 1u);
+  EXPECT_EQ(Tokenizer::CountWords("a, b; c."), 3u);
+}
+
+TEST(TokenizerTest, StopwordPredicate) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("travel"));
+}
+
+// ---------- SparseVector ----------
+
+TEST(SparseVectorTest, DotOfDisjointIsZero) {
+  SparseVector a{{{0, 1.0}, {2, 2.0}}};
+  SparseVector b{{{1, 5.0}, {3, 1.0}}};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlap) {
+  SparseVector a{{{0, 1.0}, {2, 2.0}, {5, 3.0}}};
+  SparseVector b{{{2, 4.0}, {5, 1.0}}};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 11.0);
+}
+
+TEST(SparseVectorTest, NormAndCosine) {
+  SparseVector a{{{0, 3.0}, {1, 4.0}}};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Cosine(a), 1.0);
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(a.Cosine(empty), 0.0);
+}
+
+TEST(SparseVectorTest, AddMergesAndScales) {
+  SparseVector a{{{0, 1.0}, {2, 1.0}}};
+  SparseVector b{{{1, 1.0}, {2, 1.0}}};
+  a.Add(b, 2.0);
+  ASSERT_EQ(a.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.entries[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(a.entries[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(a.entries[2].second, 3.0);
+}
+
+TEST(SparseVectorTest, NormalizeSortsAndMerges) {
+  SparseVector v;
+  v.entries = {{3, 1.0}, {1, 2.0}, {3, 4.0}};
+  v.Normalize();
+  ASSERT_EQ(v.entries.size(), 2u);
+  EXPECT_EQ(v.entries[0].first, 1u);
+  EXPECT_DOUBLE_EQ(v.entries[1].second, 5.0);
+}
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary v;
+  TermId a = v.GetOrAdd("apple");
+  TermId b = v.GetOrAdd("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.GetOrAdd("apple"), a);
+  EXPECT_EQ(v.Find("apple"), a);
+  EXPECT_EQ(v.Find("cherry"), kInvalidTerm);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.token(a), "apple");
+}
+
+TEST(VocabularyTest, DocumentFrequencyCountsOncePerDoc) {
+  Vocabulary v;
+  v.AddDocument({"a", "a", "b"});
+  v.AddDocument({"a", "c"});
+  EXPECT_EQ(v.num_documents(), 2u);
+  EXPECT_EQ(v.document_frequency(v.Find("a")), 2u);
+  EXPECT_EQ(v.document_frequency(v.Find("b")), 1u);
+}
+
+TEST(VocabularyTest, IdfDecreasesWithFrequency) {
+  Vocabulary v;
+  v.AddDocument({"common", "rare"});
+  v.AddDocument({"common"});
+  v.AddDocument({"common"});
+  EXPECT_GT(v.Idf(v.Find("rare")), v.Idf(v.Find("common")));
+}
+
+TEST(VocabularyTest, TfIdfVectorSkipsUnknownAndNormalizes) {
+  Vocabulary v;
+  v.AddDocument({"x", "y"});
+  SparseVector vec = v.TfIdfVector({"x", "x", "unknown"});
+  ASSERT_EQ(vec.entries.size(), 1u);
+  EXPECT_NEAR(vec.Norm(), 1.0, 1e-12);
+}
+
+TEST(VocabularyTest, TfVectorAddMissing) {
+  Vocabulary v;
+  SparseVector vec = v.TfVector({"new", "new", "word"}, /*add_missing=*/true);
+  EXPECT_EQ(vec.entries.size(), 2u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, IdfOfUnseenTermIsMaximal) {
+  Vocabulary v;
+  v.AddDocument({"common"});
+  v.AddDocument({"common"});
+  TermId rare = v.GetOrAdd("neverseen");  // df = 0
+  EXPECT_GT(v.Idf(rare), v.Idf(v.Find("common")));
+}
+
+TEST(VocabularyTest, TfIdfWithoutNormalization) {
+  Vocabulary v;
+  v.AddDocument({"a", "b"});
+  SparseVector raw = v.TfIdfVector({"a", "a"}, /*l2_normalize=*/false);
+  ASSERT_EQ(raw.entries.size(), 1u);
+  // weight = tf(2) * idf(a).
+  EXPECT_NEAR(raw.entries[0].second, 2.0 * v.Idf(v.Find("a")), 1e-12);
+}
+
+TEST(SparseVectorTest, ScaleMultipliesWeights) {
+  SparseVector v{{{0, 2.0}, {3, 4.0}}};
+  v.Scale(0.5);
+  EXPECT_DOUBLE_EQ(v.entries[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(v.entries[1].second, 2.0);
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  TokenizerOptions opts;
+  opts.strip_stopwords = false;
+  opts.stem = false;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("windows 95 and 42nd street");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1], "95");
+  EXPECT_EQ(toks[3], "42nd");
+}
+
+// ---------- Lexicons ----------
+
+TEST(LexiconTest, MatchesInflectedForms) {
+  // "agree" in the lexicon should match "agreed"/"agrees" via stemming.
+  EXPECT_TRUE(PositiveLexicon().ContainsWord("agree"));
+  EXPECT_TRUE(PositiveLexicon().ContainsWord("agreed"));
+  EXPECT_TRUE(PositiveLexicon().ContainsWord("AGREES"));
+  EXPECT_FALSE(PositiveLexicon().ContainsWord("zebra"));
+}
+
+TEST(LexiconTest, PaperExampleWordsPresent) {
+  // §II: positive words "agree", "support", "conform".
+  EXPECT_TRUE(PositiveLexicon().ContainsWord("agree"));
+  EXPECT_TRUE(PositiveLexicon().ContainsWord("support"));
+  EXPECT_TRUE(PositiveLexicon().ContainsWord("conform"));
+}
+
+TEST(LexiconTest, NegativeAndNegationDistinct) {
+  EXPECT_TRUE(NegativeLexicon().ContainsWord("disagree"));
+  EXPECT_TRUE(NegationLexicon().ContainsWord("not"));
+  EXPECT_FALSE(NegativeLexicon().ContainsWord("not"));
+}
+
+TEST(LexiconTest, CopyIndicators) {
+  EXPECT_TRUE(CopyIndicatorLexicon().ContainsWord("reposted"));
+  EXPECT_TRUE(CopyIndicatorLexicon().ContainsWord("forwarded"));
+  EXPECT_FALSE(CopyIndicatorLexicon().ContainsWord("original_writing"));
+}
+
+TEST(LexiconTest, CustomLexiconAdd) {
+  Lexicon lex;
+  EXPECT_EQ(lex.size(), 0u);
+  lex.Add("Running");
+  EXPECT_TRUE(lex.ContainsWord("runs"));
+  EXPECT_TRUE(lex.ContainsStemmed("run"));
+}
+
+}  // namespace
+}  // namespace mass

@@ -1,0 +1,414 @@
+// Unit tests for the simulated user study (judge panel) and the Table-I
+// harness, including the paper's headline result shape.
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "userstudy/judge_panel.h"
+#include "userstudy/ranking_quality.h"
+#include "userstudy/replication.h"
+#include "userstudy/table1.h"
+
+namespace mass {
+namespace {
+
+Corpus StudyCorpus(uint64_t seed = 77) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = 400;
+  o.target_posts = 2500;
+  auto r = synth::GenerateBlogosphere(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(*r);
+}
+
+TEST(JudgePanelTest, RatingsWithinScale) {
+  Corpus c = StudyCorpus();
+  JudgePanel panel(&c);
+  for (size_t j = 0; j < 10; ++j) {
+    for (BloggerId b = 0; b < 50; ++b) {
+      double r = panel.Rate(j, b, 0);
+      EXPECT_GE(r, 1.0);
+      EXPECT_LE(r, 5.0);
+    }
+  }
+}
+
+TEST(JudgePanelTest, DeterministicRatings) {
+  Corpus c = StudyCorpus();
+  JudgePanel p1(&c), p2(&c);
+  EXPECT_DOUBLE_EQ(p1.Rate(3, 17, 6), p2.Rate(3, 17, 6));
+  // Order independence: interleaved queries do not change results.
+  double before = p1.Rate(0, 5, 2);
+  p1.Rate(9, 40, 8);
+  p1.Rate(1, 2, 3);
+  EXPECT_DOUBLE_EQ(p1.Rate(0, 5, 2), before);
+}
+
+TEST(JudgePanelTest, DifferentSeedsDiffer) {
+  Corpus c = StudyCorpus();
+  UserStudyOptions o1;
+  o1.seed = 1;
+  UserStudyOptions o2;
+  o2.seed = 2;
+  JudgePanel p1(&c, o1), p2(&c, o2);
+  EXPECT_NE(p1.Rate(0, 0, 0), p2.Rate(0, 0, 0));
+}
+
+TEST(JudgePanelTest, DomainExpertOutscoresMismatch) {
+  // A hand-built corpus with a perfect expert in Travel and a perfect
+  // expert in Sports: the Travel scenario must favor the Travel expert.
+  Corpus c;
+  Blogger travel_pro;
+  travel_pro.name = "travel_pro";
+  travel_pro.true_expertise = 0.95;
+  travel_pro.true_interests.assign(10, 0.0);
+  travel_pro.true_interests[0] = 1.0;
+  Blogger sports_pro;
+  sports_pro.name = "sports_pro";
+  sports_pro.true_expertise = 0.95;
+  sports_pro.true_interests.assign(10, 0.0);
+  sports_pro.true_interests[6] = 1.0;
+  c.AddBlogger(std::move(travel_pro));
+  c.AddBlogger(std::move(sports_pro));
+  c.BuildIndexes();
+
+  UserStudyOptions opts;
+  opts.rating_noise_stddev = 0.0;
+  opts.judge_bias_stddev = 0.0;
+  JudgePanel panel(&c, opts);
+  EXPECT_GT(panel.Rate(0, 0, 0), panel.Rate(0, 1, 0));  // Travel scenario
+  EXPECT_GT(panel.Rate(0, 1, 6), panel.Rate(0, 0, 6));  // Sports scenario
+}
+
+TEST(JudgePanelTest, NoiselessRubricExactValue) {
+  // rating = 1 + 4 * (w * expertise * authenticity + (1-w) * interest).
+  Corpus c;
+  Blogger b;
+  b.true_expertise = 0.8;
+  b.true_interests.assign(10, 0.0);
+  b.true_interests[3] = 0.5;
+  c.AddBlogger(std::move(b));
+  c.BuildIndexes();  // no posts => authenticity = 1
+  UserStudyOptions opts;
+  opts.judge_bias_stddev = 0.0;
+  opts.rating_noise_stddev = 0.0;
+  opts.expertise_weight = 0.5;
+  JudgePanel panel(&c, opts);
+  // fit = 0.5*0.8 + 0.5*0.5 = 0.65 => rating = 1 + 4*0.65 = 3.6.
+  EXPECT_NEAR(panel.Rate(0, 0, 3), 3.6, 1e-12);
+  // Unknown domain: interest contribution 0 => 1 + 4*0.4 = 2.6.
+  EXPECT_NEAR(panel.Rate(0, 0, 9), 2.6, 1e-12);
+}
+
+TEST(JudgePanelTest, AverageScoreAggregatesTopK) {
+  Corpus c = StudyCorpus();
+  UserStudyOptions opts;
+  opts.top_k = 2;
+  JudgePanel panel(&c, opts);
+  std::vector<ScoredBlogger> recs = {{0, 1.0}, {1, 0.9}, {2, 0.8}};
+  double avg = panel.AverageScore(recs, 0);
+  // Must equal the mean of ratings over judges x first two bloggers.
+  double manual = 0.0;
+  for (size_t j = 0; j < opts.num_judges; ++j) {
+    manual += panel.Rate(j, 0, 0) + panel.Rate(j, 1, 0);
+  }
+  manual /= static_cast<double>(opts.num_judges * 2);
+  EXPECT_DOUBLE_EQ(avg, manual);
+}
+
+TEST(JudgePanelTest, EmptyRecommendationsScoreZero) {
+  Corpus c = StudyCorpus();
+  JudgePanel panel(&c);
+  EXPECT_DOUBLE_EQ(panel.AverageScore({}, 0), 0.0);
+}
+
+// ---------- ranking quality metrics ----------
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  std::vector<double> gains = {0.1, 0.9, 0.5, 0.0};
+  std::vector<ScoredBlogger> perfect = {{1, 3.0}, {2, 2.0}, {0, 1.0}};
+  EXPECT_NEAR(NdcgAtK(perfect, gains, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorstRankingScoresLow) {
+  std::vector<double> gains = {1.0, 0.0, 0.0, 0.0};
+  std::vector<ScoredBlogger> worst = {{1, 3.0}, {2, 2.0}, {3, 1.0}};
+  EXPECT_DOUBLE_EQ(NdcgAtK(worst, gains, 3), 0.0);
+}
+
+TEST(NdcgTest, PartialCredit) {
+  std::vector<double> gains = {1.0, 0.5, 0.0};
+  std::vector<ScoredBlogger> swapped = {{1, 2.0}, {0, 1.0}};
+  double ndcg = NdcgAtK(swapped, gains, 2);
+  EXPECT_GT(ndcg, 0.5);
+  EXPECT_LT(ndcg, 1.0);
+}
+
+TEST(NdcgTest, KLargerThanRanking) {
+  std::vector<double> gains = {1.0, 0.5};
+  std::vector<ScoredBlogger> one = {{0, 1.0}};
+  // k clamps to the ranking length; the ideal still uses k entries, so a
+  // truncated ranking scores below 1 even when its prefix is perfect.
+  double ndcg = NdcgAtK(one, gains, 5);
+  EXPECT_GT(ndcg, 0.5);
+  EXPECT_LT(ndcg, 1.0);
+}
+
+TEST(NdcgTest, UnknownIdsContributeNothing) {
+  std::vector<double> gains = {1.0};
+  std::vector<ScoredBlogger> ranking = {{7, 3.0}, {0, 1.0}};
+  // Id 7 is outside the gain vector: treated as zero gain.
+  EXPECT_GT(NdcgAtK(ranking, gains, 2), 0.0);
+  EXPECT_LT(NdcgAtK(ranking, gains, 2), 1.0);
+}
+
+TEST(NdcgTest, ZeroGainsScoreZero) {
+  std::vector<double> gains = {0.0, 0.0};
+  std::vector<ScoredBlogger> any = {{0, 1.0}, {1, 0.5}};
+  EXPECT_DOUBLE_EQ(NdcgAtK(any, gains, 2), 0.0);
+}
+
+TEST(SpearmanTest, PerfectAndInverse) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> inv = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(a, inv), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<double> a = {1.0, 1.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0, 2.0}, {1.0}), 0.0);
+  // Constant vector has zero variance.
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({5.0, 5.0, 5.0}, {1.0, 2.0, 3.0}),
+                   0.0);
+}
+
+TEST(GroundTruthGainsTest, DomainGainUsesInterestAndExpertise) {
+  Corpus c;
+  Blogger expert;
+  expert.true_expertise = 0.8;
+  expert.true_interests = {1.0, 0.0};
+  c.AddBlogger(std::move(expert));
+  Blogger lay;
+  lay.true_expertise = 0.2;
+  lay.true_interests = {0.0, 1.0};
+  c.AddBlogger(std::move(lay));
+  c.BuildIndexes();
+  auto g0 = GroundTruthGains(c, 0);
+  EXPECT_DOUBLE_EQ(g0[0], 0.8);
+  EXPECT_DOUBLE_EQ(g0[1], 0.0);
+  auto general = GroundTruthGains(c, -1);
+  EXPECT_DOUBLE_EQ(general[0], 0.8);
+  EXPECT_DOUBLE_EQ(general[1], 0.2);
+}
+
+TEST(GroundTruthGainsTest, AuthenticityDiscountsCopiers) {
+  Corpus c;
+  Blogger b;
+  b.true_expertise = 1.0;
+  b.true_interests = {1.0};
+  BloggerId id = c.AddBlogger(std::move(b));
+  for (int i = 0; i < 2; ++i) {
+    Post p;
+    p.author = id;
+    p.true_copy = (i == 0);
+    c.AddPost(p).value();
+  }
+  c.BuildIndexes();
+  // Half the posts are copies: authenticity = 1 - 0.7*0.5 = 0.65.
+  EXPECT_DOUBLE_EQ(AuthenticityOf(c, id), 0.65);
+  EXPECT_DOUBLE_EQ(GroundTruthGains(c, -1)[0], 0.65);
+}
+
+TEST(MeanDomainNdcgTest, HighForGroundTruthAnalysis) {
+  Corpus c = StudyCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  double ndcg = MeanDomainNdcg(engine, 10);
+  EXPECT_GT(ndcg, 0.7);
+  EXPECT_LE(ndcg, 1.0);
+}
+
+// ---------- spammer resistance (the citation/TC facets at work) ----------
+
+TEST(SpammerTest, MassKeepsSpamRingOutOfTopK) {
+  Corpus c = StudyCorpus();
+  // Count spammers planted.
+  size_t spammers = 0;
+  for (const Blogger& b : c.bloggers()) spammers += b.true_spammer ? 1 : 0;
+  ASSERT_GT(spammers, 5u);
+
+  MassEngine full(&c);
+  ASSERT_TRUE(full.Analyze(nullptr, 10).ok());
+  size_t spammers_in_top = 0;
+  for (const ScoredBlogger& sb : full.TopKGeneral(20)) {
+    spammers_in_top += c.blogger(sb.id).true_spammer ? 1 : 0;
+  }
+  EXPECT_EQ(spammers_in_top, 0u);
+
+  // Without TC normalization the mutual-promotion ring amplifies itself.
+  EngineOptions no_tc;
+  no_tc.use_tc_normalization = false;
+  MassEngine naive(&c, no_tc);
+  ASSERT_TRUE(naive.Analyze(nullptr, 10).ok());
+  size_t spammers_in_naive_top = 0;
+  for (const ScoredBlogger& sb : naive.TopKGeneral(20)) {
+    spammers_in_naive_top += c.blogger(sb.id).true_spammer ? 1 : 0;
+  }
+  EXPECT_GT(spammers_in_naive_top, spammers_in_top);
+}
+
+TEST(SpammerTest, TcNormalizationImprovesNdcg) {
+  Corpus c = StudyCorpus();
+  MassEngine full(&c);
+  ASSERT_TRUE(full.Analyze(nullptr, 10).ok());
+  EngineOptions no_tc;
+  no_tc.use_tc_normalization = false;
+  MassEngine naive(&c, no_tc);
+  ASSERT_TRUE(naive.Analyze(nullptr, 10).ok());
+  EXPECT_GT(MeanDomainNdcg(full, 10), MeanDomainNdcg(naive, 10));
+}
+
+// ---------- Table I ----------
+
+TEST(Table1Test, RejectsBadDomains) {
+  Corpus c = StudyCorpus();
+  Table1Options opts;
+  opts.domains = {42};
+  auto r = RunTable1Study(c, DomainSet::PaperDomains(), opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(Table1Test, ReproducesPaperShape) {
+  // The paper's headline: Domain Specific (4.3/4.1/4.6) beats General
+  // (3.2) and Live Index (3.0-3.3) in every evaluated domain.
+  Corpus c = StudyCorpus();
+  auto r = RunTable1Study(c, DomainSet::PaperDomains());
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0].method, "General");
+  EXPECT_EQ(r->rows[1].method, "Live Index");
+  EXPECT_EQ(r->rows[2].method, "Domain Specific");
+  ASSERT_EQ(r->domain_names.size(), 3u);
+  EXPECT_EQ(r->domain_names[0], "Travel");
+  EXPECT_EQ(r->domain_names[1], "Art");
+  EXPECT_EQ(r->domain_names[2], "Sports");
+
+  for (size_t d = 0; d < 3; ++d) {
+    double general = r->rows[0].scores[d];
+    double live = r->rows[1].scores[d];
+    double domain_specific = r->rows[2].scores[d];
+    // Domain-specific wins clearly in every domain.
+    EXPECT_GT(domain_specific, general + 0.3) << r->domain_names[d];
+    EXPECT_GT(domain_specific, live + 0.3) << r->domain_names[d];
+    // All scores in the 1-5 scale and in a sane band.
+    EXPECT_GE(general, 1.0);
+    EXPECT_LE(domain_specific, 5.0);
+    // Domain-specific lands in the paper's 4+ region.
+    EXPECT_GT(domain_specific, 3.8) << r->domain_names[d];
+  }
+}
+
+TEST(Table1Test, GroundTruthModeAlsoWins) {
+  // With the classifier replaced by ground-truth domains the gap should
+  // hold (isolates the scoring model from classification noise).
+  Corpus c = StudyCorpus(78);
+  Table1Options opts;
+  opts.use_classifier = false;
+  auto r = RunTable1Study(c, DomainSet::PaperDomains(), opts);
+  ASSERT_TRUE(r.ok());
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_GT(r->rows[2].scores[d], r->rows[0].scores[d]);
+    EXPECT_GT(r->rows[2].scores[d], r->rows[1].scores[d]);
+  }
+}
+
+TEST(Table1Test, DeterministicAcrossRuns) {
+  Corpus c = StudyCorpus();
+  auto r1 = RunTable1Study(c, DomainSet::PaperDomains());
+  auto r2 = RunTable1Study(c, DomainSet::PaperDomains());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (size_t row = 0; row < 3; ++row) {
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(r1->rows[row].scores[d], r2->rows[row].scores[d]);
+    }
+  }
+}
+
+TEST(Table1Test, ToStringFormatsTable) {
+  Corpus c = StudyCorpus();
+  auto r = RunTable1Study(c, DomainSet::PaperDomains());
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ToString();
+  EXPECT_NE(s.find("Travel"), std::string::npos);
+  EXPECT_NE(s.find("Domain Specific"), std::string::npos);
+  EXPECT_NE(s.find("Live Index"), std::string::npos);
+}
+
+// ---------- replicated study ----------
+
+TEST(ReplicationTest, RejectsEmptySeeds) {
+  synth::GeneratorOptions gen;
+  auto r = RunReplicatedTable1({}, gen, DomainSet::PaperDomains());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ReplicationTest, AggregatesAcrossSeeds) {
+  synth::GeneratorOptions gen;
+  gen.num_bloggers = 200;
+  gen.target_posts = 1000;
+  Table1Options opts;
+  opts.use_classifier = false;  // keep the test fast
+  auto r = RunReplicatedTable1({1, 2, 3}, gen, DomainSet::PaperDomains(),
+                               opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->replications, 3u);
+  ASSERT_EQ(r->rows.size(), 3u);
+  // The headline must hold on the mean across replications.
+  for (size_t d = 0; d < r->domain_names.size(); ++d) {
+    EXPECT_GT(r->rows[2].mean[d], r->rows[0].mean[d]) << r->domain_names[d];
+    EXPECT_GT(r->rows[2].mean[d], r->rows[1].mean[d]) << r->domain_names[d];
+    EXPECT_GE(r->rows[2].stddev[d], 0.0);
+    // Replication dispersion should be modest relative to the gap.
+    EXPECT_LT(r->rows[2].stddev[d], 1.0);
+  }
+  std::string text = r->ToString();
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("Domain Specific"), std::string::npos);
+}
+
+TEST(ReplicationTest, SingleSeedHasZeroStddev) {
+  synth::GeneratorOptions gen;
+  gen.num_bloggers = 150;
+  gen.target_posts = 700;
+  Table1Options opts;
+  opts.use_classifier = false;
+  auto r = RunReplicatedTable1({9}, gen, DomainSet::PaperDomains(), opts);
+  ASSERT_TRUE(r.ok());
+  for (const auto& row : r->rows) {
+    for (double sd : row.stddev) EXPECT_DOUBLE_EQ(sd, 0.0);
+  }
+}
+
+TEST(Table1Test, CustomDomainSubset) {
+  Corpus c = StudyCorpus();
+  Table1Options opts;
+  opts.domains = {1, 9};  // Computer, Politics
+  auto r = RunTable1Study(c, DomainSet::PaperDomains(), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->domain_names.size(), 2u);
+  EXPECT_EQ(r->domain_names[0], "Computer");
+  EXPECT_EQ(r->domain_names[1], "Politics");
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_GT(r->rows[2].scores[d], r->rows[0].scores[d]);
+  }
+}
+
+}  // namespace
+}  // namespace mass

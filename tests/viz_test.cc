@@ -1,0 +1,303 @@
+// Unit tests for the visualization module: post-reply network construction,
+// ego networks, force layout, XML save/load, DOT export, blogger details.
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "viz/blogger_details.h"
+#include "viz/post_reply_network.h"
+#include "xml/xml_parser.h"
+
+namespace mass {
+namespace {
+
+const VizEdge* FindEdge(const PostReplyNetwork& net, const std::string& a,
+                        const std::string& b) {
+  for (const VizEdge& e : net.edges()) {
+    const std::string& na = net.nodes()[e.a].name;
+    const std::string& nb = net.nodes()[e.b].name;
+    if ((na == a && nb == b) || (na == b && nb == a)) return &e;
+  }
+  return nullptr;
+}
+
+TEST(PostReplyNetworkTest, BuildsFigure1Relations) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  EXPECT_EQ(net.nodes().size(), 9u);  // everyone participates
+  // Bob commented on Amery's post1 -> edge Amery-Bob with 1 comment.
+  const VizEdge* ab = FindEdge(net, "Amery", "Bob");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->total_comments(), 1u);
+  // Cary commented on post1 and post2 -> 2 comments total.
+  const VizEdge* ac = FindEdge(net, "Amery", "Cary");
+  ASSERT_NE(ac, nullptr);
+  EXPECT_EQ(ac->total_comments(), 2u);
+  // No comment relation between Amery and Leo.
+  EXPECT_EQ(FindEdge(net, "Amery", "Leo"), nullptr);
+}
+
+TEST(PostReplyNetworkTest, EdgeDirectionalCountsSplit) {
+  // Two bloggers commenting on each other asymmetrically.
+  Corpus c;
+  Blogger x;
+  x.name = "x";
+  Blogger y;
+  y.name = "y";
+  c.AddBlogger(std::move(x));
+  c.AddBlogger(std::move(y));
+  Post px;
+  px.author = 0;
+  px.content = "post by x";
+  PostId pxid = c.AddPost(std::move(px)).value();
+  Post py;
+  py.author = 1;
+  py.content = "post by y";
+  PostId pyid = c.AddPost(std::move(py)).value();
+  for (int i = 0; i < 3; ++i) {
+    Comment cm;
+    cm.post = pxid;
+    cm.commenter = 1;
+    cm.text = "y on x";
+    c.AddComment(std::move(cm)).value();
+  }
+  Comment cm;
+  cm.post = pyid;
+  cm.commenter = 0;
+  cm.text = "x on y";
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  ASSERT_EQ(net.edges().size(), 1u);
+  EXPECT_EQ(net.edges()[0].total_comments(), 4u);
+  // Direction split preserved (3 one way, 1 the other).
+  uint32_t hi = std::max(net.edges()[0].comments_a_on_b,
+                         net.edges()[0].comments_b_on_a);
+  uint32_t lo = std::min(net.edges()[0].comments_a_on_b,
+                         net.edges()[0].comments_b_on_a);
+  EXPECT_EQ(hi, 3u);
+  EXPECT_EQ(lo, 1u);
+}
+
+TEST(PostReplyNetworkTest, SelfCommentsExcluded) {
+  Corpus c;
+  Blogger solo;
+  solo.name = "solo";
+  c.AddBlogger(std::move(solo));
+  Post p;
+  p.author = 0;
+  p.content = "talking to myself";
+  PostId pid = c.AddPost(std::move(p)).value();
+  Comment cm;
+  cm.post = pid;
+  cm.commenter = 0;
+  cm.text = "me again";
+  c.AddComment(std::move(cm)).value();
+  c.BuildIndexes();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  EXPECT_TRUE(net.nodes().empty());
+  EXPECT_TRUE(net.edges().empty());
+}
+
+TEST(PostReplyNetworkTest, EgoNetworkRadius) {
+  Corpus c = synth::MakeFigure1Corpus();
+  BloggerId amery = c.FindBloggerByName("Amery");
+  // Hops 0: just Amery.
+  PostReplyNetwork ego0 = PostReplyNetwork::BuildEgo(c, amery, 0);
+  ASSERT_EQ(ego0.nodes().size(), 1u);
+  EXPECT_EQ(ego0.nodes()[0].name, "Amery");
+  EXPECT_TRUE(ego0.edges().empty());
+  // Hops 1: Amery + Bob + Cary (her commenters).
+  PostReplyNetwork ego1 = PostReplyNetwork::BuildEgo(c, amery, 1);
+  EXPECT_EQ(ego1.nodes().size(), 3u);
+  // Hops 2: adds the commenters on Bob's and Cary's posts.
+  PostReplyNetwork ego2 = PostReplyNetwork::BuildEgo(c, amery, 2);
+  EXPECT_EQ(ego2.nodes().size(), 9u);
+}
+
+TEST(PostReplyNetworkTest, EgoIncludesEdgesAmongNeighbors) {
+  Corpus c = synth::MakeFigure1Corpus();
+  BloggerId bob = c.FindBloggerByName("Bob");
+  PostReplyNetwork ego = PostReplyNetwork::BuildEgo(c, bob, 1);
+  // Bob's 1-hop: Amery (he commented on her), Dolly/Eddie/Helen (commented
+  // on him). Cary also commented on Amery but is 2 hops from Bob.
+  EXPECT_EQ(ego.nodes().size(), 5u);
+  EXPECT_EQ(FindEdge(ego, "Bob", "Amery")->total_comments(), 1u);
+}
+
+TEST(ForceLayoutTest, PositionsInsideFrame) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  LayoutOptions opts;
+  opts.width = 500.0;
+  opts.height = 400.0;
+  net.RunForceLayout(opts);
+  for (const VizNode& n : net.nodes()) {
+    EXPECT_GE(n.x, 0.0);
+    EXPECT_LE(n.x, 500.0);
+    EXPECT_GE(n.y, 0.0);
+    EXPECT_LE(n.y, 400.0);
+  }
+}
+
+TEST(ForceLayoutTest, SpreadsNodesApart) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  net.RunForceLayout();
+  // No two nodes may collapse onto the same point.
+  for (size_t i = 0; i < net.nodes().size(); ++i) {
+    for (size_t j = i + 1; j < net.nodes().size(); ++j) {
+      double dx = net.nodes()[i].x - net.nodes()[j].x;
+      double dy = net.nodes()[i].y - net.nodes()[j].y;
+      EXPECT_GT(dx * dx + dy * dy, 1.0);
+    }
+  }
+}
+
+TEST(ForceLayoutTest, DeterministicForSeed) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork a = PostReplyNetwork::Build(c);
+  PostReplyNetwork b = PostReplyNetwork::Build(c);
+  a.RunForceLayout();
+  b.RunForceLayout();
+  for (size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nodes()[i].x, b.nodes()[i].x);
+    EXPECT_DOUBLE_EQ(a.nodes()[i].y, b.nodes()[i].y);
+  }
+}
+
+TEST(ForceLayoutTest, SingleNodeCentered) {
+  PostReplyNetwork net;
+  // Build a 1-node network via a corpus with one comment pair then ego 0.
+  Corpus c = synth::MakeFigure1Corpus();
+  net = PostReplyNetwork::BuildEgo(c, c.FindBloggerByName("Amery"), 0);
+  LayoutOptions opts;
+  opts.width = 100;
+  opts.height = 60;
+  net.RunForceLayout(opts);
+  EXPECT_DOUBLE_EQ(net.nodes()[0].x, 50.0);
+  EXPECT_DOUBLE_EQ(net.nodes()[0].y, 30.0);
+}
+
+TEST(VizXmlTest, SaveLoadRoundTrip) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  net.RunForceLayout();
+  std::string xml = net.ToXml();
+  auto loaded = PostReplyNetwork::FromXml(xml);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->nodes().size(), net.nodes().size());
+  ASSERT_EQ(loaded->edges().size(), net.edges().size());
+  for (size_t i = 0; i < net.nodes().size(); ++i) {
+    EXPECT_EQ(loaded->nodes()[i].name, net.nodes()[i].name);
+    EXPECT_DOUBLE_EQ(loaded->nodes()[i].x, net.nodes()[i].x);
+    EXPECT_DOUBLE_EQ(loaded->nodes()[i].y, net.nodes()[i].y);
+  }
+  for (size_t i = 0; i < net.edges().size(); ++i) {
+    EXPECT_EQ(loaded->edges()[i].a, net.edges()[i].a);
+    EXPECT_EQ(loaded->edges()[i].total_comments(),
+              net.edges()[i].total_comments());
+  }
+}
+
+TEST(VizXmlTest, RejectsCorruptDocuments) {
+  EXPECT_FALSE(PostReplyNetwork::FromXml("<wrong/>").ok());
+  EXPECT_FALSE(PostReplyNetwork::FromXml("<visualization/>").ok());
+  // Edge referencing a missing node.
+  const char* bad = R"(<visualization>
+    <nodes><node blogger="0" name="a" x="1" y="1"/></nodes>
+    <edges><edge a="0" b="5" ab="1" ba="0"/></edges>
+  </visualization>)";
+  EXPECT_FALSE(PostReplyNetwork::FromXml(bad).ok());
+}
+
+TEST(VizDotTest, DotContainsNodesAndLabels) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  std::string dot = net.ToDot();
+  EXPECT_NE(dot.find("graph post_reply"), std::string::npos);
+  EXPECT_NE(dot.find("Amery"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);  // Amery-Cary
+}
+
+TEST(VizGraphMlTest, WellFormedWithAttributes) {
+  Corpus c = synth::MakeFigure1Corpus();
+  PostReplyNetwork net = PostReplyNetwork::Build(c);
+  net.RunForceLayout();
+  std::string gml = net.ToGraphMl();
+  // It must be well-formed XML with a graphml root.
+  auto doc = xml::ParseDocument(gml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->name, "graphml");
+  const xml::XmlNode* graph = (*doc)->Child("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->Children("node").size(), net.nodes().size());
+  EXPECT_EQ(graph->Children("edge").size(), net.edges().size());
+  // Node data carries the blogger name.
+  EXPECT_NE(gml.find("Amery"), std::string::npos);
+  // Edge data carries comment counts (Amery-Cary edge has 2).
+  EXPECT_NE(gml.find(">2</data>"), std::string::npos);
+}
+
+TEST(BloggerDetailsTest, PopupFieldsPopulated) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  BloggerId amery = c.FindBloggerByName("Amery");
+  BloggerDetails d = MakeBloggerDetails(engine, amery, 2);
+  EXPECT_EQ(d.name, "Amery");
+  EXPECT_GT(d.total_influence, 0.0);
+  EXPECT_EQ(d.num_posts, 2u);
+  EXPECT_EQ(d.num_comments_received, 3u);
+  EXPECT_EQ(d.num_comments_written, 0u);
+  ASSERT_EQ(d.key_posts.size(), 2u);
+  EXPECT_GE(d.key_posts[0].influence, d.key_posts[1].influence);
+  ASSERT_EQ(d.domain_influence.size(), 10u);
+}
+
+TEST(BloggerDetailsTest, BloggerWithoutPosts) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  BloggerId leo = c.FindBloggerByName("Leo");
+  BloggerDetails d = MakeBloggerDetails(engine, leo);
+  EXPECT_EQ(d.num_posts, 0u);
+  EXPECT_TRUE(d.key_posts.empty());
+  EXPECT_EQ(d.num_comments_written, 1u);
+  EXPECT_DOUBLE_EQ(d.accumulated_post, 0.0);
+  // Rendering must not show an "important posts" section.
+  std::string text = RenderBloggerDetails(d, DomainSet::PaperDomains());
+  EXPECT_EQ(text.find("important posts"), std::string::npos);
+}
+
+TEST(PostReplyNetworkTest, EgoOnGeneratedCorpusGrowsWithHops) {
+  synth::GeneratorOptions o;
+  o.seed = 91;
+  o.num_bloggers = 150;
+  o.target_posts = 800;
+  auto r = synth::GenerateBlogosphere(o);
+  ASSERT_TRUE(r.ok());
+  size_t prev = 0;
+  for (int hops = 0; hops <= 2; ++hops) {
+    PostReplyNetwork ego = PostReplyNetwork::BuildEgo(*r, 0, hops);
+    EXPECT_GE(ego.nodes().size(), prev);
+    prev = ego.nodes().size();
+  }
+  EXPECT_GT(prev, 1u);
+}
+
+TEST(BloggerDetailsTest, RenderedTextMentionsDomains) {
+  Corpus c = synth::MakeFigure1Corpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  BloggerDetails d =
+      MakeBloggerDetails(engine, c.FindBloggerByName("Amery"));
+  std::string text = RenderBloggerDetails(d, DomainSet::PaperDomains());
+  EXPECT_NE(text.find("Amery"), std::string::npos);
+  EXPECT_NE(text.find("Economics"), std::string::npos);
+  EXPECT_NE(text.find("total influence"), std::string::npos);
+  EXPECT_NE(text.find("important posts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mass

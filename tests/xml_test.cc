@@ -1,0 +1,309 @@
+// Unit tests for the XML writer, pull parser, and DOM builder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass::xml {
+namespace {
+
+// ---------- Escape ----------
+
+TEST(XmlEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(Escape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+}
+
+TEST(XmlEscapeTest, PlainPassthrough) {
+  EXPECT_EQ(Escape("hello world 123"), "hello world 123");
+}
+
+// ---------- Writer ----------
+
+TEST(XmlWriterTest, SimpleDocument) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("root");
+  w.Attribute("id", int64_t{5});
+  w.SimpleElement("child", "text & more");
+  w.EndElement();
+  EXPECT_EQ(w.depth(), 0u);
+  std::string out = os.str();
+  EXPECT_NE(out.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(out.find("<root id=\"5\">"), std::string::npos);
+  EXPECT_NE(out.find("<child>text &amp; more</child>"), std::string::npos);
+  EXPECT_NE(out.find("</root>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, EmptyElementSelfCloses) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartElement("e");
+  w.Attribute("k", "v");
+  w.EndElement();
+  EXPECT_EQ(os.str(), "<e k=\"v\"/>\n");
+}
+
+TEST(XmlWriterTest, DoubleAttributeFormatting) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartElement("e");
+  w.Attribute("x", 0.5);
+  w.EndElement();
+  EXPECT_NE(os.str().find("x=\"0.5\""), std::string::npos);
+}
+
+TEST(XmlWriterTest, NestedIndentation) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartElement("a");
+  w.StartElement("b");
+  w.SimpleElement("c", "t");
+  w.EndElement();
+  w.EndElement();
+  std::string out = os.str();
+  EXPECT_NE(out.find("\n  <b>"), std::string::npos);
+  EXPECT_NE(out.find("\n    <c>"), std::string::npos);
+}
+
+// ---------- Pull parser ----------
+
+TEST(XmlParserTest, ParsesStartTextEnd) {
+  XmlParser p("<a>hello</a>");
+  auto e1 = p.Next();
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(e1->type, XmlEventType::kStartElement);
+  EXPECT_EQ(e1->name, "a");
+  auto e2 = p.Next();
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2->type, XmlEventType::kText);
+  EXPECT_EQ(e2->text, "hello");
+  auto e3 = p.Next();
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(e3->type, XmlEventType::kEndElement);
+  auto e4 = p.Next();
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ(e4->type, XmlEventType::kEndDocument);
+}
+
+TEST(XmlParserTest, ParsesAttributes) {
+  XmlParser p(R"(<a x="1" y='two &amp; three'/>)");
+  auto e = p.Next();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->Attr("x"), "1");
+  EXPECT_EQ(e->Attr("y"), "two & three");
+  EXPECT_TRUE(e->HasAttr("x"));
+  EXPECT_FALSE(e->HasAttr("z"));
+  EXPECT_EQ(e->Attr("z"), "");
+}
+
+TEST(XmlParserTest, SelfClosingEmitsEndEvent) {
+  XmlParser p("<root><leaf/></root>");
+  ASSERT_TRUE(p.Next().ok());  // <root>
+  auto start = p.Next();
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(start->type, XmlEventType::kStartElement);
+  EXPECT_EQ(start->name, "leaf");
+  auto end = p.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->type, XmlEventType::kEndElement);
+  EXPECT_EQ(end->name, "leaf");
+}
+
+TEST(XmlParserTest, SkipsDeclarationAndComments) {
+  XmlParser p("<?xml version=\"1.0\"?><!-- c --><a><!-- inner -->x</a>");
+  auto e = p.Next();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->name, "a");
+  auto t = p.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text, "x");
+}
+
+TEST(XmlParserTest, DecodesEntities) {
+  XmlParser p("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>");
+  p.Next().value();
+  auto t = p.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text, "<tag> & \"q\" 'a'");
+}
+
+TEST(XmlParserTest, DecodesNumericReferences) {
+  XmlParser p("<a>&#65;&#x42;</a>");
+  p.Next().value();
+  auto t = p.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text, "AB");
+}
+
+TEST(XmlParserTest, DecodesUtf8Reference) {
+  XmlParser p("<a>&#233;</a>");  // é
+  p.Next().value();
+  auto t = p.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text, "\xC3\xA9");
+}
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  XmlParser p("<a></b>");
+  p.Next().value();
+  auto r = p.Next();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(XmlParserTest, RejectsUnterminatedDocument) {
+  XmlParser p("<a><b>");
+  p.Next().value();
+  p.Next().value();
+  auto r = p.Next();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlParserTest, RejectsUnknownEntity) {
+  XmlParser p("<a>&bogus;</a>");
+  p.Next().value();
+  EXPECT_FALSE(p.Next().ok());
+}
+
+TEST(XmlParserTest, RejectsGarbageAttr) {
+  XmlParser p("<a x=unquoted/>");
+  EXPECT_FALSE(p.Next().ok());
+}
+
+TEST(XmlParserTest, SkipsInterElementWhitespace) {
+  XmlParser p("<a>\n  <b>x</b>\n</a>");
+  EXPECT_EQ(p.Next()->name, "a");
+  EXPECT_EQ(p.Next()->name, "b");
+  EXPECT_EQ(p.Next()->text, "x");
+}
+
+// ---------- DOM ----------
+
+TEST(XmlDomTest, BuildsTree) {
+  auto root = ParseDocument(
+      R"(<library><book id="1"><title>T1</title></book>)"
+      R"(<book id="2"><title>T2</title></book></library>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->name, "library");
+  auto books = (*root)->Children("book");
+  ASSERT_EQ(books.size(), 2u);
+  EXPECT_EQ(books[0]->Attr("id"), "1");
+  EXPECT_EQ(books[1]->ChildText("title"), "T2");
+  EXPECT_EQ((*root)->Child("missing"), nullptr);
+  EXPECT_EQ((*root)->ChildText("missing"), "");
+}
+
+TEST(XmlDomTest, ConcatenatesSplitText) {
+  auto root = ParseDocument("<a>one<b/>two</a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "onetwo");
+}
+
+TEST(XmlDomTest, RejectsMultipleRoots) {
+  auto r = ParseDocument("<a/><b/>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlDomTest, RejectsEmptyDocument) {
+  auto r = ParseDocument("   ");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlParserTest, DeepNestingSurvives) {
+  std::string doc;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) doc += "<n>";
+  doc += "x";
+  for (int i = 0; i < depth; ++i) doc += "</n>";
+  auto root = ParseDocument(doc);
+  ASSERT_TRUE(root.ok());
+  const XmlNode* node = root->get();
+  int levels = 1;
+  while (node->Child("n")) {
+    node = node->Child("n");
+    ++levels;
+  }
+  EXPECT_EQ(levels, depth);
+  EXPECT_EQ(node->text, "x");
+}
+
+TEST(XmlParserTest, AttributesPreserveOrder) {
+  XmlParser p(R"(<a z="1" y="2" x="3"/>)");
+  auto e = p.Next();
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->attributes.size(), 3u);
+  EXPECT_EQ(e->attributes[0].first, "z");
+  EXPECT_EQ(e->attributes[2].first, "x");
+}
+
+TEST(XmlParserTest, WhitespaceAroundAttrEquals) {
+  XmlParser p("<a k = \"v\" />");
+  auto e = p.Next();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->Attr("k"), "v");
+}
+
+TEST(XmlParserTest, RejectsBadNumericReference) {
+  XmlParser p("<a>&#xZZ;</a>");
+  p.Next().value();
+  EXPECT_FALSE(p.Next().ok());
+  XmlParser p2("<a>&#1114112;</a>");  // > 0x10FFFF
+  p2.Next().value();
+  EXPECT_FALSE(p2.Next().ok());
+}
+
+TEST(XmlParserTest, FourByteUtf8Reference) {
+  XmlParser p("<a>&#x1F600;</a>");  // emoji, 4-byte UTF-8
+  p.Next().value();
+  auto t = p.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text, "\xF0\x9F\x98\x80");
+}
+
+TEST(XmlWriterTest, TextWithNewlinesRoundTrips) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartElement("a");
+  w.Text("line1\nline2\ttabbed");
+  w.EndElement();
+  auto root = ParseDocument(os.str());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "line1\nline2\ttabbed");
+}
+
+TEST(XmlWriterTest, AttributeWithAllSpecials) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartElement("a");
+  w.Attribute("k", "<>&\"'");
+  w.EndElement();
+  auto root = ParseDocument(os.str());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->Attr("k"), "<>&\"'");
+}
+
+// ---------- Round trip ----------
+
+TEST(XmlRoundTripTest, WriterOutputParsesBack) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("data");
+  w.Attribute("name", "quotes \"and\" <angles>");
+  w.SimpleElement("item", "special & chars < >");
+  w.StartElement("empty");
+  w.EndElement();
+  w.EndElement();
+
+  auto root = ParseDocument(os.str());
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ((*root)->Attr("name"), "quotes \"and\" <angles>");
+  EXPECT_EQ((*root)->ChildText("item"), "special & chars < >");
+  EXPECT_NE((*root)->Child("empty"), nullptr);
+}
+
+}  // namespace
+}  // namespace mass::xml
