@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advertisement.dir/bench_advertisement.cc.o"
+  "CMakeFiles/bench_advertisement.dir/bench_advertisement.cc.o.d"
+  "bench_advertisement"
+  "bench_advertisement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advertisement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

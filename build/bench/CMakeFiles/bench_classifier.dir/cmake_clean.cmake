@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifier.dir/bench_classifier.cc.o"
+  "CMakeFiles/bench_classifier.dir/bench_classifier.cc.o.d"
+  "bench_classifier"
+  "bench_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

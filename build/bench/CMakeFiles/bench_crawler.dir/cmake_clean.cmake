@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crawler.dir/bench_crawler.cc.o"
+  "CMakeFiles/bench_crawler.dir/bench_crawler.cc.o.d"
+  "bench_crawler"
+  "bench_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linkanalysis.dir/bench_linkanalysis.cc.o"
+  "CMakeFiles/bench_linkanalysis.dir/bench_linkanalysis.cc.o.d"
+  "bench_linkanalysis"
+  "bench_linkanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linkanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

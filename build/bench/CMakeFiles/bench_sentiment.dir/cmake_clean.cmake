@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sentiment.dir/bench_sentiment.cc.o"
+  "CMakeFiles/bench_sentiment.dir/bench_sentiment.cc.o.d"
+  "bench_sentiment"
+  "bench_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

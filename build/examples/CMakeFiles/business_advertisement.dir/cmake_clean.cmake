@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/business_advertisement.dir/business_advertisement.cpp.o"
+  "CMakeFiles/business_advertisement.dir/business_advertisement.cpp.o.d"
+  "business_advertisement"
+  "business_advertisement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/business_advertisement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

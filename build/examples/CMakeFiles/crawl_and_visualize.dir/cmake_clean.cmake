@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_and_visualize.dir/crawl_and_visualize.cpp.o"
+  "CMakeFiles/crawl_and_visualize.dir/crawl_and_visualize.cpp.o.d"
+  "crawl_and_visualize"
+  "crawl_and_visualize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_and_visualize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for crawl_and_visualize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_trends.dir/domain_trends.cpp.o"
+  "CMakeFiles/domain_trends.dir/domain_trends.cpp.o.d"
+  "domain_trends"
+  "domain_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_cli.dir/mass_cli.cpp.o"
+  "CMakeFiles/mass_cli.dir/mass_cli.cpp.o.d"
+  "mass_cli"
+  "mass_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_toolbar.dir/parameter_toolbar.cpp.o"
+  "CMakeFiles/parameter_toolbar.dir/parameter_toolbar.cpp.o.d"
+  "parameter_toolbar"
+  "parameter_toolbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_toolbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("model")
+subdirs("storage")
+subdirs("text")
+subdirs("sentiment")
+subdirs("classify")
+subdirs("linkanalysis")
+subdirs("synth")
+subdirs("crawler")
+subdirs("core")
+subdirs("analytics")
+subdirs("recommend")
+subdirs("viz")
+subdirs("userstudy")

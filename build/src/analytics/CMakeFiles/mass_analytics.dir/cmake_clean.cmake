@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_analytics.dir/trend_analyzer.cc.o"
+  "CMakeFiles/mass_analytics.dir/trend_analyzer.cc.o.d"
+  "libmass_analytics.a"
+  "libmass_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

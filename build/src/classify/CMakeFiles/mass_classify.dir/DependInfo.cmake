@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/centroid_classifier.cc" "src/classify/CMakeFiles/mass_classify.dir/centroid_classifier.cc.o" "gcc" "src/classify/CMakeFiles/mass_classify.dir/centroid_classifier.cc.o.d"
+  "/root/repo/src/classify/interest_miner.cc" "src/classify/CMakeFiles/mass_classify.dir/interest_miner.cc.o" "gcc" "src/classify/CMakeFiles/mass_classify.dir/interest_miner.cc.o.d"
+  "/root/repo/src/classify/metrics.cc" "src/classify/CMakeFiles/mass_classify.dir/metrics.cc.o" "gcc" "src/classify/CMakeFiles/mass_classify.dir/metrics.cc.o.d"
+  "/root/repo/src/classify/naive_bayes.cc" "src/classify/CMakeFiles/mass_classify.dir/naive_bayes.cc.o" "gcc" "src/classify/CMakeFiles/mass_classify.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/classify/topic_discovery.cc" "src/classify/CMakeFiles/mass_classify.dir/topic_discovery.cc.o" "gcc" "src/classify/CMakeFiles/mass_classify.dir/topic_discovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/mass_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mass_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

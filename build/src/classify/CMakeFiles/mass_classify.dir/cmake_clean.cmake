@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_classify.dir/centroid_classifier.cc.o"
+  "CMakeFiles/mass_classify.dir/centroid_classifier.cc.o.d"
+  "CMakeFiles/mass_classify.dir/interest_miner.cc.o"
+  "CMakeFiles/mass_classify.dir/interest_miner.cc.o.d"
+  "CMakeFiles/mass_classify.dir/metrics.cc.o"
+  "CMakeFiles/mass_classify.dir/metrics.cc.o.d"
+  "CMakeFiles/mass_classify.dir/naive_bayes.cc.o"
+  "CMakeFiles/mass_classify.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/mass_classify.dir/topic_discovery.cc.o"
+  "CMakeFiles/mass_classify.dir/topic_discovery.cc.o.d"
+  "libmass_classify.a"
+  "libmass_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_common.dir/logging.cc.o"
+  "CMakeFiles/mass_common.dir/logging.cc.o.d"
+  "CMakeFiles/mass_common.dir/parallel.cc.o"
+  "CMakeFiles/mass_common.dir/parallel.cc.o.d"
+  "CMakeFiles/mass_common.dir/rng.cc.o"
+  "CMakeFiles/mass_common.dir/rng.cc.o.d"
+  "CMakeFiles/mass_common.dir/status.cc.o"
+  "CMakeFiles/mass_common.dir/status.cc.o.d"
+  "CMakeFiles/mass_common.dir/string_util.cc.o"
+  "CMakeFiles/mass_common.dir/string_util.cc.o.d"
+  "CMakeFiles/mass_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mass_common.dir/thread_pool.cc.o.d"
+  "libmass_common.a"
+  "libmass_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

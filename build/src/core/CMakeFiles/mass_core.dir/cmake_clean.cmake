@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_core.dir/influence_engine.cc.o"
+  "CMakeFiles/mass_core.dir/influence_engine.cc.o.d"
+  "CMakeFiles/mass_core.dir/quality.cc.o"
+  "CMakeFiles/mass_core.dir/quality.cc.o.d"
+  "CMakeFiles/mass_core.dir/topk.cc.o"
+  "CMakeFiles/mass_core.dir/topk.cc.o.d"
+  "libmass_core.a"
+  "libmass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_crawler.dir/crawler.cc.o"
+  "CMakeFiles/mass_crawler.dir/crawler.cc.o.d"
+  "CMakeFiles/mass_crawler.dir/synthetic_host.cc.o"
+  "CMakeFiles/mass_crawler.dir/synthetic_host.cc.o.d"
+  "libmass_crawler.a"
+  "libmass_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkanalysis/graph.cc" "src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/graph.cc.o" "gcc" "src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/graph.cc.o.d"
+  "/root/repo/src/linkanalysis/hits.cc" "src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/hits.cc.o" "gcc" "src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/hits.cc.o.d"
+  "/root/repo/src/linkanalysis/pagerank.cc" "src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/pagerank.cc.o" "gcc" "src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/pagerank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mass_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

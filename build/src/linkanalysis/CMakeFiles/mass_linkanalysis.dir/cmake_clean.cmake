@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_linkanalysis.dir/graph.cc.o"
+  "CMakeFiles/mass_linkanalysis.dir/graph.cc.o.d"
+  "CMakeFiles/mass_linkanalysis.dir/hits.cc.o"
+  "CMakeFiles/mass_linkanalysis.dir/hits.cc.o.d"
+  "CMakeFiles/mass_linkanalysis.dir/pagerank.cc.o"
+  "CMakeFiles/mass_linkanalysis.dir/pagerank.cc.o.d"
+  "libmass_linkanalysis.a"
+  "libmass_linkanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_linkanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

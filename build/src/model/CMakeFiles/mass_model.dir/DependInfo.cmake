@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/corpus.cc" "src/model/CMakeFiles/mass_model.dir/corpus.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus.cc.o.d"
+  "/root/repo/src/model/corpus_merge.cc" "src/model/CMakeFiles/mass_model.dir/corpus_merge.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus_merge.cc.o.d"
+  "/root/repo/src/model/corpus_stats.cc" "src/model/CMakeFiles/mass_model.dir/corpus_stats.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_model.dir/corpus.cc.o"
+  "CMakeFiles/mass_model.dir/corpus.cc.o.d"
+  "CMakeFiles/mass_model.dir/corpus_merge.cc.o"
+  "CMakeFiles/mass_model.dir/corpus_merge.cc.o.d"
+  "CMakeFiles/mass_model.dir/corpus_stats.cc.o"
+  "CMakeFiles/mass_model.dir/corpus_stats.cc.o.d"
+  "libmass_model.a"
+  "libmass_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

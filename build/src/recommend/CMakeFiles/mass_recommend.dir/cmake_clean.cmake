@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_recommend.dir/baselines.cc.o"
+  "CMakeFiles/mass_recommend.dir/baselines.cc.o.d"
+  "CMakeFiles/mass_recommend.dir/recommender.cc.o"
+  "CMakeFiles/mass_recommend.dir/recommender.cc.o.d"
+  "libmass_recommend.a"
+  "libmass_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

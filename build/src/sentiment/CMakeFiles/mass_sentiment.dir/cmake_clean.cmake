@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_sentiment.dir/sentiment_analyzer.cc.o"
+  "CMakeFiles/mass_sentiment.dir/sentiment_analyzer.cc.o.d"
+  "libmass_sentiment.a"
+  "libmass_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmass_sentiment.a"
+)

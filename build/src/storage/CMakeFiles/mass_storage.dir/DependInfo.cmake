@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/analysis_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o.d"
+  "/root/repo/src/storage/corpus_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/corpus_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/corpus_xml.cc.o.d"
+  "/root/repo/src/storage/file_io.cc" "src/storage/CMakeFiles/mass_storage.dir/file_io.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/file_io.cc.o.d"
+  "/root/repo/src/storage/options_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/options_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/options_xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mass_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mass_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/mass_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/mass_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mass_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_storage.dir/analysis_xml.cc.o"
+  "CMakeFiles/mass_storage.dir/analysis_xml.cc.o.d"
+  "CMakeFiles/mass_storage.dir/corpus_xml.cc.o"
+  "CMakeFiles/mass_storage.dir/corpus_xml.cc.o.d"
+  "CMakeFiles/mass_storage.dir/file_io.cc.o"
+  "CMakeFiles/mass_storage.dir/file_io.cc.o.d"
+  "CMakeFiles/mass_storage.dir/options_xml.cc.o"
+  "CMakeFiles/mass_storage.dir/options_xml.cc.o.d"
+  "libmass_storage.a"
+  "libmass_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/domain_vocab.cc" "src/synth/CMakeFiles/mass_synth.dir/domain_vocab.cc.o" "gcc" "src/synth/CMakeFiles/mass_synth.dir/domain_vocab.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/mass_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/mass_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/text_gen.cc" "src/synth/CMakeFiles/mass_synth.dir/text_gen.cc.o" "gcc" "src/synth/CMakeFiles/mass_synth.dir/text_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mass_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/mass_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mass_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

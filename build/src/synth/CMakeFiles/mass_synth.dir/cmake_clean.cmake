@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_synth.dir/domain_vocab.cc.o"
+  "CMakeFiles/mass_synth.dir/domain_vocab.cc.o.d"
+  "CMakeFiles/mass_synth.dir/generator.cc.o"
+  "CMakeFiles/mass_synth.dir/generator.cc.o.d"
+  "CMakeFiles/mass_synth.dir/text_gen.cc.o"
+  "CMakeFiles/mass_synth.dir/text_gen.cc.o.d"
+  "libmass_synth.a"
+  "libmass_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_text.dir/lexicon.cc.o"
+  "CMakeFiles/mass_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/mass_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/mass_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/mass_text.dir/tokenizer.cc.o"
+  "CMakeFiles/mass_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/mass_text.dir/vocabulary.cc.o"
+  "CMakeFiles/mass_text.dir/vocabulary.cc.o.d"
+  "libmass_text.a"
+  "libmass_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_userstudy.dir/judge_panel.cc.o"
+  "CMakeFiles/mass_userstudy.dir/judge_panel.cc.o.d"
+  "CMakeFiles/mass_userstudy.dir/ranking_quality.cc.o"
+  "CMakeFiles/mass_userstudy.dir/ranking_quality.cc.o.d"
+  "CMakeFiles/mass_userstudy.dir/replication.cc.o"
+  "CMakeFiles/mass_userstudy.dir/replication.cc.o.d"
+  "CMakeFiles/mass_userstudy.dir/table1.cc.o"
+  "CMakeFiles/mass_userstudy.dir/table1.cc.o.d"
+  "libmass_userstudy.a"
+  "libmass_userstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_userstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_viz.dir/blogger_details.cc.o"
+  "CMakeFiles/mass_viz.dir/blogger_details.cc.o.d"
+  "CMakeFiles/mass_viz.dir/html_export.cc.o"
+  "CMakeFiles/mass_viz.dir/html_export.cc.o.d"
+  "CMakeFiles/mass_viz.dir/post_reply_network.cc.o"
+  "CMakeFiles/mass_viz.dir/post_reply_network.cc.o.d"
+  "libmass_viz.a"
+  "libmass_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/mass_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/mass_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/mass_xml.dir/xml_writer.cc.o.d"
+  "libmass_xml.a"
+  "libmass_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkanalysis_test.dir/linkanalysis_test.cc.o"
+  "CMakeFiles/linkanalysis_test.dir/linkanalysis_test.cc.o.d"
+  "linkanalysis_test"
+  "linkanalysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkanalysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

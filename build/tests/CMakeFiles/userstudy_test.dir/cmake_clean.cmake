@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userstudy_test.dir/userstudy_test.cc.o"
+  "CMakeFiles/userstudy_test.dir/userstudy_test.cc.o.d"
+  "userstudy_test"
+  "userstudy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userstudy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
