@@ -4,7 +4,10 @@
 // iteration count stays flat.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
@@ -33,6 +36,156 @@ void PrintScalingTable() {
   }
   std::printf("shape: near-linear wall time in corpus size; iteration "
               "count roughly constant.\n");
+}
+
+// ---- S1b: solver-path (reference vs compiled) x threads grid ----
+//
+// Times the fixed-point solve alone (SolveStats::solve_seconds — the
+// engine's own wall clock around the solver, compilation included for the
+// compiled path) via Retune() on a warm engine, in two modes:
+//  * forced-40: tolerance 0, exactly 40 rounds — per-iteration solver
+//    throughput, the same isolation trick as BM_SolverOnly;
+//  * converged: paper-default tolerance (~6 rounds on this corpus) — the
+//    end-to-end solve a user actually waits on.
+// Results go to stdout and to machine-readable BENCH_solver.json in the
+// current working directory so the perf trajectory is tracked across PRs.
+
+struct GridCell {
+  const char* solver;
+  int threads;
+  double seconds;
+  int iterations;
+};
+
+double TimeSolve(MassEngine* engine, const EngineOptions& opts, int repeats,
+                 int* iterations) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    Status s = engine->Retune(opts);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return -1.0;
+    }
+    best = std::min(best, engine->stats().solve_seconds);
+    *iterations = engine->stats().iterations;
+  }
+  return best;
+}
+
+// Runs one reference cell plus compiled cells over the thread grid.
+// Returns false on engine failure.
+bool RunGrid(MassEngine* engine, const EngineOptions& base, int repeats,
+             std::vector<GridCell>* cells) {
+  {
+    EngineOptions opts = base;
+    opts.use_compiled_solver = false;
+    int iters = 0;
+    double secs = TimeSolve(engine, opts, repeats, &iters);
+    if (secs < 0.0) return false;
+    // The reference solver is single-threaded by construction — one cell.
+    cells->push_back({"reference", 1, secs, iters});
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    EngineOptions opts = base;
+    opts.use_compiled_solver = true;
+    opts.solver_threads = threads;
+    int iters = 0;
+    double secs = TimeSolve(engine, opts, repeats, &iters);
+    if (secs < 0.0) return false;
+    cells->push_back({"compiled", threads, secs, iters});
+  }
+  return true;
+}
+
+void PrintCells(const std::vector<GridCell>& cells) {
+  const double ref_secs = cells.front().seconds;
+  std::printf("%-10s %-8s %-10s %-8s %-8s\n", "solver", "threads", "seconds",
+              "iters", "speedup");
+  for (const GridCell& c : cells) {
+    std::printf("%-10s %-8d %-10.4f %-8d %-8.2f\n", c.solver, c.threads,
+                c.seconds, c.iterations, ref_secs / c.seconds);
+  }
+}
+
+void WriteCellsJson(std::FILE* f, const std::vector<GridCell>& cells) {
+  const double ref_secs = cells.front().seconds;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const GridCell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"solver\": \"%s\", \"threads\": %d, \"seconds\": "
+                 "%.6f, \"iterations\": %d, \"speedup_vs_reference\": %.3f}%s\n",
+                 c.solver, c.threads, c.seconds, c.iterations,
+                 ref_secs / c.seconds, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+}
+
+double BestCompiledSpeedup(const std::vector<GridCell>& cells) {
+  const double ref_secs = cells.front().seconds;
+  double best = 1e100;
+  for (const GridCell& c : cells) {
+    if (std::string(c.solver) == "compiled") best = std::min(best, c.seconds);
+  }
+  return ref_secs / best;
+}
+
+void PrintSolverGrid() {
+  const size_t kBloggers = 12000;
+  const Corpus& corpus = bench::CachedCorpus(kBloggers, kBloggers * 13);
+
+  MassEngine engine(&corpus);
+  {
+    Status s = engine.Analyze(nullptr, 10);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return;
+    }
+  }
+
+  const int kRepeats = 3;
+  const int kForcedIters = 40;
+
+  bench::Banner("S1b", "solver throughput grid, forced 40 iterations");
+  EngineOptions forced;
+  forced.tolerance = 0.0;
+  forced.max_iterations = kForcedIters;
+  std::vector<GridCell> forced_cells;
+  if (!RunGrid(&engine, forced, kRepeats, &forced_cells)) return;
+  PrintCells(forced_cells);
+
+  bench::Banner("S1c", "solver wall time grid, default tolerance");
+  std::vector<GridCell> converged_cells;
+  if (!RunGrid(&engine, EngineOptions{}, kRepeats, &converged_cells)) return;
+  PrintCells(converged_cells);
+
+  std::FILE* f = std::fopen("BENCH_solver.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_solver.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_scoring_scale/S1b_solver_grid\",\n");
+  std::fprintf(f,
+               "  \"metric\": \"best-of-%d SolveStats.solve_seconds (fixed-"
+               "point solve only; matrix compilation included for the "
+               "compiled path)\",\n",
+               kRepeats);
+  std::fprintf(f,
+               "  \"corpus\": {\"bloggers\": %zu, \"posts\": %zu, "
+               "\"comments\": %zu},\n",
+               corpus.num_bloggers(), corpus.num_posts(),
+               corpus.num_comments());
+  std::fprintf(f, "  \"forced_%d_iterations\": ", kForcedIters);
+  WriteCellsJson(f, forced_cells);
+  std::fprintf(f, ",\n  \"default_tolerance\": ");
+  WriteCellsJson(f, converged_cells);
+  std::fprintf(f, ",\n  \"speedup_best_compiled_vs_reference_forced\": %.3f",
+               BestCompiledSpeedup(forced_cells));
+  std::fprintf(f, ",\n  \"speedup_best_compiled_vs_reference_converged\": %.3f\n",
+               BestCompiledSpeedup(converged_cells));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_solver.json\n");
 }
 
 void BM_Analyze(benchmark::State& state) {
@@ -73,6 +226,7 @@ BENCHMARK(BM_SolverOnly)->Arg(1)->Arg(10)->Arg(50)
 
 int main(int argc, char** argv) {
   mass::PrintScalingTable();
+  mass::PrintSolverGrid();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -217,7 +217,24 @@ examples/CMakeFiles/mass_cli.dir/mass_cli.cpp.o: \
  /root/repo/src/classify/naive_bayes.h \
  /root/repo/src/classify/topic_discovery.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/cstddef /root/repo/src/core/influence_engine.h \
- /root/repo/src/core/engine_options.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
  /root/repo/src/linkanalysis/graph.h \
  /root/repo/src/sentiment/sentiment_analyzer.h \
@@ -225,11 +242,7 @@ examples/CMakeFiles/mass_cli.dir/mass_cli.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/crawler/crawler.h /root/repo/src/crawler/blog_host.h \
  /root/repo/src/model/corpus_merge.h /root/repo/src/model/corpus_stats.h \
- /root/repo/src/crawler/synthetic_host.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crawler/synthetic_host.h \
  /root/repo/src/recommend/recommender.h \
  /root/repo/src/storage/corpus_xml.h /root/repo/src/storage/file_io.h \
  /root/repo/src/storage/options_xml.h /root/repo/src/synth/generator.h \

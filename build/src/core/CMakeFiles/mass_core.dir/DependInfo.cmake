@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/influence_engine.cc" "src/core/CMakeFiles/mass_core.dir/influence_engine.cc.o" "gcc" "src/core/CMakeFiles/mass_core.dir/influence_engine.cc.o.d"
   "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/mass_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/mass_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/solver_matrix.cc" "src/core/CMakeFiles/mass_core.dir/solver_matrix.cc.o" "gcc" "src/core/CMakeFiles/mass_core.dir/solver_matrix.cc.o.d"
   "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/mass_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/mass_core.dir/topk.cc.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mass_core.dir/influence_engine.cc.o.d"
   "CMakeFiles/mass_core.dir/quality.cc.o"
   "CMakeFiles/mass_core.dir/quality.cc.o.d"
+  "CMakeFiles/mass_core.dir/solver_matrix.cc.o"
+  "CMakeFiles/mass_core.dir/solver_matrix.cc.o.d"
   "CMakeFiles/mass_core.dir/topk.cc.o"
   "CMakeFiles/mass_core.dir/topk.cc.o.d"
   "libmass_core.a"

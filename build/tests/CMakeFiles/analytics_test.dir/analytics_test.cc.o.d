@@ -296,7 +296,18 @@ tests/CMakeFiles/analytics_test.dir/analytics_test.cc.o: \
  /root/repo/src/analytics/trend_analyzer.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/core/influence_engine.h \
  /root/repo/src/classify/interest_miner.h /root/repo/src/model/corpus.h \
- /root/repo/src/model/entities.h /root/repo/src/core/engine_options.h \
+ /root/repo/src/model/entities.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
  /root/repo/src/linkanalysis/graph.h \
  /root/repo/src/sentiment/sentiment_analyzer.h \

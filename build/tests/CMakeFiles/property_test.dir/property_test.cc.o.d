@@ -322,6 +322,17 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/model/corpus.h \
  /root/repo/src/model/entities.h /root/repo/src/text/tokenizer.h \
  /root/repo/src/text/vocabulary.h /root/repo/src/core/influence_engine.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
  /root/repo/src/linkanalysis/graph.h \
@@ -330,9 +341,7 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/quality.h \
  /root/repo/src/core/topk.h /root/repo/src/crawler/crawler.h \
  /root/repo/src/crawler/blog_host.h \
- /root/repo/src/crawler/synthetic_host.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/crawler/synthetic_host.h /root/repo/src/common/rng.h \
  /root/repo/src/linkanalysis/hits.h /root/repo/src/storage/corpus_xml.h \
  /root/repo/src/synth/generator.h /root/repo/src/synth/domain_vocab.h \
  /root/repo/src/synth/text_gen.h /root/repo/src/viz/post_reply_network.h

@@ -4,7 +4,28 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
+
 namespace mass {
+
+namespace {
+
+// Chunk layout shared by every entry point: at most `workers` chunks of
+// equal ceiling size covering [0, n).
+struct ChunkPlan {
+  size_t chunk = 0;
+  size_t num_chunks = 0;
+};
+
+ChunkPlan PlanChunks(size_t n, size_t workers) {
+  workers = std::min(std::max<size_t>(workers, 1), n);
+  ChunkPlan plan;
+  plan.chunk = (n + workers - 1) / workers;
+  plan.num_chunks = (n + plan.chunk - 1) / plan.chunk;
+  return plan;
+}
+
+}  // namespace
 
 void ParallelFor(size_t n, int num_threads,
                  const std::function<void(size_t, size_t)>& fn) {
@@ -15,17 +36,89 @@ void ParallelFor(size_t n, int num_threads,
     fn(0, n);
     return;
   }
-  workers = std::min(workers, n);
-  const size_t chunk = (n + workers - 1) / workers;
+  ChunkPlan plan = PlanChunks(n, workers);
   std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    size_t end = std::min(begin + chunk, n);
+  threads.reserve(plan.num_chunks);
+  for (size_t w = 0; w < plan.num_chunks; ++w) {
+    size_t begin = w * plan.chunk;
+    size_t end = std::min(begin + plan.chunk, n);
     if (begin >= end) break;
     threads.emplace_back([&fn, begin, end] { fn(begin, end); });
   }
   for (auto& t : threads) t.join();
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 1024) {
+    fn(0, n);
+    return;
+  }
+  ChunkPlan plan = PlanChunks(n, pool->num_threads());
+  for (size_t w = 0; w < plan.num_chunks; ++w) {
+    size_t begin = w * plan.chunk;
+    size_t end = std::min(begin + plan.chunk, n);
+    if (begin >= end) break;
+    pool->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->WaitIdle();
+}
+
+namespace {
+
+// Shared reduction core: run `run_chunks` to fill `partials`, then fold in
+// chunk order so a fixed chunk plan gives a fixed result.
+double FoldPartials(const std::vector<double>& partials, double identity,
+                    const std::function<double(double, double)>& combine) {
+  double acc = identity;
+  for (double p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace
+
+double ParallelReduce(size_t n, int num_threads, double identity,
+                      const std::function<double(size_t, size_t)>& chunk_fn,
+                      const std::function<double(double, double)>& combine) {
+  if (n == 0) return identity;
+  size_t workers = num_threads > 1 ? static_cast<size_t>(num_threads) : 1;
+  if (workers <= 1 || n < 1024) {
+    return combine(identity, chunk_fn(0, n));
+  }
+  ChunkPlan plan = PlanChunks(n, workers);
+  std::vector<double> partials(plan.num_chunks, identity);
+  std::vector<std::thread> threads;
+  threads.reserve(plan.num_chunks);
+  for (size_t w = 0; w < plan.num_chunks; ++w) {
+    size_t begin = w * plan.chunk;
+    size_t end = std::min(begin + plan.chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back(
+        [&chunk_fn, &partials, w, begin, end] { partials[w] = chunk_fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+  return FoldPartials(partials, identity, combine);
+}
+
+double ParallelReduce(ThreadPool* pool, size_t n, double identity,
+                      const std::function<double(size_t, size_t)>& chunk_fn,
+                      const std::function<double(double, double)>& combine) {
+  if (n == 0) return identity;
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 1024) {
+    return combine(identity, chunk_fn(0, n));
+  }
+  ChunkPlan plan = PlanChunks(n, pool->num_threads());
+  std::vector<double> partials(plan.num_chunks, identity);
+  for (size_t w = 0; w < plan.num_chunks; ++w) {
+    size_t begin = w * plan.chunk;
+    size_t end = std::min(begin + plan.chunk, n);
+    if (begin >= end) break;
+    pool->Submit(
+        [&chunk_fn, &partials, w, begin, end] { partials[w] = chunk_fn(begin, end); });
+  }
+  pool->WaitIdle();
+  return FoldPartials(partials, identity, combine);
 }
 
 }  // namespace mass

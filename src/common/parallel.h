@@ -1,7 +1,8 @@
-// Chunked parallel-for over an index range, used by the analyzer for the
-// embarrassingly parallel per-post / per-comment stages (classification,
-// sentiment). Runs inline when a single thread is requested or the range
-// is too small to amortize thread startup.
+// Chunked parallel-for and parallel reductions over an index range, used
+// by the analyzer for the embarrassingly parallel per-post / per-comment
+// stages (classification, sentiment) and by the compiled influence solver
+// for its per-iteration SpMV. Runs inline when a single thread is
+// requested or the range is too small to amortize thread startup.
 #pragma once
 
 #include <cstddef>
@@ -9,10 +10,36 @@
 
 namespace mass {
 
+class ThreadPool;
+
 /// Invokes `fn(begin, end)` over disjoint chunks covering [0, n), from up
 /// to `num_threads` worker threads. `fn` must be safe to call concurrently
 /// on disjoint ranges. Blocks until all chunks complete.
 void ParallelFor(size_t n, int num_threads,
                  const std::function<void(size_t, size_t)>& fn);
+
+/// Same, but runs the chunks on an existing pool instead of spawning
+/// threads per call — the right overload for code invoked many times in a
+/// tight loop (the solver calls this once per fixed-point iteration).
+/// `pool` may be nullptr, which runs inline. The caller must own the pool
+/// exclusively for the duration of the call (WaitIdle is used as the
+/// barrier).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Parallel reduction: evaluates `chunk_fn(begin, end)` over disjoint
+/// chunks covering [0, n) and folds the per-chunk partials with `combine`,
+/// starting from `identity`. Partials are combined in chunk order, so the
+/// result is deterministic for a fixed thread count; with an
+/// order-independent `combine` (max, min) it is deterministic for ANY
+/// thread count. Returns `identity` when n == 0.
+double ParallelReduce(size_t n, int num_threads, double identity,
+                      const std::function<double(size_t, size_t)>& chunk_fn,
+                      const std::function<double(double, double)>& combine);
+
+/// Pool-backed variant of ParallelReduce; `pool` may be nullptr (inline).
+double ParallelReduce(ThreadPool* pool, size_t n, double identity,
+                      const std::function<double(size_t, size_t)>& chunk_fn,
+                      const std::function<double(double, double)>& combine);
 
 }  // namespace mass

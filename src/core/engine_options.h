@@ -58,11 +58,21 @@ struct EngineOptions {
   double recency_half_life_days = 0.0;
 
   /// Worker threads for the per-post classification and per-comment
-  /// sentiment stages (embarrassingly parallel; the fixed-point solver
-  /// itself is sequential). 1 = run inline.
+  /// sentiment stages (embarrassingly parallel). 1 = run inline.
   int analyzer_threads = 1;
 
   // ---- fixed-point solver (Eq. 1-4 are recursive through Inf(b_j)) ----
+  /// Solve via the compiled path: the loop-invariant comment factors
+  /// SF·recency/TC are folded once into a blogger-level CSR matrix and
+  /// each iteration becomes a parallel SpMV (see core/solver_matrix.h).
+  /// The per-post reference solver remains as the fallback and as the
+  /// parity oracle for tests.
+  bool use_compiled_solver = true;
+  /// Worker threads for the compiled solver's per-iteration SpMV
+  /// (0 = follow analyzer_threads). Scores are bit-identical for every
+  /// thread count: rows are summed serially and the only cross-row
+  /// reduction is an order-independent max.
+  int solver_threads = 0;
   int max_iterations = 100;
   /// Convergence: max per-blogger absolute change of the mean-normalized
   /// influence below this ends iteration.

@@ -11,11 +11,13 @@
 // and answers top-k queries for general and domain-specific influence.
 #pragma once
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "classify/interest_miner.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/engine_options.h"
 #include "model/corpus.h"
 
@@ -33,6 +35,10 @@ struct SolveStats {
   double final_delta = 0.0;
   bool converged = false;
   int pagerank_iterations = 0;
+  /// Wall time of the fixed-point solve alone (for the compiled path this
+  /// includes matrix compilation), excluding link analysis, text stages,
+  /// and domain-vector assembly.
+  double solve_seconds = 0.0;
 };
 
 /// The MASS analyzer. Construct over a corpus (indexes built), call
@@ -117,13 +123,28 @@ class MassEngine {
   void ComputeSentiment();
   Status ComputeInterests(const InterestMiner* miner);
   void SolveInfluence();
+  void SolveInfluenceReference();
+  void SolveInfluenceCompiled();
   void ComputeDomainVectors();
+  int SolverThreadCount() const;
+  /// Lazily creates (and reuses across Retune) the solver's worker pool;
+  /// nullptr when one thread is requested.
+  ThreadPool* SolverPool();
 
   const Corpus* corpus_;
   EngineOptions options_;
   size_t num_domains_ = 0;
   bool analyzed_ = false;
   SolveStats stats_;
+  std::unique_ptr<ThreadPool> solver_pool_;
+
+  // GL(b) is corpus-derived and depends only on (gl_method, pagerank
+  // options); Retune() reuses the cached vector when those are unchanged
+  // instead of re-running link analysis.
+  bool gl_cache_valid_ = false;
+  GlMethod gl_cached_method_ = GlMethod::kPageRank;
+  PageRankOptions gl_cached_pagerank_;
+  int gl_cached_iterations_ = 0;
 
   std::vector<double> gl_;              // [blogger]
   std::vector<double> ap_;              // [blogger]

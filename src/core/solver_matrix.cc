@@ -1,0 +1,162 @@
+#include "core/solver_matrix.h"
+
+#include "common/parallel.h"
+
+namespace mass {
+
+SolverMatrix CompileSolverMatrix(const Corpus& corpus,
+                                 const EngineOptions& options,
+                                 const std::vector<double>& post_quality,
+                                 const std::vector<double>& post_recency,
+                                 const std::vector<double>& comment_sf,
+                                 const std::vector<double>& comment_recency,
+                                 ThreadPool* pool) {
+  const size_t nb = corpus.num_bloggers();
+  const size_t np = corpus.num_posts();
+  const size_t nc = corpus.num_comments();
+  const double beta = options.beta;
+
+  SolverMatrix m;
+  m.num_bloggers = nb;
+
+  // q(b) = β · Σ quality·recency over b's posts. The posts-by-blogger
+  // index gives ascending post ids, matching the reference solver's
+  // accumulation order.
+  m.quality.assign(nb, 0.0);
+  for (size_t b = 0; b < nb; ++b) {
+    double q = 0.0;
+    for (PostId p : corpus.PostsBy(static_cast<BloggerId>(b))) {
+      q += beta * post_quality[p] * post_recency[p];
+    }
+    m.quality[b] = q;
+  }
+
+  // Each comment's commenter, recovered from the by-commenter index, and
+  // 1/TC per blogger — so w(c) = SF·recency/TC needs no Comment records
+  // and one divide per blogger instead of one per comment.
+  std::vector<BloggerId> commenter_of(nc, 0);
+  std::vector<double> inv_tc(nb, 1.0);
+  for (size_t b = 0; b < nb; ++b) {
+    const BloggerId bid = static_cast<BloggerId>(b);
+    if (options.use_tc_normalization) {
+      double tc = static_cast<double>(corpus.TotalComments(bid));
+      inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
+    }
+    for (CommentId cid : corpus.CommentsByCommenter(bid)) {
+      commenter_of[cid] = bid;
+    }
+  }
+
+  // Per-post author, inverted from the by-blogger index (the Post record
+  // itself stays untouched).
+  std::vector<BloggerId> post_author(np, 0);
+  for (size_t b = 0; b < nb; ++b) {
+    for (PostId p : corpus.PostsBy(static_cast<BloggerId>(b))) {
+      post_author[p] = static_cast<BloggerId>(b);
+    }
+  }
+
+  // Post-grouped (commenter, w) mirror: the final reconstruction streams
+  // it sequentially. The same pass records each comment's post author so
+  // the CSR fill below never needs the Comment records.
+  m.post_offsets.assign(np + 1, 0);
+  for (size_t p = 0; p < np; ++p) {
+    m.post_offsets[p + 1] =
+        m.post_offsets[p] + corpus.CommentsOn(static_cast<PostId>(p)).size();
+  }
+  m.post_commenter.resize(nc);
+  m.post_weight.resize(nc);
+  std::vector<BloggerId> author_of(nc, 0);
+  ParallelFor(pool, np, [&](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      size_t k = m.post_offsets[p];
+      const BloggerId a = post_author[p];
+      for (CommentId cid : corpus.CommentsOn(static_cast<PostId>(p))) {
+        const BloggerId who = commenter_of[cid];
+        m.post_commenter[k] = who;
+        m.post_weight[k] =
+            comment_sf[cid] * comment_recency[cid] * inv_tc[who];
+        author_of[cid] = a;
+        ++k;
+      }
+    }
+  });
+
+  // Raw row sizes: row b holds one slot per comment on b's posts.
+  std::vector<size_t> raw_offsets(nb + 1, 0);
+  for (size_t b = 0; b < nb; ++b) {
+    size_t count = 0;
+    for (PostId p : corpus.PostsBy(static_cast<BloggerId>(b))) {
+      count += m.post_offsets[p + 1] - m.post_offsets[p];
+    }
+    raw_offsets[b + 1] = raw_offsets[b] + count;
+  }
+  std::vector<BloggerId> raw_cols(nc);
+  std::vector<double> raw_vals(nc);
+
+  // CSR fill without sorting: walking commenters in ascending id order
+  // makes each row's columns arrive nondecreasing, so duplicates (the
+  // same commenter hitting the same author again) are always the row's
+  // last entry and merge in place. Serial by construction — rows share
+  // cursors — but it is one branchy linear pass instead of a per-row
+  // sort, and the duplicate sums stay deterministic (ascending comment
+  // order within each commenter).
+  const double comment_scale = 1.0 - beta;
+  std::vector<size_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
+  for (size_t b2 = 0; b2 < nb; ++b2) {
+    const BloggerId col = static_cast<BloggerId>(b2);
+    const double scaled_inv_tc = comment_scale * inv_tc[b2];
+    for (CommentId cid : corpus.CommentsByCommenter(col)) {
+      const BloggerId a = author_of[cid];
+      const double w = comment_sf[cid] * comment_recency[cid] * scaled_inv_tc;
+      size_t& cur = cursor[a];
+      if (cur > raw_offsets[a] && raw_cols[cur - 1] == col) {
+        raw_vals[cur - 1] += w;
+      } else {
+        raw_cols[cur] = col;
+        raw_vals[cur] = w;
+        ++cur;
+      }
+    }
+  }
+  std::vector<size_t> uniq(nb, 0);
+  for (size_t b = 0; b < nb; ++b) uniq[b] = cursor[b] - raw_offsets[b];
+
+  // Compact the merged prefixes into the final CSR arrays.
+  m.row_offsets.assign(nb + 1, 0);
+  for (size_t b = 0; b < nb; ++b) m.row_offsets[b + 1] = m.row_offsets[b] + uniq[b];
+  m.cols.resize(m.row_offsets[nb]);
+  m.values.resize(m.row_offsets[nb]);
+  ParallelFor(pool, nb, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      const size_t src = raw_offsets[b];
+      const size_t dst = m.row_offsets[b];
+      for (size_t i = 0; i < uniq[b]; ++i) {
+        m.cols[dst + i] = raw_cols[src + i];
+        m.values[dst + i] = raw_vals[src + i];
+      }
+    }
+  });
+  return m;
+}
+
+void SolverSpMV(const SolverMatrix& m, const std::vector<double>& x,
+                std::vector<double>* y, ThreadPool* pool) {
+  const size_t nb = m.num_bloggers;
+  y->resize(nb);
+  const size_t* off = m.row_offsets.data();
+  const BloggerId* cols = m.cols.data();
+  const double* vals = m.values.data();
+  const double* q = m.quality.data();
+  const double* xv = x.data();
+  double* yv = y->data();
+  ParallelFor(pool, nb, [=](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      double acc = q[b];
+      for (size_t i = off[b]; i < off[b + 1]; ++i) acc += vals[i] * xv[cols[i]];
+      yv[b] = acc;
+    }
+  });
+}
+
+}  // namespace mass

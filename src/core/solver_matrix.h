@@ -1,0 +1,77 @@
+// The influence fixed point (Eq. 1-4) compiled to blogger-level sparse
+// form. Every factor of a comment's contribution except the commenter's
+// current influence — SF(c) · recency(c) / TC(commenter) — is loop
+// invariant, so it is folded once, during compilation, into a CSR matrix
+// M over bloggers:
+//
+//   M[author][commenter] = (1-β) · Σ w(c)   over that commenter's comments
+//                                            on the author's posts,
+//   q[author]            = β · Σ quality(p) · recency(p)  over the
+//                                            author's posts,
+//
+// after which one fixed-point iteration of the reference solver's
+// post/comment double loop collapses to the SpMV  ap = q + M·x  — a
+// memory-bandwidth-bound kernel that parallelizes over row ranges.
+// Compilation itself reads only the corpus indexes and the engine's
+// derived per-entity arrays; it never touches Post/Comment records, whose
+// inline strings make traversals cache-hostile (that cost is exactly what
+// the reference path pays on every iteration).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/engine_options.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+class ThreadPool;
+
+/// The compiled form of one (corpus, options) pair. Invalidated by any
+/// change to β, the SF mapping, recency, or the TC toggle — the engine
+/// recompiles per solve, which is one O(posts + comments) pass.
+struct SolverMatrix {
+  size_t num_bloggers = 0;
+
+  // CSR over bloggers: row = post author, columns sorted ascending and
+  // unique within a row (comments by the same commenter on the same
+  // author's posts are pre-summed).
+  std::vector<size_t> row_offsets;  ///< [num_bloggers + 1]
+  std::vector<BloggerId> cols;      ///< [nnz] commenter ids
+  std::vector<double> values;       ///< [nnz] (1-β) · Σ w(c)
+
+  /// q(b): the constant quality part of AP(b), β · Σ quality·recency.
+  std::vector<double> quality;      ///< [num_bloggers]
+
+  // Post-grouped flat mirror of each comment's (commenter, w(c)), used by
+  // the final per-post reconstruction of Inf(b_i, d_k): post p's comments
+  // occupy [post_offsets[p], post_offsets[p+1]).
+  std::vector<size_t> post_offsets;       ///< [num_posts + 1]
+  std::vector<BloggerId> post_commenter;  ///< [num_comments]
+  std::vector<double> post_weight;        ///< [num_comments] w(c), unscaled
+
+  size_t nnz() const { return cols.size(); }
+};
+
+/// Folds the loop-invariant comment factors and per-post quality terms of
+/// the current options into CSR form. The per-entity inputs are the
+/// engine's already-derived arrays (indexed by PostId / CommentId).
+/// Columns come out sorted without any sort: the fill walks commenters in
+/// ascending id order. `pool` parallelizes the per-post passes (nullptr =
+/// inline); the result is identical either way.
+SolverMatrix CompileSolverMatrix(const Corpus& corpus,
+                                 const EngineOptions& options,
+                                 const std::vector<double>& post_quality,
+                                 const std::vector<double>& post_recency,
+                                 const std::vector<double>& comment_sf,
+                                 const std::vector<double>& comment_recency,
+                                 ThreadPool* pool);
+
+/// y = m.quality + M·x, parallel over row ranges. Each row is summed
+/// serially in column order, so the result is bit-identical for every
+/// thread count. `y` is resized to num_bloggers.
+void SolverSpMV(const SolverMatrix& m, const std::vector<double>& x,
+                std::vector<double>* y, ThreadPool* pool);
+
+}  // namespace mass

@@ -21,12 +21,21 @@ Result<PageRankResult> ComputePageRank(const Graph& graph,
   const double d = options.damping;
   const double teleport = (1.0 - d) / static_cast<double>(n);
 
+  // The dangling set is fixed by the graph; scan for it once instead of
+  // re-testing every node's out-degree on every iteration. The id list is
+  // ascending, so the per-iteration mass sum keeps the original
+  // accumulation order (bit-identical results).
+  std::vector<uint32_t> dangling_ids;
+  for (size_t u = 0; u < n; ++u) {
+    if (graph.OutDegree(static_cast<uint32_t>(u)) == 0) {
+      dangling_ids.push_back(static_cast<uint32_t>(u));
+    }
+  }
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Dangling nodes donate their mass uniformly.
     double dangling = 0.0;
-    for (size_t u = 0; u < n; ++u) {
-      if (graph.OutDegree(static_cast<uint32_t>(u)) == 0) dangling += rank[u];
-    }
+    for (uint32_t u : dangling_ids) dangling += rank[u];
     const double base = teleport + d * dangling / static_cast<double>(n);
     for (size_t u = 0; u < n; ++u) next[u] = base;
     for (size_t u = 0; u < n; ++u) {

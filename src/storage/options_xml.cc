@@ -81,6 +81,10 @@ std::string EngineOptionsToXml(const EngineOptions& options) {
   w.Attribute("recency_half_life_days", options.recency_half_life_days);
   w.Attribute("analyzer_threads",
               static_cast<int64_t>(options.analyzer_threads));
+  w.Attribute("use_compiled_solver",
+              int64_t{options.use_compiled_solver ? 1 : 0});
+  w.Attribute("solver_threads",
+              static_cast<int64_t>(options.solver_threads));
   w.Attribute("max_iterations",
               static_cast<int64_t>(options.max_iterations));
   w.Attribute("tolerance", options.tolerance);
@@ -119,6 +123,9 @@ Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text) {
                                  &o.recency_half_life_days));
   MASS_RETURN_IF_ERROR(
       OptInt(*root, "analyzer_threads", &o.analyzer_threads));
+  MASS_RETURN_IF_ERROR(
+      OptBool(*root, "use_compiled_solver", &o.use_compiled_solver));
+  MASS_RETURN_IF_ERROR(OptInt(*root, "solver_threads", &o.solver_threads));
   MASS_RETURN_IF_ERROR(OptInt(*root, "max_iterations", &o.max_iterations));
   MASS_RETURN_IF_ERROR(OptDouble(*root, "tolerance", &o.tolerance));
   MASS_RETURN_IF_ERROR(OptDouble(*root, "damping", &o.damping));

@@ -396,6 +396,78 @@ TEST(ParallelForTest, SingleThreadMatchesMulti) {
   EXPECT_EQ(a, b);
 }
 
+TEST(ParallelForTest, PoolBackedCoversWholeRangeOnce) {
+  const size_t n = 10000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  // Reuse the pool twice, as the solver does once per iteration.
+  for (int round = 0; round < 2; ++round) {
+    ParallelFor(&pool, n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 2) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(nullptr, 5000,
+              [&](size_t, size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+// ---------- ParallelReduce ----------
+
+TEST(ParallelReduceTest, SumMatchesSerial) {
+  const size_t n = 100000;
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i % 97) * 0.25;
+  auto chunk_sum = [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t i = begin; i < end; ++i) s += v[i];
+    return s;
+  };
+  auto add = [](double a, double b) { return a + b; };
+  double serial = ParallelReduce(n, 1, 0.0, chunk_sum, add);
+  double parallel = ParallelReduce(n, 8, 0.0, chunk_sum, add);
+  EXPECT_NEAR(serial, parallel, 1e-9 * serial);
+}
+
+TEST(ParallelReduceTest, MaxIsExactAcrossThreadCounts) {
+  const size_t n = 50000;
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>((i * 2654435761u) % 100003);
+  }
+  auto chunk_max = [&](size_t begin, size_t end) {
+    double m = 0.0;
+    for (size_t i = begin; i < end; ++i) m = std::max(m, v[i]);
+    return m;
+  };
+  auto max2 = [](double a, double b) { return std::max(a, b); };
+  double m1 = ParallelReduce(n, 1, 0.0, chunk_max, max2);
+  double m8 = ParallelReduce(n, 8, 0.0, chunk_max, max2);
+  ThreadPool pool(3);
+  double mp = ParallelReduce(&pool, n, 0.0, chunk_max, max2);
+  EXPECT_DOUBLE_EQ(m1, m8);
+  EXPECT_DOUBLE_EQ(m1, mp);
+  EXPECT_DOUBLE_EQ(m1, *std::max_element(v.begin(), v.end()));
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  auto never = [](size_t, size_t) -> double {
+    ADD_FAILURE() << "chunk_fn called on empty range";
+    return 0.0;
+  };
+  auto add = [](double a, double b) { return a + b; };
+  EXPECT_DOUBLE_EQ(ParallelReduce(0, 4, 7.5, never, add), 7.5);
+  EXPECT_DOUBLE_EQ(ParallelReduce(nullptr, 0, 7.5, never, add), 7.5);
+}
+
 // ---------- logging ----------
 
 TEST(LoggingTest, LevelRoundTrips) {

@@ -729,6 +729,46 @@ TEST(RetuneTest, MatchesFreshAnalyzeAcrossOptionSets) {
   }
 }
 
+TEST(RetuneTest, ReusesGeneralLinksWhenUnchanged) {
+  auto r = synth::GenerateBlogosphere([] {
+    synth::GeneratorOptions o;
+    o.seed = 909;
+    o.num_bloggers = 120;
+    o.target_posts = 500;
+    return o;
+  }());
+  ASSERT_TRUE(r.ok());
+  MassEngine engine(&*r);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  const int pr_iters = engine.stats().pagerank_iterations;
+  ASSERT_GT(pr_iters, 0);
+  std::vector<double> gl(r->num_bloggers());
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    gl[b] = engine.GeneralLinksOf(b);
+  }
+
+  // Only the toolbar knobs change: GL is served from the cache, and the
+  // pagerank iteration stat survives the stats reset.
+  EngineOptions opts;
+  opts.alpha = 0.9;
+  opts.beta = 0.2;
+  ASSERT_TRUE(engine.Retune(opts).ok());
+  EXPECT_EQ(engine.stats().pagerank_iterations, pr_iters);
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    ASSERT_DOUBLE_EQ(engine.GeneralLinksOf(b), gl[b]);
+  }
+
+  // Changing the link-analysis options invalidates the cache.
+  EngineOptions damped;
+  damped.pagerank.damping = 0.5;
+  ASSERT_TRUE(engine.Retune(damped).ok());
+  bool gl_changed = false;
+  for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
+    if (engine.GeneralLinksOf(b) != gl[b]) gl_changed = true;
+  }
+  EXPECT_TRUE(gl_changed);
+}
+
 // ---------- hand-computed Eq. 1-4 values ----------
 
 // A corpus small enough to compute the full fixed point by hand:

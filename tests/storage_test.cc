@@ -187,6 +187,8 @@ TEST(OptionsXmlTest, CustomValuesRoundTrip) {
   o.pagerank.damping = 0.7;
   o.recency_half_life_days = 45.0;
   o.analyzer_threads = 8;
+  o.use_compiled_solver = false;
+  o.solver_threads = 4;
   o.max_iterations = 33;
   o.tolerance = 1e-6;
   o.damping = 0.2;
@@ -202,6 +204,8 @@ TEST(OptionsXmlTest, CustomValuesRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded->pagerank.damping, 0.7);
   EXPECT_DOUBLE_EQ(loaded->recency_half_life_days, 45.0);
   EXPECT_EQ(loaded->analyzer_threads, 8);
+  EXPECT_FALSE(loaded->use_compiled_solver);
+  EXPECT_EQ(loaded->solver_threads, 4);
   EXPECT_EQ(loaded->max_iterations, 33);
   EXPECT_DOUBLE_EQ(loaded->tolerance, 1e-6);
   EXPECT_DOUBLE_EQ(loaded->damping, 0.2);
