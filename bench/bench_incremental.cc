@@ -1,0 +1,376 @@
+// Experiment S6 — incremental ingestion: folding a crawl delta into a
+// live 12000-blogger analysis (MassEngine::IngestDelta) versus a full
+// re-Analyze, in two delta shapes:
+//  * activity delta — new posts and comments by existing bloggers (the
+//    overnight-recrawl shape). The fixed point barely moves, so the
+//    warm-started solve converges in measurably fewer iterations than a
+//    cold one;
+//  * tail crawl — the last pages of a crawl, introducing new bloggers.
+//    Their influence is unknown, so warm and cold need similar iteration
+//    counts; the win is skipping the text stages and link analysis for
+//    the 95% already ingested.
+// Each shape is timed in three ingest modes — warm start + in-place
+// matrix extension (the default), warm start + recompile, cold start —
+// plus the from-scratch Analyze baseline. Results go to stdout and to
+// machine-readable BENCH_incremental.json in the current working
+// directory so the perf trajectory is tracked across PRs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "crawler/delta_stream.h"
+#include "crawler/synthetic_host.h"
+#include "model/corpus_delta.h"
+
+namespace mass {
+namespace {
+
+constexpr size_t kBloggers = 12000;
+constexpr size_t kTailPages = 600;       // tail crawl: last 5% of pages
+constexpr size_t kActivityComments = 2000;
+constexpr size_t kActivityPosts = 200;
+constexpr int kRepeats = 3;
+
+// A live engine plus the delta ready to ingest. Rebuilt per measurement —
+// IngestDelta mutates the corpus, so a timed run consumes the state.
+struct Prepared {
+  std::unique_ptr<Corpus> grown;
+  std::unique_ptr<MassEngine> engine;
+  CorpusDelta delta;
+  bool ok = false;
+};
+
+// New posts and comments by existing bloggers only: commenters and post
+// authors enter the fragment as URL stubs, commented existing posts as
+// identity copies (author/timestamp/title), exactly what a recrawl of
+// known pages would emit.
+CorpusDelta MakeActivityDelta(const Corpus& grown) {
+  CorpusDelta delta;
+  Corpus& frag = delta.additions;
+  std::unordered_map<BloggerId, BloggerId> blogger_local;
+  auto local_blogger = [&](BloggerId b) {
+    auto it = blogger_local.find(b);
+    if (it != blogger_local.end()) return it->second;
+    Blogger stub;
+    stub.url = grown.blogger(b).url;
+    BloggerId id = frag.AddBlogger(std::move(stub));
+    blogger_local.emplace(b, id);
+    return id;
+  };
+  std::unordered_map<PostId, PostId> post_local;
+  auto local_post = [&](PostId p) {
+    auto it = post_local.find(p);
+    if (it != post_local.end()) return it->second;
+    const Post& src = grown.post(p);
+    Post shadow;
+    shadow.author = local_blogger(src.author);
+    shadow.title = src.title;
+    shadow.timestamp = src.timestamp;
+    shadow.true_domain = src.true_domain;
+    PostId id = frag.AddPost(std::move(shadow)).value();
+    post_local.emplace(p, id);
+    return id;
+  };
+  int64_t newest = 0;
+  for (const Post& p : grown.posts()) newest = std::max(newest, p.timestamp);
+
+  Rng rng(20260805);
+  for (size_t i = 0; i < kActivityPosts; ++i) {
+    Post p;
+    p.author = local_blogger(
+        static_cast<BloggerId>(rng.NextUint64(grown.num_bloggers())));
+    p.title = "fresh thoughts " + std::to_string(i);
+    p.content = "a brand new post written after the last crawl with some "
+                "original words about the usual subject " + std::to_string(i);
+    p.timestamp = newest + static_cast<int64_t>(i) * 60;
+    p.true_domain = static_cast<int>(rng.NextUint64(10));
+    frag.AddPost(std::move(p)).value();
+  }
+  for (size_t i = 0; i < kActivityComments; ++i) {
+    Comment c;
+    c.post = local_post(
+        static_cast<PostId>(rng.NextUint64(grown.num_posts())));
+    c.commenter = local_blogger(
+        static_cast<BloggerId>(rng.NextUint64(grown.num_bloggers())));
+    c.text = "agree, interesting point " + std::to_string(i);
+    c.timestamp = newest + static_cast<int64_t>(i) * 30;
+    frag.AddComment(std::move(c)).value();
+  }
+  return delta;
+}
+
+// Activity shape: the engine is warm over the full corpus; the delta is
+// fresh activity on known bloggers.
+Prepared PrepareActivity(const Corpus& src, const EngineOptions& opts) {
+  Prepared p;
+  p.grown = std::make_unique<Corpus>(src);
+  p.engine = std::make_unique<MassEngine>(p.grown.get(), opts);
+  Status s = p.engine->Analyze(nullptr, 10);
+  if (!s.ok()) {
+    std::fprintf(stderr, "activity preparation failed: %s\n",
+                 s.ToString().c_str());
+    return p;
+  }
+  p.delta = MakeActivityDelta(*p.grown);
+  p.ok = true;
+  return p;
+}
+
+// Tail-crawl shape: the engine has ingested all pages but the tail; the
+// delta is the tail batch (new bloggers with their posts and comments).
+Prepared PrepareTail(const Corpus& src, const EngineOptions& opts) {
+  Prepared p;
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  DeltaStream stream(
+      &host, urls,
+      DeltaStreamOptions{.batch_pages = urls.size() - kTailPages});
+  p.grown = std::make_unique<Corpus>();
+  p.grown->BuildIndexes();
+  p.engine = std::make_unique<MassEngine>(p.grown.get(), opts);
+  Status s = p.engine->Analyze(nullptr, 10);
+  if (s.ok()) {
+    auto base = stream.Next();
+    if (base.ok()) s = p.engine->IngestDelta(*base, nullptr);
+    if (s.ok()) {
+      auto tail = stream.Next();
+      if (tail.ok()) {
+        p.delta = std::move(*tail);
+        p.ok = true;
+        return p;
+      }
+      s = tail.status();
+    } else if (!base.ok()) {
+      s = base.status();
+    }
+  }
+  std::fprintf(stderr, "tail preparation failed: %s\n", s.ToString().c_str());
+  return p;
+}
+
+struct ModeResult {
+  std::string mode;
+  int iterations = 0;
+  double solve_seconds = 0.0;   // fixed point incl. matrix extension/compile
+  double total_seconds = 0.0;   // whole IngestDelta / Analyze wall time
+  bool converged = false;
+};
+
+using PrepareFn = Prepared (*)(const Corpus&, const EngineOptions&);
+
+// Times the delta ingest under `opts` (best of kRepeats full rebuilds).
+bool MeasureIngest(const Corpus& src, PrepareFn prepare, EngineOptions opts,
+                   const std::string& mode, ModeResult* out) {
+  out->mode = mode;
+  out->solve_seconds = 1e100;
+  out->total_seconds = 1e100;
+  for (int r = 0; r < kRepeats; ++r) {
+    Prepared p = prepare(src, opts);
+    if (!p.ok) return false;
+    Stopwatch sw;
+    Status s = p.engine->IngestDelta(p.delta, nullptr);
+    const double secs = sw.ElapsedSeconds();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return false;
+    }
+    out->total_seconds = std::min(out->total_seconds, secs);
+    out->solve_seconds =
+        std::min(out->solve_seconds, p.engine->stats().solve_seconds);
+    out->iterations = p.engine->stats().iterations;
+    out->converged = p.engine->stats().converged;
+  }
+  return true;
+}
+
+// Baseline: the full pipeline over the already-grown corpus.
+bool MeasureReanalyze(const Corpus& src, PrepareFn prepare, ModeResult* out) {
+  out->mode = "full_reanalyze";
+  out->solve_seconds = 1e100;
+  out->total_seconds = 1e100;
+  Prepared p = prepare(src, EngineOptions{});
+  if (!p.ok) return false;
+  if (Status s = p.engine->IngestDelta(p.delta, nullptr); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return false;
+  }
+  for (int r = 0; r < kRepeats; ++r) {
+    MassEngine fresh(static_cast<const Corpus*>(p.grown.get()),
+                     EngineOptions{});
+    Stopwatch sw;
+    Status s = fresh.Analyze(nullptr, 10);
+    const double secs = sw.ElapsedSeconds();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return false;
+    }
+    out->total_seconds = std::min(out->total_seconds, secs);
+    out->solve_seconds =
+        std::min(out->solve_seconds, fresh.stats().solve_seconds);
+    out->iterations = fresh.stats().iterations;
+    out->converged = fresh.stats().converged;
+  }
+  return true;
+}
+
+bool RunShape(const Corpus& src, PrepareFn prepare, const char* banner_id,
+              const char* banner_title, std::vector<ModeResult>* results) {
+  {
+    ModeResult r;
+    if (!MeasureIngest(src, prepare, EngineOptions{}, "warm_extend", &r)) {
+      return false;
+    }
+    results->push_back(r);
+  }
+  {
+    EngineOptions opts;
+    opts.incremental_matrix = false;
+    ModeResult r;
+    if (!MeasureIngest(src, prepare, opts, "warm_recompile", &r)) return false;
+    results->push_back(r);
+  }
+  {
+    EngineOptions opts;
+    opts.warm_start_ingest = false;
+    ModeResult r;
+    if (!MeasureIngest(src, prepare, opts, "cold_extend", &r)) return false;
+    results->push_back(r);
+  }
+  {
+    ModeResult r;
+    if (!MeasureReanalyze(src, prepare, &r)) return false;
+    results->push_back(r);
+  }
+
+  bench::Banner(banner_id, banner_title);
+  std::printf("%-16s %-8s %-12s %-12s %-10s\n", "mode", "iters", "solve_secs",
+              "total_secs", "converged");
+  for (const ModeResult& r : *results) {
+    std::printf("%-16s %-8d %-12.4f %-12.4f %-10s\n", r.mode.c_str(),
+                r.iterations, r.solve_seconds, r.total_seconds,
+                r.converged ? "yes" : "no");
+  }
+  return true;
+}
+
+void WriteShapeJson(std::FILE* f, const std::vector<ModeResult>& results) {
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"iterations\": %d, "
+                 "\"solve_seconds\": %.6f, \"total_seconds\": %.6f, "
+                 "\"converged\": %s}%s\n",
+                 r.mode.c_str(), r.iterations, r.solve_seconds,
+                 r.total_seconds, r.converged ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+}
+
+void RunIncrementalGrid() {
+  const Corpus& src = bench::CachedCorpus(kBloggers, kBloggers * 13);
+
+  std::vector<ModeResult> activity;
+  if (!RunShape(src, PrepareActivity, "S6a",
+                "activity delta (existing bloggers) vs full re-analyze",
+                &activity)) {
+    return;
+  }
+  const ModeResult& a_warm = activity[0];
+  const ModeResult& a_cold = activity[2];
+  const ModeResult& a_full = activity[3];
+  std::printf("warm start: %d iterations vs %d cold; ingest %.1fx faster "
+              "than re-analyze.\n",
+              a_warm.iterations, a_cold.iterations,
+              a_full.total_seconds / a_warm.total_seconds);
+
+  std::vector<ModeResult> tail;
+  if (!RunShape(src, PrepareTail, "S6b",
+                "tail crawl delta (new bloggers) vs full re-analyze",
+                &tail)) {
+    return;
+  }
+  const ModeResult& t_warm = tail[0];
+  const ModeResult& t_full = tail[3];
+  std::printf("tail ingest %.1fx faster than re-analyze.\n",
+              t_full.total_seconds / t_warm.total_seconds);
+
+  std::FILE* f = std::fopen("BENCH_incremental.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_incremental.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_incremental/S6_delta_ingest\",\n");
+  std::fprintf(f,
+               "  \"metric\": \"best-of-%d wall seconds; solve_seconds is "
+               "SolveStats (fixed point incl. matrix extension/compile), "
+               "total_seconds the whole IngestDelta or Analyze\",\n",
+               kRepeats);
+  std::fprintf(f,
+               "  \"corpus\": {\"bloggers\": %zu, \"activity_posts\": %zu, "
+               "\"activity_comments\": %zu, \"tail_pages\": %zu},\n",
+               kBloggers, kActivityPosts, kActivityComments, kTailPages);
+  std::fprintf(f, "  \"activity_delta\": ");
+  WriteShapeJson(f, activity);
+  std::fprintf(f, ",\n  \"tail_crawl_delta\": ");
+  WriteShapeJson(f, tail);
+  std::fprintf(f, ",\n  \"iterations_warm_activity\": %d,\n",
+               a_warm.iterations);
+  std::fprintf(f, "  \"iterations_cold_activity\": %d,\n", a_cold.iterations);
+  std::fprintf(f, "  \"speedup_warm_ingest_vs_reanalyze_activity\": %.3f,\n",
+               a_full.total_seconds / a_warm.total_seconds);
+  std::fprintf(f, "  \"speedup_warm_ingest_vs_reanalyze_tail\": %.3f\n",
+               t_full.total_seconds / t_warm.total_seconds);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_incremental.json\n");
+}
+
+// Micro-benchmark: delta application alone (id reconciliation + index
+// extension, no solving) at a smaller scale.
+void BM_ApplyCorpusDelta(benchmark::State& state) {
+  const Corpus& src = bench::CachedCorpus(1500, 1500 * 13);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  const size_t tail = static_cast<size_t>(state.range(0));
+  DeltaStream stream(&host, urls,
+                     DeltaStreamOptions{.batch_pages = urls.size() - tail});
+  auto base = stream.Next().value();
+  auto delta = stream.Next().value();
+  Corpus grown;
+  grown.BuildIndexes();
+  ApplyCorpusDelta(&grown, base).value();
+  for (auto _ : state) {
+    Corpus copy = grown;
+    auto applied = ApplyCorpusDelta(&copy, delta);
+    benchmark::DoNotOptimize(applied);
+  }
+}
+BENCHMARK(BM_ApplyCorpusDelta)->Arg(25)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::RunIncrementalGrid();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -242,4 +242,4 @@ bench/CMakeFiles/bench_figure1.dir/bench_figure1.cc.o: \
  /usr/include/c++/12/array /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
- /root/repo/src/linkanalysis/graph.h
+ /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h

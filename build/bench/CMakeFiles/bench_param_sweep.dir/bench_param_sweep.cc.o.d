@@ -243,5 +243,5 @@ bench/CMakeFiles/bench_param_sweep.dir/bench_param_sweep.cc.o: \
  /usr/include/c++/12/array /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
- /root/repo/src/linkanalysis/graph.h /root/repo/src/userstudy/table1.h \
- /root/repo/src/userstudy/judge_panel.h
+ /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
+ /root/repo/src/userstudy/table1.h /root/repo/src/userstudy/judge_panel.h

@@ -250,5 +250,6 @@ bench/CMakeFiles/bench_pipeline.dir/bench_pipeline.cc.o: \
  /usr/include/c++/12/array /usr/include/c++/12/thread \
  /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
- /root/repo/src/linkanalysis/graph.h /root/repo/src/storage/corpus_xml.h \
- /root/repo/src/userstudy/table1.h /root/repo/src/userstudy/judge_panel.h
+ /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
+ /root/repo/src/storage/corpus_xml.h /root/repo/src/userstudy/table1.h \
+ /root/repo/src/userstudy/judge_panel.h

@@ -242,4 +242,5 @@ bench/CMakeFiles/bench_topk.dir/bench_topk.cc.o: \
  /usr/include/c++/12/array /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
- /root/repo/src/linkanalysis/graph.h /root/repo/src/core/topk.h
+ /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
+ /root/repo/src/core/topk.h

@@ -236,7 +236,7 @@ examples/CMakeFiles/crawl_and_visualize.dir/crawl_and_visualize.cpp.o: \
  /root/repo/src/sentiment/sentiment_analyzer.h \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/text/tokenizer.h \
- /root/repo/src/storage/corpus_xml.h /root/repo/src/storage/file_io.h \
- /root/repo/src/synth/generator.h /root/repo/src/synth/domain_vocab.h \
- /root/repo/src/synth/text_gen.h /root/repo/src/viz/html_export.h \
- /root/repo/src/viz/post_reply_network.h
+ /root/repo/src/core/solver_matrix.h /root/repo/src/storage/corpus_xml.h \
+ /root/repo/src/storage/file_io.h /root/repo/src/synth/generator.h \
+ /root/repo/src/synth/domain_vocab.h /root/repo/src/synth/text_gen.h \
+ /root/repo/src/viz/html_export.h /root/repo/src/viz/post_reply_network.h

@@ -233,6 +233,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/sentiment/sentiment_analyzer.h \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/text/tokenizer.h \
- /root/repo/src/synth/generator.h /root/repo/src/common/rng.h \
- /root/repo/src/synth/domain_vocab.h /root/repo/src/synth/text_gen.h \
- /root/repo/src/viz/blogger_details.h
+ /root/repo/src/core/solver_matrix.h /root/repo/src/synth/generator.h \
+ /root/repo/src/common/rng.h /root/repo/src/synth/domain_vocab.h \
+ /root/repo/src/synth/text_gen.h /root/repo/src/viz/blogger_details.h

@@ -232,7 +232,8 @@ src/core/CMakeFiles/mass_core.dir/influence_engine.cc.o: \
  /root/repo/src/sentiment/sentiment_analyzer.h \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/text/tokenizer.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/solver_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -260,5 +261,5 @@ src/core/CMakeFiles/mass_core.dir/influence_engine.cc.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/quality.h \
- /root/repo/src/core/solver_matrix.h /root/repo/src/core/topk.h \
- /root/repo/src/linkanalysis/hits.h
+ /root/repo/src/core/topk.h /root/repo/src/linkanalysis/hits.h \
+ /root/repo/src/model/corpus_delta.h

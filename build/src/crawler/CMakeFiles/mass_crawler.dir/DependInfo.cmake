@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/crawler/crawler.cc" "src/crawler/CMakeFiles/mass_crawler.dir/crawler.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/crawler.cc.o.d"
+  "/root/repo/src/crawler/delta_stream.cc" "src/crawler/CMakeFiles/mass_crawler.dir/delta_stream.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/delta_stream.cc.o.d"
   "/root/repo/src/crawler/synthetic_host.cc" "src/crawler/CMakeFiles/mass_crawler.dir/synthetic_host.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/synthetic_host.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mass_crawler.dir/crawler.cc.o"
   "CMakeFiles/mass_crawler.dir/crawler.cc.o.d"
+  "CMakeFiles/mass_crawler.dir/delta_stream.cc.o"
+  "CMakeFiles/mass_crawler.dir/delta_stream.cc.o.d"
   "CMakeFiles/mass_crawler.dir/synthetic_host.cc.o"
   "CMakeFiles/mass_crawler.dir/synthetic_host.cc.o.d"
   "libmass_crawler.a"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/model/corpus.cc" "src/model/CMakeFiles/mass_model.dir/corpus.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus.cc.o.d"
+  "/root/repo/src/model/corpus_delta.cc" "src/model/CMakeFiles/mass_model.dir/corpus_delta.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus_delta.cc.o.d"
   "/root/repo/src/model/corpus_merge.cc" "src/model/CMakeFiles/mass_model.dir/corpus_merge.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus_merge.cc.o.d"
   "/root/repo/src/model/corpus_stats.cc" "src/model/CMakeFiles/mass_model.dir/corpus_stats.cc.o" "gcc" "src/model/CMakeFiles/mass_model.dir/corpus_stats.cc.o.d"
   )

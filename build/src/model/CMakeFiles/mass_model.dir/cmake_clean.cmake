@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mass_model.dir/corpus.cc.o"
   "CMakeFiles/mass_model.dir/corpus.cc.o.d"
+  "CMakeFiles/mass_model.dir/corpus_delta.cc.o"
+  "CMakeFiles/mass_model.dir/corpus_delta.cc.o.d"
   "CMakeFiles/mass_model.dir/corpus_merge.cc.o"
   "CMakeFiles/mass_model.dir/corpus_merge.cc.o.d"
   "CMakeFiles/mass_model.dir/corpus_stats.cc.o"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/storage/analysis_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o.d"
   "/root/repo/src/storage/corpus_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/corpus_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/corpus_xml.cc.o.d"
+  "/root/repo/src/storage/delta_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/delta_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/delta_xml.cc.o.d"
   "/root/repo/src/storage/file_io.cc" "src/storage/CMakeFiles/mass_storage.dir/file_io.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/file_io.cc.o.d"
   "/root/repo/src/storage/options_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/options_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/options_xml.cc.o.d"
   )

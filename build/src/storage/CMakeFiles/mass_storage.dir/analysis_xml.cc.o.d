@@ -233,8 +233,8 @@ src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o: \
  /root/repo/src/sentiment/sentiment_analyzer.h \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/text/tokenizer.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/core/solver_matrix.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/string_util.h \
  /root/repo/src/core/topk.h /root/repo/src/storage/file_io.h \
  /root/repo/src/xml/xml_parser.h /usr/include/c++/12/map \

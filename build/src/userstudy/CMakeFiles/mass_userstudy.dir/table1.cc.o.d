@@ -234,6 +234,6 @@ src/userstudy/CMakeFiles/mass_userstudy.dir/table1.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/classify/naive_bayes.h \
- /root/repo/src/text/vocabulary.h /root/repo/src/common/string_util.h \
- /root/repo/src/recommend/baselines.h
+ /usr/include/c++/12/thread /root/repo/src/core/solver_matrix.h \
+ /root/repo/src/classify/naive_bayes.h /root/repo/src/text/vocabulary.h \
+ /root/repo/src/common/string_util.h /root/repo/src/recommend/baselines.h

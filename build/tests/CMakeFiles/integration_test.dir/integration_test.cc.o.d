@@ -311,7 +311,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/xml/xml_parser.h /root/repo/src/xml/xml_writer.h \
  /root/repo/src/model/corpus.h /root/repo/src/model/entities.h \
- /root/repo/src/model/corpus_merge.h /root/repo/src/model/corpus_stats.h \
+ /root/repo/src/model/corpus_delta.h /root/repo/src/model/corpus_merge.h \
+ /root/repo/src/model/corpus_stats.h \
  /root/repo/src/storage/analysis_xml.h \
  /root/repo/src/core/influence_engine.h \
  /root/repo/src/classify/interest_miner.h \
@@ -321,7 +322,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/sentiment/sentiment_analyzer.h \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/text/tokenizer.h \
- /root/repo/src/storage/corpus_xml.h /root/repo/src/storage/file_io.h \
+ /root/repo/src/core/solver_matrix.h /root/repo/src/storage/corpus_xml.h \
+ /root/repo/src/storage/delta_xml.h /root/repo/src/storage/file_io.h \
  /root/repo/src/storage/options_xml.h \
  /root/repo/src/text/porter_stemmer.h /root/repo/src/text/vocabulary.h \
  /root/repo/src/classify/centroid_classifier.h \
@@ -330,6 +332,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/linkanalysis/hits.h /root/repo/src/synth/generator.h \
  /root/repo/src/synth/domain_vocab.h /root/repo/src/synth/text_gen.h \
  /root/repo/src/crawler/blog_host.h /root/repo/src/crawler/crawler.h \
+ /root/repo/src/crawler/delta_stream.h \
  /root/repo/src/crawler/synthetic_host.h /root/repo/src/core/quality.h \
  /root/repo/src/core/topk.h /root/repo/src/analytics/trend_analyzer.h \
  /root/repo/src/recommend/baselines.h \

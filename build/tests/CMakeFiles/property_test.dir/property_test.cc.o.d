@@ -338,7 +338,8 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/linkanalysis/graph.h \
  /root/repo/src/sentiment/sentiment_analyzer.h \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/quality.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/core/solver_matrix.h /root/repo/src/core/quality.h \
  /root/repo/src/core/topk.h /root/repo/src/crawler/crawler.h \
  /root/repo/src/crawler/blog_host.h \
  /root/repo/src/crawler/synthetic_host.h /root/repo/src/common/rng.h \

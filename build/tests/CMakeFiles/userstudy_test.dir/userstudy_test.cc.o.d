@@ -316,6 +316,6 @@ tests/CMakeFiles/userstudy_test.dir/userstudy_test.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
- /root/repo/src/linkanalysis/graph.h \
+ /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
  /root/repo/src/userstudy/ranking_quality.h \
  /root/repo/src/userstudy/replication.h /root/repo/src/userstudy/table1.h

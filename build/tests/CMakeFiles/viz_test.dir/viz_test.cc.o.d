@@ -316,5 +316,5 @@ tests/CMakeFiles/viz_test.dir/viz_test.cc.o: /root/repo/tests/viz_test.cc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
- /root/repo/src/linkanalysis/graph.h \
+ /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
  /root/repo/src/viz/post_reply_network.h /root/repo/src/xml/xml_parser.h

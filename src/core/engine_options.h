@@ -80,6 +80,20 @@ struct EngineOptions {
   /// Fraction of the previous iterate blended into the new one (0 = pure
   /// Jacobi). Useful if a corpus produces oscillation.
   double damping = 0.0;
+
+  // ---- incremental ingestion (MassEngine::IngestDelta) ----
+  /// Start the delta solve from the previous influence vector (new
+  /// bloggers join at the normalized mean, 1.0) instead of the quality-
+  /// only cold iterate. Small deltas barely move the fixed point, so the
+  /// warm start converges in a fraction of the cold iteration count.
+  bool warm_start_ingest = true;
+  /// Extend the compiled CSR matrix in place on ingest — append rows,
+  /// splice the delta's column entries into the sorted rows, rescale the
+  /// columns whose TC normalization changed — instead of recompiling from
+  /// scratch. Falls back to a full recompile when recency weighting is on
+  /// (the corpus-relative newest timestamp moves, re-decaying every
+  /// existing weight) or when no compiled matrix is live.
+  bool incremental_matrix = true;
 };
 
 }  // namespace mass

@@ -6,10 +6,10 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/quality.h"
-#include "core/solver_matrix.h"
 #include "core/topk.h"
 #include "linkanalysis/graph.h"
 #include "linkanalysis/hits.h"
+#include "model/corpus_delta.h"
 #include "sentiment/sentiment_analyzer.h"
 
 namespace mass {
@@ -39,17 +39,39 @@ void MeanNormalize(std::vector<double>* v) {
 MassEngine::MassEngine(const Corpus* corpus, EngineOptions options)
     : corpus_(corpus), options_(options) {}
 
+MassEngine::MassEngine(Corpus* corpus, EngineOptions options)
+    : corpus_(corpus), mutable_corpus_(corpus), options_(options) {}
+
 Status MassEngine::ComputeGeneralLinks() {
-  // GL depends only on the corpus plus (gl_method, pagerank options);
-  // every other toolbar knob leaves it untouched, so Retune() hits this
-  // cache and skips link analysis entirely.
+  const size_t nb = corpus_->num_bloggers();
+  const size_t nl = corpus_->num_links();
+  if (nb == 0) {
+    // Degenerate corpus: no bloggers means no link network. PageRank
+    // would reject an empty graph, so short-circuit to an empty GL.
+    gl_.clear();
+    stats_.pagerank_iterations = 0;
+    gl_cache_valid_ = true;
+    gl_cached_method_ = options_.gl_method;
+    gl_cached_pagerank_ = options_.pagerank;
+    gl_cached_iterations_ = 0;
+    gl_cached_bloggers_ = 0;
+    gl_cached_links_ = 0;
+    return Status::OK();
+  }
+  // GL depends only on the corpus shape plus (gl_method, pagerank
+  // options); every other toolbar knob leaves it untouched, so Retune()
+  // and blogger/link-free ingests hit this cache and skip link analysis
+  // entirely. The (bloggers, links) key catches ingests that grow the
+  // graph — even a linkless new blogger changes PageRank's node count.
+  // The corpus is append-only, so counts identify the graph.
   const bool pagerank_opts_same =
       options_.gl_method != GlMethod::kPageRank ||
       (gl_cached_pagerank_.damping == options_.pagerank.damping &&
        gl_cached_pagerank_.tolerance == options_.pagerank.tolerance &&
        gl_cached_pagerank_.max_iterations == options_.pagerank.max_iterations);
   if (gl_cache_valid_ && gl_cached_method_ == options_.gl_method &&
-      pagerank_opts_same) {
+      pagerank_opts_same && gl_cached_bloggers_ == nb &&
+      gl_cached_links_ == nl) {
     stats_.pagerank_iterations = gl_cached_iterations_;
     return Status::OK();
   }
@@ -83,6 +105,8 @@ Status MassEngine::ComputeGeneralLinks() {
   gl_cached_method_ = options_.gl_method;
   gl_cached_pagerank_ = options_.pagerank;
   gl_cached_iterations_ = stats_.pagerank_iterations;
+  gl_cached_bloggers_ = nb;
+  gl_cached_links_ = nl;
   return Status::OK();
 }
 
@@ -111,22 +135,23 @@ void MassEngine::ComputeRecency() {
 
 void MassEngine::ComputeQuality() {
   const size_t np = corpus_->num_posts();
-  // Text stage (option-independent, cached across Retune): lengths,
-  // normalized by the corpus mean, and copy-indicator counts.
-  if (post_length_norm_.size() != np) {
-    post_length_norm_.assign(np, 0.0);
+  // Text stage (option-independent, cached across Retune and extended by
+  // IngestDelta): raw lengths and copy-indicator counts.
+  if (post_length_raw_.size() != np) {
+    post_length_raw_.assign(np, 0.0);
     post_copy_indicators_.assign(np, 0);
-    double total_len = 0.0;
     for (const Post& p : corpus_->posts()) {
-      post_length_norm_[p.id] = static_cast<double>(PostLength(p));
-      total_len += post_length_norm_[p.id];
+      post_length_raw_[p.id] = static_cast<double>(PostLength(p));
       post_copy_indicators_[p.id] =
           CountCopyIndicators(p.title) + CountCopyIndicators(p.content);
     }
-    double mean_len = np > 0 ? total_len / static_cast<double>(np) : 1.0;
-    if (mean_len <= 0.0) mean_len = 1.0;
-    for (double& l : post_length_norm_) l /= mean_len;
   }
+  // Corpus-dependent normalization: the mean length shifts whenever posts
+  // arrive, so it is re-derived every solve rather than cached.
+  double total_len = 0.0;
+  for (double l : post_length_raw_) total_len += l;
+  double mean_len = np > 0 ? total_len / static_cast<double>(np) : 1.0;
+  if (mean_len <= 0.0) mean_len = 1.0;
   // Option-dependent derivation.
   NoveltyOptions novelty_opts;
   novelty_opts.copy_value = options_.novelty_copy_value;
@@ -140,7 +165,7 @@ void MassEngine::ComputeQuality() {
               novelty_opts.per_extra_indicator *
                   static_cast<double>(post_copy_indicators_[p] - 1));
     }
-    post_quality_[p] = post_length_norm_[p] * novelty;
+    post_quality_[p] = post_length_raw_[p] / mean_len * novelty;
   }
 }
 
@@ -207,6 +232,71 @@ Status MassEngine::ComputeInterests(const InterestMiner* miner) {
   return Status::OK();
 }
 
+void MassEngine::ExtendTextCaches(size_t prior_posts, size_t prior_comments) {
+  const size_t np = corpus_->num_posts();
+  const size_t nc = corpus_->num_comments();
+  // Raw lengths / copy indicators for the delta's posts. ComputeQuality()
+  // re-derives the mean-length normalization itself, so appending raw
+  // values is all the text stage needs.
+  post_length_raw_.resize(np, 0.0);
+  post_copy_indicators_.resize(np, 0);
+  for (size_t p = prior_posts; p < np; ++p) {
+    const Post& post = corpus_->post(static_cast<PostId>(p));
+    post_length_raw_[p] = static_cast<double>(PostLength(post));
+    post_copy_indicators_[p] =
+        CountCopyIndicators(post.title) + CountCopyIndicators(post.content);
+  }
+  // Sentiment classes for the delta's comments.
+  comment_sentiment_.resize(nc, 0);
+  if (nc > prior_comments) {
+    SentimentAnalyzer analyzer;
+    ParallelFor(nc - prior_comments, options_.analyzer_threads,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const Comment& c = corpus_->comment(
+                        static_cast<CommentId>(prior_comments + i));
+                    comment_sentiment_[c.id] =
+                        static_cast<int>(analyzer.Classify(c.text));
+                  }
+                });
+  }
+}
+
+Status MassEngine::ExtendInterests(const InterestMiner* miner,
+                                   size_t prior_posts) {
+  const size_t np = corpus_->num_posts();
+  post_interests_.resize(
+      np, std::vector<double>(num_domains_,
+                              num_domains_ ? 1.0 / num_domains_ : 0.0));
+  if (miner != nullptr) {
+    if (miner->num_domains() != num_domains_) {
+      return Status::FailedPrecondition(
+          "miner domain count does not match num_domains");
+    }
+    ParallelFor(np - prior_posts, options_.analyzer_threads,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const Post& p = corpus_->post(
+                        static_cast<PostId>(prior_posts + i));
+                    post_interests_[p.id] =
+                        miner->InterestVector(p.title + " " + p.content);
+                  }
+                });
+    return Status::OK();
+  }
+  for (size_t i = prior_posts; i < np; ++i) {
+    const Post& p = corpus_->post(static_cast<PostId>(i));
+    if (p.true_domain < 0 ||
+        static_cast<size_t>(p.true_domain) >= num_domains_) {
+      return Status::FailedPrecondition(
+          "no miner given and a post lacks a usable ground-truth domain");
+    }
+    std::fill(post_interests_[p.id].begin(), post_interests_[p.id].end(), 0.0);
+    post_interests_[p.id][p.true_domain] = 1.0;
+  }
+  return Status::OK();
+}
+
 int MassEngine::SolverThreadCount() const {
   return options_.solver_threads > 0 ? options_.solver_threads
                                      : options_.analyzer_threads;
@@ -225,9 +315,40 @@ ThreadPool* MassEngine::SolverPool() {
 void MassEngine::SolveInfluence() {
   Stopwatch sw;
   if (options_.use_compiled_solver) {
-    SolveInfluenceCompiled();
+    matrix_ = CompileSolverMatrix(*corpus_, options_, post_quality_,
+                                  post_recency_, comment_sf_,
+                                  comment_recency_, SolverPool());
+    matrix_valid_ = true;
+    IterateCompiled(/*warm=*/false);
   } else {
-    SolveInfluenceReference();
+    matrix_valid_ = false;
+    SolveInfluenceReference(/*warm=*/false);
+  }
+  stats_.solve_seconds = sw.ElapsedSeconds();
+}
+
+void MassEngine::SolveInfluenceIncremental() {
+  Stopwatch sw;
+  const bool warm = options_.warm_start_ingest;
+  if (options_.use_compiled_solver) {
+    // Extend the live matrix in place when possible; recency weighting
+    // moves the corpus-relative newest timestamp and re-decays every
+    // existing weight, so it forces the full recompile.
+    if (matrix_valid_ && options_.incremental_matrix &&
+        options_.recency_half_life_days <= 0.0) {
+      ExtendSolverMatrix(&matrix_, *corpus_, options_, post_quality_,
+                         post_recency_, comment_sf_, comment_recency_,
+                         SolverPool());
+    } else {
+      matrix_ = CompileSolverMatrix(*corpus_, options_, post_quality_,
+                                    post_recency_, comment_sf_,
+                                    comment_recency_, SolverPool());
+    }
+    matrix_valid_ = true;
+    IterateCompiled(warm);
+  } else {
+    matrix_valid_ = false;
+    SolveInfluenceReference(warm);
   }
   stats_.solve_seconds = sw.ElapsedSeconds();
 }
@@ -237,27 +358,32 @@ void MassEngine::SolveInfluence() {
 // the SpMV  ap = q + M·x  followed by the Eq. 1 blend, normalization, and
 // damping. Inf(b_i, d_k) is reconstructed with one per-post pass after
 // convergence, from the same iterate the reference solver would have used.
-void MassEngine::SolveInfluenceCompiled() {
+void MassEngine::IterateCompiled(bool warm) {
   const size_t nb = corpus_->num_bloggers();
   const size_t np = corpus_->num_posts();
   const double alpha = options_.alpha;
   const double beta = options_.beta;
   ThreadPool* pool = SolverPool();
-
-  SolverMatrix matrix =
-      CompileSolverMatrix(*corpus_, options_, post_quality_, post_recency_,
-                          comment_sf_, comment_recency_, pool);
+  const SolverMatrix& matrix = matrix_;
+  stats_.warm_start = warm;
 
   post_influence_.assign(np, 0.0);
 
-  // Initial iterate: quality-only posts, Eq. 1 with CommentScore = 0 —
-  // i.e. ap = q.
-  ap_ = matrix.quality;
-  influence_.assign(nb, 0.0);
-  for (size_t b = 0; b < nb; ++b) {
-    influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+  if (warm) {
+    // Resume from the previous fixed point; bloggers the delta introduced
+    // start at the normalized mean. One SpMV re-derives ap from there.
+    influence_.resize(nb, 1.0);
+    ap_.resize(nb, 0.0);
+  } else {
+    // Initial iterate: quality-only posts, Eq. 1 with CommentScore = 0 —
+    // i.e. ap = q.
+    ap_ = matrix.quality;
+    influence_.assign(nb, 0.0);
+    for (size_t b = 0; b < nb; ++b) {
+      influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+    }
+    MeanNormalize(&influence_);
   }
-  MeanNormalize(&influence_);
 
   // With the citation facet off every commenter counts 1, so the SpMV
   // input is a constant ones vector (the WSDM'08 style count model).
@@ -322,24 +448,44 @@ void MassEngine::SolveInfluenceCompiled() {
   }
 }
 
-void MassEngine::SolveInfluenceReference() {
+void MassEngine::SolveInfluenceReference(bool warm) {
   const size_t nb = corpus_->num_bloggers();
   const size_t np = corpus_->num_posts();
   const double alpha = options_.alpha;
   const double beta = options_.beta;
+  stats_.warm_start = warm;
 
   post_influence_.assign(np, 0.0);
   ap_.assign(nb, 0.0);
 
-  // Initial iterate: quality-only posts, Eq. 1 with CommentScore = 0.
-  influence_.assign(nb, 0.0);
-  for (const Post& p : corpus_->posts()) {
-    ap_[p.author] += beta * post_quality_[p.id] * post_recency_[p.id];
+  if (warm) {
+    // Resume from the previous fixed point (new bloggers join at the
+    // normalized mean); ap is rebuilt inside the first iteration.
+    influence_.resize(nb, 1.0);
+  } else {
+    // Initial iterate: quality-only posts, Eq. 1 with CommentScore = 0.
+    influence_.assign(nb, 0.0);
+    for (const Post& p : corpus_->posts()) {
+      ap_[p.author] += beta * post_quality_[p.id] * post_recency_[p.id];
+    }
+    for (size_t b = 0; b < nb; ++b) {
+      influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+    }
+    MeanNormalize(&influence_);
   }
-  for (size_t b = 0; b < nb; ++b) {
-    influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+
+  // 1/TC per blogger, with the same no-comments fallback the compiled
+  // path folds into the matrix (solver_matrix.cc) — keeping the two
+  // solvers' per-comment arithmetic identical: multiply by a reciprocal
+  // computed once per blogger, never a per-comment divide.
+  std::vector<double> inv_tc(nb, 1.0);
+  if (options_.use_tc_normalization) {
+    for (size_t b = 0; b < nb; ++b) {
+      double tc = static_cast<double>(
+          corpus_->TotalComments(static_cast<BloggerId>(b)));
+      inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
+    }
   }
-  MeanNormalize(&influence_);
 
   std::vector<double> next(nb, 0.0);
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
@@ -352,12 +498,8 @@ void MassEngine::SolveInfluenceReference() {
         double commenter_inf =
             options_.use_citation ? influence_[c.commenter] : 1.0;
         double sf = comment_sf_[cid];
-        double tc = options_.use_tc_normalization
-                        ? static_cast<double>(
-                              corpus_->TotalComments(c.commenter))
-                        : 1.0;
-        if (tc <= 0.0) tc = 1.0;
-        comment_score += commenter_inf * sf * comment_recency_[cid] / tc;
+        comment_score +=
+            commenter_inf * sf * comment_recency_[cid] * inv_tc[c.commenter];
       }
       // Eq. 4 (with the optional recency extension on the quality term).
       double inf_post =
@@ -404,9 +546,9 @@ Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
   if (options_.beta < 0.0 || options_.beta > 1.0) {
     return Status::InvalidArgument("beta must lie in [0, 1]");
   }
-  if (corpus_->num_bloggers() == 0) {
-    return Status::InvalidArgument("corpus has no bloggers");
-  }
+  // An empty corpus is not an error: every stage degenerates to empty
+  // vectors and every ranking to an empty list. A delta stream starts
+  // exactly this way — Analyze() over nothing, then IngestDelta batches.
   num_domains_ = num_domains;
 
   MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
@@ -416,9 +558,24 @@ Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
   MASS_RETURN_IF_ERROR(ComputeInterests(miner));
   SolveInfluence();
   ComputeDomainVectors();
+  RecordSolvedShape();
 
   analyzed_ = true;
   return Status::OK();
+}
+
+void MassEngine::RecordSolvedShape() {
+  solved_bloggers_ = corpus_->num_bloggers();
+  solved_posts_ = corpus_->num_posts();
+  solved_comments_ = corpus_->num_comments();
+  solved_links_ = corpus_->num_links();
+}
+
+bool MassEngine::SolvedShapeCurrent() const {
+  return solved_bloggers_ == corpus_->num_bloggers() &&
+         solved_posts_ == corpus_->num_posts() &&
+         solved_comments_ == corpus_->num_comments() &&
+         solved_links_ == corpus_->num_links();
 }
 
 void MassEngine::ComputeDomainVectors() {
@@ -437,6 +594,16 @@ Status MassEngine::Retune(const EngineOptions& options) {
   if (!analyzed_) {
     return Status::FailedPrecondition("Retune requires a prior Analyze");
   }
+  if (!SolvedShapeCurrent()) {
+    // The corpus grew (or was mutated) behind the engine's back; the
+    // cached text stages and interest vectors are sized for the old
+    // corpus and would index out of range — or worse, silently produce
+    // stale scores. Mutations must flow through IngestDelta() or a fresh
+    // Analyze().
+    return Status::FailedPrecondition(
+        "corpus changed since the last solve; use IngestDelta() or "
+        "re-run Analyze()");
+  }
   if (options.alpha < 0.0 || options.alpha > 1.0) {
     return Status::InvalidArgument("alpha must lie in [0, 1]");
   }
@@ -453,6 +620,61 @@ Status MassEngine::Retune(const EngineOptions& options) {
   ComputeSentiment();
   SolveInfluence();
   ComputeDomainVectors();
+  return Status::OK();
+}
+
+Status MassEngine::IngestDelta(const CorpusDelta& delta,
+                               const InterestMiner* miner) {
+  if (mutable_corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        "IngestDelta requires the mutable-corpus constructor");
+  }
+  if (!analyzed_) {
+    return Status::FailedPrecondition("IngestDelta requires a prior Analyze");
+  }
+  if (!SolvedShapeCurrent()) {
+    return Status::FailedPrecondition(
+        "corpus changed since the last solve; re-run Analyze() before "
+        "ingesting deltas");
+  }
+  // Validate everything fallible BEFORE mutating the corpus, so a failed
+  // ingest never leaves the engine half-updated.
+  if (miner != nullptr) {
+    if (miner->num_domains() != num_domains_) {
+      return Status::FailedPrecondition(
+          "miner domain count does not match num_domains");
+    }
+  } else {
+    for (const Post& p : delta.additions.posts()) {
+      if (p.true_domain < 0 ||
+          static_cast<size_t>(p.true_domain) >= num_domains_) {
+        return Status::FailedPrecondition(
+            "no miner given and a delta post lacks a usable ground-truth "
+            "domain");
+      }
+    }
+  }
+
+  MASS_ASSIGN_OR_RETURN(AppliedDelta applied,
+                        ApplyCorpusDelta(mutable_corpus_, delta));
+  if (!applied.changed()) return Status::OK();  // pure-duplicate batch
+
+  stats_ = SolveStats();
+  // GL: the shape key inside ComputeGeneralLinks() reruns link analysis
+  // exactly when the delta changed the graph (new bloggers or links);
+  // post/comment-only deltas keep the cached vector.
+  MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  // Text stages run over the delta only; the option-dependent derivations
+  // (quality normalization, SF mapping, recency) are O(corpus) array
+  // passes over the extended caches.
+  ExtendTextCaches(applied.prior_posts, applied.prior_comments);
+  ComputeQuality();
+  ComputeRecency();
+  ComputeSentiment();
+  MASS_RETURN_IF_ERROR(ExtendInterests(miner, applied.prior_posts));
+  SolveInfluenceIncremental();
+  ComputeDomainVectors();
+  RecordSolvedShape();
   return Status::OK();
 }
 

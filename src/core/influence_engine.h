@@ -19,9 +19,12 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/engine_options.h"
+#include "core/solver_matrix.h"
 #include "model/corpus.h"
 
 namespace mass {
+
+struct CorpusDelta;
 
 /// One ranked blogger.
 struct ScoredBlogger {
@@ -36,9 +39,12 @@ struct SolveStats {
   bool converged = false;
   int pagerank_iterations = 0;
   /// Wall time of the fixed-point solve alone (for the compiled path this
-  /// includes matrix compilation), excluding link analysis, text stages,
-  /// and domain-vector assembly.
+  /// includes matrix compilation or extension), excluding link analysis,
+  /// text stages, and domain-vector assembly.
   double solve_seconds = 0.0;
+  /// True when the solve started from the previous influence vector
+  /// (IngestDelta with warm_start_ingest).
+  bool warm_start = false;
 };
 
 /// The MASS analyzer. Construct over a corpus (indexes built), call
@@ -47,6 +53,10 @@ class MassEngine {
  public:
   /// `corpus` must outlive the engine and have indexes built.
   explicit MassEngine(const Corpus* corpus, EngineOptions options = {});
+
+  /// Mutable-corpus overload: identical behaviour, and additionally
+  /// enables IngestDelta(), which appends to the corpus in place.
+  explicit MassEngine(Corpus* corpus, EngineOptions options = {});
 
   /// Runs the pipeline. `miner` supplies iv(b_i, d_k, C_t); pass nullptr
   /// to use the posts' ground-truth domains as one-hot vectors (synthetic
@@ -61,6 +71,22 @@ class MassEngine {
   /// SF values, facet toggles, GL method, or recency takes milliseconds
   /// instead of a full re-analysis. Requires a prior successful Analyze().
   Status Retune(const EngineOptions& options);
+
+  /// Folds one batch of new bloggers/posts/comments/links into a live
+  /// analysis without re-running the full pipeline: the delta is applied
+  /// to the corpus (model/corpus_delta id reconciliation), only the new
+  /// documents are classified and scored, the compiled CSR matrix is
+  /// extended in place, and the fixed point restarts from the previous
+  /// influence vector (see EngineOptions::warm_start_ingest /
+  /// incremental_matrix). GL link analysis reruns only when the delta
+  /// changes the blogger set or the link graph. `miner` follows the same
+  /// contract as Analyze() and must classify into the same domain count.
+  ///
+  /// Requires the mutable-corpus constructor and a prior Analyze() (an
+  /// Analyze() over an empty corpus is fine — a stream can start from
+  /// nothing). An all-duplicate delta is a no-op. After a successful
+  /// return every accessor reflects the grown corpus.
+  Status IngestDelta(const CorpusDelta& delta, const InterestMiner* miner);
 
   // ---- per-entity scores (valid after Analyze) ----
 
@@ -122,29 +148,60 @@ class MassEngine {
   void ComputeRecency();
   void ComputeSentiment();
   Status ComputeInterests(const InterestMiner* miner);
+  /// Appends text-stage results (raw lengths, copy indicators, sentiment
+  /// classes) for the entities added since the last solve.
+  void ExtendTextCaches(size_t prior_posts, size_t prior_comments);
+  /// Classifies only the posts added since the last solve.
+  Status ExtendInterests(const InterestMiner* miner, size_t prior_posts);
   void SolveInfluence();
-  void SolveInfluenceReference();
-  void SolveInfluenceCompiled();
+  /// The ingest-path solve: extends or recompiles the matrix, then
+  /// iterates (warm-started per options_.warm_start_ingest).
+  void SolveInfluenceIncremental();
+  void SolveInfluenceReference(bool warm);
+  /// Runs the fixed point against the live matrix_. `warm` keeps the
+  /// previous influence vector as the initial iterate (new bloggers join
+  /// at the normalized mean, 1.0).
+  void IterateCompiled(bool warm);
   void ComputeDomainVectors();
+  /// Snapshots the corpus shape a successful solve ran against; Retune()
+  /// and IngestDelta() refuse to run when the corpus changed underneath
+  /// them (stale caches would silently corrupt scores).
+  void RecordSolvedShape();
+  bool SolvedShapeCurrent() const;
   int SolverThreadCount() const;
   /// Lazily creates (and reuses across Retune) the solver's worker pool;
   /// nullptr when one thread is requested.
   ThreadPool* SolverPool();
 
   const Corpus* corpus_;
+  Corpus* mutable_corpus_ = nullptr;  // set by the mutable ctor only
   EngineOptions options_;
   size_t num_domains_ = 0;
   bool analyzed_ = false;
   SolveStats stats_;
   std::unique_ptr<ThreadPool> solver_pool_;
 
-  // GL(b) is corpus-derived and depends only on (gl_method, pagerank
-  // options); Retune() reuses the cached vector when those are unchanged
-  // instead of re-running link analysis.
+  // Corpus shape at the last successful solve (see RecordSolvedShape).
+  size_t solved_bloggers_ = 0;
+  size_t solved_posts_ = 0;
+  size_t solved_comments_ = 0;
+  size_t solved_links_ = 0;
+
+  // GL(b) is corpus-derived and depends only on the corpus shape plus
+  // (gl_method, pagerank options); Retune() and blogger/link-free ingests
+  // reuse the cached vector instead of re-running link analysis.
   bool gl_cache_valid_ = false;
   GlMethod gl_cached_method_ = GlMethod::kPageRank;
   PageRankOptions gl_cached_pagerank_;
   int gl_cached_iterations_ = 0;
+  size_t gl_cached_bloggers_ = 0;
+  size_t gl_cached_links_ = 0;
+
+  // Live compiled matrix; valid_ only between a compiled solve and the
+  // next corpus/options change that invalidates it. IngestDelta extends
+  // it in place instead of recompiling.
+  SolverMatrix matrix_;
+  bool matrix_valid_ = false;
 
   std::vector<double> gl_;              // [blogger]
   std::vector<double> ap_;              // [blogger]
@@ -154,8 +211,11 @@ class MassEngine {
   std::vector<double> post_recency_;    // [post], 1.0 when recency is off
   std::vector<double> comment_recency_; // [comment]
   std::vector<double> comment_sf_;      // [comment]
-  // Option-independent text-analysis results cached for Retune():
-  std::vector<double> post_length_norm_;      // [post] length / mean length
+  // Option-independent text-analysis results cached for Retune() and
+  // extended (not recomputed) by IngestDelta. Lengths are cached raw —
+  // the mean-length normalization is corpus-dependent and re-derived by
+  // ComputeQuality() every solve.
+  std::vector<double> post_length_raw_;       // [post] PostLength(p)
   std::vector<size_t> post_copy_indicators_;  // [post] copy-lexicon hits
   std::vector<int> comment_sentiment_;        // [comment] Sentiment as int
   std::vector<std::vector<double>> post_interests_;    // [post][domain]

@@ -1,5 +1,8 @@
 #include "core/solver_matrix.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/parallel.h"
 
 namespace mass {
@@ -138,6 +141,170 @@ SolverMatrix CompileSolverMatrix(const Corpus& corpus,
     }
   });
   return m;
+}
+
+void ExtendSolverMatrix(SolverMatrix* m, const Corpus& corpus,
+                        const EngineOptions& options,
+                        const std::vector<double>& post_quality,
+                        const std::vector<double>& post_recency,
+                        const std::vector<double>& comment_sf,
+                        const std::vector<double>& comment_recency,
+                        ThreadPool* pool) {
+  const size_t nb0 = m->num_bloggers;
+  const size_t np0 = m->post_offsets.empty() ? 0 : m->post_offsets.size() - 1;
+  const size_t nc0 = m->post_weight.size();
+  const size_t nb = corpus.num_bloggers();
+  const size_t np = corpus.num_posts();
+  const size_t nc = corpus.num_comments();
+  const double beta = options.beta;
+  const double comment_scale = 1.0 - beta;
+
+  // q is rebuilt whole: quality is normalized by the corpus-mean post
+  // length, which shifts whenever posts arrive. Same accumulation order
+  // as the compile.
+  m->quality.assign(nb, 0.0);
+  for (size_t b = 0; b < nb; ++b) {
+    double q = 0.0;
+    for (PostId p : corpus.PostsBy(static_cast<BloggerId>(b))) {
+      q += beta * post_quality[p] * post_recency[p];
+    }
+    m->quality[b] = q;
+  }
+
+  // 1/TC after the delta, and the ratio each pre-existing column must be
+  // rescaled by. The old TC is recovered by subtracting the commenter's
+  // fresh comments, so no prior-state snapshot is needed.
+  std::vector<size_t> fresh_cc(nb, 0);
+  for (size_t cid = nc0; cid < nc; ++cid) {
+    ++fresh_cc[corpus.comment(static_cast<CommentId>(cid)).commenter];
+  }
+  std::vector<double> inv_tc(nb, 1.0);
+  std::vector<double> rescale(nb0, 1.0);
+  bool any_rescale = false;
+  if (options.use_tc_normalization) {
+    for (size_t b = 0; b < nb; ++b) {
+      const double tc =
+          static_cast<double>(corpus.TotalComments(static_cast<BloggerId>(b)));
+      inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
+      if (b < nb0 && fresh_cc[b] > 0) {
+        const double tc_old = tc - static_cast<double>(fresh_cc[b]);
+        const double inv_old = tc_old > 0.0 ? 1.0 / tc_old : 1.0;
+        if (inv_tc[b] != inv_old) {
+          rescale[b] = inv_tc[b] / inv_old;
+          any_rescale = true;
+        }
+      }
+    }
+  }
+  if (any_rescale) {
+    const BloggerId* cols = m->cols.data();
+    double* vals = m->values.data();
+    ParallelFor(pool, m->cols.size(), [&, cols, vals](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) vals[k] *= rescale[cols[k]];
+    });
+    const BloggerId* pc = m->post_commenter.data();
+    double* pw = m->post_weight.data();
+    ParallelFor(pool, nc0, [&, pc, pw](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) pw[k] *= rescale[pc[k]];
+    });
+  }
+
+  // Fresh CSR contributions grouped per author row; per-column sums run
+  // in ascending comment order, matching the compile.
+  std::vector<std::vector<std::pair<BloggerId, double>>> fresh(nb);
+  for (size_t cid = nc0; cid < nc; ++cid) {
+    const Comment& c = corpus.comment(static_cast<CommentId>(cid));
+    const BloggerId a = corpus.post(c.post).author;
+    const double w = comment_sf[cid] * comment_recency[cid] *
+                     (comment_scale * inv_tc[c.commenter]);
+    fresh[a].emplace_back(c.commenter, w);
+  }
+  for (auto& row : fresh) {
+    if (row.empty()) continue;
+    std::stable_sort(row.begin(), row.end(),
+                     [](const std::pair<BloggerId, double>& x,
+                        const std::pair<BloggerId, double>& y) {
+                       return x.first < y.first;
+                     });
+    size_t w = 0;
+    for (size_t i = 0; i < row.size();) {
+      const BloggerId col = row[i].first;
+      double sum = row[i].second;
+      for (++i; i < row.size() && row[i].first == col; ++i) {
+        sum += row[i].second;
+      }
+      row[w++] = {col, sum};
+    }
+    row.resize(w);
+  }
+
+  // Sorted merge of each old row with its fresh entries; rows past nb0
+  // are entirely fresh.
+  std::vector<size_t> out_off(nb + 1, 0);
+  std::vector<BloggerId> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(m->cols.size() + (nc - nc0));
+  out_vals.reserve(m->cols.size() + (nc - nc0));
+  for (size_t b = 0; b < nb; ++b) {
+    size_t i = b < nb0 ? m->row_offsets[b] : 0;
+    const size_t oe = b < nb0 ? m->row_offsets[b + 1] : 0;
+    const auto& f = fresh[b];
+    size_t j = 0;
+    while (i < oe || j < f.size()) {
+      if (j >= f.size() || (i < oe && m->cols[i] < f[j].first)) {
+        out_cols.push_back(m->cols[i]);
+        out_vals.push_back(m->values[i]);
+        ++i;
+      } else if (i >= oe || f[j].first < m->cols[i]) {
+        out_cols.push_back(f[j].first);
+        out_vals.push_back(f[j].second);
+        ++j;
+      } else {
+        out_cols.push_back(m->cols[i]);
+        out_vals.push_back(m->values[i] + f[j].second);
+        ++i;
+        ++j;
+      }
+    }
+    out_off[b + 1] = out_cols.size();
+  }
+  m->row_offsets = std::move(out_off);
+  m->cols = std::move(out_cols);
+  m->values = std::move(out_vals);
+
+  // Post mirror: per-post comment lists ascend by id and old ids precede
+  // fresh ones, so each old span is copied and the fresh tail appended.
+  std::vector<size_t> old_post_off = std::move(m->post_offsets);
+  std::vector<BloggerId> old_pc = std::move(m->post_commenter);
+  std::vector<double> old_pw = std::move(m->post_weight);
+  m->post_offsets.assign(np + 1, 0);
+  for (size_t p = 0; p < np; ++p) {
+    m->post_offsets[p + 1] =
+        m->post_offsets[p] + corpus.CommentsOn(static_cast<PostId>(p)).size();
+  }
+  m->post_commenter.resize(nc);
+  m->post_weight.resize(nc);
+  ParallelFor(pool, np, [&](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      size_t k = m->post_offsets[p];
+      if (p < np0) {
+        for (size_t s = old_post_off[p]; s < old_post_off[p + 1]; ++s) {
+          m->post_commenter[k] = old_pc[s];
+          m->post_weight[k] = old_pw[s];
+          ++k;
+        }
+      }
+      for (CommentId cid : corpus.CommentsOn(static_cast<PostId>(p))) {
+        if (cid < nc0) continue;
+        const BloggerId who = corpus.comment(cid).commenter;
+        m->post_commenter[k] = who;
+        m->post_weight[k] =
+            comment_sf[cid] * comment_recency[cid] * inv_tc[who];
+        ++k;
+      }
+    }
+  });
+  m->num_bloggers = nb;
 }
 
 void SolverSpMV(const SolverMatrix& m, const std::vector<double>& x,

@@ -68,6 +68,32 @@ SolverMatrix CompileSolverMatrix(const Corpus& corpus,
                                  const std::vector<double>& comment_recency,
                                  ThreadPool* pool);
 
+/// Extends a compiled matrix in place after new bloggers/posts/comments
+/// were appended to the corpus (MassEngine::IngestDelta), instead of
+/// recompiling: O(prior nnz + delta) versus O(corpus). The prior corpus
+/// shape is recovered from the matrix itself (num_bloggers, post_offsets,
+/// post_weight). Three effects are applied:
+///   1. columns whose commenter's TC changed are rescaled by the 1/TC
+///      ratio (a new comment renormalizes ALL of its author's entries),
+///   2. the delta's comment weights are spliced into the sorted rows
+///      (merging duplicate columns) and rows are appended for new
+///      bloggers, preserving the sorted-unique column invariant,
+///   3. q and the post-grouped mirror are rebuilt against the (possibly
+///      shifted) quality normalization.
+/// Caller contract: same options as the original compile, and recency
+/// weighting off — a delta moves the corpus-relative newest timestamp,
+/// which re-decays every existing weight (the engine falls back to a full
+/// recompile in that case). Matches CompileSolverMatrix on the merged
+/// corpus to ~1e-15 per entry (identical structure; rescaled values can
+/// differ in the last ulps).
+void ExtendSolverMatrix(SolverMatrix* m, const Corpus& corpus,
+                        const EngineOptions& options,
+                        const std::vector<double>& post_quality,
+                        const std::vector<double>& post_recency,
+                        const std::vector<double>& comment_sf,
+                        const std::vector<double>& comment_recency,
+                        ThreadPool* pool);
+
 /// y = m.quality + M·x, parallel over row ranges. Each row is summed
 /// serially in column order, so the result is bit-identical for every
 /// thread count. `y` is resized to num_bloggers.

@@ -1,6 +1,7 @@
 #include "core/topk.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "core/influence_engine.h"
@@ -9,9 +10,16 @@ namespace mass {
 
 namespace {
 
-// Orders by score descending, then id ascending.
+// Orders by score descending, then id ascending. NaN scores sort last
+// (among themselves by id): `a.score > b.score` is false for any NaN
+// operand, which would violate strict weak ordering and make std::sort
+// undefined on a vector that picked up a NaN — ranking must degrade
+// deterministically instead.
 bool Better(const ScoredBlogger& a, const ScoredBlogger& b) {
-  if (a.score != b.score) return a.score > b.score;
+  const bool a_nan = std::isnan(a.score);
+  const bool b_nan = std::isnan(b.score);
+  if (a_nan != b_nan) return b_nan;
+  if (!a_nan && a.score != b.score) return a.score > b.score;
   return a.id < b.id;
 }
 

@@ -1,0 +1,87 @@
+#include "crawler/delta_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mass {
+
+DeltaStream::DeltaStream(BlogHost* host, std::vector<std::string> urls,
+                         DeltaStreamOptions options)
+    : host_(host), urls_(std::move(urls)), options_(options) {
+  if (options_.batch_pages == 0) options_.batch_pages = 1;
+}
+
+Result<CorpusDelta> DeltaStream::Next() {
+  if (done()) {
+    return Status::FailedPrecondition("delta stream exhausted");
+  }
+  CorpusDelta delta;
+  Corpus& frag = delta.additions;
+  // Fragment-local URL index; within a batch the same blogger (page,
+  // commenter, or link target) maps to one fragment id. Cross-batch
+  // dedup is ApplyCorpusDelta's job.
+  std::unordered_map<std::string, BloggerId> local;
+  auto blogger_for_url = [&](const std::string& url) {
+    auto it = local.find(url);
+    if (it != local.end()) return it->second;
+    Blogger stub;
+    stub.url = url;
+    BloggerId id = frag.AddBlogger(std::move(stub));
+    local.emplace(url, id);
+    return id;
+  };
+
+  const size_t end = std::min(next_ + options_.batch_pages, urls_.size());
+  for (; next_ < end; ++next_) {
+    Result<BloggerPage> fetched = host_->Fetch(urls_[next_]);
+    for (int attempt = 0;
+         !fetched.ok() && fetched.status().IsIOError() &&
+         attempt < options_.max_retries;
+         ++attempt) {
+      fetched = host_->Fetch(urls_[next_]);
+    }
+    if (!fetched.ok()) {
+      ++fetch_failures_;
+      continue;
+    }
+    const BloggerPage& page = *fetched;
+    const BloggerId bid = blogger_for_url(page.url);
+    // Fill the page owner's metadata (the record may have been created as
+    // a stub moments ago by an earlier page in this batch).
+    Blogger& rec = frag.mutable_blogger(bid);
+    rec.name = page.name;
+    rec.profile = page.profile;
+    rec.true_expertise = page.true_expertise;
+    rec.true_spammer = page.true_spammer;
+    rec.true_interests = page.true_interests;
+
+    for (const RemotePost& rp : page.posts) {
+      Post post;
+      post.author = bid;
+      post.title = rp.title;
+      post.content = rp.content;
+      post.timestamp = rp.timestamp;
+      post.true_domain = rp.true_domain;
+      post.true_copy = rp.true_copy;
+      MASS_ASSIGN_OR_RETURN(PostId pid, frag.AddPost(std::move(post)));
+      for (const RemoteComment& rc : rp.comments) {
+        Comment comment;
+        comment.post = pid;
+        comment.commenter = blogger_for_url(rc.commenter_url);
+        comment.text = rc.text;
+        comment.timestamp = rc.timestamp;
+        comment.true_attitude = rc.true_attitude;
+        MASS_RETURN_IF_ERROR(frag.AddComment(std::move(comment)).status());
+      }
+    }
+    for (const std::string& target : page.linked_urls) {
+      const BloggerId to = blogger_for_url(target);
+      if (to == bid) continue;  // self-links carry no authority signal
+      MASS_RETURN_IF_ERROR(frag.AddLink(bid, to));
+    }
+    ++pages_emitted_;
+  }
+  return delta;
+}
+
+}  // namespace mass

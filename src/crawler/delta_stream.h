@@ -1,0 +1,66 @@
+// DeltaStream: turns a sequence of blogger pages into CorpusDelta batches
+// for MassEngine::IngestDelta. Where the one-shot Crawl() harvests a whole
+// neighborhood into a frozen corpus, the stream walks a URL list in fixed-
+// size batches and emits each batch as a self-contained delta fragment —
+// the paper's continuously running crawler feeding a live analysis.
+//
+// Bloggers referenced only as commenters or link targets are emitted as
+// URL-only stubs; when their own page comes up in a later batch, delta
+// application enriches the existing record (model/corpus_delta). Unlike
+// Crawl(), nothing is dropped: cross-batch references resolve at
+// application time through the URL identity key.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "crawler/blog_host.h"
+#include "model/corpus_delta.h"
+
+namespace mass {
+
+/// Batch emission parameters.
+struct DeltaStreamOptions {
+  /// Blogger pages fetched per emitted delta.
+  size_t batch_pages = 64;
+  /// Retries per URL on transient (IOError) failures, as in CrawlOptions.
+  int max_retries = 3;
+};
+
+/// Single-threaded batch emitter over `host`. The host must outlive the
+/// stream. Typical loop:
+///
+///   DeltaStream stream(&host, urls);
+///   while (!stream.done()) {
+///     MASS_ASSIGN_OR_RETURN(CorpusDelta delta, stream.Next());
+///     MASS_RETURN_IF_ERROR(engine.IngestDelta(delta, miner));
+///   }
+class DeltaStream {
+ public:
+  DeltaStream(BlogHost* host, std::vector<std::string> urls,
+              DeltaStreamOptions options = {});
+
+  /// True when every URL has been consumed.
+  bool done() const { return next_ >= urls_.size(); }
+
+  /// Fetches the next batch of pages and returns them as one delta.
+  /// FailedPrecondition once done(); pages whose fetches exhaust retries
+  /// (or 404) are skipped and counted in fetch_failures().
+  Result<CorpusDelta> Next();
+
+  size_t pages_emitted() const { return pages_emitted_; }
+  size_t fetch_failures() const { return fetch_failures_; }
+
+ private:
+  BlogHost* host_;
+  std::vector<std::string> urls_;
+  DeltaStreamOptions options_;
+  size_t next_ = 0;
+  size_t pages_emitted_ = 0;
+  size_t fetch_failures_ = 0;
+};
+
+}  // namespace mass

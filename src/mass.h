@@ -20,12 +20,14 @@
 #include "xml/xml_writer.h"
 
 #include "model/corpus.h"
+#include "model/corpus_delta.h"
 #include "model/corpus_merge.h"
 #include "model/corpus_stats.h"
 #include "model/entities.h"
 
 #include "storage/analysis_xml.h"
 #include "storage/corpus_xml.h"
+#include "storage/delta_xml.h"
 #include "storage/file_io.h"
 #include "storage/options_xml.h"
 
@@ -51,6 +53,7 @@
 
 #include "crawler/blog_host.h"
 #include "crawler/crawler.h"
+#include "crawler/delta_stream.h"
 #include "crawler/synthetic_host.h"
 
 #include "core/engine_options.h"

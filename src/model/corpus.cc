@@ -89,6 +89,38 @@ void Corpus::BuildIndexes() {
     links_to_[l.to].push_back(l.from);
   }
   for (const Blogger& b : bloggers_) name_index_.emplace(b.name, b.id);
+  indexed_bloggers_ = bloggers_.size();
+  indexed_posts_ = posts_.size();
+  indexed_comments_ = comments_.size();
+  indexed_links_ = links_.size();
+  indexes_built_ = true;
+}
+
+void Corpus::ExtendIndexes() {
+  posts_by_blogger_.resize(bloggers_.size());
+  comments_by_post_.resize(posts_.size());
+  comments_by_commenter_.resize(bloggers_.size());
+  links_from_.resize(bloggers_.size());
+  links_to_.resize(bloggers_.size());
+
+  for (size_t i = indexed_posts_; i < posts_.size(); ++i) {
+    posts_by_blogger_[posts_[i].author].push_back(posts_[i].id);
+  }
+  for (size_t i = indexed_comments_; i < comments_.size(); ++i) {
+    comments_by_post_[comments_[i].post].push_back(comments_[i].id);
+    comments_by_commenter_[comments_[i].commenter].push_back(comments_[i].id);
+  }
+  for (size_t i = indexed_links_; i < links_.size(); ++i) {
+    links_from_[links_[i].from].push_back(links_[i].to);
+    links_to_[links_[i].to].push_back(links_[i].from);
+  }
+  for (size_t i = indexed_bloggers_; i < bloggers_.size(); ++i) {
+    name_index_.emplace(bloggers_[i].name, bloggers_[i].id);
+  }
+  indexed_bloggers_ = bloggers_.size();
+  indexed_posts_ = posts_.size();
+  indexed_comments_ = comments_.size();
+  indexed_links_ = links_.size();
   indexes_built_ = true;
 }
 

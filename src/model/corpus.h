@@ -63,6 +63,14 @@ class Corpus {
   /// and before any indexed accessor.
   void BuildIndexes();
 
+  /// Indexes only the entities added since the last BuildIndexes() /
+  /// ExtendIndexes() call, appending to the existing per-blogger and
+  /// per-post lists instead of rebuilding them. Entities are append-only,
+  /// so the lists stay sorted ascending by id — the same ordering
+  /// BuildIndexes() produces. O(delta) instead of O(corpus); this is what
+  /// makes repeated small ingests cheap.
+  void ExtendIndexes();
+
   bool indexes_built() const { return indexes_built_; }
 
   // ---- raw access ----
@@ -112,6 +120,12 @@ class Corpus {
   std::vector<Link> links_;
 
   bool indexes_built_ = false;
+  // High-water marks of what the index structures cover (ExtendIndexes
+  // picks up from here).
+  size_t indexed_bloggers_ = 0;
+  size_t indexed_posts_ = 0;
+  size_t indexed_comments_ = 0;
+  size_t indexed_links_ = 0;
   std::vector<std::vector<PostId>> posts_by_blogger_;
   std::vector<std::vector<CommentId>> comments_by_post_;
   std::vector<std::vector<CommentId>> comments_by_commenter_;

@@ -1,0 +1,131 @@
+#include "model/corpus_delta.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "model/corpus_merge.h"
+
+namespace mass {
+
+Result<AppliedDelta> ApplyCorpusDelta(Corpus* base, const CorpusDelta& delta) {
+  if (!base->indexes_built()) {
+    return Status::FailedPrecondition("base corpus indexes not built");
+  }
+  const Corpus& add = delta.additions;
+  // The fragment carries its own local ids; a malformed one (hand-built or
+  // deserialized from a bad file) must not index out of range below.
+  MASS_RETURN_IF_ERROR(add.Validate());
+
+  AppliedDelta out;
+  out.prior_bloggers = base->num_bloggers();
+  out.prior_posts = base->num_posts();
+  out.prior_comments = base->num_comments();
+  out.prior_links = base->num_links();
+
+  // Identity maps over the existing corpus, same keys as MergeCorpora.
+  std::unordered_map<std::string, BloggerId> blogger_of;
+  blogger_of.reserve(base->num_bloggers());
+  for (const Blogger& b : base->bloggers()) {
+    blogger_of.emplace(BloggerMergeKey(b), b.id);
+  }
+  std::map<std::tuple<BloggerId, int64_t, std::string>, PostId> post_of;
+  for (const Post& p : base->posts()) {
+    post_of.emplace(std::make_tuple(p.author, p.timestamp, p.title), p.id);
+  }
+  std::set<std::tuple<PostId, BloggerId, int64_t, std::string>> comment_seen;
+  for (const Comment& c : base->comments()) {
+    comment_seen.emplace(c.post, c.commenter, c.timestamp, c.text);
+  }
+  std::set<std::pair<BloggerId, BloggerId>> link_seen;
+  for (const Link& l : base->links()) link_seen.emplace(l.from, l.to);
+
+  // Bloggers. A duplicate enriches the existing record: a stub planted by
+  // an earlier delta (URL-only commenter or link target) picks up its real
+  // metadata when its page finally arrives. The URL is the identity key
+  // and is never rewritten.
+  bool renamed = false;
+  std::vector<BloggerId> bmap(add.num_bloggers(), kInvalidBlogger);
+  for (const Blogger& b : add.bloggers()) {
+    std::string key = BloggerMergeKey(b);
+    auto it = blogger_of.find(key);
+    if (it != blogger_of.end()) {
+      bmap[b.id] = it->second;
+      ++out.duplicate_bloggers;
+      Blogger& dst = base->mutable_blogger(it->second);
+      // Only URL-keyed records may gain a name; for a name-keyed record
+      // the name IS the identity and is already non-empty.
+      if (dst.name.empty() && !b.name.empty() && !dst.url.empty()) {
+        dst.name = b.name;
+        renamed = true;  // name_index_ needs a rebuild, not an append
+      }
+      if (dst.profile.empty()) dst.profile = b.profile;
+      if (dst.true_interests.empty()) dst.true_interests = b.true_interests;
+      if (dst.true_expertise == 0.0) dst.true_expertise = b.true_expertise;
+      dst.true_spammer = dst.true_spammer || b.true_spammer;
+      continue;
+    }
+    Blogger copy = b;
+    BloggerId id = base->AddBlogger(std::move(copy));
+    blogger_of.emplace(std::move(key), id);
+    bmap[b.id] = id;
+    ++out.added_bloggers;
+  }
+
+  // Posts, deduplicated by (author, timestamp, title) under mapped ids.
+  std::vector<PostId> pmap(add.num_posts(), kInvalidPost);
+  for (const Post& p : add.posts()) {
+    auto key = std::make_tuple(bmap[p.author], p.timestamp, p.title);
+    auto it = post_of.find(key);
+    if (it != post_of.end()) {
+      pmap[p.id] = it->second;
+      ++out.duplicate_posts;
+      continue;
+    }
+    Post copy = p;
+    copy.author = bmap[p.author];
+    MASS_ASSIGN_OR_RETURN(PostId id, base->AddPost(std::move(copy)));
+    post_of.emplace(std::move(key), id);
+    pmap[p.id] = id;
+    ++out.added_posts;
+  }
+
+  // Comments, deduplicated by (post, commenter, timestamp, text).
+  for (const Comment& c : add.comments()) {
+    auto key = std::make_tuple(pmap[c.post], bmap[c.commenter], c.timestamp,
+                               c.text);
+    if (!comment_seen.insert(key).second) {
+      ++out.duplicate_comments;
+      continue;
+    }
+    Comment copy = c;
+    copy.post = pmap[c.post];
+    copy.commenter = bmap[c.commenter];
+    MASS_RETURN_IF_ERROR(base->AddComment(std::move(copy)).status());
+    ++out.added_comments;
+  }
+
+  // Links, deduplicated by endpoint pair; distinct fragment bloggers can
+  // map to the same corpus blogger, so drop collapsed self-links.
+  for (const Link& l : add.links()) {
+    BloggerId from = bmap[l.from], to = bmap[l.to];
+    if (from == to || !link_seen.emplace(from, to).second) {
+      ++out.duplicate_links;
+      continue;
+    }
+    MASS_RETURN_IF_ERROR(base->AddLink(from, to));
+    ++out.added_links;
+  }
+
+  if (renamed) {
+    base->BuildIndexes();
+  } else {
+    base->ExtendIndexes();
+  }
+  return out;
+}
+
+}  // namespace mass

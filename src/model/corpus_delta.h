@@ -1,0 +1,64 @@
+// CorpusDelta: one batch of blogosphere additions — the unit of
+// incremental ingestion. The crawler module emits deltas as it discovers
+// new pages (the paper's crawler runs continuously; a frozen one-shot
+// corpus contradicts that), and MassEngine::IngestDelta() folds each one
+// into a live analysis without re-running the full pipeline.
+//
+// A delta is a self-contained corpus fragment with its own local dense
+// ids. Bloggers referenced only as commenters or link targets appear as
+// stubs (URL set, everything else empty); when the same blogger's real
+// page arrives in a later delta, application enriches the existing record
+// instead of duplicating it. Identity follows model/corpus_merge: bloggers
+// by URL (name fallback), posts by (author, timestamp, title), comments by
+// (post, commenter, timestamp, text), links by endpoint pair.
+#pragma once
+
+#include "common/result.h"
+#include "model/corpus.h"
+
+namespace mass {
+
+/// A batch of additions. `additions` needs no built indexes; application
+/// walks the raw entity vectors.
+struct CorpusDelta {
+  Corpus additions;
+
+  bool empty() const {
+    return additions.num_bloggers() == 0 && additions.num_posts() == 0 &&
+           additions.num_comments() == 0 && additions.num_links() == 0;
+  }
+};
+
+/// What ApplyCorpusDelta did: the prior corpus sizes (new entities occupy
+/// the contiguous id ranges [prior, prior + added)) and how much of the
+/// delta was genuinely new vs already present.
+struct AppliedDelta {
+  size_t prior_bloggers = 0;
+  size_t prior_posts = 0;
+  size_t prior_comments = 0;
+  size_t prior_links = 0;
+  size_t added_bloggers = 0;
+  size_t added_posts = 0;
+  size_t added_comments = 0;
+  size_t added_links = 0;
+  size_t duplicate_bloggers = 0;
+  size_t duplicate_posts = 0;
+  size_t duplicate_comments = 0;
+  size_t duplicate_links = 0;
+
+  /// False when every delta entity was already in the corpus.
+  bool changed() const {
+    return added_bloggers + added_posts + added_comments + added_links > 0;
+  }
+};
+
+/// Appends the delta's genuinely-new entities to `base` in place and
+/// extends the indexes incrementally (O(base bloggers + delta) total: the
+/// identity maps are rebuilt per call, the index append is O(delta)).
+/// Duplicate bloggers enrich the existing record: empty metadata fields
+/// (name, profile, interests, expertise, spammer flag) are filled from the
+/// delta, the identity-bearing URL is never touched. `base` must have
+/// indexes built; on success they are built again.
+Result<AppliedDelta> ApplyCorpusDelta(Corpus* base, const CorpusDelta& delta);
+
+}  // namespace mass

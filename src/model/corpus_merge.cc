@@ -8,13 +8,9 @@
 
 namespace mass {
 
-namespace {
-
-std::string BloggerKey(const Blogger& b) {
+std::string BloggerMergeKey(const Blogger& b) {
   return b.url.empty() ? "name:" + b.name : "url:" + b.url;
 }
-
-}  // namespace
 
 Result<Corpus> MergeCorpora(const Corpus& left, const Corpus& right) {
   Corpus merged;
@@ -24,7 +20,7 @@ Result<Corpus> MergeCorpora(const Corpus& left, const Corpus& right) {
   auto add_bloggers = [&](const Corpus& src) {
     std::vector<BloggerId> map(src.num_bloggers());
     for (const Blogger& b : src.bloggers()) {
-      std::string key = BloggerKey(b);
+      std::string key = BloggerMergeKey(b);
       auto it = blogger_of.find(key);
       if (it != blogger_of.end()) {
         map[b.id] = it->second;

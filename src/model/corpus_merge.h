@@ -14,6 +14,11 @@
 
 namespace mass {
 
+/// The blogger identity key the merge (and delta ingestion) deduplicates
+/// by: URL when present, name otherwise. Keys from the two namespaces
+/// never collide ("url:" / "name:" prefixes).
+std::string BloggerMergeKey(const Blogger& b);
+
 /// Returns the merged corpus (indexes built, validated).
 Result<Corpus> MergeCorpora(const Corpus& left, const Corpus& right);
 

@@ -50,11 +50,12 @@ Result<int64_t> RequiredIntAttr(const xml::XmlNode& node,
 
 }  // namespace
 
-std::string CorpusToXml(const Corpus& corpus) {
+std::string CorpusToXmlWithRoot(const Corpus& corpus,
+                                std::string_view root_name) {
   std::ostringstream os;
   xml::XmlWriter w(os);
   w.StartDocument();
-  w.StartElement("blogosphere");
+  w.StartElement(root_name);
   w.Attribute("version", int64_t{1});
 
   w.StartElement("bloggers");
@@ -111,15 +112,20 @@ std::string CorpusToXml(const Corpus& corpus) {
   }
   w.EndElement();
 
-  w.EndElement();  // blogosphere
+  w.EndElement();  // root
   return os.str();
 }
 
-Result<Corpus> CorpusFromXml(std::string_view xml_text) {
+std::string CorpusToXml(const Corpus& corpus) {
+  return CorpusToXmlWithRoot(corpus, "blogosphere");
+}
+
+Result<Corpus> CorpusFromXmlWithRoot(std::string_view xml_text,
+                                     std::string_view root_name) {
   MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
-  if (root->name != "blogosphere") {
-    return Status::Corruption("expected <blogosphere> root, got <" +
-                              root->name + ">");
+  if (root->name != root_name) {
+    return Status::Corruption("expected <" + std::string(root_name) +
+                              "> root, got <" + root->name + ">");
   }
 
   Corpus corpus;
@@ -217,6 +223,10 @@ Result<Corpus> CorpusFromXml(std::string_view xml_text) {
   corpus.BuildIndexes();
   MASS_RETURN_IF_ERROR(corpus.Validate());
   return corpus;
+}
+
+Result<Corpus> CorpusFromXml(std::string_view xml_text) {
+  return CorpusFromXmlWithRoot(xml_text, "blogosphere");
 }
 
 Status SaveCorpus(const Corpus& corpus, const std::string& path) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -17,6 +18,15 @@ std::string CorpusToXml(const Corpus& corpus);
 /// Parses a blogosphere XML document. The returned corpus has its indexes
 /// built and has passed Validate().
 Result<Corpus> CorpusFromXml(std::string_view xml);
+
+/// Root-name-parameterized variants: the same body format under a
+/// different root element. Shared with the delta round-trip
+/// (storage/delta_xml) so snapshots and deltas can never be confused —
+/// the reader rejects a mismatched root.
+std::string CorpusToXmlWithRoot(const Corpus& corpus,
+                                std::string_view root_name);
+Result<Corpus> CorpusFromXmlWithRoot(std::string_view xml,
+                                     std::string_view root_name);
 
 /// Convenience file wrappers.
 Status SaveCorpus(const Corpus& corpus, const std::string& path);

@@ -1,0 +1,34 @@
+#include "storage/delta_xml.h"
+
+#include <utility>
+
+#include "storage/corpus_xml.h"
+#include "storage/file_io.h"
+
+namespace mass {
+
+namespace {
+constexpr std::string_view kDeltaRoot = "blogosphere-delta";
+}  // namespace
+
+std::string DeltaToXml(const CorpusDelta& delta) {
+  return CorpusToXmlWithRoot(delta.additions, kDeltaRoot);
+}
+
+Result<CorpusDelta> DeltaFromXml(std::string_view xml) {
+  MASS_ASSIGN_OR_RETURN(Corpus fragment, CorpusFromXmlWithRoot(xml, kDeltaRoot));
+  CorpusDelta delta;
+  delta.additions = std::move(fragment);
+  return delta;
+}
+
+Status SaveDelta(const CorpusDelta& delta, const std::string& path) {
+  return WriteStringToFile(path, DeltaToXml(delta));
+}
+
+Result<CorpusDelta> LoadDelta(const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DeltaFromXml(text);
+}
+
+}  // namespace mass

@@ -1,0 +1,29 @@
+// XML (de)serialization of a CorpusDelta — the crawl-batch interchange
+// format. A delta file is a corpus fragment under a <blogosphere-delta>
+// root (same body schema as the blogosphere snapshot, local dense ids),
+// so a continuously running crawler can spool batches to disk and an
+// engine process can ingest them later. The distinct root name keeps
+// snapshots and deltas from being fed to the wrong loader.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/corpus_delta.h"
+
+namespace mass {
+
+/// Serializes the delta (version 1, root <blogosphere-delta>).
+std::string DeltaToXml(const CorpusDelta& delta);
+
+/// Parses a delta document. The fragment has passed Validate() and has
+/// its indexes built (harmless for application, useful for inspection).
+Result<CorpusDelta> DeltaFromXml(std::string_view xml);
+
+/// Convenience file wrappers.
+Status SaveDelta(const CorpusDelta& delta, const std::string& path);
+Result<CorpusDelta> LoadDelta(const std::string& path);
+
+}  // namespace mass

@@ -24,6 +24,11 @@ bool IsAllWhitespace(std::string_view s) {
   return true;
 }
 
+// Guards the element stack against hostile or corrupted input (a file of
+// a few hundred KB of '<a>' must fail, not exhaust memory / recursion in
+// DOM consumers). Far above anything MASS writes.
+constexpr size_t kMaxElementDepth = 10'000;
+
 }  // namespace
 
 std::string_view XmlEvent::Attr(std::string_view key) const {
@@ -90,6 +95,7 @@ Status XmlParser::DecodeEntities(std::string_view raw, std::string* out) {
     size_t semi = raw.find(';', i);
     if (semi == std::string_view::npos) return Error("unterminated entity");
     std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (semi == i + 1) return Error("empty entity");
     if (ent == "amp") {
       *out += '&';
     } else if (ent == "lt") {
@@ -102,13 +108,19 @@ Status XmlParser::DecodeEntities(std::string_view raw, std::string* out) {
       *out += '\'';
     } else if (!ent.empty() && ent[0] == '#') {
       // Numeric character reference; we emit the raw byte for code points
-      // below 128 and a UTF-8 sequence otherwise.
-      long code = 0;
-      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      // below 128 and a UTF-8 sequence otherwise. Digits only — strtol's
+      // leniency (signs, leading whitespace, trailing junk) must not let
+      // malformed references through.
+      const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      std::string_view digits = ent.substr(hex ? 2 : 1);
+      if (digits.empty()) return Error("bad character reference");
+      for (char d : digits) {
+        const bool ok = hex ? std::isxdigit(static_cast<unsigned char>(d))
+                            : std::isdigit(static_cast<unsigned char>(d));
+        if (!ok) return Error("bad character reference");
       }
+      long code =
+          std::strtol(std::string(digits).c_str(), nullptr, hex ? 16 : 10);
       if (code <= 0 || code > 0x10FFFF) return Error("bad character reference");
       if (code < 0x80) {
         *out += static_cast<char>(code);
@@ -211,6 +223,9 @@ Result<XmlEvent> XmlParser::Next() {
         if (pos_ >= input_.size()) return Error("unterminated start tag");
         if (input_[pos_] == '>') {
           ++pos_;
+          if (open_.size() >= kMaxElementDepth) {
+            return Error("element nesting too deep");
+          }
           open_.push_back(name);
           return ev;
         }
@@ -245,7 +260,13 @@ Result<XmlEvent> XmlParser::Next() {
     size_t start = pos_;
     while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
     std::string_view raw = input_.substr(start, pos_ - start);
-    if (open_.empty() || IsAllWhitespace(raw)) continue;  // skip inter-element ws
+    if (IsAllWhitespace(raw)) continue;  // skip inter-element ws
+    if (open_.empty()) {
+      // Text before or after the root element used to be dropped
+      // silently — a truncated-and-concatenated file would parse as a
+      // partial document. Malformed input must fail loudly.
+      return Error("content outside the root element");
+    }
     std::string decoded;
     MASS_RETURN_IF_ERROR(DecodeEntities(raw, &decoded));
     XmlEvent ev;

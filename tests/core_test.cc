@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/influence_engine.h"
 #include "core/quality.h"
@@ -206,11 +207,79 @@ TEST(EngineBoundaryTest, RequiresBuiltIndexes) {
   EXPECT_TRUE(engine.Analyze(nullptr, 10).IsFailedPrecondition());
 }
 
-TEST(EngineBoundaryTest, EmptyCorpusRejected) {
+TEST(EngineBoundaryTest, EmptyCorpusAnalyzesCleanly) {
+  // Zero bloggers is a legal starting state (a delta stream begins with
+  // an empty corpus); everything must come back empty, not error or NaN.
   Corpus corpus;
   corpus.BuildIndexes();
-  MassEngine engine(&corpus);
-  EXPECT_FALSE(engine.Analyze(nullptr, 10).ok());
+  for (bool compiled : {true, false}) {
+    EngineOptions opts;
+    opts.use_compiled_solver = compiled;
+    MassEngine engine(&corpus, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+    EXPECT_TRUE(engine.TopKGeneral(5).empty());
+    EXPECT_TRUE(engine.TopKDomain(0, 5).empty());
+    EXPECT_TRUE(engine.TopKWeighted(std::vector<double>(10, 1.0), 5).empty());
+    EXPECT_TRUE(engine.Retune(opts).ok());
+  }
+}
+
+TEST(EngineBoundaryTest, ZeroPostCorpusAnalyzesCleanly) {
+  // Bloggers and links but no posts or comments: influence reduces to
+  // the GL term; nothing may divide by a zero post count.
+  Corpus corpus;
+  Blogger a, b;
+  a.name = "a";
+  b.name = "b";
+  BloggerId ia = corpus.AddBlogger(std::move(a));
+  BloggerId ib = corpus.AddBlogger(std::move(b));
+  ASSERT_TRUE(corpus.AddLink(ia, ib).ok());
+  corpus.BuildIndexes();
+  for (bool compiled : {true, false}) {
+    EngineOptions opts;
+    opts.use_compiled_solver = compiled;
+    MassEngine engine(&corpus, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+    for (BloggerId id : {ia, ib}) {
+      EXPECT_TRUE(std::isfinite(engine.InfluenceOf(id)));
+      EXPECT_TRUE(std::isfinite(engine.AccumulatedPostOf(id)));
+    }
+  }
+}
+
+TEST(EngineBoundaryTest, AllSilentCommentersAnalyzeCleanly) {
+  // Every TotalComments() is 0 (posts exist, nobody comments): the TC
+  // normalization's 1/TC fallback must not blow up, and both solvers
+  // must agree exactly.
+  Corpus corpus;
+  Blogger a, b;
+  a.name = "a";
+  b.name = "b";
+  BloggerId ia = corpus.AddBlogger(std::move(a));
+  BloggerId ib = corpus.AddBlogger(std::move(b));
+  for (BloggerId author : {ia, ib}) {
+    Post p;
+    p.author = author;
+    p.title = "quiet post";
+    p.content = "a post that attracts no comments at all from anyone";
+    p.true_domain = 0;
+    ASSERT_TRUE(corpus.AddPost(std::move(p)).ok());
+  }
+  corpus.BuildIndexes();
+  std::vector<double> scores[2];
+  int i = 0;
+  for (bool compiled : {true, false}) {
+    EngineOptions opts;
+    opts.use_compiled_solver = compiled;
+    MassEngine engine(&corpus, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+    for (BloggerId id : {ia, ib}) {
+      EXPECT_TRUE(std::isfinite(engine.InfluenceOf(id)));
+      scores[i].push_back(engine.InfluenceOf(id));
+    }
+    ++i;
+  }
+  EXPECT_EQ(scores[0], scores[1]);
 }
 
 // ---------- facet semantics ----------
@@ -935,6 +1004,58 @@ TEST(TopKTest, FilteredAllRejected) {
   std::vector<double> scores = {1.0, 2.0};
   auto none = [](BloggerId) { return false; };
   EXPECT_TRUE(TopKByScoreFiltered(scores, 2, none).empty());
+}
+
+TEST(TopKTest, TieHeavyDeterministicAcrossVariants) {
+  // Many duplicate scores: all three selection paths must agree exactly,
+  // ties must come out in ascending id order, and truncation at k must
+  // keep the id-smallest members of the boundary tie.
+  std::vector<double> scores;
+  for (size_t i = 0; i < 60; ++i) scores.push_back(double(i % 3));
+  auto all = [](BloggerId) { return true; };
+  for (size_t k : {1u, 5u, 19u, 20u, 21u, 60u, 100u}) {
+    auto heap = TopKByScore(scores, k);
+    auto sort = TopKByScoreFullSort(scores, k);
+    auto filt = TopKByScoreFiltered(scores, k, all);
+    ASSERT_EQ(heap.size(), std::min<size_t>(k, 60)) << "k=" << k;
+    ASSERT_EQ(sort.size(), heap.size());
+    ASSERT_EQ(filt.size(), heap.size());
+    for (size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ(heap[i].id, sort[i].id) << "k=" << k << " i=" << i;
+      EXPECT_EQ(heap[i].id, filt[i].id) << "k=" << k << " i=" << i;
+      if (i > 0) {
+        // Descending score; within a tie, ascending id.
+        EXPECT_GE(heap[i - 1].score, heap[i].score);
+        if (heap[i - 1].score == heap[i].score) {
+          EXPECT_LT(heap[i - 1].id, heap[i].id);
+        }
+      }
+    }
+  }
+  // scores repeat 0,1,2,...: the 20 twos are ids 2,5,8,...,59. Top-5
+  // must be the five id-smallest of them.
+  auto top5 = TopKByScore(scores, 5);
+  ASSERT_EQ(top5.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top5[i].id, 2 + 3 * i);
+    EXPECT_DOUBLE_EQ(top5[i].score, 2.0);
+  }
+}
+
+TEST(TopKTest, NanScoresSortLastNotPoisonous) {
+  // A NaN score must not poison the comparator's strict weak ordering
+  // (which would be UB in the heap/sort); NaNs rank below every real
+  // score and order among themselves by id.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> scores = {nan, 2.0, nan, 1.0};
+  auto heap = TopKByScore(scores, 4);
+  auto sort = TopKByScoreFullSort(scores, 4);
+  ASSERT_EQ(heap.size(), 4u);
+  EXPECT_EQ(heap[0].id, 1u);
+  EXPECT_EQ(heap[1].id, 3u);
+  EXPECT_EQ(heap[2].id, 0u);  // NaNs last, by id
+  EXPECT_EQ(heap[3].id, 2u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(heap[i].id, sort[i].id);
 }
 
 }  // namespace

@@ -1,0 +1,586 @@
+// Incremental-ingestion tests: CorpusDelta application, DeltaStream
+// batching, MassEngine::IngestDelta parity with a fresh Analyze over the
+// grown corpus, the Retune/IngestDelta stale-shape guards, in-place
+// SolverMatrix extension, and the delta XML interchange format.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/influence_engine.h"
+#include "core/solver_matrix.h"
+#include "crawler/delta_stream.h"
+#include "crawler/synthetic_host.h"
+#include "model/corpus_delta.h"
+#include "storage/corpus_xml.h"
+#include "storage/delta_xml.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+Corpus SourceCorpus(uint64_t seed = 5, size_t bloggers = 60,
+                    size_t posts = 240) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = bloggers;
+  o.target_posts = posts;
+  auto r = synth::GenerateBlogosphere(o);
+  if (!r.ok()) std::abort();
+  return std::move(*r);
+}
+
+EngineOptions TightOptions() {
+  // Warm and cold solves converge to the same unique fixed point only to
+  // within tolerance-scaled error; solving to 1e-12 makes the 1e-9
+  // comparisons below meaningful.
+  EngineOptions opts;
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 300;
+  return opts;
+}
+
+// Streams every blogger of `src` into an engine that started from an
+// empty corpus, then asserts the live analysis matches a fresh Analyze
+// over the grown corpus on every published score surface.
+void ExpectStreamedParity(const Corpus& src, EngineOptions opts,
+                          size_t batch_pages, const std::string& label) {
+  SCOPED_TRACE(label);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = batch_pages});
+  while (!stream.done()) {
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  EXPECT_EQ(stream.fetch_failures(), 0u);
+  EXPECT_EQ(grown.num_bloggers(), src.num_bloggers());
+  EXPECT_EQ(grown.num_posts(), src.num_posts());
+  EXPECT_EQ(grown.num_comments(), src.num_comments());
+
+  Corpus fresh_corpus = grown;
+  MassEngine fresh(&fresh_corpus, opts);
+  ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+
+  for (BloggerId b = 0; b < grown.num_bloggers(); ++b) {
+    ASSERT_NEAR(engine.InfluenceOf(b), fresh.InfluenceOf(b), 1e-9) << "b=" << b;
+    ASSERT_NEAR(engine.AccumulatedPostOf(b), fresh.AccumulatedPostOf(b), 1e-9)
+        << "b=" << b;
+    ASSERT_NEAR(engine.GeneralLinksOf(b), fresh.GeneralLinksOf(b), 1e-9)
+        << "b=" << b;
+    for (size_t d = 0; d < 10; ++d) {
+      ASSERT_NEAR(engine.DomainInfluenceOf(b, d), fresh.DomainInfluenceOf(b, d),
+                  1e-9)
+          << "b=" << b << " d=" << d;
+    }
+  }
+  for (PostId p = 0; p < grown.num_posts(); ++p) {
+    ASSERT_NEAR(engine.PostInfluenceOf(p), fresh.PostInfluenceOf(p), 1e-9)
+        << "p=" << p;
+  }
+}
+
+// ---------- preconditions ----------
+
+TEST(IngestTest, RequiresMutableCorpusConstructor) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  const Corpus* read_only = &corpus;
+  MassEngine engine(read_only);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  CorpusDelta delta;
+  EXPECT_TRUE(engine.IngestDelta(delta, nullptr).IsFailedPrecondition());
+}
+
+TEST(IngestTest, RequiresPriorAnalyze) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  CorpusDelta delta;
+  EXPECT_TRUE(engine.IngestDelta(delta, nullptr).IsFailedPrecondition());
+}
+
+TEST(IngestTest, EmptyDeltaIsNoOp) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::vector<double> before;
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    before.push_back(engine.InfluenceOf(b));
+  }
+  CorpusDelta delta;
+  ASSERT_TRUE(engine.IngestDelta(delta, nullptr).ok());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    EXPECT_EQ(engine.InfluenceOf(b), before[b]);
+  }
+}
+
+TEST(IngestTest, BadDeltaLeavesEngineUsable) {
+  // A delta post with no usable ground-truth domain (and no miner) must be
+  // rejected before the corpus is touched: the engine keeps answering
+  // queries and the corpus shape is unchanged.
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  const size_t nb_before = corpus.num_bloggers();
+  const size_t np_before = corpus.num_posts();
+
+  CorpusDelta delta;
+  Blogger b;
+  b.url = "https://new.example/space";
+  BloggerId id = delta.additions.AddBlogger(std::move(b));
+  Post p;
+  p.author = id;
+  p.title = "unlabeled";
+  p.content = "a post without a ground truth domain";
+  p.true_domain = -1;
+  ASSERT_TRUE(delta.additions.AddPost(std::move(p)).ok());
+
+  EXPECT_TRUE(engine.IngestDelta(delta, nullptr).IsFailedPrecondition());
+  EXPECT_EQ(corpus.num_bloggers(), nb_before);
+  EXPECT_EQ(corpus.num_posts(), np_before);
+  EXPECT_FALSE(engine.TopKGeneral(3).empty());
+}
+
+// ---------- streamed-ingest parity ----------
+
+TEST(IngestTest, StreamedIngestMatchesFreshAnalyzeCompiled) {
+  Corpus src = SourceCorpus();
+  ExpectStreamedParity(src, TightOptions(), 16, "compiled warm");
+}
+
+TEST(IngestTest, StreamedIngestMatchesFreshAnalyzeReference) {
+  Corpus src = SourceCorpus();
+  EngineOptions opts = TightOptions();
+  opts.use_compiled_solver = false;
+  ExpectStreamedParity(src, opts, 16, "reference warm");
+}
+
+TEST(IngestTest, StreamedIngestMatchesFreshAnalyzeColdStart) {
+  Corpus src = SourceCorpus();
+  EngineOptions opts = TightOptions();
+  opts.warm_start_ingest = false;
+  ExpectStreamedParity(src, opts, 16, "compiled cold");
+}
+
+TEST(IngestTest, StreamedIngestMatchesFreshAnalyzeRecompileEachBatch) {
+  Corpus src = SourceCorpus();
+  EngineOptions opts = TightOptions();
+  opts.incremental_matrix = false;
+  ExpectStreamedParity(src, opts, 16, "compiled recompile");
+}
+
+TEST(IngestTest, SingleBigBatchAndTinyBatchesAgree) {
+  Corpus src = SourceCorpus(11, 40, 160);
+  ExpectStreamedParity(src, TightOptions(), src.num_bloggers(), "one batch");
+  ExpectStreamedParity(src, TightOptions(), 3, "batches of three");
+}
+
+TEST(IngestTest, RecencyWeightingFallsBackToRecompile) {
+  // Recency on: ExtendSolverMatrix is skipped (the corpus-relative newest
+  // timestamp moves), and the engine must still match a fresh analyze.
+  Corpus src = SourceCorpus(13, 40, 160);
+  EngineOptions opts = TightOptions();
+  opts.recency_half_life_days = 45.0;
+  ExpectStreamedParity(src, opts, 8, "recency recompile");
+}
+
+TEST(IngestTest, WarmStartFlagIsReported) {
+  Corpus src = SourceCorpus(17, 30, 120);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  for (bool warm : {true, false}) {
+    EngineOptions opts = TightOptions();
+    opts.warm_start_ingest = warm;
+    Corpus grown;
+    grown.BuildIndexes();
+    MassEngine engine(&grown, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+    DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = urls.size()});
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+    EXPECT_EQ(engine.stats().warm_start, warm);
+    EXPECT_TRUE(engine.stats().converged);
+  }
+}
+
+// ---------- duplicates and enrichment ----------
+
+TEST(IngestTest, ReplayedStreamIsPureDuplicateNoOp) {
+  Corpus src = SourceCorpus(19, 30, 120);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  DeltaStream first(&host, urls, DeltaStreamOptions{.batch_pages = 10});
+  while (!first.done()) {
+    auto delta = first.Next();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  const size_t nb = grown.num_bloggers();
+  const size_t np = grown.num_posts();
+  const size_t nc = grown.num_comments();
+  const size_t nl = grown.num_links();
+  std::vector<double> before;
+  for (BloggerId b = 0; b < nb; ++b) before.push_back(engine.InfluenceOf(b));
+
+  // Replaying the identical pages must change nothing — not the corpus,
+  // not a single score bit (the engine short-circuits unchanged deltas).
+  DeltaStream again(&host, urls, DeltaStreamOptions{.batch_pages = 10});
+  while (!again.done()) {
+    auto delta = again.Next();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  EXPECT_EQ(grown.num_bloggers(), nb);
+  EXPECT_EQ(grown.num_posts(), np);
+  EXPECT_EQ(grown.num_comments(), nc);
+  EXPECT_EQ(grown.num_links(), nl);
+  for (BloggerId b = 0; b < nb; ++b) {
+    EXPECT_EQ(engine.InfluenceOf(b), before[b]);
+  }
+}
+
+TEST(IngestTest, StubsAreEnrichedWhenTheirPageArrives) {
+  // Small batches guarantee commenters and link targets show up as
+  // URL-only stubs before their own page is fetched; once the stream
+  // finishes, every record must carry the real metadata.
+  Corpus src = SourceCorpus(23, 30, 120);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 2});
+  while (!stream.done()) {
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  ASSERT_EQ(grown.num_bloggers(), src.num_bloggers());
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    BloggerId src_id = kInvalidBlogger;
+    for (BloggerId s = 0; s < src.num_bloggers(); ++s) {
+      if (src.blogger(s).url == grown.blogger(b).url) {
+        src_id = s;
+        break;
+      }
+    }
+    ASSERT_NE(src_id, kInvalidBlogger) << grown.blogger(b).url;
+    EXPECT_EQ(grown.blogger(b).name, src.blogger(src_id).name);
+    EXPECT_EQ(grown.blogger(b).true_spammer, src.blogger(src_id).true_spammer);
+  }
+  // Enrichment must also keep the name index current: names arriving for
+  // an existing stub are findable afterwards.
+  for (BloggerId b = 0; b < grown.num_bloggers(); ++b) {
+    if (grown.blogger(b).name.empty()) continue;
+    EXPECT_EQ(grown.FindBloggerByName(grown.blogger(b).name), b);
+  }
+}
+
+// ---------- cache invalidation ----------
+
+TEST(IngestTest, LinkOnlyDeltaRefreshesGeneralLinks) {
+  Corpus corpus = SourceCorpus(29, 30, 120);
+  MassEngine engine(&corpus, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  // Find a pair of bloggers not yet linked and add that edge via a delta
+  // of two URL-stubs (both dedupe onto existing records).
+  BloggerId from = kInvalidBlogger, to = kInvalidBlogger;
+  for (BloggerId a = 0; a < corpus.num_bloggers() && from == kInvalidBlogger;
+       ++a) {
+    for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+      if (a == b) continue;
+      bool linked = false;
+      for (BloggerId t : corpus.LinksFrom(a)) linked |= (t == b);
+      if (!linked) {
+        from = a;
+        to = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(from, kInvalidBlogger);
+
+  CorpusDelta delta;
+  Blogger sa, sb;
+  sa.url = corpus.blogger(from).url;
+  sb.url = corpus.blogger(to).url;
+  BloggerId la = delta.additions.AddBlogger(std::move(sa));
+  BloggerId lb = delta.additions.AddBlogger(std::move(sb));
+  ASSERT_TRUE(delta.additions.AddLink(la, lb).ok());
+
+  const size_t nb_before = corpus.num_bloggers();
+  ASSERT_TRUE(engine.IngestDelta(delta, nullptr).ok());
+  EXPECT_EQ(corpus.num_bloggers(), nb_before);  // stubs deduped away
+
+  Corpus fresh_corpus = corpus;
+  MassEngine fresh(&fresh_corpus, TightOptions());
+  ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    // A stale GL cache would leave the old PageRank in place; the refresh
+    // must reproduce the fresh values exactly (same graph, same solver).
+    ASSERT_DOUBLE_EQ(engine.GeneralLinksOf(b), fresh.GeneralLinksOf(b));
+    ASSERT_NEAR(engine.InfluenceOf(b), fresh.InfluenceOf(b), 1e-9);
+  }
+}
+
+TEST(IngestTest, CommentOnlyDeltaKeepsGeneralLinksAndStaysCorrect) {
+  Corpus corpus = SourceCorpus(31, 30, 120);
+  MassEngine engine(&corpus, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::vector<double> gl_before;
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    gl_before.push_back(engine.GeneralLinksOf(b));
+  }
+
+  // One new comment by an existing blogger on an existing post: the
+  // blogger set and link graph are untouched, so GL must be reused
+  // bit-for-bit, while AP and influence shift.
+  CorpusDelta delta;
+  Blogger stub;
+  stub.url = corpus.blogger(3).url;
+  BloggerId commenter = delta.additions.AddBlogger(std::move(stub));
+  Blogger author_stub;
+  author_stub.url = corpus.blogger(corpus.post(0).author).url;
+  BloggerId author = delta.additions.AddBlogger(std::move(author_stub));
+  Post shadow;  // identity copy of post 0 so the comment can reference it
+  shadow.author = author;
+  shadow.title = corpus.post(0).title;
+  shadow.content = corpus.post(0).content;
+  shadow.timestamp = corpus.post(0).timestamp;
+  shadow.true_domain = corpus.post(0).true_domain;
+  auto pid = delta.additions.AddPost(std::move(shadow));
+  ASSERT_TRUE(pid.ok());
+  Comment c;
+  c.post = *pid;
+  c.commenter = commenter;
+  c.text = "agree, excellent point";
+  c.timestamp = corpus.post(0).timestamp + 3600;
+  ASSERT_TRUE(delta.additions.AddComment(std::move(c)).ok());
+
+  const size_t np_before = corpus.num_posts();
+  const size_t nc_before = corpus.num_comments();
+  ASSERT_TRUE(engine.IngestDelta(delta, nullptr).ok());
+  EXPECT_EQ(corpus.num_posts(), np_before);        // shadow post deduped
+  EXPECT_EQ(corpus.num_comments(), nc_before + 1);
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    EXPECT_EQ(engine.GeneralLinksOf(b), gl_before[b]);
+  }
+
+  Corpus fresh_corpus = corpus;
+  MassEngine fresh(&fresh_corpus, TightOptions());
+  ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    ASSERT_NEAR(engine.InfluenceOf(b), fresh.InfluenceOf(b), 1e-9);
+  }
+}
+
+// ---------- stale-shape guards ----------
+
+TEST(IngestTest, RetuneAfterExternalMutationIsRejected) {
+  // Regression: Retune() used to run against caches sized for the old
+  // corpus when the caller mutated it directly (stale quality/interest
+  // vectors, out-of-range indexing). It must refuse now.
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  Blogger intruder;
+  intruder.name = "intruder";
+  corpus.AddBlogger(std::move(intruder));
+  corpus.BuildIndexes();
+  EngineOptions opts;
+  opts.alpha = 0.7;
+  EXPECT_TRUE(engine.Retune(opts).IsFailedPrecondition());
+  // IngestDelta has the same guard: the engine cannot reconcile a solve
+  // against a corpus it did not see grow.
+  CorpusDelta delta;
+  Blogger extra;
+  extra.url = "https://x.example/space";
+  delta.additions.AddBlogger(std::move(extra));
+  EXPECT_TRUE(engine.IngestDelta(delta, nullptr).IsFailedPrecondition());
+}
+
+TEST(IngestTest, RetuneAfterIngestMatchesFreshAnalyze) {
+  Corpus src = SourceCorpus(37, 30, 120);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 7});
+  while (!stream.done()) {
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  EngineOptions retuned = TightOptions();
+  retuned.alpha = 0.8;
+  retuned.beta = 0.3;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+
+  Corpus fresh_corpus = grown;
+  MassEngine fresh(&fresh_corpus, retuned);
+  ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < grown.num_bloggers(); ++b) {
+    ASSERT_NEAR(engine.InfluenceOf(b), fresh.InfluenceOf(b), 1e-9);
+  }
+}
+
+// ---------- direct SolverMatrix extension ----------
+
+TEST(SolverMatrixExtendTest, MatchesRecompileOnMergedCorpus) {
+  // Base: the hand corpus from the compile test (two authors, one
+  // commenter, a merged duplicate entry). The delta adds a fourth blogger
+  // authoring a post, a comment by the existing commenter (TC 3 -> 4:
+  // every old entry rescales), and a comment by the new blogger on an old
+  // post (a new column in an old row).
+  Corpus c;
+  c.AddBlogger({});  // 0: author A
+  c.AddBlogger({});  // 1: author B
+  c.AddBlogger({});  // 2: commenter
+  for (BloggerId author : {0u, 0u, 1u}) {
+    Post p;
+    p.author = author;
+    p.true_domain = 0;
+    p.content = "one two three four five";
+    c.AddPost(std::move(p)).value();
+  }
+  for (PostId post : {0u, 1u, 2u}) {
+    Comment cm;
+    cm.post = post;
+    cm.commenter = 2;
+    cm.text = "agree";
+    c.AddComment(std::move(cm)).value();
+  }
+  c.BuildIndexes();
+
+  EngineOptions opts;
+  auto ones = [](size_t n) { return std::vector<double>(n, 1.0); };
+  SolverMatrix extended = CompileSolverMatrix(
+      c, opts, ones(3), ones(3), ones(3), ones(3), nullptr);
+
+  // Grow the same corpus in place (what ApplyCorpusDelta effects).
+  c.AddBlogger({});  // 3: new author
+  Post np;
+  np.author = 3;
+  np.true_domain = 0;
+  np.content = "six seven eight nine ten";
+  c.AddPost(std::move(np)).value();
+  Comment on_new;
+  on_new.post = 3;
+  on_new.commenter = 2;  // TC(2): 3 -> 4
+  on_new.text = "agree";
+  c.AddComment(std::move(on_new)).value();
+  Comment by_new;
+  by_new.post = 0;
+  by_new.commenter = 3;  // new column in author 0's row
+  by_new.text = "agree";
+  c.AddComment(std::move(by_new)).value();
+  c.ExtendIndexes();
+
+  ExtendSolverMatrix(&extended, c, opts, ones(4), ones(4), ones(5), ones(5),
+                     nullptr);
+  SolverMatrix full = CompileSolverMatrix(c, opts, ones(4), ones(4), ones(5),
+                                          ones(5), nullptr);
+
+  ASSERT_EQ(extended.num_bloggers, full.num_bloggers);
+  ASSERT_EQ(extended.row_offsets, full.row_offsets);
+  ASSERT_EQ(extended.cols, full.cols);
+  ASSERT_EQ(extended.values.size(), full.values.size());
+  for (size_t i = 0; i < full.values.size(); ++i) {
+    ASSERT_NEAR(extended.values[i], full.values[i], 1e-12) << "nnz " << i;
+  }
+  ASSERT_EQ(extended.quality.size(), full.quality.size());
+  for (size_t b = 0; b < full.quality.size(); ++b) {
+    ASSERT_NEAR(extended.quality[b], full.quality[b], 1e-12) << "b=" << b;
+  }
+  ASSERT_EQ(extended.post_offsets, full.post_offsets);
+  ASSERT_EQ(extended.post_commenter, full.post_commenter);
+  for (size_t k = 0; k < full.post_weight.size(); ++k) {
+    ASSERT_NEAR(extended.post_weight[k], full.post_weight[k], 1e-12);
+  }
+
+  // Spot-check the rescale arithmetic: author 0's merged entry for
+  // commenter 2 is (1-β)·2/4 after the TC change.
+  EXPECT_NEAR(extended.values[0], 0.4 * (2.0 / 4.0), 1e-15);
+}
+
+// ---------- delta XML interchange ----------
+
+TEST(DeltaXmlTest, RoundTripPreservesTheFragment) {
+  Corpus src = SourceCorpus(41, 12, 48);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 6});
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+
+  std::string xml = DeltaToXml(*delta);
+  auto round = DeltaFromXml(xml);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->additions.num_bloggers(), delta->additions.num_bloggers());
+  EXPECT_EQ(round->additions.num_posts(), delta->additions.num_posts());
+  EXPECT_EQ(round->additions.num_comments(), delta->additions.num_comments());
+  EXPECT_EQ(round->additions.num_links(), delta->additions.num_links());
+
+  // Applying the original and the round-tripped delta to two copies of a
+  // base corpus must produce identical shapes.
+  Corpus base1, base2;
+  base1.BuildIndexes();
+  base2.BuildIndexes();
+  auto a1 = ApplyCorpusDelta(&base1, *delta);
+  auto a2 = ApplyCorpusDelta(&base2, *round);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(base1.num_bloggers(), base2.num_bloggers());
+  EXPECT_EQ(base1.num_posts(), base2.num_posts());
+  EXPECT_EQ(base1.num_comments(), base2.num_comments());
+  EXPECT_EQ(base1.num_links(), base2.num_links());
+}
+
+TEST(DeltaXmlTest, RootNameKeepsSnapshotsAndDeltasApart) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  CorpusDelta delta;
+  Blogger b;
+  b.url = "https://solo.example/space";
+  delta.additions.AddBlogger(std::move(b));
+
+  // A delta file is not a snapshot and vice versa.
+  EXPECT_FALSE(CorpusFromXml(DeltaToXml(delta)).ok());
+  EXPECT_FALSE(DeltaFromXml(CorpusToXml(corpus)).ok());
+}
+
+}  // namespace
+}  // namespace mass

@@ -5,11 +5,14 @@
 // 1e-12 — at any thread count.
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/influence_engine.h"
 #include "core/solver_matrix.h"
+#include "crawler/delta_stream.h"
+#include "crawler/synthetic_host.h"
 #include "synth/generator.h"
 
 namespace mass {
@@ -141,6 +144,65 @@ TEST(SolverParityTest, RetuneParityAcrossSolverPaths) {
   ASSERT_EQ(ref.stats().iterations, fast.stats().iterations);
   for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
     ASSERT_NEAR(ref.InfluenceOf(b), fast.InfluenceOf(b), kTol);
+  }
+}
+
+// ---------- delta-ingest parity across the ablation grid ----------
+
+// Streams the parity corpus into a live engine as a large base batch plus
+// a small tail delta, under every facet-toggle combination, and requires
+// the incrementally maintained scores to match a fresh Analyze over the
+// grown corpus to 1e-9. This pins the whole ingest path — TC rescaling,
+// in-place CSR extension, warm start, GL cache keying — to the oracle on
+// every ablation the bench exercises.
+TEST(SolverParityTest, DeltaIngestMatchesFullSolveOnEveryFacetMask) {
+  const Corpus& src = ParityCorpus();
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  for (int mask = 0; mask < 16; ++mask) {
+    SCOPED_TRACE("facet mask " + std::to_string(mask));
+    EngineOptions opts;
+    opts.use_citation = (mask & 1) != 0;
+    opts.use_attitude = (mask & 2) != 0;
+    opts.use_novelty = (mask & 4) != 0;
+    opts.use_tc_normalization = (mask & 8) != 0;
+    // Solve well past the 1e-9 comparison: warm and cold iterations land
+    // on the unique fixed point only to tolerance-scaled error.
+    opts.tolerance = 1e-12;
+    opts.max_iterations = 300;
+
+    Corpus grown;
+    grown.BuildIndexes();
+    MassEngine engine(&grown, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+    DeltaStream stream(&host, urls,
+                       DeltaStreamOptions{.batch_pages = 200});
+    while (!stream.done()) {
+      auto delta = stream.Next();
+      ASSERT_TRUE(delta.ok());
+      ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+    }
+    ASSERT_EQ(grown.num_bloggers(), src.num_bloggers());
+
+    Corpus fresh_corpus = grown;
+    MassEngine fresh(&fresh_corpus, opts);
+    ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+    for (BloggerId b = 0; b < grown.num_bloggers(); ++b) {
+      ASSERT_NEAR(engine.InfluenceOf(b), fresh.InfluenceOf(b), 1e-9)
+          << "b=" << b;
+      for (size_t d = 0; d < 10; ++d) {
+        ASSERT_NEAR(engine.DomainInfluenceOf(b, d),
+                    fresh.DomainInfluenceOf(b, d), 1e-9)
+            << "b=" << b << " d=" << d;
+      }
+    }
+    for (PostId p = 0; p < grown.num_posts(); ++p) {
+      ASSERT_NEAR(engine.PostInfluenceOf(p), fresh.PostInfluenceOf(p), 1e-9)
+          << "p=" << p;
+    }
   }
 }
 

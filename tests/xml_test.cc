@@ -305,5 +305,72 @@ TEST(XmlRoundTripTest, WriterOutputParsesBack) {
   EXPECT_NE((*root)->Child("empty"), nullptr);
 }
 
+// ---------- malformed-input hardening ----------
+
+// Every entry must come back as a Corruption status — never a crash,
+// never a silently truncated document. The table covers the failure
+// shapes a corrupted or hostile snapshot file can take.
+TEST(XmlParserTest, MalformedInputTable) {
+  struct Case {
+    const char* label;
+    const char* input;
+  };
+  const Case kCases[] = {
+      {"truncated start tag", "<a"},
+      {"truncated start tag with attr", "<a k=\"v\""},
+      {"truncated end tag", "<a>x</a"},
+      {"end tag without '>'", "<a>x</a <b/>"},
+      {"unterminated attribute value", "<a k=\"v><b/></a>"},
+      {"unquoted attribute value", "<a k=v/>"},
+      {"missing attribute value", "<a k=/>"},
+      {"missing attribute name", "<a =\"v\"/>"},
+      {"stray ampersand in text", "<a>fish & chips</a>"},
+      {"unterminated entity", "<a>&amp</a>"},
+      {"empty entity", "<a>&;</a>"},
+      {"unknown entity", "<a>&nbsp;</a>"},
+      {"empty decimal reference", "<a>&#;</a>"},
+      {"empty hex reference", "<a>&#x;</a>"},
+      {"signed reference", "<a>&#+53;</a>"},
+      {"negative reference", "<a>&#-53;</a>"},
+      {"reference with trailing junk", "<a>&#53junk;</a>"},
+      {"reference beyond unicode", "<a>&#x110000;</a>"},
+      {"zero code point", "<a>&#0;</a>"},
+      {"stray ampersand in attribute", "<a k=\"fish & chips\"/>"},
+      {"mismatched nesting", "<a><b></a></b>"},
+      {"unbalanced close", "<a></a></a>"},
+      {"multiple roots", "<a/><b/>"},
+      {"text before the root", "junk<a/>"},
+      {"text after the root", "<a/>junk"},
+      {"bare text document", "just words"},
+      {"unterminated declaration", "<?xml version=\"1.0\""},
+      {"unterminated prolog comment", "<!-- never closed <a/>"},
+      {"unterminated body comment", "<a><!-- oops </a>"},
+      {"doctype is not supported", "<!DOCTYPE html><a/>"},
+      {"cdata is not supported", "<a><![CDATA[x]]></a>"},
+      {"empty element name", "<>x</>"},
+      {"slash without '>'", "<a/ >"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.label);
+    auto r = ParseDocument(c.input);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status();
+  }
+}
+
+TEST(XmlParserTest, ElementDepthIsCapped) {
+  // Hostile input: far deeper nesting than any MASS writer produces must
+  // fail cleanly instead of exhausting memory in DOM consumers (the
+  // 200-deep document in DeepNestingSurvives stays fine).
+  std::string doc;
+  const int depth = 10'001;
+  for (int i = 0; i < depth; ++i) doc += "<n>";
+  doc += "x";
+  for (int i = 0; i < depth; ++i) doc += "</n>";
+  auto r = ParseDocument(doc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace mass::xml
