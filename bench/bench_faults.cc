@@ -1,0 +1,328 @@
+// Experiment S7 — fault tolerance overhead: what deterministic fault
+// injection costs the crawl and ingest pipelines, and how fast the
+// circuit breaker recovers a flapping host.
+//  * crawl throughput (pages/sec) at 0/10/30/50% transient-failure rates
+//    under the retry/backoff discipline (breaker disabled so the lossy
+//    host is ridden out rather than cut off);
+//  * tail-batch ingest latency (stream fetch through faults + IngestDelta)
+//    at the same rates;
+//  * breaker-trip recovery time: wall clock from the trip that opens the
+//    breaker until a probe is admitted again, against the configured
+//    cooldown.
+// Results go to stdout and to machine-readable BENCH_faults.json in the
+// current working directory so the robustness-overhead trajectory is
+// tracked across PRs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/backoff.h"
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "crawler/crawler.h"
+#include "crawler/delta_stream.h"
+#include "crawler/fault_injection.h"
+#include "crawler/synthetic_host.h"
+#include "model/corpus_delta.h"
+
+namespace mass {
+namespace {
+
+constexpr size_t kBloggers = 1500;
+constexpr size_t kTailPages = 100;
+constexpr int kRepeats = 3;
+constexpr double kRates[] = {0.0, 0.10, 0.30, 0.50};
+
+// Millisecond-scale backoff would dominate every measurement with sleep
+// time; pace retries at microseconds so the tables show the machinery
+// (draws, retries, validation), not the politeness of the pacing.
+BackoffPolicy BenchBackoff() {
+  BackoffPolicy p;
+  p.initial_delay_micros = 5;
+  p.max_delay_micros = 50;
+  return p;
+}
+
+FaultPlan PlanAtRate(double rate) {
+  FaultPlan plan;
+  plan.seed = 1213;
+  plan.defaults.transient_rate = rate;
+  return plan;
+}
+
+struct CrawlPoint {
+  double rate = 0.0;
+  double pages_per_sec = 0.0;   // best of kRepeats
+  double elapsed_seconds = 0.0; // matching run
+  size_t pages = 0;
+  uint64_t retries = 0;
+};
+
+bool MeasureCrawl(const Corpus& src, double rate, CrawlPoint* out) {
+  SyntheticBlogHost inner(&src);
+  out->rate = rate;
+  for (int r = 0; r < kRepeats; ++r) {
+    FaultInjectingHost host(&inner, PlanAtRate(rate));
+    CrawlOptions opts;
+    opts.max_retries = 25;
+    opts.backoff = BenchBackoff();
+    opts.breaker.enabled = false;
+    auto result = Crawl(&host, {inner.UrlOf(0)}, opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "crawl at rate %.2f failed: %s\n", rate,
+                   result.status().ToString().c_str());
+      return false;
+    }
+    const double pps = result->elapsed_seconds > 0.0
+                           ? result->pages_fetched / result->elapsed_seconds
+                           : 0.0;
+    if (pps > out->pages_per_sec) {
+      out->pages_per_sec = pps;
+      out->elapsed_seconds = result->elapsed_seconds;
+      out->pages = result->pages_fetched;
+      out->retries = result->transient_retries;
+    }
+  }
+  return true;
+}
+
+struct IngestPoint {
+  double rate = 0.0;
+  double fetch_seconds = 0.0;   // stream batch assembly (faulty fetches)
+  double ingest_seconds = 0.0;  // IngestDelta over the emitted batch
+  size_t pages = 0;
+  uint64_t retries = 0;
+};
+
+bool MeasureIngest(const Corpus& src, double rate, IngestPoint* out) {
+  SyntheticBlogHost inner(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(inner.UrlOf(b));
+  }
+  out->rate = rate;
+  out->fetch_seconds = 1e100;
+  out->ingest_seconds = 1e100;
+  for (int r = 0; r < kRepeats; ++r) {
+    // The base (fault-free) engine over everything but the tail.
+    Corpus grown;
+    grown.BuildIndexes();
+    MassEngine engine(&grown, EngineOptions{});
+    if (Status s = engine.Analyze(nullptr, 10); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return false;
+    }
+    DeltaStreamOptions base_opts;
+    base_opts.batch_pages = urls.size() - kTailPages;
+    DeltaStream base_stream(&inner, urls, base_opts);
+    auto base = base_stream.Next();
+    if (!base.ok() || !engine.IngestDelta(*base, nullptr).ok()) {
+      std::fprintf(stderr, "base ingest failed at rate %.2f\n", rate);
+      return false;
+    }
+
+    // The tail arrives through the faulty transport.
+    FaultInjectingHost host(&inner, PlanAtRate(rate));
+    DeltaStreamOptions tail_opts;
+    tail_opts.batch_pages = kTailPages;  // the whole tail as one delta
+    tail_opts.max_retries = 25;
+    tail_opts.backoff = BenchBackoff();
+    tail_opts.breaker.enabled = false;
+    DeltaStream tail_stream(&host, urls, tail_opts);
+    DeltaStreamCheckpoint skip;
+    skip.cursor = urls.size() - kTailPages;
+    if (Status s = tail_stream.Restore(skip); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return false;
+    }
+    Stopwatch fetch_sw;
+    auto tail = tail_stream.Next();
+    const double fetch_secs = fetch_sw.ElapsedSeconds();
+    if (!tail.ok()) {
+      std::fprintf(stderr, "tail fetch failed at rate %.2f: %s\n", rate,
+                   tail.status().ToString().c_str());
+      return false;
+    }
+    Stopwatch ingest_sw;
+    if (Status s = engine.IngestDelta(*tail, nullptr); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return false;
+    }
+    const double ingest_secs = ingest_sw.ElapsedSeconds();
+    out->fetch_seconds = std::min(out->fetch_seconds, fetch_secs);
+    out->ingest_seconds = std::min(out->ingest_seconds, ingest_secs);
+    out->pages = tail_stream.pages_emitted();
+    out->retries = tail_stream.fetcher_stats().retries;
+  }
+  return true;
+}
+
+struct BreakerPoint {
+  int64_t cooldown_micros = 0;
+  double trip_to_probe_micros = 0.0;   // best of kRepeats
+  double probe_to_closed_micros = 0.0; // matching run
+};
+
+// Trips a real-clock breaker and polls until a probe is admitted, then
+// closes it with a successful probe: the crawl-facing recovery latency.
+bool MeasureBreakerRecovery(int64_t cooldown_micros, BreakerPoint* out) {
+  out->cooldown_micros = cooldown_micros;
+  out->trip_to_probe_micros = 1e100;
+  for (int r = 0; r < kRepeats; ++r) {
+    CircuitBreakerOptions opts;
+    opts.failure_threshold = 3;
+    opts.cooldown_micros = cooldown_micros;
+    CircuitBreaker breaker(opts);
+    for (int i = 0; i < opts.failure_threshold; ++i) breaker.RecordFailure();
+    if (breaker.state() != CircuitBreaker::State::kOpen) return false;
+    Stopwatch sw;
+    while (!breaker.Allow()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    const double to_probe = sw.ElapsedSeconds() * 1e6;
+    Stopwatch close_sw;
+    breaker.RecordSuccess();
+    const double to_closed = close_sw.ElapsedSeconds() * 1e6;
+    if (breaker.state() != CircuitBreaker::State::kClosed) return false;
+    if (to_probe < out->trip_to_probe_micros) {
+      out->trip_to_probe_micros = to_probe;
+      out->probe_to_closed_micros = to_closed;
+    }
+  }
+  return true;
+}
+
+void RunFaultGrid() {
+  const Corpus& src = bench::CachedCorpus(kBloggers, kBloggers * 13);
+
+  std::vector<CrawlPoint> crawl;
+  for (double rate : kRates) {
+    CrawlPoint p;
+    if (!MeasureCrawl(src, rate, &p)) return;
+    crawl.push_back(p);
+  }
+  bench::Banner("S7a", "crawl throughput under transient fault rates");
+  std::printf("%-8s %-10s %-12s %-12s %-10s\n", "rate", "pages", "retries",
+              "elapsed_s", "pages/sec");
+  for (const CrawlPoint& p : crawl) {
+    std::printf("%-8.2f %-10zu %-12llu %-12.4f %-10.0f\n", p.rate, p.pages,
+                static_cast<unsigned long long>(p.retries), p.elapsed_seconds,
+                p.pages_per_sec);
+  }
+  std::printf("throughput at 50%% faults is %.2fx the fault-free rate.\n",
+              crawl.back().pages_per_sec / crawl.front().pages_per_sec);
+
+  std::vector<IngestPoint> ingest;
+  for (double rate : kRates) {
+    IngestPoint p;
+    if (!MeasureIngest(src, rate, &p)) return;
+    ingest.push_back(p);
+  }
+  bench::Banner("S7b", "tail-batch ingest latency under transient fault rates");
+  std::printf("%-8s %-10s %-12s %-12s %-12s\n", "rate", "pages", "retries",
+              "fetch_s", "ingest_s");
+  for (const IngestPoint& p : ingest) {
+    std::printf("%-8.2f %-10zu %-12llu %-12.4f %-12.4f\n", p.rate, p.pages,
+                static_cast<unsigned long long>(p.retries), p.fetch_seconds,
+                p.ingest_seconds);
+  }
+
+  std::vector<BreakerPoint> breaker;
+  for (int64_t cooldown : {int64_t{2000}, int64_t{10000}, int64_t{50000}}) {
+    BreakerPoint p;
+    if (!MeasureBreakerRecovery(cooldown, &p)) {
+      std::fprintf(stderr, "breaker recovery measurement failed\n");
+      return;
+    }
+    breaker.push_back(p);
+  }
+  bench::Banner("S7c", "circuit breaker trip-to-recovery time");
+  std::printf("%-16s %-20s %-20s\n", "cooldown_us", "trip_to_probe_us",
+              "probe_to_closed_us");
+  for (const BreakerPoint& p : breaker) {
+    std::printf("%-16lld %-20.1f %-20.1f\n",
+                static_cast<long long>(p.cooldown_micros),
+                p.trip_to_probe_micros, p.probe_to_closed_micros);
+  }
+
+  std::FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_faults.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_faults/S7_fault_tolerance\",\n");
+  std::fprintf(f,
+               "  \"metric\": \"best-of-%d; crawl pages/sec and tail-batch "
+               "fetch/ingest seconds under scripted transient fault rates; "
+               "breaker recovery in microseconds\",\n",
+               kRepeats);
+  std::fprintf(f,
+               "  \"corpus\": {\"bloggers\": %zu, \"tail_pages\": %zu},\n",
+               kBloggers, kTailPages);
+  std::fprintf(f, "  \"crawl_throughput\": [\n");
+  for (size_t i = 0; i < crawl.size(); ++i) {
+    const CrawlPoint& p = crawl[i];
+    std::fprintf(f,
+                 "    {\"rate\": %.2f, \"pages\": %zu, \"retries\": %llu, "
+                 "\"elapsed_seconds\": %.6f, \"pages_per_sec\": %.1f}%s\n",
+                 p.rate, p.pages, static_cast<unsigned long long>(p.retries),
+                 p.elapsed_seconds, p.pages_per_sec,
+                 i + 1 < crawl.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"tail_ingest\": [\n");
+  for (size_t i = 0; i < ingest.size(); ++i) {
+    const IngestPoint& p = ingest[i];
+    std::fprintf(f,
+                 "    {\"rate\": %.2f, \"pages\": %zu, \"retries\": %llu, "
+                 "\"fetch_seconds\": %.6f, \"ingest_seconds\": %.6f}%s\n",
+                 p.rate, p.pages, static_cast<unsigned long long>(p.retries),
+                 p.fetch_seconds, p.ingest_seconds,
+                 i + 1 < ingest.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"breaker_recovery\": [\n");
+  for (size_t i = 0; i < breaker.size(); ++i) {
+    const BreakerPoint& p = breaker[i];
+    std::fprintf(f,
+                 "    {\"cooldown_micros\": %lld, \"trip_to_probe_micros\": "
+                 "%.1f, \"probe_to_closed_micros\": %.1f}%s\n",
+                 static_cast<long long>(p.cooldown_micros),
+                 p.trip_to_probe_micros, p.probe_to_closed_micros,
+                 i + 1 < breaker.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"throughput_ratio_50_vs_0\": %.3f\n",
+               crawl.back().pages_per_sec / crawl.front().pages_per_sec);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_faults.json\n");
+}
+
+// Micro-benchmark: the per-attempt cost of a deterministic fault draw —
+// the injection overhead every fetch pays in a fault-plan test run.
+void BM_DrawFault(benchmark::State& state) {
+  FaultPlan plan = PlanAtRate(0.3);
+  const std::string url = "http://blogosphere.example/blogger-123";
+  int attempt = 0;
+  for (auto _ : state) {
+    FaultKind k = DrawFault(plan, url, attempt++);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_DrawFault);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::RunFaultGrid();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

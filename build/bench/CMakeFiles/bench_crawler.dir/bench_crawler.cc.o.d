@@ -230,6 +230,8 @@ bench/CMakeFiles/bench_crawler.dir/bench_crawler.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/crawler/crawler.h \
- /root/repo/src/crawler/blog_host.h \
- /root/repo/src/crawler/synthetic_host.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h
+ /root/repo/src/crawler/blog_host.h /root/repo/src/crawler/fetcher.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/backoff.h \
+ /root/repo/src/crawler/synthetic_host.h

@@ -248,5 +248,7 @@ bench/CMakeFiles/bench_incremental.dir/bench_incremental.cc.o: \
  /root/repo/src/linkanalysis/pagerank.h \
  /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
  /root/repo/src/crawler/delta_stream.h /root/repo/src/crawler/blog_host.h \
+ /root/repo/src/crawler/fetcher.h /root/repo/src/common/backoff.h \
  /root/repo/src/model/corpus_delta.h \
+ /root/repo/src/storage/checkpoint_xml.h \
  /root/repo/src/crawler/synthetic_host.h

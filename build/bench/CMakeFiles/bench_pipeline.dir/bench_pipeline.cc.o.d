@@ -232,9 +232,11 @@ bench/CMakeFiles/bench_pipeline.dir/bench_pipeline.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/crawler/crawler.h \
- /root/repo/src/crawler/blog_host.h \
- /root/repo/src/crawler/synthetic_host.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crawler/blog_host.h /root/repo/src/crawler/fetcher.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/backoff.h \
+ /root/repo/src/crawler/synthetic_host.h \
  /root/repo/src/recommend/recommender.h \
  /root/repo/src/core/influence_engine.h \
  /root/repo/src/common/thread_pool.h \
@@ -246,9 +248,7 @@ bench/CMakeFiles/bench_pipeline.dir/bench_pipeline.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/thread \
- /root/repo/src/core/engine_options.h \
+ /usr/include/c++/12/thread /root/repo/src/core/engine_options.h \
  /root/repo/src/linkanalysis/pagerank.h \
  /root/repo/src/linkanalysis/graph.h /root/repo/src/core/solver_matrix.h \
  /root/repo/src/storage/corpus_xml.h /root/repo/src/userstudy/table1.h \

@@ -241,7 +241,8 @@ examples/CMakeFiles/mass_cli.dir/mass_cli.cpp.o: \
  /root/repo/src/text/lexicon.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/solver_matrix.h /root/repo/src/crawler/crawler.h \
- /root/repo/src/crawler/blog_host.h /root/repo/src/model/corpus_merge.h \
+ /root/repo/src/crawler/blog_host.h /root/repo/src/crawler/fetcher.h \
+ /root/repo/src/common/backoff.h /root/repo/src/model/corpus_merge.h \
  /root/repo/src/model/corpus_stats.h \
  /root/repo/src/crawler/synthetic_host.h \
  /root/repo/src/recommend/recommender.h \

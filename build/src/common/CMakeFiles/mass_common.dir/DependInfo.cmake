@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/backoff.cc" "src/common/CMakeFiles/mass_common.dir/backoff.cc.o" "gcc" "src/common/CMakeFiles/mass_common.dir/backoff.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/mass_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/mass_common.dir/logging.cc.o.d"
   "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/mass_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/mass_common.dir/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/mass_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/mass_common.dir/rng.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mass_common.dir/backoff.cc.o"
+  "CMakeFiles/mass_common.dir/backoff.cc.o.d"
   "CMakeFiles/mass_common.dir/logging.cc.o"
   "CMakeFiles/mass_common.dir/logging.cc.o.d"
   "CMakeFiles/mass_common.dir/parallel.cc.o"

@@ -260,6 +260,6 @@ src/core/CMakeFiles/mass_core.dir/influence_engine.cc.o: \
  /root/repo/src/common/parallel.h /root/repo/src/common/stopwatch.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/quality.h \
- /root/repo/src/core/topk.h /root/repo/src/linkanalysis/hits.h \
- /root/repo/src/model/corpus_delta.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/string_util.h \
+ /root/repo/src/core/quality.h /root/repo/src/core/topk.h \
+ /root/repo/src/linkanalysis/hits.h /root/repo/src/model/corpus_delta.h

@@ -10,6 +10,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/crawler/crawler.cc" "src/crawler/CMakeFiles/mass_crawler.dir/crawler.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/crawler.cc.o.d"
   "/root/repo/src/crawler/delta_stream.cc" "src/crawler/CMakeFiles/mass_crawler.dir/delta_stream.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/delta_stream.cc.o.d"
+  "/root/repo/src/crawler/fault_injection.cc" "src/crawler/CMakeFiles/mass_crawler.dir/fault_injection.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/fault_injection.cc.o.d"
+  "/root/repo/src/crawler/fetcher.cc" "src/crawler/CMakeFiles/mass_crawler.dir/fetcher.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/fetcher.cc.o.d"
   "/root/repo/src/crawler/synthetic_host.cc" "src/crawler/CMakeFiles/mass_crawler.dir/synthetic_host.cc.o" "gcc" "src/crawler/CMakeFiles/mass_crawler.dir/synthetic_host.cc.o.d"
   )
 
@@ -17,6 +19,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/model/CMakeFiles/mass_model.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mass_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/mass_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/mass_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mass_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -3,6 +3,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/mass_crawler.dir/crawler.cc.o.d"
   "CMakeFiles/mass_crawler.dir/delta_stream.cc.o"
   "CMakeFiles/mass_crawler.dir/delta_stream.cc.o.d"
+  "CMakeFiles/mass_crawler.dir/fault_injection.cc.o"
+  "CMakeFiles/mass_crawler.dir/fault_injection.cc.o.d"
+  "CMakeFiles/mass_crawler.dir/fetcher.cc.o"
+  "CMakeFiles/mass_crawler.dir/fetcher.cc.o.d"
   "CMakeFiles/mass_crawler.dir/synthetic_host.cc.o"
   "CMakeFiles/mass_crawler.dir/synthetic_host.cc.o.d"
   "libmass_crawler.a"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/storage/analysis_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/analysis_xml.cc.o.d"
+  "/root/repo/src/storage/checkpoint_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/checkpoint_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/checkpoint_xml.cc.o.d"
   "/root/repo/src/storage/corpus_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/corpus_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/corpus_xml.cc.o.d"
   "/root/repo/src/storage/delta_xml.cc" "src/storage/CMakeFiles/mass_storage.dir/delta_xml.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/delta_xml.cc.o.d"
   "/root/repo/src/storage/file_io.cc" "src/storage/CMakeFiles/mass_storage.dir/file_io.cc.o" "gcc" "src/storage/CMakeFiles/mass_storage.dir/file_io.cc.o.d"

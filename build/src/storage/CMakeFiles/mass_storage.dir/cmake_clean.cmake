@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mass_storage.dir/analysis_xml.cc.o"
   "CMakeFiles/mass_storage.dir/analysis_xml.cc.o.d"
+  "CMakeFiles/mass_storage.dir/checkpoint_xml.cc.o"
+  "CMakeFiles/mass_storage.dir/checkpoint_xml.cc.o.d"
   "CMakeFiles/mass_storage.dir/corpus_xml.cc.o"
   "CMakeFiles/mass_storage.dir/corpus_xml.cc.o.d"
   "CMakeFiles/mass_storage.dir/delta_xml.cc.o"

@@ -295,10 +295,11 @@ tests/CMakeFiles/crawler_test.dir/crawler_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/crawler/crawler.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/crawler/blog_host.h \
- /root/repo/src/model/entities.h /root/repo/src/model/corpus.h \
- /root/repo/src/crawler/synthetic_host.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/model/entities.h /root/repo/src/crawler/fetcher.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/backoff.h /root/repo/src/common/rng.h \
+ /root/repo/src/model/corpus.h /root/repo/src/crawler/synthetic_host.h \
  /root/repo/src/synth/generator.h /root/repo/src/synth/domain_vocab.h \
  /root/repo/src/synth/text_gen.h \
  /root/repo/src/sentiment/sentiment_analyzer.h \

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/userstudy/CMakeFiles/mass_userstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/recommend/CMakeFiles/mass_recommend.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/mass_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/mass_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/mass_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mass_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkanalysis/CMakeFiles/mass_linkanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/mass_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/mass_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mass_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mass_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mass_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

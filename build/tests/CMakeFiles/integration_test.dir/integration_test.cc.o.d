@@ -332,7 +332,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/linkanalysis/hits.h /root/repo/src/synth/generator.h \
  /root/repo/src/synth/domain_vocab.h /root/repo/src/synth/text_gen.h \
  /root/repo/src/crawler/blog_host.h /root/repo/src/crawler/crawler.h \
+ /root/repo/src/crawler/fetcher.h /root/repo/src/common/backoff.h \
  /root/repo/src/crawler/delta_stream.h \
+ /root/repo/src/storage/checkpoint_xml.h \
  /root/repo/src/crawler/synthetic_host.h /root/repo/src/core/quality.h \
  /root/repo/src/core/topk.h /root/repo/src/analytics/trend_analyzer.h \
  /root/repo/src/recommend/baselines.h \

@@ -341,8 +341,9 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/solver_matrix.h /root/repo/src/core/quality.h \
  /root/repo/src/core/topk.h /root/repo/src/crawler/crawler.h \
- /root/repo/src/crawler/blog_host.h \
- /root/repo/src/crawler/synthetic_host.h /root/repo/src/common/rng.h \
+ /root/repo/src/crawler/blog_host.h /root/repo/src/crawler/fetcher.h \
+ /root/repo/src/common/backoff.h /root/repo/src/common/rng.h \
+ /root/repo/src/crawler/synthetic_host.h \
  /root/repo/src/linkanalysis/hits.h /root/repo/src/storage/corpus_xml.h \
  /root/repo/src/synth/generator.h /root/repo/src/synth/domain_vocab.h \
  /root/repo/src/synth/text_gen.h /root/repo/src/viz/post_reply_network.h

@@ -338,7 +338,8 @@ tests/CMakeFiles/solver_parity_test.dir/solver_parity_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/text/tokenizer.h \
  /root/repo/src/core/solver_matrix.h \
  /root/repo/src/crawler/delta_stream.h /root/repo/src/crawler/blog_host.h \
- /root/repo/src/model/corpus_delta.h \
- /root/repo/src/crawler/synthetic_host.h /root/repo/src/common/rng.h \
- /root/repo/src/synth/generator.h /root/repo/src/synth/domain_vocab.h \
- /root/repo/src/synth/text_gen.h
+ /root/repo/src/crawler/fetcher.h /root/repo/src/common/backoff.h \
+ /root/repo/src/common/rng.h /root/repo/src/model/corpus_delta.h \
+ /root/repo/src/storage/checkpoint_xml.h \
+ /root/repo/src/crawler/synthetic_host.h /root/repo/src/synth/generator.h \
+ /root/repo/src/synth/domain_vocab.h /root/repo/src/synth/text_gen.h

@@ -1,0 +1,136 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mass {
+
+uint64_t StableHash64(std::string_view s) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+BackoffSchedule::BackoffSchedule(const BackoffPolicy& policy, uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+int64_t BackoffSchedule::NextDelayMicros() {
+  if (retries_granted_ >= policy_.max_retries) return -1;
+  int64_t delay = 0;
+  if (prev_delay_micros_ <= 0) {
+    delay = policy_.initial_delay_micros;
+  } else if (policy_.decorrelated_jitter) {
+    const int64_t lo = policy_.initial_delay_micros;
+    const int64_t hi = std::max(lo, 3 * prev_delay_micros_);
+    delay = lo + static_cast<int64_t>(rng_.NextDouble() *
+                                      static_cast<double>(hi - lo));
+  } else {
+    delay = static_cast<int64_t>(static_cast<double>(prev_delay_micros_) *
+                                 policy_.multiplier);
+  }
+  delay = std::clamp(delay, int64_t{0}, policy_.max_delay_micros);
+  if (policy_.fetch_deadline_micros > 0 &&
+      total_delay_micros_ + delay > policy_.fetch_deadline_micros) {
+    deadline_exhausted_ = true;
+    return -1;
+  }
+  prev_delay_micros_ = delay;
+  total_delay_micros_ += delay;
+  ++retries_granted_;
+  return delay;
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {}
+
+int64_t CircuitBreaker::NowMicros() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool CircuitBreaker::Allow() {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (NowMicros() - opened_at_micros_ >= options_.cooldown_micros) {
+        state_ = State::kHalfOpen;
+        half_open_in_flight_ = 1;
+        half_open_successes_seen_ = 0;
+        return true;
+      }
+      ++short_circuits_;
+      return false;
+    case State::kHalfOpen:
+      // Admit at most options_.half_open_successes probes at a time; other
+      // callers fail fast until the probes resolve the breaker's fate.
+      if (half_open_in_flight_ < options_.half_open_successes) {
+        ++half_open_in_flight_;
+        return true;
+      }
+      ++short_circuits_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    half_open_in_flight_ = std::max(0, half_open_in_flight_ - 1);
+    if (++half_open_successes_seen_ >= options_.half_open_successes) {
+      state_ = State::kClosed;
+      half_open_in_flight_ = 0;
+      half_open_successes_seen_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the cooldown.
+    state_ = State::kOpen;
+    opened_at_micros_ = NowMicros();
+    half_open_in_flight_ = 0;
+    half_open_successes_seen_ = 0;
+    consecutive_failures_ = 0;
+    ++trips_;
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_micros_ = NowMicros();
+    consecutive_failures_ = 0;
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::short_circuits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_circuits_;
+}
+
+}  // namespace mass

@@ -1,0 +1,136 @@
+// Retry pacing and failure containment for the crawl/ingest stack.
+//
+// BackoffSchedule turns a BackoffPolicy into a deterministic sequence of
+// retry delays (exponential growth with optional decorrelated jitter,
+// capped, bounded by a per-fetch deadline). Seeding the schedule with a
+// hash of the URL makes the delay sequence a pure function of the URL —
+// reproducible regardless of thread scheduling, like every other
+// stochastic component of MASS.
+//
+// CircuitBreaker is the classic closed / open / half-open automaton: after
+// `failure_threshold` consecutive failures the breaker opens and callers
+// fail fast instead of burning their retry budget against a dead host;
+// after `cooldown_micros` one half-open probe is let through, and its
+// outcome closes or re-opens the breaker. The clock is injectable so tests
+// drive state transitions without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace mass {
+
+/// Retry pacing parameters. All times in microseconds.
+struct BackoffPolicy {
+  /// Retries after the first attempt; 0 disables retrying.
+  int max_retries = 3;
+  /// Delay before the first retry.
+  int64_t initial_delay_micros = 500;
+  /// Upper bound on any single delay.
+  int64_t max_delay_micros = 100'000;
+  /// Growth factor between consecutive delays (ignored under jitter).
+  double multiplier = 2.0;
+  /// Decorrelated jitter (Brooker, AWS Architecture Blog 2015): each delay
+  /// is uniform in [initial, 3 * previous], capped. Desynchronizes
+  /// concurrent retry storms while keeping the expected growth exponential.
+  bool decorrelated_jitter = true;
+  /// Budget for the summed delays of one fetch; once the next delay would
+  /// exceed it the schedule reports exhaustion. 0 = unlimited.
+  int64_t fetch_deadline_micros = 0;
+};
+
+/// Stable 64-bit FNV-1a hash of a string (URLs, host names). Used to give
+/// each URL an independent, schedule-free deterministic stream.
+uint64_t StableHash64(std::string_view s);
+
+/// One fetch's deterministic retry-delay sequence.
+///
+/// NextDelayMicros() returns the delay to sleep before the next retry, or
+/// -1 when the retry budget or the per-fetch deadline is exhausted. Equal
+/// (policy, seed) pairs yield equal sequences on every platform.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const BackoffPolicy& policy, uint64_t seed);
+
+  /// Delay for the next retry in microseconds, or -1 when exhausted.
+  int64_t NextDelayMicros();
+
+  /// Retries granted so far (successful NextDelayMicros calls).
+  int retries_granted() const { return retries_granted_; }
+
+  /// Sum of all granted delays.
+  int64_t total_delay_micros() const { return total_delay_micros_; }
+
+  /// True when the last refusal was due to the deadline rather than the
+  /// retry count.
+  bool deadline_exhausted() const { return deadline_exhausted_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int retries_granted_ = 0;
+  int64_t prev_delay_micros_ = 0;
+  int64_t total_delay_micros_ = 0;
+  bool deadline_exhausted_ = false;
+};
+
+/// Per-host circuit breaker parameters.
+struct CircuitBreakerOptions {
+  /// Master switch; a disabled breaker always allows and never trips.
+  bool enabled = true;
+  /// Consecutive failures that open the breaker.
+  int failure_threshold = 8;
+  /// How long the breaker stays open before admitting a half-open probe.
+  int64_t cooldown_micros = 50'000;
+  /// Consecutive probe successes required to close from half-open.
+  int half_open_successes = 1;
+};
+
+/// Thread-safe three-state breaker guarding one host.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Monotonic clock in microseconds; injectable for deterministic tests.
+  using ClockFn = std::function<int64_t()>;
+
+  /// A null `clock` uses std::chrono::steady_clock.
+  explicit CircuitBreaker(CircuitBreakerOptions options, ClockFn clock = {});
+
+  /// True when a request may proceed. While open, returns false until the
+  /// cooldown elapses, then admits `half_open_successes` probes (further
+  /// callers keep failing fast until the probes resolve).
+  bool Allow();
+
+  /// Reports the outcome of an allowed request.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+
+  /// Times the breaker transitioned closed/half-open -> open.
+  uint64_t trips() const;
+
+  /// Requests refused while open.
+  uint64_t short_circuits() const;
+
+ private:
+  int64_t NowMicros() const;
+
+  CircuitBreakerOptions options_;
+  ClockFn clock_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_in_flight_ = 0;
+  int half_open_successes_seen_ = 0;
+  int64_t opened_at_micros_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t short_circuits_ = 0;
+};
+
+}  // namespace mass

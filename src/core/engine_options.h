@@ -94,6 +94,17 @@ struct EngineOptions {
   /// (the corpus-relative newest timestamp moves, re-decaying every
   /// existing weight) or when no compiled matrix is live.
   bool incremental_matrix = true;
+  /// Make IngestDelta all-or-nothing: snapshot the engine state after the
+  /// delta is applied, and on any downstream failure (classification,
+  /// matrix extension, resource guard) roll both the corpus and the engine
+  /// back to the exact pre-ingest state. Off = the PR-2 behaviour where a
+  /// failed ingest leaves the engine needing a fresh Analyze().
+  bool transactional_ingest = true;
+  /// Resource guard for the ingest path: refuse (Aborted) a delta whose
+  /// application would grow the compiled matrix beyond this many stored
+  /// entries. 0 = unlimited. With transactional_ingest this doubles as a
+  /// deterministic injection point for matrix-extension failure in tests.
+  size_t ingest_max_matrix_nnz = 0;
 };
 
 }  // namespace mass

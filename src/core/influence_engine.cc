@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/quality.h"
 #include "core/topk.h"
 #include "linkanalysis/graph.h"
@@ -327,7 +328,7 @@ void MassEngine::SolveInfluence() {
   stats_.solve_seconds = sw.ElapsedSeconds();
 }
 
-void MassEngine::SolveInfluenceIncremental() {
+Status MassEngine::SolveInfluenceIncremental() {
   Stopwatch sw;
   const bool warm = options_.warm_start_ingest;
   if (options_.use_compiled_solver) {
@@ -344,6 +345,17 @@ void MassEngine::SolveInfluenceIncremental() {
                                     post_recency_, comment_sf_,
                                     comment_recency_, SolverPool());
     }
+    if (options_.ingest_max_matrix_nnz > 0 &&
+        matrix_.nnz() > options_.ingest_max_matrix_nnz) {
+      // Resource guard: the extended matrix overflowed its budget. The
+      // matrix may have been mutated in place, so mark it dead; the
+      // transactional wrapper restores the pre-ingest copy.
+      matrix_valid_ = false;
+      return Status::Aborted(
+          StrFormat("ingest grew the solver matrix to %zu stored entries "
+                    "(ingest_max_matrix_nnz = %zu)",
+                    matrix_.nnz(), options_.ingest_max_matrix_nnz));
+    }
     matrix_valid_ = true;
     IterateCompiled(warm);
   } else {
@@ -351,6 +363,7 @@ void MassEngine::SolveInfluenceIncremental() {
     SolveInfluenceReference(warm);
   }
   stats_.solve_seconds = sw.ElapsedSeconds();
+  return Status::OK();
 }
 
 // The compiled path: Eq. 3's loop-invariant comment factors are folded
@@ -655,10 +668,31 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
     }
   }
 
+  // ApplyCorpusDelta self-rolls-back on failure, so a rejected fragment
+  // (bad ids, corrupt file) never mutates the corpus.
   MASS_ASSIGN_OR_RETURN(AppliedDelta applied,
                         ApplyCorpusDelta(mutable_corpus_, delta));
   if (!applied.changed()) return Status::OK();  // pure-duplicate batch
 
+  if (!options_.transactional_ingest) {
+    return IngestAppliedDelta(applied, miner);
+  }
+  // Transactional path: the corpus already holds the delta (application
+  // alone moves no score), so snapshot the engine now and undo both sides
+  // if any pipeline stage fails.
+  IngestSnapshot snapshot = CaptureIngestSnapshot();
+  Status ingested = IngestAppliedDelta(applied, miner);
+  if (!ingested.ok()) {
+    MASS_RETURN_IF_ERROR(
+        mutable_corpus_->RollbackTo(applied.mark(), applied.enriched_prior));
+    RestoreIngestSnapshot(std::move(snapshot));
+    return ingested;
+  }
+  return Status::OK();
+}
+
+Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
+                                      const InterestMiner* miner) {
   stats_ = SolveStats();
   // GL: the shape key inside ComputeGeneralLinks() reruns link analysis
   // exactly when the delta changed the graph (new bloggers or links);
@@ -672,10 +706,70 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
   ComputeRecency();
   ComputeSentiment();
   MASS_RETURN_IF_ERROR(ExtendInterests(miner, applied.prior_posts));
-  SolveInfluenceIncremental();
+  MASS_RETURN_IF_ERROR(SolveInfluenceIncremental());
   ComputeDomainVectors();
   RecordSolvedShape();
   return Status::OK();
+}
+
+MassEngine::IngestSnapshot MassEngine::CaptureIngestSnapshot() const {
+  IngestSnapshot s;
+  s.stats = stats_;
+  s.solved_bloggers = solved_bloggers_;
+  s.solved_posts = solved_posts_;
+  s.solved_comments = solved_comments_;
+  s.solved_links = solved_links_;
+  s.gl_cache_valid = gl_cache_valid_;
+  s.gl_cached_method = gl_cached_method_;
+  s.gl_cached_pagerank = gl_cached_pagerank_;
+  s.gl_cached_iterations = gl_cached_iterations_;
+  s.gl_cached_bloggers = gl_cached_bloggers_;
+  s.gl_cached_links = gl_cached_links_;
+  s.matrix = matrix_;
+  s.matrix_valid = matrix_valid_;
+  s.gl = gl_;
+  s.ap = ap_;
+  s.influence = influence_;
+  s.post_quality = post_quality_;
+  s.post_influence = post_influence_;
+  s.post_recency = post_recency_;
+  s.comment_recency = comment_recency_;
+  s.comment_sf = comment_sf_;
+  s.post_length_raw = post_length_raw_;
+  s.post_copy_indicators = post_copy_indicators_;
+  s.comment_sentiment = comment_sentiment_;
+  s.post_interests = post_interests_;
+  s.domain_influence = domain_influence_;
+  return s;
+}
+
+void MassEngine::RestoreIngestSnapshot(IngestSnapshot&& snapshot) {
+  stats_ = snapshot.stats;
+  solved_bloggers_ = snapshot.solved_bloggers;
+  solved_posts_ = snapshot.solved_posts;
+  solved_comments_ = snapshot.solved_comments;
+  solved_links_ = snapshot.solved_links;
+  gl_cache_valid_ = snapshot.gl_cache_valid;
+  gl_cached_method_ = snapshot.gl_cached_method;
+  gl_cached_pagerank_ = snapshot.gl_cached_pagerank;
+  gl_cached_iterations_ = snapshot.gl_cached_iterations;
+  gl_cached_bloggers_ = snapshot.gl_cached_bloggers;
+  gl_cached_links_ = snapshot.gl_cached_links;
+  matrix_ = std::move(snapshot.matrix);
+  matrix_valid_ = snapshot.matrix_valid;
+  gl_ = std::move(snapshot.gl);
+  ap_ = std::move(snapshot.ap);
+  influence_ = std::move(snapshot.influence);
+  post_quality_ = std::move(snapshot.post_quality);
+  post_influence_ = std::move(snapshot.post_influence);
+  post_recency_ = std::move(snapshot.post_recency);
+  comment_recency_ = std::move(snapshot.comment_recency);
+  comment_sf_ = std::move(snapshot.comment_sf);
+  post_length_raw_ = std::move(snapshot.post_length_raw);
+  post_copy_indicators_ = std::move(snapshot.post_copy_indicators);
+  comment_sentiment_ = std::move(snapshot.comment_sentiment);
+  post_interests_ = std::move(snapshot.post_interests);
+  domain_influence_ = std::move(snapshot.domain_influence);
 }
 
 std::vector<ScoredBlogger> MassEngine::TopKGeneral(size_t k) const {

@@ -25,6 +25,7 @@
 namespace mass {
 
 struct CorpusDelta;
+struct AppliedDelta;
 
 /// One ranked blogger.
 struct ScoredBlogger {
@@ -86,6 +87,11 @@ class MassEngine {
   /// Analyze() over an empty corpus is fine — a stream can start from
   /// nothing). An all-duplicate delta is a no-op. After a successful
   /// return every accessor reflects the grown corpus.
+  ///
+  /// With EngineOptions::transactional_ingest (the default) the call is
+  /// all-or-nothing: any failure past the corpus application rolls the
+  /// corpus AND the engine state back to exactly the pre-ingest snapshot,
+  /// so the engine keeps serving queries as if the delta never arrived.
   Status IngestDelta(const CorpusDelta& delta, const InterestMiner* miner);
 
   // ---- per-entity scores (valid after Analyze) ----
@@ -155,8 +161,12 @@ class MassEngine {
   Status ExtendInterests(const InterestMiner* miner, size_t prior_posts);
   void SolveInfluence();
   /// The ingest-path solve: extends or recompiles the matrix, then
-  /// iterates (warm-started per options_.warm_start_ingest).
-  void SolveInfluenceIncremental();
+  /// iterates (warm-started per options_.warm_start_ingest). Aborted when
+  /// the extended matrix would exceed options_.ingest_max_matrix_nnz.
+  Status SolveInfluenceIncremental();
+  /// The scoring pipeline IngestDelta runs after the corpus application.
+  Status IngestAppliedDelta(const AppliedDelta& applied,
+                            const InterestMiner* miner);
   void SolveInfluenceReference(bool warm);
   /// Runs the fixed point against the live matrix_. `warm` keeps the
   /// previous influence vector as the initial iterate (new bloggers join
@@ -168,6 +178,42 @@ class MassEngine {
   /// them (stale caches would silently corrupt scores).
   void RecordSolvedShape();
   bool SolvedShapeCurrent() const;
+
+  /// Everything a failed transactional ingest must restore: every solved
+  /// score surface, the cached text stages, the GL cache, the compiled
+  /// matrix, and the solved-shape key. The corpus itself is rolled back
+  /// separately (Corpus::RollbackTo with the AppliedDelta's mark).
+  struct IngestSnapshot {
+    SolveStats stats;
+    size_t solved_bloggers = 0;
+    size_t solved_posts = 0;
+    size_t solved_comments = 0;
+    size_t solved_links = 0;
+    bool gl_cache_valid = false;
+    GlMethod gl_cached_method = GlMethod::kPageRank;
+    PageRankOptions gl_cached_pagerank;
+    int gl_cached_iterations = 0;
+    size_t gl_cached_bloggers = 0;
+    size_t gl_cached_links = 0;
+    SolverMatrix matrix;
+    bool matrix_valid = false;
+    std::vector<double> gl;
+    std::vector<double> ap;
+    std::vector<double> influence;
+    std::vector<double> post_quality;
+    std::vector<double> post_influence;
+    std::vector<double> post_recency;
+    std::vector<double> comment_recency;
+    std::vector<double> comment_sf;
+    std::vector<double> post_length_raw;
+    std::vector<size_t> post_copy_indicators;
+    std::vector<int> comment_sentiment;
+    std::vector<std::vector<double>> post_interests;
+    std::vector<std::vector<double>> domain_influence;
+  };
+  IngestSnapshot CaptureIngestSnapshot() const;
+  void RestoreIngestSnapshot(IngestSnapshot&& snapshot);
+
   int SolverThreadCount() const;
   /// Lazily creates (and reuses across Retune) the solver's worker pool;
   /// nullptr when one thread is requested.

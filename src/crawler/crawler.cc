@@ -1,6 +1,8 @@
 #include "crawler/crawler.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -9,23 +11,19 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "storage/checkpoint_xml.h"
 
 namespace mass {
 
 namespace {
 
-// Fetches with bounded retries on transient (IOError) failures.
-Result<BloggerPage> FetchWithRetry(BlogHost* host, const std::string& url,
-                                   int max_retries, size_t* retries) {
-  Status last = Status::OK();
-  for (int attempt = 0; attempt <= max_retries; ++attempt) {
-    Result<BloggerPage> r = host->Fetch(url);
-    if (r.ok()) return r;
-    last = r.status();
-    if (!last.IsIOError()) return last;  // permanent: don't retry
-    if (attempt < max_retries) ++*retries;
-  }
-  return last;
+// True when the checkpoint file exists (any readable file counts; parse
+// errors are surfaced by the loader).
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -38,6 +36,10 @@ Result<CrawlResult> Crawl(BlogHost* host,
   if (options.num_threads <= 0) {
     return Status::InvalidArgument("num_threads must be positive");
   }
+  if (options.resume_from_checkpoint && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "resume_from_checkpoint requires checkpoint_path");
+  }
 
   Stopwatch timer;
   CrawlResult result;
@@ -47,23 +49,63 @@ Result<CrawlResult> Crawl(BlogHost* host,
   // order), independent of thread scheduling.
   std::unordered_set<std::string> scheduled;
   std::vector<std::string> frontier;
-  for (const std::string& url : seed_urls) {
-    if (scheduled.insert(url).second) frontier.push_back(url);
-  }
+  // Successfully fetched pages in corpus-assembly order; this is also the
+  // checkpoint journal.
+  std::vector<BloggerPage> journal;
+  int depth = 0;
 
-  // url -> fetched page; insertion order preserved via pages_order.
-  std::unordered_map<std::string, BloggerPage> pages;
-  std::vector<std::string> pages_order;
+  if (options.resume_from_checkpoint && FileExists(options.checkpoint_path)) {
+    MASS_ASSIGN_OR_RETURN(CrawlCheckpoint cp,
+                          LoadCrawlCheckpoint(options.checkpoint_path));
+    depth = cp.depth;
+    frontier = std::move(cp.frontier);
+    scheduled.insert(cp.scheduled.begin(), cp.scheduled.end());
+    journal = std::move(cp.journal);
+    result.pages_fetched = cp.pages_fetched;
+    result.fetch_failures = cp.fetch_failures;
+    result.transient_retries = cp.transient_retries;
+    result.frontier_truncated = cp.frontier_truncated;
+    result.resumed = true;
+    MASS_LOG(Debug) << "crawl resumed at depth " << depth << " with "
+                    << journal.size() << " journaled pages";
+  } else {
+    for (const std::string& url : seed_urls) {
+      if (scheduled.insert(url).second) frontier.push_back(url);
+    }
+  }
+  const size_t base_retries = result.transient_retries;
+
+  FetcherOptions fetcher_options;
+  fetcher_options.backoff = options.backoff;
+  fetcher_options.backoff.max_retries = options.max_retries;
+  fetcher_options.breaker = options.breaker;
+  fetcher_options.backoff_seed = options.backoff_seed;
+  fetcher_options.time_budget_micros = options.crawl_budget_micros;
+  RobustFetcher fetcher(host, fetcher_options);
 
   ThreadPool pool(static_cast<size_t>(options.num_threads));
-  std::mutex mu;
 
-  int depth = 0;
+  auto save_checkpoint = [&]() -> Status {
+    if (options.checkpoint_path.empty()) return Status::OK();
+    CrawlCheckpoint cp;
+    cp.depth = depth;
+    cp.frontier = frontier;
+    cp.scheduled.assign(scheduled.begin(), scheduled.end());
+    std::sort(cp.scheduled.begin(), cp.scheduled.end());
+    cp.journal = journal;
+    cp.pages_fetched = result.pages_fetched;
+    cp.fetch_failures = result.fetch_failures;
+    cp.transient_retries = base_retries + fetcher.stats().retries;
+    cp.frontier_truncated = result.frontier_truncated;
+    return SaveCrawlCheckpoint(cp, options.checkpoint_path);
+  };
+
+  int levels_this_run = 0;
   while (!frontier.empty()) {
     // Apply the page budget before fetching.
     if (options.max_pages > 0) {
-      size_t room = options.max_pages > pages_order.size()
-                        ? options.max_pages - pages_order.size()
+      size_t room = options.max_pages > journal.size()
+                        ? options.max_pages - journal.size()
                         : 0;
       if (frontier.size() > room) {
         result.frontier_truncated += frontier.size() - room;
@@ -72,24 +114,28 @@ Result<CrawlResult> Crawl(BlogHost* host,
       if (frontier.empty()) break;
     }
 
+    // A lone seed level has no peer fetches to pace against, so it is
+    // exempt from the politeness delay. Retries never re-pay politeness:
+    // they are paced by the fetcher's backoff instead.
+    const bool polite_level =
+        options.politeness_micros > 0 &&
+        !(depth == 0 && frontier.size() == 1 && !result.resumed);
+
     std::vector<Result<BloggerPage>> fetched(frontier.size(),
                                              Result<BloggerPage>());
-    std::vector<size_t> retry_counts(frontier.size(), 0);
     for (size_t i = 0; i < frontier.size(); ++i) {
       pool.Submit([&, i] {
-        if (options.politeness_micros > 0) {
+        if (polite_level) {
           std::this_thread::sleep_for(
               std::chrono::microseconds(options.politeness_micros));
         }
-        fetched[i] = FetchWithRetry(host, frontier[i], options.max_retries,
-                                    &retry_counts[i]);
+        fetched[i] = fetcher.Fetch(frontier[i]);
       });
     }
     pool.WaitIdle();
 
     std::vector<std::string> next_frontier;
     for (size_t i = 0; i < frontier.size(); ++i) {
-      result.transient_retries += retry_counts[i];
       if (!fetched[i].ok()) {
         ++result.fetch_failures;
         MASS_LOG(Debug) << "crawl failed for " << frontier[i] << ": "
@@ -113,18 +159,26 @@ Result<CrawlResult> Crawl(BlogHost* host,
         for (const RemoteComment& c : p.comments) discover(c.commenter_url);
       }
 
-      pages_order.push_back(page.url);
-      pages.emplace(page.url, std::move(page));
+      journal.push_back(std::move(page));
     }
     frontier = std::move(next_frontier);
     ++depth;
+    ++levels_this_run;
+
+    MASS_RETURN_IF_ERROR(save_checkpoint());
+    if (options.stop_after_levels > 0 &&
+        levels_this_run >= options.stop_after_levels && !frontier.empty()) {
+      return Status::Aborted("crawl stopped after " +
+                             std::to_string(levels_this_run) +
+                             " levels (crash hook)");
+    }
+    if (fetcher.budget_exhausted()) break;
   }
 
   // ---- Assemble the crawled corpus ----
   Corpus& corpus = result.corpus;
   std::unordered_map<std::string, BloggerId> id_of;
-  for (const std::string& url : pages_order) {
-    const BloggerPage& page = pages.at(url);
+  for (const BloggerPage& page : journal) {
     Blogger b;
     b.name = page.name;
     b.url = page.url;
@@ -132,11 +186,10 @@ Result<CrawlResult> Crawl(BlogHost* host,
     b.true_expertise = page.true_expertise;
     b.true_spammer = page.true_spammer;
     b.true_interests = page.true_interests;
-    id_of.emplace(url, corpus.AddBlogger(std::move(b)));
+    id_of.emplace(page.url, corpus.AddBlogger(std::move(b)));
   }
-  for (const std::string& url : pages_order) {
-    const BloggerPage& page = pages.at(url);
-    BloggerId author = id_of.at(url);
+  for (const BloggerPage& page : journal) {
+    BloggerId author = id_of.at(page.url);
     for (const RemotePost& rp : page.posts) {
       Post p;
       p.author = author;
@@ -167,6 +220,13 @@ Result<CrawlResult> Crawl(BlogHost* host,
   }
   corpus.BuildIndexes();
   MASS_RETURN_IF_ERROR(corpus.Validate());
+
+  const FetcherStats fs = fetcher.stats();
+  result.transient_retries = base_retries + fs.retries;
+  result.corrupt_pages = fs.corrupt_pages;
+  result.breaker_short_circuits = fs.breaker_short_circuits;
+  result.breaker_trips = fs.breaker_trips;
+  result.budget_exhausted = fs.budget_exhausted > 0;
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -8,6 +8,13 @@
 // bloggers and commenters are enqueued at depth d + 1 while d + 1 <= radius.
 // Comments whose commenter lies outside the crawled set are dropped, as are
 // links to uncrawled spaces, so the returned corpus is self-contained.
+//
+// Fetches go through RobustFetcher: exponential backoff with decorrelated
+// jitter on transient failures, per-host circuit breaking, payload
+// validation, and an optional overall time budget. With a checkpoint path
+// set the crawl persists its frontier, scheduled set, and fetched-page
+// journal after every completed level, so a killed crawl resumes without
+// refetching and converges to the identical corpus.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 
 #include "common/result.h"
 #include "crawler/blog_host.h"
+#include "crawler/fetcher.h"
 #include "model/corpus.h"
 
 namespace mass {
@@ -28,22 +36,50 @@ struct CrawlOptions {
   int radius = -1;
   /// Upper bound on crawled spaces; 0 means unlimited.
   size_t max_pages = 0;
-  /// Retries per URL on transient (IOError) failures.
+  /// Retries per URL on transient (IOError/Corruption) failures. Remains
+  /// authoritative: it overrides backoff.max_retries.
   int max_retries = 3;
-  /// Politeness delay inserted before every fetch, per worker thread
-  /// (microseconds). 0 disables. Real crawlers rate-limit per host; the
+  /// Politeness delay inserted before the first attempt at each URL, per
+  /// worker thread (microseconds). 0 disables. Retries pace themselves by
+  /// backoff instead, and a single-seed first level is exempt (there is
+  /// nothing to be polite between). Real crawlers rate-limit per host; the
   /// synthetic host has one "host", so this is a global pace control.
   int politeness_micros = 0;
+  /// Retry pacing for transient failures (see common/backoff.h).
+  BackoffPolicy backoff;
+  /// Per-host circuit breaker configuration.
+  CircuitBreakerOptions breaker;
+  /// Mixed into each URL's deterministic backoff stream.
+  uint64_t backoff_seed = 0;
+  /// Wall-clock budget for the whole crawl (microseconds); once exceeded
+  /// remaining fetches fail fast and the crawl winds down. 0 = unlimited.
+  int64_t crawl_budget_micros = 0;
+  /// When non-empty, a CrawlCheckpoint is written (atomically) to this
+  /// path after every completed BFS level.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path` if the file exists (a missing file
+  /// starts a fresh crawl). Requires a non-empty checkpoint_path.
+  bool resume_from_checkpoint = false;
+  /// Test hook simulating a crash: abort (Status::Aborted) after this many
+  /// levels have been completed and checkpointed in this run, if work
+  /// remains. 0 disables.
+  int stop_after_levels = 0;
 };
 
-/// Crawl outcome: the harvested corpus plus statistics.
+/// Crawl outcome: the harvested corpus plus statistics. Counters are
+/// cumulative across resumed runs.
 struct CrawlResult {
   Corpus corpus;
   size_t pages_fetched = 0;       ///< successfully fetched spaces
   size_t fetch_failures = 0;      ///< fetches that exhausted retries
   size_t transient_retries = 0;   ///< retried transient failures
   size_t frontier_truncated = 0;  ///< URLs skipped by radius/max_pages
-  double elapsed_seconds = 0.0;
+  size_t corrupt_pages = 0;       ///< payloads rejected by URL validation
+  size_t breaker_short_circuits = 0;  ///< fetches refused by open breakers
+  size_t breaker_trips = 0;       ///< circuit breaker open events
+  bool budget_exhausted = false;  ///< the crawl time budget cut fetches off
+  bool resumed = false;           ///< this run started from a checkpoint
+  double elapsed_seconds = 0.0;   ///< this run only
 };
 
 /// Runs a crawl against `host` from `seed_urls`.

@@ -5,83 +5,125 @@
 
 namespace mass {
 
+FetcherOptions DeltaStream::MakeFetcherOptions(
+    const DeltaStreamOptions& options) {
+  FetcherOptions fo;
+  fo.backoff = options.backoff;
+  fo.backoff.max_retries = options.max_retries;
+  fo.breaker = options.breaker;
+  fo.validate_page_url = options.validate_page_url;
+  fo.backoff_seed = options.backoff_seed;
+  return fo;
+}
+
 DeltaStream::DeltaStream(BlogHost* host, std::vector<std::string> urls,
                          DeltaStreamOptions options)
-    : host_(host), urls_(std::move(urls)), options_(options) {
+    : host_(host),
+      urls_(std::move(urls)),
+      options_(options),
+      fetcher_(host, MakeFetcherOptions(options)) {
   if (options_.batch_pages == 0) options_.batch_pages = 1;
+}
+
+DeltaStreamCheckpoint DeltaStream::checkpoint() const {
+  DeltaStreamCheckpoint cp;
+  cp.cursor = next_;
+  cp.pages_emitted = pages_emitted_;
+  cp.fetch_failures = fetch_failures_;
+  cp.batches_emitted = batches_emitted_;
+  return cp;
+}
+
+Status DeltaStream::Restore(const DeltaStreamCheckpoint& checkpoint) {
+  if (checkpoint.cursor > urls_.size()) {
+    return Status::OutOfRange(
+        "stream checkpoint cursor exceeds URL list length");
+  }
+  next_ = static_cast<size_t>(checkpoint.cursor);
+  pages_emitted_ = static_cast<size_t>(checkpoint.pages_emitted);
+  fetch_failures_ = static_cast<size_t>(checkpoint.fetch_failures);
+  batches_emitted_ = static_cast<size_t>(checkpoint.batches_emitted);
+  last_batch_failures_ = 0;
+  return Status::OK();
 }
 
 Result<CorpusDelta> DeltaStream::Next() {
   if (done()) {
     return Status::FailedPrecondition("delta stream exhausted");
   }
-  CorpusDelta delta;
-  Corpus& frag = delta.additions;
-  // Fragment-local URL index; within a batch the same blogger (page,
-  // commenter, or link target) maps to one fragment id. Cross-batch
-  // dedup is ApplyCorpusDelta's job.
-  std::unordered_map<std::string, BloggerId> local;
-  auto blogger_for_url = [&](const std::string& url) {
-    auto it = local.find(url);
-    if (it != local.end()) return it->second;
-    Blogger stub;
-    stub.url = url;
-    BloggerId id = frag.AddBlogger(std::move(stub));
-    local.emplace(url, id);
-    return id;
-  };
+  last_batch_failures_ = 0;
+  while (!done()) {
+    CorpusDelta delta;
+    Corpus& frag = delta.additions;
+    // Fragment-local URL index; within a batch the same blogger (page,
+    // commenter, or link target) maps to one fragment id. Cross-batch
+    // dedup is ApplyCorpusDelta's job.
+    std::unordered_map<std::string, BloggerId> local;
+    auto blogger_for_url = [&](const std::string& url) {
+      auto it = local.find(url);
+      if (it != local.end()) return it->second;
+      Blogger stub;
+      stub.url = url;
+      BloggerId id = frag.AddBlogger(std::move(stub));
+      local.emplace(url, id);
+      return id;
+    };
 
-  const size_t end = std::min(next_ + options_.batch_pages, urls_.size());
-  for (; next_ < end; ++next_) {
-    Result<BloggerPage> fetched = host_->Fetch(urls_[next_]);
-    for (int attempt = 0;
-         !fetched.ok() && fetched.status().IsIOError() &&
-         attempt < options_.max_retries;
-         ++attempt) {
-      fetched = host_->Fetch(urls_[next_]);
-    }
-    if (!fetched.ok()) {
-      ++fetch_failures_;
-      continue;
-    }
-    const BloggerPage& page = *fetched;
-    const BloggerId bid = blogger_for_url(page.url);
-    // Fill the page owner's metadata (the record may have been created as
-    // a stub moments ago by an earlier page in this batch).
-    Blogger& rec = frag.mutable_blogger(bid);
-    rec.name = page.name;
-    rec.profile = page.profile;
-    rec.true_expertise = page.true_expertise;
-    rec.true_spammer = page.true_spammer;
-    rec.true_interests = page.true_interests;
-
-    for (const RemotePost& rp : page.posts) {
-      Post post;
-      post.author = bid;
-      post.title = rp.title;
-      post.content = rp.content;
-      post.timestamp = rp.timestamp;
-      post.true_domain = rp.true_domain;
-      post.true_copy = rp.true_copy;
-      MASS_ASSIGN_OR_RETURN(PostId pid, frag.AddPost(std::move(post)));
-      for (const RemoteComment& rc : rp.comments) {
-        Comment comment;
-        comment.post = pid;
-        comment.commenter = blogger_for_url(rc.commenter_url);
-        comment.text = rc.text;
-        comment.timestamp = rc.timestamp;
-        comment.true_attitude = rc.true_attitude;
-        MASS_RETURN_IF_ERROR(frag.AddComment(std::move(comment)).status());
+    const size_t end = std::min(next_ + options_.batch_pages, urls_.size());
+    for (; next_ < end; ++next_) {
+      Result<BloggerPage> fetched = fetcher_.Fetch(urls_[next_]);
+      if (!fetched.ok()) {
+        ++fetch_failures_;
+        ++last_batch_failures_;
+        continue;
       }
+      const BloggerPage& page = *fetched;
+      const BloggerId bid = blogger_for_url(page.url);
+      // Fill the page owner's metadata (the record may have been created
+      // as a stub moments ago by an earlier page in this batch).
+      Blogger& rec = frag.mutable_blogger(bid);
+      rec.name = page.name;
+      rec.profile = page.profile;
+      rec.true_expertise = page.true_expertise;
+      rec.true_spammer = page.true_spammer;
+      rec.true_interests = page.true_interests;
+
+      for (const RemotePost& rp : page.posts) {
+        Post post;
+        post.author = bid;
+        post.title = rp.title;
+        post.content = rp.content;
+        post.timestamp = rp.timestamp;
+        post.true_domain = rp.true_domain;
+        post.true_copy = rp.true_copy;
+        MASS_ASSIGN_OR_RETURN(PostId pid, frag.AddPost(std::move(post)));
+        for (const RemoteComment& rc : rp.comments) {
+          Comment comment;
+          comment.post = pid;
+          comment.commenter = blogger_for_url(rc.commenter_url);
+          comment.text = rc.text;
+          comment.timestamp = rc.timestamp;
+          comment.true_attitude = rc.true_attitude;
+          MASS_RETURN_IF_ERROR(frag.AddComment(std::move(comment)).status());
+        }
+      }
+      for (const std::string& target : page.linked_urls) {
+        const BloggerId to = blogger_for_url(target);
+        if (to == bid) continue;  // self-links carry no authority signal
+        MASS_RETURN_IF_ERROR(frag.AddLink(bid, to));
+      }
+      ++pages_emitted_;
     }
-    for (const std::string& target : page.linked_urls) {
-      const BloggerId to = blogger_for_url(target);
-      if (to == bid) continue;  // self-links carry no authority signal
-      MASS_RETURN_IF_ERROR(frag.AddLink(bid, to));
+    if (!frag.bloggers().empty()) {
+      ++batches_emitted_;
+      return delta;
     }
-    ++pages_emitted_;
+    // Every fetch in this batch failed; fall through to the next one so
+    // callers never see a no-op delta while pages remain.
   }
-  return delta;
+  // The remaining URLs yielded nothing at all: surface end-of-stream as
+  // one final empty delta (done() is now true; changed() will be false).
+  return CorpusDelta{};
 }
 
 }  // namespace mass

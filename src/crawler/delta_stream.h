@@ -9,6 +9,13 @@
 // application enriches the existing record (model/corpus_delta). Unlike
 // Crawl(), nothing is dropped: cross-batch references resolve at
 // application time through the URL identity key.
+//
+// Fetches go through RobustFetcher (backoff with jitter, per-host circuit
+// breaking, payload validation). A batch whose fetches all fail is skipped
+// — Next() advances to the first batch that yields pages, so callers never
+// ingest a no-op delta unless the stream is exhausted. The stream's cursor
+// is checkpointable (storage/checkpoint_xml), so a killed streaming run
+// resumes at the exact batch boundary without refetching.
 #pragma once
 
 #include <cstddef>
@@ -18,7 +25,9 @@
 
 #include "common/result.h"
 #include "crawler/blog_host.h"
+#include "crawler/fetcher.h"
 #include "model/corpus_delta.h"
+#include "storage/checkpoint_xml.h"
 
 namespace mass {
 
@@ -26,8 +35,17 @@ namespace mass {
 struct DeltaStreamOptions {
   /// Blogger pages fetched per emitted delta.
   size_t batch_pages = 64;
-  /// Retries per URL on transient (IOError) failures, as in CrawlOptions.
+  /// Retries per URL on transient (IOError/Corruption) failures, as in
+  /// CrawlOptions. Remains authoritative over backoff.max_retries.
   int max_retries = 3;
+  /// Retry pacing for transient failures (see common/backoff.h).
+  BackoffPolicy backoff;
+  /// Per-host circuit breaker configuration.
+  CircuitBreakerOptions breaker;
+  /// Reject pages whose URL does not match the request.
+  bool validate_page_url = true;
+  /// Mixed into each URL's deterministic backoff stream.
+  uint64_t backoff_seed = 0;
 };
 
 /// Single-threaded batch emitter over `host`. The host must outlive the
@@ -46,21 +64,44 @@ class DeltaStream {
   /// True when every URL has been consumed.
   bool done() const { return next_ >= urls_.size(); }
 
-  /// Fetches the next batch of pages and returns them as one delta.
-  /// FailedPrecondition once done(); pages whose fetches exhaust retries
-  /// (or 404) are skipped and counted in fetch_failures().
+  /// Fetches batches until one yields at least one page and returns it as
+  /// a delta; fully-failed batches are skipped. Returns an empty delta
+  /// only when the remaining URLs are exhausted without a single success
+  /// (done() is then true). FailedPrecondition once done(); pages whose
+  /// fetches exhaust retries (or 404) are skipped and counted in
+  /// fetch_failures().
   Result<CorpusDelta> Next();
 
   size_t pages_emitted() const { return pages_emitted_; }
   size_t fetch_failures() const { return fetch_failures_; }
+  /// Non-empty deltas returned so far.
+  size_t batches_emitted() const { return batches_emitted_; }
+  /// Failed fetches in the batches consumed by the last Next() call.
+  size_t last_batch_failures() const { return last_batch_failures_; }
+
+  /// Fetch-layer statistics (retries, corrupt pages, breaker activity).
+  FetcherStats fetcher_stats() const { return fetcher_.stats(); }
+
+  /// Resumable cursor state for storage/checkpoint_xml.
+  DeltaStreamCheckpoint checkpoint() const;
+
+  /// Rewinds/forwards the stream to a previously saved checkpoint. The
+  /// cursor must not exceed the URL list length (OutOfRange otherwise —
+  /// the checkpoint belongs to a different URL list).
+  Status Restore(const DeltaStreamCheckpoint& checkpoint);
 
  private:
+  static FetcherOptions MakeFetcherOptions(const DeltaStreamOptions& options);
+
   BlogHost* host_;
   std::vector<std::string> urls_;
   DeltaStreamOptions options_;
+  RobustFetcher fetcher_;
   size_t next_ = 0;
   size_t pages_emitted_ = 0;
   size_t fetch_failures_ = 0;
+  size_t batches_emitted_ = 0;
+  size_t last_batch_failures_ = 0;
 };
 
 }  // namespace mass

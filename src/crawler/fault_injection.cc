@@ -1,0 +1,120 @@
+#include "crawler/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/backoff.h"
+#include "common/rng.h"
+
+namespace mass {
+namespace {
+
+// Mixes the plan seed, URL hash, and attempt number into one stream seed.
+// The golden-ratio constant decorrelates consecutive attempts.
+uint64_t FaultStreamSeed(uint64_t seed, const std::string& url, int attempt) {
+  return seed ^ StableHash64(url) ^
+         (static_cast<uint64_t>(attempt) * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace
+
+const FaultSpec& FaultPlan::SpecFor(const std::string& url) const {
+  auto it = overrides.find(url);
+  return it != overrides.end() ? it->second : defaults;
+}
+
+FaultKind DrawFault(const FaultPlan& plan, const std::string& url,
+                    int attempt) {
+  const FaultSpec& spec = plan.SpecFor(url);
+  if (attempt < spec.fail_first_attempts) return FaultKind::kTransient;
+  if (spec.flap_period > 0 && (attempt / spec.flap_period) % 2 == 0) {
+    return FaultKind::kTransient;
+  }
+  const double total =
+      spec.permanent_rate + spec.transient_rate + spec.corrupt_rate;
+  if (total <= 0.0) return FaultKind::kNone;
+  Rng rng(FaultStreamSeed(plan.seed, url, attempt));
+  const double u = rng.NextDouble();
+  if (u < spec.permanent_rate) return FaultKind::kPermanent;
+  if (u < spec.permanent_rate + spec.transient_rate) {
+    return FaultKind::kTransient;
+  }
+  if (u < total) return FaultKind::kCorrupt;
+  return FaultKind::kNone;
+}
+
+FaultInjectingHost::FaultInjectingHost(BlogHost* inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)) {}
+
+Result<BloggerPage> FaultInjectingHost::Fetch(const std::string& url) {
+  int attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[url]++;
+  }
+  const FaultSpec& spec = plan_.SpecFor(url);
+  if (spec.added_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(spec.added_latency_micros));
+  }
+  switch (DrawFault(plan_, url, attempt)) {
+    case FaultKind::kTransient: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++transient_faults_;
+      return Status::IOError("injected transient failure fetching " + url);
+    }
+    case FaultKind::kPermanent: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++permanent_faults_;
+      return Status::NotFound("injected permanent failure fetching " + url);
+    }
+    case FaultKind::kCorrupt: {
+      auto page = inner_->Fetch(url);
+      if (!page.ok()) return page;
+      // Serve a payload whose URL no longer matches the request; a
+      // validating fetcher rejects it as Corruption and retries.
+      BloggerPage corrupted = std::move(page).value();
+      corrupted.url += "#corrupt";
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++corrupt_faults_;
+      }
+      return corrupted;
+    }
+    case FaultKind::kNone:
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++passthroughs_;
+  }
+  return inner_->Fetch(url);
+}
+
+int FaultInjectingHost::attempts(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attempts_.find(url);
+  return it != attempts_.end() ? it->second : 0;
+}
+
+uint64_t FaultInjectingHost::transient_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transient_faults_;
+}
+
+uint64_t FaultInjectingHost::permanent_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return permanent_faults_;
+}
+
+uint64_t FaultInjectingHost::corrupt_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_faults_;
+}
+
+uint64_t FaultInjectingHost::passthroughs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passthroughs_;
+}
+
+}  // namespace mass

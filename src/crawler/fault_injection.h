@@ -1,0 +1,103 @@
+// Deterministic fault injection for the crawl/ingest stack.
+//
+// FaultInjectingHost wraps any BlogHost and perturbs its responses
+// according to a scripted, seedable FaultPlan: transient failures
+// (IOError, the crawler retries), permanent failures (NotFound), corrupt
+// pages (payload whose URL no longer matches the request), added latency,
+// forced failures on the first N attempts, and periodic flapping.
+//
+// Every fault draw is a pure function of (plan seed, URL hash, attempt
+// number) — NOT of shared-RNG call order — so a given plan produces the
+// identical failure pattern no matter how the thread pool interleaves
+// fetches, and a resumed crawl sees the same faults as an uninterrupted
+// one. This replaces SyntheticBlogHostOptions::transient_failure_rate as
+// the test driver for robustness suites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "crawler/blog_host.h"
+
+namespace mass {
+
+/// What a single fault draw resolved to.
+enum class FaultKind {
+  kNone,       ///< pass the request through untouched
+  kTransient,  ///< IOError — retryable
+  kPermanent,  ///< NotFound — not retryable
+  kCorrupt,    ///< page served with a mismatched URL — detectable, retryable
+};
+
+/// Per-URL fault behaviour. Scripted fields (fail_first_attempts,
+/// flap_period) take precedence over the stochastic rates.
+struct FaultSpec {
+  /// Probability an attempt fails with a retryable IOError.
+  double transient_rate = 0.0;
+  /// Probability an attempt fails with a non-retryable NotFound.
+  double permanent_rate = 0.0;
+  /// Probability an attempt returns a corrupted page (URL mismatch).
+  double corrupt_rate = 0.0;
+  /// Real sleep added to every attempt (success or failure).
+  int64_t added_latency_micros = 0;
+  /// Force the first N attempts for the URL to fail transiently.
+  int fail_first_attempts = 0;
+  /// If > 0, attempts alternate in blocks of this size: the first
+  /// `flap_period` attempts fail transiently, the next succeed, and so on
+  /// (a host that flaps up and down).
+  int flap_period = 0;
+};
+
+/// A complete scripted fault scenario: a default spec, exact-URL
+/// overrides, and the seed that fixes every stochastic draw.
+struct FaultPlan {
+  uint64_t seed = 0;
+  FaultSpec defaults;
+  std::map<std::string, FaultSpec> overrides;
+
+  /// The spec governing `url` (override if present, else defaults).
+  const FaultSpec& SpecFor(const std::string& url) const;
+};
+
+/// Resolves the fault for attempt `attempt` (0-based) at `url` under
+/// `plan`. Pure function — callable from tests to predict behaviour.
+FaultKind DrawFault(const FaultPlan& plan, const std::string& url,
+                    int attempt);
+
+/// BlogHost decorator applying a FaultPlan to an inner host.
+///
+/// Thread-safe. Attempt numbers are tracked per URL so the draw for a
+/// URL's k-th attempt is the same whether the crawl runs straight through
+/// or is killed and resumed (journaled URLs are simply never re-asked).
+class FaultInjectingHost : public BlogHost {
+ public:
+  /// `inner` must outlive this host.
+  FaultInjectingHost(BlogHost* inner, FaultPlan plan);
+
+  Result<BloggerPage> Fetch(const std::string& url) override;
+
+  /// Attempts observed so far for `url` (0 if never requested).
+  int attempts(const std::string& url) const;
+
+  uint64_t transient_faults() const;
+  uint64_t permanent_faults() const;
+  uint64_t corrupt_faults() const;
+  uint64_t passthroughs() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  BlogHost* inner_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, int> attempts_;
+  uint64_t transient_faults_ = 0;
+  uint64_t permanent_faults_ = 0;
+  uint64_t corrupt_faults_ = 0;
+  uint64_t passthroughs_ = 0;
+};
+
+}  // namespace mass

@@ -1,0 +1,134 @@
+#include "crawler/fetcher.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace mass {
+
+RobustFetcher::RobustFetcher(BlogHost* host, FetcherOptions options,
+                             SleepFn sleep, ClockFn clock)
+    : host_(host),
+      options_(std::move(options)),
+      sleep_(std::move(sleep)),
+      clock_(std::move(clock)) {
+  start_micros_ = NowMicros();
+}
+
+int64_t RobustFetcher::NowMicros() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RobustFetcher::SleepMicros(int64_t micros) const {
+  if (micros <= 0) return;
+  if (sleep_) {
+    sleep_(micros);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+std::string RobustFetcher::HostOf(const std::string& url) {
+  size_t scheme_end = url.find("://");
+  size_t authority_start = scheme_end == std::string::npos ? 0 : scheme_end + 3;
+  size_t path_start = url.find('/', authority_start);
+  return path_start == std::string::npos ? url : url.substr(0, path_start);
+}
+
+CircuitBreaker* RobustFetcher::breaker_for(const std::string& url) {
+  const std::string host = HostOf(url);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(host);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(host, std::make_unique<CircuitBreaker>(options_.breaker,
+                                                             clock_))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
+  CircuitBreaker* breaker = breaker_for(url);
+  BackoffSchedule schedule(options_.backoff,
+                           StableHash64(url) ^ options_.backoff_seed);
+  Status last = Status::IOError("no fetch attempted for " + url);
+  while (true) {
+    if (options_.time_budget_micros > 0 &&
+        NowMicros() - start_micros_ >= options_.time_budget_micros) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+      ++stats_.budget_exhausted;
+      return Status::Aborted("crawl time budget exhausted before fetching " +
+                             url);
+    }
+    if (!breaker->Allow()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+      ++stats_.breaker_short_circuits;
+      return Status::Aborted("circuit open for host " + HostOf(url));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+    }
+    auto page = host_->Fetch(url);
+    if (page.ok()) {
+      if (options_.validate_page_url && page.value().url != url) {
+        last = Status::Corruption("page served for " + url +
+                                  " carries mismatched url " +
+                                  page.value().url);
+        breaker->RecordFailure();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.corrupt_pages;
+      } else {
+        breaker->RecordSuccess();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.successes;
+        return page;
+      }
+    } else {
+      last = page.status();
+      if (last.IsNotFound()) {
+        // The page legitimately does not exist; the host is healthy, so a
+        // permanent miss neither trips the breaker nor earns a retry.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failures;
+        return last;
+      }
+      breaker->RecordFailure();
+    }
+    const int64_t delay = schedule.NextDelayMicros();
+    if (delay < 0) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+      stats_.retry_sleep_micros += static_cast<uint64_t>(delay);
+    }
+    SleepMicros(delay);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+  }
+  return last;
+}
+
+FetcherStats RobustFetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FetcherStats out = stats_;
+  for (const auto& [host, b] : breakers_) {
+    out.breaker_trips += b->trips();
+  }
+  return out;
+}
+
+bool RobustFetcher::budget_exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.budget_exhausted > 0;
+}
+
+}  // namespace mass

@@ -1,0 +1,104 @@
+// RobustFetcher: the retry discipline shared by Crawl() and DeltaStream.
+//
+// Wraps a BlogHost and applies, per fetch: exponential backoff with
+// decorrelated jitter (seeded by the URL hash, so delay sequences are
+// deterministic and schedule-free), a per-fetch retry/deadline budget, an
+// overall wall-clock time budget for the whole crawl, payload validation
+// (a page whose URL does not match the request is Corruption and is
+// retried), and a per-host circuit breaker so a dead host fails fast
+// instead of burning the retry budget URL by URL.
+//
+// Sleep and clock are injectable so tests exercise the full discipline in
+// microseconds of real time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/backoff.h"
+#include "crawler/blog_host.h"
+
+namespace mass {
+
+/// Tuning for RobustFetcher.
+struct FetcherOptions {
+  /// Retry pacing for each fetch.
+  BackoffPolicy backoff;
+  /// Per-host breaker configuration.
+  CircuitBreakerOptions breaker;
+  /// Reject pages whose URL does not match the requested URL (Corruption,
+  /// retryable — the transport may serve a sane copy next attempt).
+  bool validate_page_url = true;
+  /// Mixed into each URL's backoff stream.
+  uint64_t backoff_seed = 0;
+  /// Wall-clock budget for ALL fetches through this fetcher, measured from
+  /// construction; once exceeded every fetch fails with Aborted. 0 = none.
+  int64_t time_budget_micros = 0;
+};
+
+/// Aggregate counters, cheap to copy out for CrawlResult / stream stats.
+struct FetcherStats {
+  uint64_t attempts = 0;        ///< host Fetch() calls issued
+  uint64_t successes = 0;       ///< fetches that returned a valid page
+  uint64_t failures = 0;        ///< fetches that gave up (all causes)
+  uint64_t retries = 0;         ///< backoff sleeps taken
+  uint64_t retry_sleep_micros = 0;  ///< total backoff time requested
+  uint64_t corrupt_pages = 0;   ///< payloads rejected by URL validation
+  uint64_t breaker_short_circuits = 0;  ///< fetches refused by open breakers
+  uint64_t breaker_trips = 0;   ///< breaker closed/half-open -> open events
+  uint64_t budget_exhausted = 0;  ///< fetches refused by the time budget
+};
+
+/// Thread-safe retrying fetch front-end over a BlogHost.
+class RobustFetcher {
+ public:
+  /// Sleeps for the given microseconds; injectable for tests.
+  using SleepFn = std::function<void(int64_t)>;
+  /// Monotonic clock in microseconds; injectable for tests.
+  using ClockFn = std::function<int64_t()>;
+
+  /// `host` must outlive the fetcher. Null `sleep`/`clock` use the real
+  /// std::this_thread::sleep_for / steady_clock.
+  RobustFetcher(BlogHost* host, FetcherOptions options, SleepFn sleep = {},
+                ClockFn clock = {});
+
+  /// Fetches `url` with retries. Terminal outcomes:
+  ///  - OK with a validated page;
+  ///  - NotFound (permanent, never retried, does not trip the breaker);
+  ///  - IOError/Corruption after the retry budget is spent;
+  ///  - Aborted when the host's breaker is open or the overall time budget
+  ///    is exhausted.
+  Result<BloggerPage> Fetch(const std::string& url);
+
+  FetcherStats stats() const;
+
+  /// True once the overall time budget has refused at least one fetch.
+  bool budget_exhausted() const;
+
+  /// The breaker guarding `url`'s host (created on first use). Exposed for
+  /// tests and for surfacing per-host state.
+  CircuitBreaker* breaker_for(const std::string& url);
+
+  /// "scheme://authority" of `url` (the whole string when no scheme).
+  static std::string HostOf(const std::string& url);
+
+ private:
+  int64_t NowMicros() const;
+  void SleepMicros(int64_t micros) const;
+
+  BlogHost* host_;
+  FetcherOptions options_;
+  SleepFn sleep_;
+  ClockFn clock_;
+  int64_t start_micros_ = 0;
+
+  mutable std::mutex mu_;
+  FetcherStats stats_;
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace mass

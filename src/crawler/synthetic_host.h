@@ -17,7 +17,7 @@ namespace mass {
 /// Failure/latency injection knobs.
 struct SyntheticHostOptions {
   double transient_failure_rate = 0.0;  ///< probability a Fetch IOErrors
-  int latency_micros = 0;               ///< per-fetch busy-wait latency
+  int latency_micros = 0;               ///< per-fetch sleep_for latency
   uint64_t seed = 7;                    ///< failure-draw RNG seed
 };
 

@@ -124,6 +124,33 @@ void Corpus::ExtendIndexes() {
   indexes_built_ = true;
 }
 
+CorpusMark Corpus::Mark() const {
+  return CorpusMark{bloggers_.size(), posts_.size(), comments_.size(),
+                    links_.size()};
+}
+
+Status Corpus::RollbackTo(const CorpusMark& mark,
+                          const std::vector<Blogger>& restore_bloggers) {
+  if (mark.bloggers > bloggers_.size() || mark.posts > posts_.size() ||
+      mark.comments > comments_.size() || mark.links > links_.size()) {
+    return Status::InvalidArgument(
+        "rollback mark exceeds current corpus sizes");
+  }
+  bloggers_.resize(mark.bloggers);
+  posts_.resize(mark.posts);
+  comments_.resize(mark.comments);
+  links_.resize(mark.links);
+  for (const Blogger& b : restore_bloggers) {
+    if (b.id >= bloggers_.size()) {
+      return Status::InvalidArgument(
+          "rollback restore record outlives the mark");
+    }
+    bloggers_[b.id] = b;
+  }
+  BuildIndexes();
+  return Status::OK();
+}
+
 BloggerId Corpus::FindBloggerByName(std::string_view name) const {
   assert(indexes_built_);
   auto it = name_index_.find(std::string(name));

@@ -36,6 +36,15 @@ class DomainSet {
   std::vector<std::string> names_;
 };
 
+/// Entity-count snapshot taken before a batch of mutations; RollbackTo()
+/// truncates the (append-only) corpus back to it.
+struct CorpusMark {
+  size_t bloggers = 0;
+  size_t posts = 0;
+  size_t comments = 0;
+  size_t links = 0;
+};
+
 /// Owning container for one blogosphere snapshot.
 ///
 /// Mutation goes through Add*(); after the data set is complete call
@@ -72,6 +81,18 @@ class Corpus {
   void ExtendIndexes();
 
   bool indexes_built() const { return indexes_built_; }
+
+  /// Snapshot of the current entity counts, for RollbackTo().
+  CorpusMark Mark() const;
+
+  /// Undoes every mutation made after `mark` was taken: truncates the
+  /// append-only entity vectors back to the marked sizes and overwrites
+  /// surviving blogger records with the pre-mutation copies in
+  /// `restore_bloggers` (records enriched in place by delta application;
+  /// matched by id). Rebuilds the indexes. InvalidArgument when the mark
+  /// exceeds the current sizes or a restore record's id is out of range.
+  Status RollbackTo(const CorpusMark& mark,
+                    const std::vector<Blogger>& restore_bloggers = {});
 
   // ---- raw access ----
 

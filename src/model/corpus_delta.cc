@@ -11,20 +11,14 @@
 
 namespace mass {
 
-Result<AppliedDelta> ApplyCorpusDelta(Corpus* base, const CorpusDelta& delta) {
-  if (!base->indexes_built()) {
-    return Status::FailedPrecondition("base corpus indexes not built");
-  }
-  const Corpus& add = delta.additions;
-  // The fragment carries its own local ids; a malformed one (hand-built or
-  // deserialized from a bad file) must not index out of range below.
-  MASS_RETURN_IF_ERROR(add.Validate());
+namespace {
 
-  AppliedDelta out;
-  out.prior_bloggers = base->num_bloggers();
-  out.prior_posts = base->num_posts();
-  out.prior_comments = base->num_comments();
-  out.prior_links = base->num_links();
+// The mutating body; on error the caller rolls `base` back to the mark
+// using whatever `out` has accumulated so far.
+Status ApplyCorpusDeltaImpl(Corpus* base, const CorpusDelta& delta,
+                            AppliedDelta* out_ptr) {
+  const Corpus& add = delta.additions;
+  AppliedDelta& out = *out_ptr;
 
   // Identity maps over the existing corpus, same keys as MergeCorpora.
   std::unordered_map<std::string, BloggerId> blogger_of;
@@ -58,7 +52,15 @@ Result<AppliedDelta> ApplyCorpusDelta(Corpus* base, const CorpusDelta& delta) {
       Blogger& dst = base->mutable_blogger(it->second);
       // Only URL-keyed records may gain a name; for a name-keyed record
       // the name IS the identity and is already non-empty.
-      if (dst.name.empty() && !b.name.empty() && !dst.url.empty()) {
+      const bool gains_name =
+          dst.name.empty() && !b.name.empty() && !dst.url.empty();
+      const bool will_change =
+          gains_name || (dst.profile.empty() && !b.profile.empty()) ||
+          (dst.true_interests.empty() && !b.true_interests.empty()) ||
+          (dst.true_expertise == 0.0 && b.true_expertise != 0.0) ||
+          (!dst.true_spammer && b.true_spammer);
+      if (will_change) out.enriched_prior.push_back(dst);
+      if (gains_name) {
         dst.name = b.name;
         renamed = true;  // name_index_ needs a rebuild, not an append
       }
@@ -124,6 +126,33 @@ Result<AppliedDelta> ApplyCorpusDelta(Corpus* base, const CorpusDelta& delta) {
     base->BuildIndexes();
   } else {
     base->ExtendIndexes();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AppliedDelta> ApplyCorpusDelta(Corpus* base, const CorpusDelta& delta) {
+  if (!base->indexes_built()) {
+    return Status::FailedPrecondition("base corpus indexes not built");
+  }
+  // The fragment carries its own local ids; a malformed one (hand-built or
+  // deserialized from a bad file) must not index out of range below.
+  MASS_RETURN_IF_ERROR(delta.additions.Validate());
+
+  AppliedDelta out;
+  out.prior_bloggers = base->num_bloggers();
+  out.prior_posts = base->num_posts();
+  out.prior_comments = base->num_comments();
+  out.prior_links = base->num_links();
+
+  Status applied = ApplyCorpusDeltaImpl(base, delta, &out);
+  if (!applied.ok()) {
+    // Undo the partial application so a rejected delta never leaves the
+    // corpus between states. A rollback failure means the mark itself is
+    // inconsistent — surface that instead (the corpus is lost either way).
+    MASS_RETURN_IF_ERROR(base->RollbackTo(out.mark(), out.enriched_prior));
+    return applied;
   }
   return out;
 }

@@ -46,7 +46,21 @@ struct AppliedDelta {
   size_t duplicate_comments = 0;
   size_t duplicate_links = 0;
 
-  /// False when every delta entity was already in the corpus.
+  /// Pre-enrichment copies of the existing blogger records the delta
+  /// modified in place (stub fill-in). Together with the prior_* counts
+  /// this is everything needed to roll the application back:
+  /// Corpus::RollbackTo({prior_*}, enriched_prior).
+  std::vector<Blogger> enriched_prior;
+
+  /// The corpus sizes before application, as a rollback mark.
+  CorpusMark mark() const {
+    return CorpusMark{prior_bloggers, prior_posts, prior_comments,
+                      prior_links};
+  }
+
+  /// False when every delta entity was already in the corpus. Metadata
+  /// enrichment alone (enriched_prior) does not count: it cannot move any
+  /// score, so callers may treat such a delta as solved already.
   bool changed() const {
     return added_bloggers + added_posts + added_comments + added_links > 0;
   }

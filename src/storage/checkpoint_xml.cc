@@ -1,0 +1,286 @@
+#include "storage/checkpoint_xml.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/file_io.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+namespace {
+
+constexpr std::string_view kCrawlRoot = "crawl-checkpoint";
+constexpr std::string_view kStreamRoot = "delta-stream-checkpoint";
+
+std::string DoublesToString(const std::vector<double>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ' ';
+    out += StrFormat("%.17g", v[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> DoublesFromString(std::string_view s) {
+  std::vector<double> out;
+  for (const std::string& tok : SplitWhitespace(s)) {
+    double v;
+    if (!ParseDouble(tok, &v)) {
+      return Status::Corruption("bad double value: " + tok);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<int64_t> RequiredIntAttr(const xml::XmlNode& node,
+                                std::string_view attr) {
+  if (!node.HasAttr(attr)) {
+    return Status::Corruption(StrFormat("<%s> missing attribute '%s'",
+                                        node.name.c_str(),
+                                        std::string(attr).c_str()));
+  }
+  int64_t v;
+  if (!ParseInt64(node.Attr(attr), &v)) {
+    return Status::Corruption(StrFormat("<%s> attribute '%s' not an integer",
+                                        node.name.c_str(),
+                                        std::string(attr).c_str()));
+  }
+  return v;
+}
+
+int64_t OptionalIntAttr(const xml::XmlNode& node, std::string_view attr,
+                        int64_t fallback) {
+  if (!node.HasAttr(attr)) return fallback;
+  int64_t v;
+  return ParseInt64(node.Attr(attr), &v) ? v : fallback;
+}
+
+void WriteUrlList(xml::XmlWriter& w, std::string_view list_name,
+                  const std::vector<std::string>& urls) {
+  w.StartElement(list_name);
+  for (const std::string& url : urls) w.SimpleElement("url", url);
+  w.EndElement();
+}
+
+Result<std::vector<std::string>> ReadUrlList(const xml::XmlNode& root,
+                                             std::string_view list_name) {
+  const xml::XmlNode* list = root.Child(list_name);
+  if (list == nullptr) {
+    return Status::Corruption("missing <" + std::string(list_name) +
+                              "> section");
+  }
+  std::vector<std::string> out;
+  for (const xml::XmlNode* un : list->Children("url")) out.push_back(un->text);
+  return out;
+}
+
+void WritePage(xml::XmlWriter& w, const BloggerPage& page) {
+  w.StartElement("page");
+  w.Attribute("url", page.url);
+  w.Attribute("name", page.name);
+  if (page.true_expertise != 0.0) {
+    w.Attribute("expertise", page.true_expertise);
+  }
+  if (page.true_spammer) w.Attribute("spammer", int64_t{1});
+  if (!page.profile.empty()) w.SimpleElement("profile", page.profile);
+  if (!page.true_interests.empty()) {
+    w.SimpleElement("interests", DoublesToString(page.true_interests));
+  }
+  for (const RemotePost& post : page.posts) {
+    w.StartElement("post");
+    w.Attribute("timestamp", post.timestamp);
+    if (post.true_domain >= 0) {
+      w.Attribute("domain", static_cast<int64_t>(post.true_domain));
+    }
+    if (post.true_copy) w.Attribute("copy", int64_t{1});
+    w.SimpleElement("title", post.title);
+    w.SimpleElement("content", post.content);
+    for (const RemoteComment& comment : post.comments) {
+      w.StartElement("comment");
+      w.Attribute("commenter", comment.commenter_url);
+      w.Attribute("timestamp", comment.timestamp);
+      if (comment.true_attitude != -2) {
+        w.Attribute("attitude", static_cast<int64_t>(comment.true_attitude));
+      }
+      if (!comment.text.empty()) w.Text(comment.text);
+      w.EndElement();
+    }
+    w.EndElement();
+  }
+  for (const std::string& link : page.linked_urls) {
+    w.SimpleElement("link", link);
+  }
+  w.EndElement();
+}
+
+Result<BloggerPage> ReadPage(const xml::XmlNode& pn) {
+  BloggerPage page;
+  page.url = std::string(pn.Attr("url"));
+  page.name = std::string(pn.Attr("name"));
+  if (pn.HasAttr("expertise")) {
+    if (!ParseDouble(pn.Attr("expertise"), &page.true_expertise)) {
+      return Status::Corruption("bad expertise attribute");
+    }
+  }
+  page.true_spammer = OptionalIntAttr(pn, "spammer", 0) != 0;
+  page.profile = std::string(pn.ChildText("profile"));
+  if (const xml::XmlNode* iv = pn.Child("interests")) {
+    MASS_ASSIGN_OR_RETURN(page.true_interests, DoublesFromString(iv->text));
+  }
+  for (const xml::XmlNode* postn : pn.Children("post")) {
+    RemotePost post;
+    MASS_ASSIGN_OR_RETURN(post.timestamp,
+                          RequiredIntAttr(*postn, "timestamp"));
+    post.true_domain = static_cast<int>(OptionalIntAttr(*postn, "domain", -1));
+    post.true_copy = OptionalIntAttr(*postn, "copy", 0) != 0;
+    post.title = std::string(postn->ChildText("title"));
+    post.content = std::string(postn->ChildText("content"));
+    for (const xml::XmlNode* cn : postn->Children("comment")) {
+      RemoteComment comment;
+      comment.commenter_url = std::string(cn->Attr("commenter"));
+      MASS_ASSIGN_OR_RETURN(comment.timestamp,
+                            RequiredIntAttr(*cn, "timestamp"));
+      comment.true_attitude =
+          static_cast<int>(OptionalIntAttr(*cn, "attitude", -2));
+      comment.text = cn->text;
+      post.comments.push_back(std::move(comment));
+    }
+    page.posts.push_back(std::move(post));
+  }
+  for (const xml::XmlNode* ln : pn.Children("link")) {
+    page.linked_urls.push_back(ln->text);
+  }
+  return page;
+}
+
+}  // namespace
+
+std::string CrawlCheckpointToXml(const CrawlCheckpoint& checkpoint) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement(kCrawlRoot);
+  w.Attribute("version", int64_t{1});
+
+  w.StartElement("state");
+  w.Attribute("depth", static_cast<int64_t>(checkpoint.depth));
+  w.Attribute("pages-fetched",
+              static_cast<int64_t>(checkpoint.pages_fetched));
+  w.Attribute("fetch-failures",
+              static_cast<int64_t>(checkpoint.fetch_failures));
+  w.Attribute("transient-retries",
+              static_cast<int64_t>(checkpoint.transient_retries));
+  w.Attribute("frontier-truncated",
+              static_cast<int64_t>(checkpoint.frontier_truncated));
+  w.EndElement();
+
+  WriteUrlList(w, "frontier", checkpoint.frontier);
+  WriteUrlList(w, "scheduled", checkpoint.scheduled);
+
+  w.StartElement("journal");
+  for (const BloggerPage& page : checkpoint.journal) WritePage(w, page);
+  w.EndElement();
+
+  w.EndElement();  // root
+  return os.str();
+}
+
+Result<CrawlCheckpoint> CrawlCheckpointFromXml(std::string_view xml_text) {
+  MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
+  if (root->name != kCrawlRoot) {
+    return Status::Corruption("expected <" + std::string(kCrawlRoot) +
+                              "> root, got <" + root->name + ">");
+  }
+  CrawlCheckpoint checkpoint;
+  const xml::XmlNode* state = root->Child("state");
+  if (state == nullptr) return Status::Corruption("missing <state> section");
+  MASS_ASSIGN_OR_RETURN(int64_t depth, RequiredIntAttr(*state, "depth"));
+  if (depth < 0) return Status::Corruption("negative checkpoint depth");
+  checkpoint.depth = static_cast<int>(depth);
+  checkpoint.pages_fetched =
+      static_cast<uint64_t>(OptionalIntAttr(*state, "pages-fetched", 0));
+  checkpoint.fetch_failures =
+      static_cast<uint64_t>(OptionalIntAttr(*state, "fetch-failures", 0));
+  checkpoint.transient_retries =
+      static_cast<uint64_t>(OptionalIntAttr(*state, "transient-retries", 0));
+  checkpoint.frontier_truncated =
+      static_cast<uint64_t>(OptionalIntAttr(*state, "frontier-truncated", 0));
+
+  MASS_ASSIGN_OR_RETURN(checkpoint.frontier, ReadUrlList(*root, "frontier"));
+  MASS_ASSIGN_OR_RETURN(checkpoint.scheduled, ReadUrlList(*root, "scheduled"));
+
+  const xml::XmlNode* journal = root->Child("journal");
+  if (journal == nullptr) {
+    return Status::Corruption("missing <journal> section");
+  }
+  for (const xml::XmlNode* pn : journal->Children("page")) {
+    MASS_ASSIGN_OR_RETURN(BloggerPage page, ReadPage(*pn));
+    checkpoint.journal.push_back(std::move(page));
+  }
+  return checkpoint;
+}
+
+Status SaveCrawlCheckpoint(const CrawlCheckpoint& checkpoint,
+                           const std::string& path) {
+  return WriteStringToFileAtomic(path, CrawlCheckpointToXml(checkpoint));
+}
+
+Result<CrawlCheckpoint> LoadCrawlCheckpoint(const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return CrawlCheckpointFromXml(text);
+}
+
+std::string DeltaStreamCheckpointToXml(
+    const DeltaStreamCheckpoint& checkpoint) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement(kStreamRoot);
+  w.Attribute("version", int64_t{1});
+  w.Attribute("cursor", static_cast<int64_t>(checkpoint.cursor));
+  w.Attribute("pages-emitted",
+              static_cast<int64_t>(checkpoint.pages_emitted));
+  w.Attribute("fetch-failures",
+              static_cast<int64_t>(checkpoint.fetch_failures));
+  w.Attribute("batches-emitted",
+              static_cast<int64_t>(checkpoint.batches_emitted));
+  w.EndElement();
+  return os.str();
+}
+
+Result<DeltaStreamCheckpoint> DeltaStreamCheckpointFromXml(
+    std::string_view xml_text) {
+  MASS_ASSIGN_OR_RETURN(auto root, xml::ParseDocument(xml_text));
+  if (root->name != kStreamRoot) {
+    return Status::Corruption("expected <" + std::string(kStreamRoot) +
+                              "> root, got <" + root->name + ">");
+  }
+  DeltaStreamCheckpoint checkpoint;
+  MASS_ASSIGN_OR_RETURN(int64_t cursor, RequiredIntAttr(*root, "cursor"));
+  if (cursor < 0) return Status::Corruption("negative stream cursor");
+  checkpoint.cursor = static_cast<uint64_t>(cursor);
+  checkpoint.pages_emitted =
+      static_cast<uint64_t>(OptionalIntAttr(*root, "pages-emitted", 0));
+  checkpoint.fetch_failures =
+      static_cast<uint64_t>(OptionalIntAttr(*root, "fetch-failures", 0));
+  checkpoint.batches_emitted =
+      static_cast<uint64_t>(OptionalIntAttr(*root, "batches-emitted", 0));
+  return checkpoint;
+}
+
+Status SaveDeltaStreamCheckpoint(const DeltaStreamCheckpoint& checkpoint,
+                                 const std::string& path) {
+  return WriteStringToFileAtomic(path, DeltaStreamCheckpointToXml(checkpoint));
+}
+
+Result<DeltaStreamCheckpoint> LoadDeltaStreamCheckpoint(
+    const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DeltaStreamCheckpointFromXml(text);
+}
+
+}  // namespace mass

@@ -1,0 +1,71 @@
+// Crash-safe checkpoints for the crawl and delta-stream pipelines.
+//
+// A CrawlCheckpoint captures everything a killed crawl needs to resume
+// without refetching: the BFS depth, the frontier for the next level, the
+// full scheduled set, the fetched-page journal in assembly order, and the
+// cumulative fetch counters. A DeltaStreamCheckpoint is the stream's
+// cursor plus its counters. Both serialize to small XML documents (same
+// writer/parser subset as the corpus files) and are saved atomically
+// (write-temp-then-rename), so a crash mid-save leaves the previous
+// checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crawler/blog_host.h"
+
+namespace mass {
+
+/// Resumable state of a level-synchronous crawl, written after each
+/// completed BFS level.
+struct CrawlCheckpoint {
+  /// Depth of the next level to fetch (levels [0, depth) are journaled).
+  int depth = 0;
+  /// URLs queued for the next level, in deterministic order.
+  std::vector<std::string> frontier;
+  /// Every URL ever scheduled (fetched, in flight, or failed) — resuming
+  /// must not re-schedule these.
+  std::vector<std::string> scheduled;
+  /// Successfully fetched pages in corpus-assembly order.
+  std::vector<BloggerPage> journal;
+  /// Cumulative counters carried into the resumed CrawlResult.
+  uint64_t pages_fetched = 0;
+  uint64_t fetch_failures = 0;
+  uint64_t transient_retries = 0;
+  uint64_t frontier_truncated = 0;
+};
+
+/// Resumable state of a DeltaStream (cursor into its URL list).
+struct DeltaStreamCheckpoint {
+  /// Index of the first URL not yet emitted.
+  uint64_t cursor = 0;
+  uint64_t pages_emitted = 0;
+  uint64_t fetch_failures = 0;
+  uint64_t batches_emitted = 0;
+};
+
+/// Serializes the checkpoint (version 1, root <crawl-checkpoint>).
+std::string CrawlCheckpointToXml(const CrawlCheckpoint& checkpoint);
+Result<CrawlCheckpoint> CrawlCheckpointFromXml(std::string_view xml);
+
+/// Atomic file wrappers (write-temp-then-rename).
+Status SaveCrawlCheckpoint(const CrawlCheckpoint& checkpoint,
+                           const std::string& path);
+Result<CrawlCheckpoint> LoadCrawlCheckpoint(const std::string& path);
+
+/// Serializes the checkpoint (version 1, root <delta-stream-checkpoint>).
+std::string DeltaStreamCheckpointToXml(const DeltaStreamCheckpoint& checkpoint);
+Result<DeltaStreamCheckpoint> DeltaStreamCheckpointFromXml(
+    std::string_view xml);
+
+Status SaveDeltaStreamCheckpoint(const DeltaStreamCheckpoint& checkpoint,
+                                 const std::string& path);
+Result<DeltaStreamCheckpoint> LoadDeltaStreamCheckpoint(
+    const std::string& path);
+
+}  // namespace mass

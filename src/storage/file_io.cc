@@ -28,4 +28,15 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
   return Status::OK();
 }
 
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  MASS_RETURN_IF_ERROR(WriteStringToFile(tmp, contents));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace mass

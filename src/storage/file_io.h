@@ -15,4 +15,11 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes `contents` to `path`, truncating any existing file.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 
+/// Writes `contents` to `path` atomically: the data is written to a
+/// sibling temporary file and renamed over `path`, so readers (and a
+/// process that crashes mid-write) only ever observe the old file or the
+/// complete new one. This is the primitive crash-safe checkpoints rely on.
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents);
+
 }  // namespace mass

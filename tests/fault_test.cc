@@ -1,0 +1,983 @@
+// Fault-tolerance tests: deterministic fault injection (FaultPlan /
+// FaultInjectingHost), backoff schedules, the circuit breaker state
+// machine, RobustFetcher retry discipline, checkpoint XML round-trips,
+// crawl and delta-stream crash/resume convergence under a 30% scripted
+// fault plan, and transactional IngestDelta rollback.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/backoff.h"
+#include "core/influence_engine.h"
+#include "crawler/crawler.h"
+#include "crawler/delta_stream.h"
+#include "crawler/fault_injection.h"
+#include "crawler/fetcher.h"
+#include "crawler/synthetic_host.h"
+#include "model/corpus_delta.h"
+#include "storage/checkpoint_xml.h"
+#include "storage/corpus_xml.h"
+#include "storage/delta_xml.h"
+#include "storage/file_io.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+Corpus SourceCorpus(uint64_t seed = 5, size_t bloggers = 60,
+                    size_t posts = 240) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = bloggers;
+  o.target_posts = posts;
+  auto r = synth::GenerateBlogosphere(o);
+  if (!r.ok()) std::abort();
+  return std::move(*r);
+}
+
+EngineOptions TightOptions() {
+  // Solving to 1e-12 makes the 1e-9 parity comparisons meaningful.
+  EngineOptions opts;
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 300;
+  return opts;
+}
+
+// The scripted 30% transient-failure plan the resume suites run under.
+FaultPlan ThirtyPercentPlan(uint64_t seed = 11) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.defaults.transient_rate = 0.3;
+  return plan;
+}
+
+// Near-zero retry pacing so fault-heavy tests finish in microseconds of
+// real sleep; determinism comes from the plan, not the delays.
+BackoffPolicy FastBackoff() {
+  BackoffPolicy p;
+  p.initial_delay_micros = 1;
+  p.max_delay_micros = 5;
+  return p;
+}
+
+std::vector<std::string> AllUrls(const SyntheticBlogHost& host,
+                                 const Corpus& src) {
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  return urls;
+}
+
+// ---------- fault plans ----------
+
+TEST(FaultPlanTest, DrawIsPureFunctionOfUrlAndAttempt) {
+  FaultPlan plan = ThirtyPercentPlan(42);
+  const std::vector<std::string> urls = {"http://h/a", "http://h/b",
+                                         "http://h/c"};
+  // First pass: URL-major order. Second pass: attempt-major order. The
+  // draws must agree — no shared-RNG call-order dependence.
+  std::vector<std::vector<FaultKind>> first(urls.size());
+  for (size_t u = 0; u < urls.size(); ++u) {
+    for (int a = 0; a < 16; ++a) first[u].push_back(DrawFault(plan, urls[u], a));
+  }
+  for (int a = 15; a >= 0; --a) {
+    for (size_t u = 0; u < urls.size(); ++u) {
+      EXPECT_EQ(DrawFault(plan, urls[u], a), first[u][a]);
+    }
+  }
+  // The plan is not degenerate: both outcomes occur somewhere.
+  size_t transients = 0, passes = 0;
+  for (const auto& seq : first) {
+    for (FaultKind k : seq) (k == FaultKind::kTransient ? transients : passes)++;
+  }
+  EXPECT_GT(transients, 0u);
+  EXPECT_GT(passes, 0u);
+}
+
+TEST(FaultPlanTest, SeedSelectsADifferentPattern) {
+  FaultPlan a = ThirtyPercentPlan(1);
+  FaultPlan b = ThirtyPercentPlan(2);
+  int differing = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (DrawFault(a, "http://h/x", attempt) !=
+        DrawFault(b, "http://h/x", attempt)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, ScriptedFieldsTakePrecedence) {
+  FaultPlan plan;
+  FaultSpec flaky;
+  flaky.fail_first_attempts = 3;
+  plan.overrides["http://h/warmup"] = flaky;
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_EQ(DrawFault(plan, "http://h/warmup", a), FaultKind::kTransient);
+  }
+  EXPECT_EQ(DrawFault(plan, "http://h/warmup", 3), FaultKind::kNone);
+
+  FaultSpec flapping;
+  flapping.flap_period = 2;
+  plan.overrides["http://h/flap"] = flapping;
+  // Blocks of 2 alternate down/up starting down.
+  EXPECT_EQ(DrawFault(plan, "http://h/flap", 0), FaultKind::kTransient);
+  EXPECT_EQ(DrawFault(plan, "http://h/flap", 1), FaultKind::kTransient);
+  EXPECT_EQ(DrawFault(plan, "http://h/flap", 2), FaultKind::kNone);
+  EXPECT_EQ(DrawFault(plan, "http://h/flap", 3), FaultKind::kNone);
+  EXPECT_EQ(DrawFault(plan, "http://h/flap", 4), FaultKind::kTransient);
+  // The default spec is untouched.
+  EXPECT_EQ(DrawFault(plan, "http://h/other", 0), FaultKind::kNone);
+}
+
+TEST(FaultInjectingHostTest, InjectsAllFaultKinds) {
+  Corpus src = SourceCorpus(3, 8, 24);
+  SyntheticBlogHost inner(&src);
+  const std::string url = inner.UrlOf(0);
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.permanent_rate = 1.0;
+  plan.overrides[url] = spec;
+  {
+    FaultInjectingHost host(&inner, plan);
+    auto r = host.Fetch(url);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotFound());
+    EXPECT_EQ(host.permanent_faults(), 1u);
+    EXPECT_EQ(host.attempts(url), 1);
+  }
+  plan.overrides[url] = FaultSpec{};
+  plan.overrides[url].corrupt_rate = 1.0;
+  {
+    FaultInjectingHost host(&inner, plan);
+    auto r = host.Fetch(url);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->url, url);  // payload no longer matches the request
+    EXPECT_EQ(host.corrupt_faults(), 1u);
+  }
+  plan.overrides[url] = FaultSpec{};
+  plan.overrides[url].transient_rate = 1.0;
+  {
+    FaultInjectingHost host(&inner, plan);
+    auto r = host.Fetch(url);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsIOError());
+    EXPECT_EQ(host.transient_faults(), 1u);
+  }
+}
+
+// ---------- backoff ----------
+
+TEST(BackoffTest, UnjitteredExponentialGrowthAndCap) {
+  BackoffPolicy p;
+  p.max_retries = 10;
+  p.initial_delay_micros = 100;
+  p.max_delay_micros = 1000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  BackoffSchedule s(p, 1);
+  EXPECT_EQ(s.NextDelayMicros(), 100);
+  EXPECT_EQ(s.NextDelayMicros(), 200);
+  EXPECT_EQ(s.NextDelayMicros(), 400);
+  EXPECT_EQ(s.NextDelayMicros(), 800);
+  EXPECT_EQ(s.NextDelayMicros(), 1000);  // capped
+  EXPECT_EQ(s.NextDelayMicros(), 1000);
+}
+
+TEST(BackoffTest, RetryBudgetExhausts) {
+  BackoffPolicy p;
+  p.max_retries = 2;
+  BackoffSchedule s(p, 1);
+  EXPECT_GE(s.NextDelayMicros(), 0);
+  EXPECT_GE(s.NextDelayMicros(), 0);
+  EXPECT_EQ(s.NextDelayMicros(), -1);
+  EXPECT_FALSE(s.deadline_exhausted());
+  EXPECT_EQ(s.retries_granted(), 2);
+}
+
+TEST(BackoffTest, DecorrelatedJitterIsDeterministicAndBounded) {
+  BackoffPolicy p;
+  p.max_retries = 50;
+  p.initial_delay_micros = 100;
+  p.max_delay_micros = 10000;
+  BackoffSchedule a(p, 99), b(p, 99);
+  int64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    int64_t da = a.NextDelayMicros();
+    int64_t db = b.NextDelayMicros();
+    EXPECT_EQ(da, db);  // same (policy, seed) -> same sequence
+    EXPECT_GE(da, p.initial_delay_micros);
+    EXPECT_LE(da, p.max_delay_micros);
+    if (prev > 0) {
+      EXPECT_LE(da, std::max(p.initial_delay_micros, 3 * prev));
+    }
+    prev = da;
+  }
+}
+
+TEST(BackoffTest, FetchDeadlineCutsTheSchedule) {
+  BackoffPolicy p;
+  p.max_retries = 100;
+  p.initial_delay_micros = 100;
+  p.max_delay_micros = 100;
+  p.decorrelated_jitter = false;
+  p.fetch_deadline_micros = 350;  // room for 3 x 100us, not 4
+  BackoffSchedule s(p, 1);
+  EXPECT_EQ(s.NextDelayMicros(), 100);
+  EXPECT_EQ(s.NextDelayMicros(), 100);
+  EXPECT_EQ(s.NextDelayMicros(), 100);
+  EXPECT_EQ(s.NextDelayMicros(), -1);
+  EXPECT_TRUE(s.deadline_exhausted());
+  EXPECT_EQ(s.total_delay_micros(), 300);
+}
+
+TEST(BackoffTest, StableHashIsStable) {
+  EXPECT_EQ(StableHash64("http://h/a"), StableHash64("http://h/a"));
+  EXPECT_NE(StableHash64("http://h/a"), StableHash64("http://h/b"));
+}
+
+// ---------- circuit breaker ----------
+
+TEST(CircuitBreakerTest, OpensCoolsDownAndRecovers) {
+  int64_t now = 0;
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.cooldown_micros = 1000;
+  CircuitBreaker breaker(opts, [&now] { return now; });
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow());  // short-circuit while open
+  EXPECT_EQ(breaker.short_circuits(), 1u);
+
+  now += 1000;  // cooldown elapses -> one half-open probe admitted
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // concurrent caller fails fast
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  int64_t now = 0;
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.cooldown_micros = 500;
+  CircuitBreaker breaker(opts, [&now] { return now; });
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  now += 500;
+  ASSERT_TRUE(breaker.Allow());  // probe
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.Allow());  // cooldown restarted
+  now += 499;
+  EXPECT_FALSE(breaker.Allow());
+  now += 1;
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  CircuitBreakerOptions opts;
+  opts.enabled = false;
+  opts.failure_threshold = 1;
+  CircuitBreaker breaker(opts, [] { return int64_t{0}; });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+// ---------- robust fetcher ----------
+
+TEST(RobustFetcherTest, RetriesTransientsWithRecordedBackoffSleeps) {
+  Corpus src = SourceCorpus(3, 8, 24);
+  SyntheticBlogHost inner(&src);
+  const std::string url = inner.UrlOf(0);
+  FaultPlan plan;
+  plan.overrides[url].fail_first_attempts = 2;
+  FaultInjectingHost host(&inner, plan);
+
+  FetcherOptions opts;
+  opts.backoff.max_retries = 3;
+  std::vector<int64_t> sleeps;
+  RobustFetcher fetcher(&host, opts,
+                        [&sleeps](int64_t us) { sleeps.push_back(us); });
+  auto r = fetcher.Fetch(url);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->url, url);
+  EXPECT_EQ(host.attempts(url), 3);  // 2 injected failures + 1 success
+  EXPECT_EQ(sleeps.size(), 2u);
+  const FetcherStats stats = fetcher.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(RobustFetcherTest, PermanentFailureIsNotRetried) {
+  Corpus src = SourceCorpus(3, 8, 24);
+  SyntheticBlogHost inner(&src);
+  RobustFetcher fetcher(&inner, FetcherOptions{}, [](int64_t) {});
+  auto r = fetcher.Fetch("http://blogosphere.example/no-such-space");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  const FetcherStats stats = fetcher.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.breaker_trips, 0u);  // a healthy host serving a 404
+}
+
+TEST(RobustFetcherTest, CorruptPagesAreRejectedAndRetried) {
+  Corpus src = SourceCorpus(3, 8, 24);
+  SyntheticBlogHost inner(&src);
+  const std::string url = inner.UrlOf(1);
+  FaultPlan plan;
+  plan.overrides[url].corrupt_rate = 1.0;  // every attempt corrupt
+  FaultInjectingHost host(&inner, plan);
+
+  FetcherOptions opts;
+  opts.backoff.max_retries = 2;
+  RobustFetcher fetcher(&host, opts, [](int64_t) {});
+  auto r = fetcher.Fetch(url);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_EQ(fetcher.stats().corrupt_pages, 3u);  // initial + 2 retries
+}
+
+TEST(RobustFetcherTest, OpenBreakerFailsFastWithoutTouchingTheHost) {
+  Corpus src = SourceCorpus(3, 8, 24);
+  SyntheticBlogHost inner(&src);
+  const std::string down = inner.UrlOf(0);
+  const std::string later = inner.UrlOf(1);
+  FaultPlan plan;
+  plan.defaults.transient_rate = 1.0;  // the whole host is down
+  FaultInjectingHost host(&inner, plan);
+
+  FetcherOptions opts;
+  // 3 retries = 4 attempts: the retry budget runs out exactly as the
+  // breaker opens, so the first fetch burns its budget and the second is
+  // refused outright.
+  opts.backoff.max_retries = 3;
+  opts.breaker.failure_threshold = 4;
+  opts.breaker.cooldown_micros = 1'000'000'000;  // stays open for the test
+  RobustFetcher fetcher(&host, opts, [](int64_t) {});
+  auto first = fetcher.Fetch(down);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsIOError());
+  EXPECT_EQ(host.attempts(down), 4);
+
+  auto r = fetcher.Fetch(later);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAborted());
+  EXPECT_EQ(host.attempts(later), 0);  // never reached the host
+  const FetcherStats stats = fetcher.stats();
+  EXPECT_EQ(stats.breaker_short_circuits, 1u);
+  EXPECT_EQ(stats.breaker_trips, 1u);
+}
+
+TEST(RobustFetcherTest, TimeBudgetAborts) {
+  Corpus src = SourceCorpus(3, 8, 24);
+  SyntheticBlogHost inner(&src);
+  int64_t now = 0;
+  FetcherOptions opts;
+  opts.time_budget_micros = 100;
+  RobustFetcher fetcher(&inner, opts, [](int64_t) {},
+                        [&now] { return now; });
+  ASSERT_TRUE(fetcher.Fetch(inner.UrlOf(0)).ok());
+  now = 100;  // budget spent
+  auto r = fetcher.Fetch(inner.UrlOf(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAborted());
+  EXPECT_TRUE(fetcher.budget_exhausted());
+}
+
+TEST(RobustFetcherTest, HostOfExtractsSchemeAndAuthority) {
+  EXPECT_EQ(RobustFetcher::HostOf("http://blogosphere.example/alice"),
+            "http://blogosphere.example");
+  EXPECT_EQ(RobustFetcher::HostOf("http://blogosphere.example"),
+            "http://blogosphere.example");
+  EXPECT_EQ(RobustFetcher::HostOf("bare-name"), "bare-name");
+}
+
+// ---------- checkpoint XML ----------
+
+CrawlCheckpoint SampleCheckpoint() {
+  CrawlCheckpoint cp;
+  cp.depth = 2;
+  cp.frontier = {"http://h/c", "http://h/d"};
+  cp.scheduled = {"http://h/a", "http://h/b", "http://h/c", "http://h/d"};
+  cp.pages_fetched = 2;
+  cp.fetch_failures = 1;
+  cp.transient_retries = 5;
+  cp.frontier_truncated = 3;
+  BloggerPage page;
+  page.url = "http://h/a";
+  page.name = "alice";
+  page.profile = "writes about <xml> & \"things\"";
+  page.true_expertise = 0.75;
+  page.true_spammer = true;
+  page.true_interests = {0.25, 0.75};
+  RemotePost post;
+  post.title = "hello";
+  post.content = "first post";
+  post.timestamp = 1700000000;
+  post.true_domain = 3;
+  post.true_copy = true;
+  RemoteComment comment;
+  comment.commenter_url = "http://h/b";
+  comment.text = "nice < read";
+  comment.timestamp = 1700000500;
+  comment.true_attitude = 1;
+  post.comments.push_back(comment);
+  page.posts.push_back(post);
+  page.linked_urls = {"http://h/b"};
+  cp.journal.push_back(page);
+  BloggerPage stubbed;  // minimal page: URL only
+  stubbed.url = "http://h/b";
+  cp.journal.push_back(stubbed);
+  return cp;
+}
+
+TEST(CheckpointXmlTest, CrawlCheckpointRoundTrips) {
+  const CrawlCheckpoint cp = SampleCheckpoint();
+  const std::string xml = CrawlCheckpointToXml(cp);
+  auto parsed = CrawlCheckpointFromXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Field-for-field identity is equivalent to serialization identity.
+  EXPECT_EQ(CrawlCheckpointToXml(*parsed), xml);
+  EXPECT_EQ(parsed->depth, 2);
+  EXPECT_EQ(parsed->frontier, cp.frontier);
+  EXPECT_EQ(parsed->scheduled, cp.scheduled);
+  ASSERT_EQ(parsed->journal.size(), 2u);
+  const BloggerPage& page = parsed->journal[0];
+  EXPECT_EQ(page.profile, "writes about <xml> & \"things\"");
+  EXPECT_EQ(page.true_interests, (std::vector<double>{0.25, 0.75}));
+  ASSERT_EQ(page.posts.size(), 1u);
+  EXPECT_EQ(page.posts[0].comments.at(0).text, "nice < read");
+  EXPECT_EQ(page.posts[0].comments.at(0).true_attitude, 1);
+  EXPECT_EQ(parsed->journal[1].url, "http://h/b");
+  EXPECT_TRUE(parsed->journal[1].posts.empty());
+}
+
+TEST(CheckpointXmlTest, StreamCheckpointRoundTrips) {
+  DeltaStreamCheckpoint cp;
+  cp.cursor = 96;
+  cp.pages_emitted = 90;
+  cp.fetch_failures = 6;
+  cp.batches_emitted = 3;
+  auto parsed = DeltaStreamCheckpointFromXml(DeltaStreamCheckpointToXml(cp));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->cursor, 96u);
+  EXPECT_EQ(parsed->pages_emitted, 90u);
+  EXPECT_EQ(parsed->fetch_failures, 6u);
+  EXPECT_EQ(parsed->batches_emitted, 3u);
+}
+
+TEST(CheckpointXmlTest, SaveIsAtomicAndLoadable) {
+  const std::string path = testing::TempDir() + "fault_test_crawl_cp.xml";
+  const CrawlCheckpoint cp = SampleCheckpoint();
+  ASSERT_TRUE(SaveCrawlCheckpoint(cp, path).ok());
+  // The temp sibling must not linger after a successful rename.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  auto loaded = LoadCrawlCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(CrawlCheckpointToXml(*loaded), CrawlCheckpointToXml(cp));
+}
+
+TEST(CheckpointXmlTest, MalformedDocumentsAreRejected) {
+  EXPECT_TRUE(CrawlCheckpointFromXml("<wrong-root/>").status().IsCorruption());
+  EXPECT_TRUE(CrawlCheckpointFromXml("<crawl-checkpoint version=\"1\"/>")
+                  .status()
+                  .IsCorruption());  // missing <state>
+  EXPECT_TRUE(
+      DeltaStreamCheckpointFromXml("<delta-stream-checkpoint version=\"1\"/>")
+          .status()
+          .IsCorruption());  // missing cursor
+}
+
+// ---------- crawl crash/resume ----------
+
+// Shared crawl configuration for the resume property tests: 30% scripted
+// transient faults, retries ample enough that no page is ever lost, near-
+// zero backoff delays, breaker off (a 30%-lossy host would trip it and
+// that would legitimately change which pages are fetched).
+CrawlOptions ResumeCrawlOptions() {
+  CrawlOptions opts;
+  opts.max_retries = 25;
+  opts.backoff = FastBackoff();
+  opts.breaker.enabled = false;
+  return opts;
+}
+
+TEST(CrawlResumeTest, InterruptedCrawlConvergesToIdenticalCorpus) {
+  Corpus src = SourceCorpus(9, 50, 200);
+  SyntheticBlogHost inner(&src);
+  const std::vector<std::string> seeds = {inner.UrlOf(0)};
+
+  // Reference: one uninterrupted crawl under the fault plan.
+  FaultInjectingHost ref_host(&inner, ThirtyPercentPlan());
+  auto ref = Crawl(&ref_host, seeds, ResumeCrawlOptions());
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_GT(ref->pages_fetched, 2u);
+  const std::string ref_xml = CorpusToXml(ref->corpus);
+
+  for (int kill_after : {1, 2, 3}) {
+    SCOPED_TRACE("kill_after=" + std::to_string(kill_after));
+    const std::string cp_path = testing::TempDir() +
+                                "fault_test_resume_" +
+                                std::to_string(kill_after) + ".xml";
+    // Run 1: crash after `kill_after` completed levels.
+    FaultInjectingHost crash_host(&inner, ThirtyPercentPlan());
+    CrawlOptions crash_opts = ResumeCrawlOptions();
+    crash_opts.checkpoint_path = cp_path;
+    crash_opts.stop_after_levels = kill_after;
+    auto crashed = Crawl(&crash_host, seeds, crash_opts);
+    if (crashed.ok()) {
+      // The crawl ran out of frontier before the kill point; it is simply
+      // the uninterrupted run.
+      EXPECT_EQ(CorpusToXml(crashed->corpus), ref_xml);
+      continue;
+    }
+    ASSERT_TRUE(crashed.status().IsAborted()) << crashed.status().ToString();
+
+    // What the checkpoint journaled must never be refetched on resume.
+    auto cp = LoadCrawlCheckpoint(cp_path);
+    ASSERT_TRUE(cp.ok());
+    std::vector<std::string> journaled;
+    for (const BloggerPage& page : cp->journal) journaled.push_back(page.url);
+    ASSERT_FALSE(journaled.empty());
+
+    // Run 2: a fresh process (fresh host decorator, fresh attempt
+    // counters) resumes from the checkpoint.
+    FaultInjectingHost resume_host(&inner, ThirtyPercentPlan());
+    CrawlOptions resume_opts = ResumeCrawlOptions();
+    resume_opts.checkpoint_path = cp_path;
+    resume_opts.resume_from_checkpoint = true;
+    auto resumed = Crawl(&resume_host, seeds, resume_opts);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_TRUE(resumed->resumed);
+
+    // Identical corpus, conservation of pages, zero double-fetches.
+    EXPECT_EQ(CorpusToXml(resumed->corpus), ref_xml);
+    EXPECT_EQ(resumed->pages_fetched, ref->pages_fetched);
+    EXPECT_EQ(resumed->fetch_failures, ref->fetch_failures);
+    for (const std::string& url : journaled) {
+      EXPECT_EQ(resume_host.attempts(url), 0) << "refetched " << url;
+    }
+  }
+}
+
+TEST(CrawlResumeTest, ResumedCorpusScoresMatchUninterruptedRun) {
+  Corpus src = SourceCorpus(12, 40, 160);
+  SyntheticBlogHost inner(&src);
+  const std::vector<std::string> seeds = {inner.UrlOf(0)};
+
+  FaultInjectingHost ref_host(&inner, ThirtyPercentPlan(21));
+  auto ref = Crawl(&ref_host, seeds, ResumeCrawlOptions());
+  ASSERT_TRUE(ref.ok());
+
+  const std::string cp_path =
+      testing::TempDir() + "fault_test_resume_scores.xml";
+  FaultInjectingHost crash_host(&inner, ThirtyPercentPlan(21));
+  CrawlOptions crash_opts = ResumeCrawlOptions();
+  crash_opts.checkpoint_path = cp_path;
+  crash_opts.stop_after_levels = 1;
+  auto crashed = Crawl(&crash_host, seeds, crash_opts);
+  ASSERT_TRUE(!crashed.ok() && crashed.status().IsAborted());
+
+  FaultInjectingHost resume_host(&inner, ThirtyPercentPlan(21));
+  CrawlOptions resume_opts = ResumeCrawlOptions();
+  resume_opts.checkpoint_path = cp_path;
+  resume_opts.resume_from_checkpoint = true;
+  auto resumed = Crawl(&resume_host, seeds, resume_opts);
+  ASSERT_TRUE(resumed.ok());
+
+  // Influence parity <= 1e-9 on both solver paths.
+  for (bool compiled : {true, false}) {
+    SCOPED_TRACE(compiled ? "compiled" : "reference");
+    EngineOptions opts = TightOptions();
+    opts.use_compiled_solver = compiled;
+    MassEngine ref_engine(&ref->corpus, opts);
+    MassEngine res_engine(&resumed->corpus, opts);
+    ASSERT_TRUE(ref_engine.Analyze(nullptr, 10).ok());
+    ASSERT_TRUE(res_engine.Analyze(nullptr, 10).ok());
+    ASSERT_EQ(resumed->corpus.num_bloggers(), ref->corpus.num_bloggers());
+    for (BloggerId b = 0; b < ref->corpus.num_bloggers(); ++b) {
+      ASSERT_NEAR(res_engine.InfluenceOf(b), ref_engine.InfluenceOf(b), 1e-9)
+          << "b=" << b;
+    }
+  }
+}
+
+// ---------- delta-stream crash/resume ----------
+
+DeltaStreamOptions ResumeStreamOptions() {
+  DeltaStreamOptions opts;
+  opts.batch_pages = 8;
+  opts.max_retries = 25;
+  opts.backoff = FastBackoff();
+  opts.breaker.enabled = false;
+  return opts;
+}
+
+TEST(StreamResumeTest, InterruptedStreamIngestMatchesUninterrupted) {
+  Corpus src = SourceCorpus(7, 48, 190);
+  SyntheticBlogHost inner(&src);
+  const std::vector<std::string> urls = AllUrls(inner, src);
+
+  for (bool compiled : {true, false}) {
+    for (uint64_t kill_batch : {1u, 2u, 4u}) {
+      SCOPED_TRACE((compiled ? "compiled" : "reference") +
+                   std::string(" kill_batch=") + std::to_string(kill_batch));
+      EngineOptions opts = TightOptions();
+      opts.use_compiled_solver = compiled;
+
+      // Uninterrupted streamed ingest under the fault plan.
+      FaultInjectingHost ref_host(&inner, ThirtyPercentPlan(33));
+      Corpus ref_grown;
+      ref_grown.BuildIndexes();
+      MassEngine ref_engine(&ref_grown, opts);
+      ASSERT_TRUE(ref_engine.Analyze(nullptr, 10).ok());
+      DeltaStream ref_stream(&ref_host, urls, ResumeStreamOptions());
+      while (!ref_stream.done()) {
+        auto delta = ref_stream.Next();
+        ASSERT_TRUE(delta.ok());
+        ASSERT_TRUE(ref_engine.IngestDelta(*delta, nullptr).ok());
+      }
+      ASSERT_EQ(ref_grown.num_bloggers(), src.num_bloggers());
+
+      // Run 1: ingest kill_batch batches, persist corpus + cursor, "crash".
+      const std::string tag = std::to_string(kill_batch) +
+                              (compiled ? "c" : "r");
+      const std::string corpus_path =
+          testing::TempDir() + "fault_test_stream_corpus_" + tag + ".xml";
+      const std::string cp_path =
+          testing::TempDir() + "fault_test_stream_cp_" + tag + ".xml";
+      {
+        FaultInjectingHost host(&inner, ThirtyPercentPlan(33));
+        Corpus grown;
+        grown.BuildIndexes();
+        MassEngine engine(&grown, opts);
+        ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+        DeltaStream stream(&host, urls, ResumeStreamOptions());
+        for (uint64_t i = 0; i < kill_batch && !stream.done(); ++i) {
+          auto delta = stream.Next();
+          ASSERT_TRUE(delta.ok());
+          ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+        }
+        ASSERT_TRUE(SaveCorpus(grown, corpus_path).ok());
+        ASSERT_TRUE(
+            SaveDeltaStreamCheckpoint(stream.checkpoint(), cp_path).ok());
+      }
+
+      // Run 2: a fresh process reloads the corpus and the cursor and
+      // finishes the stream. The fresh fault host must never refetch a
+      // page already ingested (cursor conservation).
+      auto reloaded = LoadCorpus(corpus_path);
+      ASSERT_TRUE(reloaded.ok());
+      Corpus grown2 = std::move(*reloaded);
+      MassEngine engine2(&grown2, opts);
+      ASSERT_TRUE(engine2.Analyze(nullptr, 10).ok());
+      FaultInjectingHost host2(&inner, ThirtyPercentPlan(33));
+      DeltaStream stream2(&host2, urls, ResumeStreamOptions());
+      auto cp = LoadDeltaStreamCheckpoint(cp_path);
+      ASSERT_TRUE(cp.ok());
+      ASSERT_TRUE(stream2.Restore(*cp).ok());
+      while (!stream2.done()) {
+        auto delta = stream2.Next();
+        ASSERT_TRUE(delta.ok());
+        ASSERT_TRUE(engine2.IngestDelta(*delta, nullptr).ok());
+      }
+      for (uint64_t i = 0; i < cp->cursor; ++i) {
+        EXPECT_EQ(host2.attempts(urls[i]), 0) << "refetched " << urls[i];
+      }
+
+      // Zero pages lost, identical corpus, influence parity <= 1e-9.
+      ASSERT_EQ(grown2.num_bloggers(), src.num_bloggers());
+      ASSERT_EQ(grown2.num_posts(), src.num_posts());
+      ASSERT_EQ(grown2.num_comments(), src.num_comments());
+      EXPECT_EQ(CorpusToXml(grown2), CorpusToXml(ref_grown));
+      for (BloggerId b = 0; b < grown2.num_bloggers(); ++b) {
+        ASSERT_NEAR(engine2.InfluenceOf(b), ref_engine.InfluenceOf(b), 1e-9)
+            << "b=" << b;
+      }
+    }
+  }
+}
+
+TEST(DeltaStreamTest, SkipsFullyFailedBatches) {
+  Corpus src = SourceCorpus(4, 6, 20);
+  SyntheticBlogHost inner(&src);
+  // First batch: two URLs the host has never heard of (permanent 404s).
+  std::vector<std::string> urls = {"http://blogosphere.example/ghost-1",
+                                   "http://blogosphere.example/ghost-2"};
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(inner.UrlOf(b));
+  }
+  DeltaStreamOptions opts;
+  opts.batch_pages = 2;
+  DeltaStream stream(&inner, urls, opts);
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+  // The all-404 batch was skipped; the first emitted delta carries pages.
+  EXPECT_FALSE(delta->empty());
+  EXPECT_EQ(stream.fetch_failures(), 2u);
+  EXPECT_EQ(stream.last_batch_failures(), 2u);
+  EXPECT_EQ(stream.batches_emitted(), 1u);
+  EXPECT_EQ(stream.pages_emitted(), 2u);
+}
+
+TEST(DeltaStreamTest, AllFailedTailSurfacesEndOfStream) {
+  Corpus src = SourceCorpus(4, 6, 20);
+  SyntheticBlogHost inner(&src);
+  std::vector<std::string> urls = {"http://blogosphere.example/ghost-1",
+                                   "http://blogosphere.example/ghost-2",
+                                   "http://blogosphere.example/ghost-3"};
+  DeltaStreamOptions opts;
+  opts.batch_pages = 2;
+  DeltaStream stream(&inner, urls, opts);
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+  EXPECT_TRUE(stream.done());
+  EXPECT_EQ(stream.fetch_failures(), 3u);
+  EXPECT_TRUE(stream.Next().status().IsFailedPrecondition());
+}
+
+TEST(DeltaStreamTest, RestoreRejectsForeignCheckpoints) {
+  Corpus src = SourceCorpus(4, 6, 20);
+  SyntheticBlogHost inner(&src);
+  DeltaStream stream(&inner, AllUrls(inner, src));
+  DeltaStreamCheckpoint cp;
+  cp.cursor = src.num_bloggers() + 1;  // belongs to a longer URL list
+  EXPECT_TRUE(stream.Restore(cp).IsOutOfRange());
+}
+
+// ---------- transactional ingest ----------
+
+TEST(CorpusTest, RollbackToRestoresEntitiesAndEnrichedRecords) {
+  Corpus corpus;
+  Blogger stub;
+  stub.url = "http://h/a";
+  BloggerId a = corpus.AddBlogger(stub);
+  corpus.BuildIndexes();
+  const std::string before = CorpusToXml(corpus);
+  const CorpusMark mark = corpus.Mark();
+
+  // Mutate: enrich the stub in place and append new entities.
+  std::vector<Blogger> enriched_prior = {corpus.blogger(a)};
+  corpus.mutable_blogger(a).name = "alice";
+  corpus.mutable_blogger(a).profile = "filled in";
+  Blogger fresh;
+  fresh.url = "http://h/b";
+  BloggerId b = corpus.AddBlogger(fresh);
+  Post p;
+  p.author = b;
+  p.title = "t";
+  ASSERT_TRUE(corpus.AddPost(std::move(p)).ok());
+  ASSERT_TRUE(corpus.AddLink(a, b).ok());
+  corpus.BuildIndexes();
+  ASSERT_NE(CorpusToXml(corpus), before);
+
+  ASSERT_TRUE(corpus.RollbackTo(mark, enriched_prior).ok());
+  EXPECT_EQ(CorpusToXml(corpus), before);
+  EXPECT_TRUE(corpus.indexes_built());
+
+  // A mark from the future is rejected.
+  CorpusMark bad;
+  bad.bloggers = 99;
+  EXPECT_TRUE(corpus.RollbackTo(bad).IsInvalidArgument());
+}
+
+// Grows an engine over the first half of `src`, then returns the second
+// half as one pending delta. Used by the rollback tests.
+struct TransactionalFixture {
+  Corpus src;
+  SyntheticBlogHost host;
+  Corpus grown;
+  std::unique_ptr<MassEngine> engine;
+  CorpusDelta pending;
+
+  explicit TransactionalFixture(EngineOptions opts)
+      : src(SourceCorpus(15, 30, 120)), host(&src) {
+    grown.BuildIndexes();
+    engine = std::make_unique<MassEngine>(&grown, opts);
+    std::vector<std::string> urls = AllUrls(host, src);
+    EXPECT_TRUE(engine->Analyze(nullptr, 10).ok());
+    DeltaStreamOptions sopts;
+    sopts.batch_pages = urls.size() / 2;
+    DeltaStream stream(&host, urls, sopts);
+    auto first = stream.Next();
+    EXPECT_TRUE(first.ok());
+    EXPECT_TRUE(engine->IngestDelta(*first, nullptr).ok());
+    auto second = stream.Next();
+    EXPECT_TRUE(second.ok());
+    pending = std::move(*second);
+  }
+};
+
+// Every published score surface, bitwise.
+struct EngineImage {
+  std::string corpus_xml;
+  std::vector<double> influence, gl, ap;
+  std::vector<std::vector<double>> domains;
+  std::vector<double> post_influence, post_quality;
+  std::vector<double> comment_sf;
+  int iterations;
+  std::vector<ScoredBlogger> top5;
+
+  static EngineImage Of(const MassEngine& engine) {
+    EngineImage img;
+    const Corpus& c = engine.corpus();
+    img.corpus_xml = CorpusToXml(c);
+    for (BloggerId b = 0; b < c.num_bloggers(); ++b) {
+      img.influence.push_back(engine.InfluenceOf(b));
+      img.gl.push_back(engine.GeneralLinksOf(b));
+      img.ap.push_back(engine.AccumulatedPostOf(b));
+      img.domains.push_back(engine.DomainVectorOf(b));
+    }
+    for (PostId p = 0; p < c.num_posts(); ++p) {
+      img.post_influence.push_back(engine.PostInfluenceOf(p));
+      img.post_quality.push_back(engine.PostQualityOf(p));
+    }
+    for (CommentId cm = 0; cm < c.num_comments(); ++cm) {
+      img.comment_sf.push_back(engine.CommentFactorOf(cm));
+    }
+    img.iterations = engine.stats().iterations;
+    img.top5 = engine.TopKGeneral(5);
+    return img;
+  }
+
+  void ExpectIdentical(const EngineImage& other) const {
+    EXPECT_EQ(corpus_xml, other.corpus_xml);
+    EXPECT_EQ(influence, other.influence);  // bitwise: no tolerance
+    EXPECT_EQ(gl, other.gl);
+    EXPECT_EQ(ap, other.ap);
+    EXPECT_EQ(domains, other.domains);
+    EXPECT_EQ(post_influence, other.post_influence);
+    EXPECT_EQ(post_quality, other.post_quality);
+    EXPECT_EQ(comment_sf, other.comment_sf);
+    EXPECT_EQ(iterations, other.iterations);
+    ASSERT_EQ(top5.size(), other.top5.size());
+    for (size_t i = 0; i < top5.size(); ++i) {
+      EXPECT_EQ(top5[i].id, other.top5[i].id);
+      EXPECT_EQ(top5[i].score, other.top5[i].score);
+    }
+  }
+};
+
+TEST(TransactionalIngestTest, MatrixGuardFailureRollsBackBitwise) {
+  TransactionalFixture fx(TightOptions());
+
+  // Arm the resource guard so the pending delta's matrix extension fails
+  // deep inside the ingest pipeline (after corpus application, text
+  // stages, classification).
+  EngineOptions armed = TightOptions();
+  armed.ingest_max_matrix_nnz = 1;
+  ASSERT_TRUE(fx.engine->Retune(armed).ok());
+  const EngineImage before = EngineImage::Of(*fx.engine);
+
+  Status failed = fx.engine->IngestDelta(fx.pending, nullptr);
+  ASSERT_TRUE(failed.IsAborted()) << failed.ToString();
+
+  // The engine is bitwise identical to its pre-ingest state...
+  EngineImage::Of(*fx.engine).ExpectIdentical(before);
+  // ...and still serves queries.
+  EXPECT_EQ(fx.engine->TopKGeneral(3).size(), 3u);
+  EXPECT_FALSE(fx.engine->TopKDomain(0, 3).empty());
+
+  // Disarming the guard lets the very same delta ingest cleanly: nothing
+  // was left half-applied.
+  ASSERT_TRUE(fx.engine->Retune(TightOptions()).ok());
+  ASSERT_TRUE(fx.engine->IngestDelta(fx.pending, nullptr).ok());
+  EXPECT_EQ(fx.grown.num_bloggers(), fx.src.num_bloggers());
+
+  // Post-rollback-then-ingest matches a fresh analysis of the full corpus.
+  Corpus fresh_corpus = fx.grown;
+  MassEngine fresh(&fresh_corpus, TightOptions());
+  ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+  for (BloggerId b = 0; b < fx.grown.num_bloggers(); ++b) {
+    ASSERT_NEAR(fx.engine->InfluenceOf(b), fresh.InfluenceOf(b), 1e-9);
+  }
+}
+
+TEST(TransactionalIngestTest, CorruptFragmentIsRejectedBeforeMutation) {
+  TransactionalFixture fx(TightOptions());
+  const EngineImage before = EngineImage::Of(*fx.engine);
+
+  // A dangling reference cannot be built through the Corpus API (Add*
+  // validates eagerly), so forge one the way it would really arrive: a
+  // delta file whose comment references a post the fragment doesn't have.
+  CorpusDelta valid;
+  Blogger blogger;
+  blogger.url = "http://h/poison";
+  BloggerId bid = valid.additions.AddBlogger(blogger);
+  Post post;
+  post.author = bid;
+  post.title = "ok";
+  post.timestamp = 1;
+  ASSERT_TRUE(valid.additions.AddPost(std::move(post)).ok());
+  Comment comment;
+  comment.post = 0;
+  comment.commenter = bid;
+  comment.timestamp = 2;
+  ASSERT_TRUE(valid.additions.AddComment(std::move(comment)).ok());
+  std::string xml = DeltaToXml(valid);
+  const size_t at = xml.find("post=\"0\"");
+  ASSERT_NE(at, std::string::npos);
+  xml.replace(at, 8, "post=\"7\"");
+
+  // The storage layer refuses the forged document outright (the rebuild
+  // through Corpus::AddComment rejects the dangling post reference)...
+  auto parsed = DeltaFromXml(xml);
+  ASSERT_FALSE(parsed.ok());
+
+  // ...and the engine is untouched: nothing was staged or applied.
+  EngineImage::Of(*fx.engine).ExpectIdentical(before);
+  // An empty delta is likewise a no-op, not an error.
+  ASSERT_TRUE(fx.engine->IngestDelta(CorpusDelta{}, nullptr).ok());
+  EngineImage::Of(*fx.engine).ExpectIdentical(before);
+}
+
+TEST(TransactionalIngestTest, NonTransactionalFailureLeavesCorpusGrown) {
+  // With transactional_ingest off the corpus keeps the applied delta when
+  // a later pipeline stage fails; recovery is a fresh Analyze. This pins
+  // the contract difference that makes the transactional default matter.
+  EngineOptions opts = TightOptions();
+  opts.transactional_ingest = false;
+  TransactionalFixture fx(opts);
+
+  EngineOptions armed = opts;
+  armed.ingest_max_matrix_nnz = 1;
+  ASSERT_TRUE(fx.engine->Retune(armed).ok());
+  // The first batch already planted URL stubs for every blogger, so the
+  // pending delta grows posts/comments rather than the blogger set.
+  const size_t posts_before = fx.grown.num_posts();
+
+  Status failed = fx.engine->IngestDelta(fx.pending, nullptr);
+  ASSERT_TRUE(failed.IsAborted()) << failed.ToString();
+  EXPECT_GT(fx.grown.num_posts(), posts_before);  // delta kept
+
+  // A full re-analysis over the grown corpus restores a consistent engine.
+  ASSERT_TRUE(fx.engine->Analyze(nullptr, 10).ok());
+  EXPECT_EQ(fx.engine->TopKGeneral(3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace mass
