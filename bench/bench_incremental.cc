@@ -187,10 +187,10 @@ bool MeasureIngest(const Corpus& src, PrepareFn prepare, EngineOptions opts,
       return false;
     }
     out->total_seconds = std::min(out->total_seconds, secs);
-    out->solve_seconds =
-        std::min(out->solve_seconds, p.engine->stats().solve_seconds);
-    out->iterations = p.engine->stats().iterations;
-    out->converged = p.engine->stats().converged;
+    const obs::SolveTrace solve = p.engine->Observability().solve;
+    out->solve_seconds = std::min(out->solve_seconds, solve.solve_seconds);
+    out->iterations = solve.iterations;
+    out->converged = solve.converged;
   }
   return true;
 }
@@ -217,10 +217,10 @@ bool MeasureReanalyze(const Corpus& src, PrepareFn prepare, ModeResult* out) {
       return false;
     }
     out->total_seconds = std::min(out->total_seconds, secs);
-    out->solve_seconds =
-        std::min(out->solve_seconds, fresh.stats().solve_seconds);
-    out->iterations = fresh.stats().iterations;
-    out->converged = fresh.stats().converged;
+    const obs::SolveTrace solve = fresh.Observability().solve;
+    out->solve_seconds = std::min(out->solve_seconds, solve.solve_seconds);
+    out->iterations = solve.iterations;
+    out->converged = solve.converged;
   }
   return true;
 }
@@ -316,7 +316,7 @@ void RunIncrementalGrid() {
   std::fprintf(f, "{\n  \"bench\": \"bench_incremental/S6_delta_ingest\",\n");
   std::fprintf(f,
                "  \"metric\": \"best-of-%d wall seconds; solve_seconds is "
-               "SolveStats (fixed point incl. matrix extension/compile), "
+               "SolveTrace (fixed point incl. matrix extension/compile), "
                "total_seconds the whole IngestDelta or Analyze\",\n",
                kRepeats);
   std::fprintf(f,

@@ -1,0 +1,147 @@
+// Observability overhead budget: the metrics registry and stage tracer are
+// compiled in unconditionally, so this bench proves the instrumented engine
+// stays within 2% of a disabled-registry (MetricsRegistry::Null()) run.
+//
+// Two layers:
+//  * RunOverheadGrid — best-of-N wall seconds of a full Analyze plus a
+//    Retune and top-k queries, instrumented vs null registry. Writes
+//    BENCH_observability.json with overhead_pct and within_budget so the
+//    2% budget is tracked across PRs.
+//  * BM_* micro-benchmarks — per-call cost of counter increments and
+//    histogram records against live and null handles.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "obs/metrics.h"
+
+namespace mass {
+namespace {
+
+constexpr size_t kBloggers = 1500;
+constexpr int kRepeats = 5;
+constexpr double kBudgetPct = 2.0;
+
+// Best-of-N seconds for a representative engine workload: full analyze,
+// one retune (cached GL, fresh solve), and a spread of top-k queries.
+double TimeWorkload(const Corpus& corpus, obs::MetricsRegistry* registry) {
+  double best = 1e100;
+  for (int r = 0; r < kRepeats; ++r) {
+    EngineOptions opts;
+    opts.metrics = registry;
+    Stopwatch sw;
+    MassEngine engine(&corpus, opts);
+    Status s = engine.Analyze(nullptr, 10);
+    if (s.ok()) {
+      EngineOptions retuned = opts;
+      retuned.alpha = 0.9;
+      s = engine.Retune(retuned);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return -1.0;
+    }
+    for (int d = 0; d < 10; ++d) benchmark::DoNotOptimize(engine.TopKDomain(d, 10));
+    benchmark::DoNotOptimize(engine.TopKGeneral(10));
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+void RunOverheadGrid() {
+  const Corpus& corpus = bench::CachedCorpus(kBloggers, kBloggers * 13);
+
+  // nullptr = engine-owned registry (the default, fully instrumented);
+  // Null() = disabled registry, every metric write is a dead branch.
+  const double instrumented = TimeWorkload(corpus, nullptr);
+  const double disabled = TimeWorkload(corpus, obs::MetricsRegistry::Null());
+  if (instrumented < 0 || disabled < 0) return;
+
+  const double overhead_pct = (instrumented - disabled) / disabled * 100.0;
+  const bool within_budget = overhead_pct <= kBudgetPct;
+
+  bench::Banner("S7", "observability overhead (instrumented vs null registry)");
+  std::printf("%-14s %-12s %-12s %-10s\n", "mode", "secs", "overhead",
+              "budget");
+  std::printf("%-14s %-12.4f %-12s %-10s\n", "null", disabled, "-", "-");
+  std::printf("%-14s %-12.4f %-11.2f%% %-10s\n", "instrumented", instrumented,
+              overhead_pct, within_budget ? "<=2% ok" : "EXCEEDED");
+
+  std::FILE* f = std::fopen("BENCH_observability.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_observability.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_observability/S7_overhead\",\n");
+  std::fprintf(f,
+               "  \"metric\": \"best-of-%d wall seconds of Analyze + Retune "
+               "+ 11 top-k queries, engine-owned registry vs "
+               "MetricsRegistry::Null()\",\n",
+               kRepeats);
+  std::fprintf(f, "  \"corpus\": {\"bloggers\": %zu, \"posts_target\": %zu},\n",
+               kBloggers, kBloggers * 13);
+  std::fprintf(f, "  \"seconds_null_registry\": %.6f,\n", disabled);
+  std::fprintf(f, "  \"seconds_instrumented\": %.6f,\n", instrumented);
+  std::fprintf(f, "  \"overhead_pct\": %.3f,\n", overhead_pct);
+  std::fprintf(f, "  \"budget_pct\": %.1f,\n", kBudgetPct);
+  std::fprintf(f, "  \"within_budget\": %s\n", within_budget ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_observability.json\n");
+}
+
+// ---- per-call micro costs ----
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.GetCounter("bench.counter");
+  for (auto _ : state) c.Increment();
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_CounterIncrementNull(benchmark::State& state) {
+  obs::Counter c = obs::MetricsRegistry::Null()->GetCounter("bench.counter");
+  for (auto _ : state) c.Increment();
+}
+BENCHMARK(BM_CounterIncrementNull);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.GetHistogram("bench.histo");
+  uint64_t v = 0;
+  for (auto _ : state) h.Record(v++ & 1023);
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramRecordNull(benchmark::State& state) {
+  obs::Histogram h = obs::MetricsRegistry::Null()->GetHistogram("bench.histo");
+  uint64_t v = 0;
+  for (auto _ : state) h.Record(v++ & 1023);
+}
+BENCHMARK(BM_HistogramRecordNull);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 64; ++i) {
+    reg.GetCounter("bench.counter." + std::to_string(i)).Increment();
+  }
+  for (auto _ : state) {
+    obs::MetricsSnapshot snap = reg.Snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::RunOverheadGrid();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

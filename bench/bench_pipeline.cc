@@ -83,7 +83,7 @@ void PrintPipelineBreakdown() {
   std::printf("%-28s %10.3f\n", "post analyzer training", t_train);
   std::printf("%-28s %10.3f  (%d solver iters)\n",
               "comment analyzer + scoring", t_score,
-              engine.stats().iterations);
+              engine.Observability().solve.iterations);
   std::printf("%-28s %10.3f\n", "10 domain queries", t_query);
 }
 

@@ -32,7 +32,7 @@ void PrintScalingTable() {
     }
     std::printf("%-10zu %-10zu %-10zu %-8d %-10.3f\n", corpus.num_bloggers(),
                 corpus.num_posts(), corpus.num_comments(),
-                engine.stats().iterations, secs);
+                engine.Observability().solve.iterations, secs);
   }
   std::printf("shape: near-linear wall time in corpus size; iteration "
               "count roughly constant.\n");
@@ -40,7 +40,7 @@ void PrintScalingTable() {
 
 // ---- S1b: solver-path (reference vs compiled) x threads grid ----
 //
-// Times the fixed-point solve alone (SolveStats::solve_seconds — the
+// Times the fixed-point solve alone (SolveTrace::solve_seconds — the
 // engine's own wall clock around the solver, compilation included for the
 // compiled path) via Retune() on a warm engine, in two modes:
 //  * forced-40: tolerance 0, exactly 40 rounds — per-iteration solver
@@ -66,8 +66,9 @@ double TimeSolve(MassEngine* engine, const EngineOptions& opts, int repeats,
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return -1.0;
     }
-    best = std::min(best, engine->stats().solve_seconds);
-    *iterations = engine->stats().iterations;
+    const obs::SolveTrace solve = engine->Observability().solve;
+    best = std::min(best, solve.solve_seconds);
+    *iterations = solve.iterations;
   }
   return best;
 }
@@ -166,7 +167,7 @@ void PrintSolverGrid() {
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_scoring_scale/S1b_solver_grid\",\n");
   std::fprintf(f,
-               "  \"metric\": \"best-of-%d SolveStats.solve_seconds (fixed-"
+               "  \"metric\": \"best-of-%d SolveTrace.solve_seconds (fixed-"
                "point solve only; matrix compilation included for the "
                "compiled path)\",\n",
                kRepeats);

@@ -34,6 +34,7 @@
 #include "recommend/recommender.h"
 #include "storage/corpus_xml.h"
 #include "storage/file_io.h"
+#include "storage/metrics_xml.h"
 #include "storage/options_xml.h"
 #include "synth/generator.h"
 #include "userstudy/table1.h"
@@ -69,14 +70,25 @@ class Flags {
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    int64_t v;
-    return ParseInt64(it->second, &v) ? v : fallback;
+    Result<int64_t> v = ParseInt64(it->second);
+    if (!v.ok()) {
+      std::fprintf(stderr, "warning: --%s: %s (using %lld)\n", key.c_str(),
+                   v.status().ToString().c_str(),
+                   static_cast<long long>(fallback));
+      return fallback;
+    }
+    return *v;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    double v;
-    return ParseDouble(it->second, &v) ? v : fallback;
+    Result<double> v = ParseDouble(it->second);
+    if (!v.ok()) {
+      std::fprintf(stderr, "warning: --%s: %s (using %g)\n", key.c_str(),
+                   v.status().ToString().c_str(), fallback);
+      return fallback;
+    }
+    return *v;
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -189,9 +201,10 @@ int CmdAnalyze(const Flags& flags) {
   if (Status s = engine.Analyze(miner->get(), domains.size()); !s.ok()) {
     return Fail(s);
   }
+  const EngineObservability ob = engine.Observability();
   std::printf("analyzed %zu bloggers (%d solver iterations, converged=%s)\n",
-              corpus->num_bloggers(), engine.stats().iterations,
-              engine.stats().converged ? "yes" : "no");
+              corpus->num_bloggers(), ob.solve.iterations,
+              ob.solve.converged ? "yes" : "no");
 
   size_t k = static_cast<size_t>(flags.GetInt("top", 5));
   if (flags.Has("domain")) {
@@ -208,6 +221,14 @@ int CmdAnalyze(const Flags& flags) {
       std::printf("  %-14s %.4f\n", corpus->blogger(sb.id).name.c_str(),
                   sb.score);
     }
+  }
+  if (flags.Has("metrics-out")) {
+    const std::string path = flags.Get("metrics-out", "");
+    // Fresh snapshot so the top-k query counters above are included.
+    if (Status s = SaveMetrics(engine.Observability(), path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("metrics written to %s\n", path.c_str());
   }
   return 0;
 }
@@ -389,6 +410,7 @@ void Usage() {
       "inlinks]\n"
       "             [--miner nb|centroid|kmeans|truth] [--domain NAME] "
       "[--top K]\n"
+      "             [--metrics-out FILE(.xml|.prom|.jsonl)]\n"
       "  recommend  --in FILE (--ad TEXT | --profile TEXT | --domain NAME) "
       "[--top K]\n"
       "  study      --in FILE\n"

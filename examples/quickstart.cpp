@@ -28,9 +28,9 @@ int main() {
   }
 
   std::printf("MASS quickstart on the Figure-1 influence graph\n");
+  const obs::SolveTrace solve = engine.Observability().solve;
   std::printf("solver: %d iterations, converged=%s\n\n",
-              engine.stats().iterations,
-              engine.stats().converged ? "yes" : "no");
+              solve.iterations, solve.converged ? "yes" : "no");
 
   std::printf("== Overall top-3 influential bloggers (Eq. 1) ==\n");
   for (const ScoredBlogger& sb : engine.TopKGeneral(3)) {

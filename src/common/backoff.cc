@@ -65,6 +65,9 @@ bool CircuitBreaker::Allow() {
         state_ = State::kHalfOpen;
         half_open_in_flight_ = 1;
         half_open_successes_seen_ = 0;
+        if (options_.on_transition) {
+          options_.on_transition(State::kOpen, State::kHalfOpen);
+        }
         return true;
       }
       ++short_circuits_;
@@ -92,6 +95,9 @@ void CircuitBreaker::RecordSuccess() {
       state_ = State::kClosed;
       half_open_in_flight_ = 0;
       half_open_successes_seen_ = 0;
+      if (options_.on_transition) {
+        options_.on_transition(State::kHalfOpen, State::kClosed);
+      }
     }
   }
 }
@@ -107,6 +113,9 @@ void CircuitBreaker::RecordFailure() {
     half_open_successes_seen_ = 0;
     consecutive_failures_ = 0;
     ++trips_;
+    if (options_.on_transition) {
+      options_.on_transition(State::kHalfOpen, State::kOpen);
+    }
     return;
   }
   if (state_ == State::kClosed &&
@@ -115,6 +124,9 @@ void CircuitBreaker::RecordFailure() {
     opened_at_micros_ = NowMicros();
     consecutive_failures_ = 0;
     ++trips_;
+    if (options_.on_transition) {
+      options_.on_transition(State::kClosed, State::kOpen);
+    }
   }
 }
 

@@ -78,6 +78,10 @@ class BackoffSchedule {
   bool deadline_exhausted_ = false;
 };
 
+/// Breaker automaton states. Top-level so options (the transition hook
+/// below) can name them without depending on the class.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
 /// Per-host circuit breaker parameters.
 struct CircuitBreakerOptions {
   /// Master switch; a disabled breaker always allows and never trips.
@@ -88,12 +92,16 @@ struct CircuitBreakerOptions {
   int64_t cooldown_micros = 50'000;
   /// Consecutive probe successes required to close from half-open.
   int half_open_successes = 1;
+  /// Invoked on every state change, under the breaker's lock — keep it
+  /// cheap and never call back into the breaker. Used by RobustFetcher to
+  /// count transitions into the metrics registry.
+  std::function<void(BreakerState from, BreakerState to)> on_transition;
 };
 
 /// Thread-safe three-state breaker guarding one host.
 class CircuitBreaker {
  public:
-  enum class State { kClosed, kOpen, kHalfOpen };
+  using State = BreakerState;
 
   /// Monotonic clock in microseconds; injectable for deterministic tests.
   using ClockFn = std::function<int64_t()>;

@@ -79,24 +79,26 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
-bool ParseDouble(std::string_view s, double* out) {
+Result<double> ParseDouble(std::string_view s) {
   std::string buf(Trim(s));
-  if (buf.empty()) return false;
+  if (buf.empty()) return Status::InvalidArgument("empty number");
   char* end = nullptr;
   double v = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) return false;
-  *out = v;
-  return true;
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: \"" + buf + "\"");
+  }
+  return v;
 }
 
-bool ParseInt64(std::string_view s, int64_t* out) {
+Result<int64_t> ParseInt64(std::string_view s) {
   std::string buf(Trim(s));
-  if (buf.empty()) return false;
+  if (buf.empty()) return Status::InvalidArgument("empty integer");
   char* end = nullptr;
   long long v = std::strtoll(buf.c_str(), &end, 10);
-  if (end != buf.c_str() + buf.size()) return false;
-  *out = static_cast<int64_t>(v);
-  return true;
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: \"" + buf + "\"");
+  }
+  return static_cast<int64_t>(v);
 }
 
 }  // namespace mass

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
+
 namespace mass {
 
 /// Splits `s` on `sep`, keeping empty fields.
@@ -29,8 +31,12 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/// Parses a double / long; returns false on any trailing garbage.
-bool ParseDouble(std::string_view s, double* out);
-bool ParseInt64(std::string_view s, int64_t* out);
+/// Parses a double / long. The whole (trimmed) input must be consumed;
+/// empty input or trailing garbage is InvalidArgument carrying the
+/// offending text. This is the repo's error-handling convention for
+/// fallible parsing: Result<T> out, never a bool + out-parameter (see
+/// docs/extending.md, "Error handling").
+Result<double> ParseDouble(std::string_view s);
+Result<int64_t> ParseInt64(std::string_view s);
 
 }  // namespace mass

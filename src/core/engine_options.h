@@ -7,6 +7,10 @@
 #include "linkanalysis/pagerank.h"
 #include "sentiment/sentiment_analyzer.h"
 
+namespace mass::obs {
+class MetricsRegistry;
+}  // namespace mass::obs
+
 namespace mass {
 
 /// How the General-Links authority GL(b_i) of Eq. 1 is computed. The
@@ -105,6 +109,15 @@ struct EngineOptions {
   /// entries. 0 = unlimited. With transactional_ingest this doubles as a
   /// deterministic injection point for matrix-extension failure in tests.
   size_t ingest_max_matrix_nnz = 0;
+
+  // ---- observability (src/obs) ----
+  /// Registry receiving the engine's counters, gauges, and stage-duration
+  /// histograms. Null (the default) makes the engine create and own an
+  /// enabled registry, readable through MassEngine::Observability(). Pass
+  /// obs::MetricsRegistry::Null() to disable instrumentation entirely, or
+  /// an external registry to aggregate several components (crawler,
+  /// streams, engines) into one snapshot. Must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace mass

@@ -38,10 +38,46 @@ void MeanNormalize(std::vector<double>* v) {
 }  // namespace
 
 MassEngine::MassEngine(const Corpus* corpus, EngineOptions options)
-    : corpus_(corpus), options_(options) {}
+    : corpus_(corpus), options_(options) {
+  InitObservability();
+}
 
 MassEngine::MassEngine(Corpus* corpus, EngineOptions options)
-    : corpus_(corpus), mutable_corpus_(corpus), options_(options) {}
+    : corpus_(corpus), mutable_corpus_(corpus), options_(options) {
+  InitObservability();
+}
+
+void MassEngine::InitObservability() {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    // Created once and kept across Retune() so counters accumulate over
+    // the engine's lifetime.
+    if (owned_metrics_ == nullptr) {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_.SetMetrics(metrics_, "engine.stage.");
+  analyze_runs_ = metrics_->GetCounter("engine.analyze_runs_total");
+  retune_runs_ = metrics_->GetCounter("engine.retune_runs_total");
+  ingest_runs_ = metrics_->GetCounter("engine.ingest_runs_total");
+  ingest_rollbacks_ = metrics_->GetCounter("engine.ingest_rollbacks_total");
+  solve_iterations_total_ =
+      metrics_->GetCounter("engine.solve_iterations_total");
+  topk_queries_ = metrics_->GetCounter("engine.topk_queries_total");
+  topk_us_ = metrics_->GetHistogram("engine.topk_us");
+  warm_saved_gauge_ = metrics_->GetGauge("engine.warm_start_iterations_saved");
+}
+
+EngineObservability MassEngine::Observability() const {
+  EngineObservability out;
+  out.metrics = metrics_->Snapshot();
+  out.solve = solve_trace_;
+  out.spans = tracer_.Spans();
+  out.run = tracer_.run_name();
+  return out;
+}
 
 Status MassEngine::ComputeGeneralLinks() {
   const size_t nb = corpus_->num_bloggers();
@@ -50,7 +86,7 @@ Status MassEngine::ComputeGeneralLinks() {
     // Degenerate corpus: no bloggers means no link network. PageRank
     // would reject an empty graph, so short-circuit to an empty GL.
     gl_.clear();
-    stats_.pagerank_iterations = 0;
+    solve_trace_.pagerank_iterations = 0;
     gl_cache_valid_ = true;
     gl_cached_method_ = options_.gl_method;
     gl_cached_pagerank_ = options_.pagerank;
@@ -73,21 +109,23 @@ Status MassEngine::ComputeGeneralLinks() {
   if (gl_cache_valid_ && gl_cached_method_ == options_.gl_method &&
       pagerank_opts_same && gl_cached_bloggers_ == nb &&
       gl_cached_links_ == nl) {
-    stats_.pagerank_iterations = gl_cached_iterations_;
+    solve_trace_.pagerank_iterations = gl_cached_iterations_;
     return Status::OK();
   }
   Graph graph = Graph::FromCorpusLinks(*corpus_);
   switch (options_.gl_method) {
     case GlMethod::kPageRank: {
+      PageRankOptions pr_options = options_.pagerank;
+      pr_options.metrics = metrics_;
       MASS_ASSIGN_OR_RETURN(PageRankResult pr,
-                            ComputePageRank(graph, options_.pagerank));
-      stats_.pagerank_iterations = pr.iterations;
+                            ComputePageRank(graph, pr_options));
+      solve_trace_.pagerank_iterations = pr.iterations;
       gl_ = std::move(pr.scores);
       break;
     }
     case GlMethod::kHitsAuthority: {
       MASS_ASSIGN_OR_RETURN(HitsResult hits, ComputeHits(graph));
-      stats_.pagerank_iterations = hits.iterations;
+      solve_trace_.pagerank_iterations = hits.iterations;
       gl_ = std::move(hits.authority);
       break;
     }
@@ -97,7 +135,7 @@ Status MassEngine::ComputeGeneralLinks() {
         gl_[b] = static_cast<double>(
             graph.InDegree(static_cast<uint32_t>(b)));
       }
-      stats_.pagerank_iterations = 0;
+      solve_trace_.pagerank_iterations = 0;
       break;
     }
   }
@@ -105,7 +143,7 @@ Status MassEngine::ComputeGeneralLinks() {
   gl_cache_valid_ = true;
   gl_cached_method_ = options_.gl_method;
   gl_cached_pagerank_ = options_.pagerank;
-  gl_cached_iterations_ = stats_.pagerank_iterations;
+  gl_cached_iterations_ = solve_trace_.pagerank_iterations;
   gl_cached_bloggers_ = nb;
   gl_cached_links_ = nl;
   return Status::OK();
@@ -314,21 +352,32 @@ ThreadPool* MassEngine::SolverPool() {
 }
 
 void MassEngine::SolveInfluence() {
+  auto solve_span = tracer_.Span("solve");
   Stopwatch sw;
   if (options_.use_compiled_solver) {
-    matrix_ = CompileSolverMatrix(*corpus_, options_, post_quality_,
-                                  post_recency_, comment_sf_,
-                                  comment_recency_, SolverPool());
-    matrix_valid_ = true;
+    {
+      auto span = tracer_.Span("compile_matrix");
+      matrix_ = CompileSolverMatrix(*corpus_, options_, post_quality_,
+                                    post_recency_, comment_sf_,
+                                    comment_recency_, SolverPool());
+      matrix_valid_ = true;
+    }
+    auto span = tracer_.Span("fixed_point");
     IterateCompiled(/*warm=*/false);
   } else {
     matrix_valid_ = false;
+    auto span = tracer_.Span("fixed_point");
     SolveInfluenceReference(/*warm=*/false);
   }
-  stats_.solve_seconds = sw.ElapsedSeconds();
+  solve_trace_.solve_seconds = sw.ElapsedSeconds();
+  solve_iterations_total_.Increment(
+      static_cast<uint64_t>(solve_trace_.iterations));
+  last_full_solve_iterations_ = solve_trace_.iterations;
+  warm_saved_gauge_.Set(0.0);
 }
 
 Status MassEngine::SolveInfluenceIncremental() {
+  auto solve_span = tracer_.Span("solve");
   Stopwatch sw;
   const bool warm = options_.warm_start_ingest;
   if (options_.use_compiled_solver) {
@@ -337,10 +386,12 @@ Status MassEngine::SolveInfluenceIncremental() {
     // existing weight, so it forces the full recompile.
     if (matrix_valid_ && options_.incremental_matrix &&
         options_.recency_half_life_days <= 0.0) {
+      auto span = tracer_.Span("extend_matrix");
       ExtendSolverMatrix(&matrix_, *corpus_, options_, post_quality_,
                          post_recency_, comment_sf_, comment_recency_,
                          SolverPool());
     } else {
+      auto span = tracer_.Span("compile_matrix");
       matrix_ = CompileSolverMatrix(*corpus_, options_, post_quality_,
                                     post_recency_, comment_sf_,
                                     comment_recency_, SolverPool());
@@ -357,12 +408,26 @@ Status MassEngine::SolveInfluenceIncremental() {
                     matrix_.nnz(), options_.ingest_max_matrix_nnz));
     }
     matrix_valid_ = true;
+    auto span = tracer_.Span("fixed_point");
     IterateCompiled(warm);
   } else {
     matrix_valid_ = false;
+    auto span = tracer_.Span("fixed_point");
     SolveInfluenceReference(warm);
   }
-  stats_.solve_seconds = sw.ElapsedSeconds();
+  solve_trace_.solve_seconds = sw.ElapsedSeconds();
+  solve_iterations_total_.Increment(
+      static_cast<uint64_t>(solve_trace_.iterations));
+  if (warm) {
+    // How many iterations the warm start saved vs the last cold solve —
+    // an approximation (the corpus grew), but exactly the signal that
+    // tells an operator warm starting is paying off.
+    warm_saved_gauge_.Set(static_cast<double>(
+        std::max(0, last_full_solve_iterations_ - solve_trace_.iterations)));
+  } else {
+    last_full_solve_iterations_ = solve_trace_.iterations;
+    warm_saved_gauge_.Set(0.0);
+  }
   return Status::OK();
 }
 
@@ -378,7 +443,11 @@ void MassEngine::IterateCompiled(bool warm) {
   const double beta = options_.beta;
   ThreadPool* pool = SolverPool();
   const SolverMatrix& matrix = matrix_;
-  stats_.warm_start = warm;
+  solve_trace_.solver_path = "csr";
+  solve_trace_.warm_start = warm;
+  solve_trace_.residuals.clear();
+  solve_trace_.residuals.reserve(
+      static_cast<size_t>(std::max(0, options_.max_iterations)));
 
   post_influence_.assign(np, 0.0);
 
@@ -433,10 +502,11 @@ void MassEngine::IterateCompiled(bool warm) {
         },
         [](double a, double b) { return std::max(a, b); });
     influence_.swap(next);
-    stats_.iterations = iter + 1;
-    stats_.final_delta = delta;
+    solve_trace_.iterations = iter + 1;
+    solve_trace_.final_residual = delta;
+    solve_trace_.residuals.push_back({iter + 1, delta, options_.damping});
     if (delta < options_.tolerance) {
-      stats_.converged = true;
+      solve_trace_.converged = true;
       break;
     }
   }
@@ -466,7 +536,11 @@ void MassEngine::SolveInfluenceReference(bool warm) {
   const size_t np = corpus_->num_posts();
   const double alpha = options_.alpha;
   const double beta = options_.beta;
-  stats_.warm_start = warm;
+  solve_trace_.solver_path = "scalar";
+  solve_trace_.warm_start = warm;
+  solve_trace_.residuals.clear();
+  solve_trace_.residuals.reserve(
+      static_cast<size_t>(std::max(0, options_.max_iterations)));
 
   post_influence_.assign(np, 0.0);
   ap_.assign(nb, 0.0);
@@ -537,10 +611,11 @@ void MassEngine::SolveInfluenceReference(bool warm) {
       delta = std::max(delta, std::abs(next[b] - influence_[b]));
     }
     influence_.swap(next);
-    stats_.iterations = iter + 1;
-    stats_.final_delta = delta;
+    solve_trace_.iterations = iter + 1;
+    solve_trace_.final_residual = delta;
+    solve_trace_.residuals.push_back({iter + 1, delta, options_.damping});
     if (delta < options_.tolerance) {
-      stats_.converged = true;
+      solve_trace_.converged = true;
       break;
     }
   }
@@ -564,13 +639,34 @@ Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
   // exactly this way — Analyze() over nothing, then IngestDelta batches.
   num_domains_ = num_domains;
 
-  MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
-  ComputeQuality();
-  ComputeRecency();
-  ComputeSentiment();
-  MASS_RETURN_IF_ERROR(ComputeInterests(miner));
+  tracer_.BeginRun("analyze");
+  analyze_runs_.Increment();
+  solve_trace_ = obs::SolveTrace();
+  {
+    auto span = tracer_.Span("general_links");
+    MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
+  }
+  {
+    auto span = tracer_.Span("recency");
+    ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("sentiment");
+    ComputeSentiment();
+  }
+  {
+    auto span = tracer_.Span("interests");
+    MASS_RETURN_IF_ERROR(ComputeInterests(miner));
+  }
   SolveInfluence();
-  ComputeDomainVectors();
+  {
+    auto span = tracer_.Span("domain_vectors");
+    ComputeDomainVectors();
+  }
   RecordSolvedShape();
 
   analyzed_ = true;
@@ -624,15 +720,35 @@ Status MassEngine::Retune(const EngineOptions& options) {
     return Status::InvalidArgument("beta must lie in [0, 1]");
   }
   options_ = options;
-  stats_ = SolveStats();
+  // A Retune may hand over a different registry; re-resolve the handles so
+  // subsequent counts land in the right place.
+  InitObservability();
+  tracer_.BeginRun("retune");
+  retune_runs_.Increment();
+  solve_trace_ = obs::SolveTrace();
   // Interest vectors (post_interests_) are corpus-derived and kept; the
   // cached text-analysis results make every stage below cheap.
-  MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
-  ComputeQuality();
-  ComputeRecency();
-  ComputeSentiment();
+  {
+    auto span = tracer_.Span("general_links");
+    MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
+  }
+  {
+    auto span = tracer_.Span("recency");
+    ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("sentiment");
+    ComputeSentiment();
+  }
   SolveInfluence();
-  ComputeDomainVectors();
+  {
+    auto span = tracer_.Span("domain_vectors");
+    ComputeDomainVectors();
+  }
   return Status::OK();
 }
 
@@ -674,6 +790,17 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
                         ApplyCorpusDelta(mutable_corpus_, delta));
   if (!applied.changed()) return Status::OK();  // pure-duplicate batch
 
+  // Delta-size accounting before the pipeline runs, so even a rolled-back
+  // ingest leaves a record of what arrived.
+  metrics_->GetCounter("engine.ingest_added_bloggers_total")
+      .Increment(applied.added_bloggers);
+  metrics_->GetCounter("engine.ingest_added_posts_total")
+      .Increment(applied.added_posts);
+  metrics_->GetCounter("engine.ingest_added_comments_total")
+      .Increment(applied.added_comments);
+  metrics_->GetCounter("engine.ingest_added_links_total")
+      .Increment(applied.added_links);
+
   if (!options_.transactional_ingest) {
     return IngestAppliedDelta(applied, miner);
   }
@@ -686,6 +813,7 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
     MASS_RETURN_IF_ERROR(
         mutable_corpus_->RollbackTo(applied.mark(), applied.enriched_prior));
     RestoreIngestSnapshot(std::move(snapshot));
+    ingest_rollbacks_.Increment();
     return ingested;
   }
   return Status::OK();
@@ -693,28 +821,52 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
 
 Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
                                       const InterestMiner* miner) {
-  stats_ = SolveStats();
+  tracer_.BeginRun("ingest");
+  ingest_runs_.Increment();
+  solve_trace_ = obs::SolveTrace();
   // GL: the shape key inside ComputeGeneralLinks() reruns link analysis
   // exactly when the delta changed the graph (new bloggers or links);
   // post/comment-only deltas keep the cached vector.
-  MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  {
+    auto span = tracer_.Span("general_links");
+    MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  }
   // Text stages run over the delta only; the option-dependent derivations
   // (quality normalization, SF mapping, recency) are O(corpus) array
   // passes over the extended caches.
-  ExtendTextCaches(applied.prior_posts, applied.prior_comments);
-  ComputeQuality();
-  ComputeRecency();
-  ComputeSentiment();
-  MASS_RETURN_IF_ERROR(ExtendInterests(miner, applied.prior_posts));
+  {
+    auto span = tracer_.Span("extend_text_caches");
+    ExtendTextCaches(applied.prior_posts, applied.prior_comments);
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
+  }
+  {
+    auto span = tracer_.Span("recency");
+    ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("sentiment");
+    ComputeSentiment();
+  }
+  {
+    auto span = tracer_.Span("interests");
+    MASS_RETURN_IF_ERROR(ExtendInterests(miner, applied.prior_posts));
+  }
   MASS_RETURN_IF_ERROR(SolveInfluenceIncremental());
-  ComputeDomainVectors();
+  {
+    auto span = tracer_.Span("domain_vectors");
+    ComputeDomainVectors();
+  }
   RecordSolvedShape();
   return Status::OK();
 }
 
 MassEngine::IngestSnapshot MassEngine::CaptureIngestSnapshot() const {
   IngestSnapshot s;
-  s.stats = stats_;
+  s.solve_trace = solve_trace_;
+  s.last_full_solve_iterations = last_full_solve_iterations_;
   s.solved_bloggers = solved_bloggers_;
   s.solved_posts = solved_posts_;
   s.solved_comments = solved_comments_;
@@ -744,7 +896,8 @@ MassEngine::IngestSnapshot MassEngine::CaptureIngestSnapshot() const {
 }
 
 void MassEngine::RestoreIngestSnapshot(IngestSnapshot&& snapshot) {
-  stats_ = snapshot.stats;
+  solve_trace_ = std::move(snapshot.solve_trace);
+  last_full_solve_iterations_ = snapshot.last_full_solve_iterations;
   solved_bloggers_ = snapshot.solved_bloggers;
   solved_posts_ = snapshot.solved_posts;
   solved_comments_ = snapshot.solved_comments;
@@ -773,20 +926,29 @@ void MassEngine::RestoreIngestSnapshot(IngestSnapshot&& snapshot) {
 }
 
 std::vector<ScoredBlogger> MassEngine::TopKGeneral(size_t k) const {
-  return TopKByScore(influence_, k);
+  Stopwatch sw;
+  std::vector<ScoredBlogger> out = TopKByScore(influence_, k);
+  topk_queries_.Increment();
+  topk_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  return out;
 }
 
 std::vector<ScoredBlogger> MassEngine::TopKDomain(size_t domain,
                                                   size_t k) const {
+  Stopwatch sw;
   std::vector<double> scores(corpus_->num_bloggers());
   for (size_t b = 0; b < scores.size(); ++b) {
     scores[b] = domain_influence_[b][domain];
   }
-  return TopKByScore(scores, k);
+  std::vector<ScoredBlogger> out = TopKByScore(scores, k);
+  topk_queries_.Increment();
+  topk_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  return out;
 }
 
 std::vector<ScoredBlogger> MassEngine::TopKWeighted(
     const std::vector<double>& weights, size_t k) const {
+  Stopwatch sw;
   std::vector<double> scores(corpus_->num_bloggers(), 0.0);
   size_t nd = std::min(weights.size(), num_domains_);
   for (size_t b = 0; b < scores.size(); ++b) {
@@ -796,7 +958,10 @@ std::vector<ScoredBlogger> MassEngine::TopKWeighted(
     }
     scores[b] = dot;
   }
-  return TopKByScore(scores, k);
+  std::vector<ScoredBlogger> out = TopKByScore(scores, k);
+  topk_queries_.Increment();
+  topk_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  return out;
 }
 
 }  // namespace mass

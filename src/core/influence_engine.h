@@ -21,6 +21,8 @@
 #include "core/engine_options.h"
 #include "core/solver_matrix.h"
 #include "model/corpus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mass {
 
@@ -33,19 +35,17 @@ struct ScoredBlogger {
   double score = 0.0;
 };
 
-/// Solver diagnostics.
-struct SolveStats {
-  int iterations = 0;
-  double final_delta = 0.0;
-  bool converged = false;
-  int pagerank_iterations = 0;
-  /// Wall time of the fixed-point solve alone (for the compiled path this
-  /// includes matrix compilation or extension), excluding link analysis,
-  /// text stages, and domain-vector assembly.
-  double solve_seconds = 0.0;
-  /// True when the solve started from the previous influence vector
-  /// (IngestDelta with warm_start_ingest).
-  bool warm_start = false;
+/// Everything the engine knows about its last run, in one snapshot: the
+/// registry's counters/gauges/histograms, the solver's convergence trace
+/// (per-iteration residual + damping on both the CSR and scalar paths),
+/// and the pipeline stage spans of the most recent Analyze / Retune /
+/// IngestDelta. This replaces the old SolveStats field-poking — read run
+/// statistics here, nowhere else.
+struct EngineObservability {
+  obs::MetricsSnapshot metrics;
+  obs::SolveTrace solve;
+  std::vector<obs::TraceSpan> spans;  ///< stages of the last run
+  std::string run;                    ///< "analyze", "retune", or "ingest"
 };
 
 /// The MASS analyzer. Construct over a corpus (indexes built), call
@@ -142,13 +142,27 @@ class MassEngine {
   std::vector<ScoredBlogger> TopKWeighted(const std::vector<double>& weights,
                                           size_t k) const;
 
-  const SolveStats& stats() const { return stats_; }
+  // ---- introspection ----
+
+  /// Point-in-time snapshot of the engine's metrics, solver convergence
+  /// trace, and stage spans (see EngineObservability). Copies out of the
+  /// registry/tracer, so the result stays stable while the engine runs on.
+  EngineObservability Observability() const;
+
+  /// The registry the engine records into — the one from
+  /// EngineOptions::metrics, or the engine-owned default. Share it with a
+  /// Crawler/DeltaStream to aggregate the whole pipeline in one snapshot.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   const Corpus& corpus() const { return *corpus_; }
   const EngineOptions& options() const { return options_; }
   size_t num_domains() const { return num_domains_; }
   bool analyzed() const { return analyzed_; }
 
  private:
+  /// Resolves the registry (options_.metrics or an engine-owned one) and
+  /// pre-fetches every handle the hot paths use.
+  void InitObservability();
   Status ComputeGeneralLinks();
   void ComputeQuality();
   void ComputeRecency();
@@ -184,7 +198,8 @@ class MassEngine {
   /// matrix, and the solved-shape key. The corpus itself is rolled back
   /// separately (Corpus::RollbackTo with the AppliedDelta's mark).
   struct IngestSnapshot {
-    SolveStats stats;
+    obs::SolveTrace solve_trace;
+    int last_full_solve_iterations = 0;
     size_t solved_bloggers = 0;
     size_t solved_posts = 0;
     size_t solved_comments = 0;
@@ -224,8 +239,27 @@ class MassEngine {
   EngineOptions options_;
   size_t num_domains_ = 0;
   bool analyzed_ = false;
-  SolveStats stats_;
   std::unique_ptr<ThreadPool> solver_pool_;
+
+  // Observability: the registry (engine-owned unless EngineOptions::metrics
+  // was set), the per-run stage tracer, the solver convergence trace, and
+  // pre-resolved metric handles so the hot paths never touch the registry
+  // map. Handles are null-cheap when the registry is disabled.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::StageTracer tracer_;
+  obs::SolveTrace solve_trace_;
+  obs::Counter analyze_runs_;
+  obs::Counter retune_runs_;
+  obs::Counter ingest_runs_;
+  obs::Counter ingest_rollbacks_;
+  obs::Counter solve_iterations_total_;
+  obs::Counter topk_queries_;
+  obs::Histogram topk_us_;
+  obs::Gauge warm_saved_gauge_;
+  // Iteration count of the last cold (full) solve; the baseline for the
+  // engine.warm_start_iterations_saved gauge.
+  int last_full_solve_iterations_ = 0;
 
   // Corpus shape at the last successful solve (see RecordSolvedShape).
   size_t solved_bloggers_ = 0;

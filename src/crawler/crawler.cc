@@ -81,7 +81,18 @@ Result<CrawlResult> Crawl(BlogHost* host,
   fetcher_options.breaker = options.breaker;
   fetcher_options.backoff_seed = options.backoff_seed;
   fetcher_options.time_budget_micros = options.crawl_budget_micros;
+  fetcher_options.metrics = options.metrics;
   RobustFetcher fetcher(host, fetcher_options);
+
+  obs::MetricsRegistry* metrics = options.metrics != nullptr
+                                      ? options.metrics
+                                      : obs::MetricsRegistry::Null();
+  const obs::Counter m_pages = metrics->GetCounter("crawl.pages_total");
+  const obs::Counter m_levels = metrics->GetCounter("crawl.levels_total");
+  const obs::Counter m_checkpoint_writes =
+      metrics->GetCounter("crawl.checkpoint_writes_total");
+  const obs::Counter m_truncated =
+      metrics->GetCounter("crawl.frontier_truncated_total");
 
   ThreadPool pool(static_cast<size_t>(options.num_threads));
 
@@ -97,7 +108,9 @@ Result<CrawlResult> Crawl(BlogHost* host,
     cp.fetch_failures = result.fetch_failures;
     cp.transient_retries = base_retries + fetcher.stats().retries;
     cp.frontier_truncated = result.frontier_truncated;
-    return SaveCrawlCheckpoint(cp, options.checkpoint_path);
+    MASS_RETURN_IF_ERROR(SaveCrawlCheckpoint(cp, options.checkpoint_path));
+    m_checkpoint_writes.Increment();
+    return Status::OK();
   };
 
   int levels_this_run = 0;
@@ -109,6 +122,7 @@ Result<CrawlResult> Crawl(BlogHost* host,
                         : 0;
       if (frontier.size() > room) {
         result.frontier_truncated += frontier.size() - room;
+        m_truncated.Increment(frontier.size() - room);
         frontier.resize(room);
       }
       if (frontier.empty()) break;
@@ -144,12 +158,16 @@ Result<CrawlResult> Crawl(BlogHost* host,
       }
       BloggerPage page = std::move(fetched[i]).value();
       ++result.pages_fetched;
+      m_pages.Increment();
 
       // Discover neighbors: blogroll links and commenters.
       bool expand = options.radius < 0 || depth < options.radius;
       auto discover = [&](const std::string& url) {
         if (!expand) {
-          if (!scheduled.count(url)) ++result.frontier_truncated;
+          if (!scheduled.count(url)) {
+            ++result.frontier_truncated;
+            m_truncated.Increment();
+          }
           return;
         }
         if (scheduled.insert(url).second) next_frontier.push_back(url);
@@ -164,6 +182,7 @@ Result<CrawlResult> Crawl(BlogHost* host,
     frontier = std::move(next_frontier);
     ++depth;
     ++levels_this_run;
+    m_levels.Increment();
 
     MASS_RETURN_IF_ERROR(save_checkpoint());
     if (options.stop_after_levels > 0 &&

@@ -64,6 +64,11 @@ struct CrawlOptions {
   /// levels have been completed and checkpointed in this run, if work
   /// remains. 0 disables.
   int stop_after_levels = 0;
+  /// Optional registry for "crawl.*" counters; forwarded to the fetcher
+  /// for its "fetch.*" metrics. Null records nothing. Share the engine's
+  /// registry (MassEngine::metrics()) to observe the whole pipeline in one
+  /// snapshot. Must outlive the crawl.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Crawl outcome: the harvested corpus plus statistics. Counters are

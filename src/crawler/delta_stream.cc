@@ -13,6 +13,7 @@ FetcherOptions DeltaStream::MakeFetcherOptions(
   fo.breaker = options.breaker;
   fo.validate_page_url = options.validate_page_url;
   fo.backoff_seed = options.backoff_seed;
+  fo.metrics = options.metrics;
   return fo;
 }
 
@@ -23,6 +24,12 @@ DeltaStream::DeltaStream(BlogHost* host, std::vector<std::string> urls,
       options_(options),
       fetcher_(host, MakeFetcherOptions(options)) {
   if (options_.batch_pages == 0) options_.batch_pages = 1;
+  if (obs::MetricsRegistry* m = options_.metrics) {
+    m_pages_ = m->GetCounter("stream.pages_total");
+    m_batches_ = m->GetCounter("stream.batches_total");
+    m_fetch_failures_ = m->GetCounter("stream.fetch_failures_total");
+    m_restores_ = m->GetCounter("stream.restores_total");
+  }
 }
 
 DeltaStreamCheckpoint DeltaStream::checkpoint() const {
@@ -44,6 +51,7 @@ Status DeltaStream::Restore(const DeltaStreamCheckpoint& checkpoint) {
   fetch_failures_ = static_cast<size_t>(checkpoint.fetch_failures);
   batches_emitted_ = static_cast<size_t>(checkpoint.batches_emitted);
   last_batch_failures_ = 0;
+  m_restores_.Increment();
   return Status::OK();
 }
 
@@ -75,6 +83,7 @@ Result<CorpusDelta> DeltaStream::Next() {
       if (!fetched.ok()) {
         ++fetch_failures_;
         ++last_batch_failures_;
+        m_fetch_failures_.Increment();
         continue;
       }
       const BloggerPage& page = *fetched;
@@ -113,9 +122,11 @@ Result<CorpusDelta> DeltaStream::Next() {
         MASS_RETURN_IF_ERROR(frag.AddLink(bid, to));
       }
       ++pages_emitted_;
+      m_pages_.Increment();
     }
     if (!frag.bloggers().empty()) {
       ++batches_emitted_;
+      m_batches_.Increment();
       return delta;
     }
     // Every fetch in this batch failed; fall through to the next one so

@@ -46,6 +46,10 @@ struct DeltaStreamOptions {
   bool validate_page_url = true;
   /// Mixed into each URL's deterministic backoff stream.
   uint64_t backoff_seed = 0;
+  /// Optional registry for "stream.*" counters; forwarded to the fetcher
+  /// for its "fetch.*" metrics. Null records nothing. Must outlive the
+  /// stream.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Single-threaded batch emitter over `host`. The host must outlive the
@@ -102,6 +106,12 @@ class DeltaStream {
   size_t fetch_failures_ = 0;
   size_t batches_emitted_ = 0;
   size_t last_batch_failures_ = 0;
+
+  // Pre-resolved handles; null-cheap when no registry was given.
+  obs::Counter m_pages_;
+  obs::Counter m_batches_;
+  obs::Counter m_fetch_failures_;
+  obs::Counter m_restores_;
 };
 
 }  // namespace mass

@@ -1,5 +1,6 @@
 #include "crawler/fetcher.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -13,6 +14,20 @@ RobustFetcher::RobustFetcher(BlogHost* host, FetcherOptions options,
       sleep_(std::move(sleep)),
       clock_(std::move(clock)) {
   start_micros_ = NowMicros();
+  if (obs::MetricsRegistry* m = options_.metrics) {
+    m_attempts_ = m->GetCounter("fetch.attempts_total");
+    m_successes_ = m->GetCounter("fetch.successes_total");
+    m_failures_ = m->GetCounter("fetch.failures_total");
+    m_retries_ = m->GetCounter("fetch.retries_total");
+    m_corrupt_ = m->GetCounter("fetch.corrupt_pages_total");
+    m_not_found_ = m->GetCounter("fetch.not_found_total");
+    m_budget_refusals_ = m->GetCounter("fetch.budget_refusals_total");
+    m_breaker_refusals_ = m->GetCounter("fetch.breaker_refusals_total");
+    m_breaker_opened_ = m->GetCounter("fetch.breaker_opened_total");
+    m_breaker_half_open_ = m->GetCounter("fetch.breaker_half_open_total");
+    m_breaker_closed_ = m->GetCounter("fetch.breaker_closed_total");
+    m_latency_us_ = m->GetHistogram("fetch.latency_us");
+  }
 }
 
 int64_t RobustFetcher::NowMicros() const {
@@ -43,8 +58,27 @@ CircuitBreaker* RobustFetcher::breaker_for(const std::string& url) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = breakers_.find(host);
   if (it == breakers_.end()) {
+    CircuitBreakerOptions breaker_options = options_.breaker;
+    if (options_.metrics != nullptr) {
+      // Count state transitions per direction, chaining any hook the
+      // caller installed. Handles are captured by value and point into the
+      // registry, which outlives the fetcher and its breakers.
+      auto chained = breaker_options.on_transition;
+      auto opened = m_breaker_opened_;
+      auto half_open = m_breaker_half_open_;
+      auto closed = m_breaker_closed_;
+      breaker_options.on_transition = [chained, opened, half_open, closed](
+                                          BreakerState from, BreakerState to) {
+        switch (to) {
+          case BreakerState::kOpen: opened.Increment(); break;
+          case BreakerState::kHalfOpen: half_open.Increment(); break;
+          case BreakerState::kClosed: closed.Increment(); break;
+        }
+        if (chained) chained(from, to);
+      };
+    }
     it = breakers_
-             .emplace(host, std::make_unique<CircuitBreaker>(options_.breaker,
+             .emplace(host, std::make_unique<CircuitBreaker>(breaker_options,
                                                              clock_))
              .first;
   }
@@ -59,6 +93,8 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
   while (true) {
     if (options_.time_budget_micros > 0 &&
         NowMicros() - start_micros_ >= options_.time_budget_micros) {
+      m_failures_.Increment();
+      m_budget_refusals_.Increment();
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.failures;
       ++stats_.budget_exhausted;
@@ -66,6 +102,8 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
                              url);
     }
     if (!breaker->Allow()) {
+      m_failures_.Increment();
+      m_breaker_refusals_.Increment();
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.failures;
       ++stats_.breaker_short_circuits;
@@ -75,17 +113,23 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.attempts;
     }
+    m_attempts_.Increment();
+    const int64_t attempt_start = NowMicros();
     auto page = host_->Fetch(url);
+    m_latency_us_.Record(
+        static_cast<uint64_t>(std::max<int64_t>(0, NowMicros() - attempt_start)));
     if (page.ok()) {
       if (options_.validate_page_url && page.value().url != url) {
         last = Status::Corruption("page served for " + url +
                                   " carries mismatched url " +
                                   page.value().url);
         breaker->RecordFailure();
+        m_corrupt_.Increment();
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.corrupt_pages;
       } else {
         breaker->RecordSuccess();
+        m_successes_.Increment();
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.successes;
         return page;
@@ -95,6 +139,8 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
       if (last.IsNotFound()) {
         // The page legitimately does not exist; the host is healthy, so a
         // permanent miss neither trips the breaker nor earns a retry.
+        m_failures_.Increment();
+        m_not_found_.Increment();
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.failures;
         return last;
@@ -103,6 +149,7 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
     }
     const int64_t delay = schedule.NextDelayMicros();
     if (delay < 0) break;
+    m_retries_.Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.retries;
@@ -110,6 +157,7 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
     }
     SleepMicros(delay);
   }
+  m_failures_.Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.failures;

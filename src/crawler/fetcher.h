@@ -21,6 +21,7 @@
 
 #include "common/backoff.h"
 #include "crawler/blog_host.h"
+#include "obs/metrics.h"
 
 namespace mass {
 
@@ -38,6 +39,10 @@ struct FetcherOptions {
   /// Wall-clock budget for ALL fetches through this fetcher, measured from
   /// construction; once exceeded every fetch fails with Aborted. 0 = none.
   int64_t time_budget_micros = 0;
+  /// Optional registry for "fetch.*" counters, the per-attempt latency
+  /// histogram, and breaker state-transition counts. Null records nothing.
+  /// Must outlive the fetcher.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate counters, cheap to copy out for CrawlResult / stream stats.
@@ -99,6 +104,20 @@ class RobustFetcher {
   mutable std::mutex mu_;
   FetcherStats stats_;
   std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+
+  // Pre-resolved handles; null-cheap when no registry was given.
+  obs::Counter m_attempts_;
+  obs::Counter m_successes_;
+  obs::Counter m_failures_;
+  obs::Counter m_retries_;
+  obs::Counter m_corrupt_;
+  obs::Counter m_not_found_;
+  obs::Counter m_budget_refusals_;
+  obs::Counter m_breaker_refusals_;
+  obs::Counter m_breaker_opened_;
+  obs::Counter m_breaker_half_open_;
+  obs::Counter m_breaker_closed_;
+  obs::Histogram m_latency_us_;
 };
 
 }  // namespace mass

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace mass {
 
 Result<PageRankResult> ComputePageRank(const Graph& graph,
@@ -57,6 +59,11 @@ Result<PageRankResult> ComputePageRank(const Graph& graph,
     }
   }
   result.scores = std::move(rank);
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("pagerank.runs_total").Increment();
+    options.metrics->GetCounter("pagerank.iterations_total")
+        .Increment(static_cast<uint64_t>(result.iterations));
+  }
   return result;
 }
 

@@ -7,6 +7,10 @@
 #include "common/result.h"
 #include "linkanalysis/graph.h"
 
+namespace mass::obs {
+class MetricsRegistry;
+}  // namespace mass::obs
+
 namespace mass {
 
 /// PageRank parameters.
@@ -14,6 +18,10 @@ struct PageRankOptions {
   double damping = 0.85;    ///< teleport probability is 1 - damping
   double tolerance = 1e-9;  ///< L1 change per node triggering convergence
   int max_iterations = 200;
+  /// Optional registry for run/iteration counters ("pagerank.*"); null
+  /// records nothing. Not part of the numeric configuration — callers that
+  /// compare options for caching ignore it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of a PageRank run.

@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mass::obs {
+
+namespace {
+
+// Round-robin shard assignment: each thread gets a stable shard on first
+// Record() and keeps it, spreading writers evenly without hashing.
+std::atomic<uint32_t> g_next_shard{0};
+
+}  // namespace
+
+int Histogram::ShardIndex() {
+  thread_local int shard =
+      static_cast<int>(g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+                       HistogramCell::kShards);
+  return shard;
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(std::string_view name) const& {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name) const& {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name) const& {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  const CounterSample* c = FindCounter(name);
+  return c ? c->value : 0;
+}
+
+MetricsRegistry* MetricsRegistry::Null() {
+  static MetricsRegistry* null_registry = new MetricsRegistry(false);
+  return null_registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(std::string_view name,
+                                                  Kind kind) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        e.counter = std::make_unique<CounterCell>();
+        break;
+      case Kind::kGauge:
+        e.gauge = std::make_unique<GaugeCell>();
+        break;
+      case Kind::kHistogram:
+        e.histogram = std::make_unique<HistogramCell>();
+        break;
+    }
+  }
+  if (e.kind != kind) return nullptr;  // kind mismatch: null handle
+  return &e;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  Entry* e = GetEntry(name, Kind::kCounter);
+  return Counter(e ? e->counter.get() : nullptr);
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  Entry* e = GetEntry(name, Kind::kGauge);
+  return Gauge(e ? e->gauge.get() : nullptr);
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name) {
+  Entry* e = GetEntry(name, Kind::kHistogram);
+  return Histogram(e ? e->histogram.get() : nullptr);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back(
+            {name, e.counter->value.load(std::memory_order_relaxed)});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back(
+            {name, std::bit_cast<double>(
+                       e.gauge->bits.load(std::memory_order_relaxed))});
+        break;
+      case Kind::kHistogram: {
+        HistogramSample h;
+        h.name = name;
+        for (const auto& shard : e.histogram->shards) {
+          h.count += shard.count.load(std::memory_order_relaxed);
+          h.sum += shard.sum.load(std::memory_order_relaxed);
+          for (int i = 0; i < kHistogramBuckets; ++i) {
+            h.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+          }
+        }
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->value.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        e.gauge->bits.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram:
+        for (auto& shard : e.histogram->shards) {
+          shard.count.store(0, std::memory_order_relaxed);
+          shard.sum.store(0, std::memory_order_relaxed);
+          for (auto& b : shard.buckets) {
+            b.store(0, std::memory_order_relaxed);
+          }
+        }
+        break;
+    }
+  }
+}
+
+namespace {
+
+std::string PromName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void Appendf(std::string* out, const char* fmt, auto... args) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    std::string name = PromName(c.name);
+    if (name.size() < 6 || name.compare(name.size() - 6, 6, "_total") != 0) {
+      name += "_total";
+    }
+    Appendf(&out, "# TYPE %s counter\n", name.c_str());
+    Appendf(&out, "%s %" PRIu64 "\n", name.c_str(), c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::string name = PromName(g.name);
+    Appendf(&out, "# TYPE %s gauge\n", name.c_str());
+    Appendf(&out, "%s %.17g\n", name.c_str(), g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::string name = PromName(h.name);
+    Appendf(&out, "# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += h.buckets[i];
+      if (i == kHistogramBuckets - 1) {
+        Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+                cumulative);
+      } else if (h.buckets[i] != 0 || i == 0) {
+        Appendf(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                name.c_str(), HistogramBucketUpperBound(i), cumulative);
+      }
+    }
+    Appendf(&out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum);
+    Appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(), h.count);
+  }
+  return out;
+}
+
+}  // namespace mass::obs

@@ -1,0 +1,231 @@
+// Low-overhead metrics: monotonic counters, gauges, and lock-free
+// sharded histograms with fixed log-scale buckets.
+//
+// Design: the registry owns the storage (heap-allocated cells with stable
+// addresses); call sites hold small value-type handles (Counter, Gauge,
+// Histogram) that wrap a raw pointer to the cell. Handles from a disabled
+// registry (MetricsRegistry::Null()) carry a null pointer, so every write
+// degenerates to a single predictable branch — that is what lets benches
+// measure instrumented-vs-null overhead honestly, with no virtual dispatch
+// anywhere on the hot path.
+//
+// All writes use relaxed atomics: metrics are monotonic or last-writer-wins
+// and never synchronize other data, so no fences are needed. Snapshot()
+// reads with relaxed loads too; per-shard histogram totals may be briefly
+// inconsistent (count vs sum) under concurrent writers, which is the usual
+// metrics contract.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mass::obs {
+
+// ---------------------------------------------------------------------------
+// Cells (registry-owned storage).
+// ---------------------------------------------------------------------------
+
+struct CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct GaugeCell {
+  // Doubles stored via bit_cast so the cell is a plain atomic word.
+  std::atomic<uint64_t> bits{0};
+};
+
+// Histograms bucket by power of two: bucket 0 holds exact zeros, bucket i
+// (1 <= i < kBuckets-1) holds values in [2^(i-1), 2^i), and the last bucket
+// absorbs everything >= 2^(kBuckets-2). Values are unsigned — callers record
+// non-negative quantities (microseconds, sizes, iteration counts).
+inline constexpr int kHistogramBuckets = 32;
+
+inline int HistogramBucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v);  // 1..64
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+// Lower bound of bucket i (inclusive); bucket 0 is the zero bucket, so
+// bucket 1 starts at 1.
+inline uint64_t HistogramBucketLowerBound(int i) {
+  return i <= 0 ? 0 : (uint64_t{1} << (i - 1));
+}
+
+// Upper bound of bucket i (inclusive); UINT64_MAX for the overflow bucket.
+inline uint64_t HistogramBucketUpperBound(int i) {
+  if (i == 0) return 0;
+  if (i >= kHistogramBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+struct HistogramCell {
+  // Writers spread across shards (picked per thread) so concurrent Record()
+  // calls don't contend on one cache line; Snapshot() merges the shards.
+  static constexpr int kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
+  };
+  Shard shards[kShards];
+};
+
+// ---------------------------------------------------------------------------
+// Handles (value types held at call sites).
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(CounterCell* cell) : cell_(cell) {}
+  // const: writes go through the registry-owned cell, so handles stored in
+  // otherwise-const objects (query paths) can still count.
+  void Increment(uint64_t by = 1) const {
+    if (cell_) cell_->value.fetch_add(by, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  CounterCell* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(GaugeCell* cell) : cell_(cell) {}
+  void Set(double v) const {
+    if (cell_) cell_->bits.store(std::bit_cast<uint64_t>(v),
+                                 std::memory_order_relaxed);
+  }
+  double Value() const {
+    return cell_ ? std::bit_cast<double>(
+                       cell_->bits.load(std::memory_order_relaxed))
+                 : 0.0;
+  }
+
+ private:
+  GaugeCell* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
+  void Record(uint64_t v) const {
+    if (!cell_) return;
+    HistogramCell::Shard& s = cell_->shards[ShardIndex()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.buckets[HistogramBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  static int ShardIndex();
+  HistogramCell* cell_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot (point-in-time copy for export / assertions).
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Lookups by exact name; return nullptr when absent. Lvalue-only: the
+  // pointer aims into this snapshot, so calling on a temporary (e.g.
+  // reg.Snapshot().FindCounter(...)) would dangle and is a compile error.
+  const CounterSample* FindCounter(std::string_view name) const&;
+  const GaugeSample* FindGauge(std::string_view name) const&;
+  const HistogramSample* FindHistogram(std::string_view name) const&;
+  const CounterSample* FindCounter(std::string_view) const&& = delete;
+  const GaugeSample* FindGauge(std::string_view) const&& = delete;
+  const HistogramSample* FindHistogram(std::string_view) const&& = delete;
+
+  // Convenience: counter value or 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+// Prometheus text exposition: '.' in metric names maps to '_', counters get
+// a "_total" suffix if not already present, histograms emit cumulative
+// "le"-labelled buckets plus _sum and _count.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Shared disabled registry: hands out null handles, records nothing.
+  // Snapshot() on it is always empty. Safe to pass anywhere a registry
+  // pointer is accepted.
+  static MetricsRegistry* Null();
+
+  bool enabled() const { return enabled_; }
+
+  // Idempotent per name: repeated calls return a handle to the same cell.
+  // Registering the same name as two different kinds is a programming error;
+  // the registry keeps the first kind and returns a null handle for the
+  // mismatched request.
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  Histogram GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered cell (names and handles stay valid). Used by
+  // per-run tooling that wants a fresh slate without re-plumbing handles.
+  void Reset();
+
+ private:
+  explicit MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<CounterCell> counter;
+    std::unique_ptr<GaugeCell> gauge;
+    std::unique_ptr<HistogramCell> histogram;
+  };
+
+  Entry* GetEntry(std::string_view name, Kind kind);
+
+  const bool enabled_ = true;
+  mutable std::mutex mu_;  // guards map shape only; cells are atomic
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace mass::obs

@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+namespace mass::obs {
+
+void StageTracer::SetMetrics(MetricsRegistry* registry, std::string prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  metric_prefix_ = std::move(prefix);
+}
+
+void StageTracer::BeginRun(std::string_view run_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_name_.assign(run_name);
+  spans_.clear();
+  spans_.reserve(kMaxSpansPerRun);
+  open_.clear();
+  open_.reserve(16);
+  dropped_ = 0;
+  run_start_ = std::chrono::steady_clock::now();
+}
+
+int64_t StageTracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - run_start_)
+      .count();
+}
+
+StageTracer::Scope StageTracer::Span(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpansPerRun) {
+    ++dropped_;
+    return Scope(nullptr, -1);
+  }
+  TraceSpan span;
+  span.name.assign(name);
+  span.depth = static_cast<int>(open_.size());
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.start_us = NowMicros();
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+  return Scope(this, index);
+}
+
+void StageTracer::End(int index) {
+  MetricsRegistry* registry = nullptr;
+  std::string metric_name;
+  int64_t duration_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+    TraceSpan& span = spans_[index];
+    duration_us = NowMicros() - span.start_us;
+    span.duration_us = duration_us;
+    // Spans close LIFO; tolerate out-of-order closes by erasing wherever the
+    // index sits on the open stack.
+    for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+      if (*it == index) {
+        open_.erase(std::next(it).base());
+        break;
+      }
+    }
+    if (registry_) {
+      registry = registry_;
+      metric_name = metric_prefix_ + span.name + "_us";
+    }
+  }
+  if (registry) {
+    registry->GetHistogram(metric_name)
+        .Record(static_cast<uint64_t>(duration_us < 0 ? 0 : duration_us));
+  }
+}
+
+std::vector<TraceSpan> StageTracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string StageTracer::run_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_name_;
+}
+
+uint64_t StageTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace mass::obs

@@ -1,0 +1,118 @@
+// Stage tracer: scoped spans with parent/child nesting recorded into a
+// per-run trace buffer, plus the SolveTrace the engine fills during the
+// influence fixed point.
+//
+// The tracer targets coarse pipeline stages (roughly a dozen spans per
+// analyze run), so a mutex around the span buffer is fine; the buffer is
+// preallocated at BeginRun so recording a span never allocates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mass::obs {
+
+// One completed stage span. Times are steady-clock microseconds relative to
+// the current run's BeginRun() call, so traces from a deterministic corpus
+// differ only in durations, never in structure.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;        // 0 = top-level stage
+  int parent = -1;      // index into the run's span list; -1 = no parent
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+};
+
+class StageTracer {
+ public:
+  StageTracer() = default;
+  StageTracer(const StageTracer&) = delete;
+  StageTracer& operator=(const StageTracer&) = delete;
+
+  // Optional: record each finished span's duration into
+  // "<prefix><span name>_us" histograms of `registry`.
+  void SetMetrics(MetricsRegistry* registry, std::string prefix);
+
+  // Starts a fresh trace: clears prior spans (capacity is kept) and zeroes
+  // the clock. The run name labels the trace (see run_name()).
+  void BeginRun(std::string_view run_name);
+
+  // RAII span. Obtain via StageTracer::Span(); the span ends (and is
+  // recorded) when the Scope is destroyed.
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept
+        : tracer_(other.tracer_), index_(other.index_) {
+      other.tracer_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() {
+      if (tracer_) tracer_->End(index_);
+    }
+
+   private:
+    friend class StageTracer;
+    Scope(StageTracer* tracer, int index) : tracer_(tracer), index_(index) {}
+    StageTracer* tracer_;
+    int index_;
+  };
+
+  // Opens a span; the currently open innermost span (if any) becomes its
+  // parent. Must be closed (Scope destroyed) in LIFO order.
+  Scope Span(std::string_view name);
+
+  // Completed spans of the current run, in start order.
+  std::vector<TraceSpan> Spans() const;
+
+  std::string run_name() const;
+
+  // Spans not recorded because the per-run capacity was reached.
+  uint64_t dropped() const;
+
+ private:
+  void End(int index);
+  int64_t NowMicros() const;
+
+  static constexpr size_t kMaxSpansPerRun = 256;
+
+  mutable std::mutex mu_;
+  std::string run_name_;
+  std::vector<TraceSpan> spans_;
+  std::vector<int> open_;  // stack of indices of open spans
+  std::chrono::steady_clock::time_point run_start_ =
+      std::chrono::steady_clock::now();
+  uint64_t dropped_ = 0;
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string metric_prefix_;
+};
+
+// Per-iteration record of the influence fixed point.
+struct SolveIteration {
+  int iteration = 0;       // 1-based
+  double residual = 0.0;   // max |x_t - x_{t-1}| after this iteration
+  double damping = 0.0;    // damping factor applied in this iteration
+};
+
+// Convergence trace of the most recent solve. Replaces the old SolveStats:
+// same scalars (final_delta renamed final_residual) plus the solver path
+// and the full per-iteration residual log.
+struct SolveTrace {
+  std::string solver_path;  // "csr" or "scalar"; empty before first solve
+  bool warm_start = false;  // seeded from a previous influence vector
+  bool converged = false;
+  int iterations = 0;
+  double final_residual = 0.0;
+  double solve_seconds = 0.0;
+  int pagerank_iterations = 0;  // 0 when GL came from cache / non-PR method
+  std::vector<SolveIteration> residuals;  // one entry per iteration
+};
+
+}  // namespace mass::obs

@@ -24,11 +24,11 @@ std::string DoublesToString(const std::vector<double>& v) {
 Result<std::vector<double>> DoublesFromString(std::string_view s) {
   std::vector<double> out;
   for (const std::string& tok : SplitWhitespace(s)) {
-    double v;
-    if (!ParseDouble(tok, &v)) {
+    Result<double> v = ParseDouble(tok);
+    if (!v.ok()) {
       return Status::Corruption("bad double in analysis snapshot: " + tok);
     }
-    out.push_back(v);
+    out.push_back(*v);
   }
   return out;
 }
@@ -93,26 +93,25 @@ Result<AnalysisSnapshot> AnalysisFromXml(std::string_view xml_text) {
     return Status::Corruption("expected <analysis> root");
   }
   AnalysisSnapshot s;
-  int64_t nd;
-  if (!ParseInt64(root->Attr("domains"), &nd) || nd < 0) {
+  Result<int64_t> nd = ParseInt64(root->Attr("domains"));
+  if (!nd.ok() || *nd < 0) {
     return Status::Corruption("bad domains attribute");
   }
-  s.num_domains = static_cast<size_t>(nd);
+  s.num_domains = static_cast<size_t>(*nd);
   for (const xml::XmlNode* bn : root->Children("blogger")) {
-    int64_t id;
-    double inf, ap, gl;
-    if (!ParseInt64(bn->Attr("id"), &id) ||
-        !ParseDouble(bn->Attr("inf"), &inf) ||
-        !ParseDouble(bn->Attr("ap"), &ap) ||
-        !ParseDouble(bn->Attr("gl"), &gl)) {
+    Result<int64_t> id = ParseInt64(bn->Attr("id"));
+    Result<double> inf = ParseDouble(bn->Attr("inf"));
+    Result<double> ap = ParseDouble(bn->Attr("ap"));
+    Result<double> gl = ParseDouble(bn->Attr("gl"));
+    if (!id.ok() || !inf.ok() || !ap.ok() || !gl.ok()) {
       return Status::Corruption("bad blogger attributes in analysis");
     }
-    if (id != static_cast<int64_t>(s.influence.size())) {
+    if (*id != static_cast<int64_t>(s.influence.size())) {
       return Status::Corruption("non-dense blogger ids in analysis");
     }
-    s.influence.push_back(inf);
-    s.accumulated_post.push_back(ap);
-    s.general_links.push_back(gl);
+    s.influence.push_back(*inf);
+    s.accumulated_post.push_back(*ap);
+    s.general_links.push_back(*gl);
     MASS_ASSIGN_OR_RETURN(std::vector<double> dv,
                           DoublesFromString(bn->ChildText("domains")));
     if (dv.size() != s.num_domains) {

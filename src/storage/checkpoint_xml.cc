@@ -27,11 +27,11 @@ std::string DoublesToString(const std::vector<double>& v) {
 Result<std::vector<double>> DoublesFromString(std::string_view s) {
   std::vector<double> out;
   for (const std::string& tok : SplitWhitespace(s)) {
-    double v;
-    if (!ParseDouble(tok, &v)) {
+    Result<double> v = ParseDouble(tok);
+    if (!v.ok()) {
       return Status::Corruption("bad double value: " + tok);
     }
-    out.push_back(v);
+    out.push_back(*v);
   }
   return out;
 }
@@ -43,20 +43,20 @@ Result<int64_t> RequiredIntAttr(const xml::XmlNode& node,
                                         node.name.c_str(),
                                         std::string(attr).c_str()));
   }
-  int64_t v;
-  if (!ParseInt64(node.Attr(attr), &v)) {
+  Result<int64_t> v = ParseInt64(node.Attr(attr));
+  if (!v.ok()) {
     return Status::Corruption(StrFormat("<%s> attribute '%s' not an integer",
                                         node.name.c_str(),
                                         std::string(attr).c_str()));
   }
-  return v;
+  return *v;
 }
 
 int64_t OptionalIntAttr(const xml::XmlNode& node, std::string_view attr,
                         int64_t fallback) {
   if (!node.HasAttr(attr)) return fallback;
-  int64_t v;
-  return ParseInt64(node.Attr(attr), &v) ? v : fallback;
+  Result<int64_t> v = ParseInt64(node.Attr(attr));
+  return v.ok() ? *v : fallback;
 }
 
 void WriteUrlList(xml::XmlWriter& w, std::string_view list_name,
@@ -122,9 +122,11 @@ Result<BloggerPage> ReadPage(const xml::XmlNode& pn) {
   page.url = std::string(pn.Attr("url"));
   page.name = std::string(pn.Attr("name"));
   if (pn.HasAttr("expertise")) {
-    if (!ParseDouble(pn.Attr("expertise"), &page.true_expertise)) {
+    Result<double> exp = ParseDouble(pn.Attr("expertise"));
+    if (!exp.ok()) {
       return Status::Corruption("bad expertise attribute");
     }
+    page.true_expertise = *exp;
   }
   page.true_spammer = OptionalIntAttr(pn, "spammer", 0) != 0;
   page.profile = std::string(pn.ChildText("profile"));

@@ -23,11 +23,11 @@ std::string InterestsToString(const std::vector<double>& v) {
 Result<std::vector<double>> InterestsFromString(std::string_view s) {
   std::vector<double> out;
   for (const std::string& tok : SplitWhitespace(s)) {
-    double v;
-    if (!ParseDouble(tok, &v)) {
+    Result<double> v = ParseDouble(tok);
+    if (!v.ok()) {
       return Status::Corruption("bad interest value: " + tok);
     }
-    out.push_back(v);
+    out.push_back(*v);
   }
   return out;
 }
@@ -39,13 +39,13 @@ Result<int64_t> RequiredIntAttr(const xml::XmlNode& node,
                                         node.name.c_str(),
                                         std::string(attr).c_str()));
   }
-  int64_t v;
-  if (!ParseInt64(node.Attr(attr), &v)) {
+  Result<int64_t> v = ParseInt64(node.Attr(attr));
+  if (!v.ok()) {
     return Status::Corruption(StrFormat("<%s> attribute '%s' not an integer",
                                         node.name.c_str(),
                                         std::string(attr).c_str()));
   }
-  return v;
+  return *v;
 }
 
 }  // namespace
@@ -140,9 +140,11 @@ Result<Corpus> CorpusFromXmlWithRoot(std::string_view xml_text,
     b.name = std::string(bn->Attr("name"));
     b.url = std::string(bn->Attr("url"));
     if (bn->HasAttr("expertise")) {
-      if (!ParseDouble(bn->Attr("expertise"), &b.true_expertise)) {
+      Result<double> exp = ParseDouble(bn->Attr("expertise"));
+      if (!exp.ok()) {
         return Status::Corruption("bad expertise attribute");
       }
+      b.true_expertise = *exp;
     }
     if (bn->HasAttr("spammer")) {
       MASS_ASSIGN_OR_RETURN(int64_t sp, RequiredIntAttr(*bn, "spammer"));

@@ -1,0 +1,220 @@
+#include "storage/metrics_xml.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/file_io.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mass {
+
+namespace {
+
+// Attribute values are uint64 counters; the writer speaks int64_t. Counts
+// never approach the sign bit in practice, so the cast is lossless.
+int64_t U(uint64_t v) { return static_cast<int64_t>(v); }
+
+void WriteMetricsBody(xml::XmlWriter& w, const obs::MetricsSnapshot& s) {
+  w.StartElement("metrics");
+  w.Attribute("version", int64_t{1});
+  for (const obs::CounterSample& c : s.counters) {
+    w.StartElement("counter");
+    w.Attribute("name", c.name);
+    w.Attribute("value", U(c.value));
+    w.EndElement();
+  }
+  for (const obs::GaugeSample& g : s.gauges) {
+    w.StartElement("gauge");
+    w.Attribute("name", g.name);
+    w.Attribute("value", g.value);
+    w.EndElement();
+  }
+  for (const obs::HistogramSample& h : s.histograms) {
+    w.StartElement("histogram");
+    w.Attribute("name", h.name);
+    w.Attribute("count", U(h.count));
+    w.Attribute("sum", U(h.sum));
+    for (int i = 0; i < obs::kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.StartElement("bucket");
+      w.Attribute("index", int64_t{i});
+      w.Attribute("count", U(h.buckets[i]));
+      w.EndElement();
+    }
+    w.EndElement();
+  }
+  w.EndElement();
+}
+
+Result<uint64_t> UintAttr(const xml::XmlNode& node, std::string_view attr) {
+  Result<int64_t> v = ParseInt64(node.Attr(attr));
+  if (!v.ok() || *v < 0) {
+    return Status::Corruption(StrFormat("<%s> attribute '%s' not a count",
+                                        node.name.c_str(),
+                                        std::string(attr).c_str()));
+  }
+  return static_cast<uint64_t>(*v);
+}
+
+Result<obs::MetricsSnapshot> SnapshotFromNode(const xml::XmlNode& root) {
+  obs::MetricsSnapshot s;
+  for (const xml::XmlNode* cn : root.Children("counter")) {
+    obs::CounterSample c;
+    c.name = std::string(cn->Attr("name"));
+    if (c.name.empty()) return Status::Corruption("unnamed counter");
+    MASS_ASSIGN_OR_RETURN(c.value, UintAttr(*cn, "value"));
+    s.counters.push_back(std::move(c));
+  }
+  for (const xml::XmlNode* gn : root.Children("gauge")) {
+    obs::GaugeSample g;
+    g.name = std::string(gn->Attr("name"));
+    if (g.name.empty()) return Status::Corruption("unnamed gauge");
+    Result<double> v = ParseDouble(gn->Attr("value"));
+    if (!v.ok()) return Status::Corruption("bad gauge value for " + g.name);
+    g.value = *v;
+    s.gauges.push_back(std::move(g));
+  }
+  for (const xml::XmlNode* hn : root.Children("histogram")) {
+    obs::HistogramSample h;
+    h.name = std::string(hn->Attr("name"));
+    if (h.name.empty()) return Status::Corruption("unnamed histogram");
+    MASS_ASSIGN_OR_RETURN(h.count, UintAttr(*hn, "count"));
+    MASS_ASSIGN_OR_RETURN(h.sum, UintAttr(*hn, "sum"));
+    for (const xml::XmlNode* bn : hn->Children("bucket")) {
+      Result<int64_t> idx = ParseInt64(bn->Attr("index"));
+      if (!idx.ok() || *idx < 0 || *idx >= obs::kHistogramBuckets) {
+        return Status::Corruption("bad bucket index in " + h.name);
+      }
+      MASS_ASSIGN_OR_RETURN(h.buckets[*idx], UintAttr(*bn, "count"));
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  return s;
+}
+
+// Minimal JSON string escaping; metric names are dotted identifiers but a
+// run name could in principle carry anything.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsToXml(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  WriteMetricsBody(w, snapshot);
+  return os.str();
+}
+
+Result<obs::MetricsSnapshot> MetricsFromXml(std::string_view xml) {
+  MASS_ASSIGN_OR_RETURN(std::unique_ptr<xml::XmlNode> root,
+                        xml::ParseDocument(xml));
+  if (root->name != "metrics") {
+    return Status::Corruption("expected <metrics> root");
+  }
+  return SnapshotFromNode(*root);
+}
+
+std::string MetricsToJsonLines(const obs::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const obs::CounterSample& c : snapshot.counters) {
+    out += StrFormat("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                     JsonEscape(c.name).c_str(),
+                     static_cast<unsigned long long>(c.value));
+  }
+  for (const obs::GaugeSample& g : snapshot.gauges) {
+    out += StrFormat("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.17g}\n",
+                     JsonEscape(g.name).c_str(), g.value);
+  }
+  for (const obs::HistogramSample& h : snapshot.histograms) {
+    out += StrFormat(
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%llu,\"sum\":%llu,"
+        "\"buckets\":[",
+        JsonEscape(h.name).c_str(), static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum));
+    for (int i = 0; i < obs::kHistogramBuckets; ++i) {
+      if (i > 0) out += ',';
+      out += StrFormat("%llu", static_cast<unsigned long long>(h.buckets[i]));
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string ObservabilityToXml(const EngineObservability& ob) {
+  std::ostringstream os;
+  xml::XmlWriter w(os);
+  w.StartDocument();
+  w.StartElement("observability");
+  w.Attribute("version", int64_t{1});
+  w.Attribute("run", ob.run);
+
+  WriteMetricsBody(w, ob.metrics);
+
+  const obs::SolveTrace& t = ob.solve;
+  w.StartElement("solve");
+  w.Attribute("path", t.solver_path);
+  w.Attribute("warm_start", int64_t{t.warm_start ? 1 : 0});
+  w.Attribute("converged", int64_t{t.converged ? 1 : 0});
+  w.Attribute("iterations", int64_t{t.iterations});
+  w.Attribute("final_residual", t.final_residual);
+  w.Attribute("solve_seconds", t.solve_seconds);
+  w.Attribute("pagerank_iterations", int64_t{t.pagerank_iterations});
+  for (const obs::SolveIteration& it : t.residuals) {
+    w.StartElement("iteration");
+    w.Attribute("n", int64_t{it.iteration});
+    w.Attribute("residual", it.residual);
+    w.Attribute("damping", it.damping);
+    w.EndElement();
+  }
+  w.EndElement();
+
+  w.StartElement("trace");
+  for (const obs::TraceSpan& sp : ob.spans) {
+    w.StartElement("span");
+    w.Attribute("name", sp.name);
+    w.Attribute("depth", int64_t{sp.depth});
+    w.Attribute("parent", int64_t{sp.parent});
+    w.Attribute("start_us", sp.start_us);
+    w.Attribute("duration_us", sp.duration_us);
+    w.EndElement();
+  }
+  w.EndElement();
+
+  w.EndElement();
+  return os.str();
+}
+
+Status SaveMetrics(const EngineObservability& ob, const std::string& path) {
+  std::string body;
+  if (EndsWith(path, ".prom")) {
+    body = obs::PrometheusText(ob.metrics);
+  } else if (EndsWith(path, ".jsonl")) {
+    body = MetricsToJsonLines(ob.metrics);
+  } else {
+    body = ObservabilityToXml(ob);
+  }
+  return WriteStringToFileAtomic(path, body);
+}
+
+}  // namespace mass

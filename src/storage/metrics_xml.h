@@ -1,0 +1,51 @@
+// Serialization for the observability layer (src/obs): metrics snapshots
+// round-trip through XML, and the full EngineObservability bundle (metrics
+// + solve trace + stage spans) exports one-way to XML, JSON-lines, or
+// Prometheus text.
+//
+// Formats:
+//   MetricsToXml / MetricsFromXml — lossless snapshot round-trip:
+//     <metrics version="1">
+//       <counter name="..." value="..."/>
+//       <gauge name="..." value="..."/>
+//       <histogram name="..." count="..." sum="...">
+//         <bucket index="..." count="..."/>   (non-zero buckets only)
+//       </histogram>
+//     </metrics>
+//   MetricsToJsonLines — one JSON object per line, for log shippers:
+//     {"type":"counter","name":"...","value":...}
+//     {"type":"histogram","name":"...","count":...,"sum":...,"buckets":[...]}
+//   ObservabilityToXml — <observability> wrapping <metrics>, <solve> (with
+//     one <iteration> per solver sweep), and <trace> (one <span> each).
+//
+// SaveMetrics picks the format from the path's extension: ".prom" writes
+// Prometheus text, ".jsonl" writes JSON-lines, anything else writes the
+// full observability XML. Writes are atomic (tmp + rename).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/influence_engine.h"
+#include "obs/metrics.h"
+
+namespace mass {
+
+/// Serializes a metrics snapshot to the <metrics> XML document.
+std::string MetricsToXml(const obs::MetricsSnapshot& snapshot);
+
+/// Parses a document produced by MetricsToXml. Corruption on malformed
+/// input (bad numbers, out-of-range bucket indexes, wrong root element).
+Result<obs::MetricsSnapshot> MetricsFromXml(std::string_view xml);
+
+/// One JSON object per metric, newline-separated.
+std::string MetricsToJsonLines(const obs::MetricsSnapshot& snapshot);
+
+/// Full introspection dump: metrics, solve trace, and stage spans.
+std::string ObservabilityToXml(const EngineObservability& ob);
+
+/// Writes `ob` to `path`, choosing the format by extension (see above).
+Status SaveMetrics(const EngineObservability& ob, const std::string& path);
+
+}  // namespace mass

@@ -34,19 +34,21 @@ Result<GlMethod> GlMethodFromName(std::string_view name) {
 // absent and failing on malformed values.
 Status OptDouble(const xml::XmlNode& n, const char* key, double* out) {
   if (!n.HasAttr(key)) return Status::OK();
-  if (!ParseDouble(n.Attr(key), out)) {
+  Result<double> v = ParseDouble(n.Attr(key));
+  if (!v.ok()) {
     return Status::Corruption(StrFormat("bad %s attribute", key));
   }
+  *out = *v;
   return Status::OK();
 }
 
 Status OptInt(const xml::XmlNode& n, const char* key, int* out) {
   if (!n.HasAttr(key)) return Status::OK();
-  int64_t v;
-  if (!ParseInt64(n.Attr(key), &v)) {
+  Result<int64_t> v = ParseInt64(n.Attr(key));
+  if (!v.ok()) {
     return Status::Corruption(StrFormat("bad %s attribute", key));
   }
-  *out = static_cast<int>(v);
+  *out = static_cast<int>(*v);
   return Status::OK();
 }
 

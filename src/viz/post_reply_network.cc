@@ -260,20 +260,25 @@ Result<PostReplyNetwork> PostReplyNetwork::FromXml(std::string_view xml_text) {
   if (nodes == nullptr) return Status::Corruption("missing <nodes>");
   for (const xml::XmlNode* nn : nodes->Children("node")) {
     VizNode node;
-    int64_t blogger;
-    if (!ParseInt64(nn->Attr("blogger"), &blogger)) {
+    Result<int64_t> blogger = ParseInt64(nn->Attr("blogger"));
+    if (!blogger.ok()) {
       return Status::Corruption("bad node blogger id");
     }
-    node.blogger = static_cast<BloggerId>(blogger);
+    node.blogger = static_cast<BloggerId>(*blogger);
     node.name = std::string(nn->Attr("name"));
-    if (!ParseDouble(nn->Attr("x"), &node.x) ||
-        !ParseDouble(nn->Attr("y"), &node.y)) {
+    Result<double> x = ParseDouble(nn->Attr("x"));
+    Result<double> y = ParseDouble(nn->Attr("y"));
+    if (!x.ok() || !y.ok()) {
       return Status::Corruption("bad node position");
     }
+    node.x = *x;
+    node.y = *y;
     if (nn->HasAttr("influence")) {
-      if (!ParseDouble(nn->Attr("influence"), &node.influence)) {
+      Result<double> inf = ParseDouble(nn->Attr("influence"));
+      if (!inf.ok()) {
         return Status::Corruption("bad node influence");
       }
+      node.influence = *inf;
     }
     net.nodes_.push_back(std::move(node));
   }
@@ -281,11 +286,14 @@ Result<PostReplyNetwork> PostReplyNetwork::FromXml(std::string_view xml_text) {
   if (edges == nullptr) return Status::Corruption("missing <edges>");
   for (const xml::XmlNode* en : edges->Children("edge")) {
     VizEdge e;
-    int64_t a, b, ab, ba;
-    if (!ParseInt64(en->Attr("a"), &a) || !ParseInt64(en->Attr("b"), &b) ||
-        !ParseInt64(en->Attr("ab"), &ab) || !ParseInt64(en->Attr("ba"), &ba)) {
+    Result<int64_t> ra = ParseInt64(en->Attr("a"));
+    Result<int64_t> rb = ParseInt64(en->Attr("b"));
+    Result<int64_t> rab = ParseInt64(en->Attr("ab"));
+    Result<int64_t> rba = ParseInt64(en->Attr("ba"));
+    if (!ra.ok() || !rb.ok() || !rab.ok() || !rba.ok()) {
       return Status::Corruption("bad edge attributes");
     }
+    const int64_t a = *ra, b = *rb, ab = *rab, ba = *rba;
     if (a < 0 || b < 0 || static_cast<size_t>(a) >= net.nodes_.size() ||
         static_cast<size_t>(b) >= net.nodes_.size()) {
       return Status::Corruption("edge endpoint out of range");

@@ -286,21 +286,24 @@ TEST(StringUtilTest, StrFormatFormats) {
 }
 
 TEST(StringUtilTest, ParseDoubleStrict) {
-  double d;
-  EXPECT_TRUE(ParseDouble("3.5", &d));
-  EXPECT_DOUBLE_EQ(d, 3.5);
-  EXPECT_TRUE(ParseDouble(" -2e3 ", &d));
-  EXPECT_DOUBLE_EQ(d, -2000.0);
-  EXPECT_FALSE(ParseDouble("3.5x", &d));
-  EXPECT_FALSE(ParseDouble("", &d));
+  Result<double> d = ParseDouble("3.5");
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 3.5);
+  d = ParseDouble(" -2e3 ");
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, -2000.0);
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_EQ(ParseDouble("nope").status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(StringUtilTest, ParseInt64Strict) {
-  int64_t v;
-  EXPECT_TRUE(ParseInt64("-42", &v));
-  EXPECT_EQ(v, -42);
-  EXPECT_FALSE(ParseInt64("42.5", &v));
-  EXPECT_FALSE(ParseInt64("abc", &v));
+  Result<int64_t> v = ParseInt64("-42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, -42);
+  EXPECT_FALSE(ParseInt64("42.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_EQ(ParseInt64("abc").status().code(), StatusCode::kInvalidArgument);
 }
 
 // ---------- ThreadPool ----------

@@ -139,9 +139,10 @@ TEST_F(Figure1EngineTest, CommentersEarnNoDomainCreditForCommenting) {
 }
 
 TEST_F(Figure1EngineTest, StatsReportConvergence) {
-  EXPECT_TRUE(engine_->stats().converged);
-  EXPECT_GT(engine_->stats().iterations, 0);
-  EXPECT_GT(engine_->stats().pagerank_iterations, 0);
+  const obs::SolveTrace solve = engine_->Observability().solve;
+  EXPECT_TRUE(solve.converged);
+  EXPECT_GT(solve.iterations, 0);
+  EXPECT_GT(solve.pagerank_iterations, 0);
 }
 
 TEST_F(Figure1EngineTest, MeanInfluenceIsOne) {
@@ -624,8 +625,9 @@ TEST(SolverTest, ConvergesOnGeneratedCorpus) {
   ASSERT_TRUE(r.ok());
   MassEngine engine(&*r);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  EXPECT_TRUE(engine.stats().converged);
-  EXPECT_LT(engine.stats().iterations, 100);
+  const obs::SolveTrace solve = engine.Observability().solve;
+  EXPECT_TRUE(solve.converged);
+  EXPECT_LT(solve.iterations, 100);
   for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
     EXPECT_TRUE(std::isfinite(engine.InfluenceOf(b)));
     EXPECT_GE(engine.InfluenceOf(b), 0.0);
@@ -700,7 +702,7 @@ TEST(EngineEdgeTest, SelfCommentCountsTowardOwnPost) {
   c.BuildIndexes();
   MassEngine engine(&c);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  EXPECT_TRUE(engine.stats().converged);
+  EXPECT_TRUE(engine.Observability().solve.converged);
   EXPECT_GT(engine.InfluenceOf(0), 0.0);
 }
 
@@ -809,7 +811,7 @@ TEST(RetuneTest, ReusesGeneralLinksWhenUnchanged) {
   ASSERT_TRUE(r.ok());
   MassEngine engine(&*r);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  const int pr_iters = engine.stats().pagerank_iterations;
+  const int pr_iters = engine.Observability().solve.pagerank_iterations;
   ASSERT_GT(pr_iters, 0);
   std::vector<double> gl(r->num_bloggers());
   for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
@@ -817,12 +819,12 @@ TEST(RetuneTest, ReusesGeneralLinksWhenUnchanged) {
   }
 
   // Only the toolbar knobs change: GL is served from the cache, and the
-  // pagerank iteration stat survives the stats reset.
+  // pagerank iteration count survives the solve-trace reset.
   EngineOptions opts;
   opts.alpha = 0.9;
   opts.beta = 0.2;
   ASSERT_TRUE(engine.Retune(opts).ok());
-  EXPECT_EQ(engine.stats().pagerank_iterations, pr_iters);
+  EXPECT_EQ(engine.Observability().solve.pagerank_iterations, pr_iters);
   for (BloggerId b = 0; b < r->num_bloggers(); ++b) {
     ASSERT_DOUBLE_EQ(engine.GeneralLinksOf(b), gl[b]);
   }

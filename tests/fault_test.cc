@@ -859,7 +859,7 @@ struct EngineImage {
     for (CommentId cm = 0; cm < c.num_comments(); ++cm) {
       img.comment_sf.push_back(engine.CommentFactorOf(cm));
     }
-    img.iterations = engine.stats().iterations;
+    img.iterations = engine.Observability().solve.iterations;
     img.top5 = engine.TopKGeneral(5);
     return img;
   }

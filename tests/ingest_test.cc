@@ -212,8 +212,9 @@ TEST(IngestTest, WarmStartFlagIsReported) {
     auto delta = stream.Next();
     ASSERT_TRUE(delta.ok());
     ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
-    EXPECT_EQ(engine.stats().warm_start, warm);
-    EXPECT_TRUE(engine.stats().converged);
+    const obs::SolveTrace solve = engine.Observability().solve;
+    EXPECT_EQ(solve.warm_start, warm);
+    EXPECT_TRUE(solve.converged);
   }
 }
 

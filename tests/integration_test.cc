@@ -59,7 +59,7 @@ TEST(IntegrationTest, FullPipelineEndToEnd) {
   ASSERT_TRUE(miner.Train(LabeledPostsFromCorpus(corpus), 10).ok());
   MassEngine engine(&corpus);
   ASSERT_TRUE(engine.Analyze(&miner, 10).ok());
-  EXPECT_TRUE(engine.stats().converged);
+  EXPECT_TRUE(engine.Observability().solve.converged);
 
   // 5. Scenario 1 recommendation.
   Recommender rec(&engine, &miner);

@@ -1,0 +1,446 @@
+// Tests for the observability layer: metrics registry semantics (including
+// concurrent writers), histogram bucket boundaries, stage-span nesting,
+// trace determinism on a fixed-seed corpus, the engine introspection API,
+// and metrics XML round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/influence_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/file_io.h"
+#include "storage/metrics_xml.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+// ---------- registry basics ----------
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.GetCounter("test.events_total");
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.Value(), 5u);
+
+  obs::Gauge g = reg.GetGauge("test.level");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+
+  obs::Histogram h = reg.GetHistogram("test.latency_us");
+  h.Record(0);
+  h.Record(7);
+  h.Record(100);
+
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.events_total"), 5u);
+  const obs::GaugeSample* gs = snap.FindGauge("test.level");
+  ASSERT_NE(gs, nullptr);
+  EXPECT_DOUBLE_EQ(gs->value, 2.5);
+  const obs::HistogramSample* hs = snap.FindHistogram("test.latency_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 3u);
+  EXPECT_EQ(hs->sum, 107u);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameCell) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("dup").Increment();
+  reg.GetCounter("dup").Increment();
+  EXPECT_EQ(reg.Snapshot().CounterValue("dup"), 2u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchYieldsNullHandle) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("name").Increment();
+  // Same name requested as a gauge: null handle, writes are dropped.
+  obs::Gauge g = reg.GetGauge("name");
+  g.Set(9.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  EXPECT_EQ(reg.Snapshot().CounterValue("name"), 1u);
+}
+
+TEST(MetricsRegistryTest, NullRegistryRecordsNothing) {
+  obs::MetricsRegistry* null_reg = obs::MetricsRegistry::Null();
+  EXPECT_FALSE(null_reg->enabled());
+  obs::Counter c = null_reg->GetCounter("ignored");
+  c.Increment(100);
+  EXPECT_EQ(c.Value(), 0u);
+  obs::MetricsSnapshot snap = null_reg->Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, ResetZeroesCellsKeepsHandles) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.GetCounter("r");
+  c.Increment(3);
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  EXPECT_EQ(reg.Snapshot().CounterValue("r"), 1u);
+}
+
+// ---------- histogram buckets ----------
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds exact zeros; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(obs::HistogramBucketIndex(0), 0);
+  EXPECT_EQ(obs::HistogramBucketIndex(1), 1);
+  EXPECT_EQ(obs::HistogramBucketIndex(2), 2);
+  EXPECT_EQ(obs::HistogramBucketIndex(3), 2);
+  EXPECT_EQ(obs::HistogramBucketIndex(4), 3);
+  for (int i = 1; i < obs::kHistogramBuckets - 1; ++i) {
+    EXPECT_EQ(obs::HistogramBucketIndex(obs::HistogramBucketLowerBound(i)), i)
+        << "lower bound of bucket " << i;
+    EXPECT_EQ(obs::HistogramBucketIndex(obs::HistogramBucketUpperBound(i)), i)
+        << "upper bound of bucket " << i;
+  }
+  // Everything at or above 2^30 lands in the overflow bucket.
+  EXPECT_EQ(obs::HistogramBucketIndex(UINT64_MAX),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(HistogramTest, RecordsLandInExpectedBuckets) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.GetHistogram("h");
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1
+  h.Record(2);    // bucket 2
+  h.Record(3);    // bucket 2
+  h.Record(16);   // bucket 5
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::HistogramSample* hs = snap.FindHistogram("h");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->buckets[0], 1u);
+  EXPECT_EQ(hs->buckets[1], 1u);
+  EXPECT_EQ(hs->buckets[2], 2u);
+  EXPECT_EQ(hs->buckets[5], 1u);
+  EXPECT_EQ(hs->count, 5u);
+  EXPECT_EQ(hs->sum, 22u);
+}
+
+// ---------- concurrency (run under -L sanitize) ----------
+
+TEST(MetricsRegistryTest, ConcurrentWritersAreExact) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Handles resolved inside each thread: exercises the map mutex too.
+      obs::Counter c = reg.GetCounter("mt.counter");
+      obs::Histogram h = reg.GetHistogram("mt.histo");
+      for (int i = 0; i < kIters; ++i) {
+        c.Increment();
+        h.Record(static_cast<uint64_t>(i % 64));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("mt.counter"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  const obs::HistogramSample* hs = snap.FindHistogram("mt.histo");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, static_cast<uint64_t>(kThreads) * kIters);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hs->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hs->count);
+}
+
+// ---------- stage tracer ----------
+
+TEST(StageTracerTest, SpanNestingRecordsDepthAndParent) {
+  obs::StageTracer tracer;
+  tracer.BeginRun("test_run");
+  {
+    auto outer = tracer.Span("outer");
+    {
+      auto inner = tracer.Span("inner");
+    }
+    auto sibling = tracer.Span("sibling");
+  }
+  auto top = tracer.Span("top2");
+  (void)top;
+
+  EXPECT_EQ(tracer.run_name(), "test_run");
+  std::vector<obs::TraceSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_EQ(spans[2].parent, 0);
+  EXPECT_EQ(spans[3].name, "top2");
+  EXPECT_EQ(spans[3].depth, 0);
+  EXPECT_EQ(spans[3].parent, -1);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(StageTracerTest, BeginRunClearsPriorSpans) {
+  obs::StageTracer tracer;
+  tracer.BeginRun("first");
+  { auto s = tracer.Span("a"); }
+  tracer.BeginRun("second");
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_EQ(tracer.run_name(), "second");
+}
+
+TEST(StageTracerTest, SpanDurationsFeedHistograms) {
+  obs::MetricsRegistry reg;
+  obs::StageTracer tracer;
+  tracer.SetMetrics(&reg, "stage.");
+  tracer.BeginRun("run");
+  { auto s = tracer.Span("work"); }
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::HistogramSample* hs = snap.FindHistogram("stage.work_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1u);
+}
+
+// ---------- engine introspection ----------
+
+Corpus SmallCorpus(uint64_t seed) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = 60;
+  o.target_posts = 400;
+  auto r = synth::GenerateBlogosphere(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(*r);
+}
+
+TEST(EngineObservabilityTest, AnalyzePopulatesMetricsTraceAndSpans) {
+  Corpus corpus = SmallCorpus(11);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  (void)engine.TopKGeneral(3);
+
+  EngineObservability ob = engine.Observability();
+  EXPECT_EQ(ob.run, "analyze");
+  EXPECT_EQ(ob.metrics.CounterValue("engine.analyze_runs_total"), 1u);
+  EXPECT_EQ(ob.metrics.CounterValue("engine.topk_queries_total"), 1u);
+  EXPECT_EQ(ob.metrics.CounterValue("engine.solve_iterations_total"),
+            static_cast<uint64_t>(ob.solve.iterations));
+
+  // The solve trace carries the full residual log.
+  EXPECT_EQ(ob.solve.solver_path, "csr");
+  EXPECT_TRUE(ob.solve.converged);
+  ASSERT_EQ(ob.solve.residuals.size(),
+            static_cast<size_t>(ob.solve.iterations));
+  EXPECT_EQ(ob.solve.residuals.front().iteration, 1);
+  EXPECT_DOUBLE_EQ(ob.solve.residuals.back().residual,
+                   ob.solve.final_residual);
+
+  // Spans cover the pipeline stages with solve's children nested under it.
+  std::vector<std::string> names;
+  for (const obs::TraceSpan& s : ob.spans) names.push_back(s.name);
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("general_links"));
+  EXPECT_TRUE(has("quality"));
+  EXPECT_TRUE(has("sentiment"));
+  EXPECT_TRUE(has("solve"));
+  EXPECT_TRUE(has("fixed_point"));
+  for (size_t i = 0; i < ob.spans.size(); ++i) {
+    if (ob.spans[i].name == "fixed_point") {
+      ASSERT_GE(ob.spans[i].parent, 0);
+      EXPECT_EQ(ob.spans[ob.spans[i].parent].name, "solve");
+      EXPECT_EQ(ob.spans[i].depth, 1);
+    }
+  }
+}
+
+TEST(EngineObservabilityTest, ResidualLogMatchesBothSolverPaths) {
+  Corpus corpus = SmallCorpus(13);
+
+  EngineOptions scalar_opts;
+  scalar_opts.use_compiled_solver = false;
+  MassEngine scalar_engine(&corpus, scalar_opts);
+  ASSERT_TRUE(scalar_engine.Analyze(nullptr, 10).ok());
+
+  MassEngine csr_engine(&corpus);
+  ASSERT_TRUE(csr_engine.Analyze(nullptr, 10).ok());
+
+  obs::SolveTrace scalar = scalar_engine.Observability().solve;
+  obs::SolveTrace csr = csr_engine.Observability().solve;
+  EXPECT_EQ(scalar.solver_path, "scalar");
+  EXPECT_EQ(csr.solver_path, "csr");
+
+  // The two paths implement the same fixed point: identical iteration
+  // counts and matching per-iteration residuals to solver tolerance.
+  ASSERT_EQ(scalar.iterations, csr.iterations);
+  ASSERT_EQ(scalar.residuals.size(), csr.residuals.size());
+  for (size_t i = 0; i < csr.residuals.size(); ++i) {
+    EXPECT_EQ(csr.residuals[i].iteration, static_cast<int>(i) + 1);
+    EXPECT_NEAR(scalar.residuals[i].residual, csr.residuals[i].residual,
+                1e-9);
+    EXPECT_DOUBLE_EQ(csr.residuals[i].damping, EngineOptions{}.damping);
+  }
+  // Residuals shrink overall (the fixed point contracts).
+  ASSERT_FALSE(csr.residuals.empty());
+  EXPECT_LT(csr.residuals.back().residual, csr.residuals.front().residual);
+}
+
+TEST(EngineObservabilityTest, TraceIsDeterministicForFixedSeed) {
+  Corpus corpus_a = SmallCorpus(29);
+  Corpus corpus_b = SmallCorpus(29);
+  MassEngine a(&corpus_a), b(&corpus_b);
+  ASSERT_TRUE(a.Analyze(nullptr, 10).ok());
+  ASSERT_TRUE(b.Analyze(nullptr, 10).ok());
+
+  EngineObservability oa = a.Observability();
+  EngineObservability ob = b.Observability();
+  ASSERT_EQ(oa.spans.size(), ob.spans.size());
+  for (size_t i = 0; i < oa.spans.size(); ++i) {
+    EXPECT_EQ(oa.spans[i].name, ob.spans[i].name) << "span " << i;
+    EXPECT_EQ(oa.spans[i].depth, ob.spans[i].depth) << "span " << i;
+    EXPECT_EQ(oa.spans[i].parent, ob.spans[i].parent) << "span " << i;
+  }
+  ASSERT_EQ(oa.solve.residuals.size(), ob.solve.residuals.size());
+  for (size_t i = 0; i < oa.solve.residuals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(oa.solve.residuals[i].residual,
+                     ob.solve.residuals[i].residual);
+  }
+}
+
+TEST(EngineObservabilityTest, ExternalRegistryReceivesEngineMetrics) {
+  Corpus corpus = SmallCorpus(17);
+  obs::MetricsRegistry reg;
+  EngineOptions opts;
+  opts.metrics = &reg;
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_EQ(reg.Snapshot().CounterValue("engine.analyze_runs_total"), 1u);
+  EXPECT_EQ(engine.metrics(), &reg);
+}
+
+TEST(EngineObservabilityTest, NullRegistryDisablesEngineMetrics) {
+  Corpus corpus = SmallCorpus(17);
+  EngineOptions opts;
+  opts.metrics = obs::MetricsRegistry::Null();
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EngineObservability ob = engine.Observability();
+  EXPECT_TRUE(ob.metrics.counters.empty());
+  // The solve trace is engine state, not registry state: still populated.
+  EXPECT_GT(ob.solve.iterations, 0);
+}
+
+// ---------- XML / JSON / Prometheus export ----------
+
+obs::MetricsSnapshot SampleSnapshot() {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("a.count_total").Increment(42);
+  reg.GetGauge("a.gauge").Set(-1.25);
+  obs::Histogram h = reg.GetHistogram("a.lat_us");
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(1u << 20);
+  return reg.Snapshot();
+}
+
+TEST(MetricsXmlTest, RoundTripPreservesEverything) {
+  obs::MetricsSnapshot in = SampleSnapshot();
+  std::string xml = MetricsToXml(in);
+  auto out = MetricsFromXml(xml);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  ASSERT_EQ(out->counters.size(), in.counters.size());
+  EXPECT_EQ(out->CounterValue("a.count_total"), 42u);
+  const obs::GaugeSample* g = out->FindGauge("a.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, -1.25);
+  const obs::HistogramSample* hin = in.FindHistogram("a.lat_us");
+  const obs::HistogramSample* hout = out->FindHistogram("a.lat_us");
+  ASSERT_NE(hin, nullptr);
+  ASSERT_NE(hout, nullptr);
+  EXPECT_EQ(hout->count, hin->count);
+  EXPECT_EQ(hout->sum, hin->sum);
+  for (int i = 0; i < obs::kHistogramBuckets; ++i) {
+    EXPECT_EQ(hout->buckets[i], hin->buckets[i]) << "bucket " << i;
+  }
+}
+
+TEST(MetricsXmlTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(MetricsFromXml("<wrong/>").ok());
+  EXPECT_FALSE(
+      MetricsFromXml("<metrics><counter name=\"x\" value=\"nope\"/></metrics>")
+          .ok());
+  EXPECT_FALSE(MetricsFromXml("<metrics><histogram name=\"h\" count=\"1\" "
+                              "sum=\"1\"><bucket index=\"99\" "
+                              "count=\"1\"/></histogram></metrics>")
+                   .ok());
+}
+
+TEST(MetricsXmlTest, JsonLinesEmitsOneObjectPerMetric) {
+  std::string jsonl = MetricsToJsonLines(SampleSnapshot());
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":\"a.count_total\","
+                       "\"value\":42}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"histogram\""), std::string::npos);
+}
+
+TEST(MetricsXmlTest, PrometheusTextExposesAllKinds) {
+  std::string text = obs::PrometheusText(SampleSnapshot());
+  EXPECT_NE(text.find("a_count_total 42"), std::string::npos);
+  EXPECT_NE(text.find("a_gauge"), std::string::npos);
+  EXPECT_NE(text.find("a_lat_us_count 4"), std::string::npos);
+  EXPECT_NE(text.find("le="), std::string::npos);
+}
+
+TEST(MetricsXmlTest, ObservabilityXmlCarriesSolveTraceAndSpans) {
+  Corpus corpus = SmallCorpus(19);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::string xml = ObservabilityToXml(engine.Observability());
+  EXPECT_NE(xml.find("<observability"), std::string::npos);
+  EXPECT_NE(xml.find("run=\"analyze\""), std::string::npos);
+  EXPECT_NE(xml.find("path=\"csr\""), std::string::npos);
+  EXPECT_NE(xml.find("<iteration"), std::string::npos);
+  EXPECT_NE(xml.find("<span"), std::string::npos);
+  EXPECT_NE(xml.find("name=\"fixed_point\""), std::string::npos);
+}
+
+TEST(MetricsXmlTest, SaveMetricsPicksFormatByExtension) {
+  Corpus corpus = SmallCorpus(19);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EngineObservability ob = engine.Observability();
+
+  struct Case {
+    const char* path;
+    const char* marker;
+  };
+  const Case cases[] = {
+      {"obs_test_out.xml", "<observability"},
+      {"obs_test_out.prom", "engine_analyze_runs_total"},
+      {"obs_test_out.jsonl", "\"type\":\"counter\""},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(SaveMetrics(ob, c.path).ok()) << c.path;
+    auto body = ReadFileToString(c.path);
+    ASSERT_TRUE(body.ok()) << c.path;
+    EXPECT_NE(body->find(c.marker), std::string::npos) << c.path;
+    std::remove(c.path);
+  }
+}
+
+}  // namespace
+}  // namespace mass

@@ -329,7 +329,7 @@ TEST_P(AlphaBetaGrid, SolverWellBehavedEverywhere) {
   opts.beta = beta;
   MassEngine engine(corpus, opts);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  EXPECT_TRUE(engine.stats().converged)
+  EXPECT_TRUE(engine.Observability().solve.converged)
       << "alpha=" << alpha << " beta=" << beta;
   double sum = 0.0;
   for (BloggerId b = 0; b < corpus->num_bloggers(); ++b) {

@@ -48,8 +48,10 @@ void ExpectParity(const Corpus& corpus, EngineOptions opts,
   ASSERT_TRUE(ref.Analyze(nullptr, 10).ok());
   ASSERT_TRUE(fast.Analyze(nullptr, 10).ok());
 
-  ASSERT_EQ(ref.stats().iterations, fast.stats().iterations);
-  ASSERT_EQ(ref.stats().converged, fast.stats().converged);
+  const obs::SolveTrace ref_solve = ref.Observability().solve;
+  const obs::SolveTrace fast_solve = fast.Observability().solve;
+  ASSERT_EQ(ref_solve.iterations, fast_solve.iterations);
+  ASSERT_EQ(ref_solve.converged, fast_solve.converged);
   for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
     ASSERT_NEAR(ref.InfluenceOf(b), fast.InfluenceOf(b), kTol) << "b=" << b;
     ASSERT_NEAR(ref.AccumulatedPostOf(b), fast.AccumulatedPostOf(b), kTol)
@@ -115,7 +117,8 @@ TEST(SolverParityTest, ThreadCountDoesNotChangeScores) {
   MassEngine e1(&corpus, one), e8(&corpus, many);
   ASSERT_TRUE(e1.Analyze(nullptr, 10).ok());
   ASSERT_TRUE(e8.Analyze(nullptr, 10).ok());
-  ASSERT_EQ(e1.stats().iterations, e8.stats().iterations);
+  ASSERT_EQ(e1.Observability().solve.iterations,
+            e8.Observability().solve.iterations);
   // Rows are summed serially and the delta reduction is a max, so the
   // compiled path is exactly deterministic across thread counts.
   for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
@@ -141,7 +144,8 @@ TEST(SolverParityTest, RetuneParityAcrossSolverPaths) {
   ref_opts.use_compiled_solver = false;
   MassEngine ref(&corpus, ref_opts);
   ASSERT_TRUE(ref.Analyze(nullptr, 10).ok());
-  ASSERT_EQ(ref.stats().iterations, fast.stats().iterations);
+  ASSERT_EQ(ref.Observability().solve.iterations,
+            fast.Observability().solve.iterations);
   for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
     ASSERT_NEAR(ref.InfluenceOf(b), fast.InfluenceOf(b), kTol);
   }
