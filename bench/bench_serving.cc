@@ -1,0 +1,300 @@
+// Experiment S7 — the serving read path: sustained query throughput of
+// the lock-free QueryService at 1/4/8 reader threads, measured twice per
+// thread count — against an idle engine, and while the write path is busy
+// retuning and ingesting a crawl delta on another thread (the paper's
+// continuously running system). The wait-free pin means the busy-writer
+// QPS should track the idle QPS up to CPU contention, not collapse behind
+// a lock. Also reports snapshot publish latency (the write-path cost the
+// refactor added to every solve) from the serve.snapshot.publish_us
+// histogram. Results go to stdout and BENCH_serving.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "model/corpus_delta.h"
+#include "obs/metrics.h"
+#include "serve/query_service.h"
+
+namespace mass {
+namespace {
+
+constexpr size_t kBloggers = 2000;
+constexpr size_t kActivityPosts = 50;
+constexpr size_t kActivityComments = 400;
+constexpr int kWriterRetunes = 2;
+constexpr auto kIdleWindow = std::chrono::milliseconds(400);
+
+// New posts and comments by existing bloggers (URL-stub identity), the
+// overnight-recrawl shape from bench_incremental.
+CorpusDelta MakeActivityDelta(const Corpus& grown) {
+  CorpusDelta delta;
+  Corpus& frag = delta.additions;
+  std::unordered_map<BloggerId, BloggerId> blogger_local;
+  auto local_blogger = [&](BloggerId b) {
+    auto it = blogger_local.find(b);
+    if (it != blogger_local.end()) return it->second;
+    Blogger stub;
+    stub.url = grown.blogger(b).url;
+    BloggerId id = frag.AddBlogger(std::move(stub));
+    blogger_local.emplace(b, id);
+    return id;
+  };
+  std::unordered_map<PostId, PostId> post_local;
+  auto local_post = [&](PostId p) {
+    auto it = post_local.find(p);
+    if (it != post_local.end()) return it->second;
+    const Post& src = grown.post(p);
+    Post shadow;
+    shadow.author = local_blogger(src.author);
+    shadow.title = src.title;
+    shadow.timestamp = src.timestamp;
+    shadow.true_domain = src.true_domain;
+    PostId id = frag.AddPost(std::move(shadow)).value();
+    post_local.emplace(p, id);
+    return id;
+  };
+  int64_t newest = 0;
+  for (const Post& p : grown.posts()) newest = std::max(newest, p.timestamp);
+
+  Rng rng(20260805);
+  for (size_t i = 0; i < kActivityPosts; ++i) {
+    Post p;
+    p.author = local_blogger(
+        static_cast<BloggerId>(rng.NextUint64(grown.num_bloggers())));
+    p.title = "served fresh " + std::to_string(i);
+    p.content = "a brand new post written while the query front-end stays "
+                "online serving rankings " + std::to_string(i);
+    p.timestamp = newest + static_cast<int64_t>(i) * 60;
+    p.true_domain = static_cast<int>(rng.NextUint64(10));
+    frag.AddPost(std::move(p)).value();
+  }
+  for (size_t i = 0; i < kActivityComments; ++i) {
+    Comment c;
+    c.post = local_post(
+        static_cast<PostId>(rng.NextUint64(grown.num_posts())));
+    c.commenter = local_blogger(
+        static_cast<BloggerId>(rng.NextUint64(grown.num_bloggers())));
+    c.text = "still reading while you ingest " + std::to_string(i);
+    c.timestamp = newest + static_cast<int64_t>(i) * 30;
+    frag.AddComment(std::move(c)).value();
+  }
+  return delta;
+}
+
+struct QpsResult {
+  int readers = 0;
+  bool concurrent_writer = false;
+  uint64_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  uint64_t publishes = 0;  // snapshots published during the window
+};
+
+// One measurement: `readers` threads issue the fixed query mix while the
+// main thread either sleeps (idle) or runs the write path (retunes plus a
+// real delta ingest). Rebuilt from scratch each time — the ingest grows
+// the corpus, so a shared engine would drift across measurements.
+bool MeasureQps(const Corpus& src, int readers, bool concurrent_writer,
+                QpsResult* out) {
+  Corpus grown = src;
+  MassEngine engine(&grown);
+  if (Status s = engine.Analyze(nullptr, 10); !s.ok()) {
+    std::fprintf(stderr, "analyze failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+  CorpusDelta delta = MakeActivityDelta(grown);
+  QueryService service(&engine);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  const uint64_t publishes_before =
+      engine.metrics()->Snapshot().CounterValue("serve.snapshot.publishes");
+  Stopwatch sw;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&service, &stop, &queries, t]() {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (service.TopGeneral(10).ok()) {
+          queries.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (service.TopByDomain(i++ % 10, 10).ok()) {
+          queries.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  if (concurrent_writer) {
+    for (int i = 0; i < kWriterRetunes; ++i) {
+      EngineOptions o;
+      o.alpha = (i % 2 != 0) ? 0.55 : 0.5;
+      if (Status s = engine.Retune(o); !s.ok()) {
+        std::fprintf(stderr, "retune failed: %s\n", s.ToString().c_str());
+        stop.store(true);
+        for (std::thread& th : threads) th.join();
+        return false;
+      }
+    }
+    if (Status s = engine.IngestDelta(delta, nullptr); !s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      stop.store(true);
+      for (std::thread& th : threads) th.join();
+      return false;
+    }
+  } else {
+    std::this_thread::sleep_for(kIdleWindow);
+  }
+
+  out->seconds = sw.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : threads) th.join();
+
+  out->readers = readers;
+  out->concurrent_writer = concurrent_writer;
+  out->queries = queries.load();
+  out->qps = out->seconds > 0.0
+                 ? static_cast<double>(out->queries) / out->seconds
+                 : 0.0;
+  out->publishes =
+      engine.metrics()->Snapshot().CounterValue("serve.snapshot.publishes") -
+      publishes_before;
+  return true;
+}
+
+struct PublishLatency {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+};
+
+// Snapshot publish cost on the write path: mean of the
+// serve.snapshot.publish_us histogram over one Analyze plus several
+// Retunes (each publish copies every score surface and rebuilds the
+// derived rankings).
+bool MeasurePublishLatency(const Corpus& src, PublishLatency* out) {
+  Corpus grown = src;
+  MassEngine engine(&grown);
+  if (Status s = engine.Analyze(nullptr, 10); !s.ok()) return false;
+  for (int i = 0; i < 5; ++i) {
+    EngineOptions o;
+    o.alpha = 0.5 + 0.01 * static_cast<double>(i);
+    if (Status s = engine.Retune(o); !s.ok()) return false;
+  }
+  obs::MetricsSnapshot m = engine.metrics()->Snapshot();
+  const obs::HistogramSample* h =
+      m.FindHistogram("serve.snapshot.publish_us");
+  if (h == nullptr || h->count == 0) return false;
+  out->count = h->count;
+  out->mean_us = static_cast<double>(h->sum) / static_cast<double>(h->count);
+  return true;
+}
+
+void RunServingGrid() {
+  const Corpus& src = bench::CachedCorpus(kBloggers, kBloggers * 13);
+
+  std::vector<QpsResult> results;
+  for (int readers : {1, 4, 8}) {
+    for (bool writer : {false, true}) {
+      QpsResult r;
+      if (!MeasureQps(src, readers, writer, &r)) return;
+      results.push_back(r);
+    }
+  }
+  PublishLatency publish;
+  if (!MeasurePublishLatency(src, &publish)) {
+    std::fprintf(stderr, "publish latency measurement failed\n");
+    return;
+  }
+
+  bench::Banner("S7", "QueryService throughput, idle vs concurrent writer");
+  std::printf("%-8s %-10s %-12s %-10s %-10s %-10s\n", "readers", "writer",
+              "queries", "seconds", "qps", "publishes");
+  for (const QpsResult& r : results) {
+    std::printf("%-8d %-10s %-12llu %-10.3f %-10.0f %-10llu\n", r.readers,
+                r.concurrent_writer ? "busy" : "idle",
+                static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
+                static_cast<unsigned long long>(r.publishes));
+  }
+  std::printf("snapshot publish: %.0f us mean over %llu publishes\n",
+              publish.mean_us,
+              static_cast<unsigned long long>(publish.count));
+
+  std::FILE* f = std::fopen("BENCH_serving.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_serving.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_serving/S7_read_path\",\n");
+  std::fprintf(f,
+               "  \"metric\": \"sustained QueryService queries/sec (TopGeneral"
+               " + TopByDomain mix); busy = %d retunes + 1 delta ingest on "
+               "the write path during the window\",\n",
+               kWriterRetunes);
+  std::fprintf(f,
+               "  \"corpus\": {\"bloggers\": %zu, \"activity_posts\": %zu, "
+               "\"activity_comments\": %zu},\n",
+               kBloggers, kActivityPosts, kActivityComments);
+  std::fprintf(f, "  \"qps\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QpsResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"readers\": %d, \"concurrent_writer\": %s, "
+                 "\"queries\": %llu, \"seconds\": %.4f, \"qps\": %.1f, "
+                 "\"publishes\": %llu}%s\n",
+                 r.readers, r.concurrent_writer ? "true" : "false",
+                 static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
+                 static_cast<unsigned long long>(r.publishes),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"snapshot_publish\": {\"count\": %llu, \"mean_us\": "
+               "%.1f}\n",
+               static_cast<unsigned long long>(publish.count),
+               publish.mean_us);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serving.json\n");
+}
+
+// Micro-benchmark: the cost of one pinned query — an atomic shared_ptr
+// load plus an O(k) ranking slice.
+void BM_TopGeneralQuery(benchmark::State& state) {
+  const Corpus& src = bench::CachedCorpus(kBloggers, kBloggers * 13);
+  static Corpus grown = src;
+  static MassEngine engine(&grown);
+  static bool analyzed = engine.Analyze(nullptr, 10).ok();
+  if (!analyzed) {
+    state.SkipWithError("analyze failed");
+    return;
+  }
+  QueryService service(&engine);
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto top = service.TopGeneral(k);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopGeneralQuery)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  mass::RunServingGrid();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

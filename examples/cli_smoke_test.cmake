@@ -1,7 +1,9 @@
 # End-to-end smoke test of the mass_cli demo workflow:
-# generate -> crawl -> analyze -> recommend -> study -> viz -> details.
+# generate -> crawl -> analyze -> recommend -> study -> viz -> details ->
+# serve (concurrent ingest + queries, then a saved-analysis round trip).
 set(CORPUS ${WORKDIR}/smoke_corpus.xml)
 set(CRAWL ${WORKDIR}/smoke_crawl.xml)
+set(ANALYSIS ${WORKDIR}/smoke_analysis.xml)
 
 function(run_step)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
@@ -26,7 +28,12 @@ run_step(${CLI} viz --in ${CORPUS} --center blogger0000 --hops 1
          --out ${WORKDIR}/smoke_net.xml --dot ${WORKDIR}/smoke_net.dot
          --html ${WORKDIR}/smoke_net.html)
 run_step(${CLI} details --in ${CORPUS} --name blogger0001)
+run_step(${CLI} serve --in ${CORPUS} --readers 2 --batch 40 --top 3
+         --analysis-out ${ANALYSIS})
+run_step(${CLI} serve --analysis ${ANALYSIS} --domain Sports --top 3)
+run_step(${CLI} analyze --in ${CORPUS} --top 3 --analysis-out ${ANALYSIS})
+run_step(${CLI} serve --analysis ${ANALYSIS} --top 3)
 
-file(REMOVE ${CORPUS} ${CRAWL} ${WORKDIR}/smoke_net.xml
+file(REMOVE ${CORPUS} ${CRAWL} ${ANALYSIS} ${WORKDIR}/smoke_net.xml
      ${WORKDIR}/smoke_net.dot ${WORKDIR}/smoke_net.html
      ${WORKDIR}/smoke_merged.xml)

@@ -63,13 +63,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  BloggerId center = engine.TopKGeneral(1)[0].id;
-  std::vector<double> influence(crawl->corpus.num_bloggers());
-  for (BloggerId b = 0; b < crawl->corpus.num_bloggers(); ++b) {
-    influence[b] = engine.InfluenceOf(b);
-  }
+  // Read everything from the published snapshot — the same immutable
+  // surface a serving front-end would see.
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+  BloggerId center = snap->TopKGeneral(1)[0].id;
   PostReplyNetwork net =
-      PostReplyNetwork::BuildEgo(crawl->corpus, center, 1, influence);
+      PostReplyNetwork::BuildEgo(crawl->corpus, center, 1, snap->influence);
   net.RunForceLayout();
   std::printf("ego network of %s: %zu nodes, %zu edges\n",
               crawl->corpus.blogger(center).name.c_str(), net.nodes().size(),

@@ -60,13 +60,14 @@ int main() {
                 rt.score, rt.recent_count, rt.past_count);
   }
 
-  // Persist the analysis so a front-end can query without re-solving.
-  AnalysisSnapshot snap = SnapshotFrom(engine);
+  // Persist the published analysis so a front-end can query without
+  // re-solving (serve it with `mass_cli serve --analysis ...`).
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
   std::string path = "/tmp/mass_analysis.xml";
-  if (Status s = SaveAnalysis(snap, path); s.ok()) {
+  if (Status s = SaveAnalysis(*snap, path); s.ok()) {
     std::printf("\nanalysis snapshot saved to %s (%zu bloggers, %zu "
                 "domains)\n",
-                path.c_str(), snap.num_bloggers(), snap.num_domains);
+                path.c_str(), snap->num_bloggers(), snap->num_domains);
   }
   return 0;
 }

@@ -13,13 +13,17 @@
 //   mass_cli viz       --in corpus.xml --center blogger0000 --hops 1
 //                      --out net.xml [--dot net.dot]
 //   mass_cli details   --in corpus.xml --name blogger0000
+//   mass_cli serve     --in corpus.xml [--readers 4] [--batch 32]
+//   mass_cli serve     --analysis analysis.xml [--domain Sports]
 //
 // Run with no arguments for usage.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "classify/centroid_classifier.h"
@@ -28,10 +32,13 @@
 #include "classify/topic_discovery.h"
 #include "core/influence_engine.h"
 #include "crawler/crawler.h"
+#include "crawler/delta_stream.h"
 #include "model/corpus_merge.h"
 #include "model/corpus_stats.h"
 #include "crawler/synthetic_host.h"
 #include "recommend/recommender.h"
+#include "serve/query_service.h"
+#include "storage/analysis_xml.h"
 #include "storage/corpus_xml.h"
 #include "storage/file_io.h"
 #include "storage/metrics_xml.h"
@@ -230,6 +237,15 @@ int CmdAnalyze(const Flags& flags) {
     }
     std::printf("metrics written to %s\n", path.c_str());
   }
+  if (flags.Has("analysis-out")) {
+    const std::string path = flags.Get("analysis-out", "");
+    std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+    if (Status s = SaveAnalysis(*snap, path); !s.ok()) return Fail(s);
+    std::printf("analysis snapshot #%llu written to %s (serve it with "
+                "`mass_cli serve --analysis %s`)\n",
+                static_cast<unsigned long long>(snap->sequence), path.c_str(),
+                path.c_str());
+  }
   return 0;
 }
 
@@ -395,8 +411,127 @@ int CmdDetails(const Flags& flags) {
   if (Status s = engine.Analyze(miner->get(), domains.size()); !s.ok()) {
     return Fail(s);
   }
-  BloggerDetails d = MakeBloggerDetails(engine, id);
-  std::printf("%s", RenderBloggerDetails(d, domains).c_str());
+  auto d = MakeBloggerDetails(*engine.CurrentSnapshot(), id);
+  if (!d.ok()) return Fail(d.status());
+  std::printf("%s", RenderBloggerDetails(*d, domains).c_str());
+  return 0;
+}
+
+/// Prints one ranking, resolving blogger names from the snapshot itself so
+/// the output needs no corpus (the loaded-analysis mode has none).
+void PrintRanking(const AnalysisSnapshot& snap,
+                  const std::vector<ScoredBlogger>& top) {
+  for (const ScoredBlogger& sb : top) {
+    const char* name = sb.id < snap.blogger_names.size()
+                           ? snap.blogger_names[sb.id].c_str()
+                           : "?";
+    std::printf("  %-14s %.4f\n", name, sb.score);
+  }
+}
+
+int CmdServe(const Flags& flags) {
+  DomainSet domains = DomainSet::PaperDomains();
+  size_t k = static_cast<size_t>(flags.GetInt("top", 5));
+
+  if (flags.Has("analysis")) {
+    // Offline mode: answer queries from a saved analysis file — no corpus,
+    // no engine, no solver.
+    auto snap = LoadAnalysisShared(flags.Get("analysis", ""));
+    if (!snap.ok()) return Fail(snap.status());
+    QueryService service(*snap);
+    std::printf("serving analysis #%llu (%zu bloggers, %zu posts, "
+                "%zu domains, produced by %s)\n",
+                static_cast<unsigned long long>((*snap)->sequence),
+                (*snap)->num_bloggers(), (*snap)->num_posts(),
+                (*snap)->num_domains, (*snap)->produced_by.c_str());
+    auto top = service.TopGeneral(k);
+    if (!top.ok()) return Fail(top.status());
+    std::printf("top-%zu overall:\n", k);
+    PrintRanking(**snap, *top);
+    if (flags.Has("domain")) {
+      int d = domains.Find(flags.Get("domain", ""));
+      if (d < 0) return Fail(Status::NotFound("unknown domain"));
+      auto by_domain = service.TopByDomain(static_cast<size_t>(d), k);
+      if (!by_domain.ok()) return Fail(by_domain.status());
+      std::printf("top-%zu in %s:\n", k, domains.name(d).c_str());
+      PrintRanking(**snap, *by_domain);
+    }
+    return 0;
+  }
+
+  // Live mode: stream the input corpus into an initially-empty engine in
+  // batches while reader threads answer queries concurrently — the
+  // paper's continuously-crawling system with its demo front-end online.
+  auto world = LoadInput(flags);
+  if (!world.ok()) return Fail(world.status());
+  world->BuildIndexes();
+  SyntheticBlogHost host(&*world);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < world->num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown);
+  if (Status s = engine.Analyze(nullptr, domains.size()); !s.ok()) {
+    return Fail(s);
+  }
+
+  QueryService service(&engine);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  int readers = static_cast<int>(flags.GetInt("readers", 4));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&service, &stop, &answered, k,
+                          nd = domains.size()]() {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (service.TopGeneral(k).ok()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (service.TopByDomain(i++ % nd, k).ok()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  DeltaStreamOptions sopts;
+  sopts.batch_pages = static_cast<size_t>(flags.GetInt("batch", 32));
+  DeltaStream stream(&host, urls, sopts);
+  Status ingest_status;
+  while (!stream.done() && ingest_status.ok()) {
+    auto delta = stream.Next();
+    if (!delta.ok()) {
+      ingest_status = delta.status();
+      break;
+    }
+    ingest_status = engine.IngestDelta(*delta, nullptr);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : threads) th.join();
+  if (!ingest_status.ok()) return Fail(ingest_status);
+
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+  std::printf("ingested %zu batches (%zu pages) while %d readers answered "
+              "%llu queries; final snapshot #%llu covers %zu bloggers\n",
+              stream.batches_emitted(), stream.pages_emitted(), readers,
+              static_cast<unsigned long long>(
+                  answered.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(snap->sequence),
+              snap->num_bloggers());
+  auto top = service.TopGeneral(k);
+  if (!top.ok()) return Fail(top.status());
+  std::printf("top-%zu overall after ingest:\n", k);
+  PrintRanking(*snap, *top);
+  if (flags.Has("analysis-out")) {
+    const std::string path = flags.Get("analysis-out", "");
+    if (Status s = SaveAnalysis(*snap, path); !s.ok()) return Fail(s);
+    std::printf("analysis snapshot written to %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -410,7 +545,8 @@ void Usage() {
       "inlinks]\n"
       "             [--miner nb|centroid|kmeans|truth] [--domain NAME] "
       "[--top K]\n"
-      "             [--metrics-out FILE(.xml|.prom|.jsonl)]\n"
+      "             [--metrics-out FILE(.xml|.prom|.jsonl)] "
+      "[--analysis-out FILE]\n"
       "  recommend  --in FILE (--ad TEXT | --profile TEXT | --domain NAME) "
       "[--top K]\n"
       "  study      --in FILE\n"
@@ -418,7 +554,10 @@ void Usage() {
       "  merge      --in FILE --with FILE --out FILE\n"
       "  viz        --in FILE [--center NAME --hops H] --out FILE [--dot "
       "FILE]\n"
-      "  details    --in FILE --name NAME\n");
+      "  details    --in FILE --name NAME\n"
+      "  serve      --in FILE [--readers N] [--batch N] [--top K]\n"
+      "             [--analysis-out FILE]   (concurrent ingest + queries)\n"
+      "  serve      --analysis FILE [--domain NAME] [--top K]   (no solver)\n");
 }
 
 }  // namespace
@@ -439,6 +578,7 @@ int main(int argc, char** argv) {
   if (cmd == "merge") return CmdMerge(flags);
   if (cmd == "viz") return CmdViz(flags);
   if (cmd == "details") return CmdDetails(flags);
+  if (cmd == "serve") return CmdServe(flags);
   Usage();
   return 1;
 }

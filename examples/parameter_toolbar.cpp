@@ -25,7 +25,8 @@ void ShowTop3(const char* label, mass::MassEngine* engine,
   double ms = sw.ElapsedMillis();
   const Corpus& corpus = engine->corpus();
   std::printf("%-46s", label);
-  for (const ScoredBlogger& sb : engine->TopKGeneral(3)) {
+  // Each Retune republishes the snapshot; rank from it like the demo UI.
+  for (const ScoredBlogger& sb : engine->CurrentSnapshot()->TopKGeneral(3)) {
     std::printf("  %s(%.2f)", corpus.blogger(sb.id).name.c_str(), sb.score);
   }
   std::printf("   [retune %.1f ms]\n", ms);

@@ -59,8 +59,14 @@ int main() {
                 sb.score);
   }
 
-  // An existing blogger asks for peers in her own domains.
-  BloggerId existing = engine.TopKDomain(7, 1)[0].id;  // a Medicine blogger
+  // An existing blogger asks for peers in her own domains. Pick the top
+  // Medicine blogger from the published snapshot's precomputed ranking.
+  auto medicine_top = engine.CurrentSnapshot()->TopKDomain(7, 1);
+  if (!medicine_top.ok() || medicine_top->empty()) {
+    std::fprintf(stderr, "no Medicine ranking available\n");
+    return 1;
+  }
+  BloggerId existing = (*medicine_top)[0].id;
   std::printf("\nexisting blogger %s asks for recommendations:\n",
               corpus->blogger(existing).name.c_str());
   auto peer = recommender.ForExistingBlogger(existing, 5);

@@ -53,7 +53,11 @@ int main() {
 
   std::printf("\n== Detail pop-up for Amery (demo double-click) ==\n");
   BloggerId amery = corpus.FindBloggerByName("Amery");
-  BloggerDetails details = MakeBloggerDetails(engine, amery);
-  std::printf("%s", RenderBloggerDetails(details, domains).c_str());
+  auto details = MakeBloggerDetails(*engine.CurrentSnapshot(), amery);
+  if (!details.ok()) {
+    std::fprintf(stderr, "%s\n", details.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderBloggerDetails(*details, domains).c_str());
   return 0;
 }

@@ -28,24 +28,21 @@ int DomainTrends::HottestDomain() const {
   return best;
 }
 
-Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
+Result<DomainTrends> ComputeDomainTrends(const AnalysisSnapshot& snapshot,
                                          size_t num_buckets) {
-  if (!engine.analyzed()) {
-    return Status::FailedPrecondition("engine not analyzed");
-  }
   if (num_buckets == 0) {
     return Status::InvalidArgument("num_buckets must be positive");
   }
-  const Corpus& corpus = engine.corpus();
-  if (corpus.num_posts() == 0) {
-    return Status::InvalidArgument("corpus has no posts");
+  const size_t np = snapshot.num_posts();
+  if (np == 0) {
+    return Status::InvalidArgument("snapshot has no posts");
   }
 
-  int64_t t_min = corpus.post(0).timestamp;
+  int64_t t_min = snapshot.post_timestamps[0];
   int64_t t_max = t_min;
-  for (const Post& p : corpus.posts()) {
-    t_min = std::min(t_min, p.timestamp);
-    t_max = std::max(t_max, p.timestamp);
+  for (int64_t t : snapshot.post_timestamps) {
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
   }
   int64_t span = std::max<int64_t>(t_max - t_min + 1, 1);
   int64_t width = (span + static_cast<int64_t>(num_buckets) - 1) /
@@ -56,15 +53,16 @@ Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
   trends.start = t_min;
   trends.bucket_seconds = width;
   trends.influence_mass.assign(
-      num_buckets, std::vector<double>(engine.num_domains(), 0.0));
+      num_buckets, std::vector<double>(snapshot.num_domains, 0.0));
   trends.post_counts.assign(
-      num_buckets, std::vector<size_t>(engine.num_domains(), 0));
+      num_buckets, std::vector<size_t>(snapshot.num_domains, 0));
 
-  for (const Post& p : corpus.posts()) {
-    size_t bucket = static_cast<size_t>((p.timestamp - t_min) / width);
+  for (size_t p = 0; p < np; ++p) {
+    size_t bucket =
+        static_cast<size_t>((snapshot.post_timestamps[p] - t_min) / width);
     if (bucket >= num_buckets) bucket = num_buckets - 1;
-    const std::vector<double>& iv = engine.PostInterestsOf(p.id);
-    double inf = engine.PostInfluenceOf(p.id);
+    const std::vector<double>& iv = snapshot.post_interests[p];
+    double inf = snapshot.post_influence[p];
     size_t argmax = 0;
     for (size_t d = 0; d < iv.size(); ++d) {
       trends.influence_mass[bucket][d] += inf * iv[d];
@@ -73,6 +71,15 @@ Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
     ++trends.post_counts[bucket][argmax];
   }
   return trends;
+}
+
+Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
+                                         size_t num_buckets) {
+  std::shared_ptr<const AnalysisSnapshot> snapshot = engine.CurrentSnapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("engine not analyzed");
+  }
+  return ComputeDomainTrends(*snapshot, num_buckets);
 }
 
 std::vector<RisingTerm> TopRisingTerms(const Corpus& corpus, size_t k,

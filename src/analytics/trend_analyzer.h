@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/analysis_snapshot.h"
 #include "core/influence_engine.h"
 #include "model/corpus.h"
 
@@ -32,7 +33,13 @@ struct DomainTrends {
   int HottestDomain() const;
 };
 
-/// Buckets the analyzed corpus into `num_buckets` uniform time slices.
+/// Buckets a published analysis into `num_buckets` uniform time slices.
+/// Requires at least one post. Reads only the (immutable) snapshot, so it
+/// is safe to call concurrently with ingest on another thread.
+Result<DomainTrends> ComputeDomainTrends(const AnalysisSnapshot& snapshot,
+                                         size_t num_buckets);
+
+/// Convenience overload: pins engine.CurrentSnapshot() and delegates.
 /// Requires an analyzed engine and at least one post.
 Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
                                          size_t num_buckets);

@@ -1,0 +1,325 @@
+#include "core/analysis_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/topk.h"
+
+namespace mass {
+
+namespace {
+
+// Same ordering contract as topk's Better(), applied to posts: score
+// descending, id ascending, NaN last so a poisoned score can never make
+// std::sort undefined.
+bool BetterPost(const RankedPost& a, const RankedPost& b) {
+  const bool a_nan = std::isnan(a.score);
+  const bool b_nan = std::isnan(b.score);
+  if (a_nan != b_nan) return b_nan;
+  if (!a_nan && a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// Sorts descending and keeps the best `cap` entries.
+void SortAndCap(std::vector<RankedPost>* posts, size_t cap) {
+  std::sort(posts->begin(), posts->end(), BetterPost);
+  if (posts->size() > cap) posts->resize(cap);
+  posts->shrink_to_fit();
+}
+
+}  // namespace
+
+uint64_t AnalysisSnapshot::AgeMicros() const {
+  if (publish_time == std::chrono::steady_clock::time_point{}) return 0;
+  const auto age = std::chrono::steady_clock::now() - publish_time;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(age).count();
+  return us > 0 ? static_cast<uint64_t>(us) : 0;
+}
+
+Result<double> AnalysisSnapshot::InfluenceOf(BloggerId b) const {
+  if (b >= influence.size()) {
+    return Status::InvalidArgument("blogger id " + std::to_string(b) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(influence.size()) +
+                                   " bloggers)");
+  }
+  return influence[b];
+}
+
+Result<double> AnalysisSnapshot::GeneralLinksOf(BloggerId b) const {
+  if (b >= general_links.size()) {
+    return Status::InvalidArgument("blogger id " + std::to_string(b) +
+                                   " out of range for GL");
+  }
+  return general_links[b];
+}
+
+Result<double> AnalysisSnapshot::AccumulatedPostOf(BloggerId b) const {
+  if (b >= accumulated_post.size()) {
+    return Status::InvalidArgument("blogger id " + std::to_string(b) +
+                                   " out of range for AP");
+  }
+  return accumulated_post[b];
+}
+
+Result<double> AnalysisSnapshot::PostInfluenceOf(PostId p) const {
+  if (p >= post_influence.size()) {
+    return Status::InvalidArgument("post id " + std::to_string(p) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(post_influence.size()) +
+                                   " posts)");
+  }
+  return post_influence[p];
+}
+
+Result<double> AnalysisSnapshot::PostQualityOf(PostId p) const {
+  if (p >= post_quality.size()) {
+    return Status::InvalidArgument("post id " + std::to_string(p) +
+                                   " out of range for quality");
+  }
+  return post_quality[p];
+}
+
+Result<double> AnalysisSnapshot::CommentFactorOf(CommentId c) const {
+  if (c >= comment_sf.size()) {
+    return Status::InvalidArgument("comment id " + std::to_string(c) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(comment_sf.size()) +
+                                   " comments)");
+  }
+  return comment_sf[c];
+}
+
+Result<double> AnalysisSnapshot::DomainInfluenceOf(BloggerId b,
+                                                   size_t domain) const {
+  if (b >= domain_influence.size()) {
+    return Status::InvalidArgument("blogger id " + std::to_string(b) +
+                                   " out of range for domain influence");
+  }
+  if (domain >= domain_influence[b].size()) {
+    return Status::InvalidArgument("domain " + std::to_string(domain) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(num_domains) + " domains)");
+  }
+  return domain_influence[b][domain];
+}
+
+const std::vector<double>* AnalysisSnapshot::DomainVectorOf(
+    BloggerId b) const {
+  return b < domain_influence.size() ? &domain_influence[b] : nullptr;
+}
+
+const std::vector<double>* AnalysisSnapshot::PostInterestsOf(PostId p) const {
+  return p < post_interests.size() ? &post_interests[p] : nullptr;
+}
+
+const std::vector<double>* AnalysisSnapshot::InterestsOfBlogger(
+    BloggerId b) const {
+  return b < blogger_interests.size() ? &blogger_interests[b] : nullptr;
+}
+
+std::vector<ScoredBlogger> AnalysisSnapshot::TopKGeneral(size_t k) const {
+  const size_t n = std::min(k, general_ranking.size());
+  return {general_ranking.begin(), general_ranking.begin() + n};
+}
+
+Result<std::vector<ScoredBlogger>> AnalysisSnapshot::TopKDomain(
+    size_t domain, size_t k) const {
+  if (domain >= domain_rankings.size()) {
+    return Status::InvalidArgument("domain " + std::to_string(domain) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(domain_rankings.size()) +
+                                   " ranked domains)");
+  }
+  const auto& ranking = domain_rankings[domain];
+  const size_t n = std::min(k, ranking.size());
+  return std::vector<ScoredBlogger>(ranking.begin(), ranking.begin() + n);
+}
+
+std::vector<ScoredBlogger> AnalysisSnapshot::TopKWeighted(
+    const std::vector<double>& weights, size_t k) const {
+  // Eq. 5: score(b) = sum_d Inf(b, d) * w_d, over the domains both sides
+  // cover. Same fold as MassEngine::TopKWeighted, so results match the
+  // live engine bit for bit.
+  std::vector<double> scores(num_bloggers(), 0.0);
+  for (size_t b = 0; b < domain_influence.size(); ++b) {
+    const auto& dv = domain_influence[b];
+    const size_t nd = std::min(dv.size(), weights.size());
+    double s = 0.0;
+    for (size_t d = 0; d < nd; ++d) s += dv[d] * weights[d];
+    scores[b] = s;
+  }
+  return TopKByScore(scores, k);
+}
+
+Result<std::vector<RankedPost>> AnalysisSnapshot::TopPostsOfDomain(
+    size_t domain, size_t k) const {
+  if (domain >= domain_top_posts.size()) {
+    return Status::InvalidArgument("domain " + std::to_string(domain) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(domain_top_posts.size()) +
+                                   " post indexes)");
+  }
+  const auto& posts = domain_top_posts[domain];
+  const size_t n = std::min(k, posts.size());
+  return std::vector<RankedPost>(posts.begin(), posts.begin() + n);
+}
+
+void AnalysisSnapshot::BuildDerived() {
+  const size_t nb = num_bloggers();
+  const size_t np = num_posts();
+  const size_t nd = num_domains;
+
+  general_ranking = FullRanking(influence);
+
+  domain_rankings.assign(nd, {});
+  std::vector<double> column(nb, 0.0);
+  for (size_t d = 0; d < nd; ++d) {
+    for (size_t b = 0; b < nb; ++b) {
+      const auto& dv = domain_influence[b];
+      column[b] = d < dv.size() ? dv[d] : 0.0;
+    }
+    domain_rankings[d] = FullRanking(column);
+  }
+
+  // Mean interest vector over each blogger's own posts; uniform 1/nd for
+  // a blogger with no posts (same fallback the recommender used against
+  // the live corpus).
+  blogger_interests.assign(nb, std::vector<double>(nd, 0.0));
+  std::vector<uint32_t> posts_of(nb, 0);
+  for (size_t p = 0; p < np; ++p) {
+    const BloggerId a = p < post_authors.size() ? post_authors[p]
+                                                : kInvalidBlogger;
+    if (a >= nb) continue;
+    const auto& iv = post_interests[p];
+    auto& acc = blogger_interests[a];
+    const size_t n = std::min(iv.size(), nd);
+    for (size_t d = 0; d < n; ++d) acc[d] += iv[d];
+    ++posts_of[a];
+  }
+  for (size_t b = 0; b < nb; ++b) {
+    auto& acc = blogger_interests[b];
+    if (posts_of[b] > 0) {
+      for (double& v : acc) v /= posts_of[b];
+    } else if (nd > 0) {
+      std::fill(acc.begin(), acc.end(), 1.0 / static_cast<double>(nd));
+    }
+  }
+
+  // Post indexes. A snapshot without per-post data (a version-1 file)
+  // keeps these empty-per-slot rather than absent, so lookups still
+  // bounds-check cleanly.
+  domain_top_posts.assign(nd, {});
+  blogger_key_posts.assign(nb, {});
+  if (np == 0) return;
+
+  for (size_t d = 0; d < nd; ++d) {
+    auto& bucket = domain_top_posts[d];
+    for (size_t p = 0; p < np; ++p) {
+      const auto& iv = post_interests[p];
+      const double w = d < iv.size() ? iv[d] : 0.0;
+      const double score = post_influence[p] * w;
+      if (score <= 0.0) continue;
+      bucket.push_back(RankedPost{
+          static_cast<PostId>(p),
+          p < post_authors.size() ? post_authors[p] : kInvalidBlogger,
+          p < post_titles.size() ? post_titles[p] : std::string(), score});
+    }
+    SortAndCap(&bucket, kTopPostsPerDomain);
+  }
+
+  for (size_t p = 0; p < np; ++p) {
+    const BloggerId a = p < post_authors.size() ? post_authors[p]
+                                                : kInvalidBlogger;
+    if (a >= nb) continue;
+    blogger_key_posts[a].push_back(RankedPost{
+        static_cast<PostId>(p), a,
+        p < post_titles.size() ? post_titles[p] : std::string(),
+        post_influence[p]});
+  }
+  for (auto& posts : blogger_key_posts) {
+    SortAndCap(&posts, kKeyPostsPerBlogger);
+  }
+}
+
+Status AnalysisSnapshot::CheckConsistent() const {
+  const size_t nb = num_bloggers();
+  const size_t np = num_posts();
+  const size_t nd = num_domains;
+
+  auto expect = [](size_t got, size_t want, const char* what) -> Status {
+    if (got != want) {
+      return Status::Corruption(std::string(what) + " size " +
+                                std::to_string(got) + " != expected " +
+                                std::to_string(want));
+    }
+    return Status::OK();
+  };
+
+  MASS_RETURN_IF_ERROR(expect(general_links.size(), nb, "general_links"));
+  MASS_RETURN_IF_ERROR(
+      expect(accumulated_post.size(), nb, "accumulated_post"));
+  MASS_RETURN_IF_ERROR(
+      expect(domain_influence.size(), nb, "domain_influence"));
+  for (const auto& dv : domain_influence) {
+    MASS_RETURN_IF_ERROR(expect(dv.size(), nd, "domain_influence row"));
+  }
+  MASS_RETURN_IF_ERROR(expect(blogger_names.size(), nb, "blogger_names"));
+  MASS_RETURN_IF_ERROR(expect(blogger_urls.size(), nb, "blogger_urls"));
+  MASS_RETURN_IF_ERROR(
+      expect(blogger_post_counts.size(), nb, "blogger_post_counts"));
+  MASS_RETURN_IF_ERROR(expect(blogger_comments_received.size(), nb,
+                              "blogger_comments_received"));
+  MASS_RETURN_IF_ERROR(expect(blogger_comments_written.size(), nb,
+                              "blogger_comments_written"));
+
+  MASS_RETURN_IF_ERROR(expect(post_quality.size(), np, "post_quality"));
+  MASS_RETURN_IF_ERROR(expect(post_interests.size(), np, "post_interests"));
+  for (const auto& iv : post_interests) {
+    MASS_RETURN_IF_ERROR(expect(iv.size(), nd, "post_interests row"));
+  }
+  MASS_RETURN_IF_ERROR(expect(post_authors.size(), np, "post_authors"));
+  MASS_RETURN_IF_ERROR(expect(post_timestamps.size(), np, "post_timestamps"));
+  MASS_RETURN_IF_ERROR(expect(post_titles.size(), np, "post_titles"));
+
+  MASS_RETURN_IF_ERROR(
+      expect(blogger_interests.size(), nb, "blogger_interests"));
+  for (const auto& iv : blogger_interests) {
+    MASS_RETURN_IF_ERROR(expect(iv.size(), nd, "blogger_interests row"));
+  }
+  MASS_RETURN_IF_ERROR(expect(general_ranking.size(), nb, "general_ranking"));
+  MASS_RETURN_IF_ERROR(expect(domain_rankings.size(), nd, "domain_rankings"));
+  for (const auto& ranking : domain_rankings) {
+    MASS_RETURN_IF_ERROR(expect(ranking.size(), nb, "domain ranking"));
+    for (const auto& sb : ranking) {
+      if (sb.id >= nb) {
+        return Status::Corruption("ranked blogger id out of range");
+      }
+    }
+  }
+  MASS_RETURN_IF_ERROR(
+      expect(domain_top_posts.size(), nd, "domain_top_posts"));
+  for (const auto& posts : domain_top_posts) {
+    if (posts.size() > kTopPostsPerDomain) {
+      return Status::Corruption("domain_top_posts over cap");
+    }
+    for (const auto& rp : posts) {
+      if (rp.id >= np) return Status::Corruption("top post id out of range");
+    }
+  }
+  MASS_RETURN_IF_ERROR(
+      expect(blogger_key_posts.size(), nb, "blogger_key_posts"));
+  for (const auto& posts : blogger_key_posts) {
+    if (posts.size() > kKeyPostsPerBlogger) {
+      return Status::Corruption("blogger_key_posts over cap");
+    }
+    for (const auto& rp : posts) {
+      if (rp.id >= np) return Status::Corruption("key post id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mass

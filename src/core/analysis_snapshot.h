@@ -1,0 +1,152 @@
+// AnalysisSnapshot: the immutable, self-contained output of one engine
+// solve — every score surface of Eq. 1-5 plus the blogger/post metadata a
+// serving front-end displays, with the per-domain rankings and top-post
+// indexes precomputed so queries are O(k) slices instead of O(n) scans.
+//
+// Snapshots are the read half of the engine's read/write split: the write
+// path (MassEngine::Analyze/Retune/IngestDelta) materializes one on every
+// successful solve and publishes it by atomic shared_ptr swap
+// (MassEngine::CurrentSnapshot()); readers pin a snapshot once per query
+// and never touch the live engine or the (mutating) corpus. A pinned
+// snapshot stays valid and bitwise frozen for as long as the reader holds
+// the shared_ptr, no matter how many ingests retire it in the meantime.
+//
+// Unlike the live engine accessors, every per-entity accessor here is
+// bounds-checked and returns Result<T> — a snapshot is a serving surface,
+// and out-of-range ids from untrusted queries must be errors, not UB.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/entities.h"
+
+namespace mass {
+
+/// One ranked blogger.
+struct ScoredBlogger {
+  BloggerId id = kInvalidBlogger;
+  double score = 0.0;
+};
+
+/// One entry of a precomputed post index (a blogger's key posts, a
+/// domain's top posts). Carries the title so it can be rendered without
+/// touching the corpus.
+struct RankedPost {
+  PostId id = kInvalidPost;
+  BloggerId author = kInvalidBlogger;
+  std::string title;
+  double score = 0.0;  ///< Inf(p), or Inf(p)*iv[d] in a domain index
+};
+
+/// The immutable result of one solve. Built by the engine (or loaded from
+/// storage/analysis_xml) and then never mutated; all sharing is via
+/// shared_ptr<const AnalysisSnapshot>.
+struct AnalysisSnapshot {
+  /// Monotonic publish sequence within one engine (1 = first Analyze).
+  uint64_t sequence = 0;
+  /// Which write-path call produced it: "analyze", "retune", "ingest",
+  /// or "loaded" for snapshots deserialized from disk.
+  std::string produced_by;
+  size_t num_domains = 0;
+
+  // ---- per-blogger surfaces ----
+  std::vector<double> influence;        ///< Inf(b), Eq. 1, mean 1
+  std::vector<double> general_links;    ///< GL(b)
+  std::vector<double> accumulated_post; ///< AP(b)
+  std::vector<std::vector<double>> domain_influence;  ///< [b][d], Eq. 5
+  std::vector<std::string> blogger_names;
+  std::vector<std::string> blogger_urls;
+  std::vector<uint32_t> blogger_post_counts;
+  std::vector<uint32_t> blogger_comments_received;
+  std::vector<uint32_t> blogger_comments_written;
+
+  // ---- per-post surfaces ----
+  std::vector<double> post_influence;  ///< Inf(b, d_k), Eq. 4
+  std::vector<double> post_quality;
+  std::vector<std::vector<double>> post_interests;  ///< iv, [p][d]
+  std::vector<BloggerId> post_authors;
+  std::vector<int64_t> post_timestamps;
+  std::vector<std::string> post_titles;
+
+  // ---- per-comment surfaces ----
+  std::vector<double> comment_sf;  ///< SF assigned to each comment
+
+  // ---- derived indexes (BuildDerived) ----
+  /// Mean interest vector of each blogger's own posts (uniform for a
+  /// blogger with no posts); Scenario-2 recommendation reads this.
+  std::vector<std::vector<double>> blogger_interests;
+  /// All bloggers sorted by Inf(b) desc, ties by id asc.
+  std::vector<ScoredBlogger> general_ranking;
+  /// [d]: all bloggers sorted by Inf(b, d) desc, ties by id asc.
+  std::vector<std::vector<ScoredBlogger>> domain_rankings;
+  /// [d]: top posts by Inf(p)*iv[p][d], capped at kTopPostsPerDomain.
+  std::vector<std::vector<RankedPost>> domain_top_posts;
+  /// [b]: the blogger's best posts by Inf(p), capped at
+  /// kKeyPostsPerBlogger (the demo pop-up's "important posts").
+  std::vector<std::vector<RankedPost>> blogger_key_posts;
+
+  /// Publish instant (steady clock); serves the serve.snapshot.age_us
+  /// metric. Unset (epoch) for loaded snapshots.
+  std::chrono::steady_clock::time_point publish_time{};
+
+  static constexpr size_t kTopPostsPerDomain = 32;
+  static constexpr size_t kKeyPostsPerBlogger = 8;
+
+  size_t num_bloggers() const { return influence.size(); }
+  size_t num_posts() const { return post_influence.size(); }
+  size_t num_comments() const { return comment_sf.size(); }
+
+  /// Microseconds since publish_time (0 when unset).
+  uint64_t AgeMicros() const;
+
+  // ---- checked per-entity accessors ----
+  // InvalidArgument on out-of-range ids — never UB. The live-engine
+  // counterparts (MassEngine::InfluenceOf etc.) clamp to 0 instead.
+  Result<double> InfluenceOf(BloggerId b) const;
+  Result<double> GeneralLinksOf(BloggerId b) const;
+  Result<double> AccumulatedPostOf(BloggerId b) const;
+  Result<double> PostInfluenceOf(PostId p) const;
+  Result<double> PostQualityOf(PostId p) const;
+  Result<double> CommentFactorOf(CommentId c) const;
+  Result<double> DomainInfluenceOf(BloggerId b, size_t domain) const;
+
+  /// Full vectors; nullptr when the id is out of range (or, for
+  /// InterestsOfBlogger, when the snapshot lacks per-post data).
+  const std::vector<double>* DomainVectorOf(BloggerId b) const;
+  const std::vector<double>* PostInterestsOf(PostId p) const;
+  const std::vector<double>* InterestsOfBlogger(BloggerId b) const;
+
+  // ---- rankings (precomputed; ties break toward smaller ids) ----
+  /// Top-k by Inf(b): an O(k) slice of general_ranking.
+  std::vector<ScoredBlogger> TopKGeneral(size_t k) const;
+  /// Top-k by Inf(b, d): an O(k) slice of domain_rankings[d].
+  Result<std::vector<ScoredBlogger>> TopKDomain(size_t domain,
+                                                size_t k) const;
+  /// Top-k by the Eq. 5 dot product Inf(b, IV) . weights (the Scenario-1
+  /// advertisement ranking). Computed on the fly — the weight vector is
+  /// query-supplied, so it cannot be precomputed.
+  std::vector<ScoredBlogger> TopKWeighted(const std::vector<double>& weights,
+                                          size_t k) const;
+  /// Top posts of one domain (≤ kTopPostsPerDomain are stored).
+  Result<std::vector<RankedPost>> TopPostsOfDomain(size_t domain,
+                                                   size_t k) const;
+
+  /// Recomputes every derived index from the raw surfaces. Deterministic:
+  /// identical raw surfaces produce byte-identical rankings regardless of
+  /// which solver path (scalar or CSR) or which session produced them.
+  /// Tolerates missing per-post data (a version-1 file): post-derived
+  /// indexes stay empty, blogger rankings still build.
+  void BuildDerived();
+
+  /// Cross-checks every surface and index dimension against
+  /// num_bloggers/num_posts/num_domains. OK for a snapshot frozen by a
+  /// completed solve; any mismatch means a torn or partially-applied
+  /// publish, which the concurrency tests assert can never be observed.
+  Status CheckConsistent() const;
+};
+
+}  // namespace mass

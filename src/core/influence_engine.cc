@@ -37,6 +37,8 @@ void MeanNormalize(std::vector<double>* v) {
 
 }  // namespace
 
+const std::vector<double> MassEngine::kEmptyVector;
+
 MassEngine::MassEngine(const Corpus* corpus, EngineOptions options)
     : corpus_(corpus), options_(options) {
   InitObservability();
@@ -68,6 +70,66 @@ void MassEngine::InitObservability() {
   topk_queries_ = metrics_->GetCounter("engine.topk_queries_total");
   topk_us_ = metrics_->GetHistogram("engine.topk_us");
   warm_saved_gauge_ = metrics_->GetGauge("engine.warm_start_iterations_saved");
+  snapshot_publishes_ = metrics_->GetCounter("serve.snapshot.publishes");
+  snapshot_publish_us_ = metrics_->GetHistogram("serve.snapshot.publish_us");
+}
+
+void MassEngine::PublishSnapshot(std::string_view run) {
+  Stopwatch sw;
+  auto snap = std::make_shared<AnalysisSnapshot>();
+  snap->sequence = ++snapshot_sequence_;
+  snap->produced_by = std::string(run);
+  snap->num_domains = num_domains_;
+
+  snap->influence = influence_;
+  snap->general_links = gl_;
+  snap->accumulated_post = ap_;
+  snap->domain_influence = domain_influence_;
+  snap->post_influence = post_influence_;
+  snap->post_quality = post_quality_;
+  snap->post_interests = post_interests_;
+  snap->comment_sf = comment_sf_;
+
+  // The snapshot must be self-contained: readers pin it while IngestDelta
+  // reallocates the corpus vectors underneath, so every displayable field
+  // is copied out here, never referenced back.
+  const size_t nb = corpus_->num_bloggers();
+  const size_t np = corpus_->num_posts();
+  snap->blogger_names.reserve(nb);
+  snap->blogger_urls.reserve(nb);
+  snap->blogger_post_counts.reserve(nb);
+  snap->blogger_comments_received.reserve(nb);
+  snap->blogger_comments_written.reserve(nb);
+  for (size_t b = 0; b < nb; ++b) {
+    const BloggerId id = static_cast<BloggerId>(b);
+    const Blogger& blogger = corpus_->blogger(id);
+    snap->blogger_names.push_back(blogger.name);
+    snap->blogger_urls.push_back(blogger.url);
+    const auto& posts = corpus_->PostsBy(id);
+    snap->blogger_post_counts.push_back(static_cast<uint32_t>(posts.size()));
+    size_t received = 0;
+    for (PostId p : posts) received += corpus_->CommentsOn(p).size();
+    snap->blogger_comments_received.push_back(
+        static_cast<uint32_t>(received));
+    snap->blogger_comments_written.push_back(
+        static_cast<uint32_t>(corpus_->TotalComments(id)));
+  }
+  snap->post_authors.reserve(np);
+  snap->post_timestamps.reserve(np);
+  snap->post_titles.reserve(np);
+  for (size_t p = 0; p < np; ++p) {
+    const Post& post = corpus_->post(static_cast<PostId>(p));
+    snap->post_authors.push_back(post.author);
+    snap->post_timestamps.push_back(post.timestamp);
+    snap->post_titles.push_back(post.title);
+  }
+
+  snap->BuildDerived();
+  snap->publish_time = std::chrono::steady_clock::now();
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  snapshot_publishes_.Increment();
+  snapshot_publish_us_.Record(
+      static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
 }
 
 EngineObservability MassEngine::Observability() const {
@@ -668,6 +730,7 @@ Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
     ComputeDomainVectors();
   }
   RecordSolvedShape();
+  PublishSnapshot("analyze");
 
   analyzed_ = true;
   return Status::OK();
@@ -749,6 +812,7 @@ Status MassEngine::Retune(const EngineOptions& options) {
     auto span = tracer_.Span("domain_vectors");
     ComputeDomainVectors();
   }
+  PublishSnapshot("retune");
   return Status::OK();
 }
 
@@ -860,6 +924,12 @@ Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
     ComputeDomainVectors();
   }
   RecordSolvedShape();
+  // Publish is the LAST step, after every surface is solved: readers see
+  // either the complete pre-delta snapshot or the complete post-delta one,
+  // never a partial state. On any earlier failure the transactional
+  // wrapper rolls back without this call having run, so the previously
+  // published snapshot simply remains current.
+  PublishSnapshot("ingest");
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 // and answers top-k queries for general and domain-specific influence.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "classify/interest_miner.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/analysis_snapshot.h"
 #include "core/engine_options.h"
 #include "core/solver_matrix.h"
 #include "model/corpus.h"
@@ -28,12 +30,6 @@ namespace mass {
 
 struct CorpusDelta;
 struct AppliedDelta;
-
-/// One ranked blogger.
-struct ScoredBlogger {
-  BloggerId id = kInvalidBlogger;
-  double score = 0.0;
-};
 
 /// Everything the engine knows about its last run, in one snapshot: the
 /// registry's counters/gauges/histograms, the solver's convergence trace
@@ -94,39 +90,71 @@ class MassEngine {
   /// so the engine keeps serving queries as if the delta never arrived.
   Status IngestDelta(const CorpusDelta& delta, const InterestMiner* miner);
 
+  // ---- the published snapshot (the read path) ----
+
+  /// The immutable result of the last successful Analyze / Retune /
+  /// IngestDelta, published by atomic shared_ptr swap. Readers pin it
+  /// once (one atomic load) and then query without any lock, while the
+  /// write path solves the next one on another thread; a transactional
+  /// rollback republishes the prior snapshot, so readers can never
+  /// observe a partially-applied delta. nullptr before the first
+  /// successful Analyze(). See docs/serving.md.
+  std::shared_ptr<const AnalysisSnapshot> CurrentSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
   // ---- per-entity scores (valid after Analyze) ----
+  //
+  // Clamped: an out-of-range id returns 0.0 (or an empty vector) instead
+  // of indexing unchecked. Serving paths should prefer the snapshot's
+  // Result<T> accessors, which report the error instead of masking it.
 
   /// Inf(b_i), Eq. 1, mean-normalized over bloggers (mean = 1).
-  double InfluenceOf(BloggerId b) const { return influence_[b]; }
+  double InfluenceOf(BloggerId b) const {
+    return b < influence_.size() ? influence_[b] : 0.0;
+  }
 
   /// GL(b_i): PageRank authority, mean-normalized.
-  double GeneralLinksOf(BloggerId b) const { return gl_[b]; }
+  double GeneralLinksOf(BloggerId b) const {
+    return b < gl_.size() ? gl_[b] : 0.0;
+  }
 
   /// AP(b_i): accumulated post influence.
-  double AccumulatedPostOf(BloggerId b) const { return ap_[b]; }
+  double AccumulatedPostOf(BloggerId b) const {
+    return b < ap_.size() ? ap_[b] : 0.0;
+  }
 
   /// Inf(b_i, d_k), Eq. 4, for one post.
-  double PostInfluenceOf(PostId p) const { return post_influence_[p]; }
+  double PostInfluenceOf(PostId p) const {
+    return p < post_influence_.size() ? post_influence_[p] : 0.0;
+  }
 
   /// QualityScore(b_i, d_k) for one post.
-  double PostQualityOf(PostId p) const { return post_quality_[p]; }
+  double PostQualityOf(PostId p) const {
+    return p < post_quality_.size() ? post_quality_[p] : 0.0;
+  }
 
-  /// iv(b_i, d_k, C_t) for one post (length num_domains, sums to 1).
+  /// iv(b_i, d_k, C_t) for one post (length num_domains, sums to 1);
+  /// empty for an out-of-range id.
   const std::vector<double>& PostInterestsOf(PostId p) const {
-    return post_interests_[p];
+    return p < post_interests_.size() ? post_interests_[p] : kEmptyVector;
   }
 
   /// SF(b_i, d_k, b_j) assigned to one comment.
-  double CommentFactorOf(CommentId c) const { return comment_sf_[c]; }
+  double CommentFactorOf(CommentId c) const {
+    return c < comment_sf_.size() ? comment_sf_[c] : 0.0;
+  }
 
   /// Inf(b_i, C_t), Eq. 5.
   double DomainInfluenceOf(BloggerId b, size_t domain) const {
-    return domain_influence_[b][domain];
+    if (b >= domain_influence_.size()) return 0.0;
+    const std::vector<double>& dv = domain_influence_[b];
+    return domain < dv.size() ? dv[domain] : 0.0;
   }
 
-  /// The full domain vector Inf(b_i, IV).
+  /// The full domain vector Inf(b_i, IV); empty for an out-of-range id.
   const std::vector<double>& DomainVectorOf(BloggerId b) const {
-    return domain_influence_[b];
+    return b < domain_influence_.size() ? domain_influence_[b] : kEmptyVector;
   }
 
   // ---- rankings ----
@@ -160,9 +188,16 @@ class MassEngine {
   bool analyzed() const { return analyzed_; }
 
  private:
+  // Target of the clamped vector accessors for out-of-range ids.
+  static const std::vector<double> kEmptyVector;
+
   /// Resolves the registry (options_.metrics or an engine-owned one) and
   /// pre-fetches every handle the hot paths use.
   void InitObservability();
+  /// Materializes an AnalysisSnapshot from the solved state and swaps it
+  /// into snapshot_. Called at the end of every successful write-path run
+  /// (`run` = "analyze" / "retune" / "ingest").
+  void PublishSnapshot(std::string_view run);
   Status ComputeGeneralLinks();
   void ComputeQuality();
   void ComputeRecency();
@@ -257,6 +292,8 @@ class MassEngine {
   obs::Counter topk_queries_;
   obs::Histogram topk_us_;
   obs::Gauge warm_saved_gauge_;
+  obs::Counter snapshot_publishes_;
+  obs::Histogram snapshot_publish_us_;
   // Iteration count of the last cold (full) solve; the baseline for the
   // engine.warm_start_iterations_saved gauge.
   int last_full_solve_iterations_ = 0;
@@ -300,6 +337,12 @@ class MassEngine {
   std::vector<int> comment_sentiment_;        // [comment] Sentiment as int
   std::vector<std::vector<double>> post_interests_;    // [post][domain]
   std::vector<std::vector<double>> domain_influence_;  // [blogger][domain]
+
+  // The published snapshot (read path). Writes happen only on the
+  // engine's (single) write thread at the end of a successful run;
+  // readers load concurrently from any thread.
+  std::atomic<std::shared_ptr<const AnalysisSnapshot>> snapshot_{nullptr};
+  uint64_t snapshot_sequence_ = 0;
 };
 
 }  // namespace mass

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <queue>
 
-#include "core/influence_engine.h"
+#include "core/analysis_snapshot.h"
 
 namespace mass {
 
@@ -84,12 +84,17 @@ std::vector<ScoredBlogger> TopKByScoreFiltered(
 
 std::vector<ScoredBlogger> TopKByScoreFullSort(
     const std::vector<double>& scores, size_t k) {
+  std::vector<ScoredBlogger> all = FullRanking(scores);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<ScoredBlogger> FullRanking(const std::vector<double>& scores) {
   std::vector<ScoredBlogger> all(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) {
     all[i] = ScoredBlogger{static_cast<BloggerId>(i), scores[i]};
   }
   std::sort(all.begin(), all.end(), Better);
-  if (all.size() > k) all.resize(k);
   return all;
 }
 

@@ -12,11 +12,15 @@
 
 namespace mass {
 
-struct ScoredBlogger;  // defined in influence_engine.h
+struct ScoredBlogger;  // defined in analysis_snapshot.h
 
 /// Heap-based top-k: O(n log k).
 std::vector<ScoredBlogger> TopKByScore(const std::vector<double>& scores,
                                        size_t k);
+
+/// Every blogger sorted by score (desc, ties by id asc): the precomputed
+/// ranking an AnalysisSnapshot stores so top-k queries are O(k) slices.
+std::vector<ScoredBlogger> FullRanking(const std::vector<double>& scores);
 
 /// Full-sort top-k: O(n log n); identical output, for benchmarking.
 std::vector<ScoredBlogger> TopKByScoreFullSort(

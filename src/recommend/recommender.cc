@@ -9,11 +9,23 @@ namespace mass {
 Recommender::Recommender(const MassEngine* engine, const InterestMiner* miner)
     : engine_(engine), miner_(miner) {}
 
-Result<Recommendation> Recommender::ForAdvertisement(std::string_view ad_text,
-                                                     size_t k) const {
-  if (!engine_->analyzed()) {
+Recommender::Recommender(std::shared_ptr<const AnalysisSnapshot> snapshot,
+                         const InterestMiner* miner)
+    : fixed_snapshot_(std::move(snapshot)), miner_(miner) {}
+
+Result<std::shared_ptr<const AnalysisSnapshot>> Recommender::Pin() const {
+  std::shared_ptr<const AnalysisSnapshot> snap =
+      fixed_snapshot_ != nullptr ? fixed_snapshot_
+                                 : engine_->CurrentSnapshot();
+  if (snap == nullptr) {
     return Status::FailedPrecondition("engine not analyzed");
   }
+  return snap;
+}
+
+Result<Recommendation> Recommender::ForAdvertisement(std::string_view ad_text,
+                                                     size_t k) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap, Pin());
   if (miner_ == nullptr) {
     return Status::FailedPrecondition("no interest miner configured");
   }
@@ -22,39 +34,35 @@ Result<Recommendation> Recommender::ForAdvertisement(std::string_view ad_text,
   }
   Recommendation rec;
   rec.interest_vector = miner_->InterestVector(ad_text);
-  rec.bloggers = engine_->TopKWeighted(rec.interest_vector, k);
+  rec.bloggers = snap->TopKWeighted(rec.interest_vector, k);
   return rec;
 }
 
 Result<Recommendation> Recommender::ForDomains(
     const std::vector<size_t>& domains, size_t k) const {
-  if (!engine_->analyzed()) {
-    return Status::FailedPrecondition("engine not analyzed");
-  }
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap, Pin());
   Recommendation rec;
-  rec.interest_vector.assign(engine_->num_domains(), 0.0);
+  rec.interest_vector.assign(snap->num_domains, 0.0);
   if (domains.empty()) {
     // Paper: with no domain selected, fall back to general influence.
-    rec.bloggers = engine_->TopKGeneral(k);
+    rec.bloggers = snap->TopKGeneral(k);
     return rec;
   }
   for (size_t d : domains) {
-    if (d >= engine_->num_domains()) {
+    if (d >= snap->num_domains) {
       return Status::InvalidArgument(
           StrFormat("domain %zu out of range [0,%zu)", d,
-                    engine_->num_domains()));
+                    snap->num_domains));
     }
     rec.interest_vector[d] = 1.0 / static_cast<double>(domains.size());
   }
-  rec.bloggers = engine_->TopKWeighted(rec.interest_vector, k);
+  rec.bloggers = snap->TopKWeighted(rec.interest_vector, k);
   return rec;
 }
 
 Result<Recommendation> Recommender::ForNewUserProfile(std::string_view profile,
                                                       size_t k) const {
-  if (!engine_->analyzed()) {
-    return Status::FailedPrecondition("engine not analyzed");
-  }
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap, Pin());
   if (miner_ == nullptr) {
     return Status::FailedPrecondition("no interest miner configured");
   }
@@ -63,40 +71,29 @@ Result<Recommendation> Recommender::ForNewUserProfile(std::string_view profile,
   }
   Recommendation rec;
   rec.interest_vector = miner_->InterestVector(profile);
-  rec.bloggers = engine_->TopKWeighted(rec.interest_vector, k);
+  rec.bloggers = snap->TopKWeighted(rec.interest_vector, k);
   return rec;
 }
 
 Result<Recommendation> Recommender::ForExistingBlogger(BloggerId blogger,
                                                        size_t k) const {
-  if (!engine_->analyzed()) {
-    return Status::FailedPrecondition("engine not analyzed");
-  }
-  const Corpus& corpus = engine_->corpus();
-  if (blogger >= corpus.num_bloggers()) {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap, Pin());
+  if (blogger >= snap->num_bloggers()) {
     return Status::InvalidArgument("blogger id out of range");
   }
-  // The blogger's interest profile: average the interest vectors of her
-  // own posts (uniform for a blogger with no posts).
+  // The blogger's interest profile: the snapshot's precomputed average of
+  // the interest vectors of her own posts (uniform for a blogger with no
+  // posts) — same derivation the old corpus walk produced.
   Recommendation rec;
-  rec.interest_vector.assign(engine_->num_domains(),
-                             1.0 / static_cast<double>(engine_->num_domains()));
-  const std::vector<PostId>& posts = corpus.PostsBy(blogger);
-  if (!posts.empty()) {
-    std::fill(rec.interest_vector.begin(), rec.interest_vector.end(), 0.0);
-    for (PostId pid : posts) {
-      const std::vector<double>& iv = engine_->PostInterestsOf(pid);
-      for (size_t t = 0; t < rec.interest_vector.size(); ++t) {
-        rec.interest_vector[t] += iv[t];
-      }
-    }
-    for (double& v : rec.interest_vector) {
-      v /= static_cast<double>(posts.size());
-    }
+  const std::vector<double>* iv = snap->InterestsOfBlogger(blogger);
+  if (iv == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot lacks blogger interest vectors");
   }
+  rec.interest_vector = *iv;
   // Over-fetch by one so the blogger herself can be dropped.
   std::vector<ScoredBlogger> ranked =
-      engine_->TopKWeighted(rec.interest_vector, k + 1);
+      snap->TopKWeighted(rec.interest_vector, k + 1);
   for (const ScoredBlogger& sb : ranked) {
     if (sb.id == blogger) continue;
     rec.bloggers.push_back(sb);

@@ -10,6 +10,7 @@
 //  (existing blogger) and recommend the top-k influential bloggers there.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,12 +27,22 @@ struct Recommendation {
   std::vector<double> interest_vector;     ///< the mined iv used for ranking
 };
 
-/// Scenario-1 and Scenario-2 recommendation over an analyzed MassEngine.
+/// Scenario-1 and Scenario-2 recommendation over a published analysis.
+/// Every call pins the snapshot once and ranks entirely against it, so
+/// recommendations are consistent even while the engine ingests deltas on
+/// another thread.
 class Recommender {
  public:
-  /// `engine` must be analyzed; `miner` must be trained on the same domain
-  /// set. Both must outlive the recommender.
+  /// Live mode: each call pins engine->CurrentSnapshot(), so results track
+  /// the engine's latest publish. `engine` must be analyzed before the
+  /// first call; `miner` must be trained on the same domain set. Both must
+  /// outlive the recommender.
   Recommender(const MassEngine* engine, const InterestMiner* miner);
+
+  /// Fixed-snapshot mode: rank against one pinned (possibly loaded-from-
+  /// disk) snapshot, no engine required.
+  Recommender(std::shared_ptr<const AnalysisSnapshot> snapshot,
+              const InterestMiner* miner);
 
   /// Scenario 1, free-text option: "based on the input advertisement,
   /// MASS analyzes the content of the advertisement and provides top-k
@@ -57,7 +68,12 @@ class Recommender {
                                             size_t k) const;
 
  private:
-  const MassEngine* engine_;
+  /// The snapshot this call ranks against: the fixed one, or the engine's
+  /// current publish. FailedPrecondition when nothing is published yet.
+  Result<std::shared_ptr<const AnalysisSnapshot>> Pin() const;
+
+  const MassEngine* engine_ = nullptr;
+  std::shared_ptr<const AnalysisSnapshot> fixed_snapshot_;
   const InterestMiner* miner_;
 };
 

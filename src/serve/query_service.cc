@@ -1,0 +1,144 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace mass {
+
+// RAII per-query instrumentation: one latency sample, one snapshot-age
+// sample, one query count — recorded on scope exit so every early return
+// in a query still counts.
+class QueryService::QueryTimer {
+ public:
+  QueryTimer(const QueryService* service, const AnalysisSnapshot* snapshot)
+      : service_(service), snapshot_(snapshot) {}
+  ~QueryTimer() {
+    service_->queries_.Increment();
+    service_->latency_us_.Record(
+        static_cast<uint64_t>(sw_.ElapsedSeconds() * 1e6));
+    if (snapshot_ != nullptr) {
+      service_->snapshot_age_us_.Record(snapshot_->AgeMicros());
+    }
+  }
+
+ private:
+  const QueryService* service_;
+  const AnalysisSnapshot* snapshot_;
+  Stopwatch sw_;
+};
+
+namespace {
+
+obs::MetricsRegistry* ResolveRegistry(const QueryServiceOptions& options,
+                                      const MassEngine* engine) {
+  if (options.metrics != nullptr) return options.metrics;
+  if (engine != nullptr) return engine->metrics();
+  return obs::MetricsRegistry::Null();
+}
+
+}  // namespace
+
+QueryService::QueryService(const MassEngine* engine,
+                           QueryServiceOptions options)
+    : engine_(engine) {
+  obs::MetricsRegistry* registry = ResolveRegistry(options, engine);
+  queries_ = registry->GetCounter("serve.queries_total");
+  latency_us_ = registry->GetHistogram("serve.query.latency_us");
+  snapshot_age_us_ = registry->GetHistogram("serve.snapshot.age_us");
+}
+
+QueryService::QueryService(std::shared_ptr<const AnalysisSnapshot> snapshot,
+                           QueryServiceOptions options)
+    : fixed_snapshot_(std::move(snapshot)) {
+  obs::MetricsRegistry* registry = ResolveRegistry(options, nullptr);
+  queries_ = registry->GetCounter("serve.queries_total");
+  latency_us_ = registry->GetHistogram("serve.query.latency_us");
+  snapshot_age_us_ = registry->GetHistogram("serve.snapshot.age_us");
+}
+
+std::shared_ptr<const AnalysisSnapshot> QueryService::Pin() const {
+  if (fixed_snapshot_ != nullptr) return fixed_snapshot_;
+  return engine_ != nullptr ? engine_->CurrentSnapshot() : nullptr;
+}
+
+Result<std::shared_ptr<const AnalysisSnapshot>> QueryService::PinOrFail()
+    const {
+  std::shared_ptr<const AnalysisSnapshot> snap = Pin();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  return snap;
+}
+
+Result<std::vector<ScoredBlogger>> QueryService::TopGeneral(size_t k) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  return snap->TopKGeneral(k);
+}
+
+Result<std::vector<ScoredBlogger>> QueryService::TopByDomain(size_t domain,
+                                                             size_t k) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  return snap->TopKDomain(domain, k);
+}
+
+Result<std::vector<ScoredBlogger>> QueryService::MatchAdvertisement(
+    const std::vector<double>& weights, size_t k) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  if (weights.empty()) {
+    return Status::InvalidArgument("empty interest-vector weights");
+  }
+  return snap->TopKWeighted(weights, k);
+}
+
+Result<std::vector<RankedPost>> QueryService::TopPosts(size_t domain,
+                                                       size_t k) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  return snap->TopPostsOfDomain(domain, k);
+}
+
+Result<BloggerDetails> QueryService::Details(BloggerId blogger) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  return MakeBloggerDetails(*snap, blogger);
+}
+
+Result<std::vector<ScoredBlogger>> QueryService::SimilarInfluencers(
+    BloggerId blogger, size_t k) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  const std::vector<double>* iv = snap->InterestsOfBlogger(blogger);
+  if (iv == nullptr) {
+    return Status::InvalidArgument("blogger id out of range");
+  }
+  // Over-fetch by one so the blogger herself can be dropped.
+  std::vector<ScoredBlogger> ranked = snap->TopKWeighted(*iv, k + 1);
+  std::vector<ScoredBlogger> out;
+  out.reserve(std::min(k, ranked.size()));
+  for (const ScoredBlogger& sb : ranked) {
+    if (sb.id == blogger) continue;
+    out.push_back(sb);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+Result<DomainTrends> QueryService::Trends(size_t num_buckets) const {
+  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                        PinOrFail());
+  QueryTimer timer(this, snap.get());
+  return ComputeDomainTrends(*snap, num_buckets);
+}
+
+}  // namespace mass

@@ -1,0 +1,101 @@
+// QueryService: the read path of the engine's read/write split — the
+// paper's §IV demo surface (top-k per domain, Eq. 5 ad matching, blogger
+// detail pop-ups, trends, personalized recommendation) served from an
+// immutable AnalysisSnapshot.
+//
+// Concurrency contract: every query pins a snapshot with ONE atomic load
+// and then runs entirely against that immutable object. Readers take no
+// lock, never retry, and never block the write path; IngestDelta/Retune
+// on another thread publish a new snapshot when (and only when) they
+// fully succeed, so a query observes either the complete old analysis or
+// the complete new one — never a partially-applied delta. Queries on a
+// torn-down engine are the only thing that is NOT safe: the service holds
+// a raw engine pointer, so the engine must outlive it (or use the
+// fixed-snapshot constructor, which keeps its snapshot alive itself).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "analytics/trend_analyzer.h"
+#include "common/result.h"
+#include "core/analysis_snapshot.h"
+#include "core/influence_engine.h"
+#include "obs/metrics.h"
+#include "viz/blogger_details.h"
+
+namespace mass {
+
+struct QueryServiceOptions {
+  /// Registry for serve.query.latency_us / serve.snapshot.age_us /
+  /// serve.queries_total. Defaults to the engine's registry (live mode)
+  /// or the Null registry (fixed-snapshot mode).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Lock-free query front-end over published analysis snapshots.
+/// Thread-safe: any number of threads may query one QueryService
+/// concurrently (with each other and with the engine's write path).
+class QueryService {
+ public:
+  /// Live mode: every query pins engine->CurrentSnapshot(), so results
+  /// follow the engine's publishes. The engine must outlive the service.
+  explicit QueryService(const MassEngine* engine,
+                        QueryServiceOptions options = {});
+
+  /// Fixed-snapshot mode: serve one pinned snapshot (e.g. loaded from an
+  /// analysis XML file) with no engine at all.
+  explicit QueryService(std::shared_ptr<const AnalysisSnapshot> snapshot,
+                        QueryServiceOptions options = {});
+
+  /// The snapshot queries would run against right now; nullptr when
+  /// nothing is published yet. Pin it yourself to answer several related
+  /// queries from one consistent analysis.
+  std::shared_ptr<const AnalysisSnapshot> Pin() const;
+
+  // Every query returns FailedPrecondition when no snapshot is published.
+
+  /// Top-k bloggers by general influence Inf(b_i).
+  Result<std::vector<ScoredBlogger>> TopGeneral(size_t k) const;
+
+  /// Top-k bloggers in one domain by Inf(b_i, C_t); InvalidArgument for
+  /// an out-of-range domain.
+  Result<std::vector<ScoredBlogger>> TopByDomain(size_t domain,
+                                                 size_t k) const;
+
+  /// Scenario 1: rank by the Eq. 5 dot product Inf(b_i, IV) . weights,
+  /// where `weights` is the interest vector mined from an advertisement.
+  Result<std::vector<ScoredBlogger>> MatchAdvertisement(
+      const std::vector<double>& weights, size_t k) const;
+
+  /// The most influential posts of one domain (by Inf(p) * iv[domain]);
+  /// at most AnalysisSnapshot::kTopPostsPerDomain are indexed.
+  Result<std::vector<RankedPost>> TopPosts(size_t domain, size_t k) const;
+
+  /// The demo pop-up: full detail record for one blogger.
+  Result<BloggerDetails> Details(BloggerId blogger) const;
+
+  /// Scenario 2, existing blogger: top-k bloggers ranked by the given
+  /// blogger's own interest profile, with the blogger herself excluded.
+  Result<std::vector<ScoredBlogger>> SimilarInfluencers(BloggerId blogger,
+                                                        size_t k) const;
+
+  /// Per-domain influence-mass trend over uniform time buckets.
+  Result<DomainTrends> Trends(size_t num_buckets) const;
+
+ private:
+  Result<std::shared_ptr<const AnalysisSnapshot>> PinOrFail() const;
+
+  /// Records per-query metrics; called once per public query with the
+  /// pinned snapshot and the query's start time.
+  class QueryTimer;
+
+  const MassEngine* engine_ = nullptr;
+  std::shared_ptr<const AnalysisSnapshot> fixed_snapshot_;
+  obs::Counter queries_;
+  obs::Histogram latency_us_;
+  obs::Histogram snapshot_age_us_;
+};
+
+}  // namespace mass

@@ -1,9 +1,9 @@
 #include "storage/analysis_xml.h"
 
 #include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
-#include "core/topk.h"
 #include "storage/file_io.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
@@ -33,55 +33,128 @@ Result<std::vector<double>> DoublesFromString(std::string_view s) {
   return out;
 }
 
-}  // namespace
-
-std::vector<ScoredBlogger> AnalysisSnapshot::TopKDomain(size_t domain,
-                                                        size_t k) const {
-  std::vector<double> scores(num_bloggers(), 0.0);
-  for (size_t b = 0; b < num_bloggers(); ++b) {
-    if (domain < domain_influence[b].size()) {
-      scores[b] = domain_influence[b][domain];
+Status ParseBloggers(const xml::XmlNode& root, AnalysisSnapshot* s,
+                     bool v2) {
+  for (const xml::XmlNode* bn : root.Children("blogger")) {
+    Result<int64_t> id = ParseInt64(bn->Attr("id"));
+    Result<double> inf = ParseDouble(bn->Attr("inf"));
+    Result<double> ap = ParseDouble(bn->Attr("ap"));
+    Result<double> gl = ParseDouble(bn->Attr("gl"));
+    if (!id.ok() || !inf.ok() || !ap.ok() || !gl.ok()) {
+      return Status::Corruption("bad blogger attributes in analysis");
+    }
+    if (*id != static_cast<int64_t>(s->influence.size())) {
+      return Status::Corruption("non-dense blogger ids in analysis");
+    }
+    s->influence.push_back(*inf);
+    s->accumulated_post.push_back(*ap);
+    s->general_links.push_back(*gl);
+    MASS_ASSIGN_OR_RETURN(std::vector<double> dv,
+                          DoublesFromString(bn->ChildText("domains")));
+    if (dv.size() != s->num_domains) {
+      return Status::Corruption("domain vector length mismatch");
+    }
+    s->domain_influence.push_back(std::move(dv));
+    if (v2) {
+      Result<int64_t> posts = ParseInt64(bn->Attr("posts"));
+      Result<int64_t> crecv = ParseInt64(bn->Attr("crecv"));
+      Result<int64_t> cwrit = ParseInt64(bn->Attr("cwrit"));
+      if (!posts.ok() || !crecv.ok() || !cwrit.ok() || *posts < 0 ||
+          *crecv < 0 || *cwrit < 0) {
+        return Status::Corruption("bad blogger count attributes in analysis");
+      }
+      s->blogger_post_counts.push_back(static_cast<uint32_t>(*posts));
+      s->blogger_comments_received.push_back(static_cast<uint32_t>(*crecv));
+      s->blogger_comments_written.push_back(static_cast<uint32_t>(*cwrit));
+      s->blogger_names.push_back(std::string(bn->ChildText("name")));
+      s->blogger_urls.push_back(std::string(bn->ChildText("url")));
     }
   }
-  return TopKByScore(scores, k);
-}
-
-std::vector<ScoredBlogger> AnalysisSnapshot::TopKGeneral(size_t k) const {
-  return TopKByScore(influence, k);
-}
-
-AnalysisSnapshot SnapshotFrom(const MassEngine& engine) {
-  AnalysisSnapshot s;
-  s.num_domains = engine.num_domains();
-  const size_t nb = engine.corpus().num_bloggers();
-  s.influence.resize(nb);
-  s.accumulated_post.resize(nb);
-  s.general_links.resize(nb);
-  s.domain_influence.resize(nb);
-  for (BloggerId b = 0; b < nb; ++b) {
-    s.influence[b] = engine.InfluenceOf(b);
-    s.accumulated_post[b] = engine.AccumulatedPostOf(b);
-    s.general_links[b] = engine.GeneralLinksOf(b);
-    s.domain_influence[b] = engine.DomainVectorOf(b);
+  if (!v2) {
+    // Version 1 carried no display metadata; serve empty strings / zero
+    // counts so the snapshot still checks out dimensionally.
+    const size_t nb = s->num_bloggers();
+    s->blogger_names.assign(nb, std::string());
+    s->blogger_urls.assign(nb, std::string());
+    s->blogger_post_counts.assign(nb, 0);
+    s->blogger_comments_received.assign(nb, 0);
+    s->blogger_comments_written.assign(nb, 0);
   }
-  return s;
+  return Status::OK();
 }
+
+Status ParsePosts(const xml::XmlNode& root, AnalysisSnapshot* s) {
+  for (const xml::XmlNode* pn : root.Children("post")) {
+    Result<int64_t> id = ParseInt64(pn->Attr("id"));
+    Result<int64_t> author = ParseInt64(pn->Attr("author"));
+    Result<int64_t> ts = ParseInt64(pn->Attr("ts"));
+    Result<double> inf = ParseDouble(pn->Attr("inf"));
+    Result<double> quality = ParseDouble(pn->Attr("q"));
+    if (!id.ok() || !author.ok() || !ts.ok() || !inf.ok() || !quality.ok()) {
+      return Status::Corruption("bad post attributes in analysis");
+    }
+    if (*id != static_cast<int64_t>(s->post_influence.size())) {
+      return Status::Corruption("non-dense post ids in analysis");
+    }
+    if (*author < 0 ||
+        *author >= static_cast<int64_t>(s->num_bloggers())) {
+      return Status::Corruption("post author out of range in analysis");
+    }
+    s->post_influence.push_back(*inf);
+    s->post_quality.push_back(*quality);
+    s->post_authors.push_back(static_cast<BloggerId>(*author));
+    s->post_timestamps.push_back(*ts);
+    s->post_titles.push_back(std::string(pn->ChildText("title")));
+    MASS_ASSIGN_OR_RETURN(std::vector<double> iv,
+                          DoublesFromString(pn->ChildText("iv")));
+    if (iv.size() != s->num_domains) {
+      return Status::Corruption("interest vector length mismatch");
+    }
+    s->post_interests.push_back(std::move(iv));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 std::string AnalysisToXml(const AnalysisSnapshot& snapshot) {
   std::ostringstream os;
   xml::XmlWriter w(os);
   w.StartDocument();
   w.StartElement("analysis");
-  w.Attribute("version", int64_t{1});
+  w.Attribute("version", int64_t{2});
   w.Attribute("domains", static_cast<int64_t>(snapshot.num_domains));
+  w.Attribute("sequence", static_cast<int64_t>(snapshot.sequence));
+  w.Attribute("produced_by", snapshot.produced_by);
   for (size_t b = 0; b < snapshot.num_bloggers(); ++b) {
     w.StartElement("blogger");
     w.Attribute("id", static_cast<int64_t>(b));
     w.Attribute("inf", snapshot.influence[b]);
     w.Attribute("ap", snapshot.accumulated_post[b]);
     w.Attribute("gl", snapshot.general_links[b]);
+    w.Attribute("posts", static_cast<int64_t>(snapshot.blogger_post_counts[b]));
+    w.Attribute("crecv",
+                static_cast<int64_t>(snapshot.blogger_comments_received[b]));
+    w.Attribute("cwrit",
+                static_cast<int64_t>(snapshot.blogger_comments_written[b]));
+    w.SimpleElement("name", snapshot.blogger_names[b]);
+    w.SimpleElement("url", snapshot.blogger_urls[b]);
     w.SimpleElement("domains", DoublesToString(snapshot.domain_influence[b]));
     w.EndElement();
+  }
+  for (size_t p = 0; p < snapshot.num_posts(); ++p) {
+    w.StartElement("post");
+    w.Attribute("id", static_cast<int64_t>(p));
+    w.Attribute("author", static_cast<int64_t>(snapshot.post_authors[p]));
+    w.Attribute("ts", snapshot.post_timestamps[p]);
+    w.Attribute("inf", snapshot.post_influence[p]);
+    w.Attribute("q", snapshot.post_quality[p]);
+    w.SimpleElement("title", snapshot.post_titles[p]);
+    w.SimpleElement("iv", DoublesToString(snapshot.post_interests[p]));
+    w.EndElement();
+  }
+  if (!snapshot.comment_sf.empty()) {
+    w.SimpleElement("comment_sf", DoublesToString(snapshot.comment_sf));
   }
   w.EndElement();
   return os.str();
@@ -92,33 +165,35 @@ Result<AnalysisSnapshot> AnalysisFromXml(std::string_view xml_text) {
   if (root->name != "analysis") {
     return Status::Corruption("expected <analysis> root");
   }
+  Result<int64_t> version = ParseInt64(root->Attr("version"));
+  if (!version.ok() || (*version != 1 && *version != 2)) {
+    return Status::Corruption("unsupported analysis version");
+  }
   AnalysisSnapshot s;
   Result<int64_t> nd = ParseInt64(root->Attr("domains"));
   if (!nd.ok() || *nd < 0) {
     return Status::Corruption("bad domains attribute");
   }
   s.num_domains = static_cast<size_t>(*nd);
-  for (const xml::XmlNode* bn : root->Children("blogger")) {
-    Result<int64_t> id = ParseInt64(bn->Attr("id"));
-    Result<double> inf = ParseDouble(bn->Attr("inf"));
-    Result<double> ap = ParseDouble(bn->Attr("ap"));
-    Result<double> gl = ParseDouble(bn->Attr("gl"));
-    if (!id.ok() || !inf.ok() || !ap.ok() || !gl.ok()) {
-      return Status::Corruption("bad blogger attributes in analysis");
-    }
-    if (*id != static_cast<int64_t>(s.influence.size())) {
-      return Status::Corruption("non-dense blogger ids in analysis");
-    }
-    s.influence.push_back(*inf);
-    s.accumulated_post.push_back(*ap);
-    s.general_links.push_back(*gl);
-    MASS_ASSIGN_OR_RETURN(std::vector<double> dv,
-                          DoublesFromString(bn->ChildText("domains")));
-    if (dv.size() != s.num_domains) {
-      return Status::Corruption("domain vector length mismatch");
-    }
-    s.domain_influence.push_back(std::move(dv));
+  const bool v2 = *version == 2;
+  if (v2) {
+    Result<int64_t> seq = ParseInt64(root->Attr("sequence"));
+    if (seq.ok() && *seq >= 0) s.sequence = static_cast<uint64_t>(*seq);
+    s.produced_by = std::string(root->Attr("produced_by"));
   }
+  if (s.produced_by.empty()) s.produced_by = "loaded";
+
+  MASS_RETURN_IF_ERROR(ParseBloggers(*root, &s, v2));
+  if (v2) {
+    MASS_RETURN_IF_ERROR(ParsePosts(*root, &s));
+    MASS_ASSIGN_OR_RETURN(s.comment_sf,
+                          DoublesFromString(root->ChildText("comment_sf")));
+  }
+  // Derived rankings are never stored: rebuild them, then cross-check the
+  // whole snapshot so a hand-edited or truncated file is rejected here
+  // rather than surfacing as a bad query result.
+  s.BuildDerived();
+  MASS_RETURN_IF_ERROR(s.CheckConsistent());
   return s;
 }
 
@@ -130,6 +205,13 @@ Status SaveAnalysis(const AnalysisSnapshot& snapshot,
 Result<AnalysisSnapshot> LoadAnalysis(const std::string& path) {
   MASS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
   return AnalysisFromXml(text);
+}
+
+Result<std::shared_ptr<const AnalysisSnapshot>> LoadAnalysisShared(
+    const std::string& path) {
+  MASS_ASSIGN_OR_RETURN(AnalysisSnapshot snapshot, LoadAnalysis(path));
+  return std::shared_ptr<const AnalysisSnapshot>(
+      std::make_shared<AnalysisSnapshot>(std::move(snapshot)));
 }
 
 }  // namespace mass

@@ -1,43 +1,43 @@
 // Persistence of analysis results. The demo saves and reloads state
 // between sessions ("the user can load the blogger data set that is
 // crawled offline"; the visualization "can be saved ... and be loaded in
-// future"); an AnalysisSnapshot captures everything the UI displays —
-// per-blogger total/AP/GL influence and the per-domain vectors — so a
-// front-end can serve queries without re-running the solver.
+// future"); an AnalysisSnapshot (core/analysis_snapshot.h) captures
+// everything the serving layer displays, so a front-end can answer
+// queries from a loaded file without re-running the solver — construct a
+// QueryService over the loaded snapshot directly.
+//
+// Format version 2 stores the full serving surface: per-blogger scores
+// plus display metadata (name, url, post/comment counts), per-post
+// scores, interest vectors, titles and timestamps, and the per-comment SF
+// factors. Version-1 files (blogger scores only) still load; their
+// post-level surfaces stay empty, which serves blogger rankings fine but
+// makes post queries return empty results. The derived rankings are
+// rebuilt on load (BuildDerived), never stored — they are cheap to
+// recompute and deterministic.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
-#include "core/influence_engine.h"
+#include "core/analysis_snapshot.h"
 
 namespace mass {
 
-/// The queryable output of one MassEngine::Analyze run.
-struct AnalysisSnapshot {
-  size_t num_domains = 0;
-  std::vector<double> influence;                    // [blogger]
-  std::vector<double> accumulated_post;             // [blogger]
-  std::vector<double> general_links;                // [blogger]
-  std::vector<std::vector<double>> domain_influence;  // [blogger][domain]
-
-  size_t num_bloggers() const { return influence.size(); }
-
-  /// Top-k over a stored domain column (same tie rules as the engine).
-  std::vector<ScoredBlogger> TopKDomain(size_t domain, size_t k) const;
-  std::vector<ScoredBlogger> TopKGeneral(size_t k) const;
-};
-
-/// Captures an analyzed engine's scores.
-AnalysisSnapshot SnapshotFrom(const MassEngine& engine);
-
-/// XML round trip.
+/// XML round trip. Serialization does not persist the derived indexes or
+/// publish_time; AnalysisFromXml rebuilds the former and leaves the
+/// latter unset.
 std::string AnalysisToXml(const AnalysisSnapshot& snapshot);
 Result<AnalysisSnapshot> AnalysisFromXml(std::string_view xml_text);
 
 /// File convenience wrappers.
 Status SaveAnalysis(const AnalysisSnapshot& snapshot, const std::string& path);
 Result<AnalysisSnapshot> LoadAnalysis(const std::string& path);
+
+/// LoadAnalysis + shared_ptr wrap: the form QueryService and Recommender
+/// consume ("serve a saved analysis").
+Result<std::shared_ptr<const AnalysisSnapshot>> LoadAnalysisShared(
+    const std::string& path);
 
 }  // namespace mass

@@ -93,19 +93,27 @@ double SpearmanCorrelation(const std::vector<double>& a,
   return cov / std::sqrt(var_a * var_b);
 }
 
-double MeanDomainNdcg(const MassEngine& engine, size_t k) {
-  const Corpus& corpus = engine.corpus();
+double MeanDomainNdcg(const AnalysisSnapshot& snapshot, const Corpus& corpus,
+                      size_t k) {
   double total = 0.0;
   size_t counted = 0;
-  for (size_t d = 0; d < engine.num_domains(); ++d) {
+  for (size_t d = 0; d < snapshot.num_domains; ++d) {
     std::vector<double> gains = GroundTruthGains(corpus, static_cast<int>(d));
     double ideal = 0.0;
     for (double g : gains) ideal += g;
     if (ideal <= 0.0) continue;  // domain absent from ground truth
-    total += NdcgAtK(engine.TopKDomain(d, k), gains, k);
+    Result<std::vector<ScoredBlogger>> top = snapshot.TopKDomain(d, k);
+    if (!top.ok()) continue;
+    total += NdcgAtK(*top, gains, k);
     ++counted;
   }
   return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double MeanDomainNdcg(const MassEngine& engine, size_t k) {
+  std::shared_ptr<const AnalysisSnapshot> snapshot = engine.CurrentSnapshot();
+  if (snapshot == nullptr) return 0.0;
+  return MeanDomainNdcg(*snapshot, engine.corpus(), k);
 }
 
 }  // namespace mass

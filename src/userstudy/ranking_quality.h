@@ -38,8 +38,15 @@ double NdcgAtK(const std::vector<ScoredBlogger>& ranking,
 double SpearmanCorrelation(const std::vector<double>& a,
                            const std::vector<double>& b);
 
-/// Convenience: mean NDCG@k of an engine's per-domain rankings against
-/// the planted ground truth, averaged over all domains.
+/// Convenience: mean NDCG@k of a published snapshot's per-domain rankings
+/// against the planted ground truth, averaged over all domains. The
+/// ground truth lives in the corpus (planted generator fields the
+/// snapshot intentionally does not carry), so both are required.
+double MeanDomainNdcg(const AnalysisSnapshot& snapshot, const Corpus& corpus,
+                      size_t k);
+
+/// Engine convenience overload: pins engine.CurrentSnapshot() and uses
+/// the engine's corpus. Returns 0 when nothing is published yet.
 double MeanDomainNdcg(const MassEngine& engine, size_t k);
 
 }  // namespace mass

@@ -44,6 +44,9 @@ Result<Table1Result> RunTable1Study(const Corpus& corpus,
   }
   MassEngine engine(&corpus, options.engine);
   MASS_RETURN_IF_ERROR(engine.Analyze(miner.get(), domain_set.size()));
+  // Rank from the published snapshot — the same surface the serving layer
+  // exposes, so the study scores exactly what production queries return.
+  std::shared_ptr<const AnalysisSnapshot> snapshot = engine.CurrentSnapshot();
 
   // Baseline rankings are domain-blind: one global top-k each.
   const size_t k = options.study.top_k;
@@ -67,7 +70,9 @@ Result<Table1Result> RunTable1Study(const Corpus& corpus,
   for (size_t d : options.domains) {
     general_row.scores.push_back(panel.AverageScore(general_top, d));
     live_row.scores.push_back(panel.AverageScore(live_top, d));
-    mass_row.scores.push_back(panel.AverageScore(engine.TopKDomain(d, k), d));
+    MASS_ASSIGN_OR_RETURN(std::vector<ScoredBlogger> mass_top,
+                          snapshot->TopKDomain(d, k));
+    mass_row.scores.push_back(panel.AverageScore(mass_top, d));
   }
   result.rows = {general_row, live_row, mass_row};
   return result;

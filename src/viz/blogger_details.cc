@@ -6,35 +6,36 @@
 
 namespace mass {
 
-BloggerDetails MakeBloggerDetails(const MassEngine& engine, BloggerId blogger,
-                                  size_t max_key_posts) {
-  const Corpus& corpus = engine.corpus();
+Result<BloggerDetails> MakeBloggerDetails(const AnalysisSnapshot& snapshot,
+                                          BloggerId blogger,
+                                          size_t max_key_posts) {
+  if (blogger >= snapshot.num_bloggers()) {
+    return Status::InvalidArgument(
+        StrFormat("blogger id %u out of range (snapshot has %zu bloggers)",
+                  blogger, snapshot.num_bloggers()));
+  }
   BloggerDetails d;
   d.id = blogger;
-  d.name = corpus.blogger(blogger).name;
-  d.url = corpus.blogger(blogger).url;
-  d.total_influence = engine.InfluenceOf(blogger);
-  d.general_links = engine.GeneralLinksOf(blogger);
-  d.accumulated_post = engine.AccumulatedPostOf(blogger);
-  d.domain_influence = engine.DomainVectorOf(blogger);
-  d.num_posts = corpus.PostsBy(blogger).size();
-  d.num_comments_written = corpus.TotalComments(blogger);
-  for (PostId pid : corpus.PostsBy(blogger)) {
-    d.num_comments_received += corpus.CommentsOn(pid).size();
-  }
+  d.name = snapshot.blogger_names[blogger];
+  d.url = snapshot.blogger_urls[blogger];
+  d.total_influence = snapshot.influence[blogger];
+  d.general_links = snapshot.general_links[blogger];
+  d.accumulated_post = snapshot.accumulated_post[blogger];
+  d.domain_influence = snapshot.domain_influence[blogger];
+  d.num_posts = snapshot.blogger_post_counts[blogger];
+  d.num_comments_received = snapshot.blogger_comments_received[blogger];
+  d.num_comments_written = snapshot.blogger_comments_written[blogger];
 
-  std::vector<BloggerDetails::KeyPost> posts;
-  for (PostId pid : corpus.PostsBy(blogger)) {
-    posts.push_back(BloggerDetails::KeyPost{
-        pid, corpus.post(pid).title, engine.PostInfluenceOf(pid)});
+  // Key posts come from the snapshot's precomputed per-blogger index
+  // (already sorted best-first, ties toward smaller post ids).
+  const std::vector<RankedPost>& ranked = snapshot.blogger_key_posts[blogger];
+  const size_t n = std::min(max_key_posts, ranked.size());
+  d.key_posts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.key_posts.push_back(
+        BloggerDetails::KeyPost{ranked[i].id, ranked[i].title,
+                                ranked[i].score});
   }
-  std::sort(posts.begin(), posts.end(),
-            [](const auto& a, const auto& b) {
-              if (a.influence != b.influence) return a.influence > b.influence;
-              return a.id < b.id;
-            });
-  if (posts.size() > max_key_posts) posts.resize(max_key_posts);
-  d.key_posts = std::move(posts);
   return d;
 }
 

@@ -7,7 +7,8 @@
 #include <string>
 #include <vector>
 
-#include "core/influence_engine.h"
+#include "common/result.h"
+#include "core/analysis_snapshot.h"
 #include "model/corpus.h"
 
 namespace mass {
@@ -34,10 +35,15 @@ struct BloggerDetails {
   std::vector<KeyPost> key_posts;
 };
 
-/// Assembles the details for `blogger` from an analyzed engine.
-/// `max_key_posts` bounds the "link to important posts" list.
-BloggerDetails MakeBloggerDetails(const MassEngine& engine, BloggerId blogger,
-                                  size_t max_key_posts = 3);
+/// Assembles the details for `blogger` from a published analysis snapshot
+/// (pin one with MassEngine::CurrentSnapshot() or serve it from a loaded
+/// file). Reads only the snapshot — safe concurrent with ingest.
+/// `max_key_posts` bounds the "link to important posts" list; at most
+/// AnalysisSnapshot::kKeyPostsPerBlogger are precomputed per blogger.
+/// InvalidArgument for an out-of-range blogger id.
+Result<BloggerDetails> MakeBloggerDetails(const AnalysisSnapshot& snapshot,
+                                          BloggerId blogger,
+                                          size_t max_key_posts = 3);
 
 /// Multi-line human-readable rendering; domain names come from `domains`.
 std::string RenderBloggerDetails(const BloggerDetails& details,

@@ -210,7 +210,7 @@ TEST(AnalysisSnapshotTest, RoundTripPreservesScores) {
   MassEngine engine(&*r);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
 
-  AnalysisSnapshot snap = SnapshotFrom(engine);
+  AnalysisSnapshot snap = *engine.CurrentSnapshot();
   auto loaded = AnalysisFromXml(AnalysisToXml(snap));
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   ASSERT_EQ(loaded->num_bloggers(), snap.num_bloggers());
@@ -234,18 +234,20 @@ TEST(AnalysisSnapshotTest, TopKMatchesEngine) {
   ASSERT_TRUE(r.ok());
   MassEngine engine(&*r);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  AnalysisSnapshot snap = SnapshotFrom(engine);
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+  ASSERT_NE(snap, nullptr);
 
   auto engine_top = engine.TopKGeneral(5);
-  auto snap_top = snap.TopKGeneral(5);
+  auto snap_top = snap->TopKGeneral(5);
   ASSERT_EQ(engine_top.size(), snap_top.size());
   for (size_t i = 0; i < engine_top.size(); ++i) {
     EXPECT_EQ(engine_top[i].id, snap_top[i].id);
   }
   for (size_t d = 0; d < 10; ++d) {
     auto ed = engine.TopKDomain(d, 3);
-    auto sd = snap.TopKDomain(d, 3);
-    for (size_t i = 0; i < ed.size(); ++i) EXPECT_EQ(ed[i].id, sd[i].id);
+    auto sd = snap->TopKDomain(d, 3);
+    ASSERT_TRUE(sd.ok()) << sd.status();
+    for (size_t i = 0; i < ed.size(); ++i) EXPECT_EQ(ed[i].id, (*sd)[i].id);
   }
 }
 
@@ -266,7 +268,7 @@ TEST(AnalysisSnapshotTest, FileRoundTrip) {
   Corpus c = synth::MakeFigure1Corpus();
   MassEngine engine(&c);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  AnalysisSnapshot snap = SnapshotFrom(engine);
+  AnalysisSnapshot snap = *engine.CurrentSnapshot();
   std::string path = testing::TempDir() + "/mass_analysis_test.xml";
   ASSERT_TRUE(SaveAnalysis(snap, path).ok());
   auto loaded = LoadAnalysis(path);

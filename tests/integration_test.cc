@@ -79,9 +79,12 @@ TEST(IntegrationTest, FullPipelineEndToEnd) {
   ASSERT_TRUE(net2.ok());
   EXPECT_EQ(net2->nodes().size(), net.nodes().size());
 
-  // 7. Details pop-up for the top recommended blogger.
-  BloggerDetails details = MakeBloggerDetails(engine, ad->bloggers[0].id);
-  EXPECT_GT(details.total_influence, 0.0);
+  // 7. Details pop-up for the top recommended blogger, served from the
+  // published snapshot.
+  auto details = MakeBloggerDetails(*engine.CurrentSnapshot(),
+                                    ad->bloggers[0].id);
+  ASSERT_TRUE(details.ok()) << details.status();
+  EXPECT_GT(details->total_influence, 0.0);
 }
 
 TEST(IntegrationTest, ClassifierRecoversPlantedDomains) {

@@ -1,0 +1,586 @@
+// Read/write-split tests: AnalysisSnapshot parity with the live engine on
+// the full facet-ablation grid, checked accessors, deterministic rankings
+// across solver paths, the QueryService front-end, publish/rollback
+// semantics, XML round-trip serving, serve metrics, and the concurrency
+// contract (reader threads pinning snapshots while the write path ingests
+// and retunes — the suite to run under MASS_SANITIZE=thread).
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis_snapshot.h"
+#include "core/influence_engine.h"
+#include "crawler/delta_stream.h"
+#include "crawler/synthetic_host.h"
+#include "model/corpus_delta.h"
+#include "serve/query_service.h"
+#include "storage/analysis_xml.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+Corpus SourceCorpus(uint64_t seed = 11, size_t bloggers = 60,
+                    size_t posts = 240) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = bloggers;
+  o.target_posts = posts;
+  auto r = synth::GenerateBlogosphere(o);
+  if (!r.ok()) std::abort();
+  return std::move(*r);
+}
+
+std::vector<std::string> AllUrls(const SyntheticBlogHost& host,
+                                 const Corpus& src) {
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+  return urls;
+}
+
+// ---------- snapshot parity with the live engine ----------
+
+// The acceptance bar of the refactor: on every combination of the four
+// facet toggles, the published snapshot must reproduce the live engine's
+// reads to <= 1e-12 on every score surface, and its precomputed rankings
+// must list the same bloggers in the same order as the engine's top-k.
+TEST(ServeParityTest, SnapshotMatchesEngineOnFacetAblationGrid) {
+  Corpus corpus = SourceCorpus(21, 50, 200);
+  const size_t nd = 10;
+  for (int mask = 0; mask < 16; ++mask) {
+    SCOPED_TRACE("facet mask " + std::to_string(mask));
+    EngineOptions opts;
+    opts.use_citation = (mask & 1) != 0;
+    opts.use_attitude = (mask & 2) != 0;
+    opts.use_novelty = (mask & 4) != 0;
+    opts.use_tc_normalization = (mask & 8) != 0;
+    MassEngine engine(&corpus, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, nd).ok());
+
+    std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+    ASSERT_NE(snap, nullptr);
+    ASSERT_TRUE(snap->CheckConsistent().ok());
+    ASSERT_EQ(snap->num_bloggers(), corpus.num_bloggers());
+    ASSERT_EQ(snap->num_posts(), corpus.num_posts());
+    ASSERT_EQ(snap->num_domains, nd);
+
+    for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+      ASSERT_NEAR(*snap->InfluenceOf(b), engine.InfluenceOf(b), 1e-12);
+      ASSERT_NEAR(*snap->GeneralLinksOf(b), engine.GeneralLinksOf(b), 1e-12);
+      ASSERT_NEAR(*snap->AccumulatedPostOf(b), engine.AccumulatedPostOf(b),
+                  1e-12);
+      for (size_t d = 0; d < nd; ++d) {
+        ASSERT_NEAR(*snap->DomainInfluenceOf(b, d),
+                    engine.DomainInfluenceOf(b, d), 1e-12);
+      }
+    }
+    for (PostId p = 0; p < corpus.num_posts(); ++p) {
+      ASSERT_NEAR(*snap->PostInfluenceOf(p), engine.PostInfluenceOf(p),
+                  1e-12);
+    }
+    for (CommentId c = 0; c < corpus.num_comments(); ++c) {
+      ASSERT_NEAR(*snap->CommentFactorOf(c), engine.CommentFactorOf(c),
+                  1e-12);
+    }
+
+    auto engine_top = engine.TopKGeneral(10);
+    auto snap_top = snap->TopKGeneral(10);
+    ASSERT_EQ(engine_top.size(), snap_top.size());
+    for (size_t i = 0; i < engine_top.size(); ++i) {
+      EXPECT_EQ(engine_top[i].id, snap_top[i].id);
+      EXPECT_NEAR(engine_top[i].score, snap_top[i].score, 1e-12);
+    }
+    for (size_t d = 0; d < nd; ++d) {
+      auto ed = engine.TopKDomain(d, 5);
+      auto sd = snap->TopKDomain(d, 5);
+      ASSERT_TRUE(sd.ok());
+      ASSERT_EQ(ed.size(), sd->size());
+      for (size_t i = 0; i < ed.size(); ++i) {
+        EXPECT_EQ(ed[i].id, (*sd)[i].id) << "d=" << d << " i=" << i;
+      }
+    }
+  }
+}
+
+// Scalar and compiled (CSR) solves publish identical ranking id sequences:
+// the tie-break is by blogger id everywhere, and both paths converge to
+// the same fixed point well below ranking granularity.
+TEST(ServeParityTest, SolverPathsPublishIdenticalRankings) {
+  Corpus corpus = SourceCorpus(22, 60, 240);
+  EngineOptions tight;
+  tight.tolerance = 1e-12;
+  tight.max_iterations = 300;
+
+  EngineOptions scalar = tight;
+  scalar.use_compiled_solver = false;
+  MassEngine scalar_engine(&corpus, scalar);
+  ASSERT_TRUE(scalar_engine.Analyze(nullptr, 10).ok());
+
+  EngineOptions csr = tight;
+  csr.use_compiled_solver = true;
+  MassEngine csr_engine(&corpus, csr);
+  ASSERT_TRUE(csr_engine.Analyze(nullptr, 10).ok());
+
+  std::shared_ptr<const AnalysisSnapshot> a = scalar_engine.CurrentSnapshot();
+  std::shared_ptr<const AnalysisSnapshot> b = csr_engine.CurrentSnapshot();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  ASSERT_EQ(a->general_ranking.size(), b->general_ranking.size());
+  for (size_t i = 0; i < a->general_ranking.size(); ++i) {
+    ASSERT_EQ(a->general_ranking[i].id, b->general_ranking[i].id)
+        << "rank " << i;
+  }
+  ASSERT_EQ(a->domain_rankings.size(), b->domain_rankings.size());
+  for (size_t d = 0; d < a->domain_rankings.size(); ++d) {
+    ASSERT_EQ(a->domain_rankings[d].size(), b->domain_rankings[d].size());
+    for (size_t i = 0; i < a->domain_rankings[d].size(); ++i) {
+      ASSERT_EQ(a->domain_rankings[d][i].id, b->domain_rankings[d][i].id)
+          << "d=" << d << " rank " << i;
+    }
+  }
+  for (size_t d = 0; d < a->domain_top_posts.size(); ++d) {
+    ASSERT_EQ(a->domain_top_posts[d].size(), b->domain_top_posts[d].size());
+    for (size_t i = 0; i < a->domain_top_posts[d].size(); ++i) {
+      ASSERT_EQ(a->domain_top_posts[d][i].id, b->domain_top_posts[d][i].id)
+          << "d=" << d << " rank " << i;
+    }
+  }
+}
+
+// ---------- checked accessors (snapshot) vs clamping (engine) ----------
+
+TEST(ServeAccessorTest, SnapshotRejectsOutOfRangeIds) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+  ASSERT_NE(snap, nullptr);
+
+  const BloggerId bad_b = static_cast<BloggerId>(snap->num_bloggers());
+  const PostId bad_p = static_cast<PostId>(snap->num_posts());
+  const CommentId bad_c = static_cast<CommentId>(snap->num_comments());
+
+  EXPECT_TRUE(snap->InfluenceOf(bad_b).status().IsInvalidArgument());
+  EXPECT_TRUE(snap->GeneralLinksOf(bad_b).status().IsInvalidArgument());
+  EXPECT_TRUE(snap->AccumulatedPostOf(bad_b).status().IsInvalidArgument());
+  EXPECT_TRUE(snap->PostInfluenceOf(bad_p).status().IsInvalidArgument());
+  EXPECT_TRUE(snap->PostQualityOf(bad_p).status().IsInvalidArgument());
+  EXPECT_TRUE(snap->CommentFactorOf(bad_c).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      snap->DomainInfluenceOf(bad_b, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(snap->DomainInfluenceOf(0, snap->num_domains)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(snap->DomainVectorOf(bad_b), nullptr);
+  EXPECT_EQ(snap->PostInterestsOf(bad_p), nullptr);
+  EXPECT_EQ(snap->InterestsOfBlogger(bad_b), nullptr);
+  EXPECT_TRUE(snap->TopKDomain(snap->num_domains, 3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(snap->TopPostsOfDomain(snap->num_domains, 3)
+                  .status()
+                  .IsInvalidArgument());
+
+  // In-range accessors succeed.
+  ASSERT_TRUE(snap->InfluenceOf(0).ok());
+  ASSERT_TRUE(snap->DomainInfluenceOf(0, 0).ok());
+  ASSERT_NE(snap->DomainVectorOf(0), nullptr);
+}
+
+// Regression: the live-engine accessors clamp out-of-range ids instead of
+// reading past the end (the pre-refactor behaviour was UB).
+TEST(ServeAccessorTest, EngineClampsOutOfRangeIds) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  const BloggerId bad_b = static_cast<BloggerId>(corpus.num_bloggers() + 7);
+  const PostId bad_p = static_cast<PostId>(corpus.num_posts() + 7);
+  const CommentId bad_c = static_cast<CommentId>(corpus.num_comments() + 7);
+  EXPECT_EQ(engine.InfluenceOf(bad_b), 0.0);
+  EXPECT_EQ(engine.GeneralLinksOf(bad_b), 0.0);
+  EXPECT_EQ(engine.AccumulatedPostOf(bad_b), 0.0);
+  EXPECT_EQ(engine.PostInfluenceOf(bad_p), 0.0);
+  EXPECT_EQ(engine.CommentFactorOf(bad_c), 0.0);
+  EXPECT_EQ(engine.DomainInfluenceOf(bad_b, 0), 0.0);
+  EXPECT_EQ(engine.DomainInfluenceOf(0, 99), 0.0);
+  EXPECT_TRUE(engine.DomainVectorOf(bad_b).empty());
+  EXPECT_TRUE(engine.PostInterestsOf(bad_p).empty());
+}
+
+// ---------- publish lifecycle ----------
+
+TEST(ServePublishTest, NothingPublishedBeforeAnalyze) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  EXPECT_EQ(engine.CurrentSnapshot(), nullptr);
+  QueryService service(&engine);
+  EXPECT_EQ(service.Pin(), nullptr);
+  EXPECT_TRUE(service.TopGeneral(3).status().IsFailedPrecondition());
+  EXPECT_TRUE(service.Details(0).status().IsFailedPrecondition());
+  EXPECT_TRUE(service.Trends(4).status().IsFailedPrecondition());
+}
+
+TEST(ServePublishTest, SequenceAdvancesAcrossWritePathCalls) {
+  Corpus src = SourceCorpus(15, 30, 120);
+  SyntheticBlogHost host(&src);
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  std::shared_ptr<const AnalysisSnapshot> s1 = engine.CurrentSnapshot();
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->sequence, 1u);
+  EXPECT_EQ(s1->produced_by, "analyze");
+
+  EngineOptions retuned;
+  retuned.alpha = 0.7;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+  std::shared_ptr<const AnalysisSnapshot> s2 = engine.CurrentSnapshot();
+  EXPECT_EQ(s2->sequence, 2u);
+  EXPECT_EQ(s2->produced_by, "retune");
+
+  DeltaStream stream(&host, AllUrls(host, src),
+                     DeltaStreamOptions{.batch_pages = src.num_bloggers()});
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  std::shared_ptr<const AnalysisSnapshot> s3 = engine.CurrentSnapshot();
+  EXPECT_EQ(s3->sequence, 3u);
+  EXPECT_EQ(s3->produced_by, "ingest");
+  EXPECT_EQ(s3->num_bloggers(), src.num_bloggers());
+
+  // Retired snapshots stay pinned and frozen.
+  EXPECT_EQ(s1->sequence, 1u);
+  EXPECT_EQ(s1->num_bloggers(), 0u);
+  EXPECT_EQ(s2->num_bloggers(), 0u);
+}
+
+// A failed (rolled-back) ingest must not publish: readers keep seeing the
+// exact pre-ingest snapshot object.
+TEST(ServePublishTest, RolledBackIngestKeepsPriorSnapshot) {
+  Corpus src = SourceCorpus(16, 30, 120);
+  SyntheticBlogHost host(&src);
+  Corpus grown;
+  grown.BuildIndexes();
+  EngineOptions opts;
+  MassEngine engine(&grown, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  DeltaStream stream(&host, AllUrls(host, src),
+                     DeltaStreamOptions{.batch_pages = src.num_bloggers()});
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+
+  // Arm the resource guard so the ingest fails deep in the pipeline and
+  // rolls back transactionally.
+  EngineOptions armed = opts;
+  armed.ingest_max_matrix_nnz = 1;
+  ASSERT_TRUE(engine.Retune(armed).ok());
+  std::shared_ptr<const AnalysisSnapshot> before = engine.CurrentSnapshot();
+  ASSERT_NE(before, nullptr);
+
+  Status failed = engine.IngestDelta(*delta, nullptr);
+  ASSERT_TRUE(failed.IsAborted()) << failed.ToString();
+
+  // Same object, same sequence — the rollback republished nothing.
+  EXPECT_EQ(engine.CurrentSnapshot().get(), before.get());
+  EXPECT_EQ(engine.CurrentSnapshot()->sequence, before->sequence);
+
+  // Disarm and ingest for real: a fresh snapshot appears.
+  ASSERT_TRUE(engine.Retune(opts).ok());
+  ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  EXPECT_GT(engine.CurrentSnapshot()->sequence, before->sequence);
+  EXPECT_EQ(engine.CurrentSnapshot()->num_bloggers(), grown.num_bloggers());
+}
+
+// ---------- QueryService results ----------
+
+TEST(QueryServiceTest, QueriesMatchSnapshotSurfaces) {
+  Corpus corpus = SourceCorpus(23, 50, 200);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+  std::shared_ptr<const AnalysisSnapshot> snap = service.Pin();
+  ASSERT_NE(snap, nullptr);
+
+  auto top = service.TopGeneral(5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 5u);
+  EXPECT_EQ((*top)[0].id, snap->general_ranking[0].id);
+
+  auto by_domain = service.TopByDomain(3, 5);
+  ASSERT_TRUE(by_domain.ok());
+  auto expected = snap->TopKDomain(3, 5);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(by_domain->size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*by_domain)[i].id, (*expected)[i].id);
+  }
+  EXPECT_TRUE(service.TopByDomain(99, 5).status().IsInvalidArgument());
+
+  std::vector<double> weights(10, 0.0);
+  weights[3] = 1.0;
+  auto matched = service.MatchAdvertisement(weights, 5);
+  ASSERT_TRUE(matched.ok());
+  // A pure single-domain ad reduces to the domain ranking.
+  for (size_t i = 0; i < matched->size(); ++i) {
+    EXPECT_EQ((*matched)[i].id, (*by_domain)[i].id);
+  }
+  EXPECT_TRUE(service.MatchAdvertisement({}, 5).status().IsInvalidArgument());
+
+  auto posts = service.TopPosts(3, 5);
+  ASSERT_TRUE(posts.ok());
+  for (size_t i = 1; i < posts->size(); ++i) {
+    EXPECT_GE((*posts)[i - 1].score, (*posts)[i].score);
+  }
+
+  BloggerId top_blogger = (*top)[0].id;
+  auto details = service.Details(top_blogger);
+  ASSERT_TRUE(details.ok());
+  EXPECT_EQ(details->name, snap->blogger_names[top_blogger]);
+  EXPECT_GT(details->total_influence, 0.0);
+  EXPECT_TRUE(service.Details(static_cast<BloggerId>(corpus.num_bloggers()))
+                  .status()
+                  .IsInvalidArgument());
+
+  auto similar = service.SimilarInfluencers(top_blogger, 5);
+  ASSERT_TRUE(similar.ok());
+  for (const ScoredBlogger& sb : *similar) {
+    EXPECT_NE(sb.id, top_blogger);
+  }
+
+  auto trends = service.Trends(4);
+  ASSERT_TRUE(trends.ok());
+  EXPECT_EQ(trends->num_buckets(), 4u);
+}
+
+// ---------- XML round-trip serving ----------
+
+TEST(QueryServiceTest, ServesLoadedAnalysisIdentically) {
+  Corpus corpus = SourceCorpus(24, 40, 160);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService live(&engine);
+
+  std::string path = testing::TempDir() + "/serve_roundtrip.xml";
+  ASSERT_TRUE(SaveAnalysis(*engine.CurrentSnapshot(), path).ok());
+  auto loaded = LoadAnalysisShared(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE((*loaded)->CheckConsistent().ok());
+  QueryService offline(*loaded);
+
+  auto live_top = live.TopGeneral(10);
+  auto off_top = offline.TopGeneral(10);
+  ASSERT_TRUE(live_top.ok());
+  ASSERT_TRUE(off_top.ok());
+  ASSERT_EQ(live_top->size(), off_top->size());
+  for (size_t i = 0; i < live_top->size(); ++i) {
+    EXPECT_EQ((*live_top)[i].id, (*off_top)[i].id);
+    EXPECT_NEAR((*live_top)[i].score, (*off_top)[i].score, 1e-12);
+  }
+  for (size_t d = 0; d < 10; ++d) {
+    auto lt = live.TopByDomain(d, 5);
+    auto ot = offline.TopByDomain(d, 5);
+    ASSERT_TRUE(lt.ok());
+    ASSERT_TRUE(ot.ok());
+    ASSERT_EQ(lt->size(), ot->size());
+    for (size_t i = 0; i < lt->size(); ++i) {
+      EXPECT_EQ((*lt)[i].id, (*ot)[i].id);
+    }
+    auto lp = live.TopPosts(d, 5);
+    auto op = offline.TopPosts(d, 5);
+    ASSERT_TRUE(lp.ok());
+    ASSERT_TRUE(op.ok());
+    ASSERT_EQ(lp->size(), op->size());
+    for (size_t i = 0; i < lp->size(); ++i) {
+      EXPECT_EQ((*lp)[i].id, (*op)[i].id);
+      EXPECT_EQ((*lp)[i].title, (*op)[i].title);
+    }
+  }
+  auto details = offline.Details((*off_top)[0].id);
+  ASSERT_TRUE(details.ok());
+  EXPECT_FALSE(details->name.empty());
+}
+
+// ---------- serve metrics ----------
+
+TEST(ServeMetricsTest, PublishAndQueryMetricsRecorded) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  {
+    obs::MetricsSnapshot m = engine.metrics()->Snapshot();
+    EXPECT_EQ(m.CounterValue("serve.snapshot.publishes"), 1u);
+    const obs::HistogramSample* publish_us =
+        m.FindHistogram("serve.snapshot.publish_us");
+    ASSERT_NE(publish_us, nullptr);
+    EXPECT_EQ(publish_us->count, 1u);
+  }
+
+  QueryService service(&engine);
+  ASSERT_TRUE(service.TopGeneral(3).ok());
+  ASSERT_TRUE(service.TopByDomain(0, 3).ok());
+  ASSERT_TRUE(service.Details(0).ok());
+
+  obs::MetricsSnapshot m = engine.metrics()->Snapshot();
+  EXPECT_EQ(m.CounterValue("serve.queries_total"), 3u);
+  const obs::HistogramSample* latency =
+      m.FindHistogram("serve.query.latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 3u);
+  const obs::HistogramSample* age = m.FindHistogram("serve.snapshot.age_us");
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ(age->count, 3u);
+
+  ASSERT_TRUE(engine.Retune(EngineOptions{}).ok());
+  EXPECT_EQ(engine.metrics()->Snapshot().CounterValue(
+                "serve.snapshot.publishes"),
+            2u);
+}
+
+// ---------- concurrency: readers vs the write path ----------
+
+// The TSan centerpiece: reader threads hammer the QueryService while the
+// main thread streams deltas into the engine and retunes it. Every pinned
+// snapshot must be internally consistent (no torn publish), sequences must
+// be monotone per reader, and no query may fail once the first snapshot
+// exists.
+TEST(ServeConcurrencyTest, ReadersStayConsistentDuringIngestAndRetune) {
+  Corpus src = SourceCorpus(25, 60, 240);
+  SyntheticBlogHost host(&src);
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  QueryService service(&engine);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<bool> consistent{true};
+  std::atomic<bool> monotone{true};
+  std::atomic<bool> queries_ok{true};
+
+  const int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      uint64_t last_seq = 0;
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const AnalysisSnapshot> snap = service.Pin();
+        if (snap == nullptr) continue;
+        if (!snap->CheckConsistent().ok()) {
+          consistent.store(false, std::memory_order_relaxed);
+        }
+        if (snap->sequence < last_seq) {
+          monotone.store(false, std::memory_order_relaxed);
+        }
+        last_seq = snap->sequence;
+
+        if (!service.TopGeneral(5).ok() ||
+            !service.TopByDomain(i % 10, 5).ok() ||
+            !service.TopPosts(i % 10, 3).ok()) {
+          queries_ok.store(false, std::memory_order_relaxed);
+        }
+        // Details of a blogger known to exist in the pinned snapshot.
+        if (snap->num_bloggers() > 0 &&
+            !service.Details(static_cast<BloggerId>(
+                                 i % snap->num_bloggers()))
+                 .ok()) {
+          queries_ok.store(false, std::memory_order_relaxed);
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Write path: stream the whole source corpus in small batches, then
+  // retune twice — every step publishes a fresh snapshot under the
+  // readers' feet.
+  DeltaStream stream(&host, AllUrls(host, src),
+                     DeltaStreamOptions{.batch_pages = 10});
+  while (!stream.done()) {
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  EngineOptions retuned;
+  retuned.alpha = 0.8;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+  ASSERT_TRUE(engine.Retune(EngineOptions{}).ok());
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_TRUE(consistent.load()) << "a reader saw a torn snapshot";
+  EXPECT_TRUE(monotone.load()) << "a reader saw the sequence go backwards";
+  EXPECT_TRUE(queries_ok.load()) << "a query failed mid-ingest";
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(grown.num_bloggers(), src.num_bloggers());
+  EXPECT_EQ(engine.CurrentSnapshot()->num_bloggers(), src.num_bloggers());
+}
+
+// Rollback under readers: a failing ingest must leave every concurrent
+// reader on the prior snapshot with no transient inconsistency.
+TEST(ServeConcurrencyTest, ReadersUnaffectedByRolledBackIngest) {
+  Corpus src = SourceCorpus(26, 30, 120);
+  SyntheticBlogHost host(&src);
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  DeltaStream stream(&host, AllUrls(host, src),
+                     DeltaStreamOptions{.batch_pages = src.num_bloggers()});
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+
+  EngineOptions armed;
+  armed.ingest_max_matrix_nnz = 1;
+  ASSERT_TRUE(engine.Retune(armed).ok());
+  std::shared_ptr<const AnalysisSnapshot> before = engine.CurrentSnapshot();
+
+  QueryService service(&engine);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stable{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const AnalysisSnapshot> snap = service.Pin();
+        if (snap == nullptr || snap.get() != before.get() ||
+            !snap->CheckConsistent().ok()) {
+          stable.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < 5; ++i) {
+    Status failed = engine.IngestDelta(*delta, nullptr);
+    ASSERT_TRUE(failed.IsAborted()) << failed.ToString();
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+  EXPECT_TRUE(stable.load())
+      << "a rolled-back ingest leaked a snapshot change to readers";
+  EXPECT_EQ(engine.CurrentSnapshot().get(), before.get());
+}
+
+}  // namespace
+}  // namespace mass

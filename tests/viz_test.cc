@@ -2,6 +2,7 @@
 // ego networks, force layout, XML save/load, DOT export, blogger details.
 #include <gtest/gtest.h>
 
+#include "core/influence_engine.h"
 #include "synth/generator.h"
 #include "viz/blogger_details.h"
 #include "viz/post_reply_network.h"
@@ -244,15 +245,16 @@ TEST(BloggerDetailsTest, PopupFieldsPopulated) {
   MassEngine engine(&c);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
   BloggerId amery = c.FindBloggerByName("Amery");
-  BloggerDetails d = MakeBloggerDetails(engine, amery, 2);
-  EXPECT_EQ(d.name, "Amery");
-  EXPECT_GT(d.total_influence, 0.0);
-  EXPECT_EQ(d.num_posts, 2u);
-  EXPECT_EQ(d.num_comments_received, 3u);
-  EXPECT_EQ(d.num_comments_written, 0u);
-  ASSERT_EQ(d.key_posts.size(), 2u);
-  EXPECT_GE(d.key_posts[0].influence, d.key_posts[1].influence);
-  ASSERT_EQ(d.domain_influence.size(), 10u);
+  auto d = MakeBloggerDetails(*engine.CurrentSnapshot(), amery, 2);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->name, "Amery");
+  EXPECT_GT(d->total_influence, 0.0);
+  EXPECT_EQ(d->num_posts, 2u);
+  EXPECT_EQ(d->num_comments_received, 3u);
+  EXPECT_EQ(d->num_comments_written, 0u);
+  ASSERT_EQ(d->key_posts.size(), 2u);
+  EXPECT_GE(d->key_posts[0].influence, d->key_posts[1].influence);
+  ASSERT_EQ(d->domain_influence.size(), 10u);
 }
 
 TEST(BloggerDetailsTest, BloggerWithoutPosts) {
@@ -260,13 +262,14 @@ TEST(BloggerDetailsTest, BloggerWithoutPosts) {
   MassEngine engine(&c);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
   BloggerId leo = c.FindBloggerByName("Leo");
-  BloggerDetails d = MakeBloggerDetails(engine, leo);
-  EXPECT_EQ(d.num_posts, 0u);
-  EXPECT_TRUE(d.key_posts.empty());
-  EXPECT_EQ(d.num_comments_written, 1u);
-  EXPECT_DOUBLE_EQ(d.accumulated_post, 0.0);
+  auto d = MakeBloggerDetails(*engine.CurrentSnapshot(), leo);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->num_posts, 0u);
+  EXPECT_TRUE(d->key_posts.empty());
+  EXPECT_EQ(d->num_comments_written, 1u);
+  EXPECT_DOUBLE_EQ(d->accumulated_post, 0.0);
   // Rendering must not show an "important posts" section.
-  std::string text = RenderBloggerDetails(d, DomainSet::PaperDomains());
+  std::string text = RenderBloggerDetails(*d, DomainSet::PaperDomains());
   EXPECT_EQ(text.find("important posts"), std::string::npos);
 }
 
@@ -290,9 +293,10 @@ TEST(BloggerDetailsTest, RenderedTextMentionsDomains) {
   Corpus c = synth::MakeFigure1Corpus();
   MassEngine engine(&c);
   ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
-  BloggerDetails d =
-      MakeBloggerDetails(engine, c.FindBloggerByName("Amery"));
-  std::string text = RenderBloggerDetails(d, DomainSet::PaperDomains());
+  auto d = MakeBloggerDetails(*engine.CurrentSnapshot(),
+                              c.FindBloggerByName("Amery"));
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::string text = RenderBloggerDetails(*d, DomainSet::PaperDomains());
   EXPECT_NE(text.find("Amery"), std::string::npos);
   EXPECT_NE(text.find("Economics"), std::string::npos);
   EXPECT_NE(text.find("total influence"), std::string::npos);
