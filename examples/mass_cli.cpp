@@ -14,10 +14,12 @@
 //                      --out net.xml [--dot net.dot]
 //   mass_cli details   --in corpus.xml --name blogger0000
 //   mass_cli serve     --in corpus.xml [--readers 4] [--batch 32]
+//                      [--lease on|off]
 //   mass_cli serve     --analysis analysis.xml [--domain Sports]
 //
 // Run with no arguments for usage.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -27,7 +29,9 @@
 #include <vector>
 
 #include "classify/centroid_classifier.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "classify/naive_bayes.h"
 #include "classify/topic_discovery.h"
 #include "core/influence_engine.h"
@@ -478,17 +482,36 @@ int CmdServe(const Flags& flags) {
     return Fail(s);
   }
 
-  QueryService service(&engine);
+  // --lease off falls back to the PR 5 pin-per-query read path; --batch N
+  // answers queries in N-query batches so one lease check amortizes over
+  // the whole batch (0 = single queries).
+  const bool leased = flags.Get("lease", "on") != "off";
+  const size_t qbatch = static_cast<size_t>(flags.GetInt("batch", 0));
+  QueryServiceOptions qopts;
+  qopts.pin_policy = leased ? PinPolicy::kLeased : PinPolicy::kPinPerQuery;
+  QueryService service(&engine, qopts);
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> answered{0};
   int readers = static_cast<int>(flags.GetInt("readers", 4));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(readers));
   for (int t = 0; t < readers; ++t) {
-    threads.emplace_back([&service, &stop, &answered, k,
+    threads.emplace_back([&service, &stop, &answered, k, qbatch,
                           nd = domains.size()]() {
+      std::vector<BatchQuery> batch;
+      for (size_t i = 0; i < qbatch; ++i) {
+        batch.push_back(i % 2 == 0
+                            ? BatchQuery::TopGeneral(k)
+                            : BatchQuery::TopByDomain((i / 2) % nd, k));
+      }
       size_t i = 0;
       while (!stop.load(std::memory_order_relaxed)) {
+        if (!batch.empty()) {
+          if (service.RunBatch(batch).ok()) {
+            answered.fetch_add(batch.size(), std::memory_order_relaxed);
+          }
+          continue;
+        }
         if (service.TopGeneral(k).ok()) {
           answered.fetch_add(1, std::memory_order_relaxed);
         }
@@ -499,8 +522,48 @@ int CmdServe(const Flags& flags) {
     });
   }
 
+  // Periodic stats line: windowed QPS from the reader counter and p50/p99
+  // from the serve latency histogram delta over the same window.
+  std::thread stats([&engine, &stop, &answered, qbatch, readers, leased]() {
+    const char* metric =
+        qbatch > 0 ? "serve.batch.latency_us" : "serve.query.latency_us";
+    uint64_t last_answered = answered.load(std::memory_order_relaxed);
+    obs::MetricsSnapshot last = engine.metrics()->Snapshot();
+    Stopwatch sw;
+    double last_t = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const double now = sw.ElapsedSeconds();
+      if (now - last_t < 1.0) continue;
+      const uint64_t total = answered.load(std::memory_order_relaxed);
+      obs::MetricsSnapshot cur = engine.metrics()->Snapshot();
+      const double qps =
+          static_cast<double>(total - last_answered) / (now - last_t);
+      double p50 = 0.0;
+      double p99 = 0.0;
+      const obs::HistogramSample* h1 = cur.FindHistogram(metric);
+      const obs::HistogramSample* h0 = last.FindHistogram(metric);
+      if (h1 != nullptr) {
+        obs::HistogramSample w =
+            h0 != nullptr ? obs::HistogramDelta(*h1, *h0) : *h1;
+        p50 = w.P50();
+        p99 = w.P99();
+      }
+      std::printf("serve: %.2fM qps, %s p50 %.0fus p99 %.0fus, snapshot #%llu "
+                  "(readers=%d lease=%s batch=%llu)\n",
+                  qps / 1e6, qbatch > 0 ? "batch" : "query", p50, p99,
+                  static_cast<unsigned long long>(
+                      cur.CounterValue("serve.snapshot.publishes")),
+                  readers, leased ? "on" : "off",
+                  static_cast<unsigned long long>(qbatch));
+      last_answered = total;
+      last = std::move(cur);
+      last_t = now;
+    }
+  });
+
   DeltaStreamOptions sopts;
-  sopts.batch_pages = static_cast<size_t>(flags.GetInt("batch", 32));
+  sopts.batch_pages = static_cast<size_t>(flags.GetInt("pages", 32));
   DeltaStream stream(&host, urls, sopts);
   Status ingest_status;
   while (!stream.done() && ingest_status.ok()) {
@@ -513,6 +576,7 @@ int CmdServe(const Flags& flags) {
   }
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& th : threads) th.join();
+  stats.join();
   if (!ingest_status.ok()) return Fail(ingest_status);
 
   std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
@@ -555,8 +619,10 @@ void Usage() {
       "  viz        --in FILE [--center NAME --hops H] --out FILE [--dot "
       "FILE]\n"
       "  details    --in FILE --name NAME\n"
-      "  serve      --in FILE [--readers N] [--batch N] [--top K]\n"
-      "             [--analysis-out FILE]   (concurrent ingest + queries)\n"
+      "  serve      --in FILE [--readers N] [--batch N] [--lease on|off]\n"
+      "             [--pages N] [--top K] [--analysis-out FILE]\n"
+      "             (concurrent ingest + queries; --batch N answers queries\n"
+      "             in N-query batches, --lease off pins per query)\n"
       "  serve      --analysis FILE [--domain NAME] [--top K]   (no solver)\n");
 }
 

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <string>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "core/topk.h"
 
 namespace mass {
@@ -140,18 +144,55 @@ Result<std::vector<ScoredBlogger>> AnalysisSnapshot::TopKDomain(
 
 std::vector<ScoredBlogger> AnalysisSnapshot::TopKWeighted(
     const std::vector<double>& weights, size_t k) const {
+  return TopKByScore(Eq5ScoresSoA(*this, weights), k);
+}
+
+std::vector<double> Eq5ScoresScalar(const AnalysisSnapshot& snapshot,
+                                    const std::vector<double>& weights) {
   // Eq. 5: score(b) = sum_d Inf(b, d) * w_d, over the domains both sides
   // cover. Same fold as MassEngine::TopKWeighted, so results match the
   // live engine bit for bit.
-  std::vector<double> scores(num_bloggers(), 0.0);
-  for (size_t b = 0; b < domain_influence.size(); ++b) {
-    const auto& dv = domain_influence[b];
+  std::vector<double> scores(snapshot.num_bloggers(), 0.0);
+  for (size_t b = 0; b < snapshot.domain_influence.size(); ++b) {
+    const auto& dv = snapshot.domain_influence[b];
     const size_t nd = std::min(dv.size(), weights.size());
     double s = 0.0;
     for (size_t d = 0; d < nd; ++d) s += dv[d] * weights[d];
     scores[b] = s;
   }
-  return TopKByScore(scores, k);
+  return scores;
+}
+
+std::vector<double> Eq5ScoresSoA(const AnalysisSnapshot& snapshot,
+                                 const std::vector<double>& weights) {
+  const size_t nb = snapshot.num_bloggers();
+  if (snapshot.interest_plane.size() != nb * snapshot.num_domains) {
+    return Eq5ScoresScalar(snapshot, weights);  // plane not built (raw v1)
+  }
+  const size_t nd = std::min(snapshot.num_domains, weights.size());
+  std::vector<double> scores(nb, 0.0);
+  double* const out = scores.data();
+  for (size_t d = 0; d < nd; ++d) {
+    const double w = weights[d];
+    const double* const row = snapshot.interest_plane.data() + d * nb;
+    // One axpy per domain. Zero weights are NOT skipped: adding a ±0.0
+    // product can still flip a -0.0 accumulator to +0.0, so skipping
+    // would break the byte-identical contract with the scalar fold.
+    size_t b = 0;
+#if defined(__AVX2__)
+    // Explicit 4-lane path (compiled only under -mavx2 / -march=native):
+    // each lane owns one blogger, so the per-blogger mul-then-add order —
+    // and therefore the rounding — matches the scalar kernel exactly. No
+    // FMA: fused rounding would diverge from the scalar path.
+    for (; b + 4 <= nb; b += 4) {
+      __m256d acc = _mm256_loadu_pd(out + b);
+      __m256d prod = _mm256_mul_pd(_mm256_set1_pd(w), _mm256_loadu_pd(row + b));
+      _mm256_storeu_pd(out + b, _mm256_add_pd(acc, prod));
+    }
+#endif
+    for (; b < nb; ++b) out[b] += w * row[b];
+  }
+  return scores;
 }
 
 Result<std::vector<RankedPost>> AnalysisSnapshot::TopPostsOfDomain(
@@ -174,13 +215,21 @@ void AnalysisSnapshot::BuildDerived() {
 
   general_ranking = FullRanking(influence);
 
+  // Transpose the [b][d] domain vectors into the contiguous [d][b] plane
+  // the Eq. 5 kernel streams; each domain row doubles as the ranking
+  // column below.
+  interest_plane.assign(nd * nb, 0.0);
+  for (size_t b = 0; b < nb && b < domain_influence.size(); ++b) {
+    const auto& dv = domain_influence[b];
+    const size_t n = std::min(dv.size(), nd);
+    for (size_t d = 0; d < n; ++d) interest_plane[d * nb + b] = dv[d];
+  }
+
   domain_rankings.assign(nd, {});
   std::vector<double> column(nb, 0.0);
   for (size_t d = 0; d < nd; ++d) {
-    for (size_t b = 0; b < nb; ++b) {
-      const auto& dv = domain_influence[b];
-      column[b] = d < dv.size() ? dv[d] : 0.0;
-    }
+    const double* row = interest_plane.data() + d * nb;
+    column.assign(row, row + nb);
     domain_rankings[d] = FullRanking(column);
   }
 
@@ -288,6 +337,17 @@ Status AnalysisSnapshot::CheckConsistent() const {
       expect(blogger_interests.size(), nb, "blogger_interests"));
   for (const auto& iv : blogger_interests) {
     MASS_RETURN_IF_ERROR(expect(iv.size(), nd, "blogger_interests row"));
+  }
+  MASS_RETURN_IF_ERROR(
+      expect(interest_plane.size(), nb * nd, "interest_plane"));
+  for (size_t b = 0; b < nb; ++b) {
+    const auto& dv = domain_influence[b];
+    for (size_t d = 0; d < nd; ++d) {
+      if (interest_plane[d * nb + b] != dv[d]) {
+        return Status::Corruption("interest_plane diverges from "
+                                  "domain_influence");
+      }
+    }
   }
   MASS_RETURN_IF_ERROR(expect(general_ranking.size(), nb, "general_ranking"));
   MASS_RETURN_IF_ERROR(expect(domain_rankings.size(), nd, "domain_rankings"));

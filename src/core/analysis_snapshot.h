@@ -88,6 +88,11 @@ struct AnalysisSnapshot {
   /// [b]: the blogger's best posts by Inf(p), capped at
   /// kKeyPostsPerBlogger (the demo pop-up's "important posts").
   std::vector<std::vector<RankedPost>> blogger_key_posts;
+  /// Structure-of-arrays mirror of domain_influence for the Eq. 5 hot
+  /// path: interest_plane[d * num_bloggers() + b] == domain_influence[b][d].
+  /// One contiguous row per domain lets the weighted-scoring kernel stream
+  /// cache lines and auto-vectorize instead of chasing nb small vectors.
+  std::vector<double> interest_plane;
 
   /// Publish instant (steady clock); serves the serve.snapshot.age_us
   /// metric. Unset (epoch) for loaded snapshots.
@@ -128,7 +133,9 @@ struct AnalysisSnapshot {
                                                 size_t k) const;
   /// Top-k by the Eq. 5 dot product Inf(b, IV) . weights (the Scenario-1
   /// advertisement ranking). Computed on the fly — the weight vector is
-  /// query-supplied, so it cannot be precomputed.
+  /// query-supplied, so it cannot be precomputed. Scores come from the
+  /// vectorized SoA kernel when BuildDerived filled interest_plane
+  /// (byte-identical to the per-blogger fold), else the scalar fallback.
   std::vector<ScoredBlogger> TopKWeighted(const std::vector<double>& weights,
                                           size_t k) const;
   /// Top posts of one domain (≤ kTopPostsPerDomain are stored).
@@ -148,5 +155,24 @@ struct AnalysisSnapshot {
   /// publish, which the concurrency tests assert can never be observed.
   Status CheckConsistent() const;
 };
+
+// ---- Eq. 5 weighted-scoring kernels ----
+//
+// Both return, for every blogger b, score(b) = sum_d Inf(b, d) * w_d over
+// the domains both sides cover. The scalar kernel folds each blogger's
+// domain vector (AoS: one small vector per blogger); the SoA kernel
+// streams interest_plane one domain row at a time (axpy per domain), which
+// the compiler vectorizes. Per blogger, both accumulate in ascending
+// domain order with separately-rounded multiply and add, so the results
+// are BYTE-IDENTICAL — the serving parity tests assert exact equality.
+
+/// Scalar reference: per-blogger fold over domain_influence.
+std::vector<double> Eq5ScoresScalar(const AnalysisSnapshot& snapshot,
+                                    const std::vector<double>& weights);
+
+/// Vectorized kernel over the SoA interest_plane. Requires the plane to be
+/// built (BuildDerived); falls back to the scalar kernel when it is not.
+std::vector<double> Eq5ScoresSoA(const AnalysisSnapshot& snapshot,
+                                 const std::vector<double>& weights);
 
 }  // namespace mass

@@ -126,7 +126,11 @@ void MassEngine::PublishSnapshot(std::string_view run) {
 
   snap->BuildDerived();
   snap->publish_time = std::chrono::steady_clock::now();
+  const uint64_t seq = snap->sequence;
   snapshot_.store(std::move(snap), std::memory_order_release);
+  // Sequence after snapshot: a lease that sees the new epoch re-pins a
+  // snapshot at least this fresh (or retries on the next query).
+  published_sequence_.store(seq, std::memory_order_release);
   snapshot_publishes_.Increment();
   snapshot_publish_us_.Record(
       static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));

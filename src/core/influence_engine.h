@@ -103,6 +103,17 @@ class MassEngine {
     return snapshot_.load(std::memory_order_acquire);
   }
 
+  /// Sequence of the most recently published snapshot (0 before the first
+  /// publish). One relaxed load — this is the epoch counter snapshot
+  /// leases poll on every query so the hot path never touches the
+  /// shared_ptr control block; when it differs from the lease's cached
+  /// sequence the lease re-pins via CurrentSnapshot(). A stale read here
+  /// only delays a refresh by one check; it can never hand out a torn or
+  /// rolled-back snapshot (rollbacks never publish).
+  uint64_t PublishedSequence() const {
+    return published_sequence_.load(std::memory_order_relaxed);
+  }
+
   // ---- per-entity scores (valid after Analyze) ----
   //
   // Clamped: an out-of-range id returns 0.0 (or an empty vector) instead
@@ -343,6 +354,10 @@ class MassEngine {
   // readers load concurrently from any thread.
   std::atomic<std::shared_ptr<const AnalysisSnapshot>> snapshot_{nullptr};
   uint64_t snapshot_sequence_ = 0;
+  // Mirror of the published snapshot's sequence, stored after the swap so
+  // a lease that observes the new value and then re-pins gets a snapshot
+  // at least that new (see PublishedSequence()).
+  std::atomic<uint64_t> published_sequence_{0};
 };
 
 }  // namespace mass

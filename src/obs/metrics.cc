@@ -43,6 +43,49 @@ const HistogramSample* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+double HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; ceil so q=1.0 lands on the last
+  // sample and q=0.0 on the first.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (rank <= next) {
+      if (i == 0) return 0.0;  // the exact-zero bucket
+      const double lower =
+          static_cast<double>(HistogramBucketLowerBound(i));
+      if (i >= kHistogramBuckets - 1) return lower;  // overflow bucket
+      const double upper = static_cast<double>(HistogramBucketUpperBound(i));
+      // Position of the target inside this bucket, interpolated as if the
+      // bucket's samples were spread uniformly across [lower, upper].
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative = next;
+  }
+  return 0.0;  // unreachable for a consistent sample
+}
+
+HistogramSample HistogramDelta(const HistogramSample& a,
+                               const HistogramSample& b) {
+  HistogramSample d;
+  d.name = a.name;
+  d.count = a.count >= b.count ? a.count - b.count : 0;
+  d.sum = a.sum >= b.sum ? a.sum - b.sum : 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] =
+        a.buckets[i] >= b.buckets[i] ? a.buckets[i] - b.buckets[i] : 0;
+  }
+  return d;
+}
+
 uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
   const CounterSample* c = FindCounter(name);
   return c ? c->value : 0;
@@ -203,6 +246,19 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
     }
     Appendf(&out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum);
     Appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(), h.count);
+    // Companion summary with interpolated quantiles: dashboards get
+    // p50/p90/p99 directly instead of re-deriving them from the raw log2
+    // buckets. A separate metric name because one exposition name cannot
+    // be both histogram and summary.
+    if (h.count > 0) {
+      std::string sname = name + "_summary";
+      Appendf(&out, "# TYPE %s summary\n", sname.c_str());
+      Appendf(&out, "%s{quantile=\"0.5\"} %.17g\n", sname.c_str(), h.P50());
+      Appendf(&out, "%s{quantile=\"0.9\"} %.17g\n", sname.c_str(), h.P90());
+      Appendf(&out, "%s{quantile=\"0.99\"} %.17g\n", sname.c_str(), h.P99());
+      Appendf(&out, "%s_sum %" PRIu64 "\n", sname.c_str(), h.sum);
+      Appendf(&out, "%s_count %" PRIu64 "\n", sname.c_str(), h.count);
+    }
   }
   return out;
 }

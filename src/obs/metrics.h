@@ -153,7 +153,28 @@ struct HistogramSample {
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t buckets[kHistogramBuckets] = {};
+
+  /// Estimate of the q-th quantile (q in [0, 1]) from the log2 buckets:
+  /// locates the bucket holding the ceil(q * count)-th sample and
+  /// interpolates linearly inside its [lower, upper] range. Exact for the
+  /// zero bucket; the overflow bucket reports its lower bound (no finite
+  /// upper edge to interpolate toward). 0 when the histogram is empty.
+  /// The log2 bucketing bounds the relative error of any estimate at 2x,
+  /// which is plenty for "did p99 move an order of magnitude" checks.
+  double Quantile(double q) const;
+
+  /// The serving dashboards' trio.
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
 };
+
+/// Bucket-wise difference a - b for two samples of the SAME histogram
+/// taken at two instants (b earlier): the distribution of what was
+/// recorded in between. Used by benches and the CLI's periodic QPS/p99
+/// line to report windowed percentiles from cumulative histograms.
+HistogramSample HistogramDelta(const HistogramSample& a,
+                               const HistogramSample& b);
 
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;

@@ -1,11 +1,38 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/stopwatch.h"
 
 namespace mass {
+
+namespace {
+
+// Per-thread lease slot: each reader thread caches one lease for the
+// service it queried last. A thread alternating between two leased
+// services re-acquires on every switch (correct, just un-amortized); the
+// overwhelmingly common shape — a fleet of reader threads on one service
+// — hits the single-compare fast path. Service ids are never reused, so a
+// slot left behind by a destroyed service can only mismatch, never alias
+// a new service.
+struct ThreadLeaseSlot {
+  uint64_t service_id = 0;
+  SnapshotLease lease;
+};
+thread_local ThreadLeaseSlot t_lease_slot;
+
+std::atomic<uint64_t> g_next_service_id{1};
+
+obs::MetricsRegistry* ResolveRegistry(const QueryServiceOptions& options,
+                                      const MassEngine* engine) {
+  if (options.metrics != nullptr) return options.metrics;
+  if (engine != nullptr) return engine->metrics();
+  return obs::MetricsRegistry::Null();
+}
+
+}  // namespace
 
 // RAII per-query instrumentation: one latency sample, one snapshot-age
 // sample, one query count — recorded on scope exit so every early return
@@ -29,38 +56,66 @@ class QueryService::QueryTimer {
   Stopwatch sw_;
 };
 
-namespace {
-
-obs::MetricsRegistry* ResolveRegistry(const QueryServiceOptions& options,
-                                      const MassEngine* engine) {
-  if (options.metrics != nullptr) return options.metrics;
-  if (engine != nullptr) return engine->metrics();
-  return obs::MetricsRegistry::Null();
-}
-
-}  // namespace
-
 QueryService::QueryService(const MassEngine* engine,
                            QueryServiceOptions options)
-    : engine_(engine) {
+    : engine_(engine),
+      pin_policy_(options.pin_policy),
+      service_id_(g_next_service_id.fetch_add(1, std::memory_order_relaxed)) {
   obs::MetricsRegistry* registry = ResolveRegistry(options, engine);
   queries_ = registry->GetCounter("serve.queries_total");
   latency_us_ = registry->GetHistogram("serve.query.latency_us");
   snapshot_age_us_ = registry->GetHistogram("serve.snapshot.age_us");
+  lease_refreshes_ = registry->GetCounter("serve.lease.refreshes");
+  batches_ = registry->GetCounter("serve.batches_total");
+  batch_latency_us_ = registry->GetHistogram("serve.batch.latency_us");
 }
 
 QueryService::QueryService(std::shared_ptr<const AnalysisSnapshot> snapshot,
                            QueryServiceOptions options)
-    : fixed_snapshot_(std::move(snapshot)) {
+    : fixed_snapshot_(std::move(snapshot)),
+      pin_policy_(options.pin_policy),
+      service_id_(g_next_service_id.fetch_add(1, std::memory_order_relaxed)) {
   obs::MetricsRegistry* registry = ResolveRegistry(options, nullptr);
   queries_ = registry->GetCounter("serve.queries_total");
   latency_us_ = registry->GetHistogram("serve.query.latency_us");
   snapshot_age_us_ = registry->GetHistogram("serve.snapshot.age_us");
+  lease_refreshes_ = registry->GetCounter("serve.lease.refreshes");
+  batches_ = registry->GetCounter("serve.batches_total");
+  batch_latency_us_ = registry->GetHistogram("serve.batch.latency_us");
 }
 
 std::shared_ptr<const AnalysisSnapshot> QueryService::Pin() const {
   if (fixed_snapshot_ != nullptr) return fixed_snapshot_;
   return engine_ != nullptr ? engine_->CurrentSnapshot() : nullptr;
+}
+
+void QueryService::ReleaseThreadLease() {
+  t_lease_slot.lease.Release();
+  t_lease_slot.service_id = 0;
+}
+
+const AnalysisSnapshot* QueryService::PinForQuery(
+    std::shared_ptr<const AnalysisSnapshot>* owned) const {
+  if (fixed_snapshot_ != nullptr) return fixed_snapshot_.get();
+  if (engine_ == nullptr) return nullptr;
+  if (pin_policy_ == PinPolicy::kLeased) {
+    ThreadLeaseSlot& slot = t_lease_slot;
+    if (slot.service_id != service_id_) {
+      slot.lease.Release();
+      slot.service_id = service_id_;
+    }
+    const uint64_t before = slot.lease.leased_sequence();
+    const std::shared_ptr<const AnalysisSnapshot>& snap =
+        slot.lease.Pin(engine_);
+    // The raw pointer stays valid for the whole query: the lease holds
+    // the ref and only this thread can refresh it.
+    if (snap != nullptr && snap->sequence != before) {
+      lease_refreshes_.Increment();
+    }
+    return snap.get();
+  }
+  *owned = engine_->CurrentSnapshot();
+  return owned->get();
 }
 
 Result<std::shared_ptr<const AnalysisSnapshot>> QueryService::PinOrFail()
@@ -73,25 +128,34 @@ Result<std::shared_ptr<const AnalysisSnapshot>> QueryService::PinOrFail()
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::TopGeneral(size_t k) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   return snap->TopKGeneral(k);
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::TopByDomain(size_t domain,
                                                              size_t k) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   return snap->TopKDomain(domain, k);
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::MatchAdvertisement(
     const std::vector<double>& weights, size_t k) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   if (weights.empty()) {
     return Status::InvalidArgument("empty interest-vector weights");
   }
@@ -100,24 +164,33 @@ Result<std::vector<ScoredBlogger>> QueryService::MatchAdvertisement(
 
 Result<std::vector<RankedPost>> QueryService::TopPosts(size_t domain,
                                                        size_t k) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   return snap->TopPostsOfDomain(domain, k);
 }
 
 Result<BloggerDetails> QueryService::Details(BloggerId blogger) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   return MakeBloggerDetails(*snap, blogger);
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::SimilarInfluencers(
     BloggerId blogger, size_t k) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   const std::vector<double>* iv = snap->InterestsOfBlogger(blogger);
   if (iv == nullptr) {
     return Status::InvalidArgument("blogger id out of range");
@@ -135,10 +208,98 @@ Result<std::vector<ScoredBlogger>> QueryService::SimilarInfluencers(
 }
 
 Result<DomainTrends> QueryService::Trends(size_t num_buckets) const {
-  MASS_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
-                        PinOrFail());
-  QueryTimer timer(this, snap.get());
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  QueryTimer timer(this, snap);
   return ComputeDomainTrends(*snap, num_buckets);
+}
+
+Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
+    const std::vector<BatchQuery>& queries) const {
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  Stopwatch sw;
+  std::vector<BatchQueryResult> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const BatchQuery& q = queries[i];
+    BatchQueryResult& r = out[i];
+    switch (q.kind) {
+      case BatchQuery::Kind::kTopGeneral:
+        r.ranking = snap->TopKGeneral(q.k);
+        break;
+      case BatchQuery::Kind::kTopByDomain: {
+        Result<std::vector<ScoredBlogger>> top = snap->TopKDomain(q.domain,
+                                                                  q.k);
+        if (top.ok()) {
+          r.ranking = std::move(*top);
+        } else {
+          r.status = top.status();
+        }
+        break;
+      }
+      case BatchQuery::Kind::kMatchAd:
+        if (q.weights.empty()) {
+          r.status = Status::InvalidArgument("empty interest-vector weights");
+        } else {
+          r.ranking = snap->TopKWeighted(q.weights, q.k);
+        }
+        break;
+    }
+  }
+  batches_.Increment();
+  queries_.Increment(queries.size());
+  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  snapshot_age_us_.Record(snap->AgeMicros());
+  return out;
+}
+
+Result<std::vector<std::vector<ScoredBlogger>>> QueryService::TopKGeneralBatch(
+    size_t k, size_t count) const {
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  Stopwatch sw;
+  std::vector<std::vector<ScoredBlogger>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(snap->TopKGeneral(k));
+  batches_.Increment();
+  queries_.Increment(count);
+  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  snapshot_age_us_.Record(snap->AgeMicros());
+  return out;
+}
+
+Result<std::vector<std::vector<ScoredBlogger>>> QueryService::MatchAdsBatch(
+    const std::vector<std::vector<double>>& ads, size_t k) const {
+  std::shared_ptr<const AnalysisSnapshot> owned;
+  const AnalysisSnapshot* snap = PinForQuery(&owned);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no analysis published yet");
+  }
+  for (const std::vector<double>& ad : ads) {
+    if (ad.empty()) {
+      return Status::InvalidArgument("empty interest-vector weights in batch");
+    }
+  }
+  Stopwatch sw;
+  std::vector<std::vector<ScoredBlogger>> out;
+  out.reserve(ads.size());
+  for (const std::vector<double>& ad : ads) {
+    out.push_back(snap->TopKWeighted(ad, k));
+  }
+  batches_.Increment();
+  queries_.Increment(ads.size());
+  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  snapshot_age_us_.Record(snap->AgeMicros());
+  return out;
 }
 
 }  // namespace mass

@@ -3,18 +3,32 @@
 // detail pop-ups, trends, personalized recommendation) served from an
 // immutable AnalysisSnapshot.
 //
-// Concurrency contract: every query pins a snapshot with ONE atomic load
-// and then runs entirely against that immutable object. Readers take no
-// lock, never retry, and never block the write path; IngestDelta/Retune
-// on another thread publish a new snapshot when (and only when) they
-// fully succeed, so a query observes either the complete old analysis or
-// the complete new one — never a partially-applied delta. Queries on a
-// torn-down engine are the only thing that is NOT safe: the service holds
-// a raw engine pointer, so the engine must outlive it (or use the
-// fixed-snapshot constructor, which keeps its snapshot alive itself).
+// Concurrency contract: every query runs entirely against one immutable
+// snapshot. How that snapshot is obtained is the pin policy:
+//
+//  - kLeased (default): each reader thread holds a SnapshotLease that
+//    caches the pinned shared_ptr and re-acquires only when a relaxed
+//    load of the engine's published-sequence counter shows a new publish
+//    — the hot path is one relaxed load plus a pointer compare, with no
+//    refcount traffic on the shared control block, so readers scale
+//    instead of serializing on one cache line. Staleness is bounded by
+//    one publish (see snapshot_lease.h).
+//  - kPinPerQuery: the PR 5 behaviour — every query does an acquire load
+//    plus a refcount bump. Kept for comparison benchmarks and for
+//    callers that must observe a publish on the very next query.
+//
+// Under either policy readers take no lock, never retry, and never block
+// the write path; IngestDelta/Retune on another thread publish a new
+// snapshot when (and only when) they fully succeed, so a query observes
+// either the complete old analysis or the complete new one — never a
+// partially-applied delta. Queries on a torn-down engine are the only
+// thing that is NOT safe: the service holds a raw engine pointer, so the
+// engine must outlive it (or use the fixed-snapshot constructor, which
+// keeps its snapshot alive itself).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -23,15 +37,66 @@
 #include "core/analysis_snapshot.h"
 #include "core/influence_engine.h"
 #include "obs/metrics.h"
+#include "serve/snapshot_lease.h"
 #include "viz/blogger_details.h"
 
 namespace mass {
 
+/// How a query obtains its snapshot (see the header comment).
+enum class PinPolicy {
+  kLeased,       ///< per-thread lease; refresh on published-sequence change
+  kPinPerQuery,  ///< acquire load + refcount bump on every query (PR 5)
+};
+
 struct QueryServiceOptions {
   /// Registry for serve.query.latency_us / serve.snapshot.age_us /
-  /// serve.queries_total. Defaults to the engine's registry (live mode)
-  /// or the Null registry (fixed-snapshot mode).
+  /// serve.queries_total / serve.batch.*. Defaults to the engine's
+  /// registry (live mode) or the Null registry (fixed-snapshot mode).
   obs::MetricsRegistry* metrics = nullptr;
+  PinPolicy pin_policy = PinPolicy::kLeased;
+};
+
+/// One query of a batch (see QueryService::RunBatch). A batch answers all
+/// its queries from ONE pinned snapshot — mutually consistent results and
+/// a single lease check amortized over the whole batch.
+struct BatchQuery {
+  enum class Kind {
+    kTopGeneral,   ///< top-k by Inf(b)
+    kTopByDomain,  ///< top-k by Inf(b, domain)
+    kMatchAd,      ///< Eq. 5 dot-product ranking against `weights`
+  };
+  Kind kind = Kind::kTopGeneral;
+  size_t k = 10;
+  size_t domain = 0;            ///< kTopByDomain only
+  std::vector<double> weights;  ///< kMatchAd only
+
+  static BatchQuery TopGeneral(size_t k) {
+    BatchQuery q;
+    q.k = k;
+    return q;
+  }
+  static BatchQuery TopByDomain(size_t domain, size_t k) {
+    BatchQuery q;
+    q.kind = Kind::kTopByDomain;
+    q.domain = domain;
+    q.k = k;
+    return q;
+  }
+  static BatchQuery MatchAd(std::vector<double> weights, size_t k) {
+    BatchQuery q;
+    q.kind = Kind::kMatchAd;
+    q.weights = std::move(weights);
+    q.k = k;
+    return q;
+  }
+};
+
+/// Per-query result of RunBatch: `status` mirrors what the single-query
+/// API would have returned (e.g. InvalidArgument for a bad domain), with
+/// `ranking` empty on error. One bad query never fails its batch.
+struct BatchQueryResult {
+  Status status = Status::OK();
+  std::vector<ScoredBlogger> ranking;
 };
 
 /// Lock-free query front-end over published analysis snapshots.
@@ -39,8 +104,8 @@ struct QueryServiceOptions {
 /// concurrently (with each other and with the engine's write path).
 class QueryService {
  public:
-  /// Live mode: every query pins engine->CurrentSnapshot(), so results
-  /// follow the engine's publishes. The engine must outlive the service.
+  /// Live mode: queries follow the engine's publishes (via lease or
+  /// per-query pin per options). The engine must outlive the service.
   explicit QueryService(const MassEngine* engine,
                         QueryServiceOptions options = {});
 
@@ -51,8 +116,16 @@ class QueryService {
 
   /// The snapshot queries would run against right now; nullptr when
   /// nothing is published yet. Pin it yourself to answer several related
-  /// queries from one consistent analysis.
+  /// queries from one consistent analysis. Always a fresh acquire in live
+  /// mode (never the calling thread's lease), so the result reflects the
+  /// latest publish regardless of pin policy.
   std::shared_ptr<const AnalysisSnapshot> Pin() const;
+
+  /// Drops the calling thread's cached lease (if any) so the snapshot it
+  /// held can retire without waiting for this thread's next query against
+  /// a newer publish. Reader threads that exit cleanly get this for free;
+  /// long-lived threads that stop querying a service should call it.
+  static void ReleaseThreadLease();
 
   // Every query returns FailedPrecondition when no snapshot is published.
 
@@ -84,8 +157,32 @@ class QueryService {
   /// Per-domain influence-mass trend over uniform time buckets.
   Result<DomainTrends> Trends(size_t num_buckets) const;
 
+  // ---- batched queries ----
+  //
+  // One snapshot resolution (lease check or pin) serves the whole batch;
+  // all answers come from the same analysis. FailedPrecondition when no
+  // snapshot is published; per-query errors land in each result's status.
+
+  /// Mixed batch: each entry answered as its single-query counterpart.
+  Result<std::vector<BatchQueryResult>> RunBatch(
+      const std::vector<BatchQuery>& queries) const;
+
+  /// `count` identical TopGeneral(k) lookups — the hot-loop shape of a
+  /// front-end fanning one ranking out to many sessions.
+  Result<std::vector<std::vector<ScoredBlogger>>> TopKGeneralBatch(
+      size_t k, size_t count) const;
+
+  /// Eq. 5 ad matching for a batch of ad interest vectors, one ranking
+  /// per ad, all scored against the same snapshot's SoA interest plane.
+  Result<std::vector<std::vector<ScoredBlogger>>> MatchAdsBatch(
+      const std::vector<std::vector<double>>& ads, size_t k) const;
+
  private:
   Result<std::shared_ptr<const AnalysisSnapshot>> PinOrFail() const;
+  /// Pin-policy dispatch for queries: leased (per-thread cache) or fresh.
+  /// Returns nullptr when nothing is published.
+  const AnalysisSnapshot* PinForQuery(
+      std::shared_ptr<const AnalysisSnapshot>* owned) const;
 
   /// Records per-query metrics; called once per public query with the
   /// pinned snapshot and the query's start time.
@@ -93,9 +190,17 @@ class QueryService {
 
   const MassEngine* engine_ = nullptr;
   std::shared_ptr<const AnalysisSnapshot> fixed_snapshot_;
+  PinPolicy pin_policy_ = PinPolicy::kLeased;
+  /// Distinguishes this service in the per-thread lease slot (never
+  /// reused, so a dangling slot from a destroyed service can only miss,
+  /// never alias).
+  uint64_t service_id_ = 0;
   obs::Counter queries_;
   obs::Histogram latency_us_;
   obs::Histogram snapshot_age_us_;
+  obs::Counter lease_refreshes_;
+  obs::Counter batches_;
+  obs::Histogram batch_latency_us_;
 };
 
 }  // namespace mass

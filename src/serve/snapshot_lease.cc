@@ -1,0 +1,18 @@
+#include "serve/snapshot_lease.h"
+
+namespace mass {
+
+void SnapshotLease::Acquire(const MassEngine* engine) {
+  // Cold path: one acquire load + refcount bump, once per publish (or per
+  // counter/pointer race — the sequence is recorded from the snapshot
+  // itself, so a stale pointer read just retries on the next Pin()).
+  snapshot_ = engine->CurrentSnapshot();
+  seen_sequence_ = snapshot_ != nullptr ? snapshot_->sequence : 0;
+}
+
+void SnapshotLease::Release() {
+  snapshot_.reset();
+  seen_sequence_ = 0;
+}
+
+}  // namespace mass

@@ -1,0 +1,78 @@
+// SnapshotLease: epoch-style per-thread snapshot pinning for the read
+// path.
+//
+// The PR 5 read path pinned a snapshot on every query: one acquire load of
+// the engine's atomic<shared_ptr> plus a refcount increment/decrement pair
+// on the shared control block. Correct and wait-free — but every reader
+// hammers the same cache line, so aggregate QPS *fell* as readers were
+// added (BENCH_serving.json, pin-per-query grid). A lease replaces the
+// per-query pin with a per-reader cache:
+//
+//   acquire  — the first Pin() loads the current snapshot and remembers
+//              its sequence (the lease now holds one shared_ptr ref).
+//   refresh  — every later Pin() does ONE relaxed load of the engine's
+//              published-sequence counter; while it matches the cached
+//              sequence the cached shared_ptr is returned by const
+//              reference — no atomic RMW, no shared cache line written.
+//              When the counter advanced, the lease re-pins (one acquire
+//              load + refcount bump, amortized over a whole publish
+//              interval) and drops its ref on the retired snapshot.
+//   retire   — Release() (or the lease's destructor) drops the ref; once
+//              every lease has refreshed or released, the retired
+//              snapshot's refcount hits zero and it reclaims itself. No
+//              epoch grace periods, nothing to leak.
+//
+// Staleness contract: a lease returns a snapshot at most ONE publish
+// behind the moment its Pin() read the counter — after a publish
+// completes, the very next Pin() that observes the new sequence re-pins
+// (a racing relaxed read may miss a publish that lands mid-query; the
+// following Pin() catches it). Rollbacks never publish, so a lease can
+// never observe a torn or rolled-back analysis — the same guarantee the
+// per-query pin gave, minus the per-query cost.
+//
+// Thread contract: a SnapshotLease belongs to ONE reader thread; it is
+// not itself thread-safe (that is the point). QueryService keeps one
+// lease per (thread, service) internally — see query_service.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/analysis_snapshot.h"
+#include "core/influence_engine.h"
+
+namespace mass {
+
+class SnapshotLease {
+ public:
+  SnapshotLease() = default;
+
+  /// The leased snapshot, refreshed iff the engine's published sequence
+  /// advanced past the cached one. Hot path: one relaxed load + one
+  /// compare; no refcount traffic. Returns a null ref while the engine
+  /// has published nothing. `engine` must be non-null and outlive the
+  /// call (the returned snapshot itself outlives the engine).
+  const std::shared_ptr<const AnalysisSnapshot>& Pin(const MassEngine* engine) {
+    const uint64_t published = engine->PublishedSequence();
+    if (snapshot_ == nullptr || published != seen_sequence_) {
+      Acquire(engine);
+    }
+    return snapshot_;
+  }
+
+  /// Drops the lease's reference (retiring the snapshot if this was the
+  /// last one). The next Pin() re-acquires.
+  void Release();
+
+  /// Sequence of the held snapshot; 0 when nothing is held.
+  uint64_t leased_sequence() const { return seen_sequence_; }
+  bool holds() const { return snapshot_ != nullptr; }
+
+ private:
+  void Acquire(const MassEngine* engine);
+
+  std::shared_ptr<const AnalysisSnapshot> snapshot_;
+  uint64_t seen_sequence_ = 0;
+};
+
+}  // namespace mass

@@ -127,6 +127,78 @@ TEST(HistogramTest, RecordsLandInExpectedBuckets) {
   EXPECT_EQ(hs->sum, 22u);
 }
 
+// ---------- quantile extraction ----------
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  obs::HistogramSample h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+
+  // 100 samples all in bucket 5 ([16, 31]): quantiles interpolate across
+  // the bucket range as if samples were spread uniformly.
+  h.count = 100;
+  h.buckets[5] = 100;
+  EXPECT_GE(h.P50(), 16.0);
+  EXPECT_LE(h.P50(), 31.0);
+  EXPECT_LT(h.P50(), h.P99());
+  EXPECT_NEAR(h.Quantile(0.0), 16.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 31.0, 1.0);
+
+  // Split across buckets: 90 in bucket 1 (value 1), 10 in bucket 10
+  // ([512, 1023]) — p50 sits in the low bucket, p99 in the high one.
+  obs::HistogramSample split;
+  split.count = 100;
+  split.buckets[1] = 90;
+  split.buckets[10] = 10;
+  EXPECT_EQ(split.P50(), 1.0);
+  EXPECT_GE(split.P99(), 512.0);
+  EXPECT_LE(split.P99(), 1023.0);
+
+  // All zeros: the zero bucket is exact.
+  obs::HistogramSample zeros;
+  zeros.count = 10;
+  zeros.buckets[0] = 10;
+  EXPECT_EQ(zeros.P50(), 0.0);
+  EXPECT_EQ(zeros.P99(), 0.0);
+
+  // Overflow bucket reports its lower bound (no finite upper edge).
+  obs::HistogramSample over;
+  over.count = 4;
+  over.buckets[obs::kHistogramBuckets - 1] = 4;
+  EXPECT_EQ(over.P50(),
+            static_cast<double>(
+                obs::HistogramBucketLowerBound(obs::kHistogramBuckets - 1)));
+}
+
+TEST(HistogramTest, DeltaIsBucketwiseSaturatingSubtraction) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.GetHistogram("lat");
+  h.Record(3);
+  h.Record(100);
+  obs::MetricsSnapshot before = reg.Snapshot();
+  h.Record(5);
+  h.Record(600);
+  h.Record(600);
+  obs::MetricsSnapshot after = reg.Snapshot();
+
+  const obs::HistogramSample* b = before.FindHistogram("lat");
+  const obs::HistogramSample* a = after.FindHistogram("lat");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(a, nullptr);
+  obs::HistogramSample d = obs::HistogramDelta(*a, *b);
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_EQ(d.sum, 1205u);
+  EXPECT_EQ(d.buckets[obs::HistogramBucketIndex(5)], 1u);
+  EXPECT_EQ(d.buckets[obs::HistogramBucketIndex(600)], 2u);
+  EXPECT_EQ(d.buckets[obs::HistogramBucketIndex(3)], 0u);
+  // Windowed percentiles come from the delta: only the new samples count.
+  EXPECT_GE(d.P99(), 512.0);
+
+  // Saturates instead of underflowing when samples are swapped.
+  obs::HistogramSample swapped = obs::HistogramDelta(*b, *a);
+  EXPECT_EQ(swapped.count, 0u);
+  EXPECT_EQ(swapped.sum, 0u);
+}
+
 // ---------- concurrency (run under -L sanitize) ----------
 
 TEST(MetricsRegistryTest, ConcurrentWritersAreExact) {
@@ -403,6 +475,14 @@ TEST(MetricsXmlTest, PrometheusTextExposesAllKinds) {
   EXPECT_NE(text.find("a_gauge"), std::string::npos);
   EXPECT_NE(text.find("a_lat_us_count 4"), std::string::npos);
   EXPECT_NE(text.find("le="), std::string::npos);
+  // Non-empty histograms also emit a companion summary with interpolated
+  // quantiles for dashboards.
+  EXPECT_NE(text.find("# TYPE a_lat_us_summary summary"), std::string::npos);
+  EXPECT_NE(text.find("a_lat_us_summary{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("a_lat_us_summary{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("a_lat_us_summary_count 4"), std::string::npos);
 }
 
 TEST(MetricsXmlTest, ObservabilityXmlCarriesSolveTraceAndSpans) {

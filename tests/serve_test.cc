@@ -20,6 +20,7 @@
 #include "crawler/synthetic_host.h"
 #include "model/corpus_delta.h"
 #include "serve/query_service.h"
+#include "serve/snapshot_lease.h"
 #include "storage/analysis_xml.h"
 #include "synth/generator.h"
 
@@ -580,6 +581,459 @@ TEST(ServeConcurrencyTest, ReadersUnaffectedByRolledBackIngest) {
   EXPECT_TRUE(stable.load())
       << "a rolled-back ingest leaked a snapshot change to readers";
   EXPECT_EQ(engine.CurrentSnapshot().get(), before.get());
+}
+
+// ---------- snapshot leases ----------
+
+TEST(SnapshotLeaseTest, PinCachesUntilPublishAdvances) {
+  Corpus corpus = SourceCorpus(31, 30, 120);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_EQ(engine.PublishedSequence(), 1u);
+
+  SnapshotLease lease;
+  EXPECT_FALSE(lease.holds());
+  const AnalysisSnapshot* first = lease.Pin(&engine).get();
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(lease.holds());
+  EXPECT_EQ(lease.leased_sequence(), 1u);
+
+  // No publish in between: Pin returns the cached object, no re-acquire.
+  EXPECT_EQ(lease.Pin(&engine).get(), first);
+  EXPECT_EQ(lease.Pin(&engine).get(), first);
+
+  // The publish bumps the sequence counter; the very next Pin re-acquires
+  // — a lease is never more than one publish stale.
+  EngineOptions retuned;
+  retuned.alpha = 0.7;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+  EXPECT_EQ(engine.PublishedSequence(), 2u);
+  const AnalysisSnapshot* second = lease.Pin(&engine).get();
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(second->sequence, 2u);
+  EXPECT_EQ(lease.leased_sequence(), 2u);
+
+  lease.Release();
+  EXPECT_FALSE(lease.holds());
+  EXPECT_EQ(lease.leased_sequence(), 0u);
+}
+
+// Reclamation: once every lease moves on to a newer publish, the retired
+// snapshot's refcount hits zero and it is freed — leases cannot pin old
+// analyses forever.
+TEST(SnapshotLeaseTest, RetiredSnapshotReclaimedAfterRefresh) {
+  Corpus corpus = SourceCorpus(32, 30, 120);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  SnapshotLease lease;
+  ASSERT_NE(lease.Pin(&engine), nullptr);
+  std::weak_ptr<const AnalysisSnapshot> retired = engine.CurrentSnapshot();
+
+  EngineOptions retuned;
+  retuned.alpha = 0.6;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+  // The engine dropped snapshot #1 but the lease still holds it.
+  EXPECT_FALSE(retired.expired());
+
+  ASSERT_NE(lease.Pin(&engine), nullptr);  // refresh to #2
+  EXPECT_TRUE(retired.expired()) << "lease refresh must release the old ref";
+}
+
+// The same contract through QueryService: the thread's cached lease picks
+// up each publish on the next query, counted by serve.lease.refreshes,
+// and ReleaseThreadLease drops the thread's reference on demand.
+TEST(SnapshotLeaseTest, LeasedQueriesFollowPublishes) {
+  Corpus src = SourceCorpus(33, 30, 120);
+  SyntheticBlogHost host(&src);
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  QueryService service(&engine);
+  ASSERT_TRUE(service.TopGeneral(3).ok());  // acquires the thread lease
+  const uint64_t refreshes_after_first =
+      engine.metrics()->Snapshot().CounterValue("serve.lease.refreshes");
+  EXPECT_GE(refreshes_after_first, 1u);
+
+  // Steady state: more queries, no publish, no re-acquisition.
+  ASSERT_TRUE(service.TopGeneral(3).ok());
+  ASSERT_TRUE(service.TopByDomain(0, 3).ok());
+  EXPECT_EQ(engine.metrics()->Snapshot().CounterValue("serve.lease.refreshes"),
+            refreshes_after_first);
+
+  // Ingest publishes a snapshot that actually has bloggers; the next
+  // leased query must serve the new analysis, not the cached empty one.
+  DeltaStream stream(&host, AllUrls(host, src),
+                     DeltaStreamOptions{.batch_pages = src.num_bloggers()});
+  auto delta = stream.Next();
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+
+  auto top = service.TopGeneral(3);
+  ASSERT_TRUE(top.ok());
+  std::shared_ptr<const AnalysisSnapshot> current = engine.CurrentSnapshot();
+  ASSERT_EQ(top->size(), std::min<size_t>(3, current->general_ranking.size()));
+  for (size_t i = 0; i < top->size(); ++i) {
+    EXPECT_EQ((*top)[i].id, current->general_ranking[i].id);
+  }
+  EXPECT_EQ(engine.metrics()->Snapshot().CounterValue("serve.lease.refreshes"),
+            refreshes_after_first + 1);
+
+  // Dropping the thread lease releases the last reference once the next
+  // publish retires the snapshot it held.
+  std::weak_ptr<const AnalysisSnapshot> held = current;
+  current.reset();
+  ASSERT_TRUE(engine.Retune(EngineOptions{}).ok());
+  EXPECT_FALSE(held.expired());  // thread lease still pins it
+  QueryService::ReleaseThreadLease();
+  EXPECT_TRUE(held.expired());
+}
+
+// Pin() must reflect the latest publish immediately regardless of policy:
+// the lease bounds staleness of queries, not of explicit pins.
+TEST(SnapshotLeaseTest, ExplicitPinIgnoresThreadLease) {
+  Corpus corpus = SourceCorpus(34, 30, 120);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+  ASSERT_TRUE(service.TopGeneral(3).ok());  // lease caches snapshot #1
+  EngineOptions retuned;
+  retuned.alpha = 0.65;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+  std::shared_ptr<const AnalysisSnapshot> pinned = service.Pin();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->sequence, 2u);
+  QueryService::ReleaseThreadLease();
+}
+
+// ---------- leased vs pinned parity ----------
+
+TEST(QueryServiceTest, LeasedAndPinnedPoliciesAnswerIdentically) {
+  Corpus corpus = SourceCorpus(35, 50, 200);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryServiceOptions pin_opts;
+  pin_opts.pin_policy = PinPolicy::kPinPerQuery;
+  QueryService leased(&engine);
+  QueryService pinned(&engine, pin_opts);
+
+  auto lt = leased.TopGeneral(10);
+  auto pt = pinned.TopGeneral(10);
+  ASSERT_TRUE(lt.ok());
+  ASSERT_TRUE(pt.ok());
+  ASSERT_EQ(lt->size(), pt->size());
+  for (size_t i = 0; i < lt->size(); ++i) {
+    EXPECT_EQ((*lt)[i].id, (*pt)[i].id);
+    EXPECT_EQ((*lt)[i].score, (*pt)[i].score);
+  }
+  std::vector<double> weights(10, 0.3);
+  weights[2] = 1.7;
+  auto lm = leased.MatchAdvertisement(weights, 10);
+  auto pm = pinned.MatchAdvertisement(weights, 10);
+  ASSERT_TRUE(lm.ok());
+  ASSERT_TRUE(pm.ok());
+  ASSERT_EQ(lm->size(), pm->size());
+  for (size_t i = 0; i < lm->size(); ++i) {
+    EXPECT_EQ((*lm)[i].id, (*pm)[i].id);
+    EXPECT_EQ((*lm)[i].score, (*pm)[i].score);
+  }
+  QueryService::ReleaseThreadLease();
+}
+
+// ---------- batched queries ----------
+
+// Batched answers must match their single-query counterparts to <= 1e-12
+// on every facet-ablation combination (same grid as the snapshot parity
+// test — the batch path reuses the same snapshot surfaces).
+TEST(ServeParityTest, BatchMatchesSingleQueriesOnFacetAblationGrid) {
+  Corpus corpus = SourceCorpus(36, 40, 160);
+  const size_t nd = 10;
+  for (int mask = 0; mask < 16; ++mask) {
+    SCOPED_TRACE("facet mask " + std::to_string(mask));
+    EngineOptions opts;
+    opts.use_citation = (mask & 1) != 0;
+    opts.use_attitude = (mask & 2) != 0;
+    opts.use_novelty = (mask & 4) != 0;
+    opts.use_tc_normalization = (mask & 8) != 0;
+    MassEngine engine(&corpus, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, nd).ok());
+    QueryService service(&engine);
+
+    std::vector<double> ad(nd, 0.1);
+    ad[mask % nd] = 2.0;
+    std::vector<BatchQuery> batch;
+    batch.push_back(BatchQuery::TopGeneral(7));
+    for (size_t d = 0; d < nd; ++d) {
+      batch.push_back(BatchQuery::TopByDomain(d, 5));
+    }
+    batch.push_back(BatchQuery::MatchAd(ad, 6));
+
+    auto results = service.RunBatch(batch);
+    ASSERT_TRUE(results.ok());
+    ASSERT_EQ(results->size(), batch.size());
+
+    auto check = [](const std::vector<ScoredBlogger>& got,
+                    const std::vector<ScoredBlogger>& want) {
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id);
+        EXPECT_NEAR(got[i].score, want[i].score, 1e-12);
+      }
+    };
+    auto top = service.TopGeneral(7);
+    ASSERT_TRUE(top.ok());
+    ASSERT_TRUE((*results)[0].status.ok());
+    check((*results)[0].ranking, *top);
+    for (size_t d = 0; d < nd; ++d) {
+      auto single = service.TopByDomain(d, 5);
+      ASSERT_TRUE(single.ok());
+      ASSERT_TRUE((*results)[1 + d].status.ok());
+      check((*results)[1 + d].ranking, *single);
+    }
+    auto matched = service.MatchAdvertisement(ad, 6);
+    ASSERT_TRUE(matched.ok());
+    ASSERT_TRUE((*results)[1 + nd].status.ok());
+    check((*results)[1 + nd].ranking, *matched);
+    QueryService::ReleaseThreadLease();
+  }
+}
+
+TEST(QueryServiceTest, BatchHelpersAndErrorSlots) {
+  Corpus corpus = SourceCorpus(37, 40, 160);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+
+  // TopKGeneralBatch: `count` identical rankings.
+  auto fanout = service.TopKGeneralBatch(5, 3);
+  ASSERT_TRUE(fanout.ok());
+  ASSERT_EQ(fanout->size(), 3u);
+  auto top = service.TopGeneral(5);
+  ASSERT_TRUE(top.ok());
+  for (const std::vector<ScoredBlogger>& ranking : *fanout) {
+    ASSERT_EQ(ranking.size(), top->size());
+    for (size_t i = 0; i < top->size(); ++i) {
+      EXPECT_EQ(ranking[i].id, (*top)[i].id);
+      EXPECT_EQ(ranking[i].score, (*top)[i].score);
+    }
+  }
+
+  // MatchAdsBatch: one ranking per ad, equal to the single-query path.
+  std::vector<std::vector<double>> ads;
+  ads.push_back(std::vector<double>(10, 1.0));
+  ads.push_back({0.0, 0.0, 3.0});
+  auto matched = service.MatchAdsBatch(ads, 4);
+  ASSERT_TRUE(matched.ok());
+  ASSERT_EQ(matched->size(), 2u);
+  for (size_t a = 0; a < ads.size(); ++a) {
+    auto single = service.MatchAdvertisement(ads[a], 4);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*matched)[a].size(), single->size());
+    for (size_t i = 0; i < single->size(); ++i) {
+      EXPECT_EQ((*matched)[a][i].id, (*single)[i].id);
+      EXPECT_EQ((*matched)[a][i].score, (*single)[i].score);
+    }
+  }
+  // An empty ad anywhere rejects the whole MatchAdsBatch (nothing ran).
+  ads.push_back({});
+  EXPECT_TRUE(service.MatchAdsBatch(ads, 4).status().IsInvalidArgument());
+
+  // In RunBatch, a bad query fails only its own slot.
+  std::vector<BatchQuery> mixed;
+  mixed.push_back(BatchQuery::TopGeneral(3));
+  mixed.push_back(BatchQuery::TopByDomain(99, 3));  // out of range
+  mixed.push_back(BatchQuery::MatchAd({}, 3));      // empty weights
+  mixed.push_back(BatchQuery::TopByDomain(0, 3));
+  auto partial = service.RunBatch(mixed);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_EQ(partial->size(), 4u);
+  EXPECT_TRUE((*partial)[0].status.ok());
+  EXPECT_TRUE((*partial)[1].status.IsInvalidArgument());
+  EXPECT_TRUE((*partial)[1].ranking.empty());
+  EXPECT_TRUE((*partial)[2].status.IsInvalidArgument());
+  EXPECT_TRUE((*partial)[3].status.ok());
+  EXPECT_FALSE((*partial)[3].ranking.empty());
+
+  // Batch metrics: batches counted once, queries per entry.
+  obs::MetricsSnapshot m = engine.metrics()->Snapshot();
+  // fanout + ads + mixed; the rejected ads batch ran nothing and counts
+  // nowhere.
+  EXPECT_EQ(m.CounterValue("serve.batches_total"), 3u);
+  const obs::HistogramSample* batch_lat =
+      m.FindHistogram("serve.batch.latency_us");
+  ASSERT_NE(batch_lat, nullptr);
+  EXPECT_EQ(batch_lat->count, 3u);
+
+  // No snapshot: batches fail like single queries.
+  Corpus empty;
+  empty.BuildIndexes();
+  MassEngine unpublished(&empty);
+  QueryService cold(&unpublished);
+  EXPECT_TRUE(cold.RunBatch(mixed).status().IsFailedPrecondition());
+  EXPECT_TRUE(cold.TopKGeneralBatch(3, 2).status().IsFailedPrecondition());
+  QueryService::ReleaseThreadLease();
+}
+
+// ---------- Eq. 5 SoA kernel ----------
+
+// The SoA interest-plane kernel must be byte-identical to the scalar
+// per-blogger fold — same adds in the same order — including negative
+// weights, exact zeros, and weight vectors shorter than num_domains.
+TEST(ServeSimdTest, SoAScoresMatchScalarBitForBit) {
+  Corpus corpus = SourceCorpus(38, 60, 240);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->interest_plane.size(),
+            snap->num_bloggers() * snap->num_domains);
+
+  std::vector<std::vector<double>> weight_sets = {
+      std::vector<double>(10, 1.0),
+      std::vector<double>(10, 0.0),
+      {0.3, -1.7, 0.0, 2.5, 1e-9, -0.0, 7.0, 0.1, -2.2, 0.9},
+      {1.0},                           // shorter than num_domains
+      {0.5, 0.25, 0.125},              // partial
+      std::vector<double>(16, 0.77),   // longer than num_domains
+  };
+  for (size_t w = 0; w < weight_sets.size(); ++w) {
+    SCOPED_TRACE("weight set " + std::to_string(w));
+    std::vector<double> scalar = Eq5ScoresScalar(*snap, weight_sets[w]);
+    std::vector<double> soa = Eq5ScoresSoA(*snap, weight_sets[w]);
+    ASSERT_EQ(scalar.size(), soa.size());
+    for (size_t b = 0; b < scalar.size(); ++b) {
+      // EXPECT_EQ, not NEAR: the kernels must round identically.
+      EXPECT_EQ(scalar[b], soa[b]) << "blogger " << b;
+    }
+  }
+
+  // And the ranking built on the kernel ties out with the engine's own
+  // weighted top-k, which still runs the scalar path.
+  std::vector<double> ad = {0.3, -1.7, 0.0, 2.5, 1e-9, 0.0, 7.0, 0.1, -2.2,
+                            0.9};
+  auto ranked = snap->TopKWeighted(ad, 10);
+  auto engine_ranked = engine.TopKWeighted(ad, 10);
+  ASSERT_EQ(ranked.size(), engine_ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].id, engine_ranked[i].id);
+    EXPECT_EQ(ranked[i].score, engine_ranked[i].score);
+  }
+}
+
+// The interest plane survives the XML round trip (rebuilt by BuildDerived
+// on load) and keeps serving identical Eq. 5 rankings.
+TEST(ServeSimdTest, LoadedAnalysisRebuildsInterestPlane) {
+  Corpus corpus = SourceCorpus(39, 40, 160);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  std::string path = testing::TempDir() + "/serve_plane_roundtrip.xml";
+  ASSERT_TRUE(SaveAnalysis(*engine.CurrentSnapshot(), path).ok());
+  auto loaded = LoadAnalysisShared(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ((*loaded)->interest_plane.size(),
+            (*loaded)->num_bloggers() * (*loaded)->num_domains);
+  ASSERT_TRUE((*loaded)->CheckConsistent().ok());
+
+  std::vector<double> ad(10, 0.4);
+  ad[7] = 3.0;
+  auto live = engine.CurrentSnapshot()->TopKWeighted(ad, 8);
+  auto off = (*loaded)->TopKWeighted(ad, 8);
+  ASSERT_EQ(live.size(), off.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].id, off[i].id);
+    EXPECT_NEAR(live[i].score, off[i].score, 1e-12);
+  }
+}
+
+// ---------- concurrency: leased reader fleet ----------
+
+// The lease-path TSan centerpiece: a fleet of leased readers (mixing
+// single queries and batches) hammers the service while the write path
+// ingests and retunes. Checks that every answer comes from a consistent
+// snapshot and that each reader's lease follows publishes monotonically.
+TEST(ServeConcurrencyTest, LeasedReaderFleetStaysConsistentDuringWrites) {
+  Corpus src = SourceCorpus(40, 60, 240);
+  SyntheticBlogHost host(&src);
+  Corpus grown;
+  grown.BuildIndexes();
+  MassEngine engine(&grown);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  QueryService service(&engine);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<bool> queries_ok{true};
+  std::atomic<bool> monotone{true};
+
+  const int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      std::vector<BatchQuery> batch;
+      for (size_t i = 0; i < 8; ++i) {
+        batch.push_back(i % 2 == 0 ? BatchQuery::TopGeneral(5)
+                                   : BatchQuery::TopByDomain((i / 2) % 10, 5));
+      }
+      uint64_t last_seq = 0;
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto results = service.RunBatch(batch);
+        if (!results.ok()) {
+          queries_ok.store(false, std::memory_order_relaxed);
+        } else {
+          for (const BatchQueryResult& r : *results) {
+            if (!r.status.ok()) {
+              queries_ok.store(false, std::memory_order_relaxed);
+            }
+          }
+        }
+        if (!service.TopGeneral(5).ok() ||
+            !service.TopByDomain(i % 10, 5).ok()) {
+          queries_ok.store(false, std::memory_order_relaxed);
+        }
+        std::shared_ptr<const AnalysisSnapshot> snap = service.Pin();
+        if (snap != nullptr) {
+          if (snap->sequence < last_seq) {
+            monotone.store(false, std::memory_order_relaxed);
+          }
+          last_seq = snap->sequence;
+        }
+        answered.fetch_add(batch.size() + 2, std::memory_order_relaxed);
+        ++i;
+      }
+      QueryService::ReleaseThreadLease();
+    });
+  }
+
+  DeltaStream stream(&host, AllUrls(host, src),
+                     DeltaStreamOptions{.batch_pages = 10});
+  while (!stream.done()) {
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+  }
+  EngineOptions retuned;
+  retuned.alpha = 0.75;
+  ASSERT_TRUE(engine.Retune(retuned).ok());
+  ASSERT_TRUE(engine.Retune(EngineOptions{}).ok());
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_TRUE(queries_ok.load()) << "a leased query failed mid-publish";
+  EXPECT_TRUE(monotone.load()) << "a lease saw the sequence go backwards";
+  EXPECT_GT(answered.load(), 0u);
+
+  // Every reader released its lease on exit, so after one more publish
+  // nothing outside the engine pins old snapshots.
+  std::weak_ptr<const AnalysisSnapshot> last = engine.CurrentSnapshot();
+  ASSERT_TRUE(engine.Retune(EngineOptions{}).ok());
+  EXPECT_TRUE(last.expired());
 }
 
 }  // namespace
