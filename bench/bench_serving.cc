@@ -191,10 +191,12 @@ bool MeasureCell(MassEngine* engine, const CorpusDelta* delta, Mode mode,
   for (int t = 0; t < readers; ++t) {
     threads.emplace_back([&service, &stop, &queries, &batch, mode, t]() {
       size_t i = static_cast<size_t>(t);
+      // Reused across iterations via the out-param RunBatch overload, so
+      // the steady-state loop allocates nothing for result slots.
+      std::vector<BatchQueryResult> results;
       while (!stop.load(std::memory_order_relaxed)) {
         if (mode == Mode::kLeaseBatch) {
-          auto results = service.RunBatch(batch);
-          if (results.ok()) {
+          if (service.RunBatch(batch, &results).ok()) {
             queries.fetch_add(batch.size(), std::memory_order_relaxed);
           }
         } else {

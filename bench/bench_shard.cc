@@ -1,0 +1,272 @@
+// Experiment S8 — the sharded compiled solver at 1M-blogger scale: wall
+// time of a full Retune (fixed-point solve + snapshot publish) across
+// shard counts 1/2/4/8 on a preferential-attachment corpus from
+// synth::GenerateScaledBlogosphere, plus the shard-plumbing costs the obs
+// layer records (halo size, boundary-exchange and per-shard SpMV time).
+//
+// The sharded path is bit-identical to the unsharded one by construction
+// (see src/shard/), and this bench re-checks that on every cell: the
+// composite snapshot's merged top-100 must match the dense K=1 ranking
+// byte-for-byte, else the binary exits non-zero.
+//
+// A note on reading the numbers: sharding exists for cache locality and
+// memory partitioning at scale, not thread-level speedup — the SpMV was
+// already parallel before sharding. On a single-core host (like the CI
+// container) every shard count runs the same serial work plus the
+// exchange overhead, so flat-to-slightly-worse times across K are the
+// expected, honest result; the JSON records hardware_threads so readers
+// can tell which regime a run measured.
+//
+// Results go to stdout and BENCH_shard.json in the current working
+// directory. `--smoke` runs the same grid on a ~30k-blogger corpus in a
+// few seconds (same bit-identity gate); ctest runs it under the `perf`
+// label as perf_shard_smoke.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "obs/metrics.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+constexpr size_t kFullBloggers = 1'000'000;
+constexpr size_t kFullPosts = 2'000'000;
+constexpr size_t kSmokeBloggers = 30'000;
+constexpr size_t kSmokePosts = 60'000;
+constexpr size_t kTopK = 100;
+
+struct ShardCell {
+  size_t shards = 0;
+  double retune_seconds = 0;  // solve + publish, wall clock around Retune
+  double solve_seconds = 0;   // SolveTrace.solve_seconds (solver only)
+  int iterations = 0;
+  double halo_entries = 0;
+  uint64_t exchange_us = 0;  // boundary exchange, summed over rounds
+  uint64_t spmv_us = 0;      // per-shard SpMV time, summed over shards
+};
+
+EngineOptions OptsForShards(size_t shards) {
+  EngineOptions o;
+  o.use_compiled_solver = true;
+  o.num_shards = shards;
+  return o;
+}
+
+// Retunes `engine` to `shards` shards `repeats` times and returns the
+// best-of cell (single-run numbers, never averages). The shard metrics
+// are cumulative histograms, so each run is windowed with HistogramDelta.
+bool MeasureCell(MassEngine* engine, size_t shards, int repeats,
+                 ShardCell* cell) {
+  cell->shards = shards;
+  cell->retune_seconds = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    const obs::MetricsSnapshot before = engine->Observability().metrics;
+    Stopwatch sw;
+    Status s = engine->Retune(OptsForShards(shards));
+    const double wall = sw.ElapsedSeconds();
+    if (!s.ok()) {
+      std::fprintf(stderr, "retune(%zu shards): %s\n", shards,
+                   s.ToString().c_str());
+      return false;
+    }
+    if (wall >= cell->retune_seconds) continue;
+    const EngineObservability ob = engine->Observability();
+    cell->retune_seconds = wall;
+    cell->solve_seconds = ob.solve.solve_seconds;
+    cell->iterations = ob.solve.iterations;
+    const obs::GaugeSample* halo =
+        ob.metrics.FindGauge("shard.boundary.halo_entries");
+    cell->halo_entries = halo != nullptr ? halo->value : 0.0;
+    const obs::HistogramSample* ex_end =
+        ob.metrics.FindHistogram("shard.boundary.exchange_us");
+    const obs::HistogramSample* ex_start =
+        before.FindHistogram("shard.boundary.exchange_us");
+    cell->exchange_us = ex_end != nullptr && ex_start != nullptr
+                            ? obs::HistogramDelta(*ex_end, *ex_start).sum
+                            : 0;
+    const obs::HistogramSample* sp_end =
+        ob.metrics.FindHistogram("shard.spmv_us");
+    const obs::HistogramSample* sp_start =
+        before.FindHistogram("shard.spmv_us");
+    cell->spmv_us = sp_end != nullptr && sp_start != nullptr
+                        ? obs::HistogramDelta(*sp_end, *sp_start).sum
+                        : 0;
+  }
+  return true;
+}
+
+// The correctness gate: the composite snapshot's lazy merge must produce
+// the same bytes as the dense K=1 ranking.
+bool TopKMatches(const std::vector<ScoredBlogger>& got,
+                 const std::vector<ScoredBlogger>& want, size_t shards) {
+  if (got.size() != want.size()) {
+    std::fprintf(stderr, "top-k size mismatch at %zu shards: %zu vs %zu\n",
+                 shards, got.size(), want.size());
+    return false;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].id || got[i].score != want[i].score) {
+      std::fprintf(stderr,
+                   "top-k diverges at %zu shards, rank %zu: "
+                   "(%u, %.17g) vs (%u, %.17g)\n",
+                   shards, i, got[i].id, got[i].score, want[i].id,
+                   want[i].score);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs the shard grid on a scaled corpus; returns false on any failure,
+// including a bit-identity violation. Fills `cells` (K=1 first).
+bool RunShardGrid(size_t num_bloggers, size_t num_posts, int repeats,
+                  std::vector<ShardCell>* cells, const Corpus** corpus_out) {
+  synth::ScaledGeneratorOptions gen;
+  gen.num_bloggers = num_bloggers;
+  gen.num_posts = num_posts;
+  std::printf("generating scaled corpus (%zu bloggers, %zu posts)...\n",
+              num_bloggers, num_posts);
+  Stopwatch gen_sw;
+  static std::vector<std::unique_ptr<Corpus>> keep_alive;
+  auto gen_result = synth::GenerateScaledBlogosphere(gen);
+  if (!gen_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 gen_result.status().ToString().c_str());
+    return false;
+  }
+  keep_alive.push_back(std::make_unique<Corpus>(std::move(*gen_result)));
+  const Corpus& corpus = *keep_alive.back();
+  *corpus_out = &corpus;
+  std::printf("generated in %.1fs: %zu posts, %zu comments, %zu links\n",
+              gen_sw.ElapsedSeconds(), corpus.num_posts(),
+              corpus.num_comments(), corpus.num_links());
+
+  MassEngine engine(&corpus, OptsForShards(1));
+  {
+    Stopwatch sw;
+    Status s = engine.Analyze(nullptr, 10);
+    if (!s.ok()) {
+      std::fprintf(stderr, "analyze failed: %s\n", s.ToString().c_str());
+      return false;
+    }
+    std::printf("initial analyze (K=1): %.2fs\n", sw.ElapsedSeconds());
+  }
+
+  std::vector<ScoredBlogger> baseline;
+  for (size_t shards : {1ul, 2ul, 4ul, 8ul}) {
+    ShardCell cell;
+    if (!MeasureCell(&engine, shards, repeats, &cell)) return false;
+    cells->push_back(cell);
+    const auto snap = engine.CurrentSnapshot();
+    const std::vector<ScoredBlogger> topk = snap->TopKGeneral(kTopK);
+    if (shards == 1) {
+      baseline = topk;
+    } else if (!TopKMatches(topk, baseline, shards)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintCells(const std::vector<ShardCell>& cells) {
+  const double base = cells.front().retune_seconds;
+  std::printf("%-8s %-12s %-12s %-7s %-12s %-12s %-12s %-8s\n", "shards",
+              "retune_s", "solve_s", "iters", "halo", "exchange_us",
+              "spmv_us", "vs_K=1");
+  for (const ShardCell& c : cells) {
+    std::printf("%-8zu %-12.3f %-12.3f %-7d %-12.0f %-12llu %-12llu %-8.2f\n",
+                c.shards, c.retune_seconds, c.solve_seconds, c.iterations,
+                c.halo_entries,
+                static_cast<unsigned long long>(c.exchange_us),
+                static_cast<unsigned long long>(c.spmv_us),
+                base / c.retune_seconds);
+  }
+}
+
+void WriteJson(const Corpus& corpus, const std::vector<ShardCell>& cells,
+               int repeats) {
+  std::FILE* f = std::fopen("BENCH_shard.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_shard.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_shard/S8_shard_grid\",\n");
+  std::fprintf(f,
+               "  \"metric\": \"best-of-%d wall seconds around Retune "
+               "(fixed-point solve + snapshot publish)\",\n",
+               repeats);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"corpus\": {\"bloggers\": %zu, \"posts\": %zu, "
+               "\"comments\": %zu, \"links\": %zu},\n",
+               corpus.num_bloggers(), corpus.num_posts(),
+               corpus.num_comments(), corpus.num_links());
+  std::fprintf(f, "  \"top%zu_bit_identical_across_shards\": true,\n", kTopK);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ShardCell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"retune_seconds\": %.6f, "
+                 "\"solve_seconds\": %.6f, \"iterations\": %d, "
+                 "\"halo_entries\": %.0f, \"exchange_us\": %llu, "
+                 "\"spmv_us\": %llu}%s\n",
+                 c.shards, c.retune_seconds, c.solve_seconds, c.iterations,
+                 c.halo_entries,
+                 static_cast<unsigned long long>(c.exchange_us),
+                 static_cast<unsigned long long>(c.spmv_us),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_shard.json\n");
+}
+
+int RunFull() {
+  bench::Banner("S8", "sharded solve + publish at 1M bloggers");
+  std::vector<ShardCell> cells;
+  const Corpus* corpus = nullptr;
+  if (!RunShardGrid(kFullBloggers, kFullPosts, /*repeats=*/2, &cells,
+                    &corpus)) {
+    return 1;
+  }
+  PrintCells(cells);
+  WriteJson(*corpus, cells, /*repeats=*/2);
+  return 0;
+}
+
+// `--smoke`: the same grid + bit-identity gate on a small corpus, sized
+// for a CI lane. Exit status is the gate; no JSON is written so a smoke
+// run never clobbers a full run's BENCH_shard.json.
+int RunSmoke() {
+  std::vector<ShardCell> cells;
+  const Corpus* corpus = nullptr;
+  if (!RunShardGrid(kSmokeBloggers, kSmokePosts, /*repeats=*/1, &cells,
+                    &corpus)) {
+    return 1;
+  }
+  PrintCells(cells);
+  std::printf("perf-shard-smoke: top-%zu bit-identical across "
+              "1/2/4/8 shards OK\n",
+              kTopK);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return mass::RunSmoke();
+  }
+  return mass::RunFull();
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 namespace mass {
 
@@ -20,17 +21,35 @@ BackoffSchedule::BackoffSchedule(const BackoffPolicy& policy, uint64_t seed)
 
 int64_t BackoffSchedule::NextDelayMicros() {
   if (retries_granted_ >= policy_.max_retries) return -1;
+  // Every growth step below saturates at kCap instead of overflowing:
+  // prev_delay_micros_ is bounded only by policy_.max_delay_micros, which
+  // callers may set anywhere up to INT64_MAX, so the naive 3 * prev (and
+  // the double->int64 cast past 2^63) is signed-overflow UB at large
+  // attempt numbers. kMaxExactDouble is the largest double below 2^63 —
+  // any product at or beyond it cannot be cast back safely.
+  constexpr int64_t kCap = std::numeric_limits<int64_t>::max();
+  constexpr double kMaxExactDouble = 9223372036854774784.0;
   int64_t delay = 0;
   if (prev_delay_micros_ <= 0) {
     delay = policy_.initial_delay_micros;
   } else if (policy_.decorrelated_jitter) {
     const int64_t lo = policy_.initial_delay_micros;
-    const int64_t hi = std::max(lo, 3 * prev_delay_micros_);
-    delay = lo + static_cast<int64_t>(rng_.NextDouble() *
-                                      static_cast<double>(hi - lo));
+    const int64_t tripled =
+        prev_delay_micros_ > kCap / 3 ? kCap : 3 * prev_delay_micros_;
+    const int64_t hi = std::max(lo, tripled);
+    const double jittered = rng_.NextDouble() * static_cast<double>(hi - lo);
+    if (!(jittered < kMaxExactDouble)) {
+      delay = kCap;
+    } else {
+      const int64_t j = static_cast<int64_t>(jittered);
+      delay = j > kCap - lo ? kCap : lo + j;
+    }
   } else {
-    delay = static_cast<int64_t>(static_cast<double>(prev_delay_micros_) *
-                                 policy_.multiplier);
+    const double grown =
+        static_cast<double>(prev_delay_micros_) * policy_.multiplier;
+    // The negated comparison also routes a NaN product (garbage
+    // multiplier) into the saturated branch instead of UB.
+    delay = !(grown < kMaxExactDouble) ? kCap : static_cast<int64_t>(grown);
   }
   delay = std::clamp(delay, int64_t{0}, policy_.max_delay_micros);
   if (policy_.fetch_deadline_micros > 0 &&

@@ -32,6 +32,34 @@ void SortAndCap(std::vector<RankedPost>* posts, size_t cap) {
   posts->shrink_to_fit();
 }
 
+// Lazy k-way merge of per-shard rankings, each sorted by BetterScored.
+// BetterScored is a strict TOTAL order on distinct bloggers (ids are
+// unique and break every tie), so merging sorted sublists reproduces the
+// globally-sorted sequence byte for byte — the composite snapshot's
+// ordering contract. O(k·S) with S = shard count; queries only pay for
+// the k entries they return.
+std::vector<ScoredBlogger> MergeShardTopK(
+    const std::vector<std::vector<ScoredBlogger>>& lists, size_t k) {
+  size_t total = 0;
+  for (const auto& l : lists) total += l.size();
+  const size_t n = std::min(k, total);
+  std::vector<ScoredBlogger> out;
+  out.reserve(n);
+  std::vector<size_t> cursor(lists.size(), 0);
+  while (out.size() < n) {
+    size_t best = lists.size();
+    for (size_t s = 0; s < lists.size(); ++s) {
+      if (cursor[s] >= lists[s].size()) continue;
+      if (best == lists.size() ||
+          BetterScored(lists[s][cursor[s]], lists[best][cursor[best]])) {
+        best = s;
+      }
+    }
+    out.push_back(lists[best][cursor[best]++]);
+  }
+  return out;
+}
+
 }  // namespace
 
 uint64_t AnalysisSnapshot::AgeMicros() const {
@@ -125,17 +153,26 @@ const std::vector<double>* AnalysisSnapshot::InterestsOfBlogger(
 }
 
 std::vector<ScoredBlogger> AnalysisSnapshot::TopKGeneral(size_t k) const {
+  if (num_ranking_shards > 0) {
+    return MergeShardTopK(shard_general_rankings, k);
+  }
   const size_t n = std::min(k, general_ranking.size());
   return {general_ranking.begin(), general_ranking.begin() + n};
 }
 
 Result<std::vector<ScoredBlogger>> AnalysisSnapshot::TopKDomain(
     size_t domain, size_t k) const {
-  if (domain >= domain_rankings.size()) {
+  const size_t ranked_domains = num_ranking_shards > 0
+                                    ? shard_domain_rankings.size()
+                                    : domain_rankings.size();
+  if (domain >= ranked_domains) {
     return Status::InvalidArgument("domain " + std::to_string(domain) +
                                    " out of range (snapshot has " +
-                                   std::to_string(domain_rankings.size()) +
+                                   std::to_string(ranked_domains) +
                                    " ranked domains)");
+  }
+  if (num_ranking_shards > 0) {
+    return MergeShardTopK(shard_domain_rankings[domain], k);
   }
   const auto& ranking = domain_rankings[domain];
   const size_t n = std::min(k, ranking.size());
@@ -209,28 +246,79 @@ Result<std::vector<RankedPost>> AnalysisSnapshot::TopPostsOfDomain(
 }
 
 void AnalysisSnapshot::BuildDerived() {
+  BuildDerivedCommon();
   const size_t nb = num_bloggers();
-  const size_t np = num_posts();
   const size_t nd = num_domains;
 
+  num_ranking_shards = 0;
+  shard_general_rankings.clear();
+  shard_domain_rankings.clear();
+
   general_ranking = FullRanking(influence);
-
-  // Transpose the [b][d] domain vectors into the contiguous [d][b] plane
-  // the Eq. 5 kernel streams; each domain row doubles as the ranking
-  // column below.
-  interest_plane.assign(nd * nb, 0.0);
-  for (size_t b = 0; b < nb && b < domain_influence.size(); ++b) {
-    const auto& dv = domain_influence[b];
-    const size_t n = std::min(dv.size(), nd);
-    for (size_t d = 0; d < n; ++d) interest_plane[d * nb + b] = dv[d];
-  }
-
   domain_rankings.assign(nd, {});
   std::vector<double> column(nb, 0.0);
   for (size_t d = 0; d < nd; ++d) {
     const double* row = interest_plane.data() + d * nb;
     column.assign(row, row + nb);
     domain_rankings[d] = FullRanking(column);
+  }
+}
+
+void AnalysisSnapshot::BuildDerivedSharded(
+    const std::vector<uint32_t>& shard_of, size_t num_shards) {
+  BuildDerivedCommon();
+  const size_t nb = num_bloggers();
+  const size_t nd = num_domains;
+  if (num_shards == 0) num_shards = 1;
+
+  num_ranking_shards = num_shards;
+  general_ranking.clear();
+  domain_rankings.clear();
+
+  // A blogger outside the plan (shouldn't happen: the plan is rebuilt per
+  // solve) falls back to shard 0 rather than vanishing from rankings.
+  auto shard_for = [&](size_t b) {
+    const uint32_t s = b < shard_of.size() ? shard_of[b] : 0;
+    return s < num_shards ? s : 0u;
+  };
+
+  shard_general_rankings.assign(num_shards, {});
+  for (size_t b = 0; b < nb; ++b) {
+    shard_general_rankings[shard_for(b)].push_back(
+        ScoredBlogger{static_cast<BloggerId>(b), influence[b]});
+  }
+  for (auto& ranking : shard_general_rankings) {
+    std::sort(ranking.begin(), ranking.end(), BetterScored);
+  }
+
+  shard_domain_rankings.assign(
+      nd, std::vector<std::vector<ScoredBlogger>>(num_shards));
+  for (size_t d = 0; d < nd; ++d) {
+    const double* row = interest_plane.data() + d * nb;
+    auto& per_shard = shard_domain_rankings[d];
+    for (size_t b = 0; b < nb; ++b) {
+      per_shard[shard_for(b)].push_back(
+          ScoredBlogger{static_cast<BloggerId>(b), row[b]});
+    }
+    for (auto& ranking : per_shard) {
+      std::sort(ranking.begin(), ranking.end(), BetterScored);
+    }
+  }
+}
+
+void AnalysisSnapshot::BuildDerivedCommon() {
+  const size_t nb = num_bloggers();
+  const size_t np = num_posts();
+  const size_t nd = num_domains;
+
+  // Transpose the [b][d] domain vectors into the contiguous [d][b] plane
+  // the Eq. 5 kernel streams; each domain row doubles as the ranking
+  // column for the BuildDerived variants.
+  interest_plane.assign(nd * nb, 0.0);
+  for (size_t b = 0; b < nb && b < domain_influence.size(); ++b) {
+    const auto& dv = domain_influence[b];
+    const size_t n = std::min(dv.size(), nd);
+    for (size_t d = 0; d < n; ++d) interest_plane[d * nb + b] = dv[d];
   }
 
   // Mean interest vector over each blogger's own posts; uniform 1/nd for
@@ -349,14 +437,54 @@ Status AnalysisSnapshot::CheckConsistent() const {
       }
     }
   }
-  MASS_RETURN_IF_ERROR(expect(general_ranking.size(), nb, "general_ranking"));
-  MASS_RETURN_IF_ERROR(expect(domain_rankings.size(), nd, "domain_rankings"));
-  for (const auto& ranking : domain_rankings) {
-    MASS_RETURN_IF_ERROR(expect(ranking.size(), nb, "domain ranking"));
-    for (const auto& sb : ranking) {
-      if (sb.id >= nb) {
-        return Status::Corruption("ranked blogger id out of range");
+  if (num_ranking_shards == 0) {
+    MASS_RETURN_IF_ERROR(
+        expect(general_ranking.size(), nb, "general_ranking"));
+    MASS_RETURN_IF_ERROR(
+        expect(domain_rankings.size(), nd, "domain_rankings"));
+    for (const auto& ranking : domain_rankings) {
+      MASS_RETURN_IF_ERROR(expect(ranking.size(), nb, "domain ranking"));
+      for (const auto& sb : ranking) {
+        if (sb.id >= nb) {
+          return Status::Corruption("ranked blogger id out of range");
+        }
       }
+    }
+  } else {
+    // Composite mode: every blogger appears in exactly one shard list per
+    // surface, so the shard sizes must sum to nb (a blogger missing from
+    // its shard would silently vanish from merged top-k results).
+    MASS_RETURN_IF_ERROR(expect(shard_general_rankings.size(),
+                                num_ranking_shards,
+                                "shard_general_rankings"));
+    size_t general_total = 0;
+    for (const auto& ranking : shard_general_rankings) {
+      general_total += ranking.size();
+      for (const auto& sb : ranking) {
+        if (sb.id >= nb) {
+          return Status::Corruption("sharded ranked blogger id out of range");
+        }
+      }
+    }
+    MASS_RETURN_IF_ERROR(
+        expect(general_total, nb, "shard_general_rankings total"));
+    MASS_RETURN_IF_ERROR(
+        expect(shard_domain_rankings.size(), nd, "shard_domain_rankings"));
+    for (const auto& per_shard : shard_domain_rankings) {
+      MASS_RETURN_IF_ERROR(expect(per_shard.size(), num_ranking_shards,
+                                  "shard_domain_rankings row"));
+      size_t domain_total = 0;
+      for (const auto& ranking : per_shard) {
+        domain_total += ranking.size();
+        for (const auto& sb : ranking) {
+          if (sb.id >= nb) {
+            return Status::Corruption(
+                "sharded domain-ranked blogger id out of range");
+          }
+        }
+      }
+      MASS_RETURN_IF_ERROR(
+          expect(domain_total, nb, "shard domain ranking total"));
     }
   }
   MASS_RETURN_IF_ERROR(

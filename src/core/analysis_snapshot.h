@@ -79,10 +79,26 @@ struct AnalysisSnapshot {
   /// Mean interest vector of each blogger's own posts (uniform for a
   /// blogger with no posts); Scenario-2 recommendation reads this.
   std::vector<std::vector<double>> blogger_interests;
-  /// All bloggers sorted by Inf(b) desc, ties by id asc.
+  /// All bloggers sorted by Inf(b) desc, ties by id asc. Empty in a
+  /// sharded-composite snapshot (see num_ranking_shards) — use
+  /// TopKGeneral(), which merges lazily.
   std::vector<ScoredBlogger> general_ranking;
-  /// [d]: all bloggers sorted by Inf(b, d) desc, ties by id asc.
+  /// [d]: all bloggers sorted by Inf(b, d) desc, ties by id asc. Empty in
+  /// a sharded-composite snapshot — use TopKDomain().
   std::vector<std::vector<ScoredBlogger>> domain_rankings;
+  /// Sharded-composite mode (BuildDerivedSharded): 0 = dense rankings
+  /// above; >0 = the rankings live shard-local below and TopKGeneral /
+  /// TopKDomain k-way merge them lazily, so a publish sorts K small lists
+  /// in parallel instead of one global list per domain, and queries only
+  /// pay merge cost for the k entries they return. The merged order is
+  /// byte-identical to the dense ranking: every list is sorted by the same
+  /// strict total order (BetterScored — ids are unique, so there are no
+  /// equal elements to reorder).
+  size_t num_ranking_shards = 0;
+  /// [s]: the s-th shard's bloggers sorted by Inf(b) desc, ties id asc.
+  std::vector<std::vector<ScoredBlogger>> shard_general_rankings;
+  /// [d][s]: the s-th shard's bloggers sorted by Inf(b, d).
+  std::vector<std::vector<std::vector<ScoredBlogger>>> shard_domain_rankings;
   /// [d]: top posts by Inf(p)*iv[p][d], capped at kTopPostsPerDomain.
   std::vector<std::vector<RankedPost>> domain_top_posts;
   /// [b]: the blogger's best posts by Inf(p), capped at
@@ -126,9 +142,11 @@ struct AnalysisSnapshot {
   const std::vector<double>* InterestsOfBlogger(BloggerId b) const;
 
   // ---- rankings (precomputed; ties break toward smaller ids) ----
-  /// Top-k by Inf(b): an O(k) slice of general_ranking.
+  /// Top-k by Inf(b): an O(k) slice of general_ranking, or an O(k·S)
+  /// lazy merge of the shard-local rankings in composite mode.
   std::vector<ScoredBlogger> TopKGeneral(size_t k) const;
-  /// Top-k by Inf(b, d): an O(k) slice of domain_rankings[d].
+  /// Top-k by Inf(b, d): an O(k) slice of domain_rankings[d] (O(k·S)
+  /// merge in composite mode).
   Result<std::vector<ScoredBlogger>> TopKDomain(size_t domain,
                                                 size_t k) const;
   /// Top-k by the Eq. 5 dot product Inf(b, IV) . weights (the Scenario-1
@@ -148,6 +166,22 @@ struct AnalysisSnapshot {
   /// Tolerates missing per-post data (a version-1 file): post-derived
   /// indexes stay empty, blogger rankings still build.
   void BuildDerived();
+
+  /// Sharded-composite variant: builds the same derived surfaces but
+  /// stores per-shard rankings (shard s owns blogger b iff
+  /// shard_of[b] == s) instead of dense global ones; top-k queries merge
+  /// them lazily with byte-identical ordering. The engine calls this when
+  /// it solved sharded (EngineOptions::num_shards > 1). Note that
+  /// storage/analysis_xml re-derives with the dense BuildDerived() on
+  /// load, so a round-tripped composite snapshot comes back dense —
+  /// identical query results either way.
+  void BuildDerivedSharded(const std::vector<uint32_t>& shard_of,
+                           size_t num_shards);
+
+  /// Shared body of the two BuildDerived variants: interest plane,
+  /// blogger interest vectors, and the post indexes — everything except
+  /// the blogger rankings.
+  void BuildDerivedCommon();
 
   /// Cross-checks every surface and index dimension against
   /// num_bloggers/num_posts/num_domains. OK for a snapshot frozen by a

@@ -4,7 +4,12 @@
 // toggles additionally drive the ablation bench (A3).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
 #include "linkanalysis/pagerank.h"
+#include "model/entities.h"
 #include "sentiment/sentiment_analyzer.h"
 
 namespace mass::obs {
@@ -81,6 +86,18 @@ struct EngineOptions {
   /// Convergence: max per-blogger absolute change of the mean-normalized
   /// influence below this ends iteration.
   double tolerance = 1e-9;
+  /// Partition the compiled solve into this many shards (src/shard): the
+  /// CSR system splits by blogger, each round runs K shard-local SpMVs
+  /// with a boundary-influence exchange, and the published snapshot keeps
+  /// per-shard rankings merged lazily at query time. 0 or 1 = the single-
+  /// matrix solve. Scores and rankings are bit-identical for every shard
+  /// count (see shard/sharded_matrix.h); requires use_compiled_solver.
+  size_t num_shards = 0;
+  /// Pluggable shard key: maps (blogger, num_shards) to the owning shard.
+  /// Null = the built-in multiplicative hash (shard::HashShardKey); a
+  /// community-aware key from a graph clustering drops in here. Must be a
+  /// pure function of its arguments. Not serialized by options_xml.
+  std::function<uint32_t(BloggerId, size_t)> shard_key;
   /// Fraction of the previous iterate blended into the new one (0 = pure
   /// Jacobi). Useful if a corpus produces oscillation.
   double damping = 0.0;

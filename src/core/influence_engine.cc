@@ -72,6 +72,10 @@ void MassEngine::InitObservability() {
   warm_saved_gauge_ = metrics_->GetGauge("engine.warm_start_iterations_saved");
   snapshot_publishes_ = metrics_->GetCounter("serve.snapshot.publishes");
   snapshot_publish_us_ = metrics_->GetHistogram("serve.snapshot.publish_us");
+  shard_exchange_us_ = metrics_->GetHistogram("shard.boundary.exchange_us");
+  shard_spmv_us_ = metrics_->GetHistogram("shard.spmv_us");
+  shard_count_gauge_ = metrics_->GetGauge("shard.count");
+  shard_halo_gauge_ = metrics_->GetGauge("shard.boundary.halo_entries");
 }
 
 void MassEngine::PublishSnapshot(std::string_view run) {
@@ -124,7 +128,15 @@ void MassEngine::PublishSnapshot(std::string_view run) {
     snap->post_titles.push_back(post.title);
   }
 
-  snap->BuildDerived();
+  if (sharded_valid_ && UseShardedSolve()) {
+    // Composite snapshot: rankings stay shard-local (sorted per shard
+    // against the same plan the solve partitioned by) and TopKGeneral /
+    // TopKDomain merge them lazily — byte-identical ordering to the dense
+    // build, without the global per-domain sorts on the publish path.
+    snap->BuildDerivedSharded(shard_plan_.owner, shard_plan_.num_shards);
+  } else {
+    snap->BuildDerived();
+  }
   snap->publish_time = std::chrono::steady_clock::now();
   const uint64_t seq = snap->sequence;
   snapshot_.store(std::move(snap), std::memory_order_release);
@@ -428,10 +440,21 @@ void MassEngine::SolveInfluence() {
                                     comment_recency_, SolverPool());
       matrix_valid_ = true;
     }
-    auto span = tracer_.Span("fixed_point");
-    IterateCompiled(/*warm=*/false);
+    if (UseShardedSolve()) {
+      {
+        auto span = tracer_.Span("partition_shards");
+        BuildShardedSystem();
+      }
+      auto span = tracer_.Span("fixed_point");
+      IterateSharded(/*warm=*/false);
+    } else {
+      sharded_valid_ = false;
+      auto span = tracer_.Span("fixed_point");
+      IterateCompiled(/*warm=*/false);
+    }
   } else {
     matrix_valid_ = false;
+    sharded_valid_ = false;
     auto span = tracer_.Span("fixed_point");
     SolveInfluenceReference(/*warm=*/false);
   }
@@ -468,16 +491,32 @@ Status MassEngine::SolveInfluenceIncremental() {
       // matrix may have been mutated in place, so mark it dead; the
       // transactional wrapper restores the pre-ingest copy.
       matrix_valid_ = false;
+      sharded_valid_ = false;
       return Status::Aborted(
           StrFormat("ingest grew the solver matrix to %zu stored entries "
                     "(ingest_max_matrix_nnz = %zu)",
                     matrix_.nnz(), options_.ingest_max_matrix_nnz));
     }
     matrix_valid_ = true;
-    auto span = tracer_.Span("fixed_point");
-    IterateCompiled(warm);
+    if (UseShardedSolve()) {
+      // The partition is rebuilt from the (extended or recompiled) global
+      // matrix every solve: row splitting is cheap relative to the fixed
+      // point, and it keeps the in-place ExtendSolverMatrix path oblivious
+      // to sharding.
+      {
+        auto span = tracer_.Span("partition_shards");
+        BuildShardedSystem();
+      }
+      auto span = tracer_.Span("fixed_point");
+      IterateSharded(warm);
+    } else {
+      sharded_valid_ = false;
+      auto span = tracer_.Span("fixed_point");
+      IterateCompiled(warm);
+    }
   } else {
     matrix_valid_ = false;
+    sharded_valid_ = false;
     auto span = tracer_.Span("fixed_point");
     SolveInfluenceReference(warm);
   }
@@ -506,7 +545,6 @@ void MassEngine::IterateCompiled(bool warm) {
   const size_t nb = corpus_->num_bloggers();
   const size_t np = corpus_->num_posts();
   const double alpha = options_.alpha;
-  const double beta = options_.beta;
   ThreadPool* pool = SolverPool();
   const SolverMatrix& matrix = matrix_;
   solve_trace_.solver_path = "csr";
@@ -577,24 +615,154 @@ void MassEngine::IterateCompiled(bool warm) {
     }
   }
 
-  // Final per-post pass: Inf(b_i, d_k) under the iterate that fed the last
-  // SpMV (matching the reference solver, which writes post_influence_
-  // before the iterate is updated). Streams the matrix's post-grouped
-  // mirror — no corpus records touched. Skipped when no iteration ran.
-  if (!last_x.empty()) {
-    const double* x = last_x.data();
-    ParallelFor(pool, np, [&, x](size_t begin, size_t end) {
-      for (size_t p = begin; p < end; ++p) {
-        double comment_score = 0.0;
-        for (size_t k = matrix.post_offsets[p]; k < matrix.post_offsets[p + 1];
-             ++k) {
-          comment_score += x[matrix.post_commenter[k]] * matrix.post_weight[k];
-        }
-        post_influence_[p] = beta * post_quality_[p] * post_recency_[p] +
-                             (1.0 - beta) * comment_score;
+  ReconstructPostInfluence(last_x);
+}
+
+// Final per-post pass shared by the compiled and sharded paths:
+// Inf(b_i, d_k) under the iterate that fed the last SpMV (matching the
+// reference solver, which writes post_influence_ before the iterate is
+// updated). Streams the global matrix's post-grouped mirror — no corpus
+// records touched, and no per-shard state needed: the sharded solve keeps
+// the global matrix_ alive precisely so this mirror stays usable. Skipped
+// when no iteration ran (last_x empty).
+void MassEngine::ReconstructPostInfluence(const std::vector<double>& last_x) {
+  if (last_x.empty()) return;
+  const size_t np = corpus_->num_posts();
+  const double beta = options_.beta;
+  const SolverMatrix& matrix = matrix_;
+  ThreadPool* pool = SolverPool();
+  const double* x = last_x.data();
+  ParallelFor(pool, np, [&, x](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      double comment_score = 0.0;
+      for (size_t k = matrix.post_offsets[p]; k < matrix.post_offsets[p + 1];
+           ++k) {
+        comment_score += x[matrix.post_commenter[k]] * matrix.post_weight[k];
       }
-    });
+      post_influence_[p] = beta * post_quality_[p] * post_recency_[p] +
+                           (1.0 - beta) * comment_score;
+    }
+  });
+}
+
+bool MassEngine::UseShardedSolve() const {
+  return options_.use_compiled_solver && options_.num_shards > 1;
+}
+
+// Splits the already-compiled global CSR system by blogger row. The global
+// matrix_ stays live: ExtendSolverMatrix keeps extending it on ingest, and
+// ReconstructPostInfluence reads its post-grouped mirror.
+void MassEngine::BuildShardedSystem() {
+  shard::ShardingSpec spec;
+  spec.num_shards = options_.num_shards;
+  spec.key = options_.shard_key;
+  shard_plan_ = shard::BuildShardPlan(corpus_->num_bloggers(), spec);
+  sharded_matrix_ =
+      shard::PartitionSolverMatrix(matrix_, shard_plan_, SolverPool());
+  sharded_valid_ = true;
+  shard_count_gauge_.Set(static_cast<double>(sharded_matrix_.num_shards()));
+  shard_halo_gauge_.Set(static_cast<double>(sharded_matrix_.halo_entries()));
+}
+
+// The sharded fixed point: identical to IterateCompiled except that each
+// round's SpMV runs as K shard-local kernels with a boundary-influence
+// exchange (halo gather) in between. Blend, normalization, damping, and
+// the residual all stay global, and the shard kernels sum rows serially
+// over a monotone column remap, so every iterate — and therefore the
+// converged influence, ap, and post_influence surfaces — is BYTE-IDENTICAL
+// to the single-matrix solve for any shard count (shard_test asserts this
+// across 1/2/4/8 shards and all 16 facet ablations).
+void MassEngine::IterateSharded(bool warm) {
+  const size_t nb = corpus_->num_bloggers();
+  const size_t np = corpus_->num_posts();
+  const double alpha = options_.alpha;
+  ThreadPool* pool = SolverPool();
+  solve_trace_.solver_path = "csr-sharded";
+  solve_trace_.warm_start = warm;
+  solve_trace_.residuals.clear();
+  solve_trace_.residuals.reserve(
+      static_cast<size_t>(std::max(0, options_.max_iterations)));
+
+  post_influence_.assign(np, 0.0);
+
+  if (warm) {
+    influence_.resize(nb, 1.0);
+    ap_.resize(nb, 0.0);
+  } else {
+    // Same cold start as IterateCompiled: ap = q (the global matrix's
+    // quality vector — identical to the concatenation of shard-local ones).
+    ap_ = matrix_.quality;
+    influence_.assign(nb, 0.0);
+    for (size_t b = 0; b < nb; ++b) {
+      influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+    }
+    MeanNormalize(&influence_);
   }
+
+  std::vector<double> ones;
+  if (!options_.use_citation) ones.assign(nb, 1.0);
+
+  // Shard-local gather buffers, reused across rounds.
+  std::vector<std::vector<double>> x_local(sharded_matrix_.num_shards());
+  std::vector<shard::ShardRoundTiming> timings;
+  std::vector<uint64_t> spmv_us_per_shard(sharded_matrix_.num_shards(), 0);
+  uint64_t exchange_us_total = 0;
+
+  std::vector<double> next(nb, 0.0);
+  std::vector<double> last_x;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<double>& x = options_.use_citation ? influence_ : ones;
+    last_x = x;
+    shard::ShardedSpMV(sharded_matrix_, x, &ap_, &x_local, pool, &timings);
+    uint64_t round_exchange = 0;
+    for (size_t s = 0; s < timings.size(); ++s) {
+      round_exchange += timings[s].exchange_us;
+      spmv_us_per_shard[s] += timings[s].spmv_us;
+    }
+    exchange_us_total += round_exchange;
+    shard_exchange_us_.Record(round_exchange);
+    for (size_t b = 0; b < nb; ++b) {
+      next[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
+    }
+    MeanNormalize(&next);
+    if (options_.damping > 0.0) {
+      for (size_t b = 0; b < nb; ++b) {
+        next[b] = (1.0 - options_.damping) * next[b] +
+                  options_.damping * influence_[b];
+      }
+    }
+    const double delta = ParallelReduce(
+        pool, nb, 0.0,
+        [&](size_t begin, size_t end) {
+          double m = 0.0;
+          for (size_t b = begin; b < end; ++b) {
+            m = std::max(m, std::abs(next[b] - influence_[b]));
+          }
+          return m;
+        },
+        [](double a, double b) { return std::max(a, b); });
+    influence_.swap(next);
+    solve_trace_.iterations = iter + 1;
+    solve_trace_.final_residual = delta;
+    solve_trace_.residuals.push_back({iter + 1, delta, options_.damping});
+    if (delta < options_.tolerance) {
+      solve_trace_.converged = true;
+      break;
+    }
+  }
+
+  // Per-shard solve spans: the kernels run inside ParallelFor, where RAII
+  // nesting is impossible, so the externally-timed totals are recorded as
+  // completed spans (and histogram samples) after the loop.
+  for (size_t s = 0; s < spmv_us_per_shard.size(); ++s) {
+    tracer_.Record(StrFormat("shard%zu_spmv", s),
+                   static_cast<int64_t>(spmv_us_per_shard[s]));
+    shard_spmv_us_.Record(spmv_us_per_shard[s]);
+  }
+  tracer_.Record("shard_boundary_exchange",
+                 static_cast<int64_t>(exchange_us_total));
+
+  ReconstructPostInfluence(last_x);
 }
 
 void MassEngine::SolveInfluenceReference(bool warm) {
@@ -953,6 +1121,9 @@ MassEngine::IngestSnapshot MassEngine::CaptureIngestSnapshot() const {
   s.gl_cached_links = gl_cached_links_;
   s.matrix = matrix_;
   s.matrix_valid = matrix_valid_;
+  s.shard_plan = shard_plan_;
+  s.sharded_matrix = sharded_matrix_;
+  s.sharded_valid = sharded_valid_;
   s.gl = gl_;
   s.ap = ap_;
   s.influence = influence_;
@@ -984,6 +1155,9 @@ void MassEngine::RestoreIngestSnapshot(IngestSnapshot&& snapshot) {
   gl_cached_links_ = snapshot.gl_cached_links;
   matrix_ = std::move(snapshot.matrix);
   matrix_valid_ = snapshot.matrix_valid;
+  shard_plan_ = std::move(snapshot.shard_plan);
+  sharded_matrix_ = std::move(snapshot.sharded_matrix);
+  sharded_valid_ = snapshot.sharded_valid;
   gl_ = std::move(snapshot.gl);
   ap_ = std::move(snapshot.ap);
   influence_ = std::move(snapshot.influence);

@@ -25,6 +25,8 @@
 #include "model/corpus.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_matrix.h"
 
 namespace mass {
 
@@ -232,6 +234,20 @@ class MassEngine {
   /// previous influence vector as the initial iterate (new bloggers join
   /// at the normalized mean, 1.0).
   void IterateCompiled(bool warm);
+  /// True when this solve partitions: compiled solver with
+  /// options_.num_shards > 1 requested.
+  bool UseShardedSolve() const;
+  /// Builds shard_plan_ + sharded_matrix_ from the live compiled matrix_
+  /// (which stays valid — it still feeds the per-post reconstruction and
+  /// the ingest extend path).
+  void BuildShardedSystem();
+  /// The sharded fixed point: identical structure to IterateCompiled with
+  /// the SpMV replaced by K shard-local SpMVs + boundary exchange
+  /// (shard/sharded_matrix.h). Bit-identical output for any shard count.
+  void IterateSharded(bool warm);
+  /// Final per-post pass shared by the compiled paths: Inf(b_i, d_k) from
+  /// the iterate that fed the last SpMV, via matrix_'s post mirror.
+  void ReconstructPostInfluence(const std::vector<double>& last_x);
   void ComputeDomainVectors();
   /// Snapshots the corpus shape a successful solve ran against; Retune()
   /// and IngestDelta() refuse to run when the corpus changed underneath
@@ -258,6 +274,9 @@ class MassEngine {
     size_t gl_cached_links = 0;
     SolverMatrix matrix;
     bool matrix_valid = false;
+    shard::ShardPlan shard_plan;
+    shard::ShardedSolverMatrix sharded_matrix;
+    bool sharded_valid = false;
     std::vector<double> gl;
     std::vector<double> ap;
     std::vector<double> influence;
@@ -305,6 +324,13 @@ class MassEngine {
   obs::Gauge warm_saved_gauge_;
   obs::Counter snapshot_publishes_;
   obs::Histogram snapshot_publish_us_;
+  // Sharded-solve instrumentation: one exchange_us record per round
+  // (summed over shards), one spmv_us record per shard per solve (its
+  // total across rounds), plus the shard count / halo volume gauges.
+  obs::Histogram shard_exchange_us_;
+  obs::Histogram shard_spmv_us_;
+  obs::Gauge shard_count_gauge_;
+  obs::Gauge shard_halo_gauge_;
   // Iteration count of the last cold (full) solve; the baseline for the
   // engine.warm_start_iterations_saved gauge.
   int last_full_solve_iterations_ = 0;
@@ -330,6 +356,16 @@ class MassEngine {
   // it in place instead of recompiling.
   SolverMatrix matrix_;
   bool matrix_valid_ = false;
+
+  // Sharded view of matrix_ (options_.num_shards > 1): the plan that
+  // assigned rows and the partitioned per-shard CSR slices. Rebuilt from
+  // the (extended or recompiled) global matrix every sharded solve —
+  // partitioning is one O(nnz) split, cheap next to the solve itself.
+  // shard_plan_.owner also feeds the composite snapshot's per-shard
+  // rankings at publish time.
+  shard::ShardPlan shard_plan_;
+  shard::ShardedSolverMatrix sharded_matrix_;
+  bool sharded_valid_ = false;
 
   std::vector<double> gl_;              // [blogger]
   std::vector<double> ap_;              // [blogger]

@@ -8,19 +8,23 @@
 
 namespace mass {
 
-namespace {
-
 // Orders by score descending, then id ascending. NaN scores sort last
 // (among themselves by id): `a.score > b.score` is false for any NaN
 // operand, which would violate strict weak ordering and make std::sort
 // undefined on a vector that picked up a NaN — ranking must degrade
 // deterministically instead.
-bool Better(const ScoredBlogger& a, const ScoredBlogger& b) {
+bool BetterScored(const ScoredBlogger& a, const ScoredBlogger& b) {
   const bool a_nan = std::isnan(a.score);
   const bool b_nan = std::isnan(b.score);
   if (a_nan != b_nan) return b_nan;
   if (!a_nan && a.score != b.score) return a.score > b.score;
   return a.id < b.id;
+}
+
+namespace {
+
+bool Better(const ScoredBlogger& a, const ScoredBlogger& b) {
+  return BetterScored(a, b);
 }
 
 }  // namespace

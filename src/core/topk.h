@@ -14,6 +14,12 @@ namespace mass {
 
 struct ScoredBlogger;  // defined in analysis_snapshot.h
 
+/// The ordering every ranked blogger list uses: score descending, ties by
+/// id ascending, NaN scores last (among themselves by id — strict weak
+/// order even on poisoned scores). Exposed so shard-local rankings can be
+/// sorted and lazily merged with byte-identical ordering to a global sort.
+bool BetterScored(const ScoredBlogger& a, const ScoredBlogger& b);
+
 /// Heap-based top-k: O(n log k).
 std::vector<ScoredBlogger> TopKByScore(const std::vector<double>& scores,
                                        size_t k);

@@ -75,14 +75,26 @@ double HistogramSample::Quantile(double q) const {
 
 HistogramSample HistogramDelta(const HistogramSample& a,
                                const HistogramSample& b) {
+  // Every per-field difference clamps at 0: when the end sample is
+  // *smaller* than the start (the registry was reset, or the start sample
+  // came from a previous run), an unsigned subtraction would wrap to a
+  // garbage near-2^64 delta. A clamped delta under-reports the interval
+  // instead, which is the honest answer for a torn baseline.
   HistogramSample d;
   d.name = a.name;
   d.count = a.count >= b.count ? a.count - b.count : 0;
   d.sum = a.sum >= b.sum ? a.sum - b.sum : 0;
+  uint64_t bucket_total = 0;
   for (int i = 0; i < kHistogramBuckets; ++i) {
     d.buckets[i] =
         a.buckets[i] >= b.buckets[i] ? a.buckets[i] - b.buckets[i] : 0;
+    bucket_total += d.buckets[i];
   }
+  // Clamping per field can leave count larger than the surviving bucket
+  // mass (count shrank less than the buckets did). Cap it so the delta is
+  // internally consistent — Quantile() walks the buckets against count and
+  // relies on rank <= sum(buckets).
+  d.count = std::min(d.count, bucket_total);
   return d;
 }
 

@@ -42,6 +42,37 @@ StageTracer::Scope StageTracer::Span(std::string_view name) {
   return Scope(this, index);
 }
 
+void StageTracer::Record(std::string_view name, int64_t duration_us) {
+  if (duration_us < 0) duration_us = 0;
+  MetricsRegistry* registry = nullptr;
+  std::string metric_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= kMaxSpansPerRun) {
+      ++dropped_;
+      return;
+    }
+    TraceSpan span;
+    span.name.assign(name);
+    // One level below the innermost open span, exactly where a Scope
+    // opened and closed here would sit.
+    span.depth = static_cast<int>(open_.size());
+    span.parent = open_.empty() ? -1 : open_.back();
+    const int64_t now = NowMicros();
+    span.start_us = now > duration_us ? now - duration_us : 0;
+    span.duration_us = duration_us;
+    spans_.push_back(std::move(span));
+    if (registry_) {
+      registry = registry_;
+      metric_name.assign(metric_prefix_).append(name).append("_us");
+    }
+  }
+  if (registry) {
+    registry->GetHistogram(metric_name)
+        .Record(static_cast<uint64_t>(duration_us));
+  }
+}
+
 void StageTracer::End(int index) {
   MetricsRegistry* registry = nullptr;
   std::string metric_name;

@@ -68,6 +68,13 @@ class StageTracer {
   // parent. Must be closed (Scope destroyed) in LIFO order.
   Scope Span(std::string_view name);
 
+  // Appends an already-completed span of the given duration — for work
+  // timed externally (e.g. per-shard solver kernels summed across a
+  // parallel region, where RAII nesting is impossible). The span is
+  // parented under the innermost open span; its start is back-dated so it
+  // ends "now". Feeds the "<prefix><name>_us" histogram like a Scope span.
+  void Record(std::string_view name, int64_t duration_us);
+
   // Completed spans of the current run, in start order.
   std::vector<TraceSpan> Spans() const;
 
@@ -105,7 +112,8 @@ struct SolveIteration {
 // same scalars (final_delta renamed final_residual) plus the solver path
 // and the full per-iteration residual log.
 struct SolveTrace {
-  std::string solver_path;  // "csr" or "scalar"; empty before first solve
+  std::string solver_path;  // "csr", "csr-sharded", or "scalar"; empty
+                            // before the first solve
   bool warm_start = false;  // seeded from a previous influence vector
   bool converged = false;
   int iterations = 0;

@@ -219,13 +219,30 @@ Result<DomainTrends> QueryService::Trends(size_t num_buckets) const {
 
 Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
     const std::vector<BatchQuery>& queries) const {
+  std::vector<BatchQueryResult> out;
+  MASS_RETURN_IF_ERROR(RunBatch(queries, &out));
+  return out;
+}
+
+Status QueryService::RunBatch(const std::vector<BatchQuery>& queries,
+                              std::vector<BatchQueryResult>* results) const {
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
+    results->clear();
     return Status::FailedPrecondition("no analysis published yet");
   }
   Stopwatch sw;
-  std::vector<BatchQueryResult> out(queries.size());
+  std::vector<BatchQueryResult>& out = *results;
+  // Reset every surviving slot, not just the ones a smaller reused batch
+  // overwrites: a slot that errors below must not keep the previous
+  // batch's ranking, and a slot that succeeds must not keep its previous
+  // error status.
+  out.resize(queries.size());
+  for (BatchQueryResult& r : out) {
+    r.status = Status::OK();
+    r.ranking.clear();
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
     const BatchQuery& q = queries[i];
     BatchQueryResult& r = out[i];
@@ -256,7 +273,7 @@ Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
   queries_.Increment(queries.size());
   batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
   snapshot_age_us_.Record(snap->AgeMicros());
-  return out;
+  return Status::OK();
 }
 
 Result<std::vector<std::vector<ScoredBlogger>>> QueryService::TopKGeneralBatch(

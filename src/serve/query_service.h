@@ -167,6 +167,15 @@ class QueryService {
   Result<std::vector<BatchQueryResult>> RunBatch(
       const std::vector<BatchQuery>& queries) const;
 
+  /// Allocation-reusing variant: answers into `*results`, resizing it to
+  /// queries.size() and fully resetting every slot (status AND ranking)
+  /// before answering. Callers that reuse one results buffer across a
+  /// query loop keep the slot capacity but never see a stale ranking or
+  /// error from an earlier, larger batch leak through. On a batch-level
+  /// error (no snapshot published) `*results` is cleared.
+  Status RunBatch(const std::vector<BatchQuery>& queries,
+                  std::vector<BatchQueryResult>* results) const;
+
   /// `count` identical TopGeneral(k) lookups — the hot-loop shape of a
   /// front-end fanning one ranking out to many sessions.
   Result<std::vector<std::vector<ScoredBlogger>>> TopKGeneralBatch(

@@ -1,0 +1,28 @@
+#include "shard/shard_plan.h"
+
+namespace mass::shard {
+
+uint32_t HashShardKey(BloggerId blogger, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Fibonacci hashing: multiply by 2^64 / phi and keep the high bits.
+  const uint64_t h = static_cast<uint64_t>(blogger) * 11400714819323198485ull;
+  return static_cast<uint32_t>((h >> 32) % num_shards);
+}
+
+ShardPlan BuildShardPlan(size_t num_bloggers, const ShardingSpec& spec) {
+  ShardPlan plan;
+  plan.num_shards = spec.num_shards > 0 ? spec.num_shards : 1;
+  plan.owner.resize(num_bloggers);
+  plan.owned.assign(plan.num_shards, {});
+  for (size_t b = 0; b < num_bloggers; ++b) {
+    const BloggerId id = static_cast<BloggerId>(b);
+    uint32_t s = spec.key ? spec.key(id, plan.num_shards)
+                          : HashShardKey(id, plan.num_shards);
+    if (s >= plan.num_shards) s %= static_cast<uint32_t>(plan.num_shards);
+    plan.owner[b] = s;
+    plan.owned[s].push_back(id);  // ids arrive ascending, so rows stay sorted
+  }
+  return plan;
+}
+
+}  // namespace mass::shard

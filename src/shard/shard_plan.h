@@ -1,0 +1,53 @@
+// Shard assignment for the partitioned influence solve: which of the K
+// shards owns each blogger's row of the compiled CSR system. The key is
+// pluggable — the default is a multiplicative hash (stateless, balanced,
+// stable across runs), and a community-aware key from a graph clustering
+// can be dropped in without touching the solver (see ShardingSpec::key).
+//
+// A plan is pure bookkeeping: it never looks at the matrix. Partitioning
+// the compiled matrix against a plan and running the sharded rounds live
+// in sharded_matrix.h / the engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "model/entities.h"
+
+namespace mass::shard {
+
+/// Maps (blogger, num_shards) -> owning shard in [0, num_shards). Must be
+/// a pure function of its arguments: the plan is rebuilt per solve and the
+/// parity suites assume identical assignments across runs.
+using ShardKeyFn = std::function<uint32_t(BloggerId, size_t)>;
+
+/// The built-in key: a Fibonacci multiplicative hash of the blogger id.
+/// Spreads consecutive ids (the synth generator allocates them densely)
+/// evenly across shards instead of striping them.
+uint32_t HashShardKey(BloggerId blogger, size_t num_shards);
+
+/// How to partition: shard count plus the (optional) custom key.
+struct ShardingSpec {
+  size_t num_shards = 1;
+  /// Null uses HashShardKey. A community-aware key plugs in here.
+  ShardKeyFn key;
+};
+
+/// The materialized assignment: owner per blogger plus each shard's owned
+/// rows in ascending blogger-id order (the order the partitioned matrix
+/// keeps its rows in).
+struct ShardPlan {
+  size_t num_shards = 1;
+  std::vector<uint32_t> owner;                 ///< [blogger] -> shard
+  std::vector<std::vector<BloggerId>> owned;   ///< [shard], ids ascending
+};
+
+/// Assigns every blogger in [0, num_bloggers) to a shard. num_shards is
+/// clamped to at least 1; a key returning an out-of-range shard is folded
+/// back in range (mod), so a buggy custom key degrades to imbalance, not
+/// to a lost row.
+ShardPlan BuildShardPlan(size_t num_bloggers, const ShardingSpec& spec);
+
+}  // namespace mass::shard

@@ -1,0 +1,89 @@
+// The compiled influence system (core/solver_matrix.h) partitioned by a
+// ShardPlan: each shard holds its own CSR SolverMatrix slice — the rows it
+// owns, columns remapped into a local [owned | halo] index space — so one
+// fixed-point round becomes K independent shard-local SpMVs plus a
+// boundary-influence exchange that refills each shard's local x mirror
+// from the global iterate.
+//
+// Numerical contract (what the shard parity suite asserts): the sharded
+// round is BIT-IDENTICAL to the unsharded SolverSpMV for every shard
+// count and thread count. Partitioning copies each global row verbatim —
+// same values, same ascending-column order — and the shard kernel sums
+// each row serially exactly like the unsharded kernel, so per-row dot
+// products round identically; rows scatter to disjoint global slots, so
+// assembly order cannot matter. Convergence is therefore judged on the
+// same global residual the unsharded solve produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/solver_matrix.h"
+#include "shard/shard_plan.h"
+
+namespace mass {
+class ThreadPool;
+}  // namespace mass
+
+namespace mass::shard {
+
+/// One shard's slice of the compiled system. Rows are the shard's owned
+/// bloggers in ascending global id; `cols` hold LOCAL x indices: entry i
+/// of the local x mirror is owned[i] for i < owned.size(), then
+/// halo[i - owned.size()] — the non-owned bloggers this shard reads,
+/// ascending. The exchange step (GatherLocalX) fills that mirror.
+struct ShardLocalMatrix {
+  std::vector<BloggerId> owned;    ///< global row ids, ascending
+  std::vector<BloggerId> halo;     ///< global ids read but not owned
+  std::vector<size_t> row_offsets; ///< [owned.size() + 1]
+  std::vector<uint32_t> cols;      ///< [nnz] local x indices
+  std::vector<double> values;      ///< [nnz], verbatim from the global CSR
+  std::vector<double> quality;     ///< [owned.size()] q(b) slice
+
+  size_t nnz() const { return cols.size(); }
+  size_t local_x_size() const { return owned.size() + halo.size(); }
+};
+
+/// The full partitioned system plus per-round exchange accounting.
+struct ShardedSolverMatrix {
+  size_t num_bloggers = 0;
+  std::vector<ShardLocalMatrix> shards;
+
+  size_t num_shards() const { return shards.size(); }
+  size_t nnz() const;
+  /// Total halo entries across shards — the volume one boundary exchange
+  /// moves (the shard.boundary.halo_entries gauge).
+  size_t halo_entries() const;
+};
+
+/// Splits a compiled global matrix by the plan. Each shard's rows are the
+/// plan's owned list; values and in-row column order are copied verbatim
+/// (see the bit-identity contract above). The post-grouped mirror is NOT
+/// partitioned — the final per-post reconstruction reads the global
+/// mirror, which is already embarrassingly parallel over posts. `pool`
+/// parallelizes the per-shard builds; the result is identical either way.
+ShardedSolverMatrix PartitionSolverMatrix(const SolverMatrix& matrix,
+                                          const ShardPlan& plan,
+                                          ThreadPool* pool);
+
+/// Per-shard, per-round timing filled by ShardedSpMV.
+struct ShardRoundTiming {
+  uint64_t exchange_us = 0;  ///< halo gather (the boundary exchange)
+  uint64_t spmv_us = 0;      ///< owned gather + shard-local SpMV
+};
+
+/// One sharded fixed-point round: for every shard, gather its local x
+/// mirror from the global iterate `x` (the halo portion is the boundary
+/// exchange, timed separately), run the shard-local SpMV, and scatter
+/// y[row] = q[row] + M_s·x_local into the disjoint global slots. `y` is
+/// resized to num_bloggers; `x_local` is the per-shard mirror workspace
+/// (resized on first use, reused across rounds); `timings` (if non-null)
+/// is resized to num_shards and overwritten each call. Bit-identical to
+/// SolverSpMV on the unpartitioned matrix for any shard/thread count.
+void ShardedSpMV(const ShardedSolverMatrix& m, const std::vector<double>& x,
+                 std::vector<double>* y,
+                 std::vector<std::vector<double>>* x_local, ThreadPool* pool,
+                 std::vector<ShardRoundTiming>* timings);
+
+}  // namespace mass::shard

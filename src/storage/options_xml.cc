@@ -89,6 +89,10 @@ std::string EngineOptionsToXml(const EngineOptions& options) {
               static_cast<int64_t>(options.solver_threads));
   w.Attribute("max_iterations",
               static_cast<int64_t>(options.max_iterations));
+  // num_shards round-trips; the shard_key functor cannot be serialized
+  // (engine_options.h documents this) — a loaded options file always uses
+  // the built-in hash key.
+  w.Attribute("num_shards", static_cast<int64_t>(options.num_shards));
   w.Attribute("tolerance", options.tolerance);
   w.Attribute("damping", options.damping);
   w.EndElement();
@@ -129,6 +133,11 @@ Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text) {
       OptBool(*root, "use_compiled_solver", &o.use_compiled_solver));
   MASS_RETURN_IF_ERROR(OptInt(*root, "solver_threads", &o.solver_threads));
   MASS_RETURN_IF_ERROR(OptInt(*root, "max_iterations", &o.max_iterations));
+  {
+    int shards = static_cast<int>(o.num_shards);
+    MASS_RETURN_IF_ERROR(OptInt(*root, "num_shards", &shards));
+    o.num_shards = shards < 0 ? 0 : static_cast<size_t>(shards);
+  }
   MASS_RETURN_IF_ERROR(OptDouble(*root, "tolerance", &o.tolerance));
   MASS_RETURN_IF_ERROR(OptDouble(*root, "damping", &o.damping));
   return o;

@@ -233,6 +233,139 @@ Result<Corpus> GenerateBlogosphere(const GeneratorOptions& options) {
   return corpus;
 }
 
+namespace {
+
+// O(1) preferential-attachment sampler (the classic endpoint-list trick):
+// the list holds one entry per prior attachment, so a uniform draw from it
+// is degree-proportional; an epsilon mix of uniform node draws keeps cold
+// nodes reachable and seeds the process before any attachment exists.
+class EndpointSampler {
+ public:
+  EndpointSampler(size_t num_nodes, double epsilon)
+      : num_nodes_(num_nodes), epsilon_(epsilon) {}
+
+  size_t Sample(Rng* rng) {
+    if (endpoints_.empty() || rng->NextDouble() < epsilon_) {
+      return rng->NextUint64(num_nodes_);
+    }
+    return endpoints_[rng->NextUint64(endpoints_.size())];
+  }
+
+  void Attach(size_t node) {
+    endpoints_.push_back(static_cast<uint32_t>(node));
+  }
+
+ private:
+  size_t num_nodes_;
+  double epsilon_;
+  std::vector<uint32_t> endpoints_;
+};
+
+}  // namespace
+
+Result<Corpus> GenerateScaledBlogosphere(const ScaledGeneratorOptions& options) {
+  if (options.num_bloggers == 0) {
+    return Status::InvalidArgument("num_bloggers must be positive");
+  }
+  if (options.num_domains == 0 || options.num_domains > kNumPaperDomains) {
+    return Status::InvalidArgument(
+        StrFormat("num_domains must lie in [1, %zu]", kNumPaperDomains));
+  }
+  if (options.attach_epsilon <= 0.0 || options.attach_epsilon > 1.0) {
+    return Status::InvalidArgument("attach_epsilon must lie in (0, 1]");
+  }
+
+  Rng rng(options.seed);
+  Corpus corpus;
+  const size_t nb = options.num_bloggers;
+  const size_t nd = options.num_domains;
+
+  // ---- Bloggers ----
+  // Structural records: short (SSO) names, no profile text, one-hot
+  // ground-truth interest. The primary domain is kept in a side array so
+  // post generation never re-scans interest vectors.
+  std::vector<uint8_t> primary(nb);
+  for (size_t i = 0; i < nb; ++i) {
+    Blogger b;
+    b.name = StrFormat("b%zu", i);
+    b.true_expertise = rng.NextDouble(0.05, 1.0);
+    primary[i] = static_cast<uint8_t>(rng.NextUint64(nd));
+    b.true_interests.assign(nd, 0.0);
+    b.true_interests[primary[i]] = 1.0;
+    corpus.AddBlogger(std::move(b));
+  }
+
+  // ---- Posts ----
+  // Authorship is preferential: prolific bloggers get more prolific, so
+  // post counts follow the heavy-tailed activity profile of a real
+  // blogosphere. Timestamps increase strictly with post id.
+  const int64_t epoch = 1'200'000'000;
+  EndpointSampler authors(nb, options.attach_epsilon);
+  for (size_t p = 0; p < options.num_posts; ++p) {
+    const size_t author = authors.Sample(&rng);
+    authors.Attach(author);
+    Post post;
+    post.author = static_cast<BloggerId>(author);
+    post.true_domain = static_cast<int>(primary[author]);
+    post.timestamp = epoch + static_cast<int64_t>(p);
+    MASS_RETURN_IF_ERROR(corpus.AddPost(std::move(post)).status());
+  }
+
+  // ---- Links ----
+  // Source walks every blogger; the target is preferential by in-degree
+  // (network authority concentrates, which is exactly what GL/PageRank is
+  // meant to measure). Self-links and duplicates are skipped.
+  EndpointSampler link_targets(nb, options.attach_epsilon);
+  std::set<BloggerId> chosen;
+  for (size_t i = 0; i < nb; ++i) {
+    const int out = rng.NextPoisson(options.mean_links_per_blogger);
+    chosen.clear();
+    for (int e = 0; e < out; ++e) {
+      const size_t target = link_targets.Sample(&rng);
+      if (target == i) continue;
+      if (!chosen.insert(static_cast<BloggerId>(target)).second) continue;
+      MASS_RETURN_IF_ERROR(
+          corpus.AddLink(static_cast<BloggerId>(i),
+                         static_cast<BloggerId>(target)));
+      link_targets.Attach(target);
+    }
+  }
+
+  // ---- Comments ----
+  // Both endpoints are preferential: popular posts attract further
+  // comments, and active commenters comment more. Attitudes split
+  // 50/30/20 positive/neutral/negative; self-comments are skipped.
+  if (options.num_posts > 0) {
+    const size_t total = static_cast<size_t>(
+        static_cast<double>(options.num_posts) *
+        std::max(0.0, options.mean_comments_per_post));
+    EndpointSampler post_targets(options.num_posts, options.attach_epsilon);
+    EndpointSampler commenters(nb, options.attach_epsilon);
+    for (size_t c = 0; c < total; ++c) {
+      const size_t pid = post_targets.Sample(&rng);
+      const size_t who = commenters.Sample(&rng);
+      if (static_cast<BloggerId>(who) ==
+          corpus.post(static_cast<PostId>(pid)).author) {
+        continue;
+      }
+      post_targets.Attach(pid);
+      commenters.Attach(who);
+      Comment cm;
+      cm.post = static_cast<PostId>(pid);
+      cm.commenter = static_cast<BloggerId>(who);
+      cm.timestamp = corpus.post(static_cast<PostId>(pid)).timestamp +
+                     rng.NextInt(60, 86'400);
+      const double roll = rng.NextDouble();
+      cm.true_attitude = roll < 0.5 ? 1 : (roll < 0.8 ? 0 : -1);
+      MASS_RETURN_IF_ERROR(corpus.AddComment(std::move(cm)).status());
+    }
+  }
+
+  corpus.BuildIndexes();
+  MASS_RETURN_IF_ERROR(corpus.Validate());
+  return corpus;
+}
+
 Corpus MakeFigure1Corpus() {
   // Paper Figure 1: Amery has post1 (CS, comments from Bob and Cary) and
   // post2 (Economics, comment from Cary); Bob and Cary have their own CS

@@ -60,6 +60,35 @@ struct GeneratorOptions {
 /// Generates a corpus (indexes built, validated).
 Result<Corpus> GenerateBlogosphere(const GeneratorOptions& options);
 
+/// Parameters of the scaled structural generator. Where GeneratorOptions
+/// reproduces the paper's ~3000-space crawl with full synthetic text,
+/// this one targets the million-blogger scale the sharded solver is built
+/// for: entities are structural only (ground-truth domains and attitudes
+/// set directly, no generated prose), and every attachment decision —
+/// which blogger authors the next post, which post a comment lands on,
+/// which blogger a link points at — is preferential (degree-proportional
+/// via O(1) endpoint-list sampling), so the corpus shows the heavy-tailed
+/// activity and in-degree skew of a real blogosphere instead of the flat
+/// Poisson profile the paper-scale generator calibrates.
+struct ScaledGeneratorOptions {
+  uint64_t seed = 42;
+  size_t num_bloggers = 1'000'000;
+  size_t num_posts = 2'000'000;
+  /// Expected comments per post; total comments = num_posts * this.
+  double mean_comments_per_post = 2.0;
+  /// Expected outgoing links per blogger (the GL network).
+  double mean_links_per_blogger = 3.0;
+  size_t num_domains = kNumPaperDomains;  ///< must be <= kNumPaperDomains
+  /// Probability an attachment draw is uniform instead of preferential.
+  /// Keeps cold entities reachable and bounds the tail exponent; must lie
+  /// in (0, 1] (a pure rich-get-richer process never seeds itself).
+  double attach_epsilon = 0.2;
+};
+
+/// Generates a scaled structural corpus (indexes built, validated).
+/// Deterministic for a fixed option set.
+Result<Corpus> GenerateScaledBlogosphere(const ScaledGeneratorOptions& options);
+
 /// Hand-built 9-blogger corpus matching paper Figure 1 (Amery's two posts
 /// in CS and Economics with comments from Bob and Cary, etc.). Used by the
 /// quickstart example and bench_figure1.

@@ -4,6 +4,7 @@
 // crawl and delta-stream crash/resume convergence under a 30% scripted
 // fault plan, and transactional IngestDelta rollback.
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -234,6 +235,50 @@ TEST(BackoffTest, FetchDeadlineCutsTheSchedule) {
   EXPECT_EQ(s.NextDelayMicros(), -1);
   EXPECT_TRUE(s.deadline_exhausted());
   EXPECT_EQ(s.total_delay_micros(), 300);
+}
+
+TEST(BackoffTest, LargeAttemptNumbersSaturateAtMaxDelay) {
+  // Regression: with max_delay_micros near INT64_MAX, the growth step
+  // (3 * prev under jitter, prev * multiplier without) used to overflow —
+  // signed-overflow UB wrapping into negative delays. Attempt 100 must
+  // sit exactly at the cap, never below a smaller attempt, never negative.
+  constexpr int64_t kHuge = std::numeric_limits<int64_t>::max() - 1;
+  for (bool jitter : {false, true}) {
+    SCOPED_TRACE(jitter ? "jitter" : "exponential");
+    BackoffPolicy p;
+    p.max_retries = 150;
+    p.initial_delay_micros = 1'000'000;
+    p.max_delay_micros = kHuge;
+    p.multiplier = 10.0;
+    p.decorrelated_jitter = jitter;
+    BackoffSchedule s(p, 7);
+    int64_t delay = 0;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      delay = s.NextDelayMicros();
+      ASSERT_GE(delay, 0) << "attempt " << attempt;
+      ASSERT_LE(delay, kHuge) << "attempt " << attempt;
+    }
+    if (!jitter) {
+      // Deterministic growth pins attempt 100 to the cap exactly.
+      EXPECT_EQ(delay, p.max_delay_micros);
+    }
+  }
+}
+
+TEST(BackoffTest, Attempt100HitsConfiguredMaxDelayExactly) {
+  // The everyday shape of the same property: a sane cap, a long outage —
+  // by the 100th attempt the schedule must sit exactly at max_delay.
+  BackoffPolicy p;
+  p.max_retries = 200;
+  p.initial_delay_micros = 500;
+  p.max_delay_micros = 100'000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  BackoffSchedule s(p, 1);
+  int64_t delay = 0;
+  for (int attempt = 0; attempt < 100; ++attempt) delay = s.NextDelayMicros();
+  EXPECT_EQ(delay, p.max_delay_micros);
+  EXPECT_EQ(s.retries_granted(), 100);
 }
 
 TEST(BackoffTest, StableHashIsStable) {

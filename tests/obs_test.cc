@@ -199,6 +199,83 @@ TEST(HistogramTest, DeltaIsBucketwiseSaturatingSubtraction) {
   EXPECT_EQ(swapped.sum, 0u);
 }
 
+TEST(HistogramTest, DeltaAgainstResetRegistryNeverWraps) {
+  // Regression: an end sample SMALLER than the start — the registry was
+  // Reset() between the two snapshots (restarted run), so every end field
+  // is below its start counterpart. The raw unsigned subtraction used to
+  // be able to wrap into near-2^64 garbage; the delta must clamp to zero
+  // field by field instead.
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.GetHistogram("lat");
+  for (int i = 0; i < 8; ++i) h.Record(100);
+  obs::MetricsSnapshot start = reg.Snapshot();
+  reg.Reset();
+  h.Record(100);  // fewer post-reset samples than the start had
+  obs::MetricsSnapshot end = reg.Snapshot();
+
+  const obs::HistogramSample* s = start.FindHistogram("lat");
+  const obs::HistogramSample* e = end.FindHistogram("lat");
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(e, nullptr);
+  obs::HistogramSample d = obs::HistogramDelta(*e, *s);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  for (int i = 0; i < obs::kHistogramBuckets; ++i) {
+    EXPECT_EQ(d.buckets[i], 0u) << "bucket " << i;
+  }
+  EXPECT_EQ(d.Quantile(0.5), 0.0);  // stays a usable (empty) sample
+}
+
+TEST(HistogramTest, DeltaCountIsCappedByBucketMass) {
+  // Mixed tear: count moved backwards less than the buckets did (end and
+  // start from different runs). Clamping per field alone would leave
+  // count = 4 against zero surviving bucket mass, which Quantile's
+  // rank-walk cannot satisfy; the cap keeps the delta self-consistent.
+  obs::HistogramSample start, end;
+  start.count = 6;
+  start.buckets[3] = 6;
+  end.count = 10;
+  end.buckets[3] = 4;  // bucket went backwards, count went forwards
+  obs::HistogramSample d = obs::HistogramDelta(end, start);
+  uint64_t mass = 0;
+  for (int i = 0; i < obs::kHistogramBuckets; ++i) mass += d.buckets[i];
+  EXPECT_EQ(mass, 0u);
+  EXPECT_EQ(d.count, 0u);  // capped to the surviving bucket mass
+  EXPECT_EQ(d.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  // Empty sample: every quantile (including the extremes) is 0.
+  obs::HistogramSample empty;
+  EXPECT_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_EQ(empty.Quantile(1.0), 0.0);
+
+  // All samples in the exact-zero bucket.
+  obs::HistogramSample zeros;
+  zeros.count = 5;
+  zeros.buckets[0] = 5;
+  EXPECT_EQ(zeros.Quantile(0.0), 0.0);
+  EXPECT_EQ(zeros.Quantile(0.5), 0.0);
+  EXPECT_EQ(zeros.Quantile(1.0), 0.0);
+
+  // All samples in the overflow bucket: every quantile reports the
+  // bucket's lower bound (it has no finite upper edge to interpolate to).
+  obs::HistogramSample over;
+  over.count = 3;
+  over.buckets[obs::kHistogramBuckets - 1] = 3;
+  const double lower = static_cast<double>(
+      obs::HistogramBucketLowerBound(obs::kHistogramBuckets - 1));
+  EXPECT_EQ(over.Quantile(0.0), lower);
+  EXPECT_EQ(over.Quantile(1.0), lower);
+
+  // Out-of-range q clamps into [0, 1] instead of walking off the ends.
+  obs::HistogramSample one;
+  one.count = 1;
+  one.buckets[1] = 1;
+  EXPECT_EQ(one.Quantile(-3.0), one.Quantile(0.0));
+  EXPECT_EQ(one.Quantile(7.0), one.Quantile(1.0));
+}
+
 // ---------- concurrency (run under -L sanitize) ----------
 
 TEST(MetricsRegistryTest, ConcurrentWritersAreExact) {
@@ -281,6 +358,41 @@ TEST(StageTracerTest, SpanDurationsFeedHistograms) {
   const obs::HistogramSample* hs = snap.FindHistogram("stage.work_us");
   ASSERT_NE(hs, nullptr);
   EXPECT_EQ(hs->count, 1u);
+}
+
+TEST(StageTracerTest, RecordAppendsCompletedSpanUnderOpenParent) {
+  // Record() is the externally-timed path (per-shard kernels summed over
+  // a parallel region): the span lands fully formed, parented under the
+  // innermost open span, and feeds the same histogram a Scope would.
+  obs::MetricsRegistry reg;
+  obs::StageTracer tracer;
+  tracer.SetMetrics(&reg, "stage.");
+  tracer.BeginRun("run");
+  {
+    auto solve = tracer.Span("solve");
+    tracer.Record("shard0_spmv", 1234);
+    tracer.Record("shard1_spmv", -5);  // negative durations clamp to 0
+  }
+  tracer.Record("loose", 7);  // no open parent -> top level
+
+  std::vector<obs::TraceSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[1].name, "shard0_spmv");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].duration_us, 1234);
+  EXPECT_GE(spans[1].start_us, 0);
+  EXPECT_EQ(spans[2].duration_us, 0);
+  EXPECT_EQ(spans[3].name, "loose");
+  EXPECT_EQ(spans[3].depth, 0);
+  EXPECT_EQ(spans[3].parent, -1);
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::HistogramSample* hs =
+      snap.FindHistogram("stage.shard0_spmv_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1u);
+  EXPECT_EQ(hs->sum, 1234u);
 }
 
 // ---------- engine introspection ----------

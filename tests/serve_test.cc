@@ -877,6 +877,79 @@ TEST(QueryServiceTest, BatchHelpersAndErrorSlots) {
   QueryService::ReleaseThreadLease();
 }
 
+TEST(QueryServiceTest, ReusedBatchBufferIsFullyReset) {
+  // Regression: the out-param RunBatch must reset every slot of a reused
+  // results buffer. A caller that runs a big batch, then a smaller or
+  // differently-shaped one into the same vector, must never see a stale
+  // ranking or stale error status leak through from the earlier batch.
+  Corpus corpus = SourceCorpus(38, 40, 160);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+
+  std::vector<BatchQueryResult> results;
+
+  // Round 1: four slots — two good, one bad domain, one bad ad.
+  std::vector<BatchQuery> big;
+  big.push_back(BatchQuery::TopGeneral(5));
+  big.push_back(BatchQuery::TopByDomain(99, 3));  // InvalidArgument
+  big.push_back(BatchQuery::MatchAd({}, 3));      // InvalidArgument
+  big.push_back(BatchQuery::TopByDomain(0, 3));
+  ASSERT_TRUE(service.RunBatch(big, &results).ok());
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_FALSE(results[0].ranking.empty());
+  ASSERT_TRUE(results[1].status.IsInvalidArgument());
+  ASSERT_FALSE(results[3].ranking.empty());
+
+  // Round 2: the batch shrank to one query. The vector must shrink with
+  // it — no stale slots 1-3 surviving for the caller to iterate into.
+  std::vector<BatchQuery> small;
+  small.push_back(BatchQuery::TopByDomain(1, 3));
+  ASSERT_TRUE(service.RunBatch(small, &results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[0].ranking.empty());
+
+  // Round 3: same size as round 1 but the slot kinds moved around — a
+  // slot that now errors must not keep round 1's ranking, and a slot
+  // that now succeeds must not keep a stale error status.
+  std::vector<BatchQuery> reshaped;
+  reshaped.push_back(BatchQuery::MatchAd({}, 3));  // errors where 0 succeeded
+  reshaped.push_back(BatchQuery::TopGeneral(4));   // succeeds where 1 failed
+  reshaped.push_back(BatchQuery::TopByDomain(0, 2));
+  reshaped.push_back(BatchQuery::TopByDomain(98, 2));  // errors where 3 was ok
+  ASSERT_TRUE(service.RunBatch(reshaped, &results).ok());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].status.IsInvalidArgument());
+  EXPECT_TRUE(results[0].ranking.empty());  // round 1's TopGeneral purged
+  EXPECT_TRUE(results[1].status.ok());      // round 1's error purged
+  EXPECT_FALSE(results[1].ranking.empty());
+  EXPECT_TRUE(results[3].status.IsInvalidArgument());
+  EXPECT_TRUE(results[3].ranking.empty());  // round 1's domain ranking purged
+
+  // Returning overload delegates to the same worker: identical answers.
+  auto returned = service.RunBatch(reshaped);
+  ASSERT_TRUE(returned.ok());
+  ASSERT_EQ(returned->size(), results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ((*returned)[i].status.ok(), results[i].status.ok());
+    ASSERT_EQ((*returned)[i].ranking.size(), results[i].ranking.size());
+    for (size_t j = 0; j < results[i].ranking.size(); ++j) {
+      EXPECT_EQ((*returned)[i].ranking[j].id, results[i].ranking[j].id);
+    }
+  }
+
+  // Batch-level failure clears the buffer outright.
+  Corpus empty;
+  empty.BuildIndexes();
+  MassEngine unpublished(&empty);
+  QueryService cold(&unpublished);
+  ASSERT_FALSE(results.empty());
+  EXPECT_TRUE(cold.RunBatch(reshaped, &results).IsFailedPrecondition());
+  EXPECT_TRUE(results.empty());
+  QueryService::ReleaseThreadLease();
+}
+
 // ---------- Eq. 5 SoA kernel ----------
 
 // The SoA interest-plane kernel must be byte-identical to the scalar
