@@ -16,6 +16,7 @@
 //   mass_cli serve     --in corpus.xml [--readers 4] [--batch 32]
 //                      [--lease on|off]
 //   mass_cli serve     --analysis analysis.xml [--domain Sports]
+//   mass_cli soak      --hours 24 --agents 48 --readers 2 --fault 0.2
 //
 // Run with no arguments for usage.
 #include <atomic>
@@ -42,6 +43,7 @@
 #include "crawler/synthetic_host.h"
 #include "recommend/recommender.h"
 #include "serve/query_service.h"
+#include "simulate/soak.h"
 #include "storage/analysis_xml.h"
 #include "storage/corpus_xml.h"
 #include "storage/file_io.h"
@@ -599,6 +601,61 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+// soak: N simulated hours of an evolving agent blogosphere crawled and
+// ingested under combined crawler+engine fault injection while reader
+// threads replay Zipfian/ad-burst query mixes — the chaos scenario of
+// docs/robustness.md, exit status = the robustness invariants.
+int CmdSoak(const Flags& flags) {
+  simulate::SoakOptions o;
+  o.hours = static_cast<int>(flags.GetInt("hours", 24));
+  o.world.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  o.world.num_agents = static_cast<size_t>(flags.GetInt("agents", 48));
+  const double fault = flags.GetDouble("fault", 0.2);
+  o.crawl_faults.seed = o.world.seed ^ 0xC0FFEE;
+  o.crawl_faults.defaults.transient_rate = fault;
+  o.crawl_faults.defaults.corrupt_rate = fault / 4.0;
+  o.engine_faults.seed = o.world.seed ^ 0xFA17;
+  o.engine_faults.ingest_failure_rate = fault;
+  o.engine_faults.poison_rate = fault / 2.0;
+  o.engine_faults.publish_stall_rate = fault;
+  o.engine_faults.publish_stall_micros = 2'000;
+  o.engine_faults.spmv_slow_rate = fault;
+  o.engine_faults.spmv_slow_micros = 200;
+  o.serve.deadline_micros = 100'000;
+  o.serve.max_staleness_micros = 500'000;
+  o.serve.max_batch_queries = 64;
+  o.reader_threads = static_cast<size_t>(flags.GetInt("readers", 2));
+  o.serve.max_concurrent_queries = o.reader_threads + 2;
+  o.engine.recency_half_life_days = 2.0;
+  o.min_quality_overlap = flags.GetDouble("quality", 0.3);
+  o.max_age_p99_micros = 2'000'000;
+
+  auto r = simulate::RunSoak(o);
+  if (!r.ok()) return Fail(r.status());
+  std::printf(
+      "soak: %d simulated hours -> %zu bloggers / %zu posts / %zu comments "
+      "(%llu publishes)\n",
+      r->hours, r->final_bloggers, r->final_posts, r->final_comments,
+      static_cast<unsigned long long>(r->publishes));
+  std::printf(
+      "  ingest: %zu deltas ok, %zu failed attempts, %zu poisoned "
+      "(%zu rejected), %zu fetch failures\n",
+      r->deltas_ingested, r->ingest_failures, r->poisoned_deltas,
+      r->poison_rejections, r->fetch_failures);
+  std::printf(
+      "  queries: %llu ok, %llu shed, %llu deadline, %llu degraded\n",
+      static_cast<unsigned long long>(r->queries_ok),
+      static_cast<unsigned long long>(r->queries_shed),
+      static_cast<unsigned long long>(r->queries_deadline),
+      static_cast<unsigned long long>(r->queries_degraded));
+  std::printf(
+      "  invariants: %zu rollback leaks, %zu violations, age p99 %.0fus, "
+      "quality overlap %.2f -> %s\n",
+      r->rollback_leaks, r->invariant_violations, r->snapshot_age_p99_us,
+      r->quality_overlap, r->ok ? "OK" : r->violation.c_str());
+  return r->ok ? 0 : 1;
+}
+
 void Usage() {
   std::printf(
       "mass_cli — multi-facet domain-specific influential blogger mining\n"
@@ -623,7 +680,12 @@ void Usage() {
       "             [--pages N] [--top K] [--analysis-out FILE]\n"
       "             (concurrent ingest + queries; --batch N answers queries\n"
       "             in N-query batches, --lease off pins per query)\n"
-      "  serve      --analysis FILE [--domain NAME] [--top K]   (no solver)\n");
+      "  serve      --analysis FILE [--domain NAME] [--top K]   (no solver)\n"
+      "  soak       [--hours N] [--agents N] [--readers N] [--seed S]\n"
+      "             [--fault RATE] [--quality MIN_OVERLAP]\n"
+      "             (chaos soak: evolving world + fault plan + reader "
+      "fleet;\n"
+      "             exit 1 when a robustness invariant breaks)\n");
 }
 
 }  // namespace
@@ -645,6 +707,7 @@ int main(int argc, char** argv) {
   if (cmd == "viz") return CmdViz(flags);
   if (cmd == "details") return CmdDetails(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "soak") return CmdSoak(flags);
   Usage();
   return 1;
 }

@@ -25,6 +25,9 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 8,
   kAborted = 9,
   kInternal = 10,
+  kDeadlineExceeded = 11,   ///< a time budget expired before completion
+  kResourceExhausted = 12,  ///< admission control shed the request
+  kUnavailable = 13,        ///< the service cannot currently honor a contract
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -74,6 +77,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -90,6 +102,13 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

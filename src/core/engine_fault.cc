@@ -1,0 +1,62 @@
+#include "core/engine_fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "model/corpus_delta.h"
+
+namespace mass {
+
+namespace {
+
+// SplitMix64 finalizer over the (seed, site, op) key: full avalanche, so
+// consecutive op indices decorrelate and each site sees an independent
+// stream from the same seed.
+uint64_t Mix(uint64_t seed, EngineFaultSite site, uint64_t op) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(site) * 0xD1B54A32D192ED03ull) ^
+               (op * 0x9E3779B97F4A7C15ull);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool DrawEngineFault(const EngineFaultPlan& plan, EngineFaultSite site,
+                     uint64_t op, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Top 53 bits -> uniform double in [0, 1), the standard construction.
+  const double u =
+      static_cast<double>(Mix(plan.seed, site, op) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+void EngineFaultSleep(const EngineFaultPlan& plan, int64_t micros) {
+  if (micros <= 0) return;
+  if (plan.sleep) {
+    plan.sleep(micros);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+bool MaybePoisonDelta(const EngineFaultPlan& plan, uint64_t op,
+                      CorpusDelta* delta) {
+  if (delta == nullptr || delta->additions.num_posts() == 0) return false;
+  if (!DrawEngineFault(plan, EngineFaultSite::kPoisonDelta, op,
+                       plan.poison_rate)) {
+    return false;
+  }
+  // Victim selection reuses the mixer with a salted seed so it is
+  // independent of the fire/no-fire draw but still pure in (seed, op).
+  const size_t victim =
+      Mix(plan.seed ^ 0xA5A5A5A5A5A5A5A5ull, EngineFaultSite::kPoisonDelta,
+          op) %
+      delta->additions.num_posts();
+  delta->additions.mutable_post(static_cast<PostId>(victim)).true_domain = -1;
+  return true;
+}
+
+}  // namespace mass

@@ -1,0 +1,90 @@
+// EngineFaultPlan: deterministic fault injection for the engine write
+// path, generalizing the crawler-only FaultPlan of crawler/fault_injection
+// to the analyzer itself. A plan makes every rollback and recovery path
+// reachable on demand:
+//
+//   - kIngestPipeline: fail IngestDelta mid-pipeline (after the delta has
+//     been applied and partially scored), exercising the transactional
+//     rollback + snapshot-republish path;
+//   - kPoisonDelta: corrupt a CorpusDelta before ingest so the engine's
+//     validation rejects it cleanly (the "garbage from the crawl" path);
+//   - kPublish: stall a snapshot publish, inflating snapshot age so the
+//     serving staleness contract (QueryServiceOptions::max_staleness) is
+//     observable under test;
+//   - kSpmv: slow the solver's SpMV, inflating write-path latency without
+//     failing it.
+//
+// Like the crawler plan, draws are pure functions of (seed, site, op
+// index) — no shared RNG, no wall clock — so a soak run replays the exact
+// same fault schedule for a fixed seed regardless of thread interleaving.
+// Sleeps go through an injectable hook so tests can burn zero real time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mass {
+
+struct CorpusDelta;
+
+/// Write-path fault sites, mixed into the draw so each site sees an
+/// independent deterministic stream.
+enum class EngineFaultSite : uint64_t {
+  kIngestPipeline = 1,
+  kPoisonDelta = 2,
+  kPublish = 3,
+  kSpmv = 4,
+};
+
+/// A scripted fault schedule for the engine write path. Rates are
+/// per-operation probabilities in [0, 1]; 0 disables a site. The plan is
+/// passed by pointer through EngineOptions (never serialized) and must
+/// outlive the engine.
+struct EngineFaultPlan {
+  /// Selects the fault pattern; two plans with different seeds fail
+  /// different operations at the same rates.
+  uint64_t seed = 0;
+
+  /// P(injected Internal error mid-way through IngestDelta's scoring
+  /// pipeline) — after the corpus application, before the solve, so the
+  /// transactional rollback has real partially-updated state to undo.
+  double ingest_failure_rate = 0.0;
+
+  /// P(a CorpusDelta is poisoned before ingest). Poisoning gives one post
+  /// an out-of-range true_domain, which the engine's pre-apply validation
+  /// rejects with FailedPrecondition — a clean refusal, not a rollback.
+  double poison_rate = 0.0;
+
+  /// P(a snapshot publish stalls) and the stall length.
+  double publish_stall_rate = 0.0;
+  int64_t publish_stall_micros = 0;
+
+  /// P(a solve's SpMV loop is slowed) and the added latency (charged once
+  /// per iteration of the affected solve).
+  double spmv_slow_rate = 0.0;
+  int64_t spmv_slow_micros = 0;
+
+  /// Sleep hook for stalls/slowdowns. Null = std::this_thread::sleep_for.
+  /// Soak harnesses inject a no-op or a virtual-clock advance here.
+  std::function<void(int64_t)> sleep;
+};
+
+/// True when operation `op` at `site` faults under `plan` with
+/// probability `rate`. Pure function of (plan.seed, site, op, rate):
+/// call-order and thread-schedule free, like crawler DrawFault.
+bool DrawEngineFault(const EngineFaultPlan& plan, EngineFaultSite site,
+                     uint64_t op, double rate);
+
+/// Sleeps via plan.sleep (or really sleeps when the hook is null).
+void EngineFaultSleep(const EngineFaultPlan& plan, int64_t micros);
+
+/// Applies the kPoisonDelta site to `delta` for operation index `op`:
+/// when the draw fires (and the delta has at least one post), sets one
+/// deterministically-chosen post's true_domain to -1 — invalid for any
+/// domain count — and returns true. The engine's IngestDelta validation
+/// then refuses the delta with FailedPrecondition before touching the
+/// corpus. Returns false (delta untouched) otherwise.
+bool MaybePoisonDelta(const EngineFaultPlan& plan, uint64_t op,
+                      CorpusDelta* delta);
+
+}  // namespace mass

@@ -18,6 +18,8 @@ class MetricsRegistry;
 
 namespace mass {
 
+struct EngineFaultPlan;
+
 /// How the General-Links authority GL(b_i) of Eq. 1 is computed. The
 /// paper cites both PageRank [3] and HITS [4] as candidate link-authority
 /// measures; a raw in-link count is the naive baseline.
@@ -135,6 +137,14 @@ struct EngineOptions {
   /// an external registry to aggregate several components (crawler,
   /// streams, engines) into one snapshot. Must outlive the engine.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // ---- fault injection (src/core/engine_fault.h) ----
+  /// Scripted write-path fault schedule: deterministic ingest failures,
+  /// publish stalls, and SpMV slowdowns for chaos/soak testing. Null (the
+  /// default) injects nothing and costs one pointer test per hook site.
+  /// Like `metrics`, never serialized by options_xml; must outlive the
+  /// engine.
+  const EngineFaultPlan* fault_plan = nullptr;
 };
 
 }  // namespace mass

@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/engine_fault.h"
 #include "core/quality.h"
 #include "core/topk.h"
 #include "linkanalysis/graph.h"
@@ -76,10 +77,26 @@ void MassEngine::InitObservability() {
   shard_spmv_us_ = metrics_->GetHistogram("shard.spmv_us");
   shard_count_gauge_ = metrics_->GetGauge("shard.count");
   shard_halo_gauge_ = metrics_->GetGauge("shard.boundary.halo_entries");
+  fault_ingest_failures_ =
+      metrics_->GetCounter("engine.fault.ingest_failures_total");
+  fault_publish_stalls_ =
+      metrics_->GetCounter("engine.fault.publish_stalls_total");
+  fault_spmv_slowdowns_ =
+      metrics_->GetCounter("engine.fault.spmv_slowdowns_total");
 }
 
 void MassEngine::PublishSnapshot(std::string_view run) {
   Stopwatch sw;
+  if (const EngineFaultPlan* fp = options_.fault_plan) {
+    // kPublish: delay the publish, inflating the age of whatever snapshot
+    // readers currently hold — the stimulus for the serving layer's
+    // max_staleness contract. The stall is charged to publish_us.
+    if (DrawEngineFault(*fp, EngineFaultSite::kPublish, fault_publish_ops_++,
+                        fp->publish_stall_rate)) {
+      fault_publish_stalls_.Increment();
+      EngineFaultSleep(*fp, fp->publish_stall_micros);
+    }
+  }
   auto snap = std::make_shared<AnalysisSnapshot>();
   snap->sequence = ++snapshot_sequence_;
   snap->produced_by = std::string(run);
@@ -547,6 +564,17 @@ void MassEngine::IterateCompiled(bool warm) {
   const double alpha = options_.alpha;
   ThreadPool* pool = SolverPool();
   const SolverMatrix& matrix = matrix_;
+  // kSpmv: one draw per solve; when it fires every iteration's SpMV is
+  // slowed by the plan's delay, stretching write-path latency (and thus
+  // snapshot age) without failing anything.
+  const EngineFaultPlan* fp = options_.fault_plan;
+  int64_t spmv_fault_micros = 0;
+  if (fp != nullptr && DrawEngineFault(*fp, EngineFaultSite::kSpmv,
+                                       fault_spmv_ops_++,
+                                       fp->spmv_slow_rate)) {
+    fault_spmv_slowdowns_.Increment();
+    spmv_fault_micros = fp->spmv_slow_micros;
+  }
   solve_trace_.solver_path = "csr";
   solve_trace_.warm_start = warm;
   solve_trace_.residuals.clear();
@@ -583,6 +611,7 @@ void MassEngine::IterateCompiled(bool warm) {
     last_x = x;
     // Eq. 3 + Eq. 4 accumulated per author, all at once.
     SolverSpMV(matrix, x, &ap_, pool);
+    if (spmv_fault_micros > 0) EngineFaultSleep(*fp, spmv_fault_micros);
     // Eq. 1.
     for (size_t b = 0; b < nb; ++b) {
       next[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
@@ -677,6 +706,17 @@ void MassEngine::IterateSharded(bool warm) {
   const size_t np = corpus_->num_posts();
   const double alpha = options_.alpha;
   ThreadPool* pool = SolverPool();
+  // Same kSpmv site as IterateCompiled: the slowdown models one shard's
+  // kernel lagging, which in the sharded round structure delays the whole
+  // round (the exchange is a barrier).
+  const EngineFaultPlan* fp = options_.fault_plan;
+  int64_t spmv_fault_micros = 0;
+  if (fp != nullptr && DrawEngineFault(*fp, EngineFaultSite::kSpmv,
+                                       fault_spmv_ops_++,
+                                       fp->spmv_slow_rate)) {
+    fault_spmv_slowdowns_.Increment();
+    spmv_fault_micros = fp->spmv_slow_micros;
+  }
   solve_trace_.solver_path = "csr-sharded";
   solve_trace_.warm_start = warm;
   solve_trace_.residuals.clear();
@@ -714,6 +754,7 @@ void MassEngine::IterateSharded(bool warm) {
     const std::vector<double>& x = options_.use_citation ? influence_ : ones;
     last_x = x;
     shard::ShardedSpMV(sharded_matrix_, x, &ap_, &x_local, pool, &timings);
+    if (spmv_fault_micros > 0) EngineFaultSleep(*fp, spmv_fault_micros);
     uint64_t round_exchange = 0;
     for (size_t s = 0; s < timings.size(); ++s) {
       round_exchange += timings[s].exchange_us;
@@ -1085,6 +1126,19 @@ Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
   {
     auto span = tracer_.Span("sentiment");
     ComputeSentiment();
+  }
+  if (const EngineFaultPlan* fp = options_.fault_plan) {
+    // kIngestPipeline: fail here, after the text caches, quality, recency,
+    // and sentiment surfaces have already been extended for the delta but
+    // before the solve — the worst spot for a real mid-pipeline error, so
+    // the transactional rollback has genuinely partial state to undo.
+    if (DrawEngineFault(*fp, EngineFaultSite::kIngestPipeline,
+                        fault_ingest_ops_++, fp->ingest_failure_rate)) {
+      fault_ingest_failures_.Increment();
+      return Status::Internal(StrFormat(
+          "injected ingest-pipeline fault (op %llu)",
+          static_cast<unsigned long long>(fault_ingest_ops_ - 1)));
+    }
   }
   {
     auto span = tracer_.Span("interests");

@@ -331,6 +331,17 @@ class MassEngine {
   obs::Histogram shard_spmv_us_;
   obs::Gauge shard_count_gauge_;
   obs::Gauge shard_halo_gauge_;
+  // Fault injection (EngineOptions::fault_plan): per-site operation
+  // counters feeding the deterministic draws, plus the counters that make
+  // injected faults observable. The op counters are only touched on the
+  // single write thread.
+  obs::Counter fault_ingest_failures_;
+  obs::Counter fault_publish_stalls_;
+  obs::Counter fault_spmv_slowdowns_;
+  uint64_t fault_ingest_ops_ = 0;
+  uint64_t fault_publish_ops_ = 0;
+  uint64_t fault_spmv_ops_ = 0;
+
   // Iteration count of the last cold (full) solve; the baseline for the
   // engine.warm_start_iterations_saved gauge.
   int last_full_solve_iterations_ = 0;

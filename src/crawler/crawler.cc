@@ -82,7 +82,8 @@ Result<CrawlResult> Crawl(BlogHost* host,
   fetcher_options.backoff_seed = options.backoff_seed;
   fetcher_options.time_budget_micros = options.crawl_budget_micros;
   fetcher_options.metrics = options.metrics;
-  RobustFetcher fetcher(host, fetcher_options);
+  RobustFetcher fetcher(host, fetcher_options, options.fetch_sleep,
+                        options.fetch_clock);
 
   obs::MetricsRegistry* metrics = options.metrics != nullptr
                                       ? options.metrics
@@ -93,6 +94,8 @@ Result<CrawlResult> Crawl(BlogHost* host,
       metrics->GetCounter("crawl.checkpoint_writes_total");
   const obs::Counter m_truncated =
       metrics->GetCounter("crawl.frontier_truncated_total");
+  const obs::Counter m_budget_exhausted =
+      metrics->GetCounter("crawler.budget_exhausted");
 
   ThreadPool pool(static_cast<size_t>(options.num_threads));
 
@@ -191,7 +194,15 @@ Result<CrawlResult> Crawl(BlogHost* host,
                              std::to_string(levels_this_run) +
                              " levels (crash hook)");
     }
-    if (fetcher.budget_exhausted()) break;
+    if (fetcher.budget_exhausted()) {
+      // The time budget expired mid-batch: wind down with whatever was
+      // harvested, but say so explicitly rather than silently truncating.
+      m_budget_exhausted.Increment();
+      result.tail_status = Status::DeadlineExceeded(
+          "crawl time budget exhausted at depth " + std::to_string(depth) +
+          " with " + std::to_string(journal.size()) + " pages harvested");
+      break;
+    }
   }
 
   // ---- Assemble the crawled corpus ----

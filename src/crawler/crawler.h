@@ -69,6 +69,12 @@ struct CrawlOptions {
   /// registry (MassEngine::metrics()) to observe the whole pipeline in one
   /// snapshot. Must outlive the crawl.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Test hooks forwarded to the internal RobustFetcher so budget and
+  /// backoff behavior can be driven by a fake clock. Null uses the real
+  /// steady clock / this_thread::sleep_for. The clock must be safe to call
+  /// from worker threads.
+  RobustFetcher::SleepFn fetch_sleep;
+  RobustFetcher::ClockFn fetch_clock;
 };
 
 /// Crawl outcome: the harvested corpus plus statistics. Counters are
@@ -85,6 +91,12 @@ struct CrawlResult {
   bool budget_exhausted = false;  ///< the crawl time budget cut fetches off
   bool resumed = false;           ///< this run started from a checkpoint
   double elapsed_seconds = 0.0;   ///< this run only
+  /// How the crawl ended. OK when the frontier drained naturally;
+  /// DeadlineExceeded when the time budget expired mid-crawl and the
+  /// corpus is an explicit partial harvest. The corpus is valid and
+  /// self-contained either way — callers that must have a complete crawl
+  /// check this instead of guessing from counters.
+  Status tail_status = Status::OK();
 };
 
 /// Runs a crawl against `host` from `seed_urls`.

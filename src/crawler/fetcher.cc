@@ -98,8 +98,8 @@ Result<BloggerPage> RobustFetcher::Fetch(const std::string& url) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.failures;
       ++stats_.budget_exhausted;
-      return Status::Aborted("crawl time budget exhausted before fetching " +
-                             url);
+      return Status::DeadlineExceeded(
+          "crawl time budget exhausted before fetching " + url);
     }
     if (!breaker->Allow()) {
       m_failures_.Increment();

@@ -37,7 +37,8 @@ struct FetcherOptions {
   /// Mixed into each URL's backoff stream.
   uint64_t backoff_seed = 0;
   /// Wall-clock budget for ALL fetches through this fetcher, measured from
-  /// construction; once exceeded every fetch fails with Aborted. 0 = none.
+  /// construction; once exceeded every fetch fails with DeadlineExceeded.
+  /// 0 = none.
   int64_t time_budget_micros = 0;
   /// Optional registry for "fetch.*" counters, the per-attempt latency
   /// histogram, and breaker state-transition counts. Null records nothing.
@@ -75,8 +76,8 @@ class RobustFetcher {
   ///  - OK with a validated page;
   ///  - NotFound (permanent, never retried, does not trip the breaker);
   ///  - IOError/Corruption after the retry budget is spent;
-  ///  - Aborted when the host's breaker is open or the overall time budget
-  ///    is exhausted.
+  ///  - Aborted when the host's breaker is open;
+  ///  - DeadlineExceeded when the overall time budget is exhausted.
   Result<BloggerPage> Fetch(const std::string& url);
 
   FetcherStats stats() const;

@@ -104,6 +104,7 @@ class Corpus {
   const Blogger& blogger(BloggerId id) const { return bloggers_[id]; }
   Blogger& mutable_blogger(BloggerId id) { return bloggers_[id]; }
   const Post& post(PostId id) const { return posts_[id]; }
+  Post& mutable_post(PostId id) { return posts_[id]; }
   const Comment& comment(CommentId id) const { return comments_[id]; }
   const std::vector<Blogger>& bloggers() const { return bloggers_; }
   const std::vector<Post>& posts() const { return posts_; }

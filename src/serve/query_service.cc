@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 
 namespace mass {
 
@@ -34,6 +36,41 @@ obs::MetricsRegistry* ResolveRegistry(const QueryServiceOptions& options,
 
 }  // namespace
 
+// RAII admission slot: claims one concurrent-query slot on construction,
+// releases it on scope exit. When the service has no concurrency limit the
+// guard is two predictable branches and no atomic traffic.
+class QueryService::Admission {
+ public:
+  explicit Admission(const QueryService* service) : service_(service) {
+    if (service_->max_concurrent_queries_ == 0) return;
+    counted_ = true;
+    shed_ = service_->in_flight_.fetch_add(1, std::memory_order_relaxed) >=
+            service_->max_concurrent_queries_;
+    if (shed_) service_->shed_total_.Increment();
+  }
+  ~Admission() {
+    if (counted_) {
+      service_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+
+  /// True when the query must be refused with ResourceExhausted.
+  bool shed() const { return shed_; }
+  Status ShedStatus() const {
+    return Status::ResourceExhausted(
+        StrFormat("query shed by admission control (max_concurrent_queries "
+                  "= %zu)",
+                  service_->max_concurrent_queries_));
+  }
+
+ private:
+  const QueryService* service_;
+  bool counted_ = false;
+  bool shed_ = false;
+};
+
 // RAII per-query instrumentation: one latency sample, one snapshot-age
 // sample, one query count — recorded on scope exit so every early return
 // in a query still counts.
@@ -56,32 +93,97 @@ class QueryService::QueryTimer {
   Stopwatch sw_;
 };
 
-QueryService::QueryService(const MassEngine* engine,
-                           QueryServiceOptions options)
-    : engine_(engine),
-      pin_policy_(options.pin_policy),
-      service_id_(g_next_service_id.fetch_add(1, std::memory_order_relaxed)) {
-  obs::MetricsRegistry* registry = ResolveRegistry(options, engine);
+void QueryService::InitMetrics(obs::MetricsRegistry* registry) {
   queries_ = registry->GetCounter("serve.queries_total");
   latency_us_ = registry->GetHistogram("serve.query.latency_us");
   snapshot_age_us_ = registry->GetHistogram("serve.snapshot.age_us");
   lease_refreshes_ = registry->GetCounter("serve.lease.refreshes");
   batches_ = registry->GetCounter("serve.batches_total");
   batch_latency_us_ = registry->GetHistogram("serve.batch.latency_us");
+  shed_total_ = registry->GetCounter("serve.query.shed_total");
+  degraded_total_ = registry->GetCounter("serve.query.degraded_total");
+  deadline_exceeded_total_ =
+      registry->GetCounter("serve.query.deadline_exceeded_total");
+  stale_rejects_total_ = registry->GetCounter("serve.query.stale_rejects_total");
+}
+
+QueryService::QueryService(const MassEngine* engine,
+                           QueryServiceOptions options)
+    : engine_(engine),
+      pin_policy_(options.pin_policy),
+      service_id_(g_next_service_id.fetch_add(1, std::memory_order_relaxed)),
+      deadline_micros_(options.deadline_micros),
+      max_staleness_micros_(options.max_staleness_micros),
+      staleness_policy_(options.staleness_policy),
+      max_concurrent_queries_(options.max_concurrent_queries),
+      max_batch_queries_(options.max_batch_queries),
+      clock_(std::move(options.clock)) {
+  InitMetrics(ResolveRegistry(options, engine));
 }
 
 QueryService::QueryService(std::shared_ptr<const AnalysisSnapshot> snapshot,
                            QueryServiceOptions options)
     : fixed_snapshot_(std::move(snapshot)),
       pin_policy_(options.pin_policy),
-      service_id_(g_next_service_id.fetch_add(1, std::memory_order_relaxed)) {
-  obs::MetricsRegistry* registry = ResolveRegistry(options, nullptr);
-  queries_ = registry->GetCounter("serve.queries_total");
-  latency_us_ = registry->GetHistogram("serve.query.latency_us");
-  snapshot_age_us_ = registry->GetHistogram("serve.snapshot.age_us");
-  lease_refreshes_ = registry->GetCounter("serve.lease.refreshes");
-  batches_ = registry->GetCounter("serve.batches_total");
-  batch_latency_us_ = registry->GetHistogram("serve.batch.latency_us");
+      service_id_(g_next_service_id.fetch_add(1, std::memory_order_relaxed)),
+      deadline_micros_(options.deadline_micros),
+      max_staleness_micros_(options.max_staleness_micros),
+      staleness_policy_(options.staleness_policy),
+      max_concurrent_queries_(options.max_concurrent_queries),
+      max_batch_queries_(options.max_batch_queries),
+      clock_(std::move(options.clock)) {
+  InitMetrics(ResolveRegistry(options, nullptr));
+}
+
+int64_t QueryService::NowMicros() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t QueryService::DeadlineStart() const {
+  return deadline_micros_ > 0 ? NowMicros() : 0;
+}
+
+Status QueryService::CheckDeadline(int64_t start) const {
+  if (deadline_micros_ <= 0) return Status::OK();
+  const int64_t elapsed = NowMicros() - start;
+  if (elapsed <= deadline_micros_) return Status::OK();
+  deadline_exceeded_total_.Increment();
+  return Status::DeadlineExceeded(
+      StrFormat("query ran %lld us against a %lld us deadline",
+                static_cast<long long>(elapsed),
+                static_cast<long long>(deadline_micros_)));
+}
+
+Status QueryService::CheckStaleness(const AnalysisSnapshot* snap,
+                                    bool* degraded) const {
+  if (max_staleness_micros_ == 0) return Status::OK();
+  const uint64_t age = snap->AgeMicros();
+  if (age <= max_staleness_micros_) return Status::OK();
+  if (staleness_policy_ == StalenessPolicy::kReject) {
+    stale_rejects_total_.Increment();
+    return Status::Unavailable(
+        StrFormat("snapshot age %llu us exceeds max_staleness %llu us",
+                  static_cast<unsigned long long>(age),
+                  static_cast<unsigned long long>(max_staleness_micros_)));
+  }
+  // kServeDegraded: answer anyway, flagged. Correct against the pinned
+  // snapshot — just older than the contract wants.
+  degraded_total_.Increment();
+  if (degraded != nullptr) *degraded = true;
+  return Status::OK();
+}
+
+Status QueryService::CheckBatchSize(size_t size) const {
+  if (max_batch_queries_ == 0 || size <= max_batch_queries_) {
+    return Status::OK();
+  }
+  shed_total_.Increment();
+  return Status::ResourceExhausted(
+      StrFormat("batch of %zu queries exceeds max_batch_queries = %zu", size,
+                max_batch_queries_));
 }
 
 std::shared_ptr<const AnalysisSnapshot> QueryService::Pin() const {
@@ -127,29 +229,52 @@ Result<std::shared_ptr<const AnalysisSnapshot>> QueryService::PinOrFail()
   return snap;
 }
 
+// Every single-query surface follows the same degradation discipline:
+// admission first (shed before any work), then pin, then the staleness
+// contract (which may refuse under kReject), then the work, then the
+// deadline check — a query that ran past its deadline returns
+// DeadlineExceeded rather than a late answer, so callers can trust that
+// an OK result met the latency contract.
+
 Result<std::vector<ScoredBlogger>> QueryService::TopGeneral(size_t k) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
   QueryTimer timer(this, snap);
-  return snap->TopKGeneral(k);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
+  std::vector<ScoredBlogger> ranking = snap->TopKGeneral(k);
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
+  return ranking;
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::TopByDomain(size_t domain,
                                                              size_t k) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
   QueryTimer timer(this, snap);
-  return snap->TopKDomain(domain, k);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
+  MASS_ASSIGN_OR_RETURN(std::vector<ScoredBlogger> ranking,
+                        snap->TopKDomain(domain, k));
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
+  return ranking;
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::MatchAdvertisement(
     const std::vector<double>& weights, size_t k) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
@@ -159,38 +284,59 @@ Result<std::vector<ScoredBlogger>> QueryService::MatchAdvertisement(
   if (weights.empty()) {
     return Status::InvalidArgument("empty interest-vector weights");
   }
-  return snap->TopKWeighted(weights, k);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
+  std::vector<ScoredBlogger> ranking = snap->TopKWeighted(weights, k);
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
+  return ranking;
 }
 
 Result<std::vector<RankedPost>> QueryService::TopPosts(size_t domain,
                                                        size_t k) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
   QueryTimer timer(this, snap);
-  return snap->TopPostsOfDomain(domain, k);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
+  MASS_ASSIGN_OR_RETURN(std::vector<RankedPost> posts,
+                        snap->TopPostsOfDomain(domain, k));
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
+  return posts;
 }
 
 Result<BloggerDetails> QueryService::Details(BloggerId blogger) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
   QueryTimer timer(this, snap);
-  return MakeBloggerDetails(*snap, blogger);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
+  MASS_ASSIGN_OR_RETURN(BloggerDetails details,
+                        MakeBloggerDetails(*snap, blogger));
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
+  return details;
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::SimilarInfluencers(
     BloggerId blogger, size_t k) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
   QueryTimer timer(this, snap);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
   const std::vector<double>* iv = snap->InterestsOfBlogger(blogger);
   if (iv == nullptr) {
     return Status::InvalidArgument("blogger id out of range");
@@ -204,17 +350,25 @@ Result<std::vector<ScoredBlogger>> QueryService::SimilarInfluencers(
     out.push_back(sb);
     if (out.size() == k) break;
   }
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
   return out;
 }
 
 Result<DomainTrends> QueryService::Trends(size_t num_buckets) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
   QueryTimer timer(this, snap);
-  return ComputeDomainTrends(*snap, num_buckets);
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
+  MASS_ASSIGN_OR_RETURN(DomainTrends trends,
+                        ComputeDomainTrends(*snap, num_buckets));
+  MASS_RETURN_IF_ERROR(CheckDeadline(start));
+  return trends;
 }
 
 Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
@@ -226,26 +380,53 @@ Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
 
 Status QueryService::RunBatch(const std::vector<BatchQuery>& queries,
                               std::vector<BatchQueryResult>* results) const {
+  Admission admission(this);
+  if (admission.shed()) {
+    results->clear();
+    return admission.ShedStatus();
+  }
+  if (Status sized = CheckBatchSize(queries.size()); !sized.ok()) {
+    results->clear();
+    return sized;
+  }
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     results->clear();
     return Status::FailedPrecondition("no analysis published yet");
   }
+  bool degraded = false;
+  if (Status fresh = CheckStaleness(snap, &degraded); !fresh.ok()) {
+    results->clear();
+    return fresh;  // Unavailable under StalenessPolicy::kReject
+  }
   Stopwatch sw;
   std::vector<BatchQueryResult>& out = *results;
   // Reset every surviving slot, not just the ones a smaller reused batch
   // overwrites: a slot that errors below must not keep the previous
   // batch's ranking, and a slot that succeeds must not keep its previous
-  // error status.
+  // error status (or degraded flag).
   out.resize(queries.size());
   for (BatchQueryResult& r : out) {
     r.status = Status::OK();
     r.ranking.clear();
+    r.degraded = degraded;
   }
+  bool deadline_hit = false;
   for (size_t i = 0; i < queries.size(); ++i) {
     const BatchQuery& q = queries[i];
     BatchQueryResult& r = out[i];
+    // Per-item deadline: the items that fit are answered; the rest carry
+    // an explicit DeadlineExceeded instead of being silently dropped.
+    if (deadline_hit ||
+        (deadline_micros_ > 0 && NowMicros() - start > deadline_micros_)) {
+      deadline_hit = true;
+      deadline_exceeded_total_.Increment();
+      r.status = Status::DeadlineExceeded(
+          "batch deadline exceeded before this query ran");
+      continue;
+    }
     switch (q.kind) {
       case BatchQuery::Kind::kTopGeneral:
         r.ranking = snap->TopKGeneral(q.k);
@@ -278,15 +459,25 @@ Status QueryService::RunBatch(const std::vector<BatchQuery>& queries,
 
 Result<std::vector<std::vector<ScoredBlogger>>> QueryService::TopKGeneralBatch(
     size_t k, size_t count) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  MASS_RETURN_IF_ERROR(CheckBatchSize(count));
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no analysis published yet");
   }
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
   Stopwatch sw;
   std::vector<std::vector<ScoredBlogger>> out;
   out.reserve(count);
-  for (size_t i = 0; i < count; ++i) out.push_back(snap->TopKGeneral(k));
+  for (size_t i = 0; i < count; ++i) {
+    // This surface has no per-item status channel, so a mid-batch expiry
+    // fails the whole call rather than truncating the result vector.
+    MASS_RETURN_IF_ERROR(CheckDeadline(start));
+    out.push_back(snap->TopKGeneral(k));
+  }
   batches_.Increment();
   queries_.Increment(count);
   batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
@@ -296,6 +487,10 @@ Result<std::vector<std::vector<ScoredBlogger>>> QueryService::TopKGeneralBatch(
 
 Result<std::vector<std::vector<ScoredBlogger>>> QueryService::MatchAdsBatch(
     const std::vector<std::vector<double>>& ads, size_t k) const {
+  Admission admission(this);
+  if (admission.shed()) return admission.ShedStatus();
+  MASS_RETURN_IF_ERROR(CheckBatchSize(ads.size()));
+  const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
@@ -306,10 +501,13 @@ Result<std::vector<std::vector<ScoredBlogger>>> QueryService::MatchAdsBatch(
       return Status::InvalidArgument("empty interest-vector weights in batch");
     }
   }
+  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
   Stopwatch sw;
   std::vector<std::vector<ScoredBlogger>> out;
   out.reserve(ads.size());
   for (const std::vector<double>& ad : ads) {
+    // No per-item status channel: mid-batch expiry fails the whole call.
+    MASS_RETURN_IF_ERROR(CheckDeadline(start));
     out.push_back(snap->TopKWeighted(ad, k));
   }
   batches_.Increment();

@@ -27,8 +27,10 @@
 // keeps its snapshot alive itself).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -48,12 +50,60 @@ enum class PinPolicy {
   kPinPerQuery,  ///< acquire load + refcount bump on every query (PR 5)
 };
 
+/// What to do when the pinned snapshot is older than the
+/// QueryServiceOptions::max_staleness_micros contract allows.
+enum class StalenessPolicy {
+  /// Answer from the (stale) snapshot anyway — availability over
+  /// freshness — but flag it: serve.query.degraded_total counts, and
+  /// batch results carry BatchQueryResult::degraded = true.
+  kServeDegraded,
+  /// Refuse with Status::Unavailable — freshness over availability.
+  kReject,
+};
+
 struct QueryServiceOptions {
   /// Registry for serve.query.latency_us / serve.snapshot.age_us /
-  /// serve.queries_total / serve.batch.*. Defaults to the engine's
-  /// registry (live mode) or the Null registry (fixed-snapshot mode).
+  /// serve.queries_total / serve.batch.* plus the degradation counters
+  /// (serve.query.shed_total / degraded_total / deadline_exceeded_total /
+  /// stale_rejects_total). Defaults to the engine's registry (live mode)
+  /// or the Null registry (fixed-snapshot mode).
   obs::MetricsRegistry* metrics = nullptr;
   PinPolicy pin_policy = PinPolicy::kLeased;
+
+  // ---- graceful degradation (all off by default; see docs/robustness.md)
+  //
+  // A degraded response is always a TYPED outcome — DeadlineExceeded,
+  // ResourceExhausted, Unavailable, or a flagged-but-correct ranking —
+  // never a silently truncated or wrong answer.
+
+  /// Per-query (and per-batch) execution deadline in microseconds,
+  /// measured from query entry on the service's clock. A query that runs
+  /// past it returns DeadlineExceeded instead of its answer; RunBatch
+  /// answers the items that fit and marks the rest DeadlineExceeded.
+  /// 0 disables.
+  int64_t deadline_micros = 0;
+
+  /// Bounded-staleness contract: when the pinned snapshot's publish age
+  /// exceeds this, the query degrades per `staleness_policy`. The write
+  /// path keeps publishing independently — this only classifies reads.
+  /// 0 disables (any age serves undegraded).
+  uint64_t max_staleness_micros = 0;
+  StalenessPolicy staleness_policy = StalenessPolicy::kServeDegraded;
+
+  /// Admission control: more than this many concurrently executing
+  /// queries (across all threads of this service) are shed with
+  /// ResourceExhausted instead of queueing unboundedly. 0 = unlimited.
+  size_t max_concurrent_queries = 0;
+
+  /// Largest accepted batch (RunBatch items / TopKGeneralBatch count /
+  /// MatchAdsBatch ads). Oversized batches are refused outright with
+  /// ResourceExhausted. 0 = unlimited.
+  size_t max_batch_queries = 0;
+
+  /// Clock for deadline bookkeeping, in microseconds (monotonic).
+  /// Null = steady_clock. Injectable so deadline behaviour is testable
+  /// without real waiting.
+  std::function<int64_t()> clock;
 };
 
 /// One query of a batch (see QueryService::RunBatch). A batch answers all
@@ -97,6 +147,10 @@ struct BatchQuery {
 struct BatchQueryResult {
   Status status = Status::OK();
   std::vector<ScoredBlogger> ranking;
+  /// True when this answer was served from a snapshot older than the
+  /// service's max_staleness contract under StalenessPolicy::kServeDegraded
+  /// — correct against that snapshot, but flagged as stale.
+  bool degraded = false;
 };
 
 /// Lock-free query front-end over published analysis snapshots.
@@ -127,7 +181,12 @@ class QueryService {
   /// long-lived threads that stop querying a service should call it.
   static void ReleaseThreadLease();
 
-  // Every query returns FailedPrecondition when no snapshot is published.
+  // Every query returns FailedPrecondition when no snapshot is published
+  // (consistently across single and batch surfaces; the service recovers
+  // by itself once the first snapshot lands). With the degradation
+  // options on, queries may additionally return ResourceExhausted (shed),
+  // DeadlineExceeded (ran past deadline_micros), or Unavailable (stale
+  // snapshot under StalenessPolicy::kReject).
 
   /// Top-k bloggers by general influence Inf(b_i).
   Result<std::vector<ScoredBlogger>> TopGeneral(size_t k) const;
@@ -196,6 +255,24 @@ class QueryService {
   /// Records per-query metrics; called once per public query with the
   /// pinned snapshot and the query's start time.
   class QueryTimer;
+  /// RAII admission-control slot (see max_concurrent_queries).
+  class Admission;
+
+  void InitMetrics(obs::MetricsRegistry* registry);
+  /// The degradation clock: options_.clock or steady_clock micros.
+  int64_t NowMicros() const;
+  /// Query entry instant for deadline bookkeeping; 0 when no deadline is
+  /// configured (the clock is never consulted then).
+  int64_t DeadlineStart() const;
+  /// DeadlineExceeded when more than deadline_micros has elapsed since
+  /// `start`; OK otherwise (and always OK when deadlines are off).
+  Status CheckDeadline(int64_t start) const;
+  /// Classifies the pinned snapshot against the staleness contract:
+  /// OK (fresh, or contract off), OK + *degraded=true (stale under
+  /// kServeDegraded), or Unavailable (stale under kReject).
+  Status CheckStaleness(const AnalysisSnapshot* snap, bool* degraded) const;
+  /// ResourceExhausted when `size` exceeds max_batch_queries.
+  Status CheckBatchSize(size_t size) const;
 
   const MassEngine* engine_ = nullptr;
   std::shared_ptr<const AnalysisSnapshot> fixed_snapshot_;
@@ -204,12 +281,28 @@ class QueryService {
   /// reused, so a dangling slot from a destroyed service can only miss,
   /// never alias).
   uint64_t service_id_ = 0;
+
+  // Degradation contract (copied out of QueryServiceOptions).
+  int64_t deadline_micros_ = 0;
+  uint64_t max_staleness_micros_ = 0;
+  StalenessPolicy staleness_policy_ = StalenessPolicy::kServeDegraded;
+  size_t max_concurrent_queries_ = 0;
+  size_t max_batch_queries_ = 0;
+  std::function<int64_t()> clock_;
+  /// Queries currently executing; only consulted when admission control
+  /// is on.
+  mutable std::atomic<size_t> in_flight_{0};
+
   obs::Counter queries_;
   obs::Histogram latency_us_;
   obs::Histogram snapshot_age_us_;
   obs::Counter lease_refreshes_;
   obs::Counter batches_;
   obs::Histogram batch_latency_us_;
+  obs::Counter shed_total_;
+  obs::Counter degraded_total_;
+  obs::Counter deadline_exceeded_total_;
+  obs::Counter stale_rejects_total_;
 };
 
 }  // namespace mass

@@ -1,0 +1,430 @@
+#include "simulate/soak.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/influence_engine.h"
+#include "crawler/delta_stream.h"
+#include "model/corpus.h"
+#include "obs/metrics.h"
+
+namespace mass::simulate {
+namespace {
+
+// ---- determinism witnesses (FNV-1a 64) ----
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t* h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(h, bits);
+}
+
+void HashString(uint64_t* h, const std::string& s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+uint64_t DigestCorpus(const Corpus& corpus) {
+  uint64_t h = kFnvOffset;
+  HashU64(&h, corpus.num_bloggers());
+  HashU64(&h, corpus.num_posts());
+  HashU64(&h, corpus.num_comments());
+  HashU64(&h, corpus.num_links());
+  for (const Blogger& b : corpus.bloggers()) HashString(&h, b.url);
+  for (const Post& p : corpus.posts()) {
+    HashU64(&h, static_cast<uint64_t>(p.author));
+    HashU64(&h, static_cast<uint64_t>(p.timestamp));
+    HashU64(&h, static_cast<uint64_t>(p.true_domain));
+    HashString(&h, p.title);
+  }
+  for (const Comment& c : corpus.comments()) {
+    HashU64(&h, static_cast<uint64_t>(c.post));
+    HashU64(&h, static_cast<uint64_t>(c.timestamp));
+  }
+  return h;
+}
+
+uint64_t DigestInfluence(const AnalysisSnapshot& snap) {
+  uint64_t h = kFnvOffset;
+  HashU64(&h, snap.num_bloggers());
+  for (double v : snap.influence) HashDouble(&h, v);
+  return h;
+}
+
+// ---- reader fleet ----
+
+/// Typed-outcome tallies one reader accumulated; summed after join.
+struct ReaderCounts {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline = 0;
+  uint64_t unavailable = 0;
+  uint64_t failed_precondition = 0;
+  uint64_t violations = 0;
+};
+
+/// A ranking is "plausible" when it is sorted by non-increasing finite
+/// score with valid ids — the shape any honest snapshot answer has. A
+/// response that is neither plausible nor a typed degradation status is
+/// the "wrong answer" the soak invariant forbids.
+bool PlausibleRanking(const std::vector<ScoredBlogger>& ranking) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (const ScoredBlogger& s : ranking) {
+    if (s.id == kInvalidBlogger) return false;
+    if (!std::isfinite(s.score) || s.score > prev + 1e-12) return false;
+    prev = s.score;
+  }
+  return true;
+}
+
+/// Classifies one single-ranking response into the tallies.
+void CountRanking(const Result<std::vector<ScoredBlogger>>& r,
+                  ReaderCounts* counts) {
+  if (r.ok()) {
+    if (PlausibleRanking(*r)) {
+      ++counts->ok;
+    } else {
+      ++counts->violations;
+    }
+    return;
+  }
+  const Status& s = r.status();
+  if (s.IsResourceExhausted()) {
+    ++counts->shed;
+  } else if (s.IsDeadlineExceeded()) {
+    ++counts->deadline;
+  } else if (s.IsUnavailable()) {
+    ++counts->unavailable;
+  } else if (s.IsFailedPrecondition()) {
+    ++counts->failed_precondition;
+  } else {
+    ++counts->violations;
+  }
+}
+
+/// One reader thread: replays the query mix until stopped.
+void ReaderLoop(const QueryService* service, const SoakOptions& options,
+                uint64_t seed, const std::atomic<bool>* stop,
+                ReaderCounts* counts) {
+  Rng rng(seed);
+  size_t num_domains = options.world.num_domains;
+  while (!stop->load(std::memory_order_acquire)) {
+    uint64_t draw = rng.NextUint64(100);
+    if (draw < 40) {
+      // Zipfian domain popularity: a few hot domains take most queries.
+      size_t domain = rng.NextZipf(num_domains, options.zipf_exponent);
+      CountRanking(service->TopByDomain(domain, 10), counts);
+    } else if (draw < 60) {
+      CountRanking(service->TopGeneral(10), counts);
+    } else if (draw < 75) {
+      // Ad burst: a batch of interest vectors through the Eq. 5 path.
+      std::vector<std::vector<double>> ads(4);
+      for (auto& ad : ads) {
+        ad.resize(num_domains);
+        for (double& w : ad) w = rng.NextDouble();
+      }
+      auto r = service->MatchAdsBatch(ads, 10);
+      if (r.ok()) {
+        bool plausible = true;
+        for (const auto& ranking : *r) plausible &= PlausibleRanking(ranking);
+        plausible ? ++counts->ok : ++counts->violations;
+      } else {
+        CountRanking(Result<std::vector<ScoredBlogger>>(r.status()), counts);
+      }
+    } else if (draw < 90) {
+      // Mixed consistent batch through RunBatch.
+      std::vector<BatchQuery> batch;
+      batch.push_back(BatchQuery::TopGeneral(5));
+      batch.push_back(BatchQuery::TopByDomain(
+          rng.NextZipf(num_domains, options.zipf_exponent), 5));
+      std::vector<double> ad(num_domains);
+      for (double& w : ad) w = rng.NextDouble();
+      batch.push_back(BatchQuery::MatchAd(std::move(ad), 5));
+      auto r = service->RunBatch(batch);
+      if (r.ok()) {
+        for (const BatchQueryResult& item : *r) {
+          if (item.status.ok()) {
+            PlausibleRanking(item.ranking) ? ++counts->ok
+                                           : ++counts->violations;
+          } else if (item.status.IsDeadlineExceeded()) {
+            ++counts->deadline;
+          } else {
+            ++counts->violations;  // readers only send valid queries
+          }
+        }
+      } else {
+        CountRanking(Result<std::vector<ScoredBlogger>>(r.status()), counts);
+      }
+    } else {
+      // Trend probe: exercises the analytics surface under churn.
+      // InvalidArgument is a correct typed answer here — the first
+      // published snapshot covers an EMPTY corpus (Analyze before any
+      // crawl), and trends over zero posts are undefined, not wrong.
+      auto r = service->Trends(12);
+      if (r.ok() || r.status().IsInvalidArgument()) {
+        ++counts->ok;
+      } else {
+        CountRanking(Result<std::vector<ScoredBlogger>>(r.status()), counts);
+      }
+    }
+    if (options.reader_pause_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.reader_pause_micros));
+    }
+  }
+  QueryService::ReleaseThreadLease();
+}
+
+/// Streams `urls` from `host` into the engine, applying the poison fault
+/// and the rollback-leak check around every attempt.
+struct IngestStats {
+  size_t deltas_ingested = 0;
+  size_t ingest_failures = 0;
+  size_t poisoned = 0;
+  size_t poison_rejected = 0;
+  size_t poison_accepted = 0;
+  size_t dropped = 0;
+  size_t rollback_leaks = 0;
+  size_t pages = 0;
+  size_t fetch_failures = 0;
+};
+
+Status IngestUrls(BlogHost* host, const std::vector<std::string>& urls,
+                  const EngineFaultPlan& faults, const SoakOptions& options,
+                  MassEngine* engine, obs::MetricsRegistry* metrics,
+                  uint64_t* poison_op, IngestStats* stats) {
+  DeltaStreamOptions sopts;
+  sopts.batch_pages = options.batch_pages;
+  sopts.max_retries = 2;
+  // Tight pacing and no breaker: the soak injects failures on purpose and
+  // wants throughput, not politeness; breaker cooldowns are wall-clock
+  // and would make the run timing-dependent.
+  sopts.backoff.initial_delay_micros = 20;
+  sopts.backoff.max_delay_micros = 200;
+  sopts.breaker.enabled = false;
+  sopts.backoff_seed = options.world.seed;
+  sopts.metrics = metrics;
+  DeltaStream stream(host, urls, sopts);
+  while (!stream.done()) {
+    MASS_ASSIGN_OR_RETURN(CorpusDelta delta, stream.Next());
+    if (delta.additions.num_bloggers() == 0) break;  // exhausted on failures
+    // First attempt may carry the poison; retries always use the clean
+    // delta (a real pipeline would re-fetch, which un-poisons too).
+    CorpusDelta attempt_delta = delta;
+    bool poisoned = MaybePoisonDelta(faults, (*poison_op)++, &attempt_delta);
+    if (poisoned) ++stats->poisoned;
+    bool applied = false;
+    for (int attempt = 0; attempt < std::max(options.max_ingest_attempts, 1);
+         ++attempt) {
+      const CorpusDelta& d = (attempt == 0) ? attempt_delta : delta;
+      std::shared_ptr<const AnalysisSnapshot> before =
+          engine->CurrentSnapshot();
+      Status s = engine->IngestDelta(d, nullptr);
+      if (s.ok()) {
+        if (attempt == 0 && poisoned) ++stats->poison_accepted;
+        ++stats->deltas_ingested;
+        applied = true;
+        break;
+      }
+      ++stats->ingest_failures;
+      if (attempt == 0 && poisoned && s.IsFailedPrecondition()) {
+        ++stats->poison_rejected;
+      }
+      // The rollback-leak invariant: a failed ingest must leave the
+      // published snapshot pointer-identical.
+      if (engine->CurrentSnapshot().get() != before.get()) {
+        ++stats->rollback_leaks;
+      }
+    }
+    if (!applied) ++stats->dropped;
+  }
+  stats->pages += stream.pages_emitted();
+  stats->fetch_failures += stream.fetch_failures();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SoakReport> RunSoak(const SoakOptions& options) {
+  if (options.hours <= 0) {
+    return Status::InvalidArgument("soak needs a positive hour horizon");
+  }
+  if (options.world.num_agents == 0) {
+    return Status::InvalidArgument("soak needs at least one agent");
+  }
+  const int cadence = std::max(options.crawl_every_hours, 1);
+
+  World world(options.world);
+  WorldHost clean_host(&world);
+  FaultInjectingHost faulty_host(&clean_host, options.crawl_faults);
+
+  // The engine reads the plan through a pointer on every draw, so zeroing
+  // this local copy later turns the faults off for the final sweep (the
+  // ingest thread is the only consumer).
+  EngineFaultPlan engine_faults = options.engine_faults;
+
+  obs::MetricsRegistry metrics;
+  Corpus grown;
+  grown.BuildIndexes();
+  EngineOptions eopts = options.engine;
+  eopts.metrics = &metrics;
+  eopts.fault_plan = &engine_faults;
+  MassEngine engine(&grown, eopts);
+  MASS_RETURN_IF_ERROR(engine.Analyze(nullptr, world.num_domains()));
+
+  QueryServiceOptions qopts = options.serve;
+  qopts.metrics = &metrics;
+  QueryService service(&engine, qopts);
+
+  // Reader fleet runs for the whole soak, concurrent with every ingest,
+  // publish stall, and rollback.
+  std::atomic<bool> stop{false};
+  std::vector<ReaderCounts> counts(options.reader_threads);
+  std::vector<std::thread> readers;
+  readers.reserve(options.reader_threads);
+  for (size_t t = 0; t < options.reader_threads; ++t) {
+    readers.emplace_back(ReaderLoop, &service, std::cref(options),
+                         options.world.seed ^ (0x5eed + t), &stop, &counts[t]);
+  }
+
+  SoakReport report;
+  IngestStats ingest;
+  uint64_t poison_op = 0;
+  Status run_status = Status::OK();
+  for (int hour = 0; hour < options.hours && run_status.ok();
+       hour += cadence) {
+    world.AdvanceHours(std::min(cadence, options.hours - hour));
+    std::vector<std::string> dirty = world.DrainDirtyUrls();
+    if (dirty.empty()) continue;
+    ++report.ticks;
+    run_status = IngestUrls(&faulty_host, dirty, engine_faults, options,
+                            &engine, &metrics, &poison_op, &ingest);
+  }
+
+  // Final fault-free sweep: no injected failures, no fetch faults, every
+  // page re-fetched — the corpus catches up on anything a dropped batch
+  // or exhausted retry lost, so the quality probe measures the engine,
+  // not the fault plan.
+  if (run_status.ok()) {
+    engine_faults.ingest_failure_rate = 0.0;
+    engine_faults.poison_rate = 0.0;
+    engine_faults.publish_stall_rate = 0.0;
+    engine_faults.spmv_slow_rate = 0.0;
+    run_status = IngestUrls(&clean_host, world.AllUrls(), engine_faults,
+                            options, &engine, &metrics, &poison_op, &ingest);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  if (!run_status.ok()) return run_status;
+
+  // ---- assemble the report ----
+  report.hours = options.hours;
+  report.final_bloggers = grown.num_bloggers();
+  report.final_posts = grown.num_posts();
+  report.final_comments = grown.num_comments();
+  report.publishes = engine.PublishedSequence();
+  report.deltas_ingested = ingest.deltas_ingested;
+  report.ingest_failures = ingest.ingest_failures;
+  report.poisoned_deltas = ingest.poisoned;
+  report.poison_rejections = ingest.poison_rejected;
+  report.batches_dropped = ingest.dropped;
+  report.pages_emitted = ingest.pages;
+  report.fetch_failures = ingest.fetch_failures;
+  report.rollback_leaks = ingest.rollback_leaks;
+  report.invariant_violations = ingest.poison_accepted;
+  for (const ReaderCounts& c : counts) {
+    report.queries_ok += c.ok;
+    report.queries_shed += c.shed;
+    report.queries_deadline += c.deadline;
+    report.queries_unavailable += c.unavailable;
+    report.queries_failed_precondition += c.failed_precondition;
+    report.invariant_violations += c.violations;
+  }
+
+  obs::MetricsSnapshot msnap = metrics.Snapshot();
+  report.queries_degraded = msnap.CounterValue("serve.query.degraded_total");
+  if (const obs::HistogramSample* age =
+          msnap.FindHistogram("serve.snapshot.age_us")) {
+    report.snapshot_age_p99_us = age->P99();
+  }
+
+  // Ranking quality vs the drifting ground truth, by URL identity.
+  std::shared_ptr<const AnalysisSnapshot> snap = engine.CurrentSnapshot();
+  if (snap != nullptr && options.quality_k > 0 && grown.num_bloggers() > 0) {
+    std::unordered_set<std::string> truth;
+    for (size_t agent : world.GroundTruthTopK(options.quality_k)) {
+      truth.insert(world.agent_url(agent));
+    }
+    size_t hits = 0;
+    for (const ScoredBlogger& s : snap->TopKGeneral(options.quality_k)) {
+      if (truth.count(grown.blogger(s.id).url) > 0) ++hits;
+    }
+    report.quality_overlap =
+        static_cast<double>(hits) / static_cast<double>(options.quality_k);
+  }
+
+  report.corpus_digest = DigestCorpus(grown);
+  if (snap != nullptr) report.influence_digest = DigestInfluence(*snap);
+
+  // ---- gates ----
+  report.ok = true;
+  auto fail = [&report](std::string why) {
+    if (report.ok) {
+      report.ok = false;
+      report.violation = std::move(why);
+    }
+  };
+  if (report.rollback_leaks > 0) {
+    fail(StrFormat("%zu rollback leak(s): failed ingest published a snapshot",
+                   report.rollback_leaks));
+  }
+  if (report.invariant_violations > 0) {
+    fail(StrFormat("%zu invariant violation(s): untyped or implausible "
+                   "response, or poisoned delta accepted",
+                   report.invariant_violations));
+  }
+  if (report.poisoned_deltas != report.poison_rejections) {
+    fail(StrFormat("poison mismatch: %zu injected, %zu rejected",
+                   report.poisoned_deltas, report.poison_rejections));
+  }
+  if (options.max_age_p99_micros > 0 &&
+      report.snapshot_age_p99_us >
+          static_cast<double>(options.max_age_p99_micros)) {
+    fail(StrFormat("snapshot-age p99 %.0fus exceeds budget %lluus",
+                   report.snapshot_age_p99_us,
+                   static_cast<unsigned long long>(
+                       options.max_age_p99_micros)));
+  }
+  if (options.min_quality_overlap > 0.0 &&
+      report.quality_overlap < options.min_quality_overlap) {
+    fail(StrFormat("quality overlap %.2f below gate %.2f",
+                   report.quality_overlap, options.min_quality_overlap));
+  }
+  return report;
+}
+
+}  // namespace mass::simulate

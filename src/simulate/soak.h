@@ -1,0 +1,149 @@
+// Soak harness: N simulated hours of an evolving blogosphere (World)
+// crawled, ingested, and queried concurrently under a combined fault plan
+// — the crawler-level FaultPlan (transient/permanent/corrupt fetches) AND
+// the engine-level EngineFaultPlan (mid-pipeline ingest failures, poisoned
+// deltas, publish stalls, slow SpMV) — while reader fleets replay
+// Zipfian domain queries and ad-matching bursts against the QueryService.
+//
+// The harness asserts the robustness invariants end to end and reports
+// them in a SoakReport:
+//
+//  - NO ROLLBACK LEAK: after every failed ingest, the published snapshot
+//    is pointer-identical to the one before the attempt (a failed write
+//    never publishes).
+//  - NEVER A WRONG ANSWER: every reader response is either a plausible
+//    ranking (finite, sorted, valid ids) or a typed degradation status
+//    (FailedPrecondition / ResourceExhausted / DeadlineExceeded /
+//    Unavailable); anything else counts in invariant_violations.
+//  - POISON IS REJECTED: a corrupted delta (invalid ground-truth domain)
+//    is refused before any corpus mutation, never silently ingested.
+//  - BOUNDED STALENESS: snapshot-age p99 (serve.snapshot.age_us) stays
+//    under max_age_p99_micros when configured.
+//  - QUALITY TRACKS TRUTH: after a final fault-free sweep, the engine's
+//    top-k overlaps the world's decayed-fame ground truth by at least
+//    min_quality_overlap when configured.
+//  - DETERMINISM: corpus_digest/influence_digest are pure functions of
+//    the seed (reader scheduling cannot perturb the write path), so two
+//    runs with equal options must report equal digests.
+//
+// Run it through bench/bench_soak.cc (BENCH_soak.json, --smoke CI gate),
+// `mass_cli soak`, or tests/soak_test.cc (short horizon under TSan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/engine_fault.h"
+#include "core/engine_options.h"
+#include "crawler/fault_injection.h"
+#include "serve/query_service.h"
+#include "simulate/world.h"
+
+namespace mass::simulate {
+
+/// Scenario knobs for one soak run. The defaults are a mild overnight
+/// soak; bench_soak's --smoke preset tightens them into the CI gate.
+struct SoakOptions {
+  /// Simulated horizon and ingest cadence.
+  int hours = 12;
+  int crawl_every_hours = 1;
+
+  /// The blogosphere (seed lives here; it also seeds the reader mixes).
+  WorldOptions world;
+
+  /// Crawler-level faults applied to every fetch (fault_injection.h).
+  FaultPlan crawl_faults;
+  /// Engine-level faults applied to every ingest (engine_fault.h). The
+  /// plan's sleep hook is honored; rates are zeroed for the final
+  /// fault-free sweep.
+  EngineFaultPlan engine_faults;
+
+  /// Solver configuration; metrics/fault_plan fields are overwritten by
+  /// the harness.
+  EngineOptions engine;
+  /// Degradation contract for the reader fleet; metrics is overwritten.
+  QueryServiceOptions serve;
+
+  /// Reader fleet shape: threads issuing a Zipfian TopByDomain / general
+  /// top-k / ad-burst / mixed-batch query mix for the whole run.
+  size_t reader_threads = 2;
+  /// Domain popularity skew for the Zipfian mix.
+  double zipf_exponent = 1.1;
+  /// Microseconds each reader idles between queries (0 = spin).
+  int64_t reader_pause_micros = 50;
+
+  /// Pages per emitted delta batch.
+  size_t batch_pages = 16;
+  /// Ingest attempts per delta (first may be poisoned; retries are clean).
+  int max_ingest_attempts = 4;
+
+  // ---- gates (0 disables each) ----
+  /// Top-k size for the final ranking-quality probe.
+  size_t quality_k = 10;
+  /// Required |engine top-k ∩ ground-truth top-k| / k after the final
+  /// fault-free sweep.
+  double min_quality_overlap = 0.0;
+  /// Required snapshot-age p99 bound, in microseconds.
+  uint64_t max_age_p99_micros = 0;
+};
+
+/// What one soak run did and whether the invariants held.
+struct SoakReport {
+  // ---- shape ----
+  int hours = 0;
+  size_t ticks = 0;             ///< crawl+ingest rounds
+  size_t final_bloggers = 0;
+  size_t final_posts = 0;
+  size_t final_comments = 0;
+  uint64_t publishes = 0;       ///< engine publish sequence at the end
+
+  // ---- write path ----
+  size_t deltas_ingested = 0;   ///< successful IngestDelta calls
+  size_t ingest_failures = 0;   ///< failed attempts (injected or poison)
+  size_t poisoned_deltas = 0;   ///< deltas corrupted by the fault plan
+  size_t poison_rejections = 0; ///< ...that the engine refused (must equal)
+  size_t batches_dropped = 0;   ///< deltas lost after max_ingest_attempts
+  size_t pages_emitted = 0;
+  size_t fetch_failures = 0;
+
+  // ---- read path (typed outcomes observed by the reader fleet) ----
+  uint64_t queries_ok = 0;
+  uint64_t queries_shed = 0;              ///< ResourceExhausted
+  uint64_t queries_deadline = 0;          ///< DeadlineExceeded
+  uint64_t queries_unavailable = 0;       ///< Unavailable (stale reject)
+  uint64_t queries_failed_precondition = 0;  ///< before the first publish
+  uint64_t queries_degraded = 0;          ///< stale-but-flagged answers
+
+  // ---- invariants ----
+  /// Failed ingests that left a DIFFERENT snapshot published (must be 0).
+  size_t rollback_leaks = 0;
+  /// Poisoned deltas the engine accepted, plus reader responses that were
+  /// neither a plausible ranking nor a typed degradation status (must
+  /// be 0).
+  size_t invariant_violations = 0;
+  /// serve.snapshot.age_us p99 over the whole run (microseconds).
+  double snapshot_age_p99_us = 0.0;
+  /// |top-k ∩ ground truth| / k after the final fault-free sweep.
+  double quality_overlap = 0.0;
+
+  /// Fixed-seed determinism witnesses over the final corpus shape/content
+  /// and the final published influence scores.
+  uint64_t corpus_digest = 0;
+  uint64_t influence_digest = 0;
+
+  /// True when every configured gate held. `violation` names the first
+  /// failed gate for diagnostics ("" when ok).
+  bool ok = false;
+  std::string violation;
+};
+
+/// Runs the soak scenario to completion. InvalidArgument for a degenerate
+/// configuration (no hours, no agents); infrastructure errors (an Analyze
+/// that cannot even start) surface as the underlying status. Gate
+/// failures do NOT fail the Result — they land in report.ok/violation so
+/// callers can still inspect the full report.
+Result<SoakReport> RunSoak(const SoakOptions& options);
+
+}  // namespace mass::simulate

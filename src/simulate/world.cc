@@ -1,0 +1,299 @@
+#include "simulate/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "synth/domain_vocab.h"
+
+namespace mass::simulate {
+namespace {
+
+// Fixed epoch so simulated timestamps are stable across runs and hosts;
+// the engine's recency scoring only looks at relative ages.
+constexpr int64_t kEpochSeconds = 1'600'000'000;
+constexpr double kTwoPi = 6.283185307179586;
+
+void Normalize(std::vector<double>* weights) {
+  double sum = std::accumulate(weights->begin(), weights->end(), 0.0);
+  if (sum <= 0.0) {
+    std::fill(weights->begin(), weights->end(),
+              1.0 / static_cast<double>(weights->size()));
+    return;
+  }
+  for (double& w : *weights) w /= sum;
+}
+
+}  // namespace
+
+World::World(WorldOptions options) : options_(options), rng_(options.seed) {
+  if (options_.num_agents == 0) options_.num_agents = 1;
+  options_.num_domains =
+      std::max<size_t>(1, std::min(options_.num_domains,
+                                   synth::kNumPaperDomains));
+  agents_.resize(options_.num_agents);
+  for (size_t a = 0; a < agents_.size(); ++a) {
+    Agent& agent = agents_[a];
+    agent.name = StrFormat("agent%04zu", a);
+    agent.url = "http://world.sim/" + agent.name;
+    // Peaked interest mixture: one preferred domain plus noise, so
+    // domain-specific rankings have signal from hour zero.
+    agent.interests.assign(options_.num_domains, 0.0);
+    size_t preferred = rng_.NextUint64(options_.num_domains);
+    for (size_t d = 0; d < options_.num_domains; ++d) {
+      agent.interests[d] = (d == preferred ? 1.0 : 0.0) +
+                           rng_.NextDouble(0.02, 0.25);
+    }
+    Normalize(&agent.interests);
+    agent.expertise = rng_.NextDouble(0.3, 1.0);
+    // A pinch of initial fame so the first preferential draws are not
+    // degenerate (all-zero weights collapse to index 0).
+    agent.fame = rng_.NextDouble(0.5, 1.5);
+    agent.profile = text_.GenerateProfile(agent.interests, &rng_);
+  }
+}
+
+int64_t World::EventTimestamp() {
+  // Spread events across the hour; monotonicity within the hour is not
+  // required (real comment feeds are not sorted either).
+  return kEpochSeconds + (hour_ - 1) * 3600 +
+         static_cast<int64_t>(rng_.NextUint64(3600));
+}
+
+size_t World::PickAuthor() {
+  // Preferential by fame with a uniform floor: famous bloggers post more,
+  // but nobody goes silent forever.
+  std::vector<double> weights(agents_.size());
+  for (size_t a = 0; a < agents_.size(); ++a) {
+    weights[a] = agents_[a].fame + 0.5;
+  }
+  return rng_.NextDiscrete(weights);
+}
+
+size_t World::PickCommentTarget() {
+  // Flash crowd: most comments pile onto the focus agent's latest posts.
+  if (flash_remaining_ > 0 &&
+      rng_.NextBernoulli(options_.flash_focus_share) &&
+      !agents_[flash_focus_].posts.empty()) {
+    const std::vector<size_t>& posts = agents_[flash_focus_].posts;
+    size_t recent = std::min<size_t>(posts.size(), 5);
+    return posts[posts.size() - 1 - rng_.NextUint64(recent)];
+  }
+  // Otherwise: a recent post, weighted by its author's fame + expertise —
+  // attention begets attention (preferential attachment on content).
+  size_t window = std::min<size_t>(posts_.size(), 200);
+  size_t first = posts_.size() - window;
+  std::vector<double> weights(window);
+  for (size_t i = 0; i < window; ++i) {
+    const Agent& author = agents_[posts_[first + i].author];
+    weights[i] = author.fame + author.expertise + 0.25;
+  }
+  return first + rng_.NextDiscrete(weights);
+}
+
+void World::AdvanceHour() {
+  ++hour_;
+  activity_ = 1.0 + options_.diurnal_amplitude *
+                        std::sin(kTwoPi * static_cast<double>(hour_ % 24) /
+                                 24.0);
+  activity_ = std::max(activity_, 0.05);
+
+  // Ground-truth fame decays before the hour's new attention lands.
+  double decay = options_.fame_half_life_hours > 0.0
+                     ? std::pow(0.5, 1.0 / options_.fame_half_life_hours)
+                     : 1.0;
+  for (Agent& agent : agents_) agent.fame *= decay;
+
+  // Flash-crowd lifecycle: expire, else maybe ignite on a famous agent.
+  if (flash_remaining_ > 0) {
+    --flash_remaining_;
+  } else if (rng_.NextBernoulli(options_.flash_crowd_rate)) {
+    std::vector<double> weights(agents_.size());
+    for (size_t a = 0; a < agents_.size(); ++a) weights[a] = agents_[a].fame;
+    flash_focus_ = rng_.NextDiscrete(weights);
+    flash_remaining_ = std::max(options_.flash_duration_hours, 1);
+  }
+
+  // Topic drift: interests random-walk and renormalize, so the "right"
+  // answer to every domain query moves over a soak run.
+  if (options_.interest_drift > 0.0) {
+    for (Agent& agent : agents_) {
+      for (double& w : agent.interests) {
+        w = std::max(0.01, w + rng_.NextGaussian(0.0, options_.interest_drift));
+      }
+      Normalize(&agent.interests);
+    }
+  }
+
+  // ---- posts ----
+  int posts = rng_.NextPoisson(options_.posts_per_hour * activity_);
+  for (int i = 0; i < posts; ++i) {
+    size_t author = PickAuthor();
+    Agent& agent = agents_[author];
+    SimPost post;
+    post.author = author;
+    post.domain = static_cast<int>(rng_.NextDiscrete(agent.interests));
+    post.title = text_.GenerateTitle(static_cast<size_t>(post.domain), &rng_);
+    post.content =
+        text_.GeneratePost(agent.interests, options_.post_words, &rng_);
+    post.timestamp = EventTimestamp();
+    agent.posts.push_back(posts_.size());
+    posts_.push_back(std::move(post));
+    agent.dirty = true;
+  }
+
+  // ---- comments ----
+  if (!posts_.empty()) {
+    double rate = options_.comments_per_hour * activity_;
+    if (flash_remaining_ > 0) rate *= std::max(options_.flash_boost, 1.0);
+    int comments = rng_.NextPoisson(rate);
+    for (int i = 0; i < comments; ++i) {
+      size_t target = PickCommentTarget();
+      SimPost& post = posts_[target];
+      size_t commenter = rng_.NextUint64(agents_.size());
+      if (commenter == post.author) {
+        commenter = (commenter + 1) % agents_.size();
+      }
+      SimComment comment;
+      comment.commenter = commenter;
+      // Attitude tracks the author's expertise: good bloggers earn
+      // agreement, so sentiment-weighted influence correlates with truth.
+      double expertise = agents_[post.author].expertise;
+      double draw = rng_.NextDouble();
+      if (draw < 0.25 + 0.5 * expertise) {
+        comment.attitude = 1;
+      } else if (draw < 0.65 + 0.25 * expertise) {
+        comment.attitude = 0;
+      } else {
+        comment.attitude = -1;
+      }
+      comment.text = text_.GenerateComment(static_cast<size_t>(post.domain),
+                                           comment.attitude,
+                                           options_.comment_words, &rng_);
+      comment.timestamp = EventTimestamp();
+      post.comments.push_back(std::move(comment));
+      ++num_comments_;
+      agents_[post.author].fame += 1.0;  // received attention
+      agents_[post.author].dirty = true;
+    }
+  }
+
+  // ---- links ----
+  int links = rng_.NextPoisson(options_.links_per_hour * activity_);
+  for (int i = 0; i < links; ++i) {
+    size_t source = rng_.NextUint64(agents_.size());
+    std::vector<double> weights(agents_.size());
+    for (size_t a = 0; a < agents_.size(); ++a) weights[a] = agents_[a].fame;
+    weights[source] = 0.0;  // no self-links
+    size_t target = rng_.NextDiscrete(weights);
+    if (target == source) continue;
+    Agent& src = agents_[source];
+    if (std::find(src.links.begin(), src.links.end(), target) !=
+        src.links.end()) {
+      continue;  // blogroll already carries this edge
+    }
+    src.links.push_back(target);
+    src.dirty = true;
+    agents_[target].fame += 2.0;  // an endorsement outweighs one comment
+    ++num_links_;
+  }
+}
+
+void World::AdvanceHours(int hours) {
+  for (int i = 0; i < hours; ++i) AdvanceHour();
+}
+
+const std::string& World::agent_url(size_t agent) const {
+  return agents_[agent].url;
+}
+
+const std::string& World::agent_name(size_t agent) const {
+  return agents_[agent].name;
+}
+
+std::vector<std::string> World::AllUrls() const {
+  std::vector<std::string> urls;
+  urls.reserve(agents_.size());
+  for (const Agent& agent : agents_) urls.push_back(agent.url);
+  return urls;
+}
+
+std::vector<std::string> World::DrainDirtyUrls() {
+  std::vector<std::string> urls;
+  for (Agent& agent : agents_) {
+    if (agent.dirty) {
+      urls.push_back(agent.url);
+      agent.dirty = false;
+    }
+  }
+  return urls;
+}
+
+std::vector<size_t> World::GroundTruthTopK(size_t k) const {
+  std::vector<size_t> order(agents_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return agents_[a].fame > agents_[b].fame;
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+double World::fame(size_t agent) const { return agents_[agent].fame; }
+
+size_t World::flash_focus() const {
+  return flash_remaining_ > 0 ? flash_focus_ : agents_.size();
+}
+
+BloggerPage World::PageOf(size_t agent) const {
+  const Agent& a = agents_[agent];
+  BloggerPage page;
+  page.url = a.url;
+  page.name = a.name;
+  page.profile = a.profile;
+  page.true_expertise = a.expertise;
+  page.true_interests = a.interests;
+  page.posts.reserve(a.posts.size());
+  for (size_t p : a.posts) {
+    const SimPost& post = posts_[p];
+    RemotePost out;
+    out.title = post.title;
+    out.content = post.content;
+    out.timestamp = post.timestamp;
+    out.true_domain = post.domain;
+    out.comments.reserve(post.comments.size());
+    for (const SimComment& comment : post.comments) {
+      RemoteComment rc;
+      rc.commenter_url = agents_[comment.commenter].url;
+      rc.text = comment.text;
+      rc.timestamp = comment.timestamp;
+      rc.true_attitude = comment.attitude;
+      out.comments.push_back(std::move(rc));
+    }
+    page.posts.push_back(std::move(out));
+  }
+  page.linked_urls.reserve(a.links.size());
+  for (size_t target : a.links) {
+    page.linked_urls.push_back(agents_[target].url);
+  }
+  return page;
+}
+
+WorldHost::WorldHost(const World* world) : world_(world) {
+  for (size_t a = 0; a < world->num_agents(); ++a) {
+    url_index_[world->agent_url(a)] = a;
+  }
+}
+
+Result<BloggerPage> WorldHost::Fetch(const std::string& url) {
+  fetch_count_.fetch_add(1, std::memory_order_relaxed);
+  auto it = url_index_.find(url);
+  if (it == url_index_.end()) {
+    return Status::NotFound("no such blogger in world: " + url);
+  }
+  return world_->PageOf(it->second);
+}
+
+}  // namespace mass::simulate

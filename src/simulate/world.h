@@ -1,0 +1,188 @@
+// World: a seeded, deterministic agent-based blogosphere that EVOLVES —
+// the live-corpus counterpart of synth::GenerateBlogosphere's frozen
+// snapshot. Agents post, comment, and link hour by hour with topic drift
+// (interest vectors random-walk), flash crowds (attention piles onto one
+// blogger for a few hours), and diurnal load (a sinusoidal activity
+// cycle), modelling the continuous-arrival regime the dynamics literature
+// argues influence systems actually live under (Akritidis et al., "Time
+// Does Matter").
+//
+// The world keeps its own ground truth: per-agent "fame", an attention
+// score fed by received comments and links and decayed with a configurable
+// half-life, so a soak run can ask at any instant "who SHOULD the engine
+// rank on top right now?" and compare against the drifting answer.
+//
+// Determinism contract: every event is drawn from one Rng seeded by
+// WorldOptions::seed, and the world is only ever advanced from one thread,
+// so a fixed seed replays the identical blogosphere — the foundation for
+// the soak harness's fixed-seed reproducibility gate (simulate/soak.h).
+//
+// WorldHost serves the current world state through the crawler's BlogHost
+// interface; DrainDirtyUrls() yields the agents whose pages changed since
+// the last drain, which is exactly the URL list a periodic re-crawl
+// (DeltaStream) should fetch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crawler/blog_host.h"
+#include "synth/text_gen.h"
+
+namespace mass::simulate {
+
+/// Event-rate and dynamics knobs. Rates are per simulated hour; the
+/// effective rate is modulated by the diurnal cycle (and, for comments,
+/// by an active flash crowd).
+struct WorldOptions {
+  uint64_t seed = 1;
+  size_t num_agents = 48;
+  /// Topic space; at most synth::kNumPaperDomains (the built-in
+  /// vocabularies cap it).
+  size_t num_domains = 10;
+
+  // ---- event rates (Poisson means per hour, before modulation) ----
+  double posts_per_hour = 10.0;
+  double comments_per_hour = 30.0;
+  double links_per_hour = 5.0;
+
+  /// Diurnal load: activity(h) = 1 + amplitude * sin(2*pi * (h%24)/24),
+  /// floored at 0.05. 0 flattens the cycle.
+  double diurnal_amplitude = 0.5;
+
+  /// Per-hour probability that a flash crowd ignites (when none is
+  /// active): a fame-weighted focus agent is chosen and comment traffic
+  /// concentrates on their posts for flash_duration_hours.
+  double flash_crowd_rate = 0.05;
+  /// Multiplier on the comment rate while a flash crowd is active.
+  double flash_boost = 3.0;
+  int flash_duration_hours = 3;
+  /// Probability a flash-crowd comment targets the focus agent's posts
+  /// (the rest spread normally).
+  double flash_focus_share = 0.7;
+
+  /// Topic drift: per-hour Gaussian step added to each interest weight
+  /// before renormalizing. 0 freezes interests.
+  double interest_drift = 0.02;
+
+  /// Ground-truth attention half-life: fame *= 2^(-1/half_life) per hour.
+  double fame_half_life_hours = 48.0;
+
+  // ---- content shape ----
+  size_t post_words = 60;
+  size_t comment_words = 12;
+};
+
+/// One comment as the world recorded it (ground truth attached).
+struct SimComment {
+  size_t commenter = 0;
+  int attitude = 0;  ///< +1 / 0 / -1, recoverable by the sentiment stage
+  std::string text;
+  int64_t timestamp = 0;
+};
+
+/// One post as the world recorded it.
+struct SimPost {
+  size_t author = 0;
+  int domain = 0;  ///< ground-truth topic, sampled from author interests
+  std::string title;
+  std::string content;
+  int64_t timestamp = 0;
+  std::vector<SimComment> comments;
+};
+
+/// The evolving blogosphere. Advance*() must be called from one thread at
+/// a time and never concurrently with WorldHost::Fetch — the soak harness
+/// alternates "advance world" and "crawl + ingest" phases, with only
+/// QueryService readers running concurrently (they touch the engine's
+/// snapshots, never the world).
+class World {
+ public:
+  explicit World(WorldOptions options = {});
+
+  /// Simulates one hour of blogosphere activity: fame decay, possible
+  /// flash-crowd ignition/expiry, interest drift, then Poisson-distributed
+  /// posts, comments, and links.
+  void AdvanceHour();
+  void AdvanceHours(int hours);
+
+  // ---- shape ----
+  int64_t hours() const { return hour_; }
+  size_t num_agents() const { return agents_.size(); }
+  size_t num_posts() const { return posts_.size(); }
+  size_t num_comments() const { return num_comments_; }
+  size_t num_links() const { return num_links_; }
+  size_t num_domains() const { return options_.num_domains; }
+
+  const std::string& agent_url(size_t agent) const;
+  const std::string& agent_name(size_t agent) const;
+  std::vector<std::string> AllUrls() const;
+
+  /// URLs of agents whose pages changed since the last drain (or ever, on
+  /// the first call), in agent order — the periodic re-crawl's fetch list.
+  std::vector<std::string> DrainDirtyUrls();
+
+  // ---- ground truth ----
+  /// Agents ranked by current decayed fame (descending, ties by index).
+  std::vector<size_t> GroundTruthTopK(size_t k) const;
+  double fame(size_t agent) const;
+  /// Active flash-crowd focus agent, or num_agents() when none.
+  size_t flash_focus() const;
+
+  /// The current page of `agent` in crawler terms: profile, every post
+  /// with its comments (ground-truth domain/attitude attached), blogroll.
+  BloggerPage PageOf(size_t agent) const;
+
+ private:
+  struct Agent {
+    std::string name;
+    std::string url;
+    std::string profile;
+    std::vector<double> interests;  ///< normalized mixture over domains
+    double expertise = 0.5;         ///< static quality prior in [0.3, 1]
+    double fame = 0.0;              ///< decayed received attention
+    std::vector<size_t> posts;      ///< indices into posts_
+    std::vector<size_t> links;      ///< outgoing blogroll targets (dedup)
+    bool dirty = true;              ///< page changed since last drain
+  };
+
+  size_t PickAuthor();
+  size_t PickCommentTarget();
+  int64_t EventTimestamp();
+
+  WorldOptions options_;
+  Rng rng_;
+  synth::TextGenerator text_;
+  std::vector<Agent> agents_;
+  std::vector<SimPost> posts_;
+  size_t num_comments_ = 0;
+  size_t num_links_ = 0;
+  int64_t hour_ = 0;
+  size_t flash_focus_ = 0;  ///< valid while flash_remaining_ > 0
+  int flash_remaining_ = 0;
+  double activity_ = 1.0;  ///< this hour's diurnal multiplier
+};
+
+/// Serves the world's CURRENT pages through the crawler interface. The
+/// world must outlive the host; Fetch is safe from any number of threads
+/// as long as the world is not advancing (see World's contract).
+class WorldHost : public BlogHost {
+ public:
+  explicit WorldHost(const World* world);
+
+  Result<BloggerPage> Fetch(const std::string& url) override;
+
+  uint64_t fetch_count() const { return fetch_count_.load(); }
+
+ private:
+  const World* world_;
+  std::unordered_map<std::string, size_t> url_index_;
+  std::atomic<uint64_t> fetch_count_{0};
+};
+
+}  // namespace mass::simulate

@@ -2,7 +2,46 @@
 
 #include <cstdio>
 
+#if defined(_WIN32)
+// No fsync on Windows; the atomic rename alone is the best this layer can
+// do there. All CI and deployment targets are POSIX.
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace mass {
+
+namespace {
+
+#if !defined(_WIN32)
+// Flushes `path` (a file or a directory) to stable storage. Durability of
+// a freshly renamed file requires BOTH the file's data blocks (synced
+// before the rename) and the directory entry (synced after) to be on
+// disk; missing either lets a crash surface a zero-length or absent
+// checkpoint even though rename(2) itself is atomic in the namespace.
+Status FsyncPath(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError("cannot open for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path);
+  return Status::OK();
+}
+
+// Directory component of `path` ("." when there is none).
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+#endif
+
+}  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -32,10 +71,28 @@ Status WriteStringToFileAtomic(const std::string& path,
                                std::string_view contents) {
   const std::string tmp = path + ".tmp";
   MASS_RETURN_IF_ERROR(WriteStringToFile(tmp, contents));
+#if !defined(_WIN32)
+  // Sync the temp file BEFORE the rename: rename(2) orders only the
+  // namespace, not the data, so without this a crash shortly after the
+  // rename can leave `path` pointing at a zero-length (or partially
+  // written) inode — exactly the torn checkpoint the atomic protocol
+  // exists to rule out.
+  if (Status s = FsyncPath(tmp, /*directory=*/false); !s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("rename failed: " + tmp + " -> " + path);
   }
+#if !defined(_WIN32)
+  // Sync the directory AFTER the rename so the new directory entry itself
+  // survives a crash. Failure here is reported (the caller may retry) but
+  // the rename has already happened — readers see the complete new file
+  // either way.
+  MASS_RETURN_IF_ERROR(FsyncPath(DirOf(path), /*directory=*/true));
+#endif
   return Status::OK();
 }
 

@@ -15,10 +15,14 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes `contents` to `path`, truncating any existing file.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 
-/// Writes `contents` to `path` atomically: the data is written to a
-/// sibling temporary file and renamed over `path`, so readers (and a
-/// process that crashes mid-write) only ever observe the old file or the
-/// complete new one. This is the primitive crash-safe checkpoints rely on.
+/// Writes `contents` to `path` atomically AND durably: the data is
+/// written to a sibling temporary file, fsync'd, renamed over `path`, and
+/// the containing directory is fsync'd after the rename. Readers (and a
+/// process that crashes at any point) only ever observe the old file or
+/// the complete new one — never a zero-length or torn file, even when the
+/// crash is a power loss between the write and the rename reaching disk.
+/// This is the primitive crash-safe checkpoints rely on; see
+/// docs/robustness.md for the durability contract.
 Status WriteStringToFileAtomic(const std::string& path,
                                std::string_view contents);
 

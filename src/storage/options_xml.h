@@ -12,6 +12,13 @@
 namespace mass {
 
 /// XML round trip for the full EngineOptions struct.
+///
+/// Runtime-only wiring is deliberately NOT serialized: `metrics` and
+/// `fault_plan` are non-owning pointers into the hosting process
+/// (observability and fault-injection harnesses, see docs/robustness.md)
+/// and always load back as nullptr. A round-tripped options struct is
+/// therefore safe to use anywhere, but injection/metrics must be re-wired
+/// by the caller.
 std::string EngineOptionsToXml(const EngineOptions& options);
 Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text);
 

@@ -3,6 +3,7 @@
 // machine, RobustFetcher retry discipline, checkpoint XML round-trips,
 // crawl and delta-stream crash/resume convergence under a 30% scripted
 // fault plan, and transactional IngestDelta rollback.
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -436,7 +437,7 @@ TEST(RobustFetcherTest, OpenBreakerFailsFastWithoutTouchingTheHost) {
   EXPECT_EQ(stats.breaker_trips, 1u);
 }
 
-TEST(RobustFetcherTest, TimeBudgetAborts) {
+TEST(RobustFetcherTest, TimeBudgetReturnsDeadlineExceeded) {
   Corpus src = SourceCorpus(3, 8, 24);
   SyntheticBlogHost inner(&src);
   int64_t now = 0;
@@ -448,8 +449,41 @@ TEST(RobustFetcherTest, TimeBudgetAborts) {
   now = 100;  // budget spent
   auto r = fetcher.Fetch(inner.UrlOf(1));
   ASSERT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsAborted());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
   EXPECT_TRUE(fetcher.budget_exhausted());
+}
+
+TEST(CrawlBudgetTest, MidCrawlExpiryReturnsPartialCorpusWithDeadlineTail) {
+  // A fake clock that jumps 40us per observation: the lone-seed level
+  // completes well inside the 500us budget, and the budget expires part way
+  // through the next level, so the crawl must wind down with an explicit
+  // partial harvest rather than a silent truncation.
+  Corpus src = SourceCorpus(7, 30, 120);
+  SyntheticBlogHost host(&src);
+  obs::MetricsRegistry metrics;
+  std::atomic<int64_t> ticks{0};
+  CrawlOptions opts;
+  opts.num_threads = 1;  // deterministic frontier order for the assertions
+  opts.crawl_budget_micros = 500;
+  opts.metrics = &metrics;
+  opts.fetch_sleep = [](int64_t) {};
+  opts.fetch_clock = [&ticks] { return ticks.fetch_add(40); };
+  auto r = Crawl(&host, {host.UrlOf(0)}, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->budget_exhausted);
+  EXPECT_TRUE(r->tail_status.IsDeadlineExceeded()) << r->tail_status;
+  // The harvest is partial but real: some pages landed, some fetches were
+  // refused by the budget, and the corpus holds exactly the landed pages.
+  EXPECT_GE(r->pages_fetched, 1u);
+  EXPECT_GE(r->fetch_failures, 1u);
+  EXPECT_LT(r->pages_fetched, src.num_bloggers());
+  EXPECT_EQ(r->corpus.num_bloggers(), r->pages_fetched);
+  EXPECT_EQ(metrics.Snapshot().CounterValue("crawler.budget_exhausted"), 1u);
+  // A drained crawl reports an OK tail for contrast.
+  auto full = Crawl(&host, {host.UrlOf(0)}, CrawlOptions{});
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_TRUE(full->tail_status.ok());
+  EXPECT_FALSE(full->budget_exhausted);
 }
 
 TEST(RobustFetcherTest, HostOfExtractsSchemeAndAuthority) {

@@ -220,15 +220,199 @@ TEST(ServeAccessorTest, EngineClampsOutOfRangeIds) {
 
 // ---------- publish lifecycle ----------
 
+// Cold start: before the first publish, EVERY query surface — single and
+// batch — refuses with FailedPrecondition (one consistent "not yet"
+// signal), and the SAME service instance recovers by itself once the
+// first snapshot lands.
 TEST(ServePublishTest, NothingPublishedBeforeAnalyze) {
   Corpus corpus = synth::MakeFigure1Corpus();
   MassEngine engine(&corpus);
   EXPECT_EQ(engine.CurrentSnapshot(), nullptr);
   QueryService service(&engine);
   EXPECT_EQ(service.Pin(), nullptr);
+
+  // Single-query surfaces.
   EXPECT_TRUE(service.TopGeneral(3).status().IsFailedPrecondition());
+  EXPECT_TRUE(service.TopByDomain(0, 3).status().IsFailedPrecondition());
+  EXPECT_TRUE(service.MatchAdvertisement({1.0, 0.0}, 3)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(service.TopPosts(0, 3).status().IsFailedPrecondition());
   EXPECT_TRUE(service.Details(0).status().IsFailedPrecondition());
+  EXPECT_TRUE(service.SimilarInfluencers(0, 3).status().IsFailedPrecondition());
   EXPECT_TRUE(service.Trends(4).status().IsFailedPrecondition());
+
+  // Batch surfaces, both RunBatch forms included.
+  std::vector<BatchQuery> batch = {BatchQuery::TopGeneral(3)};
+  EXPECT_TRUE(service.RunBatch(batch).status().IsFailedPrecondition());
+  std::vector<BatchQueryResult> results;
+  EXPECT_TRUE(service.RunBatch(batch, &results).IsFailedPrecondition());
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(service.TopKGeneralBatch(3, 2).status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      service.MatchAdsBatch({{1.0, 0.0}}, 3).status().IsFailedPrecondition());
+
+  // First publish: the same instance starts answering — no re-creation,
+  // no reset call.
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_NE(service.Pin(), nullptr);
+  EXPECT_TRUE(service.TopGeneral(3).ok());
+  EXPECT_TRUE(service.TopByDomain(0, 3).ok());
+  EXPECT_TRUE(service.Details(0).ok());
+  auto recovered = service.RunBatch(batch);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE((*recovered)[0].status.ok());
+  EXPECT_TRUE(service.TopKGeneralBatch(3, 2).ok());
+}
+
+// ---------- graceful degradation ----------
+
+std::shared_ptr<const AnalysisSnapshot> AnalyzedSnapshot(Corpus* corpus) {
+  MassEngine engine(corpus);
+  if (!engine.Analyze(nullptr, 10).ok()) std::abort();
+  return engine.CurrentSnapshot();
+}
+
+// Deadlines use the injected clock, so expiry is simulated, not slept:
+// each NowMicros() call advances time far past the budget, and the
+// answer computed AFTER the deadline is discarded in favor of the typed
+// status — late is an error, wrong is never returned.
+TEST(ServeDegradationTest, DeadlineExceededIsTypedAndCounted) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  obs::MetricsRegistry metrics;
+  QueryServiceOptions opts;
+  opts.metrics = &metrics;
+  opts.deadline_micros = 10;
+  int64_t now = 0;
+  opts.clock = [&now] { return now += 1'000; };  // every look costs 1ms
+  QueryService service(AnalyzedSnapshot(&corpus), opts);
+
+  EXPECT_TRUE(service.TopGeneral(3).status().IsDeadlineExceeded());
+  EXPECT_TRUE(service.TopKGeneralBatch(3, 2).status().IsDeadlineExceeded());
+  EXPECT_GE(metrics.Snapshot().CounterValue(
+                "serve.query.deadline_exceeded_total"),
+            2u);
+
+  // RunBatch degrades per item: the batch status stays OK and every
+  // unanswered item carries the typed status.
+  std::vector<BatchQuery> batch = {BatchQuery::TopGeneral(2),
+                                   BatchQuery::TopGeneral(2)};
+  auto r = service.RunBatch(batch);
+  ASSERT_TRUE(r.ok());
+  size_t deadline_items = 0;
+  for (const BatchQueryResult& item : *r) {
+    if (item.status.IsDeadlineExceeded()) {
+      ++deadline_items;
+      EXPECT_TRUE(item.ranking.empty());
+    }
+  }
+  EXPECT_GT(deadline_items, 0u);
+}
+
+TEST(ServeDegradationTest, GenerousDeadlineStillAnswers) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  QueryServiceOptions opts;
+  opts.deadline_micros = 1'000'000;
+  QueryService service(AnalyzedSnapshot(&corpus), opts);
+  EXPECT_TRUE(service.TopGeneral(3).ok());
+  EXPECT_TRUE(service.RunBatch({BatchQuery::TopGeneral(3)}).ok());
+}
+
+// max_staleness_micros = 1 makes any real snapshot stale (its publish
+// age is microseconds by the time a query sees it), so both policies are
+// exercised without sleeping.
+TEST(ServeDegradationTest, StaleSnapshotDegradesOrRejectsPerPolicy) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  std::shared_ptr<const AnalysisSnapshot> snap = AnalyzedSnapshot(&corpus);
+
+  obs::MetricsRegistry degraded_metrics;
+  QueryServiceOptions serve_degraded;
+  serve_degraded.metrics = &degraded_metrics;
+  serve_degraded.max_staleness_micros = 1;
+  serve_degraded.staleness_policy = StalenessPolicy::kServeDegraded;
+  QueryService lenient(snap, serve_degraded);
+  // Availability over freshness: the answer still comes back...
+  auto r = lenient.RunBatch({BatchQuery::TopGeneral(3)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)[0].status.ok());
+  // ...but flagged, on the result and in the counter.
+  EXPECT_TRUE((*r)[0].degraded);
+  EXPECT_TRUE(lenient.TopGeneral(3).ok());
+  EXPECT_GE(
+      degraded_metrics.Snapshot().CounterValue("serve.query.degraded_total"),
+      2u);
+
+  obs::MetricsRegistry reject_metrics;
+  QueryServiceOptions serve_reject;
+  serve_reject.metrics = &reject_metrics;
+  serve_reject.max_staleness_micros = 1;
+  serve_reject.staleness_policy = StalenessPolicy::kReject;
+  QueryService strict(snap, serve_reject);
+  EXPECT_TRUE(strict.TopGeneral(3).status().IsUnavailable());
+  EXPECT_TRUE(strict.RunBatch({BatchQuery::TopGeneral(3)})
+                  .status()
+                  .IsUnavailable());
+  std::vector<BatchQueryResult> results;
+  EXPECT_TRUE(strict.RunBatch({BatchQuery::TopGeneral(3)}, &results)
+                  .IsUnavailable());
+  EXPECT_TRUE(results.empty());
+  EXPECT_GE(
+      reject_metrics.Snapshot().CounterValue("serve.query.stale_rejects_total"),
+      3u);
+}
+
+// Admission control: with max_concurrent_queries = 1, a query issued
+// WHILE another is executing is shed with ResourceExhausted. The inner
+// query is triggered from the outer query's own clock callback — fully
+// deterministic, no racing threads.
+TEST(ServeDegradationTest, AdmissionControlShedsOverload) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  obs::MetricsRegistry metrics;
+  QueryServiceOptions opts;
+  opts.metrics = &metrics;
+  opts.max_concurrent_queries = 1;
+  opts.deadline_micros = 1'000'000;  // forces a clock consult per query
+  QueryService* service_ptr = nullptr;
+  Status inner_status = Status::OK();
+  bool fired = false;
+  opts.clock = [&] {
+    if (!fired && service_ptr != nullptr) {
+      fired = true;  // only the first consult nests (it occupies the slot)
+      inner_status = service_ptr->TopGeneral(2).status();
+    }
+    return int64_t{0};
+  };
+  QueryService service(AnalyzedSnapshot(&corpus), opts);
+  service_ptr = &service;
+
+  EXPECT_TRUE(service.TopGeneral(3).ok());  // outer query answers normally
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(inner_status.IsResourceExhausted());
+  EXPECT_GE(metrics.Snapshot().CounterValue("serve.query.shed_total"), 1u);
+
+  // The slot drains: the next sequential query is admitted again.
+  EXPECT_TRUE(service.TopGeneral(3).ok());
+}
+
+TEST(ServeDegradationTest, OversizedBatchesAreRefusedTyped) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  QueryServiceOptions opts;
+  opts.max_batch_queries = 2;
+  QueryService service(AnalyzedSnapshot(&corpus), opts);
+
+  std::vector<BatchQuery> small = {BatchQuery::TopGeneral(2),
+                                   BatchQuery::TopGeneral(2)};
+  EXPECT_TRUE(service.RunBatch(small).ok());
+
+  std::vector<BatchQuery> big(3, BatchQuery::TopGeneral(2));
+  EXPECT_TRUE(service.RunBatch(big).status().IsResourceExhausted());
+  std::vector<BatchQueryResult> results;
+  EXPECT_TRUE(service.RunBatch(big, &results).IsResourceExhausted());
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(service.TopKGeneralBatch(2, 3).status().IsResourceExhausted());
+  EXPECT_TRUE(service.MatchAdsBatch({{1.0}, {1.0}, {1.0}}, 2)
+                  .status()
+                  .IsResourceExhausted());
 }
 
 TEST(ServePublishTest, SequenceAdvancesAcrossWritePathCalls) {

@@ -1,0 +1,191 @@
+// Simulate-stack tests: the evolving World (determinism, drift, dirty
+// tracking, the BlogHost surface) and a short-horizon chaos soak running
+// the full crawl → ingest → serve stack under combined crawler+engine
+// fault plans with concurrent readers. Sized to finish quickly under
+// TSan — the long gate is bench_soak --smoke (ctest soak_smoke).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simulate/soak.h"
+#include "simulate/world.h"
+
+namespace mass::simulate {
+namespace {
+
+WorldOptions SmallWorld(uint64_t seed = 11) {
+  WorldOptions o;
+  o.seed = seed;
+  o.num_agents = 16;
+  o.num_domains = 6;
+  o.posts_per_hour = 6.0;
+  o.comments_per_hour = 18.0;
+  o.links_per_hour = 3.0;
+  o.flash_crowd_rate = 0.2;
+  return o;
+}
+
+// ---------- World ----------
+
+TEST(WorldTest, DeterministicForFixedSeed) {
+  World a(SmallWorld());
+  World b(SmallWorld());
+  a.AdvanceHours(24);
+  b.AdvanceHours(24);
+  EXPECT_EQ(a.num_posts(), b.num_posts());
+  EXPECT_EQ(a.num_comments(), b.num_comments());
+  EXPECT_EQ(a.num_links(), b.num_links());
+  EXPECT_EQ(a.GroundTruthTopK(5), b.GroundTruthTopK(5));
+  for (size_t agent = 0; agent < a.num_agents(); ++agent) {
+    EXPECT_DOUBLE_EQ(a.fame(agent), b.fame(agent)) << "agent=" << agent;
+  }
+  BloggerPage pa = a.PageOf(0);
+  BloggerPage pb = b.PageOf(0);
+  EXPECT_EQ(pa.posts.size(), pb.posts.size());
+  for (size_t p = 0; p < pa.posts.size(); ++p) {
+    EXPECT_EQ(pa.posts[p].content, pb.posts[p].content);
+    EXPECT_EQ(pa.posts[p].comments.size(), pb.posts[p].comments.size());
+  }
+}
+
+TEST(WorldTest, SeedsProduceDifferentHistories) {
+  World a(SmallWorld(11));
+  World b(SmallWorld(12));
+  a.AdvanceHours(24);
+  b.AdvanceHours(24);
+  // Astronomically unlikely to coincide on every count.
+  EXPECT_TRUE(a.num_posts() != b.num_posts() ||
+              a.num_comments() != b.num_comments() ||
+              a.num_links() != b.num_links());
+}
+
+TEST(WorldTest, EventsAccumulateAndGroundTruthDecays) {
+  World world(SmallWorld());
+  world.AdvanceHours(12);
+  EXPECT_GT(world.num_posts(), 0u);
+  EXPECT_GT(world.num_comments(), 0u);
+  ASSERT_EQ(world.GroundTruthTopK(4).size(), 4u);
+  // Fame is ordered the way GroundTruthTopK claims.
+  std::vector<size_t> top = world.GroundTruthTopK(world.num_agents());
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(world.fame(top[i - 1]), world.fame(top[i]));
+  }
+}
+
+TEST(WorldTest, InterestDriftMovesPageInterests) {
+  WorldOptions opts = SmallWorld();
+  opts.interest_drift = 0.05;
+  World world(opts);
+  std::vector<double> before = world.PageOf(0).true_interests;
+  world.AdvanceHours(24);
+  std::vector<double> after = world.PageOf(0).true_interests;
+  ASSERT_EQ(before.size(), after.size());
+  double moved = 0.0;
+  for (size_t d = 0; d < before.size(); ++d) {
+    moved += std::abs(after[d] - before[d]);
+  }
+  EXPECT_GT(moved, 0.0);
+}
+
+TEST(WorldTest, DirtyUrlsTrackChangesAndDrainOnce) {
+  World world(SmallWorld());
+  // Every agent starts dirty (nothing has been crawled yet).
+  EXPECT_EQ(world.DrainDirtyUrls().size(), world.num_agents());
+  EXPECT_TRUE(world.DrainDirtyUrls().empty());  // drained, no new events
+  world.AdvanceHours(2);
+  std::vector<std::string> dirty = world.DrainDirtyUrls();
+  EXPECT_FALSE(dirty.empty());
+  EXPECT_LE(dirty.size(), world.num_agents());
+  EXPECT_TRUE(world.DrainDirtyUrls().empty());
+}
+
+TEST(WorldTest, HostServesCurrentPagesAndNotFound) {
+  World world(SmallWorld());
+  world.AdvanceHours(6);
+  WorldHost host(&world);
+  auto page = host.Fetch(world.agent_url(0));
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->url, world.agent_url(0));
+  EXPECT_EQ(page->name, world.agent_name(0));
+  for (const RemotePost& post : page->posts) {
+    EXPECT_GE(post.true_domain, 0);
+    EXPECT_LT(post.true_domain, static_cast<int>(world.num_domains()));
+  }
+  EXPECT_TRUE(host.Fetch("http://world.sim/nobody").status().IsNotFound());
+  EXPECT_GT(host.fetch_count(), 0u);
+}
+
+// ---------- soak harness ----------
+
+SoakOptions ShortSoak(uint64_t seed = 3) {
+  SoakOptions o;
+  o.hours = 6;
+  o.world = SmallWorld(seed);
+  o.crawl_faults.seed = seed ^ 0xC0FFEE;
+  o.crawl_faults.defaults.transient_rate = 0.20;
+  o.crawl_faults.defaults.corrupt_rate = 0.05;
+  o.engine_faults.seed = seed ^ 0xFA17;
+  o.engine_faults.ingest_failure_rate = 0.25;
+  o.engine_faults.poison_rate = 0.15;
+  o.engine_faults.publish_stall_rate = 0.25;
+  o.engine_faults.publish_stall_micros = 500;
+  o.engine_faults.spmv_slow_rate = 0.25;
+  o.engine_faults.spmv_slow_micros = 100;
+  o.serve.deadline_micros = 200'000;
+  o.serve.max_staleness_micros = 250'000;
+  o.serve.max_concurrent_queries = 4;
+  o.serve.max_batch_queries = 32;
+  o.reader_threads = 2;
+  o.reader_pause_micros = 100;
+  // No timing/quality gates in the unit test: under TSan both are
+  // schedule-dependent. The invariant gates below are the point here.
+  o.min_quality_overlap = 0.0;
+  o.max_age_p99_micros = 0;
+  return o;
+}
+
+TEST(SoakTest, RejectsDegenerateOptions) {
+  SoakOptions o = ShortSoak();
+  o.hours = 0;
+  EXPECT_TRUE(RunSoak(o).status().IsInvalidArgument());
+  o = ShortSoak();
+  o.world.num_agents = 0;
+  EXPECT_TRUE(RunSoak(o).status().IsInvalidArgument());
+}
+
+TEST(SoakTest, ShortChaosSoakHoldsInvariants) {
+  auto report = RunSoak(ShortSoak());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->violation;
+  // The fault plan actually fired...
+  EXPECT_GT(report->ingest_failures, 0u);
+  EXPECT_GT(report->poisoned_deltas, 0u);
+  EXPECT_GT(report->fetch_failures, 0u);
+  // ...and the stack absorbed it.
+  EXPECT_EQ(report->rollback_leaks, 0u);
+  EXPECT_EQ(report->invariant_violations, 0u);
+  EXPECT_EQ(report->poison_rejections, report->poisoned_deltas);
+  EXPECT_GT(report->deltas_ingested, 0u);
+  EXPECT_GT(report->publishes, 1u);
+  EXPECT_GT(report->final_posts, 0u);
+  // Readers ran concurrently and got typed answers only.
+  EXPECT_GT(report->queries_ok, 0u);
+}
+
+TEST(SoakTest, DeterministicDigestsForFixedSeed) {
+  SoakOptions o = ShortSoak(17);
+  o.hours = 4;
+  auto first = RunSoak(o);
+  auto second = RunSoak(o);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->corpus_digest, second->corpus_digest);
+  EXPECT_EQ(first->influence_digest, second->influence_digest);
+  EXPECT_EQ(first->deltas_ingested, second->deltas_ingested);
+  EXPECT_EQ(first->poisoned_deltas, second->poisoned_deltas);
+  EXPECT_EQ(first->final_posts, second->final_posts);
+}
+
+}  // namespace
+}  // namespace mass::simulate
