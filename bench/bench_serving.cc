@@ -157,15 +157,16 @@ struct CellResult {
 };
 
 // The fixed query mix: TopGeneral(10) alternating with TopByDomain(d, 10)
-// over the ten domains — as single queries, or packed into one batch.
-std::vector<BatchQuery> MakeMixedBatch() {
-  std::vector<BatchQuery> batch;
+// over the ten domains — as single queries, or packed into one batch of
+// typed envelope requests.
+std::vector<QueryRequest> MakeMixedBatch() {
+  std::vector<QueryRequest> batch;
   batch.reserve(kBatchSize);
   for (size_t i = 0; i < kBatchSize; ++i) {
     if (i % 2 == 0) {
-      batch.push_back(BatchQuery::TopGeneral(10));
+      batch.push_back(QueryRequest::TopGeneral(10));
     } else {
-      batch.push_back(BatchQuery::TopByDomain((i / 2) % 10, 10));
+      batch.push_back(QueryRequest::TopByDomain((i / 2) % 10, 10));
     }
   }
   return batch;
@@ -182,7 +183,7 @@ bool MeasureCell(MassEngine* engine, const CorpusDelta* delta, Mode mode,
   opt.pin_policy =
       mode == Mode::kPin ? PinPolicy::kPinPerQuery : PinPolicy::kLeased;
   QueryService service(engine, opt);
-  const std::vector<BatchQuery> batch = MakeMixedBatch();
+  const std::vector<QueryRequest> batch = MakeMixedBatch();
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> queries{0};
@@ -191,12 +192,12 @@ bool MeasureCell(MassEngine* engine, const CorpusDelta* delta, Mode mode,
   for (int t = 0; t < readers; ++t) {
     threads.emplace_back([&service, &stop, &queries, &batch, mode, t]() {
       size_t i = static_cast<size_t>(t);
-      // Reused across iterations via the out-param RunBatch overload, so
-      // the steady-state loop allocates nothing for result slots.
-      std::vector<BatchQueryResult> results;
+      // Reused across iterations via the out-param Run overload, so the
+      // steady-state loop allocates nothing for result slots.
+      std::vector<QueryResponse> results;
       while (!stop.load(std::memory_order_relaxed)) {
         if (mode == Mode::kLeaseBatch) {
-          if (service.RunBatch(batch, &results).ok()) {
+          if (service.Run(batch, &results).ok()) {
             queries.fetch_add(batch.size(), std::memory_order_relaxed);
           }
         } else {

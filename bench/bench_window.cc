@@ -1,0 +1,251 @@
+// Sliding-window economics — what ExpireWindow buys over rebuilding:
+//
+//  1. Expiry throughput vs re-analyze: a 24-simulated-hour corpus is
+//     ingested, then the older half is expired in place (ShrinkSolverMatrix
+//     + warm-started solve) and the same end state is reproduced by a cold
+//     Analyze over a copy of the post-expiry corpus. The ratio is the
+//     speedup a sliding-window deployment gets per window slide.
+//
+//  2. Steady-state matrix size over 48 simulated hours: the soak scenario
+//     runs twice — once with the expiry cycle on (expire every 4 hours,
+//     12-hour horizon), once without — and the windowed run must end with
+//     strictly fewer posts and compiled-matrix entries than the unbounded
+//     run: the window, not the run length, bounds the matrix.
+//
+// Results go to stdout and BENCH_window.json in the current working
+// directory. `--smoke` shrinks both parts into the CI lane (ctest label
+// `perf`, test perf_window_smoke) and writes no JSON so a CI run never
+// clobbers a full run's numbers. Exit status = the bounded-steady-state
+// and expiry-correctness gates.
+#include <cstdio>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "core/influence_engine.h"
+#include "crawler/delta_stream.h"
+#include "model/corpus.h"
+#include "simulate/soak.h"
+#include "simulate/world.h"
+
+namespace mass {
+namespace {
+
+using simulate::RunSoak;
+using simulate::SoakOptions;
+using simulate::SoakReport;
+using simulate::World;
+using simulate::WorldHost;
+using simulate::WorldOptions;
+
+struct ExpiryResult {
+  size_t posts_before = 0;
+  size_t posts_removed = 0;
+  size_t comments_removed = 0;
+  size_t nnz_before = 0;
+  size_t nnz_after = 0;
+  double expire_seconds = 0.0;
+  double reanalyze_seconds = 0.0;
+  double speedup = 0.0;
+  bool ok = false;
+};
+
+/// Streams every URL of `world` into `engine` with no faults.
+Status IngestAll(World* world, MassEngine* engine) {
+  WorldHost host(world);
+  DeltaStreamOptions sopts;
+  sopts.batch_pages = 16;
+  DeltaStream stream(&host, world->AllUrls(), sopts);
+  while (!stream.done()) {
+    MASS_ASSIGN_OR_RETURN(CorpusDelta delta, stream.Next());
+    if (delta.additions.num_bloggers() == 0) break;
+    MASS_RETURN_IF_ERROR(engine->IngestDelta(delta, nullptr));
+  }
+  return Status::OK();
+}
+
+/// Part 1: one window slide, timed against the cold rebuild that produces
+/// the same corpus state.
+Result<ExpiryResult> MeasureExpiry(int hours, size_t agents, uint64_t seed) {
+  WorldOptions wopts;
+  wopts.seed = seed;
+  wopts.num_agents = agents;
+  wopts.num_domains = 10;
+  World world(wopts);
+  world.AdvanceHours(hours);
+
+  Corpus grown;
+  grown.BuildIndexes();
+  EngineOptions eopts;
+  eopts.recency_half_life_days = 2.0;
+  MassEngine engine(&grown, eopts);
+  MASS_RETURN_IF_ERROR(engine.Analyze(nullptr, world.num_domains()));
+  MASS_RETURN_IF_ERROR(IngestAll(&world, &engine));
+
+  ExpiryResult out;
+  out.posts_before = grown.num_posts();
+
+  WindowSpec window;
+  window.horizon_secs = static_cast<int64_t>(hours) / 2 * 3600;
+  MutationResult mr;
+  Stopwatch expire_sw;
+  MASS_RETURN_IF_ERROR(engine.ExpireWindow(window, &mr));
+  out.expire_seconds = expire_sw.ElapsedSeconds();
+  out.posts_removed = mr.removed_posts;
+  out.comments_removed = mr.removed_comments;
+  out.nnz_after = mr.matrix_nnz;
+  out.nnz_before =
+      static_cast<size_t>(static_cast<int64_t>(mr.matrix_nnz) -
+                          mr.matrix_nnz_delta);
+
+  // The rebuild a pipeline without ExpireWindow would run: a cold Analyze
+  // over the post-expiry corpus (same entities, same options).
+  Corpus fresh;
+  fresh.RestoreEntities(grown.CaptureEntities());
+  MassEngine cold(&fresh, eopts);
+  Stopwatch cold_sw;
+  MASS_RETURN_IF_ERROR(cold.Analyze(nullptr, world.num_domains()));
+  out.reanalyze_seconds = cold_sw.ElapsedSeconds();
+  out.speedup = out.expire_seconds > 0.0
+                    ? out.reanalyze_seconds / out.expire_seconds
+                    : 0.0;
+  // Correctness gate: the slide must actually shed the older half.
+  out.ok = out.posts_removed > 0 && mr.applied;
+  return out;
+}
+
+/// Part 2 scenario: the bench_soak world with faults off, with or without
+/// the sliding-window expiry cycle.
+SoakOptions SteadyStateScenario(int hours, size_t agents, uint64_t seed,
+                                bool churn) {
+  SoakOptions o;
+  o.hours = hours;
+  o.world.seed = seed;
+  o.world.num_agents = agents;
+  o.world.num_domains = 10;
+  o.world.posts_per_hour = 8.0;
+  o.world.comments_per_hour = 24.0;
+  o.world.links_per_hour = 4.0;
+  o.engine.recency_half_life_days = 2.0;
+  o.reader_threads = 1;
+  o.serve.max_batch_queries = 64;
+  if (churn) {
+    o.expire_every_hours = 4;
+    o.window_horizon_hours = 12;
+  }
+  return o;
+}
+
+void PrintResults(const ExpiryResult& e, const SoakReport& windowed,
+                  const SoakReport& unbounded) {
+  std::printf(
+      "expiry: %zu posts -> removed %zu posts / %zu comments in %.3fms "
+      "(nnz %zu -> %zu); cold re-analyze %.3fms; speedup %.1fx\n",
+      e.posts_before, e.posts_removed, e.comments_removed,
+      e.expire_seconds * 1e3, e.nnz_before, e.nnz_after,
+      e.reanalyze_seconds * 1e3, e.speedup);
+  std::printf(
+      "steady state over %d simulated hours: windowed peak nnz %zu, final "
+      "%zu (%zu expirations, %zu posts expired); unbounded final nnz %zu\n",
+      windowed.hours, windowed.peak_matrix_nnz, windowed.final_matrix_nnz,
+      windowed.expirations, windowed.expired_posts,
+      unbounded.final_matrix_nnz);
+}
+
+void WriteJson(const ExpiryResult& e, const SoakReport& windowed,
+               const SoakReport& unbounded, bool ok) {
+  std::FILE* f = std::fopen("BENCH_window.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_window.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_window/sliding_window\",\n");
+  std::fprintf(f,
+               "  \"expiry\": {\"posts_before\": %zu, \"posts_removed\": "
+               "%zu, \"comments_removed\": %zu, \"nnz_before\": %zu, "
+               "\"nnz_after\": %zu, \"expire_seconds\": %.6f, "
+               "\"reanalyze_seconds\": %.6f, \"speedup\": %.2f},\n",
+               e.posts_before, e.posts_removed, e.comments_removed,
+               e.nnz_before, e.nnz_after, e.expire_seconds,
+               e.reanalyze_seconds, e.speedup);
+  std::fprintf(f,
+               "  \"steady_state\": {\"hours\": %d, "
+               "\"expire_every_hours\": 4, \"window_horizon_hours\": 12, "
+               "\"windowed_peak_nnz\": %zu, \"windowed_final_nnz\": %zu, "
+               "\"expirations\": %zu, \"expired_posts\": %zu, "
+               "\"expired_comments\": %zu, \"unbounded_final_nnz\": %zu},\n",
+               windowed.hours, windowed.peak_matrix_nnz,
+               windowed.final_matrix_nnz, windowed.expirations,
+               windowed.expired_posts, windowed.expired_comments,
+               unbounded.final_matrix_nnz);
+  std::fprintf(f, "  \"ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_window.json\n");
+}
+
+int Run(int hours, size_t agents, bool write_json) {
+  auto expiry = MeasureExpiry(/*hours=*/24, agents, /*seed=*/1);
+  if (!expiry.ok()) {
+    std::fprintf(stderr, "expiry measurement failed: %s\n",
+                 expiry.status().ToString().c_str());
+    return 1;
+  }
+
+  auto windowed =
+      RunSoak(SteadyStateScenario(hours, agents, /*seed=*/1, /*churn=*/true));
+  if (!windowed.ok()) {
+    std::fprintf(stderr, "windowed soak failed to run: %s\n",
+                 windowed.status().ToString().c_str());
+    return 1;
+  }
+  auto unbounded =
+      RunSoak(SteadyStateScenario(hours, agents, /*seed=*/1, /*churn=*/false));
+  if (!unbounded.ok()) {
+    std::fprintf(stderr, "unbounded soak failed to run: %s\n",
+                 unbounded.status().ToString().c_str());
+    return 1;
+  }
+  PrintResults(*expiry, *windowed, *unbounded);
+
+  bool ok = expiry->ok && windowed->ok && unbounded->ok;
+  if (windowed->expirations == 0 || windowed->expired_posts == 0) {
+    std::fprintf(stderr, "GATE FAILED: the expiry cycle never removed "
+                         "anything (%zu expirations, %zu posts)\n",
+                 windowed->expirations, windowed->expired_posts);
+    ok = false;
+  }
+  // The bounded-steady-state gate: at the end of the run the window must
+  // hold the corpus and the compiled matrix below what the same run
+  // grows to without expiry.
+  if (windowed->final_matrix_nnz == 0 ||
+      windowed->final_matrix_nnz >= unbounded->final_matrix_nnz ||
+      windowed->final_posts >= unbounded->final_posts) {
+    std::fprintf(stderr,
+                 "GATE FAILED: windowed steady state (nnz %zu, posts %zu) "
+                 "not below unbounded (nnz %zu, posts %zu)\n",
+                 windowed->final_matrix_nnz, windowed->final_posts,
+                 unbounded->final_matrix_nnz, unbounded->final_posts);
+    ok = false;
+  }
+  if (!windowed->ok) {
+    std::fprintf(stderr, "GATE FAILED: windowed soak: %s\n",
+                 windowed->violation.c_str());
+  }
+  if (!unbounded->ok) {
+    std::fprintf(stderr, "GATE FAILED: unbounded soak: %s\n",
+                 unbounded->violation.c_str());
+  }
+  if (write_json) WriteJson(*expiry, *windowed, *unbounded, ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mass
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return mass::Run(/*hours=*/24, /*agents=*/24, /*write_json=*/false);
+    }
+  }
+  return mass::Run(/*hours=*/48, /*agents=*/64, /*write_json=*/true);
+}

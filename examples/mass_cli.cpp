@@ -450,17 +450,32 @@ int CmdServe(const Flags& flags) {
                 static_cast<unsigned long long>((*snap)->sequence),
                 (*snap)->num_bloggers(), (*snap)->num_posts(),
                 (*snap)->num_domains, (*snap)->produced_by.c_str());
-    auto top = service.TopGeneral(k);
+    // --window-hours restricts the rankings to posts from the trailing
+    // window (anchored at the corpus's newest post).
+    WindowSpec window;
+    window.horizon_secs =
+        static_cast<int64_t>(flags.GetInt("window-hours", 0)) * 3600;
+    auto top = service.Run(QueryRequest::TopGeneral(k).Within(window));
     if (!top.ok()) return Fail(top.status());
-    std::printf("top-%zu overall:\n", k);
-    PrintRanking(**snap, *top);
+    std::printf("top-%zu overall%s:\n", k,
+                window.enabled() ? " (windowed)" : "");
+    PrintRanking(**snap, top->ranking);
     if (flags.Has("domain")) {
       int d = domains.Find(flags.Get("domain", ""));
       if (d < 0) return Fail(Status::NotFound("unknown domain"));
-      auto by_domain = service.TopByDomain(static_cast<size_t>(d), k);
+      auto by_domain = service.Run(
+          QueryRequest::TopByDomain(static_cast<size_t>(d), k).Within(window));
       if (!by_domain.ok()) return Fail(by_domain.status());
-      std::printf("top-%zu in %s:\n", k, domains.name(d).c_str());
-      PrintRanking(**snap, *by_domain);
+      std::printf("top-%zu in %s%s:\n", k, domains.name(d).c_str(),
+                  window.enabled() ? " (windowed)" : "");
+      PrintRanking(**snap, by_domain->ranking);
+      if (window.enabled()) {
+        auto rising = service.Run(
+            QueryRequest::Rising(static_cast<size_t>(d), k).Within(window));
+        if (!rising.ok()) return Fail(rising.status());
+        std::printf("rising in %s:\n", domains.name(d).c_str());
+        PrintRanking(**snap, rising->ranking);
+      }
     }
     return 0;
   }
@@ -500,24 +515,25 @@ int CmdServe(const Flags& flags) {
   for (int t = 0; t < readers; ++t) {
     threads.emplace_back([&service, &stop, &answered, k, qbatch,
                           nd = domains.size()]() {
-      std::vector<BatchQuery> batch;
+      std::vector<QueryRequest> batch;
       for (size_t i = 0; i < qbatch; ++i) {
         batch.push_back(i % 2 == 0
-                            ? BatchQuery::TopGeneral(k)
-                            : BatchQuery::TopByDomain((i / 2) % nd, k));
+                            ? QueryRequest::TopGeneral(k)
+                            : QueryRequest::TopByDomain((i / 2) % nd, k));
       }
+      std::vector<QueryResponse> responses;
       size_t i = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         if (!batch.empty()) {
-          if (service.RunBatch(batch).ok()) {
+          if (service.Run(batch, &responses).ok()) {
             answered.fetch_add(batch.size(), std::memory_order_relaxed);
           }
           continue;
         }
-        if (service.TopGeneral(k).ok()) {
+        if (service.Run(QueryRequest::TopGeneral(k)).ok()) {
           answered.fetch_add(1, std::memory_order_relaxed);
         }
-        if (service.TopByDomain(i++ % nd, k).ok()) {
+        if (service.Run(QueryRequest::TopByDomain(i++ % nd, k)).ok()) {
           answered.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -589,10 +605,10 @@ int CmdServe(const Flags& flags) {
                   answered.load(std::memory_order_relaxed)),
               static_cast<unsigned long long>(snap->sequence),
               snap->num_bloggers());
-  auto top = service.TopGeneral(k);
+  auto top = service.Run(QueryRequest::TopGeneral(k));
   if (!top.ok()) return Fail(top.status());
   std::printf("top-%zu overall after ingest:\n", k);
-  PrintRanking(*snap, *top);
+  PrintRanking(*snap, top->ranking);
   if (flags.Has("analysis-out")) {
     const std::string path = flags.Get("analysis-out", "");
     if (Status s = SaveAnalysis(*snap, path); !s.ok()) return Fail(s);

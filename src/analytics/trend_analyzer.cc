@@ -3,9 +3,77 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/topk.h"
 #include "text/tokenizer.h"
 
 namespace mass {
+
+namespace {
+
+// Shared bucketing core: tiles [lo, hi] into num_buckets equal slices and
+// accumulates every post the (optional) window keeps. Bucket edges are
+// exact — bucket(t) = (t - lo) * num_buckets / span — so the last bucket
+// is reached by t == hi no matter how span and num_buckets divide; the
+// old rounded-up width left trailing buckets structurally empty whenever
+// ceil(span/n) * n overshot the span (e.g. 13 seconds into 8 buckets).
+DomainTrends BucketTrends(const AnalysisSnapshot& snapshot,
+                          size_t num_buckets, int64_t lo, int64_t hi,
+                          const ResolvedWindow* window) {
+  const int64_t n = static_cast<int64_t>(num_buckets);
+  const int64_t span = std::max<int64_t>(hi - lo + 1, 1);
+
+  DomainTrends trends;
+  trends.start = lo;
+  trends.bucket_seconds = (span + n - 1) / n;
+  trends.influence_mass.assign(
+      num_buckets, std::vector<double>(snapshot.num_domains, 0.0));
+  trends.post_counts.assign(
+      num_buckets, std::vector<size_t>(snapshot.num_domains, 0));
+
+  const size_t np = snapshot.num_posts();
+  for (size_t p = 0; p < np; ++p) {
+    const int64_t t = snapshot.post_timestamps[p];
+    if (window != nullptr && !window->Contains(t)) continue;
+    if (t < lo || t > hi) continue;
+    size_t bucket = static_cast<size_t>((t - lo) * n / span);
+    if (bucket >= num_buckets) bucket = num_buckets - 1;
+    const std::vector<double>& iv = snapshot.post_interests[p];
+    const double inf = snapshot.post_influence[p];
+    size_t argmax = 0;
+    for (size_t d = 0; d < iv.size(); ++d) {
+      trends.influence_mass[bucket][d] += inf * iv[d];
+      if (iv[d] > iv[argmax]) argmax = d;
+    }
+    if (!iv.empty()) ++trends.post_counts[bucket][argmax];
+  }
+  return trends;
+}
+
+// The range a window's buckets (and the rising split) tile: the window
+// edges where they are explicit (cutoff, pinned anchor) and the in-window
+// post extremes where they are not. `any` reports whether any post
+// survived the window at all.
+void WindowRange(const AnalysisSnapshot& snapshot, const ResolvedWindow& rw,
+                 int64_t* lo, int64_t* hi, bool* any) {
+  int64_t t_min = 0;
+  int64_t t_max = 0;
+  *any = false;
+  for (int64_t t : snapshot.post_timestamps) {
+    if (!rw.Contains(t)) continue;
+    if (!*any) {
+      t_min = t_max = t;
+      *any = true;
+    } else {
+      t_min = std::min(t_min, t);
+      t_max = std::max(t_max, t);
+    }
+  }
+  *lo = rw.has_cutoff ? rw.cutoff : (*any ? t_min : rw.anchor);
+  *hi = rw.pinned ? rw.anchor : (*any ? t_max : rw.anchor);
+  if (*hi < *lo) *hi = *lo;
+}
+
+}  // namespace
 
 int DomainTrends::HottestDomain() const {
   if (influence_mass.empty() || influence_mass[0].empty()) return -1;
@@ -44,33 +112,61 @@ Result<DomainTrends> ComputeDomainTrends(const AnalysisSnapshot& snapshot,
     t_min = std::min(t_min, t);
     t_max = std::max(t_max, t);
   }
-  int64_t span = std::max<int64_t>(t_max - t_min + 1, 1);
-  int64_t width = (span + static_cast<int64_t>(num_buckets) - 1) /
-                  static_cast<int64_t>(num_buckets);
-  if (width <= 0) width = 1;
+  return BucketTrends(snapshot, num_buckets, t_min, t_max, nullptr);
+}
 
-  DomainTrends trends;
-  trends.start = t_min;
-  trends.bucket_seconds = width;
-  trends.influence_mass.assign(
-      num_buckets, std::vector<double>(snapshot.num_domains, 0.0));
-  trends.post_counts.assign(
-      num_buckets, std::vector<size_t>(snapshot.num_domains, 0));
-
-  for (size_t p = 0; p < np; ++p) {
-    size_t bucket =
-        static_cast<size_t>((snapshot.post_timestamps[p] - t_min) / width);
-    if (bucket >= num_buckets) bucket = num_buckets - 1;
-    const std::vector<double>& iv = snapshot.post_interests[p];
-    double inf = snapshot.post_influence[p];
-    size_t argmax = 0;
-    for (size_t d = 0; d < iv.size(); ++d) {
-      trends.influence_mass[bucket][d] += inf * iv[d];
-      if (iv[d] > iv[argmax]) argmax = d;
-    }
-    ++trends.post_counts[bucket][argmax];
+Result<DomainTrends> ComputeDomainTrends(const AnalysisSnapshot& snapshot,
+                                         size_t num_buckets,
+                                         const WindowSpec& window) {
+  if (!window.enabled()) return ComputeDomainTrends(snapshot, num_buckets);
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("num_buckets must be positive");
   }
-  return trends;
+  if (snapshot.num_posts() == 0) {
+    return Status::InvalidArgument("snapshot has no posts");
+  }
+  const ResolvedWindow rw = ResolveWindow(window, snapshot.post_timestamps);
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool any = false;
+  WindowRange(snapshot, rw, &lo, &hi, &any);
+  return BucketTrends(snapshot, num_buckets, lo, hi, &rw);
+}
+
+Result<std::vector<ScoredBlogger>> RisingInDomain(
+    const AnalysisSnapshot& snapshot, size_t domain, size_t k,
+    const WindowSpec& window) {
+  if (domain >= snapshot.num_domains) {
+    return Status::InvalidArgument(
+        "domain " + std::to_string(domain) + " out of range (snapshot has " +
+        std::to_string(snapshot.num_domains) + " domains)");
+  }
+  if (snapshot.num_posts() == 0) {
+    return Status::InvalidArgument("snapshot has no posts");
+  }
+  const ResolvedWindow rw = ResolveWindow(window, snapshot.post_timestamps);
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool any = false;
+  WindowRange(snapshot, rw, &lo, &hi, &any);
+  if (!any) return std::vector<ScoredBlogger>{};
+
+  const int64_t split = lo + (hi - lo) / 2;
+  std::vector<double> scores(snapshot.num_bloggers(), 0.0);
+  const size_t np = snapshot.num_posts();
+  for (size_t p = 0; p < np; ++p) {
+    const int64_t t = snapshot.post_timestamps[p];
+    if (!rw.Contains(t) || t < lo || t > hi) continue;
+    const BloggerId a = p < snapshot.post_authors.size()
+                            ? snapshot.post_authors[p]
+                            : kInvalidBlogger;
+    if (a >= scores.size()) continue;
+    const std::vector<double>& iv = snapshot.post_interests[p];
+    const double w = domain < iv.size() ? iv[domain] : 0.0;
+    const double mass = snapshot.post_influence[p] * w;
+    scores[a] += t > split ? mass : -mass;
+  }
+  return TopKByScore(scores, k);
 }
 
 Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,

@@ -17,9 +17,13 @@
 namespace mass {
 
 /// Per-domain activity/influence series over uniform time buckets.
+/// Buckets tile the covered range exactly: bucket edges come from the
+/// actual min/max post timestamps (or the window bounds), so every bucket
+/// is structurally reachable — a gapped corpus can leave buckets empty of
+/// posts, but never unreachable by construction.
 struct DomainTrends {
   int64_t start = 0;           ///< timestamp of the first bucket
-  int64_t bucket_seconds = 0;  ///< width of each bucket
+  int64_t bucket_seconds = 0;  ///< nominal (rounded-up) bucket width
   /// influence_mass[bucket][domain]: sum over posts in the bucket of
   /// Inf(b_i, d_k) * iv(d_k, domain).
   std::vector<std::vector<double>> influence_mass;
@@ -39,10 +43,32 @@ struct DomainTrends {
 Result<DomainTrends> ComputeDomainTrends(const AnalysisSnapshot& snapshot,
                                          size_t num_buckets);
 
+/// Windowed overload: buckets only the posts inside `window`, tiling the
+/// window's own range — the cutoff (when a horizon is set) through the
+/// anchor (when pinned), falling back to the in-window min/max timestamps.
+/// A disabled window delegates to the plain overload. A window containing
+/// no posts yields all-zero buckets over the window's range rather than
+/// an error: "nothing happened this week" is an answer.
+Result<DomainTrends> ComputeDomainTrends(const AnalysisSnapshot& snapshot,
+                                         size_t num_buckets,
+                                         const WindowSpec& window);
+
 /// Convenience overload: pins engine.CurrentSnapshot() and delegates.
 /// Requires an analyzed engine and at least one post.
 Result<DomainTrends> ComputeDomainTrends(const MassEngine& engine,
                                          size_t num_buckets);
+
+/// "Rising in domain `d` this week": bloggers ranked by the growth of
+/// their in-window influence mass in `domain` — each in-window post
+/// contributes +Inf(p)·iv[domain] when it falls in the later half of the
+/// window's range and -Inf(p)·iv[domain] in the earlier half, so a high
+/// score means the blogger's domain presence is concentrating toward the
+/// window's recent edge. Served entirely from the snapshot (no corpus
+/// access). An empty (all-out-of-window) range returns an empty ranking;
+/// InvalidArgument for an out-of-range domain or a postless snapshot.
+Result<std::vector<ScoredBlogger>> RisingInDomain(
+    const AnalysisSnapshot& snapshot, size_t domain, size_t k,
+    const WindowSpec& window = {});
 
 /// A term whose frequency rose in the recent half of the corpus.
 struct RisingTerm {

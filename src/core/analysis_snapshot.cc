@@ -232,6 +232,106 @@ std::vector<double> Eq5ScoresSoA(const AnalysisSnapshot& snapshot,
   return scores;
 }
 
+ResolvedWindow ResolveWindow(const WindowSpec& w,
+                             const std::vector<int64_t>& timestamps) {
+  ResolvedWindow r;
+  r.pinned = w.as_of > 0;
+  int64_t anchor = w.as_of;
+  if (!r.pinned) {
+    for (int64_t t : timestamps) anchor = std::max(anchor, t);
+  }
+  r.anchor = anchor;
+  r.has_cutoff = w.horizon_secs > 0;
+  r.cutoff = anchor - w.horizon_secs;
+  return r;
+}
+
+std::vector<ScoredBlogger> AnalysisSnapshot::TopKGeneralWindowed(
+    size_t k, const WindowSpec& w) const {
+  if (!w.enabled()) return TopKGeneral(k);
+  const ResolvedWindow rw = ResolveWindow(w, post_timestamps);
+  std::vector<double> scores(num_bloggers(), 0.0);
+  const size_t np = num_posts();
+  for (size_t p = 0; p < np && p < post_timestamps.size(); ++p) {
+    if (!rw.Contains(post_timestamps[p])) continue;
+    const BloggerId a = p < post_authors.size() ? post_authors[p]
+                                                : kInvalidBlogger;
+    if (a >= scores.size()) continue;
+    scores[a] += post_influence[p];
+  }
+  return TopKByScore(scores, k);
+}
+
+Result<std::vector<ScoredBlogger>> AnalysisSnapshot::TopKDomainWindowed(
+    size_t domain, size_t k, const WindowSpec& w) const {
+  if (!w.enabled()) return TopKDomain(domain, k);
+  if (domain >= num_domains) {
+    return Status::InvalidArgument("domain " + std::to_string(domain) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(num_domains) + " domains)");
+  }
+  const ResolvedWindow rw = ResolveWindow(w, post_timestamps);
+  std::vector<double> scores(num_bloggers(), 0.0);
+  const size_t np = num_posts();
+  for (size_t p = 0; p < np && p < post_timestamps.size(); ++p) {
+    if (!rw.Contains(post_timestamps[p])) continue;
+    const BloggerId a = p < post_authors.size() ? post_authors[p]
+                                                : kInvalidBlogger;
+    if (a >= scores.size()) continue;
+    const auto& iv = post_interests[p];
+    const double weight = domain < iv.size() ? iv[domain] : 0.0;
+    scores[a] += post_influence[p] * weight;
+  }
+  return TopKByScore(scores, k);
+}
+
+std::vector<ScoredBlogger> AnalysisSnapshot::TopKWeightedWindowed(
+    const std::vector<double>& weights, size_t k, const WindowSpec& w) const {
+  if (!w.enabled()) return TopKWeighted(weights, k);
+  const ResolvedWindow rw = ResolveWindow(w, post_timestamps);
+  std::vector<double> scores(num_bloggers(), 0.0);
+  const size_t np = num_posts();
+  for (size_t p = 0; p < np && p < post_timestamps.size(); ++p) {
+    if (!rw.Contains(post_timestamps[p])) continue;
+    const BloggerId a = p < post_authors.size() ? post_authors[p]
+                                                : kInvalidBlogger;
+    if (a >= scores.size()) continue;
+    const auto& iv = post_interests[p];
+    const size_t nd = std::min(iv.size(), weights.size());
+    double dot = 0.0;
+    for (size_t d = 0; d < nd; ++d) dot += iv[d] * weights[d];
+    scores[a] += post_influence[p] * dot;
+  }
+  return TopKByScore(scores, k);
+}
+
+Result<std::vector<RankedPost>> AnalysisSnapshot::TopPostsOfDomainWindowed(
+    size_t domain, size_t k, const WindowSpec& w) const {
+  if (!w.enabled()) return TopPostsOfDomain(domain, k);
+  if (domain >= num_domains) {
+    return Status::InvalidArgument("domain " + std::to_string(domain) +
+                                   " out of range (snapshot has " +
+                                   std::to_string(num_domains) + " domains)");
+  }
+  const ResolvedWindow rw = ResolveWindow(w, post_timestamps);
+  std::vector<RankedPost> ranked;
+  const size_t np = num_posts();
+  for (size_t p = 0; p < np && p < post_timestamps.size(); ++p) {
+    if (!rw.Contains(post_timestamps[p])) continue;
+    const auto& iv = post_interests[p];
+    const double weight = domain < iv.size() ? iv[domain] : 0.0;
+    const double score = post_influence[p] * weight;
+    if (score <= 0.0) continue;
+    ranked.push_back(RankedPost{
+        static_cast<PostId>(p),
+        p < post_authors.size() ? post_authors[p] : kInvalidBlogger,
+        p < post_titles.size() ? post_titles[p] : std::string(), score});
+  }
+  std::sort(ranked.begin(), ranked.end(), BetterPost);
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
 Result<std::vector<RankedPost>> AnalysisSnapshot::TopPostsOfDomain(
     size_t domain, size_t k) const {
   if (domain >= domain_top_posts.size()) {

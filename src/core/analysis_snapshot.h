@@ -160,6 +160,34 @@ struct AnalysisSnapshot {
   Result<std::vector<RankedPost>> TopPostsOfDomain(size_t domain,
                                                    size_t k) const;
 
+  // ---- windowed rankings ----
+  //
+  // Same surfaces restricted to posts inside `w`, evaluated against
+  // post_timestamps: anchor = w.as_of when pinned, else the newest post in
+  // the snapshot; a post is in-window when timestamp >= anchor -
+  // horizon_secs (if a horizon is set) and, under a pinned anchor, not
+  // after it. A windowed blogger score is the sum of the blogger's
+  // in-window post influences (times the domain/Eq. 5 weight where
+  // applicable) — the solve-time scores are NOT re-decayed; the window is
+  // a hard filter at query time. These scan all posts (O(np)) instead of
+  // slicing a precomputed ranking: the capped per-domain post index can't
+  // answer an arbitrary window. A disabled `w` falls through to the
+  // unwindowed precomputed surface.
+
+  /// Top-k by windowed Σ Inf(p) per author.
+  std::vector<ScoredBlogger> TopKGeneralWindowed(size_t k,
+                                                 const WindowSpec& w) const;
+  /// Top-k by windowed Σ Inf(p)·iv_p[d] per author.
+  Result<std::vector<ScoredBlogger>> TopKDomainWindowed(
+      size_t domain, size_t k, const WindowSpec& w) const;
+  /// Top-k by windowed Σ Inf(p)·(iv_p · weights) per author.
+  std::vector<ScoredBlogger> TopKWeightedWindowed(
+      const std::vector<double>& weights, size_t k, const WindowSpec& w) const;
+  /// Top in-window posts of one domain by Inf(p)·iv_p[d] (full scan, not
+  /// the capped index, so any k up to the in-window post count works).
+  Result<std::vector<RankedPost>> TopPostsOfDomainWindowed(
+      size_t domain, size_t k, const WindowSpec& w) const;
+
   /// Recomputes every derived index from the raw surfaces. Deterministic:
   /// identical raw surfaces produce byte-identical rankings regardless of
   /// which solver path (scalar or CSR) or which session produced them.
@@ -189,6 +217,33 @@ struct AnalysisSnapshot {
   /// publish, which the concurrency tests assert can never be observed.
   Status CheckConsistent() const;
 };
+
+/// A WindowSpec resolved against a concrete set of timestamps: the anchor
+/// is pinned (w.as_of) or the newest timestamp seen, and the cutoff is
+/// materialized once so the per-entity test is two comparisons. Shared by
+/// the snapshot's windowed rankings, the serving layer's key-post filter,
+/// and the trend analyzer, so "in window" means the same thing on every
+/// query surface.
+struct ResolvedWindow {
+  int64_t anchor = 0;
+  int64_t cutoff = 0;      ///< anchor - horizon; meaningful iff has_cutoff
+  bool has_cutoff = false; ///< a horizon was set
+  bool pinned = false;     ///< anchor came from w.as_of, not the corpus
+
+  /// True when `t` is inside the window. Entities after a pinned anchor
+  /// are out (they postdate the query's "now"); after a corpus-relative
+  /// anchor nothing can postdate it, so only the cutoff applies.
+  bool Contains(int64_t t) const {
+    if (has_cutoff && t < cutoff) return false;
+    if (pinned && t > anchor) return false;
+    return true;
+  }
+};
+
+/// Resolves `w` against `timestamps` (the newest entry anchors a
+/// corpus-relative window; empty input anchors at 0).
+ResolvedWindow ResolveWindow(const WindowSpec& w,
+                             const std::vector<int64_t>& timestamps);
 
 // ---- Eq. 5 weighted-scoring kernels ----
 //

@@ -68,6 +68,14 @@ struct EngineOptions {
   /// the corpus, so the weighting is corpus-relative.
   double recency_half_life_days = 0.0;
 
+  /// Temporal window applied at solve time: posts and comments outside
+  /// [anchor - horizon_secs, anchor] contribute zero weight to Quality and
+  /// CommentScore, where the anchor is `window.as_of` (absolute) or the
+  /// corpus-newest timestamp when 0. Decay (recency_half_life_days) and
+  /// ages are measured from the same anchor, so an explicit `as_of` makes
+  /// the weighting reproducible across ingests. Default = no window.
+  WindowSpec window;
+
   /// Worker threads for the per-post classification and per-comment
   /// sentiment stages (embarrassingly parallel). 1 = run inline.
   int analyzer_threads = 1;
@@ -110,13 +118,20 @@ struct EngineOptions {
   /// only cold iterate. Small deltas barely move the fixed point, so the
   /// warm start converges in a fraction of the cold iteration count.
   bool warm_start_ingest = true;
-  /// Extend the compiled CSR matrix in place on ingest — append rows,
-  /// splice the delta's column entries into the sorted rows, rescale the
-  /// columns whose TC normalization changed — instead of recompiling from
-  /// scratch. Falls back to a full recompile when recency weighting is on
-  /// (the corpus-relative newest timestamp moves, re-decaying every
-  /// existing weight) or when no compiled matrix is live.
+  /// Extend (on ingest) or shrink (on expiry) the compiled CSR matrix in
+  /// place — append/compact rows, splice or drop column entries in the
+  /// sorted rows, rescale the columns whose TC normalization changed —
+  /// instead of recompiling from scratch. Falls back to a full recompile
+  /// when the weighting anchor is unstable (corpus-relative decay or
+  /// window: the newest timestamp moves, re-decaying every existing
+  /// weight; an explicit window.as_of keeps it stable) or when no
+  /// compiled matrix is live.
   bool incremental_matrix = true;
+  /// ExpireWindow's shrink-vs-recompile heuristic: recompile the matrix
+  /// from scratch when more than this fraction of CSR rows would need a
+  /// rebuild (authors who lost comments or whose surviving comments'
+  /// weights changed); below it, ShrinkSolverMatrix compacts in place.
+  double expire_recompile_fraction = 0.35;
   /// Make IngestDelta all-or-nothing: snapshot the engine state after the
   /// delta is applied, and on any downstream failure (classification,
   /// matrix extension, resource guard) roll both the corpus and the engine

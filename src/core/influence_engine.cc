@@ -66,6 +66,20 @@ void MassEngine::InitObservability() {
   retune_runs_ = metrics_->GetCounter("engine.retune_runs_total");
   ingest_runs_ = metrics_->GetCounter("engine.ingest_runs_total");
   ingest_rollbacks_ = metrics_->GetCounter("engine.ingest_rollbacks_total");
+  expire_runs_ = metrics_->GetCounter("engine.expire_runs_total");
+  expire_rollbacks_ = metrics_->GetCounter("engine.expire_rollbacks_total");
+  mutation_added_posts_ =
+      metrics_->GetCounter("engine.mutation.added_posts_total");
+  mutation_added_comments_ =
+      metrics_->GetCounter("engine.mutation.added_comments_total");
+  mutation_removed_posts_ =
+      metrics_->GetCounter("engine.mutation.removed_posts_total");
+  mutation_removed_comments_ =
+      metrics_->GetCounter("engine.mutation.removed_comments_total");
+  mutation_matrix_nnz_ = metrics_->GetGauge("engine.mutation.matrix_nnz");
+  mutation_nnz_delta_ = metrics_->GetGauge("engine.mutation.matrix_nnz_delta");
+  mutation_warm_iterations_ =
+      metrics_->GetGauge("engine.mutation.warm_start_iterations");
   solve_iterations_total_ =
       metrics_->GetCounter("engine.solve_iterations_total");
   topk_queries_ = metrics_->GetCounter("engine.topk_queries_total");
@@ -244,26 +258,45 @@ Status MassEngine::ComputeGeneralLinks() {
   return Status::OK();
 }
 
-void MassEngine::ComputeRecency() {
-  post_recency_.assign(corpus_->num_posts(), 1.0);
-  comment_recency_.assign(corpus_->num_comments(), 1.0);
-  if (options_.recency_half_life_days <= 0.0) return;
+int64_t MassEngine::NewestTimestamp() const {
   int64_t newest = 0;
   for (const Post& p : corpus_->posts()) newest = std::max(newest, p.timestamp);
   for (const Comment& c : corpus_->comments()) {
     newest = std::max(newest, c.timestamp);
   }
+  return newest;
+}
+
+void MassEngine::ComputeRecency() {
+  post_recency_.assign(corpus_->num_posts(), 1.0);
+  comment_recency_.assign(corpus_->num_comments(), 1.0);
+  const WindowSpec& window = options_.window;
+  const bool decay_on = options_.recency_half_life_days > 0.0;
+  if (!decay_on && !window.enabled()) return;
+  // The anchor ages are measured from: an explicit as_of, or the newest
+  // timestamp present (corpus-relative — the pre-window behaviour).
+  const int64_t anchor = window.as_of > 0 ? window.as_of : NewestTimestamp();
+  const bool has_cutoff = window.horizon_secs > 0;
+  const int64_t cutoff = anchor - window.horizon_secs;
   const double half_life_secs = options_.recency_half_life_days * 86'400.0;
-  auto decay = [&](int64_t t) {
-    double age = static_cast<double>(newest - t);
-    if (age <= 0.0) return 1.0;
+  auto weight = [&](int64_t t) {
+    if (has_cutoff && t < cutoff) return 0.0;  // aged out of the window
+    const double age = static_cast<double>(anchor - t);
+    if (age < 0.0) {
+      // Newer than an explicit as_of: outside the window (a backdated
+      // query must not see the future). Without as_of the anchor IS the
+      // newest timestamp, so this only clamps same-instant entities.
+      return window.as_of > 0 ? 0.0 : 1.0;
+    }
+    if (!decay_on) return 1.0;
+    if (age == 0.0) return 1.0;
     return std::exp2(-age / half_life_secs);
   };
   for (const Post& p : corpus_->posts()) {
-    post_recency_[p.id] = decay(p.timestamp);
+    post_recency_[p.id] = weight(p.timestamp);
   }
   for (const Comment& c : corpus_->comments()) {
-    comment_recency_[c.id] = decay(c.timestamp);
+    comment_recency_[c.id] = weight(c.timestamp);
   }
 }
 
@@ -281,10 +314,20 @@ void MassEngine::ComputeQuality() {
     }
   }
   // Corpus-dependent normalization: the mean length shifts whenever posts
-  // arrive, so it is re-derived every solve rather than cached.
+  // arrive, so it is re-derived every solve rather than cached. Under a
+  // window only in-window posts (post_recency_ > 0, computed just before
+  // this stage) enter the mean — a cold solve over the expired corpus must
+  // see the same normalization as the windowed warm path.
   double total_len = 0.0;
-  for (double l : post_length_raw_) total_len += l;
-  double mean_len = np > 0 ? total_len / static_cast<double>(np) : 1.0;
+  size_t counted = 0;
+  const bool windowed = options_.window.enabled();
+  for (size_t p = 0; p < np; ++p) {
+    if (windowed && post_recency_[p] <= 0.0) continue;
+    total_len += post_length_raw_[p];
+    ++counted;
+  }
+  double mean_len =
+      counted > 0 ? total_len / static_cast<double>(counted) : 1.0;
   if (mean_len <= 0.0) mean_len = 1.0;
   // Option-dependent derivation.
   NoveltyOptions novelty_opts;
@@ -487,11 +530,12 @@ Status MassEngine::SolveInfluenceIncremental() {
   Stopwatch sw;
   const bool warm = options_.warm_start_ingest;
   if (options_.use_compiled_solver) {
-    // Extend the live matrix in place when possible; recency weighting
-    // moves the corpus-relative newest timestamp and re-decays every
-    // existing weight, so it forces the full recompile.
+    // Extend the live matrix in place when possible; a corpus-relative
+    // weighting anchor moves with every delta and re-decays every existing
+    // weight, forcing the full recompile (an explicit window.as_of keeps
+    // the anchor — and the matrix — stable).
     if (matrix_valid_ && options_.incremental_matrix &&
-        options_.recency_half_life_days <= 0.0) {
+        WeightsAnchorStable()) {
       auto span = tracer_.Span("extend_matrix");
       ExtendSolverMatrix(&matrix_, *corpus_, options_, post_quality_,
                          post_recency_, comment_sf_, comment_recency_,
@@ -839,12 +883,14 @@ void MassEngine::SolveInfluenceReference(bool warm) {
   // 1/TC per blogger, with the same no-comments fallback the compiled
   // path folds into the matrix (solver_matrix.cc) — keeping the two
   // solvers' per-comment arithmetic identical: multiply by a reciprocal
-  // computed once per blogger, never a per-comment divide.
+  // computed once per blogger, never a per-comment divide. TC is the
+  // window-effective count, again matching the compiled path.
   std::vector<double> inv_tc(nb, 1.0);
   if (options_.use_tc_normalization) {
+    const std::vector<size_t> eff_tc =
+        EffectiveTcCounts(*corpus_, comment_recency_);
     for (size_t b = 0; b < nb; ++b) {
-      double tc = static_cast<double>(
-          corpus_->TotalComments(static_cast<BloggerId>(b)));
+      double tc = static_cast<double>(eff_tc[b]);
       inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
     }
   }
@@ -921,13 +967,15 @@ Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
     auto span = tracer_.Span("general_links");
     MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
   }
-  {
-    auto span = tracer_.Span("quality");
-    ComputeQuality();
-  }
+  // Recency precedes quality: the windowed quality mean is taken over the
+  // posts the window keeps (post_recency_ > 0).
   {
     auto span = tracer_.Span("recency");
     ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
   }
   {
     auto span = tracer_.Span("sentiment");
@@ -1009,12 +1057,12 @@ Status MassEngine::Retune(const EngineOptions& options) {
     MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
   }
   {
-    auto span = tracer_.Span("quality");
-    ComputeQuality();
-  }
-  {
     auto span = tracer_.Span("recency");
     ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
   }
   {
     auto span = tracer_.Span("sentiment");
@@ -1031,6 +1079,15 @@ Status MassEngine::Retune(const EngineOptions& options) {
 
 Status MassEngine::IngestDelta(const CorpusDelta& delta,
                                const InterestMiner* miner) {
+  return IngestDelta(delta, miner, nullptr);
+}
+
+Status MassEngine::IngestDelta(const CorpusDelta& delta,
+                               const InterestMiner* miner,
+                               MutationResult* result) {
+  MutationResult local;
+  local.op = "ingest";
+  if (result != nullptr) *result = local;
   if (mutable_corpus_ == nullptr) {
     return Status::FailedPrecondition(
         "IngestDelta requires the mutable-corpus constructor");
@@ -1065,7 +1122,18 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
   // (bad ids, corrupt file) never mutates the corpus.
   MASS_ASSIGN_OR_RETURN(AppliedDelta applied,
                         ApplyCorpusDelta(mutable_corpus_, delta));
-  if (!applied.changed()) return Status::OK();  // pure-duplicate batch
+  const size_t nnz_before = matrix_valid_ ? matrix_.nnz() : 0;
+  if (!applied.changed()) {
+    // Pure-duplicate batch: nothing moved, the prior snapshot is current.
+    local.matrix_nnz = nnz_before;
+    if (result != nullptr) *result = local;
+    RecordMutationMetrics(local);
+    return Status::OK();
+  }
+  local.added_bloggers = applied.added_bloggers;
+  local.added_posts = applied.added_posts;
+  local.added_comments = applied.added_comments;
+  local.added_links = applied.added_links;
 
   // Delta-size accounting before the pipeline runs, so even a rolled-back
   // ingest leaves a record of what arrived.
@@ -1078,22 +1146,34 @@ Status MassEngine::IngestDelta(const CorpusDelta& delta,
   metrics_->GetCounter("engine.ingest_added_links_total")
       .Increment(applied.added_links);
 
+  Status ingested;
   if (!options_.transactional_ingest) {
-    return IngestAppliedDelta(applied, miner);
+    ingested = IngestAppliedDelta(applied, miner);
+  } else {
+    // Transactional path: the corpus already holds the delta (application
+    // alone moves no score), so snapshot the engine now and undo both
+    // sides if any pipeline stage fails.
+    IngestSnapshot snapshot = CaptureIngestSnapshot();
+    ingested = IngestAppliedDelta(applied, miner);
+    if (!ingested.ok()) {
+      MASS_RETURN_IF_ERROR(
+          mutable_corpus_->RollbackTo(applied.mark(), applied.enriched_prior));
+      RestoreIngestSnapshot(std::move(snapshot));
+      ingest_rollbacks_.Increment();
+      local.rolled_back = true;
+    }
   }
-  // Transactional path: the corpus already holds the delta (application
-  // alone moves no score), so snapshot the engine now and undo both sides
-  // if any pipeline stage fails.
-  IngestSnapshot snapshot = CaptureIngestSnapshot();
-  Status ingested = IngestAppliedDelta(applied, miner);
-  if (!ingested.ok()) {
-    MASS_RETURN_IF_ERROR(
-        mutable_corpus_->RollbackTo(applied.mark(), applied.enriched_prior));
-    RestoreIngestSnapshot(std::move(snapshot));
-    ingest_rollbacks_.Increment();
-    return ingested;
+  local.matrix_nnz = matrix_valid_ ? matrix_.nnz() : 0;
+  local.matrix_nnz_delta = static_cast<int64_t>(local.matrix_nnz) -
+                           static_cast<int64_t>(nnz_before);
+  if (ingested.ok()) {
+    local.applied = true;
+    local.warm_start_iterations =
+        options_.warm_start_ingest ? solve_trace_.iterations : 0;
   }
-  return Status::OK();
+  if (result != nullptr) *result = local;
+  RecordMutationMetrics(local);
+  return ingested;
 }
 
 Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
@@ -1116,12 +1196,12 @@ Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
     ExtendTextCaches(applied.prior_posts, applied.prior_comments);
   }
   {
-    auto span = tracer_.Span("quality");
-    ComputeQuality();
-  }
-  {
     auto span = tracer_.Span("recency");
     ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
   }
   {
     auto span = tracer_.Span("sentiment");
@@ -1156,6 +1236,308 @@ Status MassEngine::IngestAppliedDelta(const AppliedDelta& applied,
   // wrapper rolls back without this call having run, so the previously
   // published snapshot simply remains current.
   PublishSnapshot("ingest");
+  return Status::OK();
+}
+
+bool MassEngine::WeightsAnchorStable() const {
+  if (options_.window.as_of > 0) return true;  // pinned anchor
+  return options_.recency_half_life_days <= 0.0 && !options_.window.enabled();
+}
+
+void MassEngine::RecordMutationMetrics(const MutationResult& result) {
+  mutation_added_posts_.Increment(result.added_posts);
+  mutation_added_comments_.Increment(result.added_comments);
+  mutation_removed_posts_.Increment(result.removed_posts);
+  mutation_removed_comments_.Increment(result.removed_comments);
+  mutation_matrix_nnz_.Set(static_cast<double>(result.matrix_nnz));
+  mutation_nnz_delta_.Set(static_cast<double>(result.matrix_nnz_delta));
+  mutation_warm_iterations_.Set(
+      static_cast<double>(result.warm_start_iterations));
+}
+
+Status MassEngine::ExpireWindow(const WindowSpec& window,
+                                MutationResult* result) {
+  MutationResult local;
+  local.op = "expire";
+  if (result != nullptr) *result = local;
+  if (mutable_corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ExpireWindow requires the mutable-corpus constructor");
+  }
+  if (!analyzed_) {
+    return Status::FailedPrecondition("ExpireWindow requires a prior Analyze");
+  }
+  if (!SolvedShapeCurrent()) {
+    return Status::FailedPrecondition(
+        "corpus changed since the last solve; re-run Analyze() before "
+        "expiring");
+  }
+  if (window.as_of < 0 || window.horizon_secs < 0) {
+    return Status::InvalidArgument("window bounds must be non-negative");
+  }
+
+  const size_t nb = corpus_->num_bloggers();
+  const size_t np0 = corpus_->num_posts();
+  const size_t nc0 = corpus_->num_comments();
+
+  // Removal masks under the window's cutoff, mirroring ComputeRecency's
+  // semantics: a post older than (anchor − horizon) ages out, its comments
+  // go with it, and a comment ages out on its own timestamp too. Entities
+  // newer than an explicit as_of stay — they are outside the window (zero
+  // weight) but will re-enter when the window advances past them.
+  const int64_t anchor = window.as_of > 0 ? window.as_of : NewestTimestamp();
+  const bool has_cutoff = window.horizon_secs > 0;
+  const int64_t cutoff = anchor - window.horizon_secs;
+  std::vector<uint8_t> drop_post(np0, 0);
+  std::vector<uint8_t> drop_comment(nc0, 0);
+  size_t removed_posts = 0;
+  size_t removed_comments = 0;
+  if (has_cutoff) {
+    for (const Post& p : corpus_->posts()) {
+      if (p.timestamp < cutoff) {
+        drop_post[p.id] = 1;
+        ++removed_posts;
+      }
+    }
+    for (const Comment& c : corpus_->comments()) {
+      if (drop_post[c.post] || c.timestamp < cutoff) {
+        drop_comment[c.id] = 1;
+        ++removed_comments;
+      }
+    }
+  }
+
+  const size_t nnz_before = matrix_valid_ ? matrix_.nnz() : 0;
+  if (removed_posts == 0 && removed_comments == 0 &&
+      window == options_.window) {
+    // Nothing aged out and the weighting is already this window's: the
+    // published snapshot is still exact.
+    local.matrix_nnz = nnz_before;
+    if (result != nullptr) *result = local;
+    RecordMutationMetrics(local);
+    return Status::OK();
+  }
+
+  expire_runs_.Increment();
+  local.removed_posts = removed_posts;
+  local.removed_comments = removed_comments;
+
+  // Everything ShrinkSolverMatrix needs from the PRE-expiry state: the
+  // 1/TC factors folded into the live values, each comment's current
+  // SF·recency weight (to detect survivors the new window re-weights), and
+  // the rows that lose comments outright.
+  const bool can_shrink = options_.use_compiled_solver && matrix_valid_ &&
+                          options_.incremental_matrix;
+  ShrinkPlan plan;
+  std::vector<double> old_weight;
+  if (can_shrink) {
+    plan.dirty_row.assign(nb, 0);
+    if (options_.use_tc_normalization) {
+      const std::vector<size_t> eff_tc =
+          EffectiveTcCounts(*corpus_, comment_recency_);
+      plan.old_inv_tc.assign(nb, 1.0);
+      for (size_t b = 0; b < nb; ++b) {
+        const double tc = static_cast<double>(eff_tc[b]);
+        plan.old_inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
+      }
+    }
+    old_weight.resize(nc0);
+    for (size_t cid = 0; cid < nc0; ++cid) {
+      old_weight[cid] = comment_sf_[cid] * comment_recency_[cid];
+      if (drop_comment[cid]) {
+        const Comment& c = corpus_->comment(static_cast<CommentId>(cid));
+        plan.dirty_row[corpus_->post(c.post).author] = 1;
+      }
+    }
+  }
+
+  const bool transactional = options_.transactional_ingest;
+  IngestSnapshot engine_snapshot;
+  CorpusEntities entities;
+  if (transactional) {
+    engine_snapshot = CaptureIngestSnapshot();
+    entities = mutable_corpus_->CaptureEntities();
+  }
+  const WindowSpec old_window = options_.window;
+  options_.window = window;
+
+  Status expired =
+      ExpireApplied(drop_post, drop_comment, old_weight, can_shrink, &plan);
+  if (!expired.ok()) {
+    if (transactional) {
+      mutable_corpus_->RestoreEntities(std::move(entities));
+      RestoreIngestSnapshot(std::move(engine_snapshot));
+      options_.window = old_window;
+      expire_rollbacks_.Increment();
+      local.rolled_back = true;
+    }
+    local.matrix_nnz = matrix_valid_ ? matrix_.nnz() : 0;
+    local.matrix_nnz_delta = static_cast<int64_t>(local.matrix_nnz) -
+                             static_cast<int64_t>(nnz_before);
+    if (result != nullptr) *result = local;
+    RecordMutationMetrics(local);
+    return expired;
+  }
+
+  local.applied = true;
+  local.matrix_nnz = matrix_valid_ ? matrix_.nnz() : 0;
+  local.matrix_nnz_delta = static_cast<int64_t>(local.matrix_nnz) -
+                           static_cast<int64_t>(nnz_before);
+  local.warm_start_iterations =
+      options_.warm_start_ingest ? solve_trace_.iterations : 0;
+  if (result != nullptr) *result = local;
+  RecordMutationMetrics(local);
+  return Status::OK();
+}
+
+Status MassEngine::ExpireApplied(const std::vector<uint8_t>& drop_post,
+                                 const std::vector<uint8_t>& drop_comment,
+                                 const std::vector<double>& old_weight,
+                                 bool can_shrink, ShrinkPlan* plan) {
+  tracer_.BeginRun("expire");
+  solve_trace_ = obs::SolveTrace();
+
+  CorpusRemoval removal;
+  {
+    auto span = tracer_.Span("compact_corpus");
+    MASS_ASSIGN_OR_RETURN(
+        removal, mutable_corpus_->RemovePostsAndComments(drop_post,
+                                                         drop_comment));
+  }
+  {
+    // The text caches and interest vectors compact in step with the
+    // corpus; the maps are monotone over survivors, so the forward
+    // in-place copy never overwrites an unread slot.
+    auto span = tracer_.Span("compact_caches");
+    size_t wp = 0;
+    for (size_t p = 0; p < removal.post_map.size(); ++p) {
+      if (removal.post_map[p] == kInvalidPost) continue;
+      if (wp != p) {
+        // Guarded: a self-move (no dropped post yet, wp == p) would leave
+        // the interest vector empty.
+        post_length_raw_[wp] = post_length_raw_[p];
+        post_copy_indicators_[wp] = post_copy_indicators_[p];
+        post_interests_[wp] = std::move(post_interests_[p]);
+      }
+      ++wp;
+    }
+    post_length_raw_.resize(wp);
+    post_copy_indicators_.resize(wp);
+    post_interests_.resize(wp);
+    size_t wc = 0;
+    for (size_t c = 0; c < removal.comment_map.size(); ++c) {
+      if (removal.comment_map[c] == kInvalidComment) continue;
+      if (wc != c) comment_sentiment_[wc] = comment_sentiment_[c];
+      ++wc;
+    }
+    comment_sentiment_.resize(wc);
+  }
+
+  {
+    auto span = tracer_.Span("general_links");
+    MASS_RETURN_IF_ERROR(ComputeGeneralLinks());
+  }
+  {
+    auto span = tracer_.Span("recency");
+    ComputeRecency();
+  }
+  {
+    auto span = tracer_.Span("quality");
+    ComputeQuality();
+  }
+  {
+    auto span = tracer_.Span("sentiment");
+    ComputeSentiment();
+  }
+  if (const EngineFaultPlan* fp = options_.fault_plan) {
+    // Same kIngestPipeline site as ingest, same worst spot: the corpus and
+    // every per-entity cache are already compacted and rescored, so the
+    // transactional rollback has genuinely partial state to undo.
+    if (DrawEngineFault(*fp, EngineFaultSite::kIngestPipeline,
+                        fault_ingest_ops_++, fp->ingest_failure_rate)) {
+      fault_ingest_failures_.Increment();
+      return Status::Internal(StrFormat(
+          "injected expire-pipeline fault (op %llu)",
+          static_cast<unsigned long long>(fault_ingest_ops_ - 1)));
+    }
+  }
+
+  if (can_shrink) {
+    // Rows whose surviving comments re-weighted under the new window join
+    // the dirty set (identical inputs reproduce identical doubles, so a
+    // stable comment compares exactly equal and stays clean).
+    for (size_t cid = 0; cid < removal.comment_map.size(); ++cid) {
+      const CommentId nid = removal.comment_map[cid];
+      if (nid == kInvalidComment) continue;
+      if (old_weight[cid] != comment_sf_[nid] * comment_recency_[nid]) {
+        const Comment& c = corpus_->comment(nid);
+        plan->dirty_row[corpus_->post(c.post).author] = 1;
+      }
+    }
+    plan->num_dirty = 0;
+    for (uint8_t d : plan->dirty_row) plan->num_dirty += d;
+  }
+
+  MASS_RETURN_IF_ERROR(SolveInfluenceExpire(*plan, can_shrink));
+  {
+    auto span = tracer_.Span("domain_vectors");
+    ComputeDomainVectors();
+  }
+  RecordSolvedShape();
+  PublishSnapshot("expire");
+  return Status::OK();
+}
+
+Status MassEngine::SolveInfluenceExpire(const ShrinkPlan& plan,
+                                        bool can_shrink) {
+  auto solve_span = tracer_.Span("solve");
+  Stopwatch sw;
+  const bool warm = options_.warm_start_ingest;
+  if (options_.use_compiled_solver) {
+    const size_t nb = corpus_->num_bloggers();
+    const double dirty_fraction =
+        nb > 0 ? static_cast<double>(plan.num_dirty) / static_cast<double>(nb)
+               : 1.0;
+    if (can_shrink && dirty_fraction <= options_.expire_recompile_fraction) {
+      auto span = tracer_.Span("shrink_matrix");
+      ShrinkSolverMatrix(&matrix_, *corpus_, options_, post_quality_,
+                         post_recency_, comment_sf_, comment_recency_, plan,
+                         SolverPool());
+    } else {
+      auto span = tracer_.Span("compile_matrix");
+      matrix_ = CompileSolverMatrix(*corpus_, options_, post_quality_,
+                                    post_recency_, comment_sf_,
+                                    comment_recency_, SolverPool());
+    }
+    matrix_valid_ = true;
+    if (UseShardedSolve()) {
+      {
+        auto span = tracer_.Span("partition_shards");
+        BuildShardedSystem();
+      }
+      auto span = tracer_.Span("fixed_point");
+      IterateSharded(warm);
+    } else {
+      sharded_valid_ = false;
+      auto span = tracer_.Span("fixed_point");
+      IterateCompiled(warm);
+    }
+  } else {
+    matrix_valid_ = false;
+    sharded_valid_ = false;
+    auto span = tracer_.Span("fixed_point");
+    SolveInfluenceReference(warm);
+  }
+  solve_trace_.solve_seconds = sw.ElapsedSeconds();
+  solve_iterations_total_.Increment(
+      static_cast<uint64_t>(solve_trace_.iterations));
+  if (warm) {
+    warm_saved_gauge_.Set(static_cast<double>(
+        std::max(0, last_full_solve_iterations_ - solve_trace_.iterations)));
+  } else {
+    last_full_solve_iterations_ = solve_trace_.iterations;
+    warm_saved_gauge_.Set(0.0);
+  }
   return Status::OK();
 }
 

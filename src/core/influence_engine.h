@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "core/analysis_snapshot.h"
 #include "core/engine_options.h"
+#include "core/mutation_result.h"
 #include "core/solver_matrix.h"
 #include "model/corpus.h"
 #include "obs/metrics.h"
@@ -91,6 +92,34 @@ class MassEngine {
   /// corpus AND the engine state back to exactly the pre-ingest snapshot,
   /// so the engine keeps serving queries as if the delta never arrived.
   Status IngestDelta(const CorpusDelta& delta, const InterestMiner* miner);
+
+  /// As above, and additionally reports what happened through the
+  /// MutationResult shared with ExpireWindow (applied/rolled-back flags,
+  /// entity counts, matrix nnz delta, warm-start iterations). `result` is
+  /// filled on every return path, including failures; nullptr skips it.
+  Status IngestDelta(const CorpusDelta& delta, const InterestMiner* miner,
+                     MutationResult* result);
+
+  /// The removal half of a sliding window: drops every post older than the
+  /// window's cutoff (anchor − horizon, where the anchor is window.as_of
+  /// or the corpus-newest timestamp), every comment on a dropped post, and
+  /// every comment whose own timestamp aged out — bloggers and links stay.
+  /// `window` becomes the engine's active EngineOptions::window, so
+  /// subsequent solves weight the surviving corpus consistently.
+  ///
+  /// The compiled matrix shrinks in place (ShrinkSolverMatrix) when few
+  /// rows are affected, or recompiles when the dirty fraction exceeds
+  /// EngineOptions::expire_recompile_fraction; either way the fixed point
+  /// restarts warm from the pre-expiry influence. Warm-vs-cold parity on
+  /// the windowed corpus is ≤1e-9 (see tests/window_test.cc).
+  ///
+  /// Transactional like IngestDelta: with transactional_ingest, any
+  /// mid-pipeline failure restores corpus + engine bitwise to the
+  /// pre-expiry state and the prior snapshot stays published. Requires the
+  /// mutable-corpus constructor and a prior Analyze(). Nothing aged out
+  /// and an unchanged window = a no-op (result->applied stays false).
+  Status ExpireWindow(const WindowSpec& window,
+                      MutationResult* result = nullptr);
 
   // ---- the published snapshot (the read path) ----
 
@@ -229,6 +258,30 @@ class MassEngine {
   /// The scoring pipeline IngestDelta runs after the corpus application.
   Status IngestAppliedDelta(const AppliedDelta& applied,
                             const InterestMiner* miner);
+  /// The expiry pipeline ExpireWindow runs once the removal masks are
+  /// known: compacts corpus + per-entity caches, rescores the survivors
+  /// under the new window, shrinks or recompiles the matrix per `plan`,
+  /// warm-solves, and publishes. `old_weight` is the pre-compaction
+  /// SF·recency per comment (for detecting rows whose surviving comments
+  /// re-weighted); `can_shrink` gates the in-place path.
+  Status ExpireApplied(const std::vector<uint8_t>& drop_post,
+                       const std::vector<uint8_t>& drop_comment,
+                       const std::vector<double>& old_weight, bool can_shrink,
+                       ShrinkPlan* plan);
+  /// The expiry-path solve: ShrinkSolverMatrix when the dirty-row fraction
+  /// is under options_.expire_recompile_fraction, full recompile above it,
+  /// then the warm fixed point (sharded or not).
+  Status SolveInfluenceExpire(const ShrinkPlan& plan, bool can_shrink);
+  /// True when the temporal weighting survives corpus growth/shrinkage
+  /// unchanged — an explicit window.as_of pins the anchor; corpus-relative
+  /// decay or window re-anchors on every mutation. Gates the in-place
+  /// extend/shrink paths (an unstable anchor forces a recompile).
+  bool WeightsAnchorStable() const;
+  /// Newest post/comment timestamp in the corpus (0 when empty) — the
+  /// corpus-relative window anchor.
+  int64_t NewestTimestamp() const;
+  /// Mirrors a MutationResult into the engine.mutation.* metrics.
+  void RecordMutationMetrics(const MutationResult& result);
   void SolveInfluenceReference(bool warm);
   /// Runs the fixed point against the live matrix_. `warm` keeps the
   /// previous influence vector as the initial iterate (new bloggers join
@@ -318,6 +371,18 @@ class MassEngine {
   obs::Counter retune_runs_;
   obs::Counter ingest_runs_;
   obs::Counter ingest_rollbacks_;
+  obs::Counter expire_runs_;
+  obs::Counter expire_rollbacks_;
+  // engine.mutation.*: the last MutationResult, mirrored (see
+  // RecordMutationMetrics) — counters for entity flow, gauges for the
+  // point-in-time matrix size / solve cost.
+  obs::Counter mutation_added_posts_;
+  obs::Counter mutation_added_comments_;
+  obs::Counter mutation_removed_posts_;
+  obs::Counter mutation_removed_comments_;
+  obs::Gauge mutation_matrix_nnz_;
+  obs::Gauge mutation_nnz_delta_;
+  obs::Gauge mutation_warm_iterations_;
   obs::Counter solve_iterations_total_;
   obs::Counter topk_queries_;
   obs::Histogram topk_us_;

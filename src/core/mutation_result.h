@@ -1,0 +1,45 @@
+// MutationResult: the one result record shared by every corpus-mutating
+// engine operation (IngestDelta appends, ExpireWindow removes). Callers
+// that drive a sliding window — ingest the fresh crawl, expire the aged
+// tail — read both directions through the same fields, and the engine
+// mirrors each result into the `engine.mutation.*` metrics so external
+// monitors see the same numbers the caller does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mass {
+
+struct MutationResult {
+  std::string op;          ///< "ingest" or "expire"
+  /// The corpus changed and the new state was published. False for a
+  /// validated no-op (all-duplicate delta, nothing aged out) — the prior
+  /// snapshot is still current — and for failures.
+  bool applied = false;
+  /// A transactional failure rolled engine + corpus back bitwise to the
+  /// pre-mutation state (the op's Status carries the cause).
+  bool rolled_back = false;
+
+  // Entities the operation added (ingest) / removed (expiry). Expiry
+  // never removes bloggers or links — the GL network outlives any window.
+  size_t added_bloggers = 0;
+  size_t added_posts = 0;
+  size_t added_comments = 0;
+  size_t added_links = 0;
+  size_t removed_posts = 0;
+  size_t removed_comments = 0;
+
+  /// Stored entries of the compiled CSR matrix after the operation (0 on
+  /// the reference-solver path) and the signed change it applied — the
+  /// numbers a bounded-steady-state gate watches.
+  size_t matrix_nnz = 0;
+  int64_t matrix_nnz_delta = 0;
+
+  /// Fixed-point iterations of the (warm-started) solve this mutation
+  /// triggered; 0 when nothing was solved.
+  int warm_start_iterations = 0;
+};
+
+}  // namespace mass

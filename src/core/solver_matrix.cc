@@ -7,6 +7,20 @@
 
 namespace mass {
 
+std::vector<size_t> EffectiveTcCounts(
+    const Corpus& corpus, const std::vector<double>& comment_recency) {
+  const size_t nb = corpus.num_bloggers();
+  std::vector<size_t> tc(nb, 0);
+  for (size_t b = 0; b < nb; ++b) {
+    size_t count = 0;
+    for (CommentId cid : corpus.CommentsByCommenter(static_cast<BloggerId>(b))) {
+      if (comment_recency[cid] > 0.0) ++count;
+    }
+    tc[b] = count;
+  }
+  return tc;
+}
+
 SolverMatrix CompileSolverMatrix(const Corpus& corpus,
                                  const EngineOptions& options,
                                  const std::vector<double>& post_quality,
@@ -36,13 +50,18 @@ SolverMatrix CompileSolverMatrix(const Corpus& corpus,
 
   // Each comment's commenter, recovered from the by-commenter index, and
   // 1/TC per blogger — so w(c) = SF·recency/TC needs no Comment records
-  // and one divide per blogger instead of one per comment.
+  // and one divide per blogger instead of one per comment. TC is the
+  // effective count under the window (== TotalComments with no window).
   std::vector<BloggerId> commenter_of(nc, 0);
   std::vector<double> inv_tc(nb, 1.0);
+  std::vector<size_t> eff_tc;
+  if (options.use_tc_normalization) {
+    eff_tc = EffectiveTcCounts(corpus, comment_recency);
+  }
   for (size_t b = 0; b < nb; ++b) {
     const BloggerId bid = static_cast<BloggerId>(b);
     if (options.use_tc_normalization) {
-      double tc = static_cast<double>(corpus.TotalComments(bid));
+      double tc = static_cast<double>(eff_tc[b]);
       inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
     }
     for (CommentId cid : corpus.CommentsByCommenter(bid)) {
@@ -173,18 +192,22 @@ void ExtendSolverMatrix(SolverMatrix* m, const Corpus& corpus,
 
   // 1/TC after the delta, and the ratio each pre-existing column must be
   // rescaled by. The old TC is recovered by subtracting the commenter's
-  // fresh comments, so no prior-state snapshot is needed.
+  // fresh comments, so no prior-state snapshot is needed. Counts are the
+  // window-effective ones (a fresh comment outside the window changes no
+  // normalization), matching the compile.
   std::vector<size_t> fresh_cc(nb, 0);
   for (size_t cid = nc0; cid < nc; ++cid) {
-    ++fresh_cc[corpus.comment(static_cast<CommentId>(cid)).commenter];
+    if (comment_recency[cid] > 0.0) {
+      ++fresh_cc[corpus.comment(static_cast<CommentId>(cid)).commenter];
+    }
   }
   std::vector<double> inv_tc(nb, 1.0);
   std::vector<double> rescale(nb0, 1.0);
   bool any_rescale = false;
   if (options.use_tc_normalization) {
+    const std::vector<size_t> eff_tc = EffectiveTcCounts(corpus, comment_recency);
     for (size_t b = 0; b < nb; ++b) {
-      const double tc =
-          static_cast<double>(corpus.TotalComments(static_cast<BloggerId>(b)));
+      const double tc = static_cast<double>(eff_tc[b]);
       inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
       if (b < nb0 && fresh_cc[b] > 0) {
         const double tc_old = tc - static_cast<double>(fresh_cc[b]);
@@ -297,6 +320,123 @@ void ExtendSolverMatrix(SolverMatrix* m, const Corpus& corpus,
       for (CommentId cid : corpus.CommentsOn(static_cast<PostId>(p))) {
         if (cid < nc0) continue;
         const BloggerId who = corpus.comment(cid).commenter;
+        m->post_commenter[k] = who;
+        m->post_weight[k] =
+            comment_sf[cid] * comment_recency[cid] * inv_tc[who];
+        ++k;
+      }
+    }
+  });
+  m->num_bloggers = nb;
+}
+
+void ShrinkSolverMatrix(SolverMatrix* m, const Corpus& corpus,
+                        const EngineOptions& options,
+                        const std::vector<double>& post_quality,
+                        const std::vector<double>& post_recency,
+                        const std::vector<double>& comment_sf,
+                        const std::vector<double>& comment_recency,
+                        const ShrinkPlan& plan, ThreadPool* pool) {
+  const size_t nb = corpus.num_bloggers();
+  const size_t np = corpus.num_posts();
+  const size_t nc = corpus.num_comments();
+  const double beta = options.beta;
+  const double comment_scale = 1.0 - beta;
+
+  // q rebuilt whole, same accumulation order as the compile (the windowed
+  // quality mean shifts whenever the post set changes).
+  m->quality.assign(nb, 0.0);
+  for (size_t b = 0; b < nb; ++b) {
+    double q = 0.0;
+    for (PostId p : corpus.PostsBy(static_cast<BloggerId>(b))) {
+      q += beta * post_quality[p] * post_recency[p];
+    }
+    m->quality[b] = q;
+  }
+
+  // Post-expiry 1/TC and the per-column ratio clean rows are rescaled by.
+  std::vector<double> inv_tc(nb, 1.0);
+  std::vector<double> rescale(nb, 1.0);
+  bool any_rescale = false;
+  if (options.use_tc_normalization) {
+    const std::vector<size_t> eff_tc = EffectiveTcCounts(corpus, comment_recency);
+    for (size_t b = 0; b < nb; ++b) {
+      const double tc = static_cast<double>(eff_tc[b]);
+      inv_tc[b] = tc > 0.0 ? 1.0 / tc : 1.0;
+      if (b < plan.old_inv_tc.size() && inv_tc[b] != plan.old_inv_tc[b]) {
+        rescale[b] = inv_tc[b] / plan.old_inv_tc[b];
+        any_rescale = true;
+      }
+    }
+  }
+
+  // Dirty rows are rebuilt from the compacted corpus: collect the row's
+  // (commenter, comment) pairs and sort them so duplicate-column sums run
+  // in ascending comment order within each commenter — the compile's exact
+  // summation order, making the rebuilt row bit-identical to a fresh
+  // compile. Clean rows keep their structure (none of their comments were
+  // removed or re-weighted) and only pick up the column rescale.
+  std::vector<size_t> out_off(nb + 1, 0);
+  std::vector<BloggerId> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(m->cols.size());
+  out_vals.reserve(m->cols.size());
+  std::vector<std::pair<BloggerId, CommentId>> row_entries;
+  for (size_t b = 0; b < nb; ++b) {
+    const bool dirty = b < plan.dirty_row.size() && plan.dirty_row[b] != 0;
+    if (!dirty) {
+      for (size_t i = m->row_offsets[b]; i < m->row_offsets[b + 1]; ++i) {
+        out_cols.push_back(m->cols[i]);
+        out_vals.push_back(any_rescale ? m->values[i] * rescale[m->cols[i]]
+                                       : m->values[i]);
+      }
+    } else {
+      row_entries.clear();
+      for (PostId p : corpus.PostsBy(static_cast<BloggerId>(b))) {
+        for (CommentId cid : corpus.CommentsOn(p)) {
+          row_entries.emplace_back(corpus.comment(cid).commenter, cid);
+        }
+      }
+      std::sort(row_entries.begin(), row_entries.end());
+      for (size_t i = 0; i < row_entries.size();) {
+        const BloggerId col = row_entries[i].first;
+        const double scaled_inv_tc = comment_scale * inv_tc[col];
+        double sum = 0.0;
+        for (; i < row_entries.size() && row_entries[i].first == col; ++i) {
+          const CommentId cid = row_entries[i].second;
+          sum += comment_sf[cid] * comment_recency[cid] * scaled_inv_tc;
+        }
+        out_cols.push_back(col);
+        out_vals.push_back(sum);
+      }
+    }
+    out_off[b + 1] = out_cols.size();
+  }
+  m->row_offsets = std::move(out_off);
+  m->cols = std::move(out_cols);
+  m->values = std::move(out_vals);
+
+  // Post mirror rebuilt whole: the compaction renumbered every post id.
+  std::vector<BloggerId> commenter_of(nc, 0);
+  for (size_t b = 0; b < nb; ++b) {
+    for (CommentId cid : corpus.CommentsByCommenter(static_cast<BloggerId>(b))) {
+      commenter_of[cid] = static_cast<BloggerId>(b);
+    }
+  }
+  m->post_offsets.assign(np + 1, 0);
+  for (size_t p = 0; p < np; ++p) {
+    m->post_offsets[p + 1] =
+        m->post_offsets[p] + corpus.CommentsOn(static_cast<PostId>(p)).size();
+  }
+  m->post_commenter.resize(nc);
+  m->post_weight.resize(nc);
+  m->post_commenter.shrink_to_fit();
+  m->post_weight.shrink_to_fit();
+  ParallelFor(pool, np, [&](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      size_t k = m->post_offsets[p];
+      for (CommentId cid : corpus.CommentsOn(static_cast<PostId>(p))) {
+        const BloggerId who = commenter_of[cid];
         m->post_commenter[k] = who;
         m->post_weight[k] =
             comment_sf[cid] * comment_recency[cid] * inv_tc[who];

@@ -54,6 +54,18 @@ struct SolverMatrix {
   size_t nnz() const { return cols.size(); }
 };
 
+/// TC(b) under the current temporal weighting: the number of b's comments
+/// whose window/decay weight is nonzero. A comment outside the window
+/// contributes nothing to any CommentScore, so counting it in TC would
+/// dilute the commenter's surviving comments — and a cold solve on the
+/// expired corpus (where the comment is gone) would disagree with the
+/// windowed warm path. With no window every weight is positive and this
+/// equals Corpus::TotalComments, the paper's TC. Every TC consumer
+/// (compile, extend, shrink, the reference solver) goes through here so
+/// warm and cold solves normalize identically.
+std::vector<size_t> EffectiveTcCounts(const Corpus& corpus,
+                                      const std::vector<double>& comment_recency);
+
 /// Folds the loop-invariant comment factors and per-post quality terms of
 /// the current options into CSR form. The per-entity inputs are the
 /// engine's already-derived arrays (indexed by PostId / CommentId).
@@ -80,12 +92,13 @@ SolverMatrix CompileSolverMatrix(const Corpus& corpus,
 ///      bloggers, preserving the sorted-unique column invariant,
 ///   3. q and the post-grouped mirror are rebuilt against the (possibly
 ///      shifted) quality normalization.
-/// Caller contract: same options as the original compile, and recency
-/// weighting off — a delta moves the corpus-relative newest timestamp,
-/// which re-decays every existing weight (the engine falls back to a full
-/// recompile in that case). Matches CompileSolverMatrix on the merged
-/// corpus to ~1e-15 per entry (identical structure; rescaled values can
-/// differ in the last ulps).
+/// Caller contract: same options as the original compile, and a stable
+/// weighting anchor — corpus-relative decay or a corpus-relative window
+/// moves the newest timestamp on every delta, re-decaying every existing
+/// weight (the engine falls back to a full recompile in that case; an
+/// explicit window.as_of keeps the anchor pinned and the extend valid).
+/// Matches CompileSolverMatrix on the merged corpus to ~1e-15 per entry
+/// (identical structure; rescaled values can differ in the last ulps).
 void ExtendSolverMatrix(SolverMatrix* m, const Corpus& corpus,
                         const EngineOptions& options,
                         const std::vector<double>& post_quality,
@@ -93,6 +106,41 @@ void ExtendSolverMatrix(SolverMatrix* m, const Corpus& corpus,
                         const std::vector<double>& comment_sf,
                         const std::vector<double>& comment_recency,
                         ThreadPool* pool);
+
+/// Inputs to ShrinkSolverMatrix that only the pre-expiry state can
+/// provide; MassEngine::ExpireWindow assembles it before compacting the
+/// corpus.
+struct ShrinkPlan {
+  /// The 1/TC factors folded into the matrix's current values (the
+  /// effective counts at the last solve), indexed by blogger. Empty when
+  /// TC normalization is off.
+  std::vector<double> old_inv_tc;
+  /// Rows to rebuild from the compacted corpus: authors whose posts lost
+  /// a comment, or one of whose surviving comments changed weight (the
+  /// window edge moved across it). Empty = no rows dirty.
+  std::vector<uint8_t> dirty_row;
+  size_t num_dirty = 0;
+};
+
+/// Shrinks a compiled matrix in place after posts/comments were removed
+/// from the corpus (MassEngine::ExpireWindow), mirroring
+/// ExtendSolverMatrix: O(surviving nnz + dirty rows) versus O(corpus).
+/// Clean rows are copied with a per-column 1/TC-ratio rescale (a removed
+/// comment renormalizes ALL of its author's surviving entries); dirty rows
+/// are rebuilt from the compacted corpus with the compile's exact
+/// summation order, so they come out bit-identical to a fresh compile. q
+/// and the post-grouped mirror are rebuilt whole (post ids shifted by the
+/// compaction; quality normalization moved with the windowed mean).
+/// Caller contract: the corpus is already compacted, the per-entity arrays
+/// are the post-expiry ones, options match the original compile, and the
+/// blogger set is unchanged — expiry never removes bloggers.
+void ShrinkSolverMatrix(SolverMatrix* m, const Corpus& corpus,
+                        const EngineOptions& options,
+                        const std::vector<double>& post_quality,
+                        const std::vector<double>& post_recency,
+                        const std::vector<double>& comment_sf,
+                        const std::vector<double>& comment_recency,
+                        const ShrinkPlan& plan, ThreadPool* pool);
 
 /// y = m.quality + M·x, parallel over row ranges. Each row is summed
 /// serially in column order, so the result is bit-identical for every

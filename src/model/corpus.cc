@@ -151,6 +151,67 @@ Status Corpus::RollbackTo(const CorpusMark& mark,
   return Status::OK();
 }
 
+CorpusEntities Corpus::CaptureEntities() const {
+  return CorpusEntities{bloggers_, posts_, comments_, links_};
+}
+
+void Corpus::RestoreEntities(CorpusEntities entities) {
+  bloggers_ = std::move(entities.bloggers);
+  posts_ = std::move(entities.posts);
+  comments_ = std::move(entities.comments);
+  links_ = std::move(entities.links);
+  BuildIndexes();
+}
+
+Result<CorpusRemoval> Corpus::RemovePostsAndComments(
+    const std::vector<uint8_t>& drop_post,
+    const std::vector<uint8_t>& drop_comment) {
+  if (drop_post.size() != posts_.size() ||
+      drop_comment.size() != comments_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("removal mask sizes %zu/%zu do not match corpus %zu/%zu",
+                  drop_post.size(), drop_comment.size(), posts_.size(),
+                  comments_.size()));
+  }
+  for (const Comment& c : comments_) {
+    if (!drop_comment[c.id] && drop_post[c.post]) {
+      return Status::InvalidArgument(
+          StrFormat("comment %u survives removal of its post %u", c.id,
+                    c.post));
+    }
+  }
+
+  CorpusRemoval removal;
+  removal.post_map.assign(posts_.size(), kInvalidPost);
+  removal.comment_map.assign(comments_.size(), kInvalidComment);
+
+  size_t wp = 0;
+  for (size_t p = 0; p < posts_.size(); ++p) {
+    if (drop_post[p]) continue;
+    removal.post_map[p] = static_cast<PostId>(wp);
+    if (wp != p) posts_[wp] = std::move(posts_[p]);
+    posts_[wp].id = static_cast<PostId>(wp);
+    ++wp;
+  }
+  removal.removed_posts = posts_.size() - wp;
+  posts_.resize(wp);
+
+  size_t wc = 0;
+  for (size_t c = 0; c < comments_.size(); ++c) {
+    if (drop_comment[c]) continue;
+    removal.comment_map[c] = static_cast<CommentId>(wc);
+    if (wc != c) comments_[wc] = std::move(comments_[c]);
+    comments_[wc].id = static_cast<CommentId>(wc);
+    comments_[wc].post = removal.post_map[comments_[wc].post];
+    ++wc;
+  }
+  removal.removed_comments = comments_.size() - wc;
+  comments_.resize(wc);
+
+  BuildIndexes();
+  return removal;
+}
+
 BloggerId Corpus::FindBloggerByName(std::string_view name) const {
   assert(indexes_built_);
   auto it = name_index_.find(std::string(name));

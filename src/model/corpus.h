@@ -45,6 +45,27 @@ struct CorpusMark {
   size_t links = 0;
 };
 
+/// Full entity-vector copy for bitwise rollback of removal operations
+/// (expiry), which a truncating CorpusMark cannot undo; pair with
+/// Corpus::RestoreEntities(). Indexes are not captured — they are a
+/// deterministic function of the entities and are rebuilt on restore.
+struct CorpusEntities {
+  std::vector<Blogger> bloggers;
+  std::vector<Post> posts;
+  std::vector<Comment> comments;
+  std::vector<Link> links;
+};
+
+/// Outcome of Corpus::RemovePostsAndComments(): old→new dense-id maps for
+/// the survivors (kInvalidPost / kInvalidComment for removed entities) so
+/// callers can compact per-post / per-comment side arrays in step.
+struct CorpusRemoval {
+  std::vector<PostId> post_map;        ///< indexed by pre-removal post id
+  std::vector<CommentId> comment_map;  ///< indexed by pre-removal comment id
+  size_t removed_posts = 0;
+  size_t removed_comments = 0;
+};
+
 /// Owning container for one blogosphere snapshot.
 ///
 /// Mutation goes through Add*(); after the data set is complete call
@@ -93,6 +114,25 @@ class Corpus {
   /// exceeds the current sizes or a restore record's id is out of range.
   Status RollbackTo(const CorpusMark& mark,
                     const std::vector<Blogger>& restore_bloggers = {});
+
+  /// Deep copy of all entity vectors, for RestoreEntities().
+  CorpusEntities CaptureEntities() const;
+
+  /// Replaces the entity vectors with a prior CaptureEntities() copy and
+  /// rebuilds the indexes; the corpus is bitwise back to the captured
+  /// state. Complements RollbackTo(), which can only truncate appends.
+  void RestoreEntities(CorpusEntities entities);
+
+  /// Removes the flagged posts and comments in place, renumbering the
+  /// dense ids of the survivors (relative order preserved) and rebuilding
+  /// the indexes. Mask sizes must equal num_posts()/num_comments(), and
+  /// every comment on a dropped post must itself be flagged — a surviving
+  /// comment may not dangle. Bloggers and links are never removed: the GL
+  /// network outlives any activity window. Sliding-window expiry is the
+  /// caller (MassEngine::ExpireWindow).
+  Result<CorpusRemoval> RemovePostsAndComments(
+      const std::vector<uint8_t>& drop_post,
+      const std::vector<uint8_t>& drop_comment);
 
   // ---- raw access ----
 

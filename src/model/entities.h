@@ -18,6 +18,22 @@ using CommentId = uint32_t;
 inline constexpr BloggerId kInvalidBlogger =
     std::numeric_limits<BloggerId>::max();
 inline constexpr PostId kInvalidPost = std::numeric_limits<PostId>::max();
+inline constexpr CommentId kInvalidComment =
+    std::numeric_limits<CommentId>::max();
+
+/// A time window over the corpus: the closed interval
+/// [anchor - horizon_secs, anchor], evaluated against post/comment
+/// timestamps. `as_of` > 0 pins the anchor to an absolute time (activity
+/// newer than it is outside the window); `as_of` = 0 anchors at the newest
+/// timestamp present, making the window corpus-relative. `horizon_secs` = 0
+/// means unbounded look-back. Both zero = no window (the whole corpus).
+struct WindowSpec {
+  int64_t as_of = 0;
+  int64_t horizon_secs = 0;
+
+  bool enabled() const { return as_of > 0 || horizon_secs > 0; }
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
+};
 
 /// A blog author (one "MSN space" in the paper's crawl).
 struct Blogger {

@@ -229,147 +229,263 @@ Result<std::shared_ptr<const AnalysisSnapshot>> QueryService::PinOrFail()
   return snap;
 }
 
-// Every single-query surface follows the same degradation discipline:
-// admission first (shed before any work), then pin, then the staleness
-// contract (which may refuse under kReject), then the work, then the
-// deadline check — a query that ran past its deadline returns
-// DeadlineExceeded rather than a late answer, so callers can trust that
-// an OK result met the latency contract.
+// ---- the unified envelope ----
+//
+// One degradation discipline for every surface: admission first (shed
+// before any work), then the batch-size contract (batches only), then
+// pin, then the staleness contract (which may refuse under kReject), then
+// the per-request work. The deadline is post-checked for single queries —
+// a query that ran past it returns DeadlineExceeded rather than a late
+// answer, so callers can trust that an OK result met the latency contract
+// — and pre-checked per slot for batches, which answer the requests that
+// fit and mark the rest with the typed status.
 
-Result<std::vector<ScoredBlogger>> QueryService::TopGeneral(size_t k) const {
+void QueryService::ExecuteOnSnapshot(const AnalysisSnapshot& snap,
+                                     const QueryRequest& q,
+                                     QueryResponse* r) const {
+  switch (q.kind) {
+    case QueryRequest::Kind::kTopGeneral:
+      r->ranking = snap.TopKGeneralWindowed(q.k, q.window);
+      break;
+    case QueryRequest::Kind::kTopByDomain: {
+      Result<std::vector<ScoredBlogger>> top =
+          snap.TopKDomainWindowed(q.domain, q.k, q.window);
+      if (top.ok()) {
+        r->ranking = std::move(*top);
+      } else {
+        r->status = top.status();
+      }
+      break;
+    }
+    case QueryRequest::Kind::kMatchAd:
+      if (q.weights.empty()) {
+        r->status = Status::InvalidArgument("empty interest-vector weights");
+      } else {
+        r->ranking = snap.TopKWeightedWindowed(q.weights, q.k, q.window);
+      }
+      break;
+    case QueryRequest::Kind::kTopPosts: {
+      Result<std::vector<RankedPost>> posts =
+          snap.TopPostsOfDomainWindowed(q.domain, q.k, q.window);
+      if (posts.ok()) {
+        r->posts = std::move(*posts);
+      } else {
+        r->status = posts.status();
+      }
+      break;
+    }
+    case QueryRequest::Kind::kDetails: {
+      Result<BloggerDetails> details = MakeBloggerDetails(snap, q.blogger);
+      if (!details.ok()) {
+        r->status = details.status();
+        break;
+      }
+      r->details = std::move(*details);
+      if (q.window.enabled()) {
+        // The pop-up's "important posts" shrink to the window; the score
+        // surfaces stay the solve-time (whole-corpus) ones.
+        const ResolvedWindow rw =
+            ResolveWindow(q.window, snap.post_timestamps);
+        auto& key_posts = r->details.key_posts;
+        key_posts.erase(
+            std::remove_if(key_posts.begin(), key_posts.end(),
+                           [&](const BloggerDetails::KeyPost& kp) {
+                             return kp.id < snap.post_timestamps.size() &&
+                                    !rw.Contains(snap.post_timestamps[kp.id]);
+                           }),
+            key_posts.end());
+      }
+      break;
+    }
+    case QueryRequest::Kind::kSimilar: {
+      const std::vector<double>* iv = snap.InterestsOfBlogger(q.blogger);
+      if (iv == nullptr) {
+        r->status = Status::InvalidArgument("blogger id out of range");
+        break;
+      }
+      // Over-fetch by one so the blogger herself can be dropped.
+      std::vector<ScoredBlogger> ranked =
+          snap.TopKWeightedWindowed(*iv, q.k + 1, q.window);
+      r->ranking.reserve(std::min(q.k, ranked.size()));
+      for (const ScoredBlogger& sb : ranked) {
+        if (sb.id == q.blogger) continue;
+        r->ranking.push_back(sb);
+        if (r->ranking.size() == q.k) break;
+      }
+      break;
+    }
+    case QueryRequest::Kind::kTrends: {
+      Result<DomainTrends> trends =
+          ComputeDomainTrends(snap, q.num_buckets, q.window);
+      if (trends.ok()) {
+        r->trends = std::move(*trends);
+      } else {
+        r->status = trends.status();
+      }
+      break;
+    }
+    case QueryRequest::Kind::kRising: {
+      Result<std::vector<ScoredBlogger>> rising =
+          RisingInDomain(snap, q.domain, q.k, q.window);
+      if (rising.ok()) {
+        r->ranking = std::move(*rising);
+      } else {
+        r->status = rising.status();
+      }
+      break;
+    }
+  }
+}
+
+Status QueryService::RunEnvelope(const QueryRequest* requests, size_t n,
+                                 std::vector<QueryResponse>* out,
+                                 bool batch) const {
   Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
+  if (admission.shed()) {
+    out->clear();
+    return admission.ShedStatus();
+  }
+  if (batch) {
+    if (Status sized = CheckBatchSize(n); !sized.ok()) {
+      out->clear();
+      return sized;
+    }
+  }
   const int64_t start = DeadlineStart();
   std::shared_ptr<const AnalysisSnapshot> owned;
   const AnalysisSnapshot* snap = PinForQuery(&owned);
   if (snap == nullptr) {
+    out->clear();
     return Status::FailedPrecondition("no analysis published yet");
   }
-  QueryTimer timer(this, snap);
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  std::vector<ScoredBlogger> ranking = snap->TopKGeneral(k);
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return ranking;
+
+  if (!batch) {
+    QueryTimer timer(this, snap);
+    bool degraded = false;
+    if (Status fresh = CheckStaleness(snap, &degraded); !fresh.ok()) {
+      out->clear();
+      return fresh;  // Unavailable under StalenessPolicy::kReject
+    }
+    out->assign(1, QueryResponse{});
+    QueryResponse& r = (*out)[0];
+    r.degraded = degraded;
+    ExecuteOnSnapshot(*snap, requests[0], &r);
+    if (r.status.ok()) {
+      // Late answers are discarded in favor of the typed status.
+      r.status = CheckDeadline(start);
+    }
+    return Status::OK();
+  }
+
+  bool degraded = false;
+  if (Status fresh = CheckStaleness(snap, &degraded); !fresh.ok()) {
+    out->clear();
+    return fresh;  // Unavailable under StalenessPolicy::kReject
+  }
+  Stopwatch sw;
+  // Reset every surviving slot, not just the ones a smaller reused batch
+  // overwrites: a slot that errors below must not keep the previous
+  // batch's payload, and a slot that succeeds must not keep its previous
+  // error status (or degraded flag).
+  out->assign(n, QueryResponse{});
+  bool deadline_hit = false;
+  for (size_t i = 0; i < n; ++i) {
+    QueryResponse& r = (*out)[i];
+    r.degraded = degraded;
+    // Per-slot deadline: the requests that fit are answered; the rest
+    // carry an explicit DeadlineExceeded instead of being silently
+    // dropped.
+    if (deadline_hit ||
+        (deadline_micros_ > 0 && NowMicros() - start > deadline_micros_)) {
+      deadline_hit = true;
+      deadline_exceeded_total_.Increment();
+      r.status = Status::DeadlineExceeded(
+          "batch deadline exceeded before this query ran");
+      continue;
+    }
+    ExecuteOnSnapshot(*snap, requests[i], &r);
+  }
+  batches_.Increment();
+  queries_.Increment(n);
+  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
+  snapshot_age_us_.Record(snap->AgeMicros());
+  return Status::OK();
+}
+
+Result<QueryResponse> QueryService::Run(const QueryRequest& request) const {
+  std::vector<QueryResponse> out;
+  MASS_RETURN_IF_ERROR(RunEnvelope(&request, 1, &out, /*batch=*/false));
+  if (!out[0].status.ok()) return out[0].status;
+  return std::move(out[0]);
+}
+
+Result<std::vector<QueryResponse>> QueryService::Run(
+    const std::vector<QueryRequest>& requests) const {
+  std::vector<QueryResponse> out;
+  MASS_RETURN_IF_ERROR(Run(requests, &out));
+  return out;
+}
+
+Status QueryService::Run(const std::vector<QueryRequest>& requests,
+                         std::vector<QueryResponse>* responses) const {
+  return RunEnvelope(requests.data(), requests.size(), responses,
+                     /*batch=*/true);
+}
+
+// ---- single-query shims ----
+
+Result<std::vector<ScoredBlogger>> QueryService::TopGeneral(size_t k) const {
+  MASS_ASSIGN_OR_RETURN(QueryResponse r, Run(QueryRequest::TopGeneral(k)));
+  return std::move(r.ranking);
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::TopByDomain(size_t domain,
                                                              size_t k) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  QueryTimer timer(this, snap);
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  MASS_ASSIGN_OR_RETURN(std::vector<ScoredBlogger> ranking,
-                        snap->TopKDomain(domain, k));
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return ranking;
+  MASS_ASSIGN_OR_RETURN(QueryResponse r,
+                        Run(QueryRequest::TopByDomain(domain, k)));
+  return std::move(r.ranking);
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::MatchAdvertisement(
     const std::vector<double>& weights, size_t k) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  QueryTimer timer(this, snap);
-  if (weights.empty()) {
-    return Status::InvalidArgument("empty interest-vector weights");
-  }
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  std::vector<ScoredBlogger> ranking = snap->TopKWeighted(weights, k);
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return ranking;
+  MASS_ASSIGN_OR_RETURN(QueryResponse r,
+                        Run(QueryRequest::MatchAd(weights, k)));
+  return std::move(r.ranking);
 }
 
 Result<std::vector<RankedPost>> QueryService::TopPosts(size_t domain,
                                                        size_t k) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  QueryTimer timer(this, snap);
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  MASS_ASSIGN_OR_RETURN(std::vector<RankedPost> posts,
-                        snap->TopPostsOfDomain(domain, k));
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return posts;
+  MASS_ASSIGN_OR_RETURN(QueryResponse r,
+                        Run(QueryRequest::TopPosts(domain, k)));
+  return std::move(r.posts);
 }
 
 Result<BloggerDetails> QueryService::Details(BloggerId blogger) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  QueryTimer timer(this, snap);
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  MASS_ASSIGN_OR_RETURN(BloggerDetails details,
-                        MakeBloggerDetails(*snap, blogger));
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return details;
+  MASS_ASSIGN_OR_RETURN(QueryResponse r, Run(QueryRequest::Details(blogger)));
+  return std::move(r.details);
 }
 
 Result<std::vector<ScoredBlogger>> QueryService::SimilarInfluencers(
     BloggerId blogger, size_t k) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  QueryTimer timer(this, snap);
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  const std::vector<double>* iv = snap->InterestsOfBlogger(blogger);
-  if (iv == nullptr) {
-    return Status::InvalidArgument("blogger id out of range");
-  }
-  // Over-fetch by one so the blogger herself can be dropped.
-  std::vector<ScoredBlogger> ranked = snap->TopKWeighted(*iv, k + 1);
-  std::vector<ScoredBlogger> out;
-  out.reserve(std::min(k, ranked.size()));
-  for (const ScoredBlogger& sb : ranked) {
-    if (sb.id == blogger) continue;
-    out.push_back(sb);
-    if (out.size() == k) break;
-  }
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return out;
+  MASS_ASSIGN_OR_RETURN(QueryResponse r,
+                        Run(QueryRequest::Similar(blogger, k)));
+  return std::move(r.ranking);
 }
 
 Result<DomainTrends> QueryService::Trends(size_t num_buckets) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  QueryTimer timer(this, snap);
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  MASS_ASSIGN_OR_RETURN(DomainTrends trends,
-                        ComputeDomainTrends(*snap, num_buckets));
-  MASS_RETURN_IF_ERROR(CheckDeadline(start));
-  return trends;
+  MASS_ASSIGN_OR_RETURN(QueryResponse r,
+                        Run(QueryRequest::Trends(num_buckets)));
+  return std::move(r.trends);
 }
+
+Result<std::vector<ScoredBlogger>> QueryService::Rising(
+    size_t domain, size_t k, const WindowSpec& window) const {
+  MASS_ASSIGN_OR_RETURN(QueryResponse r,
+                        Run(QueryRequest::Rising(domain, k).Within(window)));
+  return std::move(r.ranking);
+}
+
+// ---- batch shims ----
 
 Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
     const std::vector<BatchQuery>& queries) const {
@@ -380,140 +496,82 @@ Result<std::vector<BatchQueryResult>> QueryService::RunBatch(
 
 Status QueryService::RunBatch(const std::vector<BatchQuery>& queries,
                               std::vector<BatchQueryResult>* results) const {
-  Admission admission(this);
-  if (admission.shed()) {
-    results->clear();
-    return admission.ShedStatus();
-  }
-  if (Status sized = CheckBatchSize(queries.size()); !sized.ok()) {
-    results->clear();
-    return sized;
-  }
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    results->clear();
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  bool degraded = false;
-  if (Status fresh = CheckStaleness(snap, &degraded); !fresh.ok()) {
-    results->clear();
-    return fresh;  // Unavailable under StalenessPolicy::kReject
-  }
-  Stopwatch sw;
-  std::vector<BatchQueryResult>& out = *results;
-  // Reset every surviving slot, not just the ones a smaller reused batch
-  // overwrites: a slot that errors below must not keep the previous
-  // batch's ranking, and a slot that succeeds must not keep its previous
-  // error status (or degraded flag).
-  out.resize(queries.size());
-  for (BatchQueryResult& r : out) {
-    r.status = Status::OK();
-    r.ranking.clear();
-    r.degraded = degraded;
-  }
-  bool deadline_hit = false;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    const BatchQuery& q = queries[i];
-    BatchQueryResult& r = out[i];
-    // Per-item deadline: the items that fit are answered; the rest carry
-    // an explicit DeadlineExceeded instead of being silently dropped.
-    if (deadline_hit ||
-        (deadline_micros_ > 0 && NowMicros() - start > deadline_micros_)) {
-      deadline_hit = true;
-      deadline_exceeded_total_.Increment();
-      r.status = Status::DeadlineExceeded(
-          "batch deadline exceeded before this query ran");
-      continue;
-    }
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const BatchQuery& q : queries) {
     switch (q.kind) {
       case BatchQuery::Kind::kTopGeneral:
-        r.ranking = snap->TopKGeneral(q.k);
+        requests.push_back(QueryRequest::TopGeneral(q.k));
         break;
-      case BatchQuery::Kind::kTopByDomain: {
-        Result<std::vector<ScoredBlogger>> top = snap->TopKDomain(q.domain,
-                                                                  q.k);
-        if (top.ok()) {
-          r.ranking = std::move(*top);
-        } else {
-          r.status = top.status();
-        }
+      case BatchQuery::Kind::kTopByDomain:
+        requests.push_back(QueryRequest::TopByDomain(q.domain, q.k));
         break;
-      }
       case BatchQuery::Kind::kMatchAd:
-        if (q.weights.empty()) {
-          r.status = Status::InvalidArgument("empty interest-vector weights");
-        } else {
-          r.ranking = snap->TopKWeighted(q.weights, q.k);
-        }
+        requests.push_back(QueryRequest::MatchAd(q.weights, q.k));
         break;
     }
   }
-  batches_.Increment();
-  queries_.Increment(queries.size());
-  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
-  snapshot_age_us_.Record(snap->AgeMicros());
+  std::vector<QueryResponse> responses;
+  if (Status run = RunEnvelope(requests.data(), requests.size(), &responses,
+                               /*batch=*/true);
+      !run.ok()) {
+    results->clear();
+    return run;
+  }
+  results->resize(responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    BatchQueryResult& r = (*results)[i];
+    r.status = responses[i].status;
+    r.ranking = std::move(responses[i].ranking);
+    r.degraded = responses[i].degraded;
+  }
   return Status::OK();
 }
 
 Result<std::vector<std::vector<ScoredBlogger>>> QueryService::TopKGeneralBatch(
     size_t k, size_t count) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  MASS_RETURN_IF_ERROR(CheckBatchSize(count));
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  Stopwatch sw;
+  std::vector<QueryRequest> requests(count, QueryRequest::TopGeneral(k));
+  std::vector<QueryResponse> responses;
+  MASS_RETURN_IF_ERROR(RunEnvelope(requests.data(), count, &responses,
+                                   /*batch=*/true));
   std::vector<std::vector<ScoredBlogger>> out;
   out.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    // This surface has no per-item status channel, so a mid-batch expiry
-    // fails the whole call rather than truncating the result vector.
-    MASS_RETURN_IF_ERROR(CheckDeadline(start));
-    out.push_back(snap->TopKGeneral(k));
+  for (QueryResponse& r : responses) {
+    // This surface has no per-item status channel, so the first typed
+    // error (a blown deadline) fails the whole call rather than
+    // truncating the result vector.
+    MASS_RETURN_IF_ERROR(r.status);
+    out.push_back(std::move(r.ranking));
   }
-  batches_.Increment();
-  queries_.Increment(count);
-  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
-  snapshot_age_us_.Record(snap->AgeMicros());
   return out;
 }
 
 Result<std::vector<std::vector<ScoredBlogger>>> QueryService::MatchAdsBatch(
     const std::vector<std::vector<double>>& ads, size_t k) const {
-  Admission admission(this);
-  if (admission.shed()) return admission.ShedStatus();
-  MASS_RETURN_IF_ERROR(CheckBatchSize(ads.size()));
-  const int64_t start = DeadlineStart();
-  std::shared_ptr<const AnalysisSnapshot> owned;
-  const AnalysisSnapshot* snap = PinForQuery(&owned);
-  if (snap == nullptr) {
-    return Status::FailedPrecondition("no analysis published yet");
-  }
+  // Pre-validate so a bad ad anywhere rejects the whole batch with
+  // nothing run (and nothing counted) — the historical contract of this
+  // surface.
   for (const std::vector<double>& ad : ads) {
     if (ad.empty()) {
       return Status::InvalidArgument("empty interest-vector weights in batch");
     }
   }
-  MASS_RETURN_IF_ERROR(CheckStaleness(snap, nullptr));
-  Stopwatch sw;
+  std::vector<QueryRequest> requests;
+  requests.reserve(ads.size());
+  for (const std::vector<double>& ad : ads) {
+    requests.push_back(QueryRequest::MatchAd(ad, k));
+  }
+  std::vector<QueryResponse> responses;
+  MASS_RETURN_IF_ERROR(RunEnvelope(requests.data(), requests.size(),
+                                   &responses, /*batch=*/true));
   std::vector<std::vector<ScoredBlogger>> out;
   out.reserve(ads.size());
-  for (const std::vector<double>& ad : ads) {
-    // No per-item status channel: mid-batch expiry fails the whole call.
-    MASS_RETURN_IF_ERROR(CheckDeadline(start));
-    out.push_back(snap->TopKWeighted(ad, k));
+  for (QueryResponse& r : responses) {
+    // No per-item status channel: the first typed error fails the whole
+    // call.
+    MASS_RETURN_IF_ERROR(r.status);
+    out.push_back(std::move(r.ranking));
   }
-  batches_.Increment();
-  queries_.Increment(ads.size());
-  batch_latency_us_.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e6));
-  snapshot_age_us_.Record(snap->AgeMicros());
   return out;
 }
 

@@ -95,7 +95,7 @@ struct QueryServiceOptions {
   /// ResourceExhausted instead of queueing unboundedly. 0 = unlimited.
   size_t max_concurrent_queries = 0;
 
-  /// Largest accepted batch (RunBatch items / TopKGeneralBatch count /
+  /// Largest accepted batch (Run/RunBatch items / TopKGeneralBatch count /
   /// MatchAdsBatch ads). Oversized batches are refused outright with
   /// ResourceExhausted. 0 = unlimited.
   size_t max_batch_queries = 0;
@@ -106,9 +106,116 @@ struct QueryServiceOptions {
   std::function<int64_t()> clock;
 };
 
+/// The typed request envelope: every query surface the service exposes —
+/// single or batched — is one of these kinds plus its parameters, and all
+/// of them flow through one execution path (QueryService::Run) with one
+/// shared pin/validate/degrade discipline. The optional `window` restricts
+/// any kind to the posts inside a time window (see WindowSpec): rankings
+/// sum in-window post influence, Details keeps only in-window key posts,
+/// Trends buckets the window's range, Rising ranks by in-window growth.
+/// A default (disabled) window answers over the whole corpus, exactly as
+/// the pre-envelope surfaces did.
+struct QueryRequest {
+  enum class Kind {
+    kTopGeneral,   ///< top-k by Inf(b)
+    kTopByDomain,  ///< top-k by Inf(b, domain)
+    kMatchAd,      ///< Eq. 5 dot-product ranking against `weights`
+    kTopPosts,     ///< top posts of `domain` by Inf(p)·iv[domain]
+    kDetails,      ///< the demo pop-up for `blogger`
+    kSimilar,      ///< bloggers ranked by `blogger`'s interest profile
+    kTrends,       ///< per-domain influence mass over `num_buckets`
+    kRising,       ///< bloggers rising in `domain` inside the window
+  };
+  Kind kind = Kind::kTopGeneral;
+  size_t k = 10;                         ///< ranking kinds
+  size_t domain = 0;                     ///< kTopByDomain/kTopPosts/kRising
+  BloggerId blogger = kInvalidBlogger;   ///< kDetails/kSimilar
+  std::vector<double> weights;           ///< kMatchAd
+  size_t num_buckets = 4;                ///< kTrends
+  WindowSpec window;                     ///< optional; default = no window
+
+  static QueryRequest TopGeneral(size_t k) {
+    QueryRequest q;
+    q.k = k;
+    return q;
+  }
+  static QueryRequest TopByDomain(size_t domain, size_t k) {
+    QueryRequest q;
+    q.kind = Kind::kTopByDomain;
+    q.domain = domain;
+    q.k = k;
+    return q;
+  }
+  static QueryRequest MatchAd(std::vector<double> weights, size_t k) {
+    QueryRequest q;
+    q.kind = Kind::kMatchAd;
+    q.weights = std::move(weights);
+    q.k = k;
+    return q;
+  }
+  static QueryRequest TopPosts(size_t domain, size_t k) {
+    QueryRequest q;
+    q.kind = Kind::kTopPosts;
+    q.domain = domain;
+    q.k = k;
+    return q;
+  }
+  static QueryRequest Details(BloggerId blogger) {
+    QueryRequest q;
+    q.kind = Kind::kDetails;
+    q.blogger = blogger;
+    return q;
+  }
+  static QueryRequest Similar(BloggerId blogger, size_t k) {
+    QueryRequest q;
+    q.kind = Kind::kSimilar;
+    q.blogger = blogger;
+    q.k = k;
+    return q;
+  }
+  static QueryRequest Trends(size_t num_buckets) {
+    QueryRequest q;
+    q.kind = Kind::kTrends;
+    q.num_buckets = num_buckets;
+    return q;
+  }
+  static QueryRequest Rising(size_t domain, size_t k) {
+    QueryRequest q;
+    q.kind = Kind::kRising;
+    q.domain = domain;
+    q.k = k;
+    return q;
+  }
+  /// Copy of this request restricted to `w`:
+  /// `QueryRequest::TopGeneral(5).Within(last_week)`.
+  QueryRequest Within(const WindowSpec& w) const {
+    QueryRequest q = *this;
+    q.window = w;
+    return q;
+  }
+};
+
+/// The typed response envelope. `status` mirrors what the pre-envelope
+/// single-query method would have returned; exactly one payload field is
+/// filled per kind (ranking for the blogger-ranking kinds, posts for
+/// kTopPosts, details for kDetails, trends for kTrends).
+struct QueryResponse {
+  Status status = Status::OK();
+  /// Served from a snapshot older than the max_staleness contract under
+  /// StalenessPolicy::kServeDegraded — correct but flagged.
+  bool degraded = false;
+  std::vector<ScoredBlogger> ranking;  ///< kTopGeneral/kTopByDomain/kMatchAd/kSimilar/kRising
+  std::vector<RankedPost> posts;       ///< kTopPosts
+  BloggerDetails details;              ///< kDetails
+  DomainTrends trends;                 ///< kTrends
+};
+
 /// One query of a batch (see QueryService::RunBatch). A batch answers all
 /// its queries from ONE pinned snapshot — mutually consistent results and
 /// a single lease check amortized over the whole batch.
+/// Legacy shim over QueryRequest: covers the three ranking kinds the
+/// pre-envelope RunBatch spoke; new callers should use QueryRequest, which
+/// adds the remaining surfaces and the time window.
 struct BatchQuery {
   enum class Kind {
     kTopGeneral,   ///< top-k by Inf(b)
@@ -188,6 +295,35 @@ class QueryService {
   // DeadlineExceeded (ran past deadline_micros), or Unavailable (stale
   // snapshot under StalenessPolicy::kReject).
 
+  // ---- the unified envelope ----
+  //
+  // ONE execution path serves every surface: admission -> (batch-size
+  // check) -> deadline start -> pin -> staleness contract -> per-request
+  // dispatch against the pinned snapshot. The single form keeps the
+  // pre-envelope single-query semantics (request errors and a blown
+  // deadline fail the call; late answers are discarded in favor of the
+  // typed status); the batch form keeps RunBatch's (per-request errors
+  // and deadline exhaustion land in each slot's status, the batch itself
+  // stays OK). Every legacy method below is a thin shim over these.
+
+  /// Answers one request. The response's status is folded into the call:
+  /// an OK result IS the answer.
+  Result<QueryResponse> Run(const QueryRequest& request) const;
+
+  /// Answers a mixed batch from one pinned snapshot. Per-request errors
+  /// land in each response's status; one bad request never fails its
+  /// batch.
+  Result<std::vector<QueryResponse>> Run(
+      const std::vector<QueryRequest>& requests) const;
+
+  /// Allocation-reusing batch form: answers into `*responses`, resizing
+  /// to requests.size() and fully resetting every slot. On a batch-level
+  /// error `*responses` is cleared.
+  Status Run(const std::vector<QueryRequest>& requests,
+             std::vector<QueryResponse>* responses) const;
+
+  // ---- single-query surfaces (shims over Run) ----
+
   /// Top-k bloggers by general influence Inf(b_i).
   Result<std::vector<ScoredBlogger>> TopGeneral(size_t k) const;
 
@@ -216,7 +352,14 @@ class QueryService {
   /// Per-domain influence-mass trend over uniform time buckets.
   Result<DomainTrends> Trends(size_t num_buckets) const;
 
-  // ---- batched queries ----
+  /// "Rising in domain d this week": bloggers whose in-window influence
+  /// mass in `domain` is concentrating toward the window's recent edge
+  /// (see analytics::RisingInDomain). A default window spans the whole
+  /// corpus.
+  Result<std::vector<ScoredBlogger>> Rising(size_t domain, size_t k,
+                                            const WindowSpec& window = {}) const;
+
+  // ---- batched queries (shims over Run) ----
   //
   // One snapshot resolution (lease check or pin) serves the whole batch;
   // all answers come from the same analysis. FailedPrecondition when no
@@ -246,6 +389,19 @@ class QueryService {
       const std::vector<std::vector<double>>& ads, size_t k) const;
 
  private:
+  /// The one execution path behind every public surface. `batch` selects
+  /// the two deadline/error disciplines documented on Run: false = single
+  /// semantics (no batch-size check, per-query timer, the deadline is
+  /// post-checked so a late answer is discarded), true = batch semantics
+  /// (size check, batch metrics, per-slot pre-checked deadline). On a
+  /// whole-call error `*out` is cleared; on OK it holds n responses.
+  Status RunEnvelope(const QueryRequest* requests, size_t n,
+                     std::vector<QueryResponse>* out, bool batch) const;
+  /// Dispatches one request against the pinned snapshot; fills exactly
+  /// one payload field or the response's status.
+  void ExecuteOnSnapshot(const AnalysisSnapshot& snap, const QueryRequest& q,
+                         QueryResponse* r) const;
+
   Result<std::shared_ptr<const AnalysisSnapshot>> PinOrFail() const;
   /// Pin-policy dispatch for queries: leased (per-thread cache) or fresh.
   /// Returns nullptr when nothing is published.

@@ -155,18 +155,24 @@ void ReaderLoop(const QueryService* service, const SoakOptions& options,
         CountRanking(Result<std::vector<ScoredBlogger>>(r.status()), counts);
       }
     } else if (draw < 90) {
-      // Mixed consistent batch through RunBatch.
-      std::vector<BatchQuery> batch;
-      batch.push_back(BatchQuery::TopGeneral(5));
-      batch.push_back(BatchQuery::TopByDomain(
-          rng.NextZipf(num_domains, options.zipf_exponent), 5));
+      // Mixed consistent batch through the typed envelope, half of it
+      // windowed — exercises the temporal query path under churn.
+      WindowSpec window;
+      window.horizon_secs = 6 * 3600;
+      std::vector<QueryRequest> batch;
+      batch.push_back(QueryRequest::TopGeneral(5));
+      batch.push_back(QueryRequest::TopByDomain(
+                          rng.NextZipf(num_domains, options.zipf_exponent), 5)
+                          .Within(window));
       std::vector<double> ad(num_domains);
       for (double& w : ad) w = rng.NextDouble();
-      batch.push_back(BatchQuery::MatchAd(std::move(ad), 5));
-      auto r = service->RunBatch(batch);
+      batch.push_back(QueryRequest::MatchAd(std::move(ad), 5).Within(window));
+      auto r = service->Run(batch);
       if (r.ok()) {
-        for (const BatchQueryResult& item : *r) {
+        for (const QueryResponse& item : *r) {
           if (item.status.ok()) {
+            // Windowed slots may legitimately rank nobody (everything
+            // aged out), so only the structural invariants apply.
             PlausibleRanking(item.ranking) ? ++counts->ok
                                            : ++counts->violations;
           } else if (item.status.IsDeadlineExceeded()) {
@@ -314,6 +320,21 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
   IngestStats ingest;
   uint64_t poison_op = 0;
   Status run_status = Status::OK();
+  // The sliding window rides the ingest cadence: after the tick's crawl
+  // lands, posts older than the horizon (behind the corpus-newest
+  // timestamp — the anchor a live system has) are expired in place while
+  // the reader fleet keeps querying. Expiry runs with the fault plan
+  // still live, so an injected failure exercises the transactional
+  // rollback under concurrent readers.
+  const bool churn =
+      options.expire_every_hours > 0 && options.window_horizon_hours > 0;
+  WindowSpec horizon;
+  horizon.horizon_secs =
+      static_cast<int64_t>(options.window_horizon_hours) * 3600;
+  auto track_nnz = [&report](size_t nnz) {
+    report.final_matrix_nnz = nnz;
+    report.peak_matrix_nnz = std::max(report.peak_matrix_nnz, nnz);
+  };
   for (int hour = 0; hour < options.hours && run_status.ok();
        hour += cadence) {
     world.AdvanceHours(std::min(cadence, options.hours - hour));
@@ -322,6 +343,20 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
     ++report.ticks;
     run_status = IngestUrls(&faulty_host, dirty, engine_faults, options,
                             &engine, &metrics, &poison_op, &ingest);
+    if (!run_status.ok() || !churn) continue;
+    if ((hour / cadence) % std::max(options.expire_every_hours / cadence, 1) !=
+        0) {
+      continue;
+    }
+    MutationResult mr;
+    if (Status s = engine.ExpireWindow(horizon, &mr); s.ok()) {
+      ++report.expirations;
+      report.expired_posts += mr.removed_posts;
+      report.expired_comments += mr.removed_comments;
+      track_nnz(mr.matrix_nnz);
+    } else {
+      ++report.expire_failures;
+    }
   }
 
   // Final fault-free sweep: no injected failures, no fetch faults, every
@@ -335,6 +370,21 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
     engine_faults.spmv_slow_rate = 0.0;
     run_status = IngestUrls(&clean_host, world.AllUrls(), engine_faults,
                             options, &engine, &metrics, &poison_op, &ingest);
+  }
+
+  // The sweep re-fetched every page, aged ones included; with churn on,
+  // one closing expiry restores the window so the final corpus / matrix /
+  // quality probe describe the sliding-window steady state.
+  if (run_status.ok() && churn) {
+    MutationResult mr;
+    if (Status s = engine.ExpireWindow(horizon, &mr); s.ok()) {
+      ++report.expirations;
+      report.expired_posts += mr.removed_posts;
+      report.expired_comments += mr.removed_comments;
+      track_nnz(mr.matrix_nnz);
+    } else {
+      ++report.expire_failures;
+    }
   }
 
   stop.store(true, std::memory_order_release);
@@ -370,6 +420,13 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
   if (const obs::HistogramSample* age =
           msnap.FindHistogram("serve.snapshot.age_us")) {
     report.snapshot_age_p99_us = age->P99();
+  }
+  // The final sweep re-ingests everything the faults dropped, so the
+  // authoritative end-of-run matrix size is the last mutation's gauge,
+  // not the last expiry's result.
+  if (const obs::GaugeSample* nnz =
+          msnap.FindGauge("engine.mutation.matrix_nnz")) {
+    track_nnz(static_cast<size_t>(nnz->value));
   }
 
   // Ranking quality vs the drifting ground truth, by URL identity.

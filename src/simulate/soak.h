@@ -79,6 +79,14 @@ struct SoakOptions {
   /// Ingest attempts per delta (first may be poisoned; retries are clean).
   int max_ingest_attempts = 4;
 
+  /// Sliding-window churn: every `expire_every_hours` simulated hours
+  /// (0 = never), ExpireWindow drops posts older than
+  /// `window_horizon_hours` behind the corpus-newest timestamp. With both
+  /// set, the corpus turns over continuously and the steady-state matrix
+  /// size is bounded by the window instead of growing with the run.
+  int expire_every_hours = 0;
+  int window_horizon_hours = 0;
+
   // ---- gates (0 disables each) ----
   /// Top-k size for the final ranking-quality probe.
   size_t quality_k = 10;
@@ -107,6 +115,14 @@ struct SoakReport {
   size_t batches_dropped = 0;   ///< deltas lost after max_ingest_attempts
   size_t pages_emitted = 0;
   size_t fetch_failures = 0;
+
+  // ---- sliding-window churn (zero unless expire_every_hours is set) ----
+  size_t expirations = 0;        ///< successful ExpireWindow calls
+  size_t expire_failures = 0;    ///< failed (rolled-back) ExpireWindow calls
+  size_t expired_posts = 0;      ///< posts removed across all expirations
+  size_t expired_comments = 0;   ///< comments removed across all expirations
+  size_t final_matrix_nnz = 0;   ///< compiled-matrix nnz after the last tick
+  size_t peak_matrix_nnz = 0;    ///< max nnz observed at any tick
 
   // ---- read path (typed outcomes observed by the reader fleet) ----
   uint64_t queries_ok = 0;

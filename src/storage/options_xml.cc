@@ -52,6 +52,16 @@ Status OptInt(const xml::XmlNode& n, const char* key, int* out) {
   return Status::OK();
 }
 
+Status OptInt64(const xml::XmlNode& n, const char* key, int64_t* out) {
+  if (!n.HasAttr(key)) return Status::OK();
+  Result<int64_t> v = ParseInt64(n.Attr(key));
+  if (!v.ok()) {
+    return Status::Corruption(StrFormat("bad %s attribute", key));
+  }
+  *out = *v;
+  return Status::OK();
+}
+
 Status OptBool(const xml::XmlNode& n, const char* key, bool* out) {
   int v = *out ? 1 : 0;
   MASS_RETURN_IF_ERROR(OptInt(n, key, &v));
@@ -81,6 +91,10 @@ std::string EngineOptionsToXml(const EngineOptions& options) {
   w.Attribute("gl_method", GlMethodName(options.gl_method));
   w.Attribute("pagerank_damping", options.pagerank.damping);
   w.Attribute("recency_half_life_days", options.recency_half_life_days);
+  w.Attribute("window_as_of", options.window.as_of);
+  w.Attribute("window_horizon_secs", options.window.horizon_secs);
+  w.Attribute("expire_recompile_fraction",
+              options.expire_recompile_fraction);
   w.Attribute("analyzer_threads",
               static_cast<int64_t>(options.analyzer_threads));
   w.Attribute("use_compiled_solver",
@@ -127,6 +141,11 @@ Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text) {
       OptDouble(*root, "pagerank_damping", &o.pagerank.damping));
   MASS_RETURN_IF_ERROR(OptDouble(*root, "recency_half_life_days",
                                  &o.recency_half_life_days));
+  MASS_RETURN_IF_ERROR(OptInt64(*root, "window_as_of", &o.window.as_of));
+  MASS_RETURN_IF_ERROR(
+      OptInt64(*root, "window_horizon_secs", &o.window.horizon_secs));
+  MASS_RETURN_IF_ERROR(OptDouble(*root, "expire_recompile_fraction",
+                                 &o.expire_recompile_fraction));
   MASS_RETURN_IF_ERROR(
       OptInt(*root, "analyzer_threads", &o.analyzer_threads));
   MASS_RETURN_IF_ERROR(

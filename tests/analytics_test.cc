@@ -137,6 +137,114 @@ TEST(TrendTest, AllPostsSameTimestampSingleBucket) {
   }
 }
 
+// Regression: bucket edges must come from the exact span, not a
+// rounded-up bucket width. With 13 seconds tiled into 8 buckets the old
+// formula (width = ceil(13/8) = 2s) put the newest post at (12/2) =
+// bucket 6 and left bucket 7 structurally unreachable; exact tiling puts
+// it at floor(12*8/13) = bucket 7.
+TEST(TrendTest, GappedCorpusReachesTheLastBucket) {
+  Corpus c;
+  BloggerId b = c.AddBlogger({});
+  for (int64_t t : {int64_t{1000}, int64_t{1013}}) {
+    Post p;
+    p.author = b;
+    p.true_domain = 3;
+    p.content = "sparse timeline";
+    p.timestamp = t;
+    c.AddPost(std::move(p)).value();
+  }
+  c.BuildIndexes();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto trends = ComputeDomainTrends(engine, 8);
+  ASSERT_TRUE(trends.ok());
+  ASSERT_EQ(trends->num_buckets(), 8u);
+  EXPECT_EQ(trends->post_counts[0][3], 1u);
+  EXPECT_EQ(trends->post_counts[7][3], 1u);
+  for (size_t bk = 1; bk < 7; ++bk) {
+    EXPECT_EQ(trends->post_counts[bk][3], 0u) << "bucket " << bk;
+  }
+}
+
+TEST(TrendTest, WindowedTrendsBucketOnlyTheWindow) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto snap = engine.CurrentSnapshot();
+  ASSERT_NE(snap, nullptr);
+
+  // horizon 900000s back from the newest post (t=2000900) cuts off at
+  // t=1100900 — past every Travel post, keeping only the Sports phase.
+  WindowSpec w;
+  w.horizon_secs = 900'000;
+  auto trends = ComputeDomainTrends(*snap, 4, w);
+  ASSERT_TRUE(trends.ok()) << trends.status();
+  size_t travel = 0, sports = 0;
+  for (const auto& bucket : trends->post_counts) {
+    travel += bucket[0];
+    sports += bucket[6];
+  }
+  EXPECT_EQ(travel, 0u);
+  EXPECT_EQ(sports, 10u);
+  // The buckets tile the window's own range (cutoff..newest), so the
+  // early buckets — before the Sports phase starts — stay empty.
+  EXPECT_EQ(trends->start, 2'000'900 - 900'000);
+}
+
+TEST(TrendTest, WindowWithNoPostsYieldsZeroBuckets) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto snap = engine.CurrentSnapshot();
+  WindowSpec w;
+  w.as_of = 500'000;  // pinned before every post
+  w.horizon_secs = 1000;
+  auto trends = ComputeDomainTrends(*snap, 4, w);
+  ASSERT_TRUE(trends.ok()) << trends.status();
+  for (const auto& bucket : trends->post_counts) {
+    for (size_t d = 0; d < bucket.size(); ++d) {
+      EXPECT_EQ(bucket[d], 0u);
+    }
+  }
+}
+
+// ---------- rising bloggers ----------
+
+TEST(RisingTest, AthleteRisesInSports) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto snap = engine.CurrentSnapshot();
+  auto rising = RisingInDomain(*snap, /*domain=*/6, /*k=*/2);
+  ASSERT_TRUE(rising.ok()) << rising.status();
+  ASSERT_FALSE(rising->empty());
+  // All Sports posts sit in the later half of the range, so the athlete
+  // leads with a strictly positive growth score.
+  EXPECT_EQ((*rising)[0].id, BloggerId{1});
+  EXPECT_GT((*rising)[0].score, 0.0);
+}
+
+TEST(RisingTest, RejectsOutOfRangeDomain) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto snap = engine.CurrentSnapshot();
+  EXPECT_TRUE(RisingInDomain(*snap, 99, 5).status().IsInvalidArgument());
+}
+
+TEST(RisingTest, EmptyWindowGivesEmptyRanking) {
+  Corpus c = TrendCorpus();
+  MassEngine engine(&c);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  auto snap = engine.CurrentSnapshot();
+  WindowSpec w;
+  w.as_of = 500'000;
+  w.horizon_secs = 1000;
+  auto rising = RisingInDomain(*snap, 6, 5, w);
+  ASSERT_TRUE(rising.ok()) << rising.status();
+  EXPECT_TRUE(rising->empty());
+}
+
 TEST(TrendTest, InfluenceMassTotalsMatchEngine) {
   Corpus c = TrendCorpus();
   MassEngine engine(&c);

@@ -550,6 +550,172 @@ TEST(QueryServiceTest, QueriesMatchSnapshotSurfaces) {
   EXPECT_EQ(trends->num_buckets(), 4u);
 }
 
+// ---------- the typed request/response envelope ----------
+
+void ExpectSameRanking(const std::vector<ScoredBlogger>& a,
+                       const std::vector<ScoredBlogger>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "i=" << i;
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-12) << "i=" << i;
+  }
+}
+
+// Every legacy single-query method is now a shim over Run(QueryRequest);
+// the envelope must answer identically (<= 1e-12) on all seven surfaces.
+TEST(EnvelopeTest, RunMatchesLegacyShims) {
+  Corpus corpus = SourceCorpus(25, 50, 200);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+
+  auto top = service.Run(QueryRequest::TopGeneral(5));
+  ASSERT_TRUE(top.ok());
+  ExpectSameRanking(top->ranking, *service.TopGeneral(5));
+
+  auto dom = service.Run(QueryRequest::TopByDomain(3, 5));
+  ASSERT_TRUE(dom.ok());
+  ExpectSameRanking(dom->ranking, *service.TopByDomain(3, 5));
+
+  std::vector<double> weights(10, 0.0);
+  weights[3] = 0.7;
+  weights[5] = 0.3;
+  auto ad = service.Run(QueryRequest::MatchAd(weights, 5));
+  ASSERT_TRUE(ad.ok());
+  ExpectSameRanking(ad->ranking, *service.MatchAdvertisement(weights, 5));
+
+  auto posts = service.Run(QueryRequest::TopPosts(3, 5));
+  ASSERT_TRUE(posts.ok());
+  auto legacy_posts = service.TopPosts(3, 5);
+  ASSERT_TRUE(legacy_posts.ok());
+  ASSERT_EQ(posts->posts.size(), legacy_posts->size());
+  for (size_t i = 0; i < legacy_posts->size(); ++i) {
+    EXPECT_EQ(posts->posts[i].id, (*legacy_posts)[i].id);
+  }
+
+  BloggerId top_blogger = top->ranking[0].id;
+  auto details = service.Run(QueryRequest::Details(top_blogger));
+  ASSERT_TRUE(details.ok());
+  auto legacy_details = service.Details(top_blogger);
+  ASSERT_TRUE(legacy_details.ok());
+  EXPECT_EQ(details->details.name, legacy_details->name);
+  EXPECT_NEAR(details->details.total_influence,
+              legacy_details->total_influence, 1e-12);
+  EXPECT_EQ(details->details.key_posts.size(),
+            legacy_details->key_posts.size());
+
+  auto similar = service.Run(QueryRequest::Similar(top_blogger, 5));
+  ASSERT_TRUE(similar.ok());
+  ExpectSameRanking(similar->ranking,
+                    *service.SimilarInfluencers(top_blogger, 5));
+
+  auto trends = service.Run(QueryRequest::Trends(4));
+  ASSERT_TRUE(trends.ok());
+  auto legacy_trends = service.Trends(4);
+  ASSERT_TRUE(legacy_trends.ok());
+  EXPECT_EQ(trends->trends.num_buckets(), legacy_trends->num_buckets());
+  EXPECT_EQ(trends->trends.HottestDomain(), legacy_trends->HottestDomain());
+
+  // Typed errors pass through the envelope unchanged.
+  EXPECT_TRUE(service.Run(QueryRequest::TopByDomain(99, 5))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(service.Run(QueryRequest::MatchAd({}, 5))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// A heterogeneous batch answers each slot exactly as the single-query
+// path would — the acceptance bar for the one-envelope redesign — and a
+// bad slot never poisons its neighbours.
+TEST(EnvelopeTest, BatchMatchesSinglesWithIsolatedErrorSlots) {
+  Corpus corpus = SourceCorpus(26, 50, 200);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+
+  std::vector<double> weights(10, 0.0);
+  weights[2] = 1.0;
+  std::vector<QueryRequest> batch = {
+      QueryRequest::TopGeneral(5),
+      QueryRequest::TopByDomain(99, 5),  // invalid domain: this slot only
+      QueryRequest::MatchAd(weights, 5),
+      QueryRequest::Trends(3),
+      QueryRequest::Rising(2, 5),
+  };
+  std::vector<QueryResponse> out;
+  ASSERT_TRUE(service.Run(batch, &out).ok());
+  ASSERT_EQ(out.size(), batch.size());
+
+  EXPECT_TRUE(out[0].status.ok());
+  EXPECT_TRUE(out[1].status.IsInvalidArgument());
+  EXPECT_TRUE(out[1].ranking.empty());
+  EXPECT_TRUE(out[2].status.ok());
+  EXPECT_TRUE(out[3].status.ok());
+  EXPECT_TRUE(out[4].status.ok());
+
+  for (size_t i : {size_t{0}, size_t{2}, size_t{4}}) {
+    auto single = service.Run(batch[i]);
+    ASSERT_TRUE(single.ok()) << "slot " << i;
+    ExpectSameRanking(out[i].ranking, single->ranking);
+  }
+  EXPECT_EQ(out[3].trends.num_buckets(), 3u);
+}
+
+// The same request restricted with Within() serves the windowed surfaces:
+// rankings re-rank on windowed scores, details drop out-of-window key
+// posts, and kRising answers from the window's own range.
+TEST(EnvelopeTest, WindowedQueriesServeTheWindow) {
+  Corpus corpus = SourceCorpus(27, 50, 200);
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  QueryService service(&engine);
+  auto snap = service.Pin();
+  ASSERT_NE(snap, nullptr);
+
+  int64_t newest = 0, oldest = std::numeric_limits<int64_t>::max();
+  for (int64_t t : snap->post_timestamps) {
+    newest = std::max(newest, t);
+    oldest = std::min(oldest, t);
+  }
+  WindowSpec w;
+  w.horizon_secs = (newest - oldest) / 2;
+
+  auto top = service.Run(QueryRequest::TopGeneral(10).Within(w));
+  ASSERT_TRUE(top.ok());
+  ExpectSameRanking(top->ranking, snap->TopKGeneralWindowed(10, w));
+
+  auto dom = service.Run(QueryRequest::TopByDomain(3, 5).Within(w));
+  ASSERT_TRUE(dom.ok());
+  auto dom_expected = snap->TopKDomainWindowed(3, 5, w);
+  ASSERT_TRUE(dom_expected.ok());
+  ExpectSameRanking(dom->ranking, *dom_expected);
+
+  // Windowed details: every surviving key post is inside the window.
+  const int64_t cutoff = newest - w.horizon_secs;
+  BloggerId top_blogger = top->ranking[0].id;
+  auto details = service.Run(QueryRequest::Details(top_blogger).Within(w));
+  ASSERT_TRUE(details.ok());
+  for (const auto& kp : details->details.key_posts) {
+    ASSERT_LT(kp.id, snap->post_timestamps.size());
+    EXPECT_GE(snap->post_timestamps[kp.id], cutoff) << "key post " << kp.id;
+  }
+
+  auto rising = service.Run(QueryRequest::Rising(3, 5).Within(w));
+  ASSERT_TRUE(rising.ok());
+  ExpectSameRanking(rising->ranking, *service.Rising(3, 5, w));
+
+  // A window pinned before every post is a valid, empty answer.
+  WindowSpec empty_w;
+  empty_w.as_of = oldest - 1000;
+  empty_w.horizon_secs = 10;
+  auto empty = service.Run(QueryRequest::TopGeneral(5).Within(empty_w));
+  ASSERT_TRUE(empty.ok());
+  for (const ScoredBlogger& sb : empty->ranking) {
+    EXPECT_DOUBLE_EQ(sb.score, 0.0);
+  }
+}
+
 // ---------- XML round-trip serving ----------
 
 TEST(QueryServiceTest, ServesLoadedAnalysisIdentically) {

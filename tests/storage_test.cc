@@ -192,6 +192,9 @@ TEST(OptionsXmlTest, CustomValuesRoundTrip) {
   o.max_iterations = 33;
   o.tolerance = 1e-6;
   o.damping = 0.2;
+  o.window.as_of = 1'700'000'000;
+  o.window.horizon_secs = 7 * 24 * 3600;
+  o.expire_recompile_fraction = 0.5;
   auto loaded = EngineOptionsFromXml(EngineOptionsToXml(o));
   ASSERT_TRUE(loaded.ok());
   EXPECT_DOUBLE_EQ(loaded->alpha, 0.25);
@@ -209,6 +212,9 @@ TEST(OptionsXmlTest, CustomValuesRoundTrip) {
   EXPECT_EQ(loaded->max_iterations, 33);
   EXPECT_DOUBLE_EQ(loaded->tolerance, 1e-6);
   EXPECT_DOUBLE_EQ(loaded->damping, 0.2);
+  EXPECT_EQ(loaded->window.as_of, 1'700'000'000);
+  EXPECT_EQ(loaded->window.horizon_secs, 7 * 24 * 3600);
+  EXPECT_DOUBLE_EQ(loaded->expire_recompile_fraction, 0.5);
 }
 
 TEST(OptionsXmlTest, MissingAttributesKeepDefaults) {

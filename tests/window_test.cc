@@ -1,0 +1,441 @@
+// Sliding-window tests: solve-time window/decay weighting, ExpireWindow
+// parity with a cold Analyze over the shrunk corpus (all 16 facet
+// ablations, unsharded and K=4), the transactional expiry rollback, the
+// MutationResult -> engine.mutation.* metrics round trip, and a property
+// test interleaving random deltas and expirations against
+// analyze-from-scratch.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine_fault.h"
+#include "core/influence_engine.h"
+#include "crawler/delta_stream.h"
+#include "crawler/synthetic_host.h"
+#include "obs/metrics.h"
+#include "synth/generator.h"
+
+namespace mass {
+namespace {
+
+Corpus SourceCorpus(uint64_t seed = 5, size_t bloggers = 60,
+                    size_t posts = 240) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = bloggers;
+  o.target_posts = posts;
+  auto r = synth::GenerateBlogosphere(o);
+  if (!r.ok()) std::abort();
+  return std::move(*r);
+}
+
+EngineOptions TightOptions() {
+  // Warm and cold solves converge to the same unique fixed point only to
+  // within tolerance-scaled error; solving to 1e-12 makes the 1e-9
+  // comparisons below meaningful.
+  // The 2000-iteration cap matters for the un-normalized citation facet
+  // (use_citation on, use_tc_normalization off), which converges slowly;
+  // at 300 iterations warm and cold solves stop at different iterates.
+  EngineOptions opts;
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 2000;
+  return opts;
+}
+
+int64_t NewestPostTimestamp(const Corpus& corpus) {
+  int64_t newest = 0;
+  for (const Post& p : corpus.posts()) {
+    newest = std::max(newest, p.timestamp);
+  }
+  return newest;
+}
+
+int64_t OldestPostTimestamp(const Corpus& corpus) {
+  int64_t oldest = std::numeric_limits<int64_t>::max();
+  for (const Post& p : corpus.posts()) {
+    oldest = std::min(oldest, p.timestamp);
+  }
+  return oldest;
+}
+
+/// A horizon that keeps roughly the newer half of `corpus`.
+WindowSpec HalfWindow(const Corpus& corpus) {
+  WindowSpec w;
+  w.horizon_secs =
+      (NewestPostTimestamp(corpus) - OldestPostTimestamp(corpus)) / 2;
+  if (w.horizon_secs <= 0) w.horizon_secs = 1;
+  return w;
+}
+
+void ExpectEngineParity(const MassEngine& live, const MassEngine& fresh,
+                        const Corpus& corpus, double tol) {
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    ASSERT_NEAR(live.InfluenceOf(b), fresh.InfluenceOf(b), tol) << "b=" << b;
+    ASSERT_NEAR(live.AccumulatedPostOf(b), fresh.AccumulatedPostOf(b), tol)
+        << "b=" << b;
+    ASSERT_NEAR(live.GeneralLinksOf(b), fresh.GeneralLinksOf(b), tol)
+        << "b=" << b;
+    for (size_t d = 0; d < 10; ++d) {
+      ASSERT_NEAR(live.DomainInfluenceOf(b, d), fresh.DomainInfluenceOf(b, d),
+                  tol)
+          << "b=" << b << " d=" << d;
+    }
+  }
+  for (PostId p = 0; p < corpus.num_posts(); ++p) {
+    ASSERT_NEAR(live.PostInfluenceOf(p), fresh.PostInfluenceOf(p), tol)
+        << "p=" << p;
+  }
+}
+
+// ---------- solve-time window weighting ----------
+
+// The solve-time window zeroes the score-side contribution of aged
+// posts: anything older than anchor - horizon gets zero recency weight,
+// so its post influence vanishes while in-window posts keep theirs.
+// (General links are untouched by design — the scoring window is a
+// weighting, the physical shrink is ExpireWindow; ExpireParityTest
+// below checks the two agree after the shrink.)
+TEST(WindowWeightingTest, WindowZeroesAgedPosts) {
+  Corpus corpus = SourceCorpus(11);
+  EngineOptions opts = TightOptions();
+  opts.window = HalfWindow(corpus);
+
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  const int64_t cutoff =
+      NewestPostTimestamp(corpus) - opts.window.horizon_secs;
+  size_t aged = 0;
+  double in_window_influence = 0.0;
+  for (const Post& p : corpus.posts()) {
+    if (p.timestamp < cutoff) {
+      ++aged;
+      EXPECT_DOUBLE_EQ(engine.PostInfluenceOf(p.id), 0.0) << "p=" << p.id;
+    } else {
+      in_window_influence += engine.PostInfluenceOf(p.id);
+    }
+  }
+  EXPECT_GT(aged, 0u);
+  EXPECT_GT(in_window_influence, 0.0);
+}
+
+TEST(WindowWeightingTest, PinnedAsOfExcludesNewerPosts) {
+  Corpus corpus = SourceCorpus(12);
+  const int64_t newest = NewestPostTimestamp(corpus);
+  const int64_t oldest = OldestPostTimestamp(corpus);
+
+  EngineOptions opts = TightOptions();
+  opts.window.as_of = oldest + (newest - oldest) / 2;
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  // Every post newer than the pinned as_of is outside the window.
+  for (const Post& p : corpus.posts()) {
+    if (p.timestamp > opts.window.as_of) {
+      EXPECT_DOUBLE_EQ(engine.PostInfluenceOf(p.id), 0.0) << "p=" << p.id;
+    }
+  }
+}
+
+TEST(WindowWeightingTest, DisabledWindowChangesNothing) {
+  Corpus a = SourceCorpus(13);
+  Corpus b = SourceCorpus(13);
+  EngineOptions opts = TightOptions();
+  MassEngine plain(&a, opts);
+  ASSERT_TRUE(plain.Analyze(nullptr, 10).ok());
+  EngineOptions wopts = opts;
+  wopts.window = WindowSpec{};  // disabled
+  MassEngine windowed(&b, wopts);
+  ASSERT_TRUE(windowed.Analyze(nullptr, 10).ok());
+  ExpectEngineParity(plain, windowed, a, 0.0);
+}
+
+// ---------- ExpireWindow preconditions and edges ----------
+
+TEST(ExpireWindowTest, RequiresMutableCorpusConstructor) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  const Corpus* read_only = &corpus;
+  MassEngine engine(read_only);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  EXPECT_TRUE(engine.ExpireWindow(WindowSpec{}).IsFailedPrecondition());
+}
+
+TEST(ExpireWindowTest, RequiresPriorAnalyze) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  EXPECT_TRUE(engine.ExpireWindow(WindowSpec{}).IsFailedPrecondition());
+}
+
+TEST(ExpireWindowTest, RejectsNegativeBounds) {
+  Corpus corpus = synth::MakeFigure1Corpus();
+  MassEngine engine(&corpus);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  WindowSpec w;
+  w.horizon_secs = -1;
+  EXPECT_TRUE(engine.ExpireWindow(w).IsInvalidArgument());
+}
+
+TEST(ExpireWindowTest, RepeatedSameWindowIsNoOp) {
+  Corpus corpus = SourceCorpus(14);
+  MassEngine engine(&corpus, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  WindowSpec w = HalfWindow(corpus);
+  MutationResult first;
+  ASSERT_TRUE(engine.ExpireWindow(w, &first).ok());
+  EXPECT_TRUE(first.applied);
+  EXPECT_GT(first.removed_posts, 0u);
+
+  // Same window again: nothing newly aged, weighting already in place —
+  // a validated no-op that keeps the published snapshot.
+  auto before = engine.CurrentSnapshot();
+  MutationResult second;
+  ASSERT_TRUE(engine.ExpireWindow(w, &second).ok());
+  EXPECT_FALSE(second.applied);
+  EXPECT_EQ(second.removed_posts, 0u);
+  EXPECT_EQ(engine.CurrentSnapshot().get(), before.get());
+}
+
+TEST(ExpireWindowTest, ExpireEverythingLeavesServableEmptyCorpus) {
+  Corpus corpus = SourceCorpus(15);
+  const size_t nb = corpus.num_bloggers();
+  MassEngine engine(&corpus, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  WindowSpec w;
+  w.as_of = NewestPostTimestamp(corpus) + 10;
+  w.horizon_secs = 5;  // cutoff beyond every timestamp
+  MutationResult mr;
+  ASSERT_TRUE(engine.ExpireWindow(w, &mr).ok());
+  EXPECT_TRUE(mr.applied);
+  EXPECT_EQ(corpus.num_posts(), 0u);
+  EXPECT_EQ(corpus.num_comments(), 0u);
+  EXPECT_EQ(corpus.num_bloggers(), nb);  // bloggers outlive any window
+  auto snap = engine.CurrentSnapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->num_posts(), 0u);
+  for (BloggerId b = 0; b < nb; ++b) {
+    EXPECT_TRUE(std::isfinite(engine.InfluenceOf(b)));
+  }
+}
+
+TEST(ExpireWindowTest, ColdStartEmptyCorpusIsFine) {
+  Corpus corpus;
+  corpus.BuildIndexes();
+  MassEngine engine(&corpus, TightOptions());
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  WindowSpec w;
+  w.horizon_secs = 3600;
+  MutationResult mr;
+  ASSERT_TRUE(engine.ExpireWindow(w, &mr).ok());
+  EXPECT_EQ(mr.removed_posts, 0u);
+}
+
+// ---------- warm-vs-cold parity across the ablation grid ----------
+
+void ExpectExpireParity(EngineOptions opts, const std::string& label) {
+  SCOPED_TRACE(label);
+  Corpus live_corpus = SourceCorpus(21);
+  MassEngine live(&live_corpus, opts);
+  ASSERT_TRUE(live.Analyze(nullptr, 10).ok());
+
+  WindowSpec w = HalfWindow(live_corpus);
+  MutationResult mr;
+  ASSERT_TRUE(live.ExpireWindow(w, &mr).ok());
+  ASSERT_GT(mr.removed_posts, 0u);
+
+  // Cold reference: a fresh Analyze over the post-expiry corpus with the
+  // same window in force.
+  Corpus fresh_corpus = live_corpus;
+  EngineOptions fresh_opts = opts;
+  fresh_opts.window = w;
+  MassEngine fresh(&fresh_corpus, fresh_opts);
+  ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+  ExpectEngineParity(live, fresh, live_corpus, 1e-9);
+}
+
+TEST(ExpireParityTest, AllFacetAblations) {
+  for (int mask = 0; mask < 16; ++mask) {
+    EngineOptions opts = TightOptions();
+    opts.use_citation = (mask & 1) != 0;
+    opts.use_attitude = (mask & 2) != 0;
+    opts.use_novelty = (mask & 4) != 0;
+    opts.use_tc_normalization = (mask & 8) != 0;
+    ExpectExpireParity(opts, "facet mask " + std::to_string(mask));
+  }
+}
+
+TEST(ExpireParityTest, AllFacetAblationsSharded) {
+  for (int mask = 0; mask < 16; ++mask) {
+    EngineOptions opts = TightOptions();
+    opts.use_citation = (mask & 1) != 0;
+    opts.use_attitude = (mask & 2) != 0;
+    opts.use_novelty = (mask & 4) != 0;
+    opts.use_tc_normalization = (mask & 8) != 0;
+    opts.num_shards = 4;
+    ExpectExpireParity(opts, "sharded facet mask " + std::to_string(mask));
+  }
+}
+
+TEST(ExpireParityTest, WithDecayAndReferenceSolver) {
+  EngineOptions opts = TightOptions();
+  opts.recency_half_life_days = 30.0;
+  ExpectExpireParity(opts, "decay on");
+  opts.use_compiled_solver = false;
+  ExpectExpireParity(opts, "decay on, reference solver");
+}
+
+// ---------- transactional rollback ----------
+
+TEST(ExpireRollbackTest, InjectedFaultRollsBackBitwise) {
+  Corpus corpus = SourceCorpus(22);
+  EngineFaultPlan faults;
+  faults.seed = 7;
+  faults.ingest_failure_rate = 1.0;  // kIngestPipeline fires every draw
+
+  EngineOptions opts = TightOptions();
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  // Arm the faults only for the expiry (Analyze must succeed above),
+  // then capture the state the rollback must restore bit for bit.
+  opts.fault_plan = &faults;
+  ASSERT_TRUE(engine.Retune(opts).ok());
+  const size_t posts_before = corpus.num_posts();
+  const size_t comments_before = corpus.num_comments();
+  std::vector<double> influence_before;
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    influence_before.push_back(engine.InfluenceOf(b));
+  }
+  auto snap_before = engine.CurrentSnapshot();
+
+  MutationResult mr;
+  Status s = engine.ExpireWindow(HalfWindow(corpus), &mr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(mr.rolled_back);
+  EXPECT_FALSE(mr.applied);
+
+  // Bitwise rollback: corpus shape, every published score, and the
+  // snapshot pointer are exactly the pre-expiry ones.
+  EXPECT_EQ(corpus.num_posts(), posts_before);
+  EXPECT_EQ(corpus.num_comments(), comments_before);
+  EXPECT_EQ(engine.CurrentSnapshot().get(), snap_before.get());
+  for (BloggerId b = 0; b < corpus.num_bloggers(); ++b) {
+    EXPECT_EQ(engine.InfluenceOf(b), influence_before[b]) << "b=" << b;
+  }
+
+  // Disarm and retry: the same expiry now succeeds on the restored state.
+  opts.fault_plan = nullptr;
+  ASSERT_TRUE(engine.Retune(opts).ok());
+  ASSERT_TRUE(engine.ExpireWindow(HalfWindow(corpus), &mr).ok());
+  EXPECT_TRUE(mr.applied);
+  EXPECT_GT(mr.removed_posts, 0u);
+}
+
+// ---------- MutationResult <-> metrics round trip ----------
+
+TEST(MutationMetricsTest, IngestAndExpireRoundTrip) {
+  obs::MetricsRegistry metrics;
+  Corpus src = SourceCorpus(23);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+
+  Corpus grown;
+  grown.BuildIndexes();
+  EngineOptions opts = TightOptions();
+  opts.metrics = &metrics;
+  MassEngine engine(&grown, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+  size_t added_posts = 0;
+  DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 16});
+  while (!stream.done()) {
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok());
+    MutationResult mr;
+    ASSERT_TRUE(engine.IngestDelta(*delta, nullptr, &mr).ok());
+    EXPECT_EQ(mr.op, "ingest");
+    EXPECT_TRUE(mr.applied);
+    added_posts += mr.added_posts;
+  }
+  EXPECT_EQ(added_posts, src.num_posts());
+
+  MutationResult expire;
+  ASSERT_TRUE(engine.ExpireWindow(HalfWindow(grown), &expire).ok());
+  EXPECT_EQ(expire.op, "expire");
+  ASSERT_GT(expire.removed_posts, 0u);
+
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("engine.mutation.added_posts_total"),
+            added_posts);
+  EXPECT_EQ(snap.CounterValue("engine.mutation.removed_posts_total"),
+            expire.removed_posts);
+  EXPECT_EQ(snap.CounterValue("engine.mutation.removed_comments_total"),
+            expire.removed_comments);
+  EXPECT_EQ(snap.CounterValue("engine.expire_runs_total"), 1u);
+  EXPECT_EQ(snap.CounterValue("engine.expire_rollbacks_total"), 0u);
+  const obs::GaugeSample* nnz = snap.FindGauge("engine.mutation.matrix_nnz");
+  ASSERT_NE(nnz, nullptr);
+  EXPECT_EQ(static_cast<size_t>(nnz->value), expire.matrix_nnz);
+  const obs::GaugeSample* delta_nnz =
+      snap.FindGauge("engine.mutation.matrix_nnz_delta");
+  ASSERT_NE(delta_nnz, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(delta_nnz->value), expire.matrix_nnz_delta);
+}
+
+// ---------- property test: random delta/expiry interleavings ----------
+
+TEST(WindowPropertyTest, RandomInterleavingsMatchAnalyzeFromScratch) {
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Corpus src = SourceCorpus(seed, /*bloggers=*/40, /*posts=*/160);
+    SyntheticBlogHost host(&src);
+    std::vector<std::string> urls;
+    for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+      urls.push_back(host.UrlOf(b));
+    }
+
+    // One fixed sliding window, re-applied between random ingests; the
+    // anchor floats with the corpus-newest timestamp like a live feed.
+    WindowSpec w;
+    w.horizon_secs = 86'400 * 200;
+
+    Corpus grown;
+    grown.BuildIndexes();
+    EngineOptions opts = TightOptions();
+    MassEngine engine(&grown, opts);
+    ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+
+    std::mt19937 rng(static_cast<uint32_t>(seed));
+    DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 5});
+    bool expired_once = false;
+    while (!stream.done()) {
+      auto delta = stream.Next();
+      ASSERT_TRUE(delta.ok());
+      ASSERT_TRUE(engine.IngestDelta(*delta, nullptr).ok());
+      if (rng() % 3 == 0) {
+        ASSERT_TRUE(engine.ExpireWindow(w).ok());
+        expired_once = true;
+      }
+    }
+    if (!expired_once) ASSERT_TRUE(engine.ExpireWindow(w).ok());
+
+    // Reference: a cold Analyze over the surviving corpus with the same
+    // window in force.
+    Corpus fresh_corpus = grown;
+    EngineOptions fresh_opts = opts;
+    fresh_opts.window = w;
+    MassEngine fresh(&fresh_corpus, fresh_opts);
+    ASSERT_TRUE(fresh.Analyze(nullptr, 10).ok());
+    ExpectEngineParity(engine, fresh, grown, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mass
