@@ -4,10 +4,17 @@
 // synth::GenerateScaledBlogosphere, plus the shard-plumbing costs the obs
 // layer records (halo size, boundary-exchange and per-shard SpMV time).
 //
+// Since the shard runtime the grid carries a transport dimension: every
+// sharded cell runs over both the inproc transport (worker threads +
+// lock-free queues) and the pipe transport (one forked worker process
+// per shard, socketpair frames), with the per-round payload volume
+// (bytes_per_round) recorded next to the wall times — the cost of
+// leaving the process made legible.
+//
 // The sharded path is bit-identical to the unsharded one by construction
-// (see src/shard/), and this bench re-checks that on every cell: the
-// composite snapshot's merged top-100 must match the dense K=1 ranking
-// byte-for-byte, else the binary exits non-zero.
+// (see src/shard/), and this bench re-checks that on every cell — over
+// either transport: the composite snapshot's merged top-100 must match
+// the dense K=1 ranking byte-for-byte, else the binary exits non-zero.
 //
 // A note on reading the numbers: sharding exists for cache locality and
 // memory partitioning at scale, not thread-level speedup — the SpMV was
@@ -15,12 +22,16 @@
 // container) every shard count runs the same serial work plus the
 // exchange overhead, so flat-to-slightly-worse times across K are the
 // expected, honest result; the JSON records hardware_threads so readers
-// can tell which regime a run measured.
+// can tell which regime a run measured. The pipe cells additionally pay
+// slice shipping and per-round serialization — they exist to price the
+// process seam, not to win.
 //
 // Results go to stdout and BENCH_shard.json in the current working
 // directory. `--smoke` runs the same grid on a ~30k-blogger corpus in a
 // few seconds (same bit-identity gate); ctest runs it under the `perf`
-// label as perf_shard_smoke.
+// label as perf_shard_smoke. `--ipc-smoke` is the narrow CI gate for the
+// pipe transport alone (perf_shard_ipc_smoke): small corpus, K in {2,4},
+// forked workers, byte-identity or non-zero exit.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -33,6 +44,7 @@
 #include "common/stopwatch.h"
 #include "core/influence_engine.h"
 #include "obs/metrics.h"
+#include "runtime/transport.h"
 #include "synth/generator.h"
 
 namespace mass {
@@ -42,40 +54,55 @@ constexpr size_t kFullBloggers = 1'000'000;
 constexpr size_t kFullPosts = 2'000'000;
 constexpr size_t kSmokeBloggers = 30'000;
 constexpr size_t kSmokePosts = 60'000;
+constexpr size_t kIpcSmokeBloggers = 8'000;
+constexpr size_t kIpcSmokePosts = 16'000;
 constexpr size_t kTopK = 100;
 
 struct ShardCell {
   size_t shards = 0;
+  const char* transport = "-";  // "-" for the dense K=1 cell
   double retune_seconds = 0;  // solve + publish, wall clock around Retune
   double solve_seconds = 0;   // SolveTrace.solve_seconds (solver only)
   int iterations = 0;
   double halo_entries = 0;
   uint64_t exchange_us = 0;  // boundary exchange, summed over rounds
   uint64_t spmv_us = 0;      // per-shard SpMV time, summed over shards
+  uint64_t bytes_per_round = 0;  // transport payload volume / iterations
 };
 
-EngineOptions OptsForShards(size_t shards) {
+EngineOptions OptsForShards(size_t shards, runtime::TransportKind kind) {
   EngineOptions o;
   o.use_compiled_solver = true;
   o.num_shards = shards;
+  o.shard_transport = kind;
   return o;
 }
 
-// Retunes `engine` to `shards` shards `repeats` times and returns the
-// best-of cell (single-run numbers, never averages). The shard metrics
-// are cumulative histograms, so each run is windowed with HistogramDelta.
-bool MeasureCell(MassEngine* engine, size_t shards, int repeats,
-                 ShardCell* cell) {
+uint64_t CounterDelta(const obs::MetricsSnapshot& end,
+                      const obs::MetricsSnapshot& start, const char* name) {
+  const uint64_t e = end.CounterValue(name);
+  const uint64_t s = start.CounterValue(name);
+  return e >= s ? e - s : 0;
+}
+
+// Retunes `engine` to `shards` shards over `kind` `repeats` times and
+// returns the best-of cell (single-run numbers, never averages). The
+// shard metrics are cumulative, so each run is windowed against the
+// pre-run snapshot.
+bool MeasureCell(MassEngine* engine, size_t shards,
+                 runtime::TransportKind kind, int repeats, ShardCell* cell) {
   cell->shards = shards;
+  cell->transport =
+      shards > 1 ? runtime::TransportKindName(kind).data() : "-";
   cell->retune_seconds = 1e100;
   for (int r = 0; r < repeats; ++r) {
     const obs::MetricsSnapshot before = engine->Observability().metrics;
     Stopwatch sw;
-    Status s = engine->Retune(OptsForShards(shards));
+    Status s = engine->Retune(OptsForShards(shards, kind));
     const double wall = sw.ElapsedSeconds();
     if (!s.ok()) {
-      std::fprintf(stderr, "retune(%zu shards): %s\n", shards,
-                   s.ToString().c_str());
+      std::fprintf(stderr, "retune(%zu shards, %s): %s\n", shards,
+                   cell->transport, s.ToString().c_str());
       return false;
     }
     if (wall >= cell->retune_seconds) continue;
@@ -100,6 +127,12 @@ bool MeasureCell(MassEngine* engine, size_t shards, int repeats,
     cell->spmv_us = sp_end != nullptr && sp_start != nullptr
                         ? obs::HistogramDelta(*sp_end, *sp_start).sum
                         : 0;
+    const uint64_t bytes =
+        CounterDelta(ob.metrics, before, "shard.transport.bytes_total");
+    cell->bytes_per_round =
+        cell->iterations > 0
+            ? bytes / static_cast<uint64_t>(cell->iterations)
+            : bytes;
   }
   return true;
 }
@@ -107,18 +140,20 @@ bool MeasureCell(MassEngine* engine, size_t shards, int repeats,
 // The correctness gate: the composite snapshot's lazy merge must produce
 // the same bytes as the dense K=1 ranking.
 bool TopKMatches(const std::vector<ScoredBlogger>& got,
-                 const std::vector<ScoredBlogger>& want, size_t shards) {
+                 const std::vector<ScoredBlogger>& want, size_t shards,
+                 const char* transport) {
   if (got.size() != want.size()) {
-    std::fprintf(stderr, "top-k size mismatch at %zu shards: %zu vs %zu\n",
-                 shards, got.size(), want.size());
+    std::fprintf(stderr,
+                 "top-k size mismatch at %zu shards (%s): %zu vs %zu\n",
+                 shards, transport, got.size(), want.size());
     return false;
   }
   for (size_t i = 0; i < got.size(); ++i) {
     if (got[i].id != want[i].id || got[i].score != want[i].score) {
       std::fprintf(stderr,
-                   "top-k diverges at %zu shards, rank %zu: "
+                   "top-k diverges at %zu shards (%s), rank %zu: "
                    "(%u, %.17g) vs (%u, %.17g)\n",
-                   shards, i, got[i].id, got[i].score, want[i].id,
+                   shards, transport, i, got[i].id, got[i].score, want[i].id,
                    want[i].score);
       return false;
     }
@@ -126,10 +161,7 @@ bool TopKMatches(const std::vector<ScoredBlogger>& got,
   return true;
 }
 
-// Runs the shard grid on a scaled corpus; returns false on any failure,
-// including a bit-identity violation. Fills `cells` (K=1 first).
-bool RunShardGrid(size_t num_bloggers, size_t num_posts, int repeats,
-                  std::vector<ShardCell>* cells, const Corpus** corpus_out) {
+Result<const Corpus*> GenerateCorpus(size_t num_bloggers, size_t num_posts) {
   synth::ScaledGeneratorOptions gen;
   gen.num_bloggers = num_bloggers;
   gen.num_posts = num_posts;
@@ -138,19 +170,31 @@ bool RunShardGrid(size_t num_bloggers, size_t num_posts, int repeats,
   Stopwatch gen_sw;
   static std::vector<std::unique_ptr<Corpus>> keep_alive;
   auto gen_result = synth::GenerateScaledBlogosphere(gen);
-  if (!gen_result.ok()) {
-    std::fprintf(stderr, "generation failed: %s\n",
-                 gen_result.status().ToString().c_str());
-    return false;
-  }
+  if (!gen_result.ok()) return gen_result.status();
   keep_alive.push_back(std::make_unique<Corpus>(std::move(*gen_result)));
   const Corpus& corpus = *keep_alive.back();
-  *corpus_out = &corpus;
   std::printf("generated in %.1fs: %zu posts, %zu comments, %zu links\n",
               gen_sw.ElapsedSeconds(), corpus.num_posts(),
               corpus.num_comments(), corpus.num_links());
+  return &corpus;
+}
 
-  MassEngine engine(&corpus, OptsForShards(1));
+// Runs the shard × transport grid on a scaled corpus; returns false on
+// any failure, including a bit-identity violation. Fills `cells` (dense
+// K=1 first, then each K over inproc and pipe).
+bool RunShardGrid(size_t num_bloggers, size_t num_posts, int repeats,
+                  std::vector<ShardCell>* cells, const Corpus** corpus_out) {
+  auto generated = GenerateCorpus(num_bloggers, num_posts);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return false;
+  }
+  const Corpus& corpus = **generated;
+  *corpus_out = &corpus;
+
+  MassEngine engine(&corpus,
+                    OptsForShards(1, runtime::TransportKind::kInProc));
   {
     Stopwatch sw;
     Status s = engine.Analyze(nullptr, 10);
@@ -163,15 +207,20 @@ bool RunShardGrid(size_t num_bloggers, size_t num_posts, int repeats,
 
   std::vector<ScoredBlogger> baseline;
   for (size_t shards : {1ul, 2ul, 4ul, 8ul}) {
-    ShardCell cell;
-    if (!MeasureCell(&engine, shards, repeats, &cell)) return false;
-    cells->push_back(cell);
-    const auto snap = engine.CurrentSnapshot();
-    const std::vector<ScoredBlogger> topk = snap->TopKGeneral(kTopK);
-    if (shards == 1) {
-      baseline = topk;
-    } else if (!TopKMatches(topk, baseline, shards)) {
-      return false;
+    for (runtime::TransportKind kind :
+         {runtime::TransportKind::kInProc, runtime::TransportKind::kPipe}) {
+      // The dense cell has no transport; measure it once.
+      if (shards == 1 && kind == runtime::TransportKind::kPipe) continue;
+      ShardCell cell;
+      if (!MeasureCell(&engine, shards, kind, repeats, &cell)) return false;
+      cells->push_back(cell);
+      const auto snap = engine.CurrentSnapshot();
+      const std::vector<ScoredBlogger> topk = snap->TopKGeneral(kTopK);
+      if (shards == 1) {
+        baseline = topk;
+      } else if (!TopKMatches(topk, baseline, shards, cell.transport)) {
+        return false;
+      }
     }
   }
   return true;
@@ -179,16 +228,19 @@ bool RunShardGrid(size_t num_bloggers, size_t num_posts, int repeats,
 
 void PrintCells(const std::vector<ShardCell>& cells) {
   const double base = cells.front().retune_seconds;
-  std::printf("%-8s %-12s %-12s %-7s %-12s %-12s %-12s %-8s\n", "shards",
-              "retune_s", "solve_s", "iters", "halo", "exchange_us",
-              "spmv_us", "vs_K=1");
+  std::printf("%-8s %-9s %-12s %-12s %-7s %-12s %-12s %-12s %-14s %-8s\n",
+              "shards", "transport", "retune_s", "solve_s", "iters", "halo",
+              "exchange_us", "spmv_us", "bytes_per_rnd", "vs_K=1");
   for (const ShardCell& c : cells) {
-    std::printf("%-8zu %-12.3f %-12.3f %-7d %-12.0f %-12llu %-12llu %-8.2f\n",
-                c.shards, c.retune_seconds, c.solve_seconds, c.iterations,
-                c.halo_entries,
-                static_cast<unsigned long long>(c.exchange_us),
-                static_cast<unsigned long long>(c.spmv_us),
-                base / c.retune_seconds);
+    std::printf(
+        "%-8zu %-9s %-12.3f %-12.3f %-7d %-12.0f %-12llu %-12llu %-14llu "
+        "%-8.2f\n",
+        c.shards, c.transport, c.retune_seconds, c.solve_seconds,
+        c.iterations, c.halo_entries,
+        static_cast<unsigned long long>(c.exchange_us),
+        static_cast<unsigned long long>(c.spmv_us),
+        static_cast<unsigned long long>(c.bytes_per_round),
+        base / c.retune_seconds);
   }
 }
 
@@ -211,19 +263,23 @@ void WriteJson(const Corpus& corpus, const std::vector<ShardCell>& cells,
                "\"comments\": %zu, \"links\": %zu},\n",
                corpus.num_bloggers(), corpus.num_posts(),
                corpus.num_comments(), corpus.num_links());
-  std::fprintf(f, "  \"top%zu_bit_identical_across_shards\": true,\n", kTopK);
+  std::fprintf(
+      f, "  \"top%zu_bit_identical_across_shards_and_transports\": true,\n",
+      kTopK);
   std::fprintf(f, "  \"cells\": [\n");
   for (size_t i = 0; i < cells.size(); ++i) {
     const ShardCell& c = cells[i];
     std::fprintf(f,
-                 "    {\"shards\": %zu, \"retune_seconds\": %.6f, "
+                 "    {\"shards\": %zu, \"transport\": \"%s\", "
+                 "\"retune_seconds\": %.6f, "
                  "\"solve_seconds\": %.6f, \"iterations\": %d, "
                  "\"halo_entries\": %.0f, \"exchange_us\": %llu, "
-                 "\"spmv_us\": %llu}%s\n",
-                 c.shards, c.retune_seconds, c.solve_seconds, c.iterations,
-                 c.halo_entries,
+                 "\"spmv_us\": %llu, \"bytes_per_round\": %llu}%s\n",
+                 c.shards, c.transport, c.retune_seconds, c.solve_seconds,
+                 c.iterations, c.halo_entries,
                  static_cast<unsigned long long>(c.exchange_us),
                  static_cast<unsigned long long>(c.spmv_us),
+                 static_cast<unsigned long long>(c.bytes_per_round),
                  i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -256,8 +312,48 @@ int RunSmoke() {
   }
   PrintCells(cells);
   std::printf("perf-shard-smoke: top-%zu bit-identical across "
-              "1/2/4/8 shards OK\n",
+              "1/2/4/8 shards x {inproc, pipe} OK\n",
               kTopK);
+  return 0;
+}
+
+// `--ipc-smoke`: the pipe-transport gate alone — tiny corpus, K in
+// {2, 4}, one forked worker process per shard, dense-vs-pipe byte
+// identity on the merged top-k. Runs in a couple of seconds; ctest wires
+// it as perf_shard_ipc_smoke.
+int RunIpcSmoke() {
+  auto generated = GenerateCorpus(kIpcSmokeBloggers, kIpcSmokePosts);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const Corpus& corpus = **generated;
+
+  MassEngine engine(&corpus,
+                    OptsForShards(1, runtime::TransportKind::kInProc));
+  if (Status s = engine.Analyze(nullptr, 10); !s.ok()) {
+    std::fprintf(stderr, "analyze failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::vector<ScoredBlogger> baseline =
+      engine.CurrentSnapshot()->TopKGeneral(kTopK);
+
+  for (size_t shards : {2ul, 4ul}) {
+    ShardCell cell;
+    if (!MeasureCell(&engine, shards, runtime::TransportKind::kPipe,
+                     /*repeats=*/1, &cell)) {
+      return 1;
+    }
+    const std::vector<ScoredBlogger> topk =
+        engine.CurrentSnapshot()->TopKGeneral(kTopK);
+    if (!TopKMatches(topk, baseline, shards, "pipe")) return 1;
+    std::printf("K=%zu pipe: retune %.3fs, %llu bytes/round, "
+                "top-%zu byte-identical\n",
+                shards, cell.retune_seconds,
+                static_cast<unsigned long long>(cell.bytes_per_round), kTopK);
+  }
+  std::printf("perf-shard-ipc-smoke: pipe transport byte-identity OK\n");
   return 0;
 }
 
@@ -267,6 +363,7 @@ int RunSmoke() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return mass::RunSmoke();
+    if (std::strcmp(argv[i], "--ipc-smoke") == 0) return mass::RunIpcSmoke();
   }
   return mass::RunFull();
 }

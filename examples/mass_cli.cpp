@@ -492,9 +492,24 @@ int CmdServe(const Flags& flags) {
     urls.push_back(host.UrlOf(b));
   }
 
+  // --shards K solves through the shard runtime; --transport picks how the
+  // coordinator reaches its workers (inproc threads or one forked process
+  // per shard). Results are bit-identical either way; only the exchange
+  // latency printed in the stats line differs.
+  EngineOptions eopts;
+  eopts.num_shards = static_cast<size_t>(flags.GetInt("shards", 0));
+  if (!runtime::TransportKindFromName(flags.Get("transport", "inproc"),
+                                      &eopts.shard_transport)) {
+    return Fail(Status::InvalidArgument("unknown --transport (inproc|pipe)"));
+  }
+  if (eopts.num_shards > 1) {
+    eopts.shard_message_deadline_micros = 250'000;
+  }
+  const bool sharded = eopts.num_shards > 1;
+
   Corpus grown;
   grown.BuildIndexes();
-  MassEngine engine(&grown);
+  MassEngine engine(&grown, eopts);
   if (Status s = engine.Analyze(nullptr, domains.size()); !s.ok()) {
     return Fail(s);
   }
@@ -542,7 +557,8 @@ int CmdServe(const Flags& flags) {
 
   // Periodic stats line: windowed QPS from the reader counter and p50/p99
   // from the serve latency histogram delta over the same window.
-  std::thread stats([&engine, &stop, &answered, qbatch, readers, leased]() {
+  std::thread stats([&engine, &stop, &answered, qbatch, readers, leased,
+                     sharded]() {
     const char* metric =
         qbatch > 0 ? "serve.batch.latency_us" : "serve.query.latency_us";
     uint64_t last_answered = answered.load(std::memory_order_relaxed);
@@ -567,9 +583,25 @@ int CmdServe(const Flags& flags) {
         p50 = w.P50();
         p99 = w.P99();
       }
-      std::printf("serve: %.2fM qps, %s p50 %.0fus p99 %.0fus, snapshot #%llu "
-                  "(readers=%d lease=%s batch=%llu)\n",
-                  qps / 1e6, qbatch > 0 ? "batch" : "query", p50, p99,
+      // With shards on, append the per-round boundary-exchange latency so
+      // the transport cost is visible next to the read-path latencies.
+      char xchg[64] = "";
+      if (sharded) {
+        double xp50 = 0.0;
+        const obs::HistogramSample* x1 =
+            cur.FindHistogram("shard.boundary.exchange_us");
+        const obs::HistogramSample* x0 =
+            last.FindHistogram("shard.boundary.exchange_us");
+        if (x1 != nullptr) {
+          obs::HistogramSample w =
+              x0 != nullptr ? obs::HistogramDelta(*x1, *x0) : *x1;
+          xp50 = w.P50();
+        }
+        std::snprintf(xchg, sizeof(xchg), ", xchg p50 %.0fus", xp50);
+      }
+      std::printf("serve: %.2fM qps, %s p50 %.0fus p99 %.0fus%s, "
+                  "snapshot #%llu (readers=%d lease=%s batch=%llu)\n",
+                  qps / 1e6, qbatch > 0 ? "batch" : "query", p50, p99, xchg,
                   static_cast<unsigned long long>(
                       cur.CounterValue("serve.snapshot.publishes")),
                   readers, leased ? "on" : "off",
@@ -637,6 +669,23 @@ int CmdSoak(const Flags& flags) {
   o.engine_faults.publish_stall_micros = 2'000;
   o.engine_faults.spmv_slow_rate = fault;
   o.engine_faults.spmv_slow_micros = 200;
+  // --shards K routes every solve through the shard runtime; --transport
+  // pipe forks one worker process per shard. The fault plan then also
+  // exercises the transport: dropped and truncated messages retry, kills
+  // surface as typed Unavailable (the previous snapshot keeps serving).
+  o.engine.num_shards = static_cast<size_t>(flags.GetInt("shards", 0));
+  if (!runtime::TransportKindFromName(flags.Get("transport", "inproc"),
+                                      &o.engine.shard_transport)) {
+    return Fail(Status::InvalidArgument("unknown --transport (inproc|pipe)"));
+  }
+  if (o.engine.num_shards > 1) {
+    o.engine.shard_message_deadline_micros = 250'000;
+    o.engine_faults.transport_drop_rate = fault / 8.0;
+    o.engine_faults.transport_truncate_rate = fault / 8.0;
+    o.engine_faults.transport_kill_rate = fault / 16.0;
+    o.engine_faults.transport_delay_rate = fault / 4.0;
+    o.engine_faults.transport_delay_micros = 500;
+  }
   o.serve.deadline_micros = 100'000;
   o.serve.max_staleness_micros = 500'000;
   o.serve.max_batch_queries = 64;
@@ -664,6 +713,13 @@ int CmdSoak(const Flags& flags) {
       static_cast<unsigned long long>(r->queries_shed),
       static_cast<unsigned long long>(r->queries_deadline),
       static_cast<unsigned long long>(r->queries_degraded));
+  if (o.engine.num_shards > 1) {
+    std::printf(
+        "  transport: %llu faults injected, %llu timeouts, %.2f MB moved\n",
+        static_cast<unsigned long long>(r->transport_faults),
+        static_cast<unsigned long long>(r->transport_timeouts),
+        static_cast<double>(r->transport_bytes) / 1e6);
+  }
   std::printf(
       "  invariants: %zu rollback leaks, %zu violations, age p99 %.0fus, "
       "quality overlap %.2f -> %s\n",
@@ -693,14 +749,21 @@ void Usage() {
       "FILE]\n"
       "  details    --in FILE --name NAME\n"
       "  serve      --in FILE [--readers N] [--batch N] [--lease on|off]\n"
-      "             [--pages N] [--top K] [--analysis-out FILE]\n"
+      "             [--pages N] [--top K] [--shards K] "
+      "[--transport inproc|pipe]\n"
+      "             [--analysis-out FILE]\n"
       "             (concurrent ingest + queries; --batch N answers queries\n"
-      "             in N-query batches, --lease off pins per query)\n"
+      "             in N-query batches, --lease off pins per query;\n"
+      "             --shards K solves through the shard runtime and the\n"
+      "             stats line gains the per-round exchange latency)\n"
       "  serve      --analysis FILE [--domain NAME] [--top K]   (no solver)\n"
       "  soak       [--hours N] [--agents N] [--readers N] [--seed S]\n"
-      "             [--fault RATE] [--quality MIN_OVERLAP]\n"
+      "             [--fault RATE] [--quality MIN_OVERLAP] [--shards K]\n"
+      "             [--transport inproc|pipe]\n"
       "             (chaos soak: evolving world + fault plan + reader "
       "fleet;\n"
+      "             with --shards the plan also drops/truncates/delays\n"
+      "             transport messages and kills workers;\n"
       "             exit 1 when a robustness invariant breaks)\n");
 }
 

@@ -12,7 +12,10 @@
 //     serving staleness contract (QueryServiceOptions::max_staleness) is
 //     observable under test;
 //   - kSpmv: slow the solver's SpMV, inflating write-path latency without
-//     failing it.
+//     failing it;
+//   - kTransport: drop, truncate, delay, or kill-the-worker on the sharded
+//     solve's coordinator→worker messages, exercising the shard runtime's
+//     deadline/retry machinery and the worker-death degradation path.
 //
 // Like the crawler plan, draws are pure functions of (seed, site, op
 // index) — no shared RNG, no wall clock — so a soak run replays the exact
@@ -34,6 +37,7 @@ enum class EngineFaultSite : uint64_t {
   kPoisonDelta = 2,
   kPublish = 3,
   kSpmv = 4,
+  kTransport = 5,
 };
 
 /// A scripted fault schedule for the engine write path. Rates are
@@ -63,6 +67,17 @@ struct EngineFaultPlan {
   /// per iteration of the affected solve).
   double spmv_slow_rate = 0.0;
   int64_t spmv_slow_micros = 0;
+
+  /// kTransport: per-message faults on the shard runtime's coordinator→
+  /// worker exchanges. Each outbound message draws the four sub-faults
+  /// independently (sub-stream op*4 + {0..3}); drop and truncate are
+  /// absorbed by the deadline/retry machinery, kill shuts the worker down
+  /// so the exchange surfaces Unavailable, delay just stalls the send.
+  double transport_drop_rate = 0.0;
+  double transport_truncate_rate = 0.0;
+  double transport_kill_rate = 0.0;
+  double transport_delay_rate = 0.0;
+  int64_t transport_delay_micros = 0;
 
   /// Sleep hook for stalls/slowdowns. Null = std::this_thread::sleep_for.
   /// Soak harnesses inject a no-op or a virtual-clock advance here.

@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/backoff.h"
 #include "linkanalysis/pagerank.h"
 #include "model/entities.h"
+#include "runtime/transport.h"
 #include "sentiment/sentiment_analyzer.h"
 
 namespace mass::obs {
@@ -108,6 +110,23 @@ struct EngineOptions {
   /// community-aware key from a graph clustering drops in here. Must be a
   /// pure function of its arguments. Not serialized by options_xml.
   std::function<uint32_t(BloggerId, size_t)> shard_key;
+  /// Transport carrying the sharded solve's coordinator↔worker exchanges
+  /// (runtime/transport.h): kInProc (default — worker threads inside this
+  /// process, lock-free queues) or kPipe (one forked worker process per
+  /// shard over socketpairs). Scores are bit-identical either way: the
+  /// transport moves raw double bit patterns, the arithmetic is fixed.
+  runtime::TransportKind shard_transport = runtime::TransportKind::kInProc;
+  /// Per-message send/recv deadline for shard exchanges, in microseconds;
+  /// 0 waits forever. (With transport fault injection active an unset
+  /// deadline falls back to 1s so injected drops cannot hang a solve.)
+  int64_t shard_message_deadline_micros = 0;
+  /// Retry budget and pacing for one shard exchange: after a deadline the
+  /// request is resent under a fresh sequence number (IterateRound is a
+  /// pure function of x, so a resend is idempotent and late replies are
+  /// discarded). A dead worker is never retried — the solve fails with
+  /// Unavailable and the next sharded solve restarts the fleet. Only
+  /// max_retries round-trips through options_xml (shard_message_retries).
+  BackoffPolicy shard_retry;
   /// Fraction of the previous iterate blended into the new one (0 = pure
   /// Jacobi). Useful if a corpus produces oscillation.
   double damping = 0.0;

@@ -16,27 +16,8 @@
 
 namespace mass {
 
-namespace {
-
-// Rescales v so its mean is 1 (influence is a ranking signal; like
-// PageRank it is scale-free, and a fixed scale keeps AP and GL
-// commensurate across iterations). An all-zero vector — possible at the
-// degenerate corner alpha = 1, beta = 0, where nothing seeds the comment
-// recursion — becomes uniform, which both restarts the iteration and is
-// the correct "no information" answer.
-void MeanNormalize(std::vector<double>* v) {
-  double sum = 0.0;
-  for (double x : *v) sum += x;
-  if (v->empty()) return;
-  if (sum <= 0.0) {
-    std::fill(v->begin(), v->end(), 1.0);
-    return;
-  }
-  double scale = static_cast<double>(v->size()) / sum;
-  for (double& x : *v) x *= scale;
-}
-
-}  // namespace
+// MeanNormalize lives in core/solver_matrix.h now, shared with the shard
+// coordinator so every solve path normalizes with identical arithmetic.
 
 const std::vector<double> MassEngine::kEmptyVector;
 
@@ -97,6 +78,12 @@ void MassEngine::InitObservability() {
       metrics_->GetCounter("engine.fault.publish_stalls_total");
   fault_spmv_slowdowns_ =
       metrics_->GetCounter("engine.fault.spmv_slowdowns_total");
+  fault_transport_faults_ =
+      metrics_->GetCounter("engine.fault.transport_faults_total");
+  // The shard runtime captured the previous registry, fault plan, and
+  // transport knobs at construction; drop it so the next sharded solve
+  // rebuilds it under the options now in force (workers restart then).
+  shard_runtime_.reset();
 }
 
 void MassEngine::PublishSnapshot(std::string_view run) {
@@ -489,7 +476,7 @@ ThreadPool* MassEngine::SolverPool() {
   return solver_pool_.get();
 }
 
-void MassEngine::SolveInfluence() {
+Status MassEngine::SolveInfluence() {
   auto solve_span = tracer_.Span("solve");
   Stopwatch sw;
   if (options_.use_compiled_solver) {
@@ -503,10 +490,10 @@ void MassEngine::SolveInfluence() {
     if (UseShardedSolve()) {
       {
         auto span = tracer_.Span("partition_shards");
-        BuildShardedSystem();
+        MASS_RETURN_IF_ERROR(BuildShardedSystem());
       }
       auto span = tracer_.Span("fixed_point");
-      IterateSharded(/*warm=*/false);
+      MASS_RETURN_IF_ERROR(IterateSharded(/*warm=*/false));
     } else {
       sharded_valid_ = false;
       auto span = tracer_.Span("fixed_point");
@@ -523,6 +510,7 @@ void MassEngine::SolveInfluence() {
       static_cast<uint64_t>(solve_trace_.iterations));
   last_full_solve_iterations_ = solve_trace_.iterations;
   warm_saved_gauge_.Set(0.0);
+  return Status::OK();
 }
 
 Status MassEngine::SolveInfluenceIncremental() {
@@ -566,10 +554,10 @@ Status MassEngine::SolveInfluenceIncremental() {
       // to sharding.
       {
         auto span = tracer_.Span("partition_shards");
-        BuildShardedSystem();
+        MASS_RETURN_IF_ERROR(BuildShardedSystem());
       }
       auto span = tracer_.Span("fixed_point");
-      IterateSharded(warm);
+      MASS_RETURN_IF_ERROR(IterateSharded(warm));
     } else {
       sharded_valid_ = false;
       auto span = tracer_.Span("fixed_point");
@@ -722,37 +710,94 @@ bool MassEngine::UseShardedSolve() const {
   return options_.use_compiled_solver && options_.num_shards > 1;
 }
 
-// Splits the already-compiled global CSR system by blogger row. The global
-// matrix_ stays live: ExtendSolverMatrix keeps extending it on ingest, and
+// Splits the already-compiled global CSR system by blogger row and ships
+// each worker its slice through the shard runtime. The global matrix_
+// stays live: ExtendSolverMatrix keeps extending it on ingest, and
 // ReconstructPostInfluence reads its post-grouped mirror.
-void MassEngine::BuildShardedSystem() {
+Status MassEngine::BuildShardedSystem() {
   shard::ShardingSpec spec;
   spec.num_shards = options_.num_shards;
   spec.key = options_.shard_key;
   shard_plan_ = shard::BuildShardPlan(corpus_->num_bloggers(), spec);
   sharded_matrix_ =
       shard::PartitionSolverMatrix(matrix_, shard_plan_, SolverPool());
+  // Not valid until the fleet holds the slices: a failed load must not
+  // leave the composite-snapshot publish path pointed at stale shards.
+  sharded_valid_ = false;
+  MASS_RETURN_IF_ERROR(EnsureShardRuntime());
+  MASS_RETURN_IF_ERROR(shard_runtime_->LoadSlices(sharded_matrix_));
   sharded_valid_ = true;
   shard_count_gauge_.Set(static_cast<double>(sharded_matrix_.num_shards()));
   shard_halo_gauge_.Set(static_cast<double>(sharded_matrix_.halo_entries()));
+  return Status::OK();
 }
 
-// The sharded fixed point: identical to IterateCompiled except that each
-// round's SpMV runs as K shard-local kernels with a boundary-influence
-// exchange (halo gather) in between. Blend, normalization, damping, and
-// the residual all stay global, and the shard kernels sum rows serially
-// over a monotone column remap, so every iterate — and therefore the
-// converged influence, ap, and post_influence surfaces — is BYTE-IDENTICAL
-// to the single-matrix solve for any shard count (shard_test asserts this
-// across 1/2/4/8 shards and all 16 facet ablations).
-void MassEngine::IterateSharded(bool warm) {
-  const size_t nb = corpus_->num_bloggers();
+Status MassEngine::EnsureShardRuntime() {
+  if (shard_runtime_ != nullptr) return Status::OK();
+  shard::ShardCoordinatorOptions ro;
+  ro.transport = options_.shard_transport;
+  ro.message_deadline_micros = options_.shard_message_deadline_micros;
+  ro.retry = options_.shard_retry;
+  ro.metrics = metrics_;
+  // Installed whenever a plan is armed (not only when a transport rate is
+  // already nonzero): the hook re-reads the live plan on every draw, so a
+  // test can arm rates between solves without retuning — the same
+  // mutate-the-plan-in-place idiom the other fault sites support.
+  if (options_.fault_plan != nullptr) {
+    ro.fault_hook = MakeTransportFaultHook();
+  }
+  shard_runtime_ = std::make_unique<shard::ShardCoordinator>(std::move(ro));
+  return Status::OK();
+}
+
+shard::TransportFaultHook MassEngine::MakeTransportFaultHook() {
+  // The hook runs on the engine's write thread (the coordinator sends
+  // inline), so touching the op-free fault counter is safe. Draws are pure
+  // functions of (seed, kTransport, op*4 + sub-fault) — four disjoint
+  // deterministic streams per message, same replayability as every other
+  // site.
+  const EngineFaultPlan* fp = options_.fault_plan;
+  return [this, fp](uint64_t op) {
+    shard::TransportFaultDecision d;
+    if (DrawEngineFault(*fp, EngineFaultSite::kTransport, op * 4 + 0,
+                        fp->transport_drop_rate)) {
+      d.drop = true;
+    } else if (DrawEngineFault(*fp, EngineFaultSite::kTransport, op * 4 + 1,
+                               fp->transport_truncate_rate)) {
+      d.truncate = true;
+    } else if (DrawEngineFault(*fp, EngineFaultSite::kTransport, op * 4 + 2,
+                               fp->transport_kill_rate)) {
+      d.kill_worker = true;
+    } else if (DrawEngineFault(*fp, EngineFaultSite::kTransport, op * 4 + 3,
+                               fp->transport_delay_rate)) {
+      fault_transport_faults_.Increment();
+      EngineFaultSleep(*fp, fp->transport_delay_micros);
+      return d;
+    }
+    if (d.drop || d.truncate || d.kill_worker) {
+      fault_transport_faults_.Increment();
+    }
+    return d;
+  };
+}
+
+// The sharded fixed point: identical arithmetic to IterateCompiled, but
+// each round's SpMV fans out to K ShardWorkers over the configured
+// transport (in-process queues or forked pipe workers). The coordinator
+// keeps blend, normalization, damping, and the residual global, and the
+// worker kernels sum rows serially over a monotone column remap, so every
+// iterate — and therefore the converged influence, ap, and post_influence
+// surfaces — is BYTE-IDENTICAL to the single-matrix solve for any shard
+// count and either transport (shard_test and runtime_test assert this
+// across the 16 facet ablations). A worker that dies or misses its
+// deadline surfaces here as a typed Status; the caller skips the publish
+// and the previous snapshot keeps serving.
+Status MassEngine::IterateSharded(bool warm) {
   const size_t np = corpus_->num_posts();
-  const double alpha = options_.alpha;
-  ThreadPool* pool = SolverPool();
   // Same kSpmv site as IterateCompiled: the slowdown models one shard's
   // kernel lagging, which in the sharded round structure delays the whole
-  // round (the exchange is a barrier).
+  // round (the exchange is a barrier). The stall runs once per round via
+  // the coordinator's round hook.
   const EngineFaultPlan* fp = options_.fault_plan;
   int64_t spmv_fault_micros = 0;
   if (fp != nullptr && DrawEngineFault(*fp, EngineFaultSite::kSpmv,
@@ -769,85 +814,49 @@ void MassEngine::IterateSharded(bool warm) {
 
   post_influence_.assign(np, 0.0);
 
-  if (warm) {
-    influence_.resize(nb, 1.0);
-    ap_.resize(nb, 0.0);
-  } else {
-    // Same cold start as IterateCompiled: ap = q (the global matrix's
-    // quality vector — identical to the concatenation of shard-local ones).
-    ap_ = matrix_.quality;
-    influence_.assign(nb, 0.0);
-    for (size_t b = 0; b < nb; ++b) {
-      influence_[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
-    }
-    MeanNormalize(&influence_);
+  shard::FixedPointParams params;
+  params.alpha = options_.alpha;
+  params.damping = options_.damping;
+  params.tolerance = options_.tolerance;
+  params.max_iterations = options_.max_iterations;
+  params.use_citation = options_.use_citation;
+  params.warm = warm;
+  params.gl = &gl_;
+  params.quality = &matrix_.quality;
+  params.pool = SolverPool();
+  if (spmv_fault_micros > 0) {
+    params.round_stall = [fp, spmv_fault_micros] {
+      EngineFaultSleep(*fp, spmv_fault_micros);
+    };
   }
 
-  std::vector<double> ones;
-  if (!options_.use_citation) ones.assign(nb, 1.0);
+  shard::FixedPointResult res;
+  MASS_RETURN_IF_ERROR(
+      shard_runtime_->SolveFixedPoint(params, &influence_, &ap_, &res));
 
-  // Shard-local gather buffers, reused across rounds.
-  std::vector<std::vector<double>> x_local(sharded_matrix_.num_shards());
-  std::vector<shard::ShardRoundTiming> timings;
-  std::vector<uint64_t> spmv_us_per_shard(sharded_matrix_.num_shards(), 0);
-  uint64_t exchange_us_total = 0;
-
-  std::vector<double> next(nb, 0.0);
-  std::vector<double> last_x;
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    const std::vector<double>& x = options_.use_citation ? influence_ : ones;
-    last_x = x;
-    shard::ShardedSpMV(sharded_matrix_, x, &ap_, &x_local, pool, &timings);
-    if (spmv_fault_micros > 0) EngineFaultSleep(*fp, spmv_fault_micros);
-    uint64_t round_exchange = 0;
-    for (size_t s = 0; s < timings.size(); ++s) {
-      round_exchange += timings[s].exchange_us;
-      spmv_us_per_shard[s] += timings[s].spmv_us;
-    }
-    exchange_us_total += round_exchange;
-    shard_exchange_us_.Record(round_exchange);
-    for (size_t b = 0; b < nb; ++b) {
-      next[b] = alpha * ap_[b] + (1.0 - alpha) * gl_[b];
-    }
-    MeanNormalize(&next);
-    if (options_.damping > 0.0) {
-      for (size_t b = 0; b < nb; ++b) {
-        next[b] = (1.0 - options_.damping) * next[b] +
-                  options_.damping * influence_[b];
-      }
-    }
-    const double delta = ParallelReduce(
-        pool, nb, 0.0,
-        [&](size_t begin, size_t end) {
-          double m = 0.0;
-          for (size_t b = begin; b < end; ++b) {
-            m = std::max(m, std::abs(next[b] - influence_[b]));
-          }
-          return m;
-        },
-        [](double a, double b) { return std::max(a, b); });
-    influence_.swap(next);
-    solve_trace_.iterations = iter + 1;
-    solve_trace_.final_residual = delta;
-    solve_trace_.residuals.push_back({iter + 1, delta, options_.damping});
-    if (delta < options_.tolerance) {
-      solve_trace_.converged = true;
-      break;
-    }
+  for (const shard::FixedPointRoundTrace& t : res.residuals) {
+    solve_trace_.residuals.push_back(
+        {t.iteration, t.residual, options_.damping});
   }
+  solve_trace_.iterations = res.iterations;
+  solve_trace_.final_residual = res.final_residual;
+  solve_trace_.converged = res.converged;
 
-  // Per-shard solve spans: the kernels run inside ParallelFor, where RAII
-  // nesting is impossible, so the externally-timed totals are recorded as
-  // completed spans (and histogram samples) after the loop.
-  for (size_t s = 0; s < spmv_us_per_shard.size(); ++s) {
+  // One exchange record per round and one spmv record per shard per solve
+  // — the same observability shape as the in-process sharded loop, with
+  // the exchange now measuring the gather/serialize/transport share of
+  // each round (round wall time minus the slowest worker's kernel).
+  for (uint64_t e : res.round_exchange_us) shard_exchange_us_.Record(e);
+  for (size_t s = 0; s < res.spmv_us.size(); ++s) {
     tracer_.Record(StrFormat("shard%zu_spmv", s),
-                   static_cast<int64_t>(spmv_us_per_shard[s]));
-    shard_spmv_us_.Record(spmv_us_per_shard[s]);
+                   static_cast<int64_t>(res.spmv_us[s]));
+    shard_spmv_us_.Record(res.spmv_us[s]);
   }
   tracer_.Record("shard_boundary_exchange",
-                 static_cast<int64_t>(exchange_us_total));
+                 static_cast<int64_t>(res.exchange_us_total));
 
-  ReconstructPostInfluence(last_x);
+  ReconstructPostInfluence(res.last_x);
+  return Status::OK();
 }
 
 void MassEngine::SolveInfluenceReference(bool warm) {
@@ -985,7 +994,7 @@ Status MassEngine::Analyze(const InterestMiner* miner, size_t num_domains) {
     auto span = tracer_.Span("interests");
     MASS_RETURN_IF_ERROR(ComputeInterests(miner));
   }
-  SolveInfluence();
+  MASS_RETURN_IF_ERROR(SolveInfluence());
   {
     auto span = tracer_.Span("domain_vectors");
     ComputeDomainVectors();
@@ -1068,7 +1077,7 @@ Status MassEngine::Retune(const EngineOptions& options) {
     auto span = tracer_.Span("sentiment");
     ComputeSentiment();
   }
-  SolveInfluence();
+  MASS_RETURN_IF_ERROR(SolveInfluence());
   {
     auto span = tracer_.Span("domain_vectors");
     ComputeDomainVectors();
@@ -1513,10 +1522,10 @@ Status MassEngine::SolveInfluenceExpire(const ShrinkPlan& plan,
     if (UseShardedSolve()) {
       {
         auto span = tracer_.Span("partition_shards");
-        BuildShardedSystem();
+        MASS_RETURN_IF_ERROR(BuildShardedSystem());
       }
       auto span = tracer_.Span("fixed_point");
-      IterateSharded(warm);
+      MASS_RETURN_IF_ERROR(IterateSharded(warm));
     } else {
       sharded_valid_ = false;
       auto span = tracer_.Span("fixed_point");

@@ -26,6 +26,7 @@
 #include "model/corpus.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/shard_coordinator.h"
 #include "shard/shard_plan.h"
 #include "shard/sharded_matrix.h"
 
@@ -250,7 +251,11 @@ class MassEngine {
   void ExtendTextCaches(size_t prior_posts, size_t prior_comments);
   /// Classifies only the posts added since the last solve.
   Status ExtendInterests(const InterestMiner* miner, size_t prior_posts);
-  void SolveInfluence();
+  /// The cold-path solve (Analyze/Retune). Fallible since the sharded
+  /// fixed point crossed a transport: a dead or silent worker surfaces as
+  /// a typed Status (Unavailable / DeadlineExceeded) and the caller skips
+  /// the publish, leaving the previous snapshot serving.
+  Status SolveInfluence();
   /// The ingest-path solve: extends or recompiles the matrix, then
   /// iterates (warm-started per options_.warm_start_ingest). Aborted when
   /// the extended matrix would exceed options_.ingest_max_matrix_nnz.
@@ -292,12 +297,22 @@ class MassEngine {
   bool UseShardedSolve() const;
   /// Builds shard_plan_ + sharded_matrix_ from the live compiled matrix_
   /// (which stays valid — it still feeds the per-post reconstruction and
-  /// the ingest extend path).
-  void BuildShardedSystem();
-  /// The sharded fixed point: identical structure to IterateCompiled with
-  /// the SpMV replaced by K shard-local SpMVs + boundary exchange
-  /// (shard/sharded_matrix.h). Bit-identical output for any shard count.
-  void IterateSharded(bool warm);
+  /// the ingest extend path), then ships every worker its slice through
+  /// the shard runtime. Fails typed when a worker cannot be loaded;
+  /// sharded_valid_ stays false in that case.
+  Status BuildShardedSystem();
+  /// The sharded fixed point, now driven through the ShardCoordinator:
+  /// identical arithmetic to IterateCompiled with the SpMV fanned out to
+  /// K ShardWorkers over the configured transport. Bit-identical output
+  /// for any shard count and either transport.
+  Status IterateSharded(bool warm);
+  /// Lazily builds the ShardCoordinator under the current options. The
+  /// runtime is dropped on Retune/InitObservability (the transport,
+  /// deadline, registry, or fault plan may have changed) and rebuilt here.
+  Status EnsureShardRuntime();
+  /// Adapts options_.fault_plan's kTransport site into the coordinator's
+  /// per-message hook (drop/truncate/kill decisions + in-hook delays).
+  shard::TransportFaultHook MakeTransportFaultHook();
   /// Final per-post pass shared by the compiled paths: Inf(b_i, d_k) from
   /// the iterate that fed the last SpMV, via matrix_'s post mirror.
   void ReconstructPostInfluence(const std::vector<double>& last_x);
@@ -403,6 +418,7 @@ class MassEngine {
   obs::Counter fault_ingest_failures_;
   obs::Counter fault_publish_stalls_;
   obs::Counter fault_spmv_slowdowns_;
+  obs::Counter fault_transport_faults_;
   uint64_t fault_ingest_ops_ = 0;
   uint64_t fault_publish_ops_ = 0;
   uint64_t fault_spmv_ops_ = 0;
@@ -442,6 +458,13 @@ class MassEngine {
   shard::ShardPlan shard_plan_;
   shard::ShardedSolverMatrix sharded_matrix_;
   bool sharded_valid_ = false;
+
+  // The shard runtime: coordinator + transport + worker fleet, kept alive
+  // across solves (slices are reshipped every solve; worker processes /
+  // threads are not respawned unless one died or the options changed).
+  // Reset by InitObservability so a Retune that swaps the transport,
+  // registry, or fault plan rebuilds it on the next sharded solve.
+  std::unique_ptr<shard::ShardCoordinator> shard_runtime_;
 
   std::vector<double> gl_;              // [blogger]
   std::vector<double> ap_;              // [blogger]

@@ -28,6 +28,28 @@ namespace mass {
 
 class ThreadPool;
 
+/// Rescales v so its mean is 1 (influence is a ranking signal; like
+/// PageRank it is scale-free, and a fixed scale keeps AP and GL
+/// commensurate across iterations). An all-zero vector — possible at the
+/// degenerate corner alpha = 1, beta = 0, where nothing seeds the comment
+/// recursion — becomes uniform, which both restarts the iteration and is
+/// the correct "no information" answer.
+///
+/// Inline and shared between the engine's solvers and the shard
+/// coordinator so every path normalizes with the exact same arithmetic —
+/// part of the sharded solve's bit-identity contract.
+inline void MeanNormalize(std::vector<double>* v) {
+  double sum = 0.0;
+  for (double x : *v) sum += x;
+  if (v->empty()) return;
+  if (sum <= 0.0) {
+    for (double& x : *v) x = 1.0;
+    return;
+  }
+  double scale = static_cast<double>(v->size()) / sum;
+  for (double& x : *v) x *= scale;
+}
+
 /// The compiled form of one (corpus, options) pair. Invalidated by any
 /// change to β, the SF mapping, recency, or the TC toggle — the engine
 /// recompiles per solve, which is one O(posts + comments) pass.

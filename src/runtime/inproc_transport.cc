@@ -1,0 +1,120 @@
+#include "runtime/inproc_transport.h"
+
+#include <bit>
+#include <chrono>
+
+namespace mass::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Spin-then-yield wait step. The queues carry a handful of large messages
+// per solver round, not a high-rate stream, so a short sleep between
+// polls costs nothing measurable and keeps the idle side off the CPU.
+void WaitStep() { std::this_thread::sleep_for(std::chrono::microseconds(20)); }
+
+Clock::time_point DeadlinePoint(int64_t deadline_micros) {
+  return deadline_micros > 0
+             ? Clock::now() + std::chrono::microseconds(deadline_micros)
+             : Clock::time_point::max();
+}
+
+}  // namespace
+
+SpscMessageQueue::SpscMessageQueue(size_t capacity)
+    : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+      mask_(slots_.size() - 1) {}
+
+bool SpscMessageQueue::TryPush(Message* m) {
+  if (closed()) return false;
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= slots_.size()) return false;  // full
+  slots_[tail & mask_] = std::move(*m);
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+bool SpscMessageQueue::TryPop(Message* out) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return false;  // empty
+  *out = std::move(slots_[head & mask_]);
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+Status InProcEndpoint::Send(Message message, int64_t deadline_micros) {
+  const auto deadline = DeadlinePoint(deadline_micros);
+  while (!out_->TryPush(&message)) {
+    if (out_->closed()) {
+      return Status::Unavailable("inproc channel closed");
+    }
+    if (Clock::now() >= deadline) {
+      return Status::DeadlineExceeded("inproc send deadline expired");
+    }
+    WaitStep();
+  }
+  return Status::OK();
+}
+
+Result<Message> InProcEndpoint::Recv(int64_t deadline_micros) {
+  const auto deadline = DeadlinePoint(deadline_micros);
+  Message m;
+  while (!in_->TryPop(&m)) {
+    // Drain-then-close: only report Unavailable once the queue is both
+    // closed and empty, so messages sent before a close still arrive.
+    if (in_->closed()) {
+      return Status::Unavailable("inproc channel closed");
+    }
+    if (Clock::now() >= deadline) {
+      return Status::DeadlineExceeded("inproc recv deadline expired");
+    }
+    WaitStep();
+  }
+  return m;
+}
+
+Status InProcTransport::Start(size_t num_workers, WorkerMain worker_main) {
+  if (!channels_.empty()) {
+    return Status::InvalidArgument("InProcTransport already started");
+  }
+  if (num_workers == 0 || worker_main == nullptr) {
+    return Status::InvalidArgument("InProcTransport needs >= 1 worker");
+  }
+  channels_.reserve(num_workers);
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  for (size_t i = 0; i < num_workers; ++i) {
+    Channel* ch = channels_[i].get();
+    threads_.emplace_back([worker_main, ch, i] {
+      worker_main(i, &ch->worker_side);
+      // Worker returned (shutdown or crash-by-exit): closing both queues
+      // is what makes death observable as Unavailable on the other side.
+      ch->worker_side.CloseBoth();
+    });
+  }
+  return Status::OK();
+}
+
+bool InProcTransport::WorkerAlive(size_t i) const {
+  if (i >= channels_.size()) return false;
+  return !channels_[i]->to_coordinator.closed();
+}
+
+void InProcTransport::Stop() {
+  for (auto& ch : channels_) {
+    ch->to_worker.Close();
+    ch->to_coordinator.Close();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  channels_.clear();
+}
+
+}  // namespace mass::runtime

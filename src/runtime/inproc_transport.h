@@ -1,0 +1,102 @@
+// In-process Transport: one std::thread per shard worker, connected to
+// the coordinator by a pair of single-producer/single-consumer lock-free
+// ring queues (one per direction). Messages move by std::move — the
+// payload bytes are never copied, so the "serialization" cost of the
+// inproc path is the codec memcpy alone and doubles cross the boundary
+// bit-exactly by construction.
+//
+// Concurrency contract (what keeps this TSan-clean): each queue has
+// exactly one producer thread and one consumer thread. The producer
+// writes the slot, then publishes it with a release store of `tail_`;
+// the consumer observes `tail_` with an acquire load before reading the
+// slot, and retires it with a release store of `head_` that the producer
+// acquires before reuse. Closing is a separate flag checked only after a
+// failed pop, so in-flight messages drain before Unavailable surfaces.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace mass::runtime {
+
+/// Fixed-capacity SPSC ring of Messages. Capacity is rounded up to a
+/// power of two. TryPush/TryPop never block; Close wakes both sides.
+class SpscMessageQueue {
+ public:
+  explicit SpscMessageQueue(size_t capacity = 64);
+
+  /// Moves *m into the ring. False when full or closed (m is untouched).
+  bool TryPush(Message* m);
+
+  /// Moves the oldest message into *out. False when empty.
+  bool TryPop(Message* out);
+
+  void Close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  std::vector<Message> slots_;
+  size_t mask_;
+  // head_ = next slot to pop (consumer-owned), tail_ = next slot to push
+  // (producer-owned); both only ever increase.
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<bool> closed_{false};
+};
+
+/// One side of an inproc channel: sends into `out`, receives from `in`.
+class InProcEndpoint : public Endpoint {
+ public:
+  InProcEndpoint(SpscMessageQueue* out, SpscMessageQueue* in)
+      : out_(out), in_(in) {}
+
+  Status Send(Message message, int64_t deadline_micros) override;
+  Result<Message> Recv(int64_t deadline_micros) override;
+
+  /// Closes both directions (worker exit / transport stop).
+  void CloseBoth() {
+    out_->Close();
+    in_->Close();
+  }
+
+ private:
+  SpscMessageQueue* out_;
+  SpscMessageQueue* in_;
+};
+
+class InProcTransport : public Transport {
+ public:
+  InProcTransport() = default;
+  ~InProcTransport() override { Stop(); }
+
+  Status Start(size_t num_workers, WorkerMain worker_main) override;
+  size_t num_workers() const override { return channels_.size(); }
+  Endpoint* endpoint(size_t i) override {
+    return i < channels_.size() ? &channels_[i]->coordinator_side : nullptr;
+  }
+  bool WorkerAlive(size_t i) const override;
+  void Stop() override;
+  std::string_view name() const override { return "inproc"; }
+
+ private:
+  // Heap-allocated so endpoints stay pinned while vectors move.
+  struct Channel {
+    Channel()
+        : coordinator_side(&to_worker, &to_coordinator),
+          worker_side(&to_coordinator, &to_worker) {}
+    SpscMessageQueue to_worker;
+    SpscMessageQueue to_coordinator;
+    InProcEndpoint coordinator_side;
+    InProcEndpoint worker_side;
+  };
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mass::runtime

@@ -1,0 +1,246 @@
+#include "runtime/pipe_transport.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace mass::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint32_t kFrameMagic = 0x4D534652;  // "MSFR"
+// A frame bigger than this is garbage, not a message: the largest real
+// payload is one shard's CSR slice, and even the 1M-blogger bench stays
+// far under this.
+constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 33;  // 8 GiB
+
+struct FrameHeader {
+  uint32_t magic;
+  uint32_t type;
+  uint64_t payload_bytes;
+};
+
+Clock::time_point DeadlinePoint(int64_t deadline_micros) {
+  return deadline_micros > 0
+             ? Clock::now() + std::chrono::microseconds(deadline_micros)
+             : Clock::time_point::max();
+}
+
+// Remaining budget in milliseconds for poll(); -1 = wait forever.
+int PollTimeoutMs(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) return -1;
+  const auto left = deadline - Clock::now();
+  if (left <= Clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+  // Round up so a sub-millisecond remainder still waits one tick instead
+  // of spinning poll(0) in a hot loop.
+  return static_cast<int>(ms) + 1;
+}
+
+}  // namespace
+
+void FdEndpoint::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FdEndpoint::WriteAll(const uint8_t* data, size_t size,
+                            int64_t deadline_micros) {
+  const auto deadline = DeadlinePoint(deadline_micros);
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE -> Unavailable, not
+    // kill the coordinator process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + done, size - done, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      peer_dead_ = true;
+      return Status::Unavailable("pipe worker is gone (EPIPE)");
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return Status::IOError(StrFormat("pipe send failed: %s",
+                                       std::strerror(errno)));
+    }
+    struct pollfd pfd = {fd_, POLLOUT, 0};
+    const int timeout = PollTimeoutMs(deadline);
+    if (timeout == 0) {
+      return Status::DeadlineExceeded("pipe send deadline expired");
+    }
+    const int r = ::poll(&pfd, 1, timeout);
+    if (r < 0 && errno != EINTR) {
+      return Status::IOError(StrFormat("pipe poll failed: %s",
+                                       std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+Status FdEndpoint::ReadAll(uint8_t* data, size_t size,
+                           int64_t deadline_micros) {
+  const auto deadline = DeadlinePoint(deadline_micros);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, data + done, size - done, MSG_DONTWAIT);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      peer_dead_ = true;
+      return Status::Unavailable("pipe worker closed the channel (EOF)");
+    }
+    if (errno == ECONNRESET) {
+      peer_dead_ = true;
+      return Status::Unavailable("pipe worker is gone (ECONNRESET)");
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return Status::IOError(StrFormat("pipe recv failed: %s",
+                                       std::strerror(errno)));
+    }
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int timeout = PollTimeoutMs(deadline);
+    if (timeout == 0) {
+      return Status::DeadlineExceeded("pipe recv deadline expired");
+    }
+    const int r = ::poll(&pfd, 1, timeout);
+    if (r < 0 && errno != EINTR) {
+      return Status::IOError(StrFormat("pipe poll failed: %s",
+                                       std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+Status FdEndpoint::Send(Message message, int64_t deadline_micros) {
+  if (dead()) return Status::Unavailable("pipe endpoint closed");
+  FrameHeader h;
+  h.magic = kFrameMagic;
+  h.type = static_cast<uint32_t>(message.type);
+  h.payload_bytes = message.payload.size();
+  MASS_RETURN_IF_ERROR(WriteAll(reinterpret_cast<const uint8_t*>(&h),
+                                sizeof(h), deadline_micros));
+  return WriteAll(message.payload.data(), message.payload.size(),
+                  deadline_micros);
+}
+
+Result<Message> FdEndpoint::Recv(int64_t deadline_micros) {
+  if (dead()) return Status::Unavailable("pipe endpoint closed");
+  FrameHeader h;
+  MASS_RETURN_IF_ERROR(ReadAll(reinterpret_cast<uint8_t*>(&h), sizeof(h),
+                               deadline_micros));
+  if (h.magic != kFrameMagic || h.payload_bytes > kMaxFrameBytes) {
+    // The stream is desynchronized; nothing after this point can be
+    // trusted, so the channel is dead, not just this message.
+    peer_dead_ = true;
+    return Status::Corruption(
+        StrFormat("bad pipe frame (magic %08x, %llu bytes)", h.magic,
+                  static_cast<unsigned long long>(h.payload_bytes)));
+  }
+  Message m;
+  m.type = static_cast<MessageType>(h.type);
+  m.payload.resize(h.payload_bytes);
+  MASS_RETURN_IF_ERROR(
+      ReadAll(m.payload.data(), m.payload.size(), deadline_micros));
+  return m;
+}
+
+Status PipeTransport::Start(size_t num_workers, WorkerMain worker_main) {
+  if (!workers_.empty()) {
+    return Status::InvalidArgument("PipeTransport already started");
+  }
+  if (num_workers == 0 || worker_main == nullptr) {
+    return Status::InvalidArgument("PipeTransport needs >= 1 worker");
+  }
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      const Status st = Status::Internal(
+          StrFormat("socketpair failed: %s", std::strerror(errno)));
+      Stop();
+      return st;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      const Status st =
+          Status::Internal(StrFormat("fork failed: %s", std::strerror(errno)));
+      Stop();
+      return st;
+    }
+    if (pid == 0) {
+      // Child: drop every coordinator-side fd inherited from earlier
+      // workers (else their EOFs never propagate), keep only our end.
+      ::close(fds[0]);
+      for (const Worker& w : workers_) w.endpoint->Close();
+      {
+        FdEndpoint ep(fds[1]);
+        worker_main(i, &ep);
+      }
+      // _exit, not exit: the child shares the parent's atexit list and
+      // buffered streams and must not run them.
+      ::_exit(0);
+    }
+    ::close(fds[1]);
+    Worker w;
+    w.pid = pid;
+    w.endpoint = std::make_unique<FdEndpoint>(fds[0]);
+    workers_.push_back(std::move(w));
+  }
+  return Status::OK();
+}
+
+bool PipeTransport::WorkerAlive(size_t i) const {
+  if (i >= workers_.size()) return false;
+  const Worker& w = workers_[i];
+  if (w.endpoint->dead()) return false;
+  // Reap-and-check without blocking: a child that exited is dead even if
+  // its socket has not been read since.
+  int status = 0;
+  return ::waitpid(w.pid, &status, WNOHANG) == 0;
+}
+
+void PipeTransport::Stop() {
+  // Closing our end delivers EOF; a well-behaved worker exits its loop.
+  for (Worker& w : workers_) w.endpoint->Close();
+  for (Worker& w : workers_) {
+    if (w.pid <= 0) continue;
+    int status = 0;
+    // ~2s grace for an in-flight SpMV to finish before the hammer.
+    for (int spins = 0; spins < 200; ++spins) {
+      const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+      if (r == w.pid || r < 0) {
+        w.pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+  }
+  workers_.clear();
+}
+
+}  // namespace mass::runtime

@@ -1,0 +1,85 @@
+// Multi-process Transport: fork() one child per shard worker, each
+// connected to the coordinator by a SOCK_STREAM socketpair. Frames are
+// length-prefixed:
+//
+//   [u32 frame magic][u32 MessageType][u64 payload bytes][payload]
+//
+// written and read with poll()-driven deadlines. Payload doubles are raw
+// 8-byte memcpys, so influence values cross the process boundary
+// bit-exactly (same-host IPC; no endianness translation by design).
+//
+// Failure semantics: a dead child (EOF / EPIPE on its socket) surfaces
+// as Unavailable, an expired deadline as DeadlineExceeded, and a frame
+// with a bad magic or an absurd length as Corruption. Stop() closes the
+// coordinator ends — workers exit their serve loop on the EOF — then
+// reaps children, escalating to SIGKILL for one that ignores it.
+//
+// Fork caveat: Start() forks from a multi-threaded parent, which is safe
+// here because the child only runs the worker loop (codec + SpMV over
+// its own endpoint) and leaves via _exit(); it never touches the
+// parent's locks, pools, or atexit handlers. The engine additionally
+// only starts transports from its write path, when its solver pool is
+// parked at a barrier.
+#pragma once
+
+#include <sys/types.h>
+
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace mass::runtime {
+
+/// Endpoint over one end of a socketpair. Used on both sides (the
+/// coordinator keeps fds[0], the child keeps fds[1]).
+class FdEndpoint : public Endpoint {
+ public:
+  explicit FdEndpoint(int fd) : fd_(fd) {}
+  ~FdEndpoint() override { Close(); }
+
+  FdEndpoint(const FdEndpoint&) = delete;
+  FdEndpoint& operator=(const FdEndpoint&) = delete;
+
+  Status Send(Message message, int64_t deadline_micros) override;
+  Result<Message> Recv(int64_t deadline_micros) override;
+
+  void Close();
+  bool dead() const { return fd_ < 0 || peer_dead_; }
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t size, int64_t deadline_micros);
+  Status ReadAll(uint8_t* data, size_t size, int64_t deadline_micros);
+
+  int fd_ = -1;
+  bool peer_dead_ = false;
+};
+
+class PipeTransport : public Transport {
+ public:
+  PipeTransport() = default;
+  ~PipeTransport() override { Stop(); }
+
+  Status Start(size_t num_workers, WorkerMain worker_main) override;
+  size_t num_workers() const override { return workers_.size(); }
+  Endpoint* endpoint(size_t i) override {
+    return i < workers_.size() ? workers_[i].endpoint.get() : nullptr;
+  }
+  bool WorkerAlive(size_t i) const override;
+  void Stop() override;
+  std::string_view name() const override { return "pipe"; }
+
+  /// Child pid of worker `i`, -1 when out of range — lets the crash tests
+  /// kill a worker out from under the coordinator.
+  pid_t worker_pid(size_t i) const {
+    return i < workers_.size() ? workers_[i].pid : -1;
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    std::unique_ptr<FdEndpoint> endpoint;  // coordinator end
+  };
+  std::vector<Worker> workers_;
+};
+
+}  // namespace mass::runtime

@@ -1,0 +1,40 @@
+#include "runtime/transport.h"
+
+#include "runtime/inproc_transport.h"
+#include "runtime/pipe_transport.h"
+
+namespace mass::runtime {
+
+std::string_view TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProc:
+      return "inproc";
+    case TransportKind::kPipe:
+      return "pipe";
+  }
+  return "inproc";
+}
+
+bool TransportKindFromName(std::string_view name, TransportKind* out) {
+  if (name == "inproc") {
+    *out = TransportKind::kInProc;
+    return true;
+  }
+  if (name == "pipe") {
+    *out = TransportKind::kPipe;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kPipe:
+      return std::make_unique<PipeTransport>();
+    case TransportKind::kInProc:
+      break;
+  }
+  return std::make_unique<InProcTransport>();
+}
+
+}  // namespace mass::runtime

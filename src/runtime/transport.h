@@ -1,0 +1,124 @@
+// The process seam of the sharded solve: typed, length-prefixed message
+// exchange between a coordinator and K shard workers, with per-operation
+// deadlines. A Transport owns the worker execution contexts (threads or
+// child processes) and hands the coordinator one Endpoint per worker; the
+// matching worker-side Endpoint is passed to the worker entry function.
+//
+// Two implementations:
+//
+//   - InProcTransport: one std::thread per worker, connected by a pair of
+//     lock-free SPSC ring queues. The default for the sharded solve —
+//     same-address-space message passing, zero behavior change vs the
+//     PR-7 in-process shards, and TSan-clean (the queues synchronize with
+//     acquire/release on the ring indices alone).
+//   - PipeTransport: fork() one child process per worker, connected by a
+//     SOCK_STREAM socketpair carrying length-prefixed frames. Worker
+//     death is observable (EOF -> Unavailable), which is what turns the
+//     sharded solve into something that can leave the machine.
+//
+// Both sides speak the same contract: Send/Recv move whole Messages, a
+// deadline of 0 means "wait forever" (until the peer closes), an expired
+// deadline is DeadlineExceeded, and a closed/dead peer is Unavailable.
+// Message payloads are opaque bytes here; the shard protocol codec
+// (storage/shard_codec.h) defines what is inside them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mass::runtime {
+
+/// Which Transport implementation carries coordinator <-> worker traffic.
+/// Selected by EngineOptions::shard_transport and round-tripped through
+/// options_xml as "inproc" / "pipe".
+enum class TransportKind {
+  kInProc,  ///< worker threads + lock-free queues (default)
+  kPipe,    ///< forked worker processes + socketpairs
+};
+
+/// Stable names for TransportKind ("inproc", "pipe").
+std::string_view TransportKindName(TransportKind kind);
+
+/// Parses a TransportKind name; false on an unknown name.
+bool TransportKindFromName(std::string_view name, TransportKind* out);
+
+/// Shard-protocol message types. The numeric values are wire format
+/// (PipeTransport frames carry them verbatim) — append only.
+enum class MessageType : uint32_t {
+  kLoadSlice = 1,        ///< coordinator -> worker: your CSR slice
+  kLoadAck = 2,          ///< worker -> coordinator: slice accepted + shape
+  kIterateRound = 3,     ///< coordinator -> worker: local x mirror
+  kIterateResult = 4,    ///< worker -> coordinator: owned y + residual
+  kSnapshotRequest = 5,  ///< coordinator -> worker: report your state
+  kSnapshotResult = 6,   ///< worker -> coordinator: shard summary
+  kShutdown = 7,         ///< coordinator -> worker: exit the serve loop
+  kError = 8,            ///< worker -> coordinator: request rejected
+};
+
+/// One typed message. The payload encoding is the shard codec's business;
+/// transports move the bytes verbatim (a double survives bit-exactly).
+struct Message {
+  MessageType type = MessageType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// One side of a bidirectional message channel.
+///
+/// `deadline_micros` on both calls is a relative budget for this one
+/// operation; 0 waits indefinitely (until the peer closes). Expiry
+/// surfaces as DeadlineExceeded; a closed or dead peer as Unavailable.
+/// Endpoints are NOT thread-safe: one thread sends/recvs per side.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  virtual Status Send(Message message, int64_t deadline_micros) = 0;
+  virtual Result<Message> Recv(int64_t deadline_micros) = 0;
+};
+
+/// Worker entry point, run inside the worker's execution context (a
+/// thread for InProc, a forked child for Pipe). Must not touch state
+/// shared with the coordinator beyond the endpoint; for the pipe
+/// transport it runs post-fork, so it must be callable without relying
+/// on other live threads (the shard worker is, by construction).
+using WorkerMain = std::function<void(size_t worker_index, Endpoint* endpoint)>;
+
+/// Owns K worker contexts and the channels to them.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Launches `num_workers` workers, each running `worker_main`. Returns
+  /// InvalidArgument if already started and Internal on launch failure.
+  virtual Status Start(size_t num_workers, WorkerMain worker_main) = 0;
+
+  /// Workers launched by Start (0 before Start / after Stop).
+  virtual size_t num_workers() const = 0;
+
+  /// Coordinator-side endpoint for worker `i`. Valid between Start and
+  /// Stop; null when out of range or not started.
+  virtual Endpoint* endpoint(size_t i) = 0;
+
+  /// True while worker `i`'s channel has not been observed dead (worker
+  /// returned, child exited, or EOF on its socket).
+  virtual bool WorkerAlive(size_t i) const = 0;
+
+  /// Tears the workers down (closing channels; pipe workers that ignore
+  /// EOF are killed) and joins/reaps them. Idempotent.
+  virtual void Stop() = 0;
+
+  /// "inproc" or "pipe" — for logs, stats lines, and bench JSON.
+  virtual std::string_view name() const = 0;
+};
+
+/// Factory over TransportKind.
+std::unique_ptr<Transport> MakeTransport(TransportKind kind);
+
+}  // namespace mass::runtime

@@ -1,0 +1,430 @@
+#include "shard/shard_coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/solver_matrix.h"
+#include "shard/shard_worker.h"
+
+namespace mass::shard {
+
+namespace {
+
+// Deadline backstop when a fault hook can drop messages but the caller
+// configured no deadline: without one, an injected drop would hang the
+// solve forever instead of exercising the retry path.
+constexpr int64_t kFaultFallbackDeadlineMicros = 1'000'000;
+
+void RunShardWorker(size_t worker_index, runtime::Endpoint* endpoint) {
+  // Captureless by design: under PipeTransport this runs in a forked
+  // child, so it must depend on nothing but the endpoint.
+  ShardWorker worker;
+  worker.Serve(worker_index, endpoint);
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(ShardCoordinatorOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    bytes_total_ = options_.metrics->GetCounter("shard.transport.bytes_total");
+    round_trip_us_ =
+        options_.metrics->GetHistogram("shard.transport.round_trip_us");
+    timeouts_total_ =
+        options_.metrics->GetCounter("shard.transport.timeouts_total");
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() { Shutdown(); }
+
+int64_t ShardCoordinator::EffectiveDeadlineMicros() const {
+  if (options_.message_deadline_micros > 0) {
+    return options_.message_deadline_micros;
+  }
+  return options_.fault_hook ? kFaultFallbackDeadlineMicros : 0;
+}
+
+Status ShardCoordinator::EnsureStarted(size_t num_workers) {
+  if (transport_ != nullptr) {
+    bool healthy = transport_->num_workers() == num_workers;
+    for (size_t s = 0; healthy && s < num_workers; ++s) {
+      healthy = transport_->WorkerAlive(s);
+    }
+    if (healthy) return Status::OK();
+    // A dead worker (or a resize) restarts the whole fleet: slices are
+    // reloaded right after, so there is no state worth salvaging.
+    transport_->Stop();
+    transport_.reset();
+  }
+  transport_ = runtime::MakeTransport(options_.transport);
+  return transport_->Start(num_workers, RunShardWorker);
+}
+
+Status ShardCoordinator::SendWithFaults(size_t s, runtime::MessageType type,
+                                        std::vector<uint8_t> payload) {
+  runtime::Endpoint* ep = transport_->endpoint(s);
+  if (ep == nullptr) return Status::Unavailable("shard endpoint missing");
+
+  TransportFaultDecision fault;
+  if (options_.fault_hook) fault = options_.fault_hook(send_ops_++);
+
+  if (fault.kill_worker) {
+    // Simulated worker death, deterministic and transport-agnostic: the
+    // worker obeys kShutdown, its channel closes, and the coordinator
+    // sees Unavailable exactly as it would for a crashed process.
+    runtime::Message shutdown;
+    shutdown.type = runtime::MessageType::kShutdown;
+    (void)ep->Send(std::move(shutdown), EffectiveDeadlineMicros());
+    return Status::OK();  // the failure surfaces on the recv side
+  }
+  if (fault.drop) return Status::OK();  // silently lost in "the network"
+  if (fault.truncate && !payload.empty()) {
+    payload.resize(payload.size() / 2);
+  }
+
+  runtime::Message m;
+  m.type = type;
+  const uint64_t bytes = payload.size();
+  m.payload = std::move(payload);
+  const Status st = ep->Send(std::move(m), EffectiveDeadlineMicros());
+  if (st.ok()) {
+    bytes_total_.Increment(bytes);
+  } else if (st.code() == StatusCode::kDeadlineExceeded) {
+    timeouts_total_.Increment();
+  }
+  return st;
+}
+
+Status ShardCoordinator::AwaitReply(size_t s, runtime::MessageType want,
+                                    uint64_t seq, runtime::Message* reply) {
+  runtime::Endpoint* ep = transport_->endpoint(s);
+  if (ep == nullptr) return Status::Unavailable("shard endpoint missing");
+  for (;;) {
+    Result<runtime::Message> r = ep->Recv(EffectiveDeadlineMicros());
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kDeadlineExceeded) {
+        timeouts_total_.Increment();
+      }
+      return r.status();
+    }
+    runtime::Message m = std::move(*r);
+    bytes_total_.Increment(m.payload.size());
+    if (m.type == runtime::MessageType::kError) {
+      // The worker rejected a request. It cannot tell us which attempt
+      // (an undecodable payload has no readable seq), so treat it as the
+      // current one failing; the retry loop re-sends with a fresh seq.
+      ErrorPayload e;
+      if (DecodeError(m.payload.data(), m.payload.size(), &e).ok()) {
+        const StatusCode code =
+            e.code <= static_cast<uint32_t>(StatusCode::kUnavailable)
+                ? static_cast<StatusCode>(e.code)
+                : StatusCode::kInternal;
+        return Status(code,
+                      StrFormat("shard %zu: %s", s, e.message.c_str()));
+      }
+      return Status::Corruption(
+          StrFormat("shard %zu sent an undecodable error", s));
+    }
+    uint32_t reply_shard = 0;
+    uint64_t reply_seq = 0;
+    if (!PeekShardSeq(m.payload.data(), m.payload.size(), &reply_shard,
+                      &reply_seq)) {
+      return Status::Corruption(
+          StrFormat("shard %zu sent an unparseable reply", s));
+    }
+    if (reply_seq != seq) continue;  // stale: a late answer we gave up on
+    if (m.type != want) {
+      return Status::Corruption(StrFormat(
+          "shard %zu replied type %u to a type-%u exchange", s,
+          static_cast<unsigned>(m.type), static_cast<unsigned>(want)));
+    }
+    *reply = std::move(m);
+    return Status::OK();
+  }
+}
+
+Status ShardCoordinator::FanOut(
+    runtime::MessageType req, runtime::MessageType want,
+    const std::function<void(size_t, uint64_t, std::vector<uint8_t>*)>&
+        encode,
+    const std::function<Status(size_t, const runtime::Message&)>& consume) {
+  const size_t num = num_shards();
+  std::vector<uint64_t> seqs(num, 0);
+  std::vector<Status> pending(num);
+
+  // Phase 1: first attempt to every shard, no waiting — the workers
+  // decode and compute concurrently.
+  for (size_t s = 0; s < num; ++s) {
+    seqs[s] = ++seq_;
+    encode(s, seqs[s], &encode_buf_);
+    pending[s] = SendWithFaults(s, req, std::move(encode_buf_));
+  }
+
+  // Phase 2: collect, retrying a failed exchange end-to-end (fresh seq,
+  // backoff pacing). IterateRound requests are pure in x, so a resend
+  // after a timeout is idempotent; stale replies are filtered by seq.
+  for (size_t s = 0; s < num; ++s) {
+    Status st = pending[s];
+    runtime::Message reply;
+    if (st.ok()) st = AwaitReply(s, want, seqs[s], &reply);
+    if (st.ok()) st = consume(s, reply);
+    if (st.ok()) continue;
+
+    BackoffSchedule schedule(options_.retry,
+                             seq_ * 0x9E3779B97F4A7C15ull + s);
+    while (!st.ok()) {
+      if (st.code() == StatusCode::kUnavailable ||
+          st.code() == StatusCode::kIOError) {
+        // Dead channel: resending cannot help inside this solve. The
+        // next LoadSlices restarts the fleet.
+        return Status::Unavailable(StrFormat(
+            "shard %zu worker is gone (%s)", s, st.message().c_str()));
+      }
+      const int64_t delay = schedule.NextDelayMicros();
+      if (delay < 0) return st;  // budget exhausted: typed failure out
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+      const uint64_t seq = ++seq_;
+      encode(s, seq, &encode_buf_);
+      st = SendWithFaults(s, req, std::move(encode_buf_));
+      if (st.ok()) st = AwaitReply(s, want, seq, &reply);
+      if (st.ok()) st = consume(s, reply);
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::LoadSlices(const ShardedSolverMatrix& matrix) {
+  const size_t num = matrix.num_shards();
+  if (num == 0) return Status::InvalidArgument("no shards to load");
+  loaded_ = false;
+  MASS_RETURN_IF_ERROR(EnsureStarted(num));
+
+  num_bloggers_ = matrix.num_bloggers;
+  owned_.assign(num, {});
+  halo_.assign(num, {});
+  for (size_t s = 0; s < num; ++s) {
+    owned_[s] = matrix.shards[s].owned;
+    halo_[s] = matrix.shards[s].halo;
+  }
+
+  Status st = FanOut(
+      runtime::MessageType::kLoadSlice, runtime::MessageType::kLoadAck,
+      [&matrix](size_t s, uint64_t seq, std::vector<uint8_t>* out) {
+        EncodeSlice(static_cast<uint32_t>(s), seq, matrix.num_bloggers,
+                    matrix.shards[s], out);
+      },
+      [this, &matrix](size_t s, const runtime::Message& reply) {
+        ShardSummaryPayload ack;
+        MASS_RETURN_IF_ERROR(
+            DecodeShardSummary(reply.payload.data(), reply.payload.size(),
+                               &ack));
+        const ShardLocalMatrix& slice = matrix.shards[s];
+        if (ack.shard != s || ack.owned != slice.owned.size() ||
+            ack.halo != slice.halo.size() || ack.nnz != slice.nnz()) {
+          return Status::Corruption(
+              StrFormat("shard %zu acked a mismatched slice", s));
+        }
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status ShardCoordinator::IterateRound(const std::vector<double>& x,
+                                      std::vector<double>* y,
+                                      ShardRoundStats* stats) {
+  if (!loaded_) {
+    return Status::FailedPrecondition("shard runtime has no loaded slices");
+  }
+  if (x.size() != num_bloggers_) {
+    return Status::InvalidArgument("iterate round: x size mismatch");
+  }
+  const size_t num = num_shards();
+  y->resize(num_bloggers_);
+  if (stats != nullptr) {
+    stats->spmv_us.assign(num, 0);
+    stats->bytes = 0;
+  }
+
+  Stopwatch round_sw;
+  const uint64_t bytes_before = bytes_total_.Value();
+  uint64_t max_spmv_us = 0;
+
+  Status st = FanOut(
+      runtime::MessageType::kIterateRound,
+      runtime::MessageType::kIterateResult,
+      [this, &x](size_t s, uint64_t seq, std::vector<uint8_t>* out) {
+        RoundRequestPayload& p = request_scratch_;
+        p.shard = static_cast<uint32_t>(s);
+        p.seq = seq;
+        // GatherLocalX, verbatim: the owned mirror then the halo mirror —
+        // the halo half is the boundary exchange, now an actual message.
+        const std::vector<BloggerId>& owned = owned_[s];
+        const std::vector<BloggerId>& halo = halo_[s];
+        p.x_local.resize(owned.size() + halo.size());
+        double* xs = p.x_local.data();
+        const double* in = x.data();
+        for (size_t i = 0; i < owned.size(); ++i) xs[i] = in[owned[i]];
+        for (size_t i = 0; i < halo.size(); ++i) {
+          xs[owned.size() + i] = in[halo[i]];
+        }
+        EncodeRoundRequest(p, out);
+      },
+      [this, y, stats, &max_spmv_us](size_t s,
+                                     const runtime::Message& reply) {
+        RoundResultPayload r;
+        MASS_RETURN_IF_ERROR(
+            DecodeRoundResult(reply.payload.data(), reply.payload.size(),
+                              &r));
+        const std::vector<BloggerId>& owned = owned_[s];
+        if (r.shard != s || r.y_owned.size() != owned.size()) {
+          return Status::Corruption(
+              StrFormat("shard %zu returned a mismatched y slice", s));
+        }
+        double* out = y->data();
+        for (size_t i = 0; i < owned.size(); ++i) {
+          out[owned[i]] = r.y_owned[i];
+        }
+        if (stats != nullptr) stats->spmv_us[s] = r.spmv_us;
+        max_spmv_us = std::max(max_spmv_us, r.spmv_us);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+
+  const uint64_t round_us =
+      static_cast<uint64_t>(round_sw.ElapsedSeconds() * 1e6);
+  round_trip_us_.Record(round_us);
+  if (stats != nullptr) {
+    stats->round_trip_us = round_us;
+    stats->exchange_us = round_us > max_spmv_us ? round_us - max_spmv_us : 0;
+    stats->bytes = bytes_total_.Value() - bytes_before;
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::SolveFixedPoint(const FixedPointParams& params,
+                                         std::vector<double>* influence,
+                                         std::vector<double>* ap,
+                                         FixedPointResult* out) {
+  if (params.gl == nullptr || params.quality == nullptr) {
+    return Status::InvalidArgument("fixed point needs gl and quality");
+  }
+  const size_t nb = num_bloggers_;
+  const double alpha = params.alpha;
+  const std::vector<double>& gl = *params.gl;
+  out->spmv_us.assign(num_shards(), 0);
+
+  // Cold/warm starts are byte-for-byte the engine's IterateCompiled /
+  // IterateSharded setup: warm keeps the previous influence (new
+  // bloggers join at the normalized mean, 1.0); cold seeds ap with the
+  // global quality vector and blends from zero influence.
+  if (params.warm) {
+    influence->resize(nb, 1.0);
+    ap->resize(nb, 0.0);
+  } else {
+    *ap = *params.quality;
+    influence->assign(nb, 0.0);
+    for (size_t b = 0; b < nb; ++b) {
+      (*influence)[b] = alpha * (*ap)[b] + (1.0 - alpha) * gl[b];
+    }
+    MeanNormalize(influence);
+  }
+
+  std::vector<double> ones;
+  if (!params.use_citation) ones.assign(nb, 1.0);
+
+  std::vector<double> next(nb, 0.0);
+  ShardRoundStats rs;
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    const std::vector<double>& x =
+        params.use_citation ? *influence : ones;
+    out->last_x = x;
+    MASS_RETURN_IF_ERROR(IterateRound(x, ap, &rs));
+    if (params.round_stall) params.round_stall();
+
+    for (size_t s = 0; s < rs.spmv_us.size(); ++s) {
+      out->spmv_us[s] += rs.spmv_us[s];
+    }
+    out->round_exchange_us.push_back(rs.exchange_us);
+    out->exchange_us_total += rs.exchange_us;
+    out->bytes_total += rs.bytes;
+
+    for (size_t b = 0; b < nb; ++b) {
+      next[b] = alpha * (*ap)[b] + (1.0 - alpha) * gl[b];
+    }
+    MeanNormalize(&next);
+    if (params.damping > 0.0) {
+      for (size_t b = 0; b < nb; ++b) {
+        next[b] = (1.0 - params.damping) * next[b] +
+                  params.damping * (*influence)[b];
+      }
+    }
+    const double delta = ParallelReduce(
+        params.pool, nb, 0.0,
+        [&](size_t begin, size_t end) {
+          double m = 0.0;
+          for (size_t b = begin; b < end; ++b) {
+            m = std::max(m, std::abs(next[b] - (*influence)[b]));
+          }
+          return m;
+        },
+        [](double a, double b) { return std::max(a, b); });
+    influence->swap(next);
+    out->iterations = iter + 1;
+    out->final_residual = delta;
+    out->residuals.push_back({iter + 1, delta});
+    if (delta < params.tolerance) {
+      out->converged = true;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ShardSummaryPayload>> ShardCoordinator::Snapshot() {
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition("shard runtime not started");
+  }
+  std::vector<ShardSummaryPayload> summaries(num_shards());
+  Status st = FanOut(
+      runtime::MessageType::kSnapshotRequest,
+      runtime::MessageType::kSnapshotResult,
+      [](size_t s, uint64_t seq, std::vector<uint8_t>* out) {
+        ControlPayload p;
+        p.shard = static_cast<uint32_t>(s);
+        p.seq = seq;
+        EncodeControl(p, out);
+      },
+      [&summaries](size_t s, const runtime::Message& reply) {
+        return DecodeShardSummary(reply.payload.data(), reply.payload.size(),
+                                  &summaries[s]);
+      });
+  if (!st.ok()) return st;
+  return summaries;
+}
+
+void ShardCoordinator::Shutdown() {
+  if (transport_ == nullptr) return;
+  for (size_t s = 0; s < transport_->num_workers(); ++s) {
+    if (!transport_->WorkerAlive(s)) continue;
+    runtime::Endpoint* ep = transport_->endpoint(s);
+    if (ep == nullptr) continue;
+    runtime::Message m;
+    m.type = runtime::MessageType::kShutdown;
+    // Best-effort politeness; Stop() handles workers that miss it.
+    (void)ep->Send(std::move(m), /*deadline_micros=*/100'000);
+  }
+  transport_->Stop();
+  transport_.reset();
+  loaded_ = false;
+}
+
+}  // namespace mass::shard

@@ -1,0 +1,195 @@
+// The coordinator half of the shard runtime: owns a runtime::Transport
+// to K ShardWorkers, ships each its CSR slice, drives the fixed point
+// round by round — shard-local SpMVs behind the message boundary, the
+// global blend/normalize/residual here, exactly the arithmetic of the
+// PR-7 in-process solve — and reports per-shard summaries for the
+// composite snapshot path.
+//
+// Failure contract (what the engine's degradation guarantee builds on):
+// every exchange has a per-message deadline and a bounded retry budget
+// (common/backoff pacing, a fresh sequence number per attempt so stale
+// replies are discarded, and IterateRound requests are pure functions of
+// x — resending one is idempotent). When the budget runs out the solve
+// surfaces a typed Status — DeadlineExceeded for a silent worker,
+// Unavailable for a dead one, Corruption for undecodable traffic — and
+// since the engine publishes snapshots only as the last step of a
+// successful write, the previous snapshot keeps serving untouched. The
+// next sharded solve restarts dead workers and reloads slices.
+//
+// Observability: shard.transport.{bytes_total,round_trip_us,
+// timeouts_total} in the §8 registry; the engine layers the existing
+// shard.boundary.exchange_us / shard.spmv_us / per-shard spans on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "runtime/transport.h"
+#include "shard/sharded_matrix.h"
+#include "storage/shard_codec.h"
+
+namespace mass {
+class ThreadPool;
+}  // namespace mass
+
+namespace mass::shard {
+
+/// What the fault hook tells the coordinator to do to one outbound
+/// message (EngineFaultSite::kTransport; the engine owns the draws so
+/// this layer stays free of core dependencies).
+struct TransportFaultDecision {
+  bool drop = false;         ///< never send; the recv deadline must expire
+  bool truncate = false;     ///< send a mangled payload; the codec rejects
+  bool kill_worker = false;  ///< shut the worker down instead (death test)
+};
+
+/// Pure function of the coordinator's message op counter; null = no
+/// faults. Delay-style faults sleep inside the hook itself.
+using TransportFaultHook =
+    std::function<TransportFaultDecision(uint64_t op_index)>;
+
+struct ShardCoordinatorOptions {
+  runtime::TransportKind transport = runtime::TransportKind::kInProc;
+  /// Per-message deadline (microseconds) for every send/recv; 0 waits
+  /// forever. With a fault hook installed, an unset deadline falls back
+  /// to 1s so injected drops cannot hang a solve.
+  int64_t message_deadline_micros = 0;
+  /// Retry budget + pacing for one exchange (max_retries resends after
+  /// the first attempt; delays from BackoffSchedule, deterministic per
+  /// (shard, exchange)).
+  BackoffPolicy retry;
+  /// Registry for shard.transport.* metrics; null disables them.
+  obs::MetricsRegistry* metrics = nullptr;
+  TransportFaultHook fault_hook;
+};
+
+/// Per-round accounting from IterateRound.
+struct ShardRoundStats {
+  /// Wall time of the fan-out round minus the slowest worker's reported
+  /// kernel time: the gather/serialize/transport share of the round (the
+  /// multi-process successor of the PR-7 halo-gather timing).
+  uint64_t exchange_us = 0;
+  uint64_t round_trip_us = 0;       ///< whole fan-out wall time
+  uint64_t bytes = 0;               ///< payload bytes sent + received
+  std::vector<uint64_t> spmv_us;    ///< per shard, worker-reported
+};
+
+/// Inputs of one sharded fixed-point solve — the engine's Eq. 1 blend
+/// parameters plus the vectors the blend reads. Pointers must outlive
+/// the call.
+struct FixedPointParams {
+  double alpha = 0.5;
+  double damping = 0.0;
+  double tolerance = 1e-9;
+  int max_iterations = 100;
+  bool use_citation = true;
+  bool warm = false;
+  const std::vector<double>* gl = nullptr;       ///< GL(b), mean-normalized
+  const std::vector<double>* quality = nullptr;  ///< global q, cold start
+  ThreadPool* pool = nullptr;  ///< residual reduction (may be null)
+  /// Invoked once per round when set (the engine's kSpmv slowdown fault).
+  std::function<void()> round_stall;
+};
+
+struct FixedPointRoundTrace {
+  int iteration = 0;
+  double residual = 0.0;
+};
+
+struct FixedPointResult {
+  int iterations = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+  std::vector<FixedPointRoundTrace> residuals;
+  /// The x of the final round — ReconstructPostInfluence's input.
+  std::vector<double> last_x;
+  std::vector<uint64_t> spmv_us;            ///< per shard, summed
+  std::vector<uint64_t> round_exchange_us;  ///< per round
+  uint64_t exchange_us_total = 0;
+  uint64_t bytes_total = 0;
+};
+
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(ShardCoordinatorOptions options);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Starts (or restarts, after a worker death or shard-count change) the
+  /// transport and ships every shard its slice, awaiting acks. Must be
+  /// called before IterateRound/SolveFixedPoint, and again whenever the
+  /// partition is rebuilt.
+  Status LoadSlices(const ShardedSolverMatrix& matrix);
+
+  /// One fixed-point round across all shards: y = q + M·x assembled from
+  /// the workers' owned slices. `x` must have num_bloggers entries.
+  Status IterateRound(const std::vector<double>& x, std::vector<double>* y,
+                      ShardRoundStats* stats);
+
+  /// The whole sharded fixed point (cold or warm), bit-identical to the
+  /// engine's in-process IterateSharded: per-round worker SpMVs via
+  /// IterateRound, global blend/normalize/damping/residual here.
+  /// `influence` and `ap` are the engine's live vectors (in/out, same
+  /// cold/warm semantics as before).
+  Status SolveFixedPoint(const FixedPointParams& params,
+                         std::vector<double>* influence,
+                         std::vector<double>* ap, FixedPointResult* out);
+
+  /// Asks every worker for its state (kSnapshotRequest).
+  Result<std::vector<ShardSummaryPayload>> Snapshot();
+
+  /// Graceful teardown: kShutdown to every live worker, then transport
+  /// stop. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  size_t num_shards() const { return owned_.size(); }
+  bool loaded() const { return loaded_; }
+  std::string_view transport_name() const {
+    return runtime::TransportKindName(options_.transport);
+  }
+  /// The live transport (null before the first LoadSlices) — test access.
+  runtime::Transport* transport() { return transport_.get(); }
+
+ private:
+  Status EnsureStarted(size_t num_workers);
+  /// Applies the fault hook, counts bytes, and sends over `endpoint(s)`.
+  Status SendWithFaults(size_t s, runtime::MessageType type,
+                        std::vector<uint8_t> payload);
+  /// Receives until a reply of `want` with sequence `seq` arrives (stale
+  /// replies are discarded, kError becomes its carried Status).
+  Status AwaitReply(size_t s, runtime::MessageType want, uint64_t seq,
+                    runtime::Message* reply);
+  /// Send-all / await-all with per-shard end-to-end retries.
+  Status FanOut(
+      runtime::MessageType req, runtime::MessageType want,
+      const std::function<void(size_t, uint64_t, std::vector<uint8_t>*)>&
+          encode,
+      const std::function<Status(size_t, const runtime::Message&)>& consume);
+  int64_t EffectiveDeadlineMicros() const;
+
+  ShardCoordinatorOptions options_;
+  std::unique_ptr<runtime::Transport> transport_;
+  bool loaded_ = false;
+  size_t num_bloggers_ = 0;
+  std::vector<std::vector<BloggerId>> owned_;
+  std::vector<std::vector<BloggerId>> halo_;
+  uint64_t seq_ = 0;       ///< exchange attempt sequence (stale filter)
+  uint64_t send_ops_ = 0;  ///< fault-hook op index
+  std::vector<uint8_t> encode_buf_;
+  RoundRequestPayload request_scratch_;
+
+  obs::Counter bytes_total_;
+  obs::Histogram round_trip_us_;
+  obs::Counter timeouts_total_;
+};
+
+}  // namespace mass::shard

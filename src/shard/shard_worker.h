@@ -1,0 +1,50 @@
+// The per-shard half of the sharded fixed point, extracted from the
+// engine so it can run behind a runtime::Transport — in a thread today,
+// in a forked process (or, with a socket transport, another machine)
+// without touching the math. A ShardWorker owns exactly one CSR slice
+// and speaks the shard protocol:
+//
+//   kLoadSlice      -> kLoadAck (echoing the slice shape)
+//   kIterateRound   -> kIterateResult (owned y, kernel time, residual)
+//   kSnapshotRequest-> kSnapshotResult (rounds served + slice shape)
+//   kShutdown       -> serve loop exits
+//   anything else / undecodable -> kError (the coordinator retries)
+//
+// Bit-identity contract: the round kernel is the verbatim shard kernel
+// from ShardedSpMV — each owned row summed serially in stored-column
+// order over the [owned | halo] local x mirror — so y_owned is
+// bit-identical to the in-process sharded solve and, by PR 7's
+// invariant, to the unsharded solve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/transport.h"
+#include "shard/sharded_matrix.h"
+
+namespace mass::shard {
+
+class ShardWorker {
+ public:
+  /// Serves requests until a kShutdown message arrives or the channel
+  /// closes (transport stop, coordinator death). Runs in the transport's
+  /// worker context: a thread (inproc) or a forked child (pipe) — it
+  /// touches nothing but its endpoint and its own slice.
+  void Serve(size_t worker_index, runtime::Endpoint* endpoint);
+
+ private:
+  runtime::Message HandleLoadSlice(const runtime::Message& m);
+  runtime::Message HandleIterateRound(const runtime::Message& m);
+  runtime::Message HandleSnapshot(const runtime::Message& m);
+
+  uint32_t shard_ = 0;
+  bool loaded_ = false;
+  ShardLocalMatrix slice_;
+  uint64_t rounds_served_ = 0;
+  std::vector<double> y_;
+  std::vector<double> prev_y_;
+  std::vector<uint8_t> scratch_;  ///< reply encode buffer, reused
+};
+
+}  // namespace mass::shard

@@ -368,6 +368,10 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
     engine_faults.poison_rate = 0.0;
     engine_faults.publish_stall_rate = 0.0;
     engine_faults.spmv_slow_rate = 0.0;
+    engine_faults.transport_drop_rate = 0.0;
+    engine_faults.transport_truncate_rate = 0.0;
+    engine_faults.transport_kill_rate = 0.0;
+    engine_faults.transport_delay_rate = 0.0;
     run_status = IngestUrls(&clean_host, world.AllUrls(), engine_faults,
                             options, &engine, &metrics, &poison_op, &ingest);
   }
@@ -417,6 +421,11 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
 
   obs::MetricsSnapshot msnap = metrics.Snapshot();
   report.queries_degraded = msnap.CounterValue("serve.query.degraded_total");
+  report.transport_faults =
+      msnap.CounterValue("engine.fault.transport_faults_total");
+  report.transport_timeouts =
+      msnap.CounterValue("shard.transport.timeouts_total");
+  report.transport_bytes = msnap.CounterValue("shard.transport.bytes_total");
   if (const obs::HistogramSample* age =
           msnap.FindHistogram("serve.snapshot.age_us")) {
     report.snapshot_age_p99_us = age->P99();

@@ -2,7 +2,9 @@
 // crawled, ingested, and queried concurrently under a combined fault plan
 // — the crawler-level FaultPlan (transient/permanent/corrupt fetches) AND
 // the engine-level EngineFaultPlan (mid-pipeline ingest failures, poisoned
-// deltas, publish stalls, slow SpMV) — while reader fleets replay
+// deltas, publish stalls, slow SpMV, and — when the engine runs sharded —
+// dropped/truncated/delayed shard-transport messages and worker kills) —
+// while reader fleets replay
 // Zipfian domain queries and ad-matching bursts against the QueryService.
 //
 // The harness asserts the robustness invariants end to end and reports
@@ -123,6 +125,11 @@ struct SoakReport {
   size_t expired_comments = 0;   ///< comments removed across all expirations
   size_t final_matrix_nnz = 0;   ///< compiled-matrix nnz after the last tick
   size_t peak_matrix_nnz = 0;    ///< max nnz observed at any tick
+
+  // ---- shard transport (zero unless engine.num_shards > 1) ----
+  uint64_t transport_faults = 0;    ///< injected kTransport faults, all kinds
+  uint64_t transport_timeouts = 0;  ///< exchanges that hit the message deadline
+  uint64_t transport_bytes = 0;     ///< payload bytes moved by the shard runtime
 
   // ---- read path (typed outcomes observed by the reader fleet) ----
   uint64_t queries_ok = 0;

@@ -107,6 +107,14 @@ std::string EngineOptionsToXml(const EngineOptions& options) {
   // (engine_options.h documents this) — a loaded options file always uses
   // the built-in hash key.
   w.Attribute("num_shards", static_cast<int64_t>(options.num_shards));
+  w.Attribute("shard_transport",
+              runtime::TransportKindName(options.shard_transport));
+  w.Attribute("shard_message_deadline_micros",
+              options.shard_message_deadline_micros);
+  // Of the shard retry policy only the budget is an operator-facing knob;
+  // the pacing parameters keep their BackoffPolicy defaults on load.
+  w.Attribute("shard_message_retries",
+              static_cast<int64_t>(options.shard_retry.max_retries));
   w.Attribute("tolerance", options.tolerance);
   w.Attribute("damping", options.damping);
   w.EndElement();
@@ -157,6 +165,17 @@ Result<EngineOptions> EngineOptionsFromXml(std::string_view xml_text) {
     MASS_RETURN_IF_ERROR(OptInt(*root, "num_shards", &shards));
     o.num_shards = shards < 0 ? 0 : static_cast<size_t>(shards);
   }
+  if (root->HasAttr("shard_transport")) {
+    if (!runtime::TransportKindFromName(root->Attr("shard_transport"),
+                                        &o.shard_transport)) {
+      return Status::Corruption("unknown shard_transport: " +
+                                std::string(root->Attr("shard_transport")));
+    }
+  }
+  MASS_RETURN_IF_ERROR(OptInt64(*root, "shard_message_deadline_micros",
+                                &o.shard_message_deadline_micros));
+  MASS_RETURN_IF_ERROR(
+      OptInt(*root, "shard_message_retries", &o.shard_retry.max_retries));
   MASS_RETURN_IF_ERROR(OptDouble(*root, "tolerance", &o.tolerance));
   MASS_RETURN_IF_ERROR(OptDouble(*root, "damping", &o.damping));
   return o;

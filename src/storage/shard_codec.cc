@@ -1,0 +1,298 @@
+#include "storage/shard_codec.h"
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/string_util.h"
+
+namespace mass::shard {
+
+namespace {
+
+constexpr uint32_t kPayloadMagic = 0x4D535031;  // "MSP1"
+
+// One byte per payload family, written after the magic so a frame whose
+// type field and payload disagree is caught as Corruption instead of
+// being misparsed.
+enum class PayloadKind : uint8_t {
+  kSlice = 1,
+  kRoundRequest = 2,
+  kRoundResult = 3,
+  kSummary = 4,
+  kControl = 5,
+  kError = 6,
+};
+
+// ---------------------------------------------------------------------------
+// Writer: append-only raw little-endian scalars and arrays.
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) { out_->clear(); }
+
+  template <typename T>
+  void Scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t at = out_->size();
+    out_->resize(at + sizeof(T));
+    std::memcpy(out_->data() + at, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void Array(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Scalar<uint64_t>(v.size());
+    const size_t bytes = v.size() * sizeof(T);
+    const size_t at = out_->size();
+    out_->resize(at + bytes);
+    if (bytes > 0) std::memcpy(out_->data() + at, v.data(), bytes);
+  }
+
+  void Header(PayloadKind kind) {
+    Scalar<uint32_t>(kPayloadMagic);
+    Scalar<uint8_t>(static_cast<uint8_t>(kind));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader: every read is bounds-checked; any overrun latches failure.
+// ---------------------------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Scalar(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (failed_ || size_ - pos_ < sizeof(T)) return Fail();
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool Array(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Scalar(&count)) return false;
+    // The count must be backed by actual bytes — a truncated payload with
+    // an intact count dies here, as does a garbage count.
+    if (count > (size_ - pos_) / sizeof(T)) return Fail();
+    v->resize(count);
+    const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+    if (bytes > 0) std::memcpy(v->data(), data_ + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  bool Header(PayloadKind want) {
+    uint32_t magic = 0;
+    uint8_t kind = 0;
+    if (!Scalar(&magic) || !Scalar(&kind)) return false;
+    if (magic != kPayloadMagic || kind != static_cast<uint8_t>(want)) {
+      return Fail();
+    }
+    return true;
+  }
+
+  /// True when everything was consumed cleanly: no overrun, no trailing
+  /// garbage.
+  bool Done() const { return !failed_ && pos_ == size_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Status CorruptionAt(const char* what) {
+  return Status::Corruption(
+      StrFormat("shard codec: malformed %s payload", what));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+void EncodeSlice(uint32_t shard, uint64_t seq, uint64_t num_bloggers,
+                 const ShardLocalMatrix& matrix, std::vector<uint8_t>* out) {
+  Writer w(out);
+  w.Header(PayloadKind::kSlice);
+  w.Scalar(shard);
+  w.Scalar(seq);
+  w.Scalar(num_bloggers);
+  w.Array(matrix.owned);
+  w.Array(matrix.halo);
+  // size_t row offsets travel as u64 so the layout is the same on every
+  // build; they are memcpy-compatible on this platform (64-bit Linux).
+  static_assert(sizeof(size_t) == sizeof(uint64_t));
+  w.Array(matrix.row_offsets);
+  w.Array(matrix.cols);
+  w.Array(matrix.values);
+  w.Array(matrix.quality);
+}
+
+void EncodeSlice(const SlicePayload& p, std::vector<uint8_t>* out) {
+  EncodeSlice(p.shard, p.seq, p.num_bloggers, p.matrix, out);
+}
+
+void EncodeRoundRequest(const RoundRequestPayload& p,
+                        std::vector<uint8_t>* out) {
+  Writer w(out);
+  w.Header(PayloadKind::kRoundRequest);
+  w.Scalar(p.shard);
+  w.Scalar(p.seq);
+  w.Array(p.x_local);
+}
+
+void EncodeRoundResult(const RoundResultPayload& p,
+                       std::vector<uint8_t>* out) {
+  Writer w(out);
+  w.Header(PayloadKind::kRoundResult);
+  w.Scalar(p.shard);
+  w.Scalar(p.seq);
+  w.Scalar(p.spmv_us);
+  w.Scalar(p.local_residual);
+  w.Array(p.y_owned);
+}
+
+void EncodeShardSummary(const ShardSummaryPayload& p,
+                        std::vector<uint8_t>* out) {
+  Writer w(out);
+  w.Header(PayloadKind::kSummary);
+  w.Scalar(p.shard);
+  w.Scalar(p.seq);
+  w.Scalar(p.rounds_served);
+  w.Scalar(p.owned);
+  w.Scalar(p.halo);
+  w.Scalar(p.nnz);
+}
+
+void EncodeControl(const ControlPayload& p, std::vector<uint8_t>* out) {
+  Writer w(out);
+  w.Header(PayloadKind::kControl);
+  w.Scalar(p.shard);
+  w.Scalar(p.seq);
+}
+
+void EncodeError(const ErrorPayload& p, std::vector<uint8_t>* out) {
+  Writer w(out);
+  w.Header(PayloadKind::kError);
+  w.Scalar(p.code);
+  std::vector<uint8_t> bytes(p.message.begin(), p.message.end());
+  w.Array(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+Status DecodeSlice(const uint8_t* data, size_t size, SlicePayload* p) {
+  Reader r(data, size);
+  bool ok = r.Header(PayloadKind::kSlice) && r.Scalar(&p->shard) &&
+            r.Scalar(&p->seq) && r.Scalar(&p->num_bloggers) &&
+            r.Array(&p->matrix.owned) && r.Array(&p->matrix.halo) &&
+            r.Array(&p->matrix.row_offsets) && r.Array(&p->matrix.cols) &&
+            r.Array(&p->matrix.values) && r.Array(&p->matrix.quality);
+  if (!ok || !r.Done()) return CorruptionAt("slice");
+
+  // Structural consistency: the shapes that the SpMV kernel indexes by
+  // must agree, or a hostile payload could walk the worker off the end of
+  // its arrays.
+  const ShardLocalMatrix& m = p->matrix;
+  const size_t rows = m.owned.size();
+  if (m.row_offsets.size() != rows + 1 || m.quality.size() != rows ||
+      m.values.size() != m.cols.size() ||
+      (rows > 0 && m.row_offsets[0] != 0) ||
+      m.row_offsets.back() != m.cols.size()) {
+    return CorruptionAt("slice");
+  }
+  for (size_t i = 0; i + 1 < m.row_offsets.size(); ++i) {
+    if (m.row_offsets[i] > m.row_offsets[i + 1]) return CorruptionAt("slice");
+  }
+  const size_t local_x = m.local_x_size();
+  for (uint32_t c : m.cols) {
+    if (c >= local_x) return CorruptionAt("slice");
+  }
+  return Status::OK();
+}
+
+Status DecodeRoundRequest(const uint8_t* data, size_t size,
+                          RoundRequestPayload* p) {
+  Reader r(data, size);
+  const bool ok = r.Header(PayloadKind::kRoundRequest) &&
+                  r.Scalar(&p->shard) && r.Scalar(&p->seq) &&
+                  r.Array(&p->x_local);
+  if (!ok || !r.Done()) return CorruptionAt("round request");
+  return Status::OK();
+}
+
+Status DecodeRoundResult(const uint8_t* data, size_t size,
+                         RoundResultPayload* p) {
+  Reader r(data, size);
+  const bool ok = r.Header(PayloadKind::kRoundResult) && r.Scalar(&p->shard) &&
+                  r.Scalar(&p->seq) && r.Scalar(&p->spmv_us) &&
+                  r.Scalar(&p->local_residual) && r.Array(&p->y_owned);
+  if (!ok || !r.Done()) return CorruptionAt("round result");
+  return Status::OK();
+}
+
+Status DecodeShardSummary(const uint8_t* data, size_t size,
+                          ShardSummaryPayload* p) {
+  Reader r(data, size);
+  const bool ok = r.Header(PayloadKind::kSummary) && r.Scalar(&p->shard) &&
+                  r.Scalar(&p->seq) && r.Scalar(&p->rounds_served) &&
+                  r.Scalar(&p->owned) && r.Scalar(&p->halo) &&
+                  r.Scalar(&p->nnz);
+  if (!ok || !r.Done()) return CorruptionAt("shard summary");
+  return Status::OK();
+}
+
+Status DecodeControl(const uint8_t* data, size_t size, ControlPayload* p) {
+  Reader r(data, size);
+  const bool ok = r.Header(PayloadKind::kControl) && r.Scalar(&p->shard) &&
+                  r.Scalar(&p->seq);
+  if (!ok || !r.Done()) return CorruptionAt("control");
+  return Status::OK();
+}
+
+bool PeekShardSeq(const uint8_t* data, size_t size, uint32_t* shard,
+                  uint64_t* seq) {
+  // [u32 magic][u8 kind][u32 shard][u64 seq] — every payload family but
+  // kError leads with this prefix.
+  constexpr size_t kPrefix = 4 + 1 + 4 + 8;
+  if (size < kPrefix) return false;
+  uint32_t magic = 0;
+  std::memcpy(&magic, data, sizeof(magic));
+  if (magic != kPayloadMagic) return false;
+  const uint8_t kind = data[4];
+  if (kind == static_cast<uint8_t>(PayloadKind::kError)) return false;
+  std::memcpy(shard, data + 5, sizeof(*shard));
+  std::memcpy(seq, data + 9, sizeof(*seq));
+  return true;
+}
+
+Status DecodeError(const uint8_t* data, size_t size, ErrorPayload* p) {
+  Reader r(data, size);
+  std::vector<uint8_t> bytes;
+  const bool ok =
+      r.Header(PayloadKind::kError) && r.Scalar(&p->code) && r.Array(&bytes);
+  if (!ok || !r.Done()) return CorruptionAt("error");
+  p->message.assign(bytes.begin(), bytes.end());
+  return Status::OK();
+}
+
+}  // namespace mass::shard

@@ -1,0 +1,115 @@
+// Compact binary codec for the shard-runtime protocol (the messages a
+// ShardCoordinator exchanges with its ShardWorkers over a
+// runtime::Transport). XML remains the at-rest format for corpora,
+// checkpoints, and snapshots; these payloads are hot-path IPC, sent once
+// (slices) or once per fixed-point round (x mirrors / y slices), so they
+// are raw little-endian structs and arrays:
+//
+//   [u32 payload magic][u8 payload kind][fields][arrays: u64 count + raw]
+//
+// Doubles are 8-byte memcpys — the bit pattern crosses the wire intact,
+// which is what lets the sharded solve stay BYTE-identical to the
+// unsharded one across a process boundary (same-host IPC; no
+// cross-endianness translation by design).
+//
+// Decoding is defensive: every read is bounds-checked, counts must agree
+// with each other (row_offsets/cols/values/quality shapes) and with the
+// remaining bytes, column indices must fit the local mirror, and exactly
+// zero trailing bytes may remain. Any violation is Status::Corruption —
+// a truncated or garbage frame is rejected, never crashed on. The
+// fault-injection truncation path (EngineFaultSite::kTransport) leans on
+// exactly this contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "shard/sharded_matrix.h"
+
+namespace mass::shard {
+
+/// kLoadSlice payload: one shard's slice of the compiled system.
+struct SlicePayload {
+  uint32_t shard = 0;
+  uint64_t seq = 0;  ///< exchange sequence number, echoed by the ack
+  uint64_t num_bloggers = 0;  ///< global blogger count (sanity anchor)
+  ShardLocalMatrix matrix;
+};
+
+/// kIterateRound payload: the shard's local x mirror for one round
+/// ([owned | halo] order, exactly GatherLocalX's layout).
+struct RoundRequestPayload {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+  std::vector<double> x_local;
+};
+
+/// kIterateResult payload: the shard's owned y slice for one round.
+struct RoundResultPayload {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+  uint64_t spmv_us = 0;       ///< worker-side kernel time this round
+  double local_residual = 0;  ///< max |y - previous y| (diagnostic only;
+                              ///< convergence uses the global residual)
+  std::vector<double> y_owned;
+};
+
+/// kLoadAck / kSnapshotResult payload: what the worker is holding.
+struct ShardSummaryPayload {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+  uint64_t rounds_served = 0;
+  uint64_t owned = 0;
+  uint64_t halo = 0;
+  uint64_t nnz = 0;
+};
+
+/// kSnapshotRequest / kShutdown payload (kShutdown may also be empty).
+struct ControlPayload {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+};
+
+/// kError payload: a Status the worker could not honor a request with.
+struct ErrorPayload {
+  uint32_t code = 0;  ///< StatusCode
+  std::string message;
+};
+
+// Encoders clear and fill `out` (reusing its capacity — the round-trip
+// buffers are recycled every solver round).
+void EncodeSlice(const SlicePayload& p, std::vector<uint8_t>* out);
+/// Copy-free variant: encodes the slice fields straight from a live
+/// ShardedSolverMatrix shard (the coordinator's hot path).
+void EncodeSlice(uint32_t shard, uint64_t seq, uint64_t num_bloggers,
+                 const ShardLocalMatrix& matrix, std::vector<uint8_t>* out);
+void EncodeRoundRequest(const RoundRequestPayload& p,
+                        std::vector<uint8_t>* out);
+void EncodeRoundResult(const RoundResultPayload& p, std::vector<uint8_t>* out);
+void EncodeShardSummary(const ShardSummaryPayload& p,
+                        std::vector<uint8_t>* out);
+void EncodeControl(const ControlPayload& p, std::vector<uint8_t>* out);
+void EncodeError(const ErrorPayload& p, std::vector<uint8_t>* out);
+
+// Decoders return Corruption on any truncated, oversized, inconsistent,
+// or trailing-garbage payload, leaving *p unspecified.
+Status DecodeSlice(const uint8_t* data, size_t size, SlicePayload* p);
+Status DecodeRoundRequest(const uint8_t* data, size_t size,
+                          RoundRequestPayload* p);
+Status DecodeRoundResult(const uint8_t* data, size_t size,
+                         RoundResultPayload* p);
+Status DecodeShardSummary(const uint8_t* data, size_t size,
+                          ShardSummaryPayload* p);
+Status DecodeControl(const uint8_t* data, size_t size, ControlPayload* p);
+Status DecodeError(const uint8_t* data, size_t size, ErrorPayload* p);
+
+/// Reads the (shard, seq) prefix every non-error payload starts with,
+/// without validating the rest. The coordinator uses it to discard stale
+/// replies (a late answer to a timed-out attempt) before full decode.
+/// False when the payload is too short or has a bad magic.
+bool PeekShardSeq(const uint8_t* data, size_t size, uint32_t* shard,
+                  uint64_t* seq);
+
+}  // namespace mass::shard

@@ -1,0 +1,871 @@
+// Runtime suite: the shard runtime's process seam. The codec must
+// round-trip every payload bit-exactly and reject truncated or garbage
+// frames; both transports must honor the Send/Recv deadline and
+// dead-peer contracts; the ShardCoordinator's rounds must stay
+// BIT-IDENTICAL to the unsharded SolverSpMV over either transport; and
+// at the engine level the full byte-identity grid (facet ablations ×
+// shard counts × transports, cold, warm-ingest, and post-expiry) plus
+// the degradation contract: an injected or real worker death surfaces a
+// typed Status while the previously published snapshot keeps serving,
+// pointer-identical, and the next clean solve recovers.
+//
+// Pipe-transport tests fork worker processes, which sanitizer runtimes
+// do not follow; they skip themselves under TSan/ASan (the inproc
+// transport carries the sanitize lane).
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine_fault.h"
+#include "core/influence_engine.h"
+#include "core/solver_matrix.h"
+#include "crawler/delta_stream.h"
+#include "crawler/synthetic_host.h"
+#include "obs/metrics.h"
+#include "runtime/pipe_transport.h"
+#include "runtime/transport.h"
+#include "shard/shard_coordinator.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_matrix.h"
+#include "storage/options_xml.h"
+#include "storage/shard_codec.h"
+#include "synth/generator.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define MASS_SANITIZER_BUILD 1
+#endif
+#if !defined(MASS_SANITIZER_BUILD) && defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define MASS_SANITIZER_BUILD 1
+#endif
+#endif
+#ifndef MASS_SANITIZER_BUILD
+#define MASS_SANITIZER_BUILD 0
+#endif
+
+namespace mass {
+namespace {
+
+using runtime::Message;
+using runtime::MessageType;
+using runtime::TransportKind;
+
+bool PipeSupported() { return MASS_SANITIZER_BUILD == 0; }
+
+std::vector<TransportKind> TestedTransports() {
+  std::vector<TransportKind> kinds = {TransportKind::kInProc};
+  if (PipeSupported()) kinds.push_back(TransportKind::kPipe);
+  return kinds;
+}
+
+// ---- codec ----
+
+shard::SlicePayload SampleSlice() {
+  shard::SlicePayload p;
+  p.shard = 2;
+  p.seq = 77;
+  p.num_bloggers = 9;
+  p.matrix.owned = {1, 4, 7};
+  p.matrix.halo = {0, 3};
+  p.matrix.row_offsets = {0, 2, 3, 5};
+  p.matrix.cols = {0, 3, 1, 2, 4};
+  p.matrix.values = {0.5, -1.25, 3.0, 0.125, 2.5};
+  p.matrix.quality = {1.0, 0.0, 0.75};
+  return p;
+}
+
+TEST(ShardCodecTest, SliceRoundTripsBitExactly) {
+  const shard::SlicePayload p = SampleSlice();
+  std::vector<uint8_t> buf;
+  shard::EncodeSlice(p, &buf);
+
+  shard::SlicePayload q;
+  ASSERT_TRUE(shard::DecodeSlice(buf.data(), buf.size(), &q).ok());
+  EXPECT_EQ(q.shard, p.shard);
+  EXPECT_EQ(q.seq, p.seq);
+  EXPECT_EQ(q.num_bloggers, p.num_bloggers);
+  EXPECT_EQ(q.matrix.owned, p.matrix.owned);
+  EXPECT_EQ(q.matrix.halo, p.matrix.halo);
+  EXPECT_EQ(q.matrix.row_offsets, p.matrix.row_offsets);
+  EXPECT_EQ(q.matrix.cols, p.matrix.cols);
+  EXPECT_EQ(q.matrix.values, p.matrix.values);
+  EXPECT_EQ(q.matrix.quality, p.matrix.quality);
+
+  // The copy-free overload produces the identical wire bytes.
+  std::vector<uint8_t> buf2;
+  shard::EncodeSlice(p.shard, p.seq, p.num_bloggers, p.matrix, &buf2);
+  EXPECT_EQ(buf, buf2);
+
+  uint32_t s = 0;
+  uint64_t seq = 0;
+  ASSERT_TRUE(shard::PeekShardSeq(buf.data(), buf.size(), &s, &seq));
+  EXPECT_EQ(s, 2u);
+  EXPECT_EQ(seq, 77u);
+}
+
+TEST(ShardCodecTest, RoundAndControlPayloadsRoundTrip) {
+  shard::RoundRequestPayload req;
+  req.shard = 1;
+  req.seq = 5;
+  req.x_local = {0.1, -2.5, 1e300, 0.0};
+  std::vector<uint8_t> buf;
+  shard::EncodeRoundRequest(req, &buf);
+  shard::RoundRequestPayload req2;
+  ASSERT_TRUE(shard::DecodeRoundRequest(buf.data(), buf.size(), &req2).ok());
+  EXPECT_EQ(req2.shard, req.shard);
+  EXPECT_EQ(req2.seq, req.seq);
+  EXPECT_EQ(req2.x_local, req.x_local);
+
+  shard::RoundResultPayload res;
+  res.shard = 3;
+  res.seq = 6;
+  res.spmv_us = 123;
+  res.local_residual = 0.25;
+  res.y_owned = {1.5, -0.5};
+  shard::EncodeRoundResult(res, &buf);
+  shard::RoundResultPayload res2;
+  ASSERT_TRUE(shard::DecodeRoundResult(buf.data(), buf.size(), &res2).ok());
+  EXPECT_EQ(res2.spmv_us, res.spmv_us);
+  EXPECT_EQ(res2.local_residual, res.local_residual);
+  EXPECT_EQ(res2.y_owned, res.y_owned);
+
+  shard::ShardSummaryPayload sum;
+  sum.shard = 2;
+  sum.seq = 9;
+  sum.rounds_served = 41;
+  sum.owned = 10;
+  sum.halo = 4;
+  sum.nnz = 33;
+  shard::EncodeShardSummary(sum, &buf);
+  shard::ShardSummaryPayload sum2;
+  ASSERT_TRUE(shard::DecodeShardSummary(buf.data(), buf.size(), &sum2).ok());
+  EXPECT_EQ(sum2.rounds_served, sum.rounds_served);
+  EXPECT_EQ(sum2.nnz, sum.nnz);
+
+  shard::ControlPayload ctl;
+  ctl.shard = 1;
+  ctl.seq = 2;
+  shard::EncodeControl(ctl, &buf);
+  shard::ControlPayload ctl2;
+  ASSERT_TRUE(shard::DecodeControl(buf.data(), buf.size(), &ctl2).ok());
+  EXPECT_EQ(ctl2.shard, 1u);
+  EXPECT_EQ(ctl2.seq, 2u);
+
+  shard::ErrorPayload err;
+  err.code = 7;
+  err.message = "worker said no";
+  shard::EncodeError(err, &buf);
+  shard::ErrorPayload err2;
+  ASSERT_TRUE(shard::DecodeError(buf.data(), buf.size(), &err2).ok());
+  EXPECT_EQ(err2.code, 7u);
+  EXPECT_EQ(err2.message, "worker said no");
+}
+
+TEST(ShardCodecTest, EveryTruncationPrefixIsRejectedNotCrashed) {
+  std::vector<uint8_t> buf;
+  shard::EncodeSlice(SampleSlice(), &buf);
+  shard::SlicePayload p;
+  for (size_t n = 0; n < buf.size(); ++n) {
+    EXPECT_TRUE(shard::DecodeSlice(buf.data(), n, &p).IsCorruption())
+        << "prefix " << n;
+  }
+  shard::RoundRequestPayload req;
+  req.shard = 1;
+  req.x_local = {1.0, 2.0, 3.0};
+  shard::EncodeRoundRequest(req, &buf);
+  shard::RoundRequestPayload q;
+  for (size_t n = 0; n < buf.size(); ++n) {
+    EXPECT_TRUE(shard::DecodeRoundRequest(buf.data(), n, &q).IsCorruption())
+        << "prefix " << n;
+  }
+}
+
+TEST(ShardCodecTest, GarbageAndWrongKindAreRejected) {
+  // Random bytes: wrong magic.
+  Rng rng(99);
+  std::vector<uint8_t> junk(64);
+  for (uint8_t& b : junk) b = static_cast<uint8_t>(rng.NextUint64(256));
+  junk[0] = 0xFF;  // guarantee a broken magic
+  shard::SlicePayload p;
+  EXPECT_TRUE(shard::DecodeSlice(junk.data(), junk.size(), &p).IsCorruption());
+  uint32_t s = 0;
+  uint64_t seq = 0;
+  EXPECT_FALSE(shard::PeekShardSeq(junk.data(), junk.size(), &s, &seq));
+
+  // A valid control payload fed to the wrong decoder: kind mismatch.
+  std::vector<uint8_t> ctl;
+  shard::EncodeControl(shard::ControlPayload{1, 2}, &ctl);
+  EXPECT_TRUE(shard::DecodeSlice(ctl.data(), ctl.size(), &p).IsCorruption());
+
+  // Trailing garbage after a well-formed payload.
+  std::vector<uint8_t> buf;
+  shard::EncodeControl(shard::ControlPayload{1, 2}, &buf);
+  buf.push_back(0);
+  shard::ControlPayload c;
+  EXPECT_TRUE(shard::DecodeControl(buf.data(), buf.size(), &c).IsCorruption());
+
+  // An inconsistent slice: column index outside the local mirror.
+  shard::SlicePayload bad = SampleSlice();
+  bad.matrix.cols[0] = 99;
+  shard::EncodeSlice(bad, &buf);
+  EXPECT_TRUE(shard::DecodeSlice(buf.data(), buf.size(), &p).IsCorruption());
+}
+
+// ---- transports ----
+
+// Echoes every message back until shutdown or channel death. Free
+// function (not a capturing lambda) so it is fork-safe for the pipe
+// transport.
+void EchoWorker(size_t, runtime::Endpoint* ep) {
+  while (true) {
+    auto m = ep->Recv(0);
+    if (!m.ok() || m->type == MessageType::kShutdown) return;
+    if (!ep->Send(std::move(*m), 0).ok()) return;
+  }
+}
+
+// Consumes messages without ever replying (deadline tests).
+void SilentWorker(size_t, runtime::Endpoint* ep) {
+  while (true) {
+    auto m = ep->Recv(0);
+    if (!m.ok() || m->type == MessageType::kShutdown) return;
+  }
+}
+
+// Returns immediately: the coordinator sees a closed channel.
+void QuitWorker(size_t, runtime::Endpoint*) {}
+
+Message Ping(uint64_t tag) {
+  Message m;
+  m.type = MessageType::kSnapshotRequest;
+  m.payload.resize(8);
+  std::memcpy(m.payload.data(), &tag, 8);
+  return m;
+}
+
+void ExpectEcho(runtime::Transport* t, size_t workers) {
+  ASSERT_TRUE(t->Start(workers, EchoWorker).ok());
+  EXPECT_EQ(t->num_workers(), workers);
+  for (size_t i = 0; i < workers; ++i) {
+    SCOPED_TRACE("worker " + std::to_string(i));
+    runtime::Endpoint* ep = t->endpoint(i);
+    ASSERT_NE(ep, nullptr);
+    const Message sent = Ping(1000 + i);
+    ASSERT_TRUE(ep->Send(sent, 1'000'000).ok());
+    auto got = ep->Recv(5'000'000);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->type, sent.type);
+    EXPECT_EQ(got->payload, sent.payload);
+    EXPECT_TRUE(t->WorkerAlive(i));
+  }
+  EXPECT_EQ(t->endpoint(workers), nullptr);
+  t->Stop();
+  EXPECT_EQ(t->num_workers(), 0u);
+}
+
+TEST(InProcTransportTest, EchoAcrossWorkers) {
+  auto t = runtime::MakeTransport(TransportKind::kInProc);
+  EXPECT_EQ(t->name(), "inproc");
+  ExpectEcho(t.get(), 3);
+}
+
+TEST(InProcTransportTest, RecvDeadlineExpiresTyped) {
+  auto t = runtime::MakeTransport(TransportKind::kInProc);
+  ASSERT_TRUE(t->Start(1, SilentWorker).ok());
+  ASSERT_TRUE(t->endpoint(0)->Send(Ping(1), 1'000'000).ok());
+  auto r = t->endpoint(0)->Recv(20'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  // The worker is still alive — it just never answers.
+  EXPECT_TRUE(t->WorkerAlive(0));
+  t->Stop();
+}
+
+TEST(InProcTransportTest, ClosedPeerIsUnavailable) {
+  auto t = runtime::MakeTransport(TransportKind::kInProc);
+  ASSERT_TRUE(t->Start(1, QuitWorker).ok());
+  auto r = t->endpoint(0)->Recv(0);  // 0 = wait forever, until the close
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_FALSE(t->WorkerAlive(0));
+  t->Stop();
+}
+
+TEST(InProcTransportTest, DoubleStartRejected) {
+  auto t = runtime::MakeTransport(TransportKind::kInProc);
+  ASSERT_TRUE(t->Start(1, EchoWorker).ok());
+  EXPECT_TRUE(t->Start(1, EchoWorker).IsInvalidArgument());
+  t->Stop();
+}
+
+TEST(PipeTransportTest, EchoAcrossWorkerProcesses) {
+  if (!PipeSupported()) {
+    GTEST_SKIP() << "pipe transport runs in plain builds only";
+  }
+  auto t = runtime::MakeTransport(TransportKind::kPipe);
+  EXPECT_EQ(t->name(), "pipe");
+  ExpectEcho(t.get(), 2);
+}
+
+TEST(PipeTransportTest, RecvDeadlineExpiresTyped) {
+  if (!PipeSupported()) {
+    GTEST_SKIP() << "pipe transport runs in plain builds only";
+  }
+  auto t = runtime::MakeTransport(TransportKind::kPipe);
+  ASSERT_TRUE(t->Start(1, SilentWorker).ok());
+  ASSERT_TRUE(t->endpoint(0)->Send(Ping(1), 1'000'000).ok());
+  auto r = t->endpoint(0)->Recv(20'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  t->Stop();
+}
+
+TEST(PipeTransportTest, KilledWorkerIsUnavailable) {
+  if (!PipeSupported()) {
+    GTEST_SKIP() << "pipe transport runs in plain builds only";
+  }
+  auto t = runtime::MakeTransport(TransportKind::kPipe);
+  ASSERT_TRUE(t->Start(2, EchoWorker).ok());
+  auto* pt = static_cast<runtime::PipeTransport*>(t.get());
+  ASSERT_GT(pt->worker_pid(0), 0);
+  kill(pt->worker_pid(0), SIGKILL);
+  auto r = t->endpoint(0)->Recv(5'000'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_FALSE(t->WorkerAlive(0));
+  // The surviving worker still answers.
+  ASSERT_TRUE(t->endpoint(1)->Send(Ping(7), 1'000'000).ok());
+  auto ok = t->endpoint(1)->Recv(5'000'000);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(t->WorkerAlive(1));
+  t->Stop();
+}
+
+// ---- options round trip ----
+
+TEST(ShardOptionsXmlTest, TransportAndDeadlineRoundTrip) {
+  EngineOptions o;
+  o.num_shards = 4;
+  o.shard_transport = TransportKind::kPipe;
+  o.shard_message_deadline_micros = 250'000;
+  o.shard_retry.max_retries = 5;
+  auto back = EngineOptionsFromXml(EngineOptionsToXml(o));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_shards, 4u);
+  EXPECT_EQ(back->shard_transport, TransportKind::kPipe);
+  EXPECT_EQ(back->shard_message_deadline_micros, 250'000);
+  EXPECT_EQ(back->shard_retry.max_retries, 5);
+
+  // Defaults survive an options file that predates the shard runtime.
+  auto legacy = EngineOptionsFromXml("<engine_options version=\"1\"/>");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->shard_transport, TransportKind::kInProc);
+  EXPECT_EQ(legacy->shard_message_deadline_micros, 0);
+
+  auto bad = EngineOptionsFromXml(
+      "<engine_options shard_transport=\"carrier-pigeon\"/>");
+  EXPECT_FALSE(bad.ok());
+}
+
+// ---- coordinator rounds ----
+
+SolverMatrix RandomMatrix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  SolverMatrix m;
+  m.num_bloggers = n;
+  m.row_offsets.assign(n + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t deg = rng.NextUint64(6);
+    std::vector<BloggerId> cols;
+    for (size_t k = 0; k < deg; ++k) {
+      cols.push_back(static_cast<BloggerId>(rng.NextUint64(n)));
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    for (BloggerId c : cols) {
+      m.cols.push_back(c);
+      m.values.push_back(rng.NextDouble(0.0, 2.0));
+    }
+    m.row_offsets[r + 1] = m.cols.size();
+  }
+  for (size_t r = 0; r < n; ++r) m.quality.push_back(rng.NextDouble());
+  return m;
+}
+
+TEST(ShardCoordinatorTest, RoundBitIdenticalOverBothTransports) {
+  const SolverMatrix m = RandomMatrix(300, 31);
+  Rng rng(77);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.NextDouble(0.0, 3.0);
+  std::vector<double> want;
+  SolverSpMV(m, x, &want, nullptr);
+
+  shard::ShardingSpec spec;
+  spec.num_shards = 4;
+  const shard::ShardPlan plan = shard::BuildShardPlan(300, spec);
+  const shard::ShardedSolverMatrix sm =
+      shard::PartitionSolverMatrix(m, plan, nullptr);
+
+  for (TransportKind kind : TestedTransports()) {
+    SCOPED_TRACE(std::string(runtime::TransportKindName(kind)));
+    obs::MetricsRegistry metrics;
+    shard::ShardCoordinatorOptions o;
+    o.transport = kind;
+    o.metrics = &metrics;
+    shard::ShardCoordinator c(std::move(o));
+    ASSERT_TRUE(c.LoadSlices(sm).ok());
+    EXPECT_TRUE(c.loaded());
+    EXPECT_EQ(c.num_shards(), 4u);
+
+    std::vector<double> y;
+    shard::ShardRoundStats stats;
+    ASSERT_TRUE(c.IterateRound(x, &y, &stats).ok());
+    ASSERT_EQ(y.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(y[i], want[i]) << "i=" << i;
+    }
+    EXPECT_GT(stats.bytes, 0u);
+    ASSERT_EQ(stats.spmv_us.size(), 4u);
+
+    auto snaps = c.Snapshot();
+    ASSERT_TRUE(snaps.ok());
+    ASSERT_EQ(snaps->size(), 4u);
+    size_t owned_total = 0;
+    for (const auto& s : *snaps) {
+      EXPECT_EQ(s.rounds_served, 1u);
+      owned_total += s.owned;
+    }
+    EXPECT_EQ(owned_total, 300u);
+
+    obs::MetricsSnapshot ms = metrics.Snapshot();
+    EXPECT_GT(ms.CounterValue("shard.transport.bytes_total"), 0u);
+    const obs::HistogramSample* rt =
+        ms.FindHistogram("shard.transport.round_trip_us");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_GT(rt->count, 0u);
+    c.Shutdown();
+  }
+}
+
+TEST(ShardCoordinatorTest, PipeWorkerDeathIsTypedAndReloadRecovers) {
+  if (!PipeSupported()) {
+    GTEST_SKIP() << "pipe transport runs in plain builds only";
+  }
+  const SolverMatrix m = RandomMatrix(120, 5);
+  Rng rng(6);
+  std::vector<double> x(120);
+  for (double& v : x) v = rng.NextDouble(0.0, 1.0);
+  std::vector<double> want;
+  SolverSpMV(m, x, &want, nullptr);
+
+  shard::ShardingSpec spec;
+  spec.num_shards = 2;
+  const shard::ShardedSolverMatrix sm = shard::PartitionSolverMatrix(
+      m, shard::BuildShardPlan(120, spec), nullptr);
+
+  shard::ShardCoordinatorOptions o;
+  o.transport = TransportKind::kPipe;
+  o.message_deadline_micros = 2'000'000;
+  shard::ShardCoordinator c(std::move(o));
+  ASSERT_TRUE(c.LoadSlices(sm).ok());
+
+  auto* pt = static_cast<runtime::PipeTransport*>(c.transport());
+  ASSERT_NE(pt, nullptr);
+  kill(pt->worker_pid(0), SIGKILL);
+
+  std::vector<double> y;
+  shard::ShardRoundStats stats;
+  Status s = c.IterateRound(x, &y, &stats);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+
+  // Reloading restarts the dead fleet and the round is exact again.
+  ASSERT_TRUE(c.LoadSlices(sm).ok());
+  ASSERT_TRUE(c.IterateRound(x, &y, &stats).ok());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(y[i], want[i]) << "i=" << i;
+  }
+  c.Shutdown();
+}
+
+// ---- engine byte-identity grid ----
+
+const Corpus& RuntimeCorpus() {
+  static const Corpus* corpus = [] {
+    synth::GeneratorOptions o;
+    o.seed = 777;
+    o.num_bloggers = 120;
+    o.target_posts = 480;
+    auto r = synth::GenerateBlogosphere(o);
+    if (!r.ok()) std::abort();
+    return new Corpus(std::move(*r));
+  }();
+  return *corpus;
+}
+
+// Dense vs sharded-over-`kind`: every score surface bit-identical, the
+// composite snapshot's top-k byte-identical.
+void ExpectTransportInvariance(const Corpus& corpus, const MassEngine& dense,
+                               EngineOptions opts, size_t k,
+                               TransportKind kind, const std::string& label) {
+  SCOPED_TRACE(label + " k=" + std::to_string(k) + " " +
+               std::string(runtime::TransportKindName(kind)));
+  EngineOptions sharded_opts = opts;
+  sharded_opts.num_shards = k;
+  sharded_opts.shard_transport = kind;
+  MassEngine sharded(&corpus, sharded_opts);
+  ASSERT_TRUE(sharded.Analyze(nullptr, 10).ok());
+
+  const obs::SolveTrace& ds = dense.Observability().solve;
+  const obs::SolveTrace& ss = sharded.Observability().solve;
+  EXPECT_EQ(ss.solver_path, k > 1 ? "csr-sharded" : "csr");
+  ASSERT_EQ(ds.iterations, ss.iterations);
+  ASSERT_EQ(ds.final_residual, ss.final_residual);
+
+  const size_t nb = corpus.num_bloggers();
+  for (BloggerId b = 0; b < nb; ++b) {
+    ASSERT_EQ(dense.InfluenceOf(b), sharded.InfluenceOf(b)) << "b=" << b;
+    ASSERT_EQ(dense.AccumulatedPostOf(b), sharded.AccumulatedPostOf(b))
+        << "b=" << b;
+    for (size_t d = 0; d < 10; ++d) {
+      ASSERT_EQ(dense.DomainInfluenceOf(b, d), sharded.DomainInfluenceOf(b, d))
+          << "b=" << b << " d=" << d;
+    }
+  }
+  for (PostId p = 0; p < corpus.num_posts(); ++p) {
+    ASSERT_EQ(dense.PostInfluenceOf(p), sharded.PostInfluenceOf(p))
+        << "p=" << p;
+  }
+
+  auto dsnap = dense.CurrentSnapshot();
+  auto ssnap = sharded.CurrentSnapshot();
+  ASSERT_TRUE(ssnap->CheckConsistent().ok());
+  for (size_t topk : {size_t{7}, nb}) {
+    const auto dg = dsnap->TopKGeneral(topk);
+    const auto sg = ssnap->TopKGeneral(topk);
+    ASSERT_EQ(dg.size(), sg.size());
+    for (size_t i = 0; i < dg.size(); ++i) {
+      ASSERT_EQ(dg[i].id, sg[i].id) << "i=" << i;
+      ASSERT_EQ(dg[i].score, sg[i].score) << "i=" << i;
+    }
+  }
+  for (size_t d = 0; d < 10; ++d) {
+    const auto dd = dsnap->TopKDomain(d, 7);
+    const auto sd = ssnap->TopKDomain(d, 7);
+    ASSERT_TRUE(dd.ok());
+    ASSERT_TRUE(sd.ok());
+    ASSERT_EQ(dd->size(), sd->size());
+    for (size_t i = 0; i < dd->size(); ++i) {
+      ASSERT_EQ((*dd)[i].id, (*sd)[i].id) << "d=" << d << " i=" << i;
+      ASSERT_EQ((*dd)[i].score, (*sd)[i].score) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(TransportInvarianceTest, AllFacetAblationsAllShardCountsBothTransports) {
+  const Corpus& corpus = RuntimeCorpus();
+  for (int mask = 0; mask < 16; ++mask) {
+    EngineOptions opts;
+    opts.use_citation = (mask & 1) != 0;
+    opts.use_attitude = (mask & 2) != 0;
+    opts.use_novelty = (mask & 4) != 0;
+    opts.use_tc_normalization = (mask & 8) != 0;
+    const std::string label = "facet mask " + std::to_string(mask);
+
+    EngineOptions dense_opts = opts;
+    dense_opts.num_shards = 0;
+    MassEngine dense(&corpus, dense_opts);
+    ASSERT_TRUE(dense.Analyze(nullptr, 10).ok());
+
+    // K=1 never engages the runtime; the transport grid covers K in
+    // {2, 4} over both kinds.
+    ExpectTransportInvariance(corpus, dense, opts, 1, TransportKind::kInProc,
+                              label);
+    for (size_t k : {2u, 4u}) {
+      for (TransportKind kind : TestedTransports()) {
+        ExpectTransportInvariance(corpus, dense, opts, k, kind, label);
+      }
+    }
+  }
+}
+
+// ---- warm starts: incremental ingest over the runtime ----
+
+Corpus IngestSource(uint64_t seed) {
+  synth::GeneratorOptions o;
+  o.seed = seed;
+  o.num_bloggers = 40;
+  o.target_posts = 160;
+  auto r = synth::GenerateBlogosphere(o);
+  if (!r.ok()) std::abort();
+  return std::move(*r);
+}
+
+TEST(TransportInvarianceTest, WarmIngestStaysByteIdentical) {
+  Corpus src = IngestSource(91);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+
+  for (TransportKind kind : TestedTransports()) {
+    SCOPED_TRACE(std::string(runtime::TransportKindName(kind)));
+    Corpus dense_grown;
+    dense_grown.BuildIndexes();
+    Corpus shard_grown;
+    shard_grown.BuildIndexes();
+
+    EngineOptions sharded_opts;
+    sharded_opts.num_shards = 4;
+    sharded_opts.shard_transport = kind;
+    MassEngine dense(&dense_grown, EngineOptions{});
+    MassEngine sharded(&shard_grown, sharded_opts);
+    ASSERT_TRUE(dense.Analyze(nullptr, 10).ok());
+    ASSERT_TRUE(sharded.Analyze(nullptr, 10).ok());
+
+    DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 8});
+    while (!stream.done()) {
+      auto delta = stream.Next();
+      ASSERT_TRUE(delta.ok());
+      ASSERT_TRUE(dense.IngestDelta(*delta, nullptr).ok());
+      ASSERT_TRUE(sharded.IngestDelta(*delta, nullptr).ok());
+      // Every warm publish along the way is bit-identical, not just the
+      // final one.
+      for (BloggerId b = 0; b < dense_grown.num_bloggers(); ++b) {
+        ASSERT_EQ(dense.InfluenceOf(b), sharded.InfluenceOf(b)) << "b=" << b;
+      }
+    }
+    EXPECT_EQ(dense_grown.num_posts(), src.num_posts());
+    for (PostId p = 0; p < dense_grown.num_posts(); ++p) {
+      ASSERT_EQ(dense.PostInfluenceOf(p), sharded.PostInfluenceOf(p))
+          << "p=" << p;
+    }
+  }
+}
+
+// ---- expiry: the sharded engine repartitions after the shrink ----
+
+int64_t NewestPostTimestamp(const Corpus& corpus) {
+  int64_t newest = 0;
+  for (const Post& p : corpus.posts()) {
+    newest = std::max(newest, p.timestamp);
+  }
+  return newest;
+}
+
+int64_t OldestPostTimestamp(const Corpus& corpus) {
+  int64_t oldest = std::numeric_limits<int64_t>::max();
+  for (const Post& p : corpus.posts()) {
+    oldest = std::min(oldest, p.timestamp);
+  }
+  return oldest;
+}
+
+WindowSpec HalfWindow(const Corpus& corpus) {
+  WindowSpec w;
+  w.horizon_secs =
+      (NewestPostTimestamp(corpus) - OldestPostTimestamp(corpus)) / 2;
+  if (w.horizon_secs <= 0) w.horizon_secs = 1;
+  return w;
+}
+
+TEST(TransportInvarianceTest, ExpiryRepartitionsHaloAndMatchesDense) {
+  for (TransportKind kind : TestedTransports()) {
+    SCOPED_TRACE(std::string(runtime::TransportKindName(kind)));
+    Corpus dense_corpus = IngestSource(92);
+    Corpus shard_corpus = dense_corpus;
+
+    obs::MetricsRegistry metrics;
+    EngineOptions sharded_opts;
+    sharded_opts.num_shards = 4;
+    sharded_opts.shard_transport = kind;
+    sharded_opts.metrics = &metrics;
+    MassEngine dense(&dense_corpus, EngineOptions{});
+    MassEngine sharded(&shard_corpus, sharded_opts);
+    ASSERT_TRUE(dense.Analyze(nullptr, 10).ok());
+    ASSERT_TRUE(sharded.Analyze(nullptr, 10).ok());
+
+    const obs::MetricsSnapshot pre_snapshot = metrics.Snapshot();
+    const obs::GaugeSample* halo_before =
+        pre_snapshot.FindGauge("shard.boundary.halo_entries");
+    ASSERT_NE(halo_before, nullptr);
+    const double halo_pre = halo_before->value;
+
+    const WindowSpec w = HalfWindow(dense_corpus);
+    MutationResult dmr, smr;
+    ASSERT_TRUE(dense.ExpireWindow(w, &dmr).ok());
+    ASSERT_TRUE(sharded.ExpireWindow(w, &smr).ok());
+    ASSERT_GT(dmr.removed_posts, 0u);
+    EXPECT_EQ(dmr.removed_posts, smr.removed_posts);
+    EXPECT_EQ(dmr.removed_comments, smr.removed_comments);
+
+    // The warm post-expiry solve went through the runtime and repartitioned
+    // the shrunk matrix: the halo gauge now reflects the new partition...
+    const EngineObservability ob = sharded.Observability();
+    EXPECT_EQ(ob.solve.solver_path, "csr-sharded");
+    bool saw_rebuild = false;
+    bool saw_partition = false;
+    for (const obs::TraceSpan& span : ob.spans) {
+      // Either rebuild strategy (the incremental shrink or the full
+      // recompile, chosen by expire_recompile_fraction) must be followed
+      // by a fresh shard partition.
+      if (span.name == "shrink_matrix" || span.name == "compile_matrix") {
+        saw_rebuild = true;
+      }
+      if (span.name == "partition_shards") saw_partition = true;
+    }
+    EXPECT_TRUE(saw_rebuild);
+    EXPECT_TRUE(saw_partition);
+    const obs::MetricsSnapshot post_snapshot = metrics.Snapshot();
+    const obs::GaugeSample* halo_after =
+        post_snapshot.FindGauge("shard.boundary.halo_entries");
+    ASSERT_NE(halo_after, nullptr);
+    EXPECT_LT(halo_after->value, halo_pre);
+
+    // ...and matches a cold sharded partition of the shrunk corpus exactly.
+    obs::MetricsRegistry cold_metrics;
+    Corpus cold_corpus = shard_corpus;
+    EngineOptions cold_opts = sharded_opts;
+    cold_opts.metrics = &cold_metrics;
+    cold_opts.window = w;
+    MassEngine cold(&cold_corpus, cold_opts);
+    ASSERT_TRUE(cold.Analyze(nullptr, 10).ok());
+    const obs::MetricsSnapshot cold_snapshot = cold_metrics.Snapshot();
+    const obs::GaugeSample* halo_cold =
+        cold_snapshot.FindGauge("shard.boundary.halo_entries");
+    ASSERT_NE(halo_cold, nullptr);
+    EXPECT_EQ(halo_after->value, halo_cold->value);
+
+    // Warm dense and warm sharded stay bit-identical after the shrink.
+    for (BloggerId b = 0; b < dense_corpus.num_bloggers(); ++b) {
+      ASSERT_EQ(dense.InfluenceOf(b), sharded.InfluenceOf(b)) << "b=" << b;
+    }
+    for (PostId p = 0; p < dense_corpus.num_posts(); ++p) {
+      ASSERT_EQ(dense.PostInfluenceOf(p), sharded.PostInfluenceOf(p))
+          << "p=" << p;
+    }
+  }
+}
+
+// ---- degradation: injected transport faults at the engine level ----
+
+TEST(EngineTransportFaultTest, KilledWorkerRollsBackIngestAndRecovers) {
+  Corpus src = IngestSource(93);
+  SyntheticBlogHost host(&src);
+  std::vector<std::string> urls;
+  for (BloggerId b = 0; b < src.num_bloggers(); ++b) {
+    urls.push_back(host.UrlOf(b));
+  }
+
+  for (TransportKind kind : TestedTransports()) {
+    SCOPED_TRACE(std::string(runtime::TransportKindName(kind)));
+    EngineFaultPlan faults;
+    faults.seed = 7;
+
+    Corpus dense_grown;
+    dense_grown.BuildIndexes();
+    Corpus shard_grown;
+    shard_grown.BuildIndexes();
+    EngineOptions opts;
+    opts.num_shards = 2;
+    opts.shard_transport = kind;
+    opts.fault_plan = &faults;
+    MassEngine dense(&dense_grown, EngineOptions{});
+    MassEngine sharded(&shard_grown, opts);
+    ASSERT_TRUE(dense.Analyze(nullptr, 10).ok());
+    ASSERT_TRUE(sharded.Analyze(nullptr, 10).ok());
+
+    DeltaStream stream(&host, urls, DeltaStreamOptions{.batch_pages = 16});
+    auto delta = stream.Next();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(dense.IngestDelta(*delta, nullptr).ok());
+
+    // Arm the kill: the sharded solve inside the ingest loses a worker,
+    // the ingest surfaces a typed Unavailable, and the transaction rolls
+    // back — corpus shape and published snapshot bitwise untouched.
+    const auto snap_before = sharded.CurrentSnapshot();
+    const size_t posts_before = shard_grown.num_posts();
+    faults.transport_kill_rate = 1.0;
+    MutationResult mr;
+    Status s = sharded.IngestDelta(*delta, nullptr, &mr);
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+    EXPECT_TRUE(mr.rolled_back);
+    EXPECT_FALSE(mr.applied);
+    EXPECT_EQ(shard_grown.num_posts(), posts_before);
+    EXPECT_EQ(sharded.CurrentSnapshot().get(), snap_before.get());
+
+    // Disarm: the same delta now ingests — the next sharded solve
+    // restarts the dead fleet and reloads slices — and every score is
+    // bit-identical to the dense engine again.
+    faults.transport_kill_rate = 0.0;
+    ASSERT_TRUE(sharded.IngestDelta(*delta, nullptr).ok());
+    for (BloggerId b = 0; b < dense_grown.num_bloggers(); ++b) {
+      ASSERT_EQ(dense.InfluenceOf(b), sharded.InfluenceOf(b)) << "b=" << b;
+    }
+  }
+}
+
+TEST(EngineTransportFaultTest, DropsExhaustRetriesWithTimeoutsCounted) {
+  const Corpus& corpus = RuntimeCorpus();
+  EngineFaultPlan faults;
+  faults.seed = 11;
+
+  obs::MetricsRegistry metrics;
+  EngineOptions opts;
+  opts.num_shards = 2;
+  opts.fault_plan = &faults;
+  opts.metrics = &metrics;
+  opts.shard_message_deadline_micros = 10'000;  // keep the retry loop fast
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  const auto snap = engine.CurrentSnapshot();
+
+  faults.transport_drop_rate = 1.0;
+  Status s = engine.Retune(opts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_EQ(engine.CurrentSnapshot().get(), snap.get());
+
+  obs::MetricsSnapshot ms = metrics.Snapshot();
+  EXPECT_GT(ms.CounterValue("shard.transport.timeouts_total"), 0u);
+  EXPECT_GT(ms.CounterValue("engine.fault.transport_faults_total"), 0u);
+
+  // Recovery: a clean retune republishes.
+  faults.transport_drop_rate = 0.0;
+  ASSERT_TRUE(engine.Retune(opts).ok());
+  EXPECT_NE(engine.CurrentSnapshot().get(), snap.get());
+}
+
+TEST(EngineTransportFaultTest, TruncatedMessagesAreRejectedTyped) {
+  const Corpus& corpus = RuntimeCorpus();
+  EngineFaultPlan faults;
+  faults.seed = 13;
+
+  EngineOptions opts;
+  opts.num_shards = 2;
+  opts.fault_plan = &faults;
+  MassEngine engine(&corpus, opts);
+  ASSERT_TRUE(engine.Analyze(nullptr, 10).ok());
+  const auto snap = engine.CurrentSnapshot();
+
+  // Every message mangled: the worker's codec rejects each one and the
+  // retry budget drains on Corruption — never a crash, never a publish.
+  faults.transport_truncate_rate = 1.0;
+  Status s = engine.Retune(opts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_EQ(engine.CurrentSnapshot().get(), snap.get());
+
+  faults.transport_truncate_rate = 0.0;
+  ASSERT_TRUE(engine.Retune(opts).ok());
+}
+
+}  // namespace
+}  // namespace mass
